@@ -1,0 +1,84 @@
+// Shared helpers for the benchmark harness.
+//
+// Every bench binary runs standalone with laptop-scale defaults and scales
+// via environment variables:
+//   LUQR_N        largest real-numerics problem size (default per bench)
+//   LUQR_NB       tile size for real-numerics runs (default 48)
+//   LUQR_SAMPLES  matrices per ensemble average (default 3)
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "luqr.hpp"
+
+namespace luqr::bench {
+
+struct Config {
+  int n_max;
+  int nb;
+  int samples;
+};
+
+inline Config config(int default_n, int default_nb = 48, int default_samples = 3) {
+  Config c;
+  c.n_max = static_cast<int>(env_long("LUQR_N", default_n));
+  c.nb = static_cast<int>(env_long("LUQR_NB", default_nb));
+  c.samples = static_cast<int>(env_long("LUQR_SAMPLES", default_samples));
+  return c;
+}
+
+/// Random b for a given system size (fixed seed so runs are comparable).
+inline Matrix<double> rhs_for(int n, std::uint64_t seed = 4242) {
+  Matrix<double> b(n, 1);
+  Rng rng(seed);
+  for (int i = 0; i < n; ++i) b(i, 0) = rng.gaussian();
+  return b;
+}
+
+/// Mean HPL3 of the hybrid algorithm over `samples` random matrices, plus
+/// the mean LU-step fraction. `alpha < 0` selects AlwaysQR; infinity selects
+/// the criterion at alpha = inf.
+struct HybridOutcome {
+  double mean_hpl3 = 0.0;
+  double mean_lu_fraction = 0.0;
+};
+
+inline HybridOutcome run_hybrid_random(const std::string& criterion, double alpha,
+                                       int n, int nb, int samples,
+                                       const core::HybridOptions& opt) {
+  HybridOutcome out;
+  for (int s = 0; s < samples; ++s) {
+    const auto a = gen::generate(gen::MatrixKind::Random, n, 9000 + s);
+    const auto b = rhs_for(n, 100 + s);
+    auto crit = make_criterion(criterion, alpha, 555 + s);
+    const auto r = core::hybrid_solve(a, b, *crit, nb, opt);
+    out.mean_hpl3 += verify::hpl3(a, r.x, b) / samples;
+    out.mean_lu_fraction += r.stats.lu_fraction() / samples;
+  }
+  return out;
+}
+
+/// Mean HPL3 of LUPP over the same ensemble (the stability reference all
+/// figures normalize by).
+inline double lupp_hpl3_random(int n, int nb, int samples) {
+  double h = 0.0;
+  for (int s = 0; s < samples; ++s) {
+    const auto a = gen::generate(gen::MatrixKind::Random, n, 9000 + s);
+    const auto b = rhs_for(n, 100 + s);
+    const auto r = baselines::lupp_solve(a, b, nb);
+    h += verify::hpl3(a, r.x, b) / samples;
+  }
+  return h;
+}
+
+inline std::string fmt_ratio(double v) {
+  if (!(v == v)) return "nan";
+  if (v > 1e18) return "inf";
+  return fmt_sci(v, 2);
+}
+
+}  // namespace luqr::bench

@@ -1,0 +1,97 @@
+// Figure 2, column 1 reproduction (all four rows): relative stability —
+// HPL3 divided by LUPP's HPL3 on the same ensemble — versus matrix size,
+// for the Max, Sum and MUMPS criteria across an alpha sweep, the Random
+// criterion across LU-probabilities, and the LU NoPiv / LU IncPiv / HQR
+// baselines. Real numerics at laptop scale (LUQR_N / LUQR_NB / LUQR_SAMPLES
+// scale it up).
+#include "bench_common.hpp"
+
+int main() {
+  using namespace luqr;
+  using namespace luqr::bench;
+  const auto c = config(/*n=*/768, /*nb=*/48, /*samples=*/3);
+  const double inf = std::numeric_limits<double>::infinity();
+  core::HybridOptions opt;  // the paper's 4x4 grid
+  opt.grid_p = 4;
+  opt.grid_q = 4;
+
+  std::vector<int> sizes;
+  for (int n = c.n_max / 3; n <= c.n_max; n += c.n_max / 3) sizes.push_back(n);
+
+  std::printf("=== Figure 2, col 1: relative HPL3 (ratio to LUPP), random matrices ===\n");
+  std::printf("nb = %d, %d samples per point; ratio ~1 means LUPP-grade stability\n\n",
+              c.nb, c.samples);
+
+  struct Row {
+    const char* criterion;
+    double alpha;
+  };
+  const std::vector<std::pair<const char*, std::vector<double>>> sweeps = {
+      {"max", {inf, 200.0, 100.0, 50.0, 0.0}},
+      {"sum", {inf, 500.0, 100.0, 20.0, 0.0}},
+      {"mumps", {inf, 1000.0, 100.0, 30.0, 2.1, 0.0}},
+      {"random", {1.0, 0.75, 0.5, 0.25, 0.0}},
+  };
+
+  for (const auto& [criterion, alphas] : sweeps) {
+    std::printf("--- criterion: %s ---\n", criterion);
+    TextTable t;
+    {
+      std::vector<std::string> header = {"alpha \\ N"};
+      for (int n : sizes) header.push_back(std::to_string(n));
+      t.header(header);
+    }
+    for (double alpha : alphas) {
+      char tag[32];
+      if (std::isinf(alpha)) {
+        std::snprintf(tag, sizeof(tag), "inf");
+      } else {
+        std::snprintf(tag, sizeof(tag), "%g", alpha);
+      }
+      std::vector<std::string> row = {tag};
+      for (int n : sizes) {
+        const double lupp = lupp_hpl3_random(n, c.nb, c.samples);
+        const auto out =
+            run_hybrid_random(criterion, alpha, n, c.nb, c.samples, opt);
+        row.push_back(fmt_ratio(out.mean_hpl3 / lupp));
+      }
+      t.row(row);
+    }
+    std::printf("%s\n", t.str().c_str());
+  }
+
+  std::printf("--- baselines ---\n");
+  TextTable t;
+  {
+    std::vector<std::string> header = {"algorithm \\ N"};
+    for (int n : sizes) header.push_back(std::to_string(n));
+    t.header(header);
+  }
+  for (const char* algo : {"lu-nopiv", "lu-incpiv", "hqr"}) {
+    std::vector<std::string> row = {algo};
+    for (int n : sizes) {
+      const double lupp = lupp_hpl3_random(n, c.nb, c.samples);
+      double h = 0.0;
+      for (int s = 0; s < c.samples; ++s) {
+        const auto a = gen::generate(gen::MatrixKind::Random, n, 9000 + s);
+        const auto b = rhs_for(n, 100 + s);
+        core::SolveResult r;
+        if (std::string(algo) == "lu-nopiv") {
+          r = baselines::lu_nopiv_solve(a, b, c.nb);
+        } else if (std::string(algo) == "lu-incpiv") {
+          r = baselines::lu_incpiv_solve(a, b, c.nb);
+        } else {
+          r = baselines::hqr_solve(a, b, c.nb);
+        }
+        h += verify::hpl3(a, r.x, b) / c.samples;
+      }
+      row.push_back(fmt_ratio(h / lupp));
+    }
+    t.row(row);
+  }
+  std::printf("%s\n", t.str().c_str());
+  std::printf("expected shape (paper): small alpha -> ratio ~1 (QR-grade); alpha=inf\n"
+              "close to 1 on random matrices thanks to diagonal-domain pivoting;\n"
+              "LU NoPiv and LU IncPiv drift well above 1 as N grows.\n");
+  return 0;
+}

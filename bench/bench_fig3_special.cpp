@@ -1,0 +1,74 @@
+// Figure 3 reproduction: stability on special matrices. Relative HPL3
+// (ratio to LUPP) for LU NoPiv, LUQR with random choices, LUQR with the Max
+// criterion, LUQR with the MUMPS criterion, and HQR, on 5 random matrices
+// plus the 21 special matrices of Table III — and the Fiedler matrix the
+// paper's §V-C text discusses. Real numerics; the paper ran N = 40,000 on a
+// 16x1 grid, we default to laptop scale on the same logical grid.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace luqr;
+  using namespace luqr::bench;
+  const auto c = config(/*n=*/512, /*nb=*/32, /*samples=*/1);
+  const int n = c.n_max;
+
+  core::HybridOptions opt;
+  opt.grid_p = 16;  // the paper's 16x1 grid for this experiment
+  opt.grid_q = 1;
+
+  // Thresholds mirroring the paper's choices in spirit (the paper used
+  // alpha = 50 for random choices -> 50% LU probability, 6000 for Max at
+  // N=40,000, 2.1 for MUMPS; Max's alpha rescales with problem size).
+  const double alpha_max = env_double("LUQR_ALPHA_MAX", 50.0);
+  const double alpha_mumps = env_double("LUQR_ALPHA_MUMPS", 2.1);
+
+  std::printf("=== Figure 3: relative HPL3 (ratio to LUPP) on special matrices ===\n");
+  std::printf("N = %d, nb = %d, 16x1 grid; 'inf'/'nan' = failed solve\n\n", n, c.nb);
+
+  TextTable t;
+  t.header({"matrix", "LU NoPiv", "LUQR rand50", "LUQR max", "LUQR mumps", "HQR",
+            "%LU max", "%LU mumps"});
+
+  auto run_matrix = [&](const std::string& label, const Matrix<double>& a) {
+    const auto b = rhs_for(a.rows(), 1234);
+    const double lupp = verify::hpl3(a, baselines::lupp_solve(a, b, c.nb).x, b);
+
+    const double nopiv =
+        verify::hpl3(a, baselines::lu_nopiv_solve(a, b, c.nb).x, b);
+
+    RandomCriterion rnd(0.5, 99);
+    const auto r_rand = core::hybrid_solve(a, b, rnd, c.nb, opt);
+    const double h_rand = verify::hpl3(a, r_rand.x, b);
+
+    MaxCriterion cmax(alpha_max);
+    const auto r_max = core::hybrid_solve(a, b, cmax, c.nb, opt);
+    const double h_max = verify::hpl3(a, r_max.x, b);
+
+    MumpsCriterion cmumps(alpha_mumps);
+    const auto r_mumps = core::hybrid_solve(a, b, cmumps, c.nb, opt);
+    const double h_mumps = verify::hpl3(a, r_mumps.x, b);
+
+    const double hqr = verify::hpl3(a, baselines::hqr_solve(a, b, c.nb, 16, 1).x, b);
+
+    t.row({label, fmt_ratio(nopiv / lupp), fmt_ratio(h_rand / lupp),
+           fmt_ratio(h_max / lupp), fmt_ratio(h_mumps / lupp),
+           fmt_ratio(hqr / lupp),
+           fmt_fixed(100.0 * r_max.stats.lu_fraction(), 0),
+           fmt_fixed(100.0 * r_mumps.stats.lu_fraction(), 0)});
+  };
+
+  for (int s = 0; s < 5; ++s) {
+    run_matrix("random#" + std::to_string(s),
+               gen::generate(gen::MatrixKind::Random, n, 7000 + s));
+  }
+  for (auto kind : gen::special_set()) {
+    run_matrix(gen::kind_name(kind), gen::generate(kind, n, 42));
+  }
+  run_matrix("fiedler", gen::generate(gen::MatrixKind::Fiedler, n, 42));
+
+  std::printf("%s\n", t.str().c_str());
+  std::printf("expected shape (paper): random choices fail on several specials\n"
+              "(large ratios); the Max criterion stays near 1 everywhere; MUMPS is\n"
+              "good except on wilkinson/foster-class matrices; HQR ~ 1 throughout.\n");
+  return 0;
+}

@@ -1,0 +1,185 @@
+// google-benchmark microbenchmarks for every tile kernel — the calibration
+// aid for the simulator's efficiency table and a regression guard on the
+// kernels' throughput.
+#include <benchmark/benchmark.h>
+
+#include "luqr.hpp"
+
+namespace {
+
+using namespace luqr;
+using namespace luqr::kern;
+
+Matrix<double> rnd(int m, int n, std::uint64_t seed) {
+  Matrix<double> a(m, n);
+  Rng rng(seed);
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < m; ++i) a(i, j) = rng.gaussian();
+  return a;
+}
+
+Matrix<double> rnd_upper(int n, std::uint64_t seed) {
+  Matrix<double> a(n, n);
+  Rng rng(seed);
+  for (int j = 0; j < n; ++j) {
+    for (int i = 0; i <= j; ++i) a(i, j) = rng.gaussian();
+    a(j, j) += 4.0;
+  }
+  return a;
+}
+
+void BM_Gemm(benchmark::State& state) {
+  const int nb = static_cast<int>(state.range(0));
+  auto a = rnd(nb, nb, 1), b = rnd(nb, nb, 2), c = rnd(nb, nb, 3);
+  for (auto _ : state) {
+    gemm(Trans::No, Trans::No, -1.0, a.cview(), b.cview(), 1.0, c.view());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      2.0 * nb * nb * nb * state.iterations() / 1e9, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(240);
+
+void BM_Trsm(benchmark::State& state) {
+  const int nb = static_cast<int>(state.range(0));
+  auto u = rnd_upper(nb, 1);
+  auto b = rnd(nb, nb, 2);
+  for (auto _ : state) {
+    trsm(Side::Right, Uplo::Upper, Trans::No, Diag::NonUnit, 1.0, u.cview(),
+         b.view());
+    benchmark::DoNotOptimize(b.data());
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      1.0 * nb * nb * nb * state.iterations() / 1e9, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Trsm)->Arg(64)->Arg(240);
+
+void BM_Getrf(benchmark::State& state) {
+  const int nb = static_cast<int>(state.range(0));
+  const auto a0 = rnd(nb, nb, 1);
+  std::vector<int> piv;
+  for (auto _ : state) {
+    auto a = a0;
+    getrf(a.view(), piv);
+    benchmark::DoNotOptimize(a.data());
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      (2.0 / 3.0) * nb * nb * nb * state.iterations() / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Getrf)->Arg(64)->Arg(240);
+
+void BM_Geqrt(benchmark::State& state) {
+  const int nb = static_cast<int>(state.range(0));
+  const auto a0 = rnd(nb, nb, 1);
+  Matrix<double> t(nb, nb);
+  for (auto _ : state) {
+    auto a = a0;
+    geqrt(a.view(), t.view());
+    benchmark::DoNotOptimize(a.data());
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      (4.0 / 3.0) * nb * nb * nb * state.iterations() / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Geqrt)->Arg(64)->Arg(240);
+
+void BM_Tsqrt(benchmark::State& state) {
+  const int nb = static_cast<int>(state.range(0));
+  const auto r0 = rnd_upper(nb, 1);
+  const auto v0 = rnd(nb, nb, 2);
+  Matrix<double> t(nb, nb);
+  for (auto _ : state) {
+    auto r = r0;
+    auto v = v0;
+    tsqrt(r.view(), v.view(), t.view());
+    benchmark::DoNotOptimize(v.data());
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      2.0 * nb * nb * nb * state.iterations() / 1e9, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Tsqrt)->Arg(64)->Arg(240);
+
+void BM_Tsmqr(benchmark::State& state) {
+  const int nb = static_cast<int>(state.range(0));
+  auto r = rnd_upper(nb, 1);
+  auto v = rnd(nb, nb, 2);
+  Matrix<double> t(nb, nb);
+  tsqrt(r.view(), v.view(), t.view());
+  auto c1 = rnd(nb, nb, 3), c2 = rnd(nb, nb, 4);
+  for (auto _ : state) {
+    tsmqr(Trans::Yes, v.cview(), t.cview(), c1.view(), c2.view());
+    benchmark::DoNotOptimize(c2.data());
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      4.0 * nb * nb * nb * state.iterations() / 1e9, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Tsmqr)->Arg(64)->Arg(240);
+
+void BM_Ttqrt(benchmark::State& state) {
+  const int nb = static_cast<int>(state.range(0));
+  const auto r1_0 = rnd_upper(nb, 1);
+  const auto r2_0 = rnd_upper(nb, 2);
+  Matrix<double> t(nb, nb);
+  for (auto _ : state) {
+    auto r1 = r1_0;
+    auto r2 = r2_0;
+    ttqrt(r1.view(), r2.view(), t.view());
+    benchmark::DoNotOptimize(r2.data());
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      1.0 * nb * nb * nb * state.iterations() / 1e9, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Ttqrt)->Arg(64)->Arg(240);
+
+void BM_Ttmqr(benchmark::State& state) {
+  const int nb = static_cast<int>(state.range(0));
+  auto r1 = rnd_upper(nb, 1);
+  auto r2 = rnd_upper(nb, 2);
+  Matrix<double> t(nb, nb);
+  ttqrt(r1.view(), r2.view(), t.view());
+  auto c1 = rnd(nb, nb, 3), c2 = rnd(nb, nb, 4);
+  for (auto _ : state) {
+    ttmqr(Trans::Yes, r2.cview(), t.cview(), c1.view(), c2.view());
+    benchmark::DoNotOptimize(c2.data());
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      2.0 * nb * nb * nb * state.iterations() / 1e9, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Ttmqr)->Arg(64)->Arg(240);
+
+void BM_Tstrf(benchmark::State& state) {
+  const int nb = static_cast<int>(state.range(0));
+  const auto u0 = rnd_upper(nb, 1);
+  const auto a0 = rnd(nb, nb, 2);
+  Matrix<double> l1(nb, nb);
+  std::vector<int> piv;
+  for (auto _ : state) {
+    auto u = u0;
+    auto a = a0;
+    tstrf(u.view(), a.view(), l1.view(), piv);
+    benchmark::DoNotOptimize(a.data());
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      1.0 * nb * nb * nb * state.iterations() / 1e9, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Tstrf)->Arg(64)->Arg(240);
+
+void BM_HybridSolveSmall(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto a = gen::generate(gen::MatrixKind::Random, n, 1);
+  Matrix<double> b(n, 1);
+  Rng rng(2);
+  for (int i = 0; i < n; ++i) b(i, 0) = rng.gaussian();
+  for (auto _ : state) {
+    MaxCriterion crit(50.0);
+    auto r = core::hybrid_solve(a, b, crit, 32, {});
+    benchmark::DoNotOptimize(r.x.data());
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      (2.0 / 3.0) * n * n * n * state.iterations() / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_HybridSolveSmall)->Arg(128)->Arg(256)->Unit(benchmark::kMillisecond);
+
+}  // namespace

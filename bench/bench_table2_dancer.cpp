@@ -1,0 +1,82 @@
+// Table II reproduction: performance of every algorithm for N = 20,000 on
+// the (simulated) Dancer platform, 4x4 grid — time, %LU steps, fake/true
+// GFLOP/s and fake/true %peak.
+//
+// The LUQR rows sweep the same %LU operating points the paper reports for
+// the Max criterion (100, 94.1, 83.3, 61.9, 51.2, 35.7, 11.9, 0 percent);
+// the alpha values producing those fractions are machine- and scale-
+// dependent (the paper itself could not auto-tune them), so the operating
+// point is the faithful coordinate. A second table reports the alpha ->
+// %LU mapping measured with *real numerics* at laptop scale.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace luqr;
+  using namespace luqr::bench;
+  using namespace luqr::sim;
+
+  const int nb = 240;
+  const int n = static_cast<int>(env_long("LUQR_SIM_NT", 84));  // N = 20,160
+  const Platform pl = Platform::dancer();
+  DagConfig cfg;
+  cfg.n = n;
+  cfg.nb = nb;
+
+  std::printf("=== Table II (simulated Dancer, %dx%d grid, N = %d, nb = %d) ===\n\n",
+              pl.p, pl.q, n * nb, nb);
+
+  TextTable t;
+  t.header({"Algorithm", "alpha", "Time", "% LU", "Fake GF/s", "True GF/s",
+            "Fake %Pk", "True %Pk"});
+  auto add_row = [&](const std::string& name, const std::string& alpha,
+                     const AlgoReport& r) {
+    t.row({name, alpha, fmt_fixed(r.seconds, 2), fmt_fixed(100.0 * r.lu_fraction, 1),
+           fmt_fixed(r.gflops_fake, 1), fmt_fixed(r.gflops_true, 1),
+           fmt_fixed(r.pct_peak_fake, 1), fmt_fixed(r.pct_peak_true, 1)});
+  };
+
+  add_row("LU NoPiv", "", simulate_algorithm(Algo::LuNoPiv, cfg, pl));
+  add_row("LU IncPiv", "", simulate_algorithm(Algo::LuIncPiv, cfg, pl));
+  // The paper's Max-criterion operating points (column 4 of Table II).
+  const std::pair<const char*, double> points[] = {
+      {"inf", 1.0},   {"13000", 0.941}, {"9000", 0.833}, {"6000", 0.619},
+      {"4000", 0.512}, {"1400", 0.357}, {"900", 0.119},  {"0", 0.0}};
+  for (const auto& [alpha, frac] : points) {
+    const auto rep =
+        simulate_algorithm(Algo::LuQr, cfg, pl, spread_lu_steps(n, frac));
+    add_row("LUQR (MAX)", alpha, rep);
+  }
+  add_row("HQR", "", simulate_algorithm(Algo::Hqr, cfg, pl));
+  add_row("LUPP", "", simulate_algorithm(Algo::Lupp, cfg, pl));
+  std::printf("%s\n", t.str().c_str());
+
+  {
+    const auto hqr = simulate_algorithm(Algo::Hqr, cfg, pl);
+    const auto luqr0 = simulate_algorithm(Algo::LuQr, cfg, pl, spread_lu_steps(n, 0.0));
+    std::printf("decision-process overhead (LUQR alpha=0 vs HQR): %.1f%%  (paper: ~12.7%%)\n\n",
+                100.0 * (luqr0.seconds / hqr.seconds - 1.0));
+  }
+
+  // Real-numerics alpha -> %LU mapping at laptop scale (Max criterion).
+  const auto c = config(/*n=*/768, /*nb=*/48, /*samples=*/2);
+  std::printf("=== Measured alpha -> %%LU (Max criterion, real numerics, N = %d, nb = %d) ===\n",
+              c.n_max, c.nb);
+  TextTable m;
+  m.header({"alpha", "% LU steps", "mean HPL3"});
+  const double inf = std::numeric_limits<double>::infinity();
+  for (double alpha : {inf, 500.0, 200.0, 100.0, 50.0, 20.0, 5.0, 0.0}) {
+    core::HybridOptions opt;
+    opt.grid_p = 4;
+    opt.grid_q = 4;
+    const auto out = run_hybrid_random("max", alpha, c.n_max, c.nb, c.samples, opt);
+    char tag[32];
+    if (std::isinf(alpha)) {
+      std::snprintf(tag, sizeof(tag), "inf");
+    } else {
+      std::snprintf(tag, sizeof(tag), "%g", alpha);
+    }
+    m.row({tag, fmt_fixed(100.0 * out.mean_lu_fraction, 1), fmt_sci(out.mean_hpl3, 2)});
+  }
+  std::printf("%s", m.str().c_str());
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Stability tour: run the hybrid solver and the baselines over the paper's
+// special-matrix gallery (Table III) and see where LU pivoting strategies
+// break and where the robustness criterion steps in.
+//
+//   ./stability_tour [N] [nb] [matrix-name]
+//
+// Without a matrix name, tours the whole gallery; with one (e.g.
+// "wilkinson", "fiedler", "hilb"), zooms in on a single matrix and prints
+// the per-step LU/QR decisions of the hybrid run.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "luqr.hpp"
+
+namespace {
+
+using namespace luqr;
+
+void tour_one(gen::MatrixKind kind, int n, int nb, bool verbose) {
+  const auto a = gen::generate(kind, n, 42);
+  Matrix<double> b(n, 1);
+  Rng rng(7);
+  for (int i = 0; i < n; ++i) b(i, 0) = rng.gaussian();
+
+  MaxCriterion criterion(50.0);
+  core::HybridOptions opt;
+  opt.grid_p = 4;
+  const auto hybrid = core::hybrid_solve(a, b, criterion, nb, opt);
+
+  const double h_hybrid = verify::hpl3(a, hybrid.x, b);
+  const double h_nopiv = verify::hpl3(a, baselines::lu_nopiv_solve(a, b, nb).x, b);
+  const double h_lupp = verify::hpl3(a, baselines::lupp_solve(a, b, nb).x, b);
+  const double h_hqr = verify::hpl3(a, baselines::hqr_solve(a, b, nb).x, b);
+
+  std::printf("%-12s  hybrid(max50): %9.2e (%3.0f%% LU)   nopiv: %9.2e   "
+              "lupp: %9.2e   hqr: %9.2e\n",
+              gen::kind_name(kind).c_str(), h_hybrid,
+              100.0 * hybrid.stats.lu_fraction(), h_nopiv, h_lupp, h_hqr);
+  if (verbose) {
+    std::printf("\nper-step decisions (inv-norm of diagonal tile in brackets):\n");
+    for (const auto& s : hybrid.stats.steps)
+      std::printf("  step %2d: %s  [||A_kk^-1|| ~ %.2e, max below %.2e]\n", s.k,
+                  core::to_string(s.kind).c_str(), s.inv_norm_akk, s.max_below);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int n = argc > 1 ? std::atoi(argv[1]) : 384;
+  const int nb = argc > 2 ? std::atoi(argv[2]) : 32;
+
+  std::printf("stability tour: N = %d, nb = %d (HPL3 values; O(1) = accurate, "
+              "large/inf = failed)\n\n", n, nb);
+  if (argc > 3) {
+    tour_one(luqr::gen::kind_from_name(argv[3]), n, nb, /*verbose=*/true);
+    return 0;
+  }
+  for (auto kind : luqr::gen::special_set()) tour_one(kind, n, nb, false);
+  tour_one(luqr::gen::MatrixKind::Fiedler, n, nb, false);
+  std::printf("\nNote how the hybrid tracks HQR-grade stability on the\n"
+              "pathological rows while spending LU steps wherever it is safe.\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Alpha tuning assistant: sweep the robustness threshold for a chosen
+// criterion on a chosen matrix family and print the stability/performance
+// trade-off curve — the workflow the paper leaves to the user ("the choice
+// of alpha is left to the user", §VII).
+//
+//   ./tune_alpha [criterion] [matrix] [N] [nb]
+//
+// criterion in {max, sum, mumps, random}; matrix is any generator name
+// (random, wilkinson, hilb, ...). For each alpha the program reports the
+// measured %LU steps, the real HPL3, and the *predicted* time on the Dancer
+// platform at that LU fraction.
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "luqr.hpp"
+
+int main(int argc, char** argv) {
+  using namespace luqr;
+  const std::string criterion = argc > 1 ? argv[1] : "max";
+  const std::string matrix = argc > 2 ? argv[2] : "random";
+  const int n = argc > 3 ? std::atoi(argv[3]) : 512;
+  const int nb = argc > 4 ? std::atoi(argv[4]) : 48;
+
+  const auto kind = gen::kind_from_name(matrix);
+  const auto a = gen::generate(kind, n, 11);
+  Matrix<double> b(n, 1);
+  Rng rng(12);
+  for (int i = 0; i < n; ++i) b(i, 0) = rng.gaussian();
+
+  std::vector<double> alphas;
+  if (criterion == "random") {
+    alphas = {1.0, 0.75, 0.5, 0.25, 0.0};
+  } else if (criterion == "mumps") {
+    alphas = {std::numeric_limits<double>::infinity(), 1000.0, 100.0, 10.0, 2.1,
+              0.5, 0.0};
+  } else {
+    alphas = {std::numeric_limits<double>::infinity(), 1000.0, 200.0, 50.0, 10.0,
+              1.0, 0.0};
+  }
+
+  std::printf("tune_alpha: criterion = %s, matrix = %s, N = %d, nb = %d\n\n",
+              criterion.c_str(), matrix.c_str(), n, nb);
+  TextTable t;
+  t.header({"alpha", "% LU", "HPL3", "pred. Dancer time (s)", "pred. GFLOP/s"});
+
+  const sim::Platform pl = sim::Platform::dancer();
+  sim::DagConfig cfg;
+  cfg.n = 84;
+  cfg.nb = 240;
+
+  for (double alpha : alphas) {
+    auto crit = make_criterion(criterion, alpha);
+    core::HybridOptions opt;
+    opt.grid_p = 4;
+    opt.grid_q = 4;
+    const auto r = core::hybrid_solve(a, b, *crit, nb, opt);
+    const double h = verify::hpl3(a, r.x, b);
+    const auto pred = sim::simulate_algorithm(
+        sim::Algo::LuQr, cfg, pl,
+        sim::spread_lu_steps(cfg.n, r.stats.lu_fraction()));
+    char tag[32];
+    if (std::isinf(alpha)) {
+      std::snprintf(tag, sizeof(tag), "inf");
+    } else {
+      std::snprintf(tag, sizeof(tag), "%g", alpha);
+    }
+    t.row({tag, fmt_fixed(100.0 * r.stats.lu_fraction(), 1), fmt_sci(h, 2),
+           fmt_fixed(pred.seconds, 2), fmt_fixed(pred.gflops_fake, 1)});
+  }
+  std::printf("%s", t.str().c_str());
+  std::printf("\npick the largest alpha whose HPL3 you can live with: everything\n"
+              "above it buys speed, everything below buys safety margin.\n");
+  return 0;
+}

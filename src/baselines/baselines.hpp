@@ -1,0 +1,42 @@
+// Baseline solvers compared against the hybrid algorithm (paper §V-B, §VI):
+//
+//   LU NoPiv : pivoting only inside the diagonal tile; fast, unstable.
+//   LU IncPiv: incremental (pairwise) pivoting across the panel tiles via
+//              GETRF/GESSM/TSTRF/SSSSM — communication-avoiding but its
+//              stability degrades with the number of tiles.
+//   LUPP     : LU with partial pivoting across the *whole* panel (the
+//              ScaLAPACK PDGETRF reference; stability yardstick).
+//   HQR      : the pure hierarchical tiled QR solver (always stable, 2x
+//              flops) with the same reduction trees as the hybrid's QR steps.
+//
+// LU NoPiv and LUPP are thin configurations of the hybrid driver (PivotScope
+// Tile/Panel with the always-LU criterion — one code path, three
+// algorithms); LU IncPiv and HQR have dedicated loops. All baselines carry
+// the RHS through the factorization and finish with the same tile
+// back-substitution, so their HPL3 values are directly comparable.
+#pragma once
+
+#include "core/solve.hpp"
+#include "hqr/trees.hpp"
+
+namespace luqr::baselines {
+
+/// LU with pivoting confined to the diagonal tile (efficient, unstable).
+core::SolveResult lu_nopiv_solve(const Matrix<double>& a, const Matrix<double>& b,
+                                 int nb);
+
+/// LU with partial pivoting across the whole elimination panel (the
+/// stability reference; "LUPP" throughout the paper).
+core::SolveResult lupp_solve(const Matrix<double>& a, const Matrix<double>& b,
+                             int nb);
+
+/// LU with incremental pairwise pivoting (PLASMA-style).
+core::SolveResult lu_incpiv_solve(const Matrix<double>& a, const Matrix<double>& b,
+                                  int nb);
+
+/// Pure hierarchical QR solve (no panel stage, no backup/restore overhead).
+core::SolveResult hqr_solve(const Matrix<double>& a, const Matrix<double>& b,
+                            int nb, int grid_p = 1, int grid_q = 1,
+                            const hqr::TreeConfig& tree = {});
+
+}  // namespace luqr::baselines

@@ -1,0 +1,28 @@
+#include "baselines/baselines.hpp"
+#include "core/qr_step.hpp"
+#include "tile/process_grid.hpp"
+
+namespace luqr::baselines {
+
+core::SolveResult hqr_solve(const Matrix<double>& a, const Matrix<double>& b,
+                            int nb, int grid_p, int grid_q,
+                            const hqr::TreeConfig& tree) {
+  TileMatrix<double> aug = core::make_augmented(a, b, nb);
+  const int n = aug.mt();
+  const ProcessGrid grid(grid_p, grid_q);
+
+  core::SolveResult result;
+  for (int k = 0; k < n; ++k) {
+    core::apply_qr_step(aug, k, grid.panel_domains(k, n), tree);
+    core::StepRecord rec;
+    rec.k = k;
+    rec.kind = core::StepKind::QR;
+    result.stats.steps.push_back(rec);
+    ++result.stats.qr_steps;
+  }
+  core::back_substitute(aug);
+  result.x = core::extract_solution(aug, a.rows(), b.cols());
+  return result;
+}
+
+}  // namespace luqr::baselines

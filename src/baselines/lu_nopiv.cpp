@@ -1,0 +1,13 @@
+#include "baselines/baselines.hpp"
+
+namespace luqr::baselines {
+
+core::SolveResult lu_nopiv_solve(const Matrix<double>& a, const Matrix<double>& b,
+                                 int nb) {
+  AlwaysLU criterion;
+  core::HybridOptions options;
+  options.scope = core::PivotScope::Tile;
+  return core::hybrid_solve(a, b, criterion, nb, options);
+}
+
+}  // namespace luqr::baselines

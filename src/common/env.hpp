@@ -1,0 +1,20 @@
+// Environment-variable helpers used by the benchmark harness so every bench
+// binary can run standalone with laptop-scale defaults yet scale up without
+// recompilation (LUQR_N, LUQR_NB, LUQR_SAMPLES, LUQR_SCALE, ...).
+#pragma once
+
+#include <string>
+
+namespace luqr {
+
+/// Read an integer environment variable, returning `fallback` when the
+/// variable is unset or unparsable.
+long env_long(const char* name, long fallback);
+
+/// Read a floating-point environment variable.
+double env_double(const char* name, double fallback);
+
+/// Read a string environment variable.
+std::string env_string(const char* name, const std::string& fallback);
+
+}  // namespace luqr

@@ -1,0 +1,36 @@
+// Error handling for the luqr library.
+//
+// The library reports programmer errors (bad dimensions, invalid arguments)
+// via luqr::Error exceptions carrying a formatted message, and uses
+// LUQR_REQUIRE for precondition checks that stay enabled in release builds:
+// a dense solver silently reading out of bounds is worse than the branch.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace luqr {
+
+/// Exception thrown on precondition violations and unrecoverable
+/// numerical failures (e.g. an exactly singular pivot in a NoPiv sweep).
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void fail(const char* cond, const char* file, int line,
+                              const std::string& msg) {
+  throw Error(std::string(file) + ":" + std::to_string(line) +
+              ": requirement failed: " + cond + (msg.empty() ? "" : " — " + msg));
+}
+}  // namespace detail
+
+}  // namespace luqr
+
+/// Precondition check, always enabled. Usage:
+///   LUQR_REQUIRE(m >= 0, "matrix row count must be nonnegative");
+#define LUQR_REQUIRE(cond, msg)                                      \
+  do {                                                               \
+    if (!(cond)) ::luqr::detail::fail(#cond, __FILE__, __LINE__, msg); \
+  } while (0)

@@ -1,0 +1,57 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace luqr {
+
+void TextTable::header(std::vector<std::string> cells) { header_ = std::move(cells); }
+
+void TextTable::row(std::vector<std::string> cells) {
+  cells.resize(header_.empty() ? cells.size() : header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::str() const {
+  const std::size_t ncol =
+      header_.empty() ? (rows_.empty() ? 0 : rows_[0].size()) : header_.size();
+  std::vector<std::size_t> width(ncol, 0);
+  auto widen = [&](const std::vector<std::string>& r) {
+    for (std::size_t c = 0; c < std::min(ncol, r.size()); ++c)
+      width[c] = std::max(width[c], r[c].size());
+  };
+  if (!header_.empty()) widen(header_);
+  for (const auto& r : rows_) widen(r);
+
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& r) {
+    for (std::size_t c = 0; c < ncol; ++c) {
+      const std::string& cell = c < r.size() ? r[c] : std::string();
+      out << cell << std::string(width[c] - cell.size(), ' ');
+      out << (c + 1 == ncol ? "\n" : "  ");
+    }
+  };
+  if (!header_.empty()) {
+    emit(header_);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < ncol; ++c) total += width[c] + (c + 1 == ncol ? 0 : 2);
+    out << std::string(total, '-') << "\n";
+  }
+  for (const auto& r : rows_) emit(r);
+  return out.str();
+}
+
+std::string fmt_fixed(double v, int prec) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+  return buf;
+}
+
+std::string fmt_sci(double v, int prec) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*e", prec, v);
+  return buf;
+}
+
+}  // namespace luqr

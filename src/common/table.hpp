@@ -1,0 +1,37 @@
+// Aligned text tables for the benchmark harness.
+//
+// Every bench binary prints the same rows/series the paper reports; this
+// tiny formatter keeps the output readable and diffable (fixed column
+// widths, right-aligned numerics, scientific notation for residuals).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace luqr {
+
+/// Column-aligned text table. Add a header row, then data rows; str()
+/// renders everything with per-column widths.
+class TextTable {
+ public:
+  /// Set the header row; defines the column count.
+  void header(std::vector<std::string> cells);
+
+  /// Append a data row (padded/truncated to the column count).
+  void row(std::vector<std::string> cells);
+
+  /// Render with single-space-padded columns and a rule under the header.
+  std::string str() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with %.<prec>f semantics.
+std::string fmt_fixed(double v, int prec = 2);
+
+/// Format a double in scientific notation with %.<prec>e semantics.
+std::string fmt_sci(double v, int prec = 2);
+
+}  // namespace luqr

@@ -1,0 +1,80 @@
+#include <cmath>
+
+#include "core/autotune.hpp"
+#include "core/solve.hpp"
+#include "criteria/criteria.hpp"
+
+namespace luqr::core {
+
+namespace {
+
+// LU fraction of a factorization of the sample at threshold alpha.
+double fraction_at(const Matrix<double>& sample, const std::string& kind,
+                   double alpha, int nb, const HybridOptions& options) {
+  auto criterion = make_criterion(kind, alpha);
+  // Factor a throwaway copy; a 1-column zero RHS keeps make_augmented happy.
+  Matrix<double> b(sample.rows(), 1);
+  TileMatrix<double> aug = make_augmented(sample, b, nb);
+  const auto stats = hybrid_factor(aug, *criterion, options);
+  return stats.lu_fraction();
+}
+
+}  // namespace
+
+AutoTuneResult auto_tune_alpha(const Matrix<double>& sample,
+                               const std::string& criterion_kind,
+                               double target_lu_fraction, int nb,
+                               const HybridOptions& options,
+                               int max_evaluations) {
+  LUQR_REQUIRE(target_lu_fraction >= 0.0 && target_lu_fraction <= 1.0,
+               "target LU fraction must be in [0, 1]");
+  LUQR_REQUIRE(criterion_kind == "max" || criterion_kind == "sum" ||
+                   criterion_kind == "mumps",
+               "auto_tune_alpha supports the max/sum/mumps criteria");
+  LUQR_REQUIRE(max_evaluations >= 4, "need at least 4 evaluations");
+
+  AutoTuneResult result;
+  auto evaluate = [&](double alpha) {
+    ++result.evaluations;
+    return fraction_at(sample, criterion_kind, alpha, nb, options);
+  };
+
+  // Bracket the target: fraction is monotone nondecreasing in alpha.
+  double lo = 1e-8, hi = 1e8;
+  double f_lo = evaluate(lo);
+  double f_hi = evaluate(hi);
+  if (f_lo >= target_lu_fraction) {
+    result.alpha = lo;
+    result.achieved_lu_fraction = f_lo;
+    return result;
+  }
+  if (f_hi <= target_lu_fraction) {
+    result.alpha = hi;
+    result.achieved_lu_fraction = f_hi;
+    return result;
+  }
+
+  // Log-space bisection; track the best point seen.
+  result.alpha = hi;
+  result.achieved_lu_fraction = f_hi;
+  double best_err = std::abs(f_hi - target_lu_fraction);
+  while (result.evaluations < max_evaluations) {
+    const double mid = std::sqrt(lo * hi);
+    const double f_mid = evaluate(mid);
+    const double err = std::abs(f_mid - target_lu_fraction);
+    if (err < best_err) {
+      best_err = err;
+      result.alpha = mid;
+      result.achieved_lu_fraction = f_mid;
+    }
+    if (f_mid < target_lu_fraction) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+    if (hi / lo < 1.05) break;  // threshold resolved
+  }
+  return result;
+}
+
+}  // namespace luqr::core

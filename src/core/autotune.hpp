@@ -1,0 +1,38 @@
+// Alpha auto-tuning — the paper's §VII future-work item: "the choice of the
+// robustness parameter alpha is left to the user, and it would be very
+// interesting to be able to auto-tune a possible range of values as a
+// function of the problem and platform parameters".
+//
+// The tuner exploits the monotonicity of the LU-step fraction in alpha
+// (asserted by the test suite): it factors a representative sample problem
+// at candidate thresholds and bisects in log space until the achieved
+// fraction brackets the target. Typical use: sample a smaller matrix from
+// the same distribution as the production problem, pick the target LU
+// fraction from the performance model (sim::simulate_algorithm), and tune.
+#pragma once
+
+#include <string>
+
+#include "core/hybrid.hpp"
+#include "kernels/dense.hpp"
+
+namespace luqr::core {
+
+struct AutoTuneResult {
+  double alpha = 0.0;                ///< tuned threshold
+  double achieved_lu_fraction = 0.0; ///< LU fraction at `alpha` on the sample
+  int evaluations = 0;               ///< factorizations spent
+};
+
+/// Find an alpha for `criterion_kind` ("max", "sum" or "mumps") whose LU
+/// fraction on the sample problem is as close as possible to
+/// `target_lu_fraction` (in [0, 1]). The step count of the sample quantizes
+/// achievable fractions to multiples of 1/n_tiles; the tuner returns the
+/// closest achievable point. Deterministic.
+AutoTuneResult auto_tune_alpha(const Matrix<double>& sample,
+                               const std::string& criterion_kind,
+                               double target_lu_fraction, int nb,
+                               const HybridOptions& options = {},
+                               int max_evaluations = 24);
+
+}  // namespace luqr::core

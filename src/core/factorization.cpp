@@ -1,0 +1,171 @@
+#include "core/factorization.hpp"
+
+#include "kernels/blas.hpp"
+#include "kernels/lapack.hpp"
+
+namespace luqr::core {
+
+using kern::ConstMatrixView;
+using kern::Diag;
+using kern::Side;
+using kern::Trans;
+using kern::Uplo;
+
+namespace {
+
+// Back-substitution with the factored matrix and the RHS in *separate* tile
+// containers (the augmented-driver version lives in hybrid.cpp); handles
+// the block-triangular diagonal of B-variant steps via the stats.
+void solve_triangular(const TileMatrix<double>& a, const FactorizationStats& stats,
+                      TileMatrix<double>& b) {
+  const int n = a.mt();
+  for (int k = n - 1; k >= 0; --k) {
+    const auto diag = a.tile(k, k);
+    const StepRecord* rec = nullptr;
+    if (k < static_cast<int>(stats.steps.size()) &&
+        stats.steps[static_cast<std::size_t>(k)].kind == StepKind::LU) {
+      rec = &stats.steps[static_cast<std::size_t>(k)];
+    }
+    const bool b1 = rec && rec->variant == LuVariant::B1;
+    const bool b2 = rec && rec->variant == LuVariant::B2;
+    for (int col = 0; col < b.nt(); ++col) {
+      auto bk = b.tile(k, col);
+      for (int j = k + 1; j < n; ++j)
+        kern::gemm(Trans::No, Trans::No, -1.0,
+                   ConstMatrixView<double>(a.tile(k, j)),
+                   ConstMatrixView<double>(b.tile(j, col)), 1.0, bk);
+      if (b1) {
+        kern::laswp(bk, rec->diag_piv, /*forward=*/true);
+        kern::trsm(Side::Left, Uplo::Lower, Trans::No, Diag::Unit, 1.0,
+                   ConstMatrixView<double>(diag), bk);
+      } else if (b2) {
+        kern::unmqr(Trans::Yes, ConstMatrixView<double>(diag),
+                    rec->diag_t->cview(), bk);
+      }
+      kern::trsm(Side::Left, Uplo::Upper, Trans::No, Diag::NonUnit, 1.0,
+                 ConstMatrixView<double>(diag), bk);
+    }
+  }
+}
+
+}  // namespace
+
+Factorization Factorization::compute(const Matrix<double>& a, Criterion& criterion,
+                                     int nb, const HybridOptions& options) {
+  LUQR_REQUIRE(a.rows() == a.cols(), "Factorization: matrix must be square");
+  Factorization f;
+  f.n_scalar_ = a.rows();
+  f.original_ = a;
+  f.options_ = options;
+  f.factored_ = TileMatrix<double>::from_dense(a, nb);
+  f.stats_ = hybrid_factor(f.factored_, criterion, options, &f.log_);
+  return f;
+}
+
+void Factorization::apply_transformations(TileMatrix<double>& b) const {
+  const int n = factored_.mt();
+  const int nb = factored_.nb();
+  LUQR_REQUIRE(b.mt() == n && b.nb() == nb, "rhs tiling mismatch");
+
+  for (int k = 0; k < n; ++k) {
+    const StepLog& step = log_[static_cast<std::size_t>(k)];
+    if (step.lu) {
+      const LuVariant variant = stats_.steps[static_cast<std::size_t>(k)].variant;
+      if (variant == LuVariant::A1) {
+        // Replay the stacked domain interchanges on the RHS rows.
+        for (int s = 0; s < static_cast<int>(step.piv.size()); ++s) {
+          const int p = step.piv[static_cast<std::size_t>(s)];
+          const int t1 = step.domain_rows[static_cast<std::size_t>(s / nb)];
+          const int t2 = step.domain_rows[static_cast<std::size_t>(p / nb)];
+          const int r1 = s % nb, r2 = p % nb;
+          if (t1 == t2 && r1 == r2) continue;
+          for (int col = 0; col < b.nt(); ++col) {
+            auto tile1 = b.tile(t1, col);
+            auto tile2 = b.tile(t2, col);
+            for (int c = 0; c < nb; ++c) std::swap(tile1(r1, c), tile2(r2, c));
+          }
+        }
+        // b_k <- L11^{-1} b_k.
+        for (int col = 0; col < b.nt(); ++col) {
+          auto bk = b.tile(k, col);
+          kern::trsm(Side::Left, Uplo::Lower, Trans::No, Diag::Unit, 1.0,
+                     ConstMatrixView<double>(factored_.tile(k, k)), bk);
+        }
+      } else if (variant == LuVariant::A2) {
+        // b_k <- Q^T b_k from the diagonal GEQRT.
+        for (int col = 0; col < b.nt(); ++col)
+          kern::unmqr(Trans::Yes, ConstMatrixView<double>(factored_.tile(k, k)),
+                      step.diag_t->cview(), b.tile(k, col));
+      }
+      // B1/B2: row k is untouched (block LU).
+      // Eliminations: b_i -= A_ik b_k with the stored L blocks.
+      for (int i = k + 1; i < n; ++i) {
+        for (int col = 0; col < b.nt(); ++col) {
+          auto bi = b.tile(i, col);
+          kern::gemm(Trans::No, Trans::No, -1.0,
+                     ConstMatrixView<double>(factored_.tile(i, k)),
+                     ConstMatrixView<double>(b.tile(k, col)), 1.0, bi);
+        }
+      }
+    } else {
+      // Replay the QR step's orthogonal operations in execution order.
+      for (const QrOp& op : step.qr_ops) {
+        for (int col = 0; col < b.nt(); ++col) {
+          switch (op.kind) {
+            case QrOp::Kind::Geqrt:
+              kern::unmqr(Trans::Yes,
+                          ConstMatrixView<double>(factored_.tile(op.killer, k)),
+                          op.t->cview(), b.tile(op.killer, col));
+              break;
+            case QrOp::Kind::Ts:
+              kern::tsmqr(Trans::Yes,
+                          ConstMatrixView<double>(factored_.tile(op.killed, k)),
+                          op.t->cview(), b.tile(op.killer, col),
+                          b.tile(op.killed, col));
+              break;
+            case QrOp::Kind::Tt:
+              kern::ttmqr(Trans::Yes,
+                          ConstMatrixView<double>(factored_.tile(op.killed, k)),
+                          op.t->cview(), b.tile(op.killer, col),
+                          b.tile(op.killed, col));
+              break;
+          }
+        }
+      }
+    }
+  }
+}
+
+Matrix<double> Factorization::solve(const Matrix<double>& b,
+                                    int refinement_sweeps) const {
+  LUQR_REQUIRE(b.rows() == n_scalar_, "rhs row count mismatch");
+  const int nb = factored_.nb();
+  const int mt = factored_.mt();
+  const int bt = (b.cols() + nb - 1) / nb;
+
+  auto solve_once = [&](const Matrix<double>& rhs) {
+    TileMatrix<double> bt_tiles(mt, bt, nb);
+    for (int j = 0; j < rhs.cols(); ++j)
+      for (int i = 0; i < rhs.rows(); ++i) bt_tiles.at(i, j) = rhs(i, j);
+    apply_transformations(bt_tiles);
+    solve_triangular(factored_, stats_, bt_tiles);
+    Matrix<double> x(n_scalar_, rhs.cols());
+    for (int j = 0; j < rhs.cols(); ++j)
+      for (int i = 0; i < n_scalar_; ++i) x(i, j) = bt_tiles.at(i, j);
+    return x;
+  };
+
+  Matrix<double> x = solve_once(b);
+  for (int sweep = 0; sweep < refinement_sweeps; ++sweep) {
+    // r = b - A x, d = A^{-1} r (reusing the factorization), x += d.
+    Matrix<double> r = b;
+    kern::gemm(Trans::No, Trans::No, -1.0, original_.cview(), x.cview(), 1.0,
+               r.view());
+    const Matrix<double> d = solve_once(r);
+    for (int j = 0; j < x.cols(); ++j)
+      for (int i = 0; i < x.rows(); ++i) x(i, j) += d(i, j);
+  }
+  return x;
+}
+
+}  // namespace luqr::core

@@ -1,0 +1,56 @@
+// Retained hybrid factorization: factor A once, solve many times.
+//
+// The fused-RHS driver (hybrid_solve) is the paper's experimental setup;
+// this class is the §II-D-1 alternative it mentions: "at the end of the
+// factorization, all needed information about the transformations is stored
+// in place of A, so one can apply the transformations on b during a second
+// pass". The factored tiles plus the TransformLog are exactly that
+// information.
+//
+// Also provides classical iterative refinement (Wilkinson): with the
+// original A retained, each refinement sweep solves A d = b - A x using the
+// existing factorization and updates x — squeezing extra accuracy out of
+// LU-heavy (less stable) factorizations at O(N^2) cost per sweep.
+#pragma once
+
+#include <memory>
+
+#include "core/hybrid.hpp"
+#include "core/transform_log.hpp"
+#include "kernels/dense.hpp"
+
+namespace luqr::core {
+
+/// A hybrid LU-QR factorization retained for repeated solves.
+class Factorization {
+ public:
+  /// Factor `a` (square). The criterion decides LU vs QR per step exactly
+  /// as in hybrid_solve. `a` itself is copied, padded and factored;
+  /// the original is kept for residual computation (refinement).
+  static Factorization compute(const Matrix<double>& a, Criterion& criterion,
+                               int nb, const HybridOptions& options = {});
+
+  /// Solve A X = B for a fresh right-hand side by replaying the recorded
+  /// transformations and back-substituting. `refinement_sweeps` extra
+  /// passes of iterative refinement are applied (0 = plain solve).
+  Matrix<double> solve(const Matrix<double>& b, int refinement_sweeps = 0) const;
+
+  const FactorizationStats& stats() const { return stats_; }
+  int order() const { return n_scalar_; }
+  int tile_size() const { return factored_.nb(); }
+
+ private:
+  Factorization() = default;
+
+  /// Apply the recorded row transformations of all steps to a tiled RHS.
+  void apply_transformations(TileMatrix<double>& b) const;
+
+  int n_scalar_ = 0;
+  TileMatrix<double> factored_;  ///< n x n tiles, upper part = U/R, lower = L/V
+  Matrix<double> original_;      ///< the unfactored A (for refinement)
+  FactorizationStats stats_;
+  TransformLog log_;
+  HybridOptions options_;
+};
+
+}  // namespace luqr::core

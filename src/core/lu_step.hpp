@@ -1,0 +1,38 @@
+// The LU elimination step, variant A1 (paper §II-A, Algorithm 2), applied
+// after the panel stage has been accepted by the criterion:
+//
+//   swaps     : the domain row interchanges are replayed on the trailing
+//               columns (local to the diagonal domain's node — this is the
+//               communication saving over LUPP)
+//   Apply     : A_kj <- L11^{-1} P A_kj                  (SWPTRSM)
+//   Eliminate : A_ik <- A_ik U^{-1}  for non-domain rows (TRSM); domain rows
+//               already hold their L block from the stacked factorization
+//   Update    : A_ij <- A_ij - A_ik A_kj                 (GEMM, fully parallel)
+//
+// Trailing columns include any right-hand-side tile columns riding along.
+#pragma once
+
+#include "core/panel.hpp"
+#include "tile/tile_matrix.hpp"
+
+namespace luqr::core {
+
+/// Apply the accepted LU step to the trailing matrix (all tile columns
+/// j > k, including augmented RHS columns). Variant A1.
+void apply_lu_step(TileMatrix<double>& a, const PanelFactorization& pf);
+
+/// Variant A2 (paper §II-C-1): the diagonal tile was GEQRT-factored
+/// (factor_panel_qr_tile); apply Q^T to row k, eliminate against R, GEMM
+/// update. Same dependencies and result shape as A1.
+void apply_lu_step_a2(TileMatrix<double>& a, const PanelFactorization& pf);
+
+/// Variant B1 (paper §II-C-2, block LU): the diagonal tile was
+/// GETRF-factored with tile-local pivoting; the eliminate stage multiplies
+/// by the full A_kk^{-1} and row k is left untouched, so the final matrix is
+/// only block upper triangular.
+void apply_lu_step_b1(TileMatrix<double>& a, const PanelFactorization& pf);
+
+/// Variant B2: block LU with a GEQRT-factored diagonal tile.
+void apply_lu_step_b2(TileMatrix<double>& a, const PanelFactorization& pf);
+
+}  // namespace luqr::core

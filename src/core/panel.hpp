@@ -1,0 +1,51 @@
+// The LU-On-Panel stage (paper §IV, Figure 1).
+//
+// At step k the diagonal-domain tiles of the panel are backed up, the
+// stacked domain panel is LU-factored with partial pivoting (the paper uses
+// PLASMA's recursive multi-threaded GETRF; we use our stacked GETRF — same
+// mathematics), and the statistics every robustness criterion needs are
+// collected from the whole panel. The factored tiles are written back in
+// place; if the criterion later chooses QR, Propagate restores the backup.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "criteria/criteria.hpp"
+#include "tile/tile_matrix.hpp"
+
+namespace luqr::core {
+
+/// Result of the panel factor stage at step k.
+struct PanelFactorization {
+  int k = 0;
+  std::vector<int> domain_rows;  ///< tile rows of the diagonal domain, k first
+  std::vector<int> piv;          ///< stacked-row pivots (0-based within the stack)
+  int info = 0;                  ///< getrf info (0, or first zero pivot)
+  PanelInfo stats;               ///< criterion inputs (norms, pivots, maxima)
+  /// A2/B2: the diagonal tile was factored with GEQRT instead; this is its
+  /// block-reflector factor (empty for LU-factored panels).
+  std::shared_ptr<Matrix<double>> diag_t;
+};
+
+/// Back up the domain tiles of column k into `backup`, gather the panel
+/// statistics (tile 1-norms below the diagonal, per-column local/away
+/// maxima), factor the stacked domain panel in place, and estimate
+/// ||(A_kk^{(k)})^{-1}||_1 from the factors.
+///
+/// On return the domain tiles of column k hold the L\U factors of the
+/// stacked panel; all other tiles are untouched. Row interchanges have NOT
+/// been applied to trailing columns yet (that is the LU path's Apply).
+PanelFactorization factor_panel(TileMatrix<double>& a, int k,
+                                const std::vector<int>& domain_rows,
+                                bool exact_inv_norm,
+                                std::vector<std::vector<double>>& backup);
+
+/// Variant A2/B2 factor stage: GEQRT on the diagonal tile only (no
+/// pivoting). Panel statistics are collected exactly as in factor_panel;
+/// ||A_kk^{-1}||_1 is taken as ||R^{-1}||_1 (equal up to the orthogonal
+/// factor) and the MUMPS pivots as |R_jj|.
+PanelFactorization factor_panel_qr_tile(TileMatrix<double>& a, int k,
+                                        std::vector<std::vector<double>>& backup);
+
+}  // namespace luqr::core

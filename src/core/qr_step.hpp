@@ -1,0 +1,28 @@
+// The QR elimination step (paper §II-B): a hierarchical tiled QR reduction
+// of the panel following an HQR elimination list — local trees inside each
+// domain, then a distributed tree across domain heads.
+//
+// Tiles are GEQRT'd lazily the first time they act in a TT elimination (or
+// as a TS eliminator); every factor kernel is paired with its trailing
+// updates (UNMQR / TSMQR / TTMQR) over all columns j > k, including RHS
+// columns.
+#pragma once
+
+#include <vector>
+
+#include "core/transform_log.hpp"
+#include "hqr/trees.hpp"
+#include "tile/tile_matrix.hpp"
+
+namespace luqr::core {
+
+/// Apply a full QR elimination step at panel k over the given domains
+/// (first group = diagonal domain; groups as produced by
+/// ProcessGrid::panel_domains). When `log` is non-null, the block-reflector
+/// factors are retained and every orthogonal operation is recorded in
+/// execution order so the step can be replayed on a fresh RHS.
+void apply_qr_step(TileMatrix<double>& a, int k,
+                   const std::vector<std::vector<int>>& domains,
+                   const hqr::TreeConfig& tree, StepLog* log = nullptr);
+
+}  // namespace luqr::core

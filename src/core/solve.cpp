@@ -1,0 +1,52 @@
+#include "core/solve.hpp"
+
+namespace luqr::core {
+
+TileMatrix<double> make_augmented(const Matrix<double>& a, const Matrix<double>& b,
+                                  int nb) {
+  LUQR_REQUIRE(a.rows() == a.cols(), "system matrix must be square");
+  LUQR_REQUIRE(b.rows() == a.rows(), "rhs row count mismatch");
+  LUQR_REQUIRE(nb > 0, "tile size must be positive");
+  const int n_scalar = a.rows();
+  const int mt = (n_scalar + nb - 1) / nb;
+  const int bt = (b.cols() + nb - 1) / nb;
+  TileMatrix<double> aug(mt, mt + bt, nb);
+  // Square part with identity padding (keeps the padded system nonsingular
+  // and the padded solution tail exactly zero).
+  for (int j = 0; j < mt * nb; ++j) {
+    for (int i = 0; i < mt * nb; ++i) {
+      if (i < n_scalar && j < n_scalar) {
+        aug.at(i, j) = a(i, j);
+      } else if (i == j) {
+        aug.at(i, j) = 1.0;
+      }
+    }
+  }
+  // RHS columns, zero padded.
+  for (int j = 0; j < b.cols(); ++j)
+    for (int i = 0; i < n_scalar; ++i) aug.at(i, mt * nb + j) = b(i, j);
+  return aug;
+}
+
+Matrix<double> extract_solution(const TileMatrix<double>& aug, int n_scalar,
+                                int nrhs) {
+  const int nb = aug.nb();
+  const int mt = aug.mt();
+  Matrix<double> x(n_scalar, nrhs);
+  for (int j = 0; j < nrhs; ++j)
+    for (int i = 0; i < n_scalar; ++i) x(i, j) = aug.at(i, mt * nb + j);
+  return x;
+}
+
+SolveResult hybrid_solve(const Matrix<double>& a, const Matrix<double>& b,
+                         Criterion& criterion, int nb,
+                         const HybridOptions& options) {
+  TileMatrix<double> aug = make_augmented(a, b, nb);
+  SolveResult result;
+  result.stats = hybrid_factor(aug, criterion, options);
+  back_substitute(aug, &result.stats);
+  result.x = extract_solution(aug, a.rows(), b.cols());
+  return result;
+}
+
+}  // namespace luqr::core

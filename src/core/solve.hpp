@@ -1,0 +1,36 @@
+// Public dense entry point: solve A x = b with the hybrid LU-QR algorithm.
+//
+// Handles tiling (including padding when N is not a multiple of nb, paper
+// §II-D-2), carries the right-hand side through the factorization (§II-D-1),
+// and finishes with a tile back-substitution.
+#pragma once
+
+#include "core/hybrid.hpp"
+#include "kernels/dense.hpp"
+
+namespace luqr::core {
+
+/// Result of a dense solve.
+struct SolveResult {
+  Matrix<double> x;          ///< N x nrhs solution
+  FactorizationStats stats;  ///< per-step LU/QR trace
+};
+
+/// Solve A x = b. `a` is N x N, `b` is N x nrhs, `nb` the tile size (any
+/// positive value; N is padded internally when nb does not divide it).
+SolveResult hybrid_solve(const Matrix<double>& a, const Matrix<double>& b,
+                         Criterion& criterion, int nb,
+                         const HybridOptions& options = {});
+
+/// Build the augmented tiled matrix [A | b] with identity padding on the
+/// square part and zero padding on the RHS rows. Exposed for drivers that
+/// want to run hybrid_factor / back_substitute themselves.
+TileMatrix<double> make_augmented(const Matrix<double>& a, const Matrix<double>& b,
+                                  int nb);
+
+/// Extract the N x nrhs solution from an augmented matrix after
+/// back_substitute.
+Matrix<double> extract_solution(const TileMatrix<double>& aug, int n_scalar,
+                                int nrhs);
+
+}  // namespace luqr::core

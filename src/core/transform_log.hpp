@@ -1,0 +1,40 @@
+// Transformation log: everything needed to replay a hybrid factorization's
+// row transformations on a fresh right-hand side (paper §II-D-1: "all
+// needed information about the transformations is stored in place of A, so
+// one can apply the transformations on b during a second pass").
+//
+// The in-place factored matrix already holds the L blocks and Householder
+// vectors; the log adds what is *not* in the tiles: the pivot sequences,
+// the block-reflector T factors, and the order of the QR eliminations.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "kernels/dense.hpp"
+
+namespace luqr::core {
+
+/// One orthogonal operation of a QR elimination step, in execution order.
+struct QrOp {
+  enum class Kind { Geqrt, Ts, Tt };
+  Kind kind = Kind::Geqrt;
+  int killer = 0;  ///< for Geqrt: the factored row (killed unused)
+  int killed = 0;
+  std::shared_ptr<Matrix<double>> t;  ///< block-reflector factor
+};
+
+/// Replay record for one elimination step.
+struct StepLog {
+  bool lu = true;
+  // LU-step data (variant-dependent; unused fields stay empty):
+  std::vector<int> domain_rows;  ///< A1: stacked domain rows (k first)
+  std::vector<int> piv;          ///< A1/B1: pivot sequence of the factor stage
+  std::shared_ptr<Matrix<double>> diag_t;  ///< A2/B2: diagonal GEQRT T factor
+  // QR-step data:
+  std::vector<QrOp> qr_ops;  ///< ordered orthogonal operations
+};
+
+using TransformLog = std::vector<StepLog>;
+
+}  // namespace luqr::core

@@ -1,0 +1,133 @@
+// Robustness criteria (paper §III): decide, at each panel step, whether an
+// LU elimination is numerically safe or a QR step must be taken.
+//
+// Every criterion sees a PanelInfo snapshot assembled during the LU-On-Panel
+// stage: the diagonal domain has been LU-factored with partial pivoting, and
+// the norms / column maxima of the rest of the panel have been reduced to
+// the diagonal node (the paper uses a Bruck all-reduce; the information
+// content is identical here).
+//
+//   Max   (Eq. 2):  alpha * ||A_kk^{-1}||_1^{-1} >= max_{i>k} ||A_ik||_1
+//                   growth bound (1+alpha)^{n-1} on tile norms
+//   Sum   (Eq. 3):  alpha * ||A_kk^{-1}||_1^{-1} >= sum_{i>k} ||A_ik||_1
+//                   linear growth for alpha = 1; accepts every step on
+//                   block diagonally dominant matrices
+//   MUMPS (Eq. 4):  per scalar column j: alpha * pivot_k(j) >= estimate_max_k(j),
+//                   where estimate_max is the off-domain column max advanced
+//                   by the local growth factors of the domain factorization
+//   Random:         LU with fixed probability (the paper's performance
+//                   yardstick for a given LU/QR mix — *not* a stability tool)
+//   AlwaysLU/AlwaysQR: the alpha = infinity / alpha = 0 endpoints.
+#pragma once
+
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace luqr {
+
+/// Panel statistics available to a criterion at step k, after the diagonal
+/// domain has been factored (LU with partial pivoting) but before any
+/// elimination/update has been applied.
+struct PanelInfo {
+  int k = 0;            ///< step index (tile coordinates)
+  int panel_rows = 0;   ///< number of tiles in the panel (n - k)
+  bool factor_failed = false;  ///< the domain factorization met a zero pivot
+
+  /// ||(A_kk^{(k)})^{-1}||_1 of the (domain-pivoted) diagonal tile, from its
+  /// LU factors (Higham estimator or exact, per HybridOptions).
+  double inv_norm_akk = 0.0;
+
+  /// ||A_ik||_1 for every panel tile strictly below the diagonal
+  /// (pre-factorization values, as collected during the panel reduction).
+  std::vector<double> below_tile_norms;
+
+  /// MUMPS statistics, per scalar column j of the panel (size nb):
+  std::vector<double> pivots;     ///< |U_jj| from the domain factorization
+  std::vector<double> local_max;  ///< max |a_ij| within the diagonal domain
+  std::vector<double> away_max;   ///< max |a_ij| outside the diagonal domain
+};
+
+/// Decision interface. accept_lu() returns true when the step may proceed
+/// with LU kernels; false forces a QR step.
+class Criterion {
+ public:
+  virtual ~Criterion() = default;
+  virtual bool accept_lu(const PanelInfo& info) = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Max criterion (Eq. 2) with threshold alpha (alpha = infinity accepts all
+/// steps; alpha = 0 rejects all).
+class MaxCriterion : public Criterion {
+ public:
+  explicit MaxCriterion(double alpha) : alpha_(alpha) {}
+  bool accept_lu(const PanelInfo& info) override;
+  std::string name() const override;
+
+ private:
+  double alpha_;
+};
+
+/// Sum criterion (Eq. 3).
+class SumCriterion : public Criterion {
+ public:
+  explicit SumCriterion(double alpha) : alpha_(alpha) {}
+  bool accept_lu(const PanelInfo& info) override;
+  std::string name() const override;
+
+ private:
+  double alpha_;
+};
+
+/// MUMPS criterion (Eq. 4).
+class MumpsCriterion : public Criterion {
+ public:
+  explicit MumpsCriterion(double alpha) : alpha_(alpha) {}
+  bool accept_lu(const PanelInfo& info) override;
+  std::string name() const override;
+
+ private:
+  double alpha_;
+};
+
+/// Random criterion: LU with probability `lu_probability` (deterministic
+/// given the seed). Still refuses a step whose domain factorization failed
+/// outright (a zero pivot would make the TRSMs divide by zero).
+class RandomCriterion : public Criterion {
+ public:
+  RandomCriterion(double lu_probability, std::uint64_t seed = 7);
+  bool accept_lu(const PanelInfo& info) override;
+  std::string name() const override;
+
+ private:
+  double prob_;
+  Rng rng_;
+};
+
+/// alpha = infinity endpoint: every step is LU, even on a singular domain
+/// factorization (failures surface as infinities in the accuracy metric,
+/// matching the paper's report of NoPiv/LUPP "failing" on Fiedler).
+class AlwaysLU : public Criterion {
+ public:
+  bool accept_lu(const PanelInfo& info) override;
+  std::string name() const override { return "always-lu"; }
+};
+
+/// alpha = 0 endpoint: every step is QR.
+class AlwaysQR : public Criterion {
+ public:
+  bool accept_lu(const PanelInfo&) override { return false; }
+  std::string name() const override { return "always-qr"; }
+};
+
+/// Factory used by benches/examples: kind in {"max","sum","mumps","random",
+/// "always-lu","always-qr"}; alpha is the threshold (or LU probability for
+/// "random").
+std::unique_ptr<Criterion> make_criterion(const std::string& kind, double alpha,
+                                          std::uint64_t seed = 7);
+
+}  // namespace luqr

@@ -1,0 +1,15 @@
+// Internal: generator implementations shared between generators.cpp
+// (ensembles) and special.cpp (Table III set + registry).
+#pragma once
+
+#include <cstdint>
+
+#include "kernels/dense.hpp"
+
+namespace luqr::gen::detail {
+
+Matrix<double> random_gaussian(int n, std::uint64_t seed);
+Matrix<double> diag_dominant(int n, std::uint64_t seed);
+Matrix<double> growth_example(int n, double alpha);
+
+}  // namespace luqr::gen::detail

@@ -1,0 +1,57 @@
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "gen/generators.hpp"
+
+namespace luqr::gen {
+
+namespace detail {
+
+Matrix<double> random_gaussian(int n, std::uint64_t seed) {
+  Matrix<double> a(n, n);
+  Rng rng(seed);
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < n; ++i) a(i, j) = rng.gaussian();
+  return a;
+}
+
+Matrix<double> diag_dominant(int n, std::uint64_t seed) {
+  Matrix<double> a = random_gaussian(n, seed);
+  // Strong column diagonal dominance: |a_jj| = 4 * sum_{i != j} |a_ij| + 1.
+  // The margin matters: the Sum criterion compares against *tile* 1-norms
+  // (each tile contributes its worst column), which can exceed any single
+  // scalar column sum by up to the tile-row count. The 4x margin keeps
+  // ||A_kk^{-1}||_1^{-1} >= sum_i ||A_ik||_1 — block diagonal dominance in
+  // the paper's §III-B sense — for every tiling used in tests and benches,
+  // so every criterion accepts every step.
+  for (int j = 0; j < n; ++j) {
+    double s = 0.0;
+    for (int i = 0; i < n; ++i)
+      if (i != j) s += std::abs(a(i, j));
+    a(j, j) = 4.0 * s + 1.0;
+  }
+  return a;
+}
+
+// The §III-A matrix that attains the (1+alpha)^{n-1} growth bound:
+// alpha^{-1} on the diagonal, -1 below it, 1 in the last column.
+Matrix<double> growth_example(int n, double alpha) {
+  if (alpha <= 0.0) alpha = 1.0;
+  Matrix<double> a(n, n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (j == n - 1) {
+        a(i, j) = 1.0;
+      } else if (i == j) {
+        a(i, j) = 1.0 / alpha;
+      } else if (i > j) {
+        a(i, j) = -1.0;
+      }
+    }
+  }
+  return a;
+}
+
+}  // namespace detail
+
+}  // namespace luqr::gen

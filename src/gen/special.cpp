@@ -1,0 +1,421 @@
+// The special matrices of Table III (Higham's Matrix Computation Toolbox /
+// MATLAB gallery definitions), 1-based formulas transcribed to 0-based code.
+#include <cmath>
+#include <map>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "gen/detail.hpp"
+#include "gen/generators.hpp"
+
+namespace luqr::gen {
+
+namespace {
+
+using detail::random_gaussian;
+
+// 1. house: A = I - beta v v^T, a single Householder reflection (orthogonal,
+// symmetric) built from a random unit-ish vector.
+Matrix<double> house(int n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v(static_cast<std::size_t>(n));
+  double vtv = 0.0;
+  for (auto& x : v) {
+    x = rng.gaussian();
+    vtv += x * x;
+  }
+  const double beta = 2.0 / vtv;
+  Matrix<double> a(n, n);
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < n; ++i)
+      a(i, j) = (i == j ? 1.0 : 0.0) -
+                beta * v[static_cast<std::size_t>(i)] * v[static_cast<std::size_t>(j)];
+  return a;
+}
+
+// 2. parter: Toeplitz, A(i,j) = 1/(i - j + 0.5); singular values near pi.
+Matrix<double> parter(int n) {
+  Matrix<double> a(n, n);
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < n; ++i) a(i, j) = 1.0 / ((i + 1) - (j + 1) + 0.5);
+  return a;
+}
+
+// 3. ris: A(i,j) = 0.5/(n - i - j + 1.5); eigenvalues cluster at +-pi/2.
+Matrix<double> ris(int n) {
+  Matrix<double> a(n, n);
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < n; ++i)
+      a(i, j) = 0.5 / (n - (i + 1) - (j + 1) + 1.5);
+  return a;
+}
+
+// 4. condex: Cline & Rew 4x4 counter-example to condition estimators,
+// embedded in the identity for n > 4 (gallery('condex', n, 1, theta)).
+Matrix<double> condex(int n, double theta = 100.0) {
+  LUQR_REQUIRE(n >= 4, "condex needs n >= 4");
+  Matrix<double> a = Matrix<double>::identity(n);
+  const double t = theta;
+  const double block[4][4] = {{1.0, -1.0, -2.0 * t, 0.0},
+                              {0.0, 1.0, t, -t},
+                              {0.0, 1.0, 1.0 + t, -(t + 1.0)},
+                              {0.0, 0.0, 0.0, t}};
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 4; ++j) a(i, j) = block[i][j];
+  return a;
+}
+
+// 5. circul: circulant matrix of a random vector, rows are cyclic shifts.
+Matrix<double> circul(int n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v(static_cast<std::size_t>(n));
+  for (auto& x : v) x = rng.gaussian();
+  Matrix<double> a(n, n);
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < n; ++i)
+      a(i, j) = v[static_cast<std::size_t>(((j - i) % n + n) % n)];
+  return a;
+}
+
+// 6. hankel: A(i,j) = c(i+j-1) for i+j-1 <= n else r(i+j-n), c,r random
+// with c(n) = r(1) (1-based as in the table).
+Matrix<double> hankel(int n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> c(static_cast<std::size_t>(n)), r(static_cast<std::size_t>(n));
+  for (auto& x : c) x = rng.gaussian();
+  for (auto& x : r) x = rng.gaussian();
+  r[0] = c[static_cast<std::size_t>(n - 1)];
+  Matrix<double> a(n, n);
+  for (int j = 0; j < n; ++j) {
+    for (int i = 0; i < n; ++i) {
+      const int s = i + j;  // 0-based anti-diagonal index, 0 .. 2n-2
+      a(i, j) = s < n ? c[static_cast<std::size_t>(s)]
+                      : r[static_cast<std::size_t>(s - n + 1)];
+    }
+  }
+  return a;
+}
+
+// 7. compan: companion matrix of a random degree-n polynomial.
+Matrix<double> compan(int n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> coeff(static_cast<std::size_t>(n + 1));
+  for (auto& x : coeff) x = rng.gaussian();
+  if (coeff[0] == 0.0) coeff[0] = 1.0;
+  Matrix<double> a(n, n);
+  for (int j = 0; j < n; ++j) a(0, j) = -coeff[static_cast<std::size_t>(j + 1)] / coeff[0];
+  for (int i = 1; i < n; ++i) a(i, i - 1) = 1.0;
+  return a;
+}
+
+// 8. lehmer: SPD, A(i,j) = min(i,j)/max(i,j); inverse is tridiagonal.
+Matrix<double> lehmer(int n) {
+  Matrix<double> a(n, n);
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < n; ++i)
+      a(i, j) = static_cast<double>(std::min(i, j) + 1) / (std::max(i, j) + 1);
+  return a;
+}
+
+// 9. dorr: ill-conditioned, row diagonally dominant tridiagonal matrix from
+// a convection-diffusion model problem (gallery('dorr', n, theta)).
+Matrix<double> dorr(int n, double theta = 0.01) {
+  Matrix<double> a(n, n);
+  const double h = 1.0 / (n + 1);
+  const int m = (n + 1) / 2;
+  const double term = theta / (h * h);
+  std::vector<double> sub(static_cast<std::size_t>(n), 0.0);
+  std::vector<double> sup(static_cast<std::size_t>(n), 0.0);
+  for (int i = 1; i <= n; ++i) {  // 1-based per the published formula
+    const double conv = (0.5 - i * h) / h;
+    if (i <= m) {
+      sub[static_cast<std::size_t>(i - 1)] = -term;
+      sup[static_cast<std::size_t>(i - 1)] = -term - conv;
+    } else {
+      sub[static_cast<std::size_t>(i - 1)] = -term + conv;
+      sup[static_cast<std::size_t>(i - 1)] = -term;
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    if (i > 0) a(i, i - 1) = sub[static_cast<std::size_t>(i)];
+    if (i + 1 < n) a(i, i + 1) = sup[static_cast<std::size_t>(i)];
+    // Row sums cancel except at the boundaries, which keeps the matrix
+    // nonsingular and (weakly) diagonally dominant by rows.
+    a(i, i) = -(sub[static_cast<std::size_t>(i)] + sup[static_cast<std::size_t>(i)]);
+  }
+  return a;
+}
+
+// 10. demmel: D * (I + 1e-7 * rand(n)), D = diag(10^{14 (i-1)/n}).
+Matrix<double> demmel(int n, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix<double> a(n, n);
+  for (int j = 0; j < n; ++j) {
+    for (int i = 0; i < n; ++i) {
+      const double d = std::pow(10.0, 14.0 * i / n);
+      a(i, j) = d * ((i == j ? 1.0 : 0.0) + 1e-7 * rng.uniform());
+    }
+  }
+  return a;
+}
+
+// 11. chebvand: Chebyshev Vandermonde on n equispaced points of [0, 1]:
+// A(i,j) = T_{i-1}(p_j).
+Matrix<double> chebvand(int n) {
+  Matrix<double> a(n, n);
+  for (int j = 0; j < n; ++j) {
+    const double p = n == 1 ? 0.0 : static_cast<double>(j) / (n - 1);
+    double tkm1 = 1.0, tk = p;
+    for (int i = 0; i < n; ++i) {
+      double v = 0.0;
+      if (i == 0) {
+        v = 1.0;
+      } else if (i == 1) {
+        v = p;
+      } else {
+        v = 2.0 * p * tk - tkm1;
+        tkm1 = tk;
+        tk = v;
+      }
+      a(i, j) = v;
+    }
+  }
+  return a;
+}
+
+// 12. invhess: A(i,j) = x(j) for i >= j, y(i) for j > i with x = 1..n,
+// y = -x; its inverse is upper Hessenberg.
+Matrix<double> invhess(int n) {
+  Matrix<double> a(n, n);
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < n; ++i)
+      a(i, j) = i >= j ? static_cast<double>(j + 1) : -static_cast<double>(i + 1);
+  return a;
+}
+
+// 13. prolate: symmetric ill-conditioned Toeplitz, a_0 = 2w,
+// a_k = sin(2 pi w k)/(pi k), w = 0.25.
+Matrix<double> prolate(int n, double w = 0.25) {
+  Matrix<double> a(n, n);
+  for (int j = 0; j < n; ++j) {
+    for (int i = 0; i < n; ++i) {
+      const int k = std::abs(i - j);
+      a(i, j) = k == 0 ? 2.0 * w : std::sin(2.0 * M_PI * w * k) / (M_PI * k);
+    }
+  }
+  return a;
+}
+
+// 14. cauchy: A(i,j) = 1/(x_i + y_j) with x = y = 1..n.
+Matrix<double> cauchy(int n) {
+  Matrix<double> a(n, n);
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < n; ++i) a(i, j) = 1.0 / ((i + 1.0) + (j + 1.0));
+  return a;
+}
+
+// 15. hilb: Hilbert matrix, A(i,j) = 1/(i + j - 1) (1-based).
+Matrix<double> hilb(int n) {
+  Matrix<double> a(n, n);
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < n; ++i) a(i, j) = 1.0 / ((i + 1.0) + (j + 1.0) - 1.0);
+  return a;
+}
+
+// 16. lotkin: the Hilbert matrix with its first row set to all ones.
+Matrix<double> lotkin(int n) {
+  Matrix<double> a = hilb(n);
+  for (int j = 0; j < n; ++j) a(0, j) = 1.0;
+  return a;
+}
+
+// 17. kahan: upper triangular, A = diag(1, s, .., s^{n-1}) * (I - c*strictly
+// upper ones), s = sin(theta), c = cos(theta), theta = 1.2.
+Matrix<double> kahan(int n, double theta = 1.2) {
+  const double s = std::sin(theta), c = std::cos(theta);
+  Matrix<double> a(n, n);
+  for (int i = 0; i < n; ++i) {
+    const double si = std::pow(s, i);
+    a(i, i) = si;
+    for (int j = i + 1; j < n; ++j) a(i, j) = -c * si;
+  }
+  return a;
+}
+
+// 18. orthog: symmetric orthogonal eigenvector matrix,
+// A(i,j) = sqrt(2/(n+1)) sin(i j pi / (n+1)).
+Matrix<double> orthog(int n) {
+  Matrix<double> a(n, n);
+  const double scale = std::sqrt(2.0 / (n + 1));
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < n; ++i)
+      a(i, j) = scale * std::sin((i + 1.0) * (j + 1.0) * M_PI / (n + 1.0));
+  return a;
+}
+
+// 19. wilkinson: attains the 2^{n-1} GEPP growth bound: 1 on the diagonal
+// and in the last column, -1 below the diagonal.
+Matrix<double> wilkinson(int n) {
+  Matrix<double> a(n, n);
+  for (int j = 0; j < n; ++j) {
+    for (int i = 0; i < n; ++i) {
+      if (j == n - 1) {
+        a(i, j) = 1.0;
+      } else if (i == j) {
+        a(i, j) = 1.0;
+      } else if (i > j) {
+        a(i, j) = -1.0;
+      }
+    }
+  }
+  return a;
+}
+
+// 20. foster: trapezoidal-quadrature Volterra matrix (Foster 1994),
+// approximate reconstruction (see DESIGN.md): I - c*h*T with the trapezoid
+// weight pattern (half weights in the first column) plus the ones column
+// carrying the right-hand-side structure. With c*h = 1 no GEPP row swap
+// ever triggers (ties keep the diagonal) and the last column doubles at
+// every elimination step — the exponential growth Foster exhibits.
+Matrix<double> foster(int n) {
+  const double ch = 1.0;
+  Matrix<double> a(n, n);
+  for (int i = 0; i < n; ++i) {
+    a(i, i) = 1.0;
+    a(i, n - 1) = 1.0;
+    if (i > 0 && n > 1) a(i, 0) = -ch / 2.0;       // half trapezoid weight
+    for (int j = 1; j < i && j < n - 1; ++j) a(i, j) = -ch;
+  }
+  return a;
+}
+
+// 21. wright: exponential GEPP growth without any row swaps (multiplier
+// magnitudes < 1): 1 on the diagonal and last column, -phi below the
+// diagonal (approximate reconstruction of Wright 1993; see DESIGN.md).
+Matrix<double> wright(int n, double phi = 0.99) {
+  Matrix<double> a(n, n);
+  for (int j = 0; j < n; ++j) {
+    for (int i = 0; i < n; ++i) {
+      if (j == n - 1) {
+        a(i, j) = 1.0;
+      } else if (i == j) {
+        a(i, j) = 1.0;
+      } else if (i > j) {
+        a(i, j) = -phi;
+      }
+    }
+  }
+  return a;
+}
+
+// fiedler: A(i,j) = |x_i - x_j|, x = 1..n (mentioned in §V-C: LU NoPiv and
+// LUPP fail on it via zero pivots).
+Matrix<double> fiedler(int n) {
+  Matrix<double> a(n, n);
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < n; ++i) a(i, j) = std::abs(static_cast<double>(i - j));
+  return a;
+}
+
+}  // namespace
+
+Matrix<double> generate(MatrixKind kind, int n, std::uint64_t seed, double param) {
+  LUQR_REQUIRE(n > 0, "matrix order must be positive");
+  switch (kind) {
+    case MatrixKind::Random: return detail::random_gaussian(n, seed);
+    case MatrixKind::DiagDominant: return detail::diag_dominant(n, seed);
+    case MatrixKind::GrowthExample: return detail::growth_example(n, param);
+    case MatrixKind::House: return house(n, seed);
+    case MatrixKind::Parter: return parter(n);
+    case MatrixKind::Ris: return ris(n);
+    case MatrixKind::Condex: return condex(n);
+    case MatrixKind::Circul: return circul(n, seed);
+    case MatrixKind::Hankel: return hankel(n, seed);
+    case MatrixKind::Compan: return compan(n, seed);
+    case MatrixKind::Lehmer: return lehmer(n);
+    case MatrixKind::Dorr: return dorr(n);
+    case MatrixKind::Demmel: return demmel(n, seed);
+    case MatrixKind::Chebvand: return chebvand(n);
+    case MatrixKind::Invhess: return invhess(n);
+    case MatrixKind::Prolate: return prolate(n);
+    case MatrixKind::Cauchy: return cauchy(n);
+    case MatrixKind::Hilb: return hilb(n);
+    case MatrixKind::Lotkin: return lotkin(n);
+    case MatrixKind::Kahan: return kahan(n);
+    case MatrixKind::Orthog: return orthog(n);
+    case MatrixKind::Wilkinson: return wilkinson(n);
+    case MatrixKind::Foster: return foster(n);
+    case MatrixKind::Wright: return wright(n);
+    case MatrixKind::Fiedler: return fiedler(n);
+  }
+  throw Error("unknown matrix kind");
+}
+
+namespace {
+const std::vector<std::pair<MatrixKind, const char*>>& kind_table() {
+  static const std::vector<std::pair<MatrixKind, const char*>> table = {
+      {MatrixKind::Random, "random"},
+      {MatrixKind::DiagDominant, "diagdom"},
+      {MatrixKind::GrowthExample, "growth_example"},
+      {MatrixKind::House, "house"},
+      {MatrixKind::Parter, "parter"},
+      {MatrixKind::Ris, "ris"},
+      {MatrixKind::Condex, "condex"},
+      {MatrixKind::Circul, "circul"},
+      {MatrixKind::Hankel, "hankel"},
+      {MatrixKind::Compan, "compan"},
+      {MatrixKind::Lehmer, "lehmer"},
+      {MatrixKind::Dorr, "dorr"},
+      {MatrixKind::Demmel, "demmel"},
+      {MatrixKind::Chebvand, "chebvand"},
+      {MatrixKind::Invhess, "invhess"},
+      {MatrixKind::Prolate, "prolate"},
+      {MatrixKind::Cauchy, "cauchy"},
+      {MatrixKind::Hilb, "hilb"},
+      {MatrixKind::Lotkin, "lotkin"},
+      {MatrixKind::Kahan, "kahan"},
+      {MatrixKind::Orthog, "orthog"},
+      {MatrixKind::Wilkinson, "wilkinson"},
+      {MatrixKind::Foster, "foster"},
+      {MatrixKind::Wright, "wright"},
+      {MatrixKind::Fiedler, "fiedler"},
+  };
+  return table;
+}
+}  // namespace
+
+std::string kind_name(MatrixKind kind) {
+  for (const auto& [k, name] : kind_table())
+    if (k == kind) return name;
+  throw Error("unknown matrix kind");
+}
+
+MatrixKind kind_from_name(const std::string& name) {
+  for (const auto& [k, n] : kind_table())
+    if (name == n) return k;
+  throw Error("unknown matrix name: " + name);
+}
+
+const std::vector<MatrixKind>& special_set() {
+  static const std::vector<MatrixKind> set = {
+      MatrixKind::House,    MatrixKind::Parter,   MatrixKind::Ris,
+      MatrixKind::Condex,   MatrixKind::Circul,   MatrixKind::Hankel,
+      MatrixKind::Compan,   MatrixKind::Lehmer,   MatrixKind::Dorr,
+      MatrixKind::Demmel,   MatrixKind::Chebvand, MatrixKind::Invhess,
+      MatrixKind::Prolate,  MatrixKind::Cauchy,   MatrixKind::Hilb,
+      MatrixKind::Lotkin,   MatrixKind::Kahan,    MatrixKind::Orthog,
+      MatrixKind::Wilkinson, MatrixKind::Foster,  MatrixKind::Wright,
+  };
+  return set;
+}
+
+const std::vector<MatrixKind>& all_kinds() {
+  static const std::vector<MatrixKind> set = [] {
+    std::vector<MatrixKind> v;
+    for (const auto& [k, name] : kind_table()) v.push_back(k);
+    return v;
+  }();
+  return set;
+}
+
+}  // namespace luqr::gen

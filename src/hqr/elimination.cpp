@@ -1,0 +1,75 @@
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+
+#include "common/error.hpp"
+#include "hqr/elimination.hpp"
+
+namespace luqr::hqr {
+
+void validate_elimination_list(const std::vector<std::vector<int>>& domains,
+                               const std::vector<Elimination>& list) {
+  LUQR_REQUIRE(!domains.empty() && !domains[0].empty(), "validate: empty panel");
+  std::set<int> rows;
+  for (const auto& d : domains)
+    for (int r : d) {
+      LUQR_REQUIRE(rows.insert(r).second, "validate: duplicate row in domains");
+    }
+  const int head = domains[0][0];
+
+  std::map<int, std::size_t> killed_at;  // row -> index in list
+  for (std::size_t idx = 0; idx < list.size(); ++idx) {
+    const auto& e = list[idx];
+    LUQR_REQUIRE(rows.count(e.killed) && rows.count(e.killer),
+                 "validate: elimination references a row outside the panel");
+    LUQR_REQUIRE(e.killed != e.killer, "validate: self-elimination");
+    LUQR_REQUIRE(!killed_at.count(e.killed),
+                 "validate: row " + std::to_string(e.killed) + " killed twice");
+    auto it = killed_at.find(e.killer);
+    LUQR_REQUIRE(it == killed_at.end(),
+                 "validate: killer " + std::to_string(e.killer) + " already dead");
+    killed_at[e.killed] = idx;
+  }
+  // Every row but the head dies exactly once.
+  for (int r : rows) {
+    if (r == head) {
+      LUQR_REQUIRE(!killed_at.count(r), "validate: the head must survive");
+    } else {
+      LUQR_REQUIRE(killed_at.count(r),
+                   "validate: row " + std::to_string(r) + " never eliminated");
+    }
+  }
+  // Round-order consistency and per-round disjointness.
+  std::map<int, std::set<int>> rows_in_round;
+  for (const auto& e : list) {
+    auto& used = rows_in_round[e.round];
+    LUQR_REQUIRE(used.insert(e.killed).second && used.insert(e.killer).second,
+                 "validate: row reused within round " + std::to_string(e.round));
+  }
+  for (const auto& e : list) {
+    auto it = killed_at.find(e.killer);
+    if (it != killed_at.end()) {
+      LUQR_REQUIRE(list[it->second].round > e.round,
+                   "validate: killer " + std::to_string(e.killer) +
+                       " dies in an earlier or equal round");
+    }
+  }
+}
+
+double pipeline_makespan(const std::vector<Elimination>& list, double ts_cost,
+                         double tt_cost) {
+  std::map<int, double> free_at;
+  double makespan = 0.0;
+  for (const auto& e : list) {
+    const double start = std::max(free_at[e.killer], free_at[e.killed]);
+    const double cost = e.kernel == ElimKernel::TS ? ts_cost : tt_cost;
+    const double end = start + cost;
+    free_at[e.killer] = end;
+    free_at[e.killed] = end;
+    makespan = std::max(makespan, end);
+  }
+  return makespan;
+}
+
+}  // namespace luqr::hqr

@@ -1,0 +1,31 @@
+// Validation and scheduling metrics for HQR elimination lists.
+//
+// Used by the property-based test suite (every tree must produce a valid
+// reduction) and by the tree-ablation bench (critical-path comparison of
+// flat / binary / greedy / fibonacci, reproducing the qualitative ranking
+// behind the paper's {Greedy local, Fibonacci distributed} default).
+#pragma once
+
+#include <vector>
+
+#include "hqr/trees.hpp"
+
+namespace luqr::hqr {
+
+/// Check that `list` is a valid reduction of the panel given by `domains`:
+///  - every row except the overall head (domains[0][0]) is killed exactly once;
+///  - a killer is never used at or after the elimination that kills it
+///    (both in list order and in round order);
+///  - eliminations sharing a round touch disjoint row pairs.
+/// Throws luqr::Error with a diagnostic on violation.
+void validate_elimination_list(const std::vector<std::vector<int>>& domains,
+                               const std::vector<Elimination>& list);
+
+/// Weighted critical path of the reduction under a simple pipeline model:
+/// an elimination starts when both its rows are free and occupies them for
+/// `ts_cost` or `tt_cost` time units. Returns the makespan. (TS kernels cost
+/// more than TT at equal tile size because the killed tile is full.)
+double pipeline_makespan(const std::vector<Elimination>& list, double ts_cost,
+                         double tt_cost);
+
+}  // namespace luqr::hqr

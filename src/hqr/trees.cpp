@@ -1,0 +1,150 @@
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "hqr/trees.hpp"
+
+namespace luqr::hqr {
+
+namespace {
+
+// Flat chain: the head kills every other row in sequence.
+void flat(const std::vector<int>& rows, ElimKernel kernel, int start_round,
+          std::vector<Elimination>& out, int& rounds) {
+  const int len = static_cast<int>(rows.size());
+  for (int t = 1; t < len; ++t)
+    out.push_back({rows[static_cast<std::size_t>(t)], rows[0], kernel,
+                   start_round + t - 1});
+  rounds = std::max(0, len - 1);
+}
+
+// Binomial tree: at round r, position p (p mod 2^r == 2^{r-1}) is killed by
+// the row 2^{r-1} positions above. Logarithmic depth.
+void binary(const std::vector<int>& rows, int start_round,
+            std::vector<Elimination>& out, int& rounds) {
+  const int len = static_cast<int>(rows.size());
+  rounds = 0;
+  for (int stride = 1; stride < len; stride *= 2, ++rounds) {
+    for (int p = stride; p < len; p += 2 * stride) {
+      out.push_back({rows[static_cast<std::size_t>(p)],
+                     rows[static_cast<std::size_t>(p - stride)], ElimKernel::TT,
+                     start_round + rounds});
+    }
+  }
+}
+
+// Greedy: every round kills the largest possible set — the bottom half of
+// the surviving rows, each against the row floor(alive/2) positions above.
+void greedy(const std::vector<int>& rows, int start_round,
+            std::vector<Elimination>& out, int& rounds) {
+  std::vector<int> alive = rows;
+  rounds = 0;
+  while (alive.size() > 1) {
+    const int m = static_cast<int>(alive.size()) / 2;
+    const int base = static_cast<int>(alive.size()) - 2 * m;
+    for (int t = 0; t < m; ++t)
+      out.push_back({alive[static_cast<std::size_t>(base + m + t)],
+                     alive[static_cast<std::size_t>(base + t)], ElimKernel::TT,
+                     start_round + rounds});
+    alive.resize(static_cast<std::size_t>(base + m));
+    ++rounds;
+  }
+}
+
+// Fibonacci (Modi–Clarke style): the number of rows killed per round grows
+// with the Fibonacci sequence (1, 1, 2, 3, 5, ...), capped by half of the
+// survivors. Few kills in early rounds lets trailing updates start flowing
+// immediately, which is why the paper picks it for the inter-node level
+// (good pipelining of consecutive trees).
+void fibonacci(const std::vector<int>& rows, int start_round,
+               std::vector<Elimination>& out, int& rounds) {
+  std::vector<int> alive = rows;
+  rounds = 0;
+  long fa = 1, fb = 0;  // next Fibonacci count: 1, 1, 2, 3, 5, ...
+  while (alive.size() > 1) {
+    const int m = static_cast<int>(
+        std::min<long>(fa, static_cast<long>(alive.size()) / 2));
+    const int first_killed = static_cast<int>(alive.size()) - m;
+    for (int t = 0; t < m; ++t)
+      out.push_back({alive[static_cast<std::size_t>(first_killed + t)],
+                     alive[static_cast<std::size_t>(first_killed + t - m)],
+                     ElimKernel::TT, start_round + rounds});
+    alive.resize(static_cast<std::size_t>(first_killed));
+    const long fn = fa + fb;
+    fb = fa;
+    fa = fn;
+    ++rounds;
+  }
+}
+
+void run_local(LocalTree tree, const std::vector<int>& rows,
+               std::vector<Elimination>& out, int& rounds) {
+  switch (tree) {
+    case LocalTree::FlatTS: flat(rows, ElimKernel::TS, 0, out, rounds); return;
+    case LocalTree::FlatTT: flat(rows, ElimKernel::TT, 0, out, rounds); return;
+    case LocalTree::Binary: binary(rows, 0, out, rounds); return;
+    case LocalTree::Greedy: greedy(rows, 0, out, rounds); return;
+    case LocalTree::Fibonacci: fibonacci(rows, 0, out, rounds); return;
+  }
+  throw Error("unknown local tree");
+}
+
+void run_dist(DistTree tree, const std::vector<int>& heads, int start,
+              std::vector<Elimination>& out, int& rounds) {
+  switch (tree) {
+    case DistTree::Flat: flat(heads, ElimKernel::TT, start, out, rounds); return;
+    case DistTree::Binary: binary(heads, start, out, rounds); return;
+    case DistTree::Greedy: greedy(heads, start, out, rounds); return;
+    case DistTree::Fibonacci: fibonacci(heads, start, out, rounds); return;
+  }
+  throw Error("unknown distributed tree");
+}
+
+}  // namespace
+
+std::vector<Elimination> elimination_list(const std::vector<std::vector<int>>& domains,
+                                          const TreeConfig& config) {
+  LUQR_REQUIRE(!domains.empty(), "elimination_list: no domains");
+  std::vector<Elimination> out;
+  int max_local_rounds = 0;
+  std::vector<int> heads;
+  heads.reserve(domains.size());
+  for (const auto& rows : domains) {
+    LUQR_REQUIRE(!rows.empty(), "elimination_list: empty domain");
+    heads.push_back(rows[0]);
+    int rounds = 0;
+    run_local(config.local, rows, out, rounds);
+    max_local_rounds = std::max(max_local_rounds, rounds);
+  }
+  int dist_rounds = 0;
+  run_dist(config.dist, heads, max_local_rounds, out, dist_rounds);
+  return out;
+}
+
+int round_count(const std::vector<Elimination>& list) {
+  int r = 0;
+  for (const auto& e : list) r = std::max(r, e.round + 1);
+  return r;
+}
+
+std::string to_string(LocalTree t) {
+  switch (t) {
+    case LocalTree::FlatTS: return "flat-ts";
+    case LocalTree::FlatTT: return "flat-tt";
+    case LocalTree::Binary: return "binary";
+    case LocalTree::Greedy: return "greedy";
+    case LocalTree::Fibonacci: return "fibonacci";
+  }
+  return "?";
+}
+
+std::string to_string(DistTree t) {
+  switch (t) {
+    case DistTree::Flat: return "flat";
+    case DistTree::Binary: return "binary";
+    case DistTree::Greedy: return "greedy";
+    case DistTree::Fibonacci: return "fibonacci";
+  }
+  return "?";
+}
+
+}  // namespace luqr::hqr

@@ -1,0 +1,63 @@
+// Hierarchical QR reduction trees (the HQR substrate, Dongarra et al. 2013).
+//
+// A QR elimination step of the hybrid algorithm zeroes every panel tile
+// below the diagonal using an ordered list of eliminations
+// elim(killed, killer, kernel). Trees are hierarchical, mirroring the
+// machine: a *local* tree reduces each domain (the panel rows owned by one
+// node) to a single triangular tile without inter-node communication, then a
+// *distributed* tree reduces the domain heads across nodes. The paper's
+// default is GREEDY inside nodes and FIBONACCI between nodes.
+//
+// Kernel kinds: a TS elimination kills a square tile against a triangular
+// eliminator (GEQRT on the head once, then TSQRT chains); a TT elimination
+// kills a triangular tile against a triangular one (both GEQRT'd first),
+// enabling tree-shaped reductions with logarithmic depth.
+//
+// The numerical result is independent of the tree (all transformations are
+// orthogonal); the tree determines the critical path and the communication
+// pattern, which is what the ablation bench and the simulator measure.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace luqr::hqr {
+
+enum class LocalTree { FlatTS, FlatTT, Binary, Greedy, Fibonacci };
+enum class DistTree { Flat, Binary, Greedy, Fibonacci };
+
+enum class ElimKernel { TS, TT };
+
+/// One elimination: `killed`'s panel tile is zeroed against `killer`'s.
+/// `round` is the earliest schedule slot under the tree's logical clock
+/// (eliminations in the same round touch disjoint row pairs).
+struct Elimination {
+  int killed = 0;
+  int killer = 0;
+  ElimKernel kernel = ElimKernel::TS;
+  int round = 0;
+};
+
+/// Tree configuration for a QR step. The paper's default configuration is
+/// {Greedy, Fibonacci}.
+struct TreeConfig {
+  LocalTree local = LocalTree::Greedy;
+  DistTree dist = DistTree::Fibonacci;
+};
+
+/// Build the ordered elimination list for one panel whose rows are grouped
+/// into `domains` (first group = diagonal domain; first row of each group =
+/// that domain's head; the first row of domains[0] is the panel diagonal).
+/// The list reduces every row to the panel diagonal: local reductions per
+/// domain, then the distributed reduction across domain heads.
+std::vector<Elimination> elimination_list(const std::vector<std::vector<int>>& domains,
+                                          const TreeConfig& config);
+
+/// Number of logical rounds (1 + max round index); the tree's critical path
+/// in units of eliminations.
+int round_count(const std::vector<Elimination>& list);
+
+std::string to_string(LocalTree t);
+std::string to_string(DistTree t);
+
+}  // namespace luqr::hqr

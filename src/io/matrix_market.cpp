@@ -1,0 +1,112 @@
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "io/matrix_market.hpp"
+
+namespace luqr::io {
+
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+// Read the next line that is neither empty nor a % comment.
+bool next_data_line(std::istream& in, std::string& line) {
+  while (std::getline(in, line)) {
+    std::size_t pos = line.find_first_not_of(" \t\r");
+    if (pos == std::string::npos) continue;
+    if (line[pos] == '%') continue;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Matrix<double> read_matrix_market(std::istream& in) {
+  std::string banner;
+  LUQR_REQUIRE(static_cast<bool>(std::getline(in, banner)),
+               "matrix market: empty stream");
+  std::istringstream hs(banner);
+  std::string tag, object, format, field, symmetry;
+  hs >> tag >> object >> format >> field >> symmetry;
+  LUQR_REQUIRE(tag == "%%MatrixMarket", "matrix market: missing banner");
+  LUQR_REQUIRE(lower(object) == "matrix", "matrix market: not a matrix object");
+  format = lower(format);
+  field = lower(field);
+  symmetry = lower(symmetry);
+  LUQR_REQUIRE(field == "real", "matrix market: only real matrices supported");
+  LUQR_REQUIRE(symmetry == "general" || symmetry == "symmetric",
+               "matrix market: only general/symmetric supported");
+
+  std::string line;
+  LUQR_REQUIRE(next_data_line(in, line), "matrix market: missing size line");
+  std::istringstream sz(line);
+
+  if (format == "array") {
+    int rows = 0, cols = 0;
+    sz >> rows >> cols;
+    LUQR_REQUIRE(rows > 0 && cols > 0, "matrix market: bad array dimensions");
+    Matrix<double> a(rows, cols);
+    // Array format stores the full matrix column-major (lower triangle only
+    // when symmetric).
+    for (int j = 0; j < cols; ++j) {
+      for (int i = symmetry == "symmetric" ? j : 0; i < rows; ++i) {
+        LUQR_REQUIRE(next_data_line(in, line), "matrix market: truncated array data");
+        a(i, j) = std::strtod(line.c_str(), nullptr);
+        if (symmetry == "symmetric") a(j, i) = a(i, j);
+      }
+    }
+    return a;
+  }
+
+  LUQR_REQUIRE(format == "coordinate", "matrix market: unknown format " + format);
+  int rows = 0, cols = 0;
+  long nnz = 0;
+  sz >> rows >> cols >> nnz;
+  LUQR_REQUIRE(rows > 0 && cols > 0 && nnz >= 0,
+               "matrix market: bad coordinate header");
+  Matrix<double> a(rows, cols);
+  for (long e = 0; e < nnz; ++e) {
+    LUQR_REQUIRE(next_data_line(in, line), "matrix market: truncated entries");
+    std::istringstream es(line);
+    int i = 0, j = 0;
+    double v = 0.0;
+    es >> i >> j >> v;
+    LUQR_REQUIRE(i >= 1 && i <= rows && j >= 1 && j <= cols,
+                 "matrix market: entry index out of range");
+    a(i - 1, j - 1) = v;
+    if (symmetry == "symmetric") a(j - 1, i - 1) = v;
+  }
+  return a;
+}
+
+Matrix<double> read_matrix_market_file(const std::string& path) {
+  std::ifstream in(path);
+  LUQR_REQUIRE(in.good(), "cannot open matrix market file: " + path);
+  return read_matrix_market(in);
+}
+
+void write_matrix_market(std::ostream& out, const Matrix<double>& a) {
+  out << "%%MatrixMarket matrix array real general\n";
+  out << "% written by luqr\n";
+  out << a.rows() << " " << a.cols() << "\n";
+  out.precision(17);
+  for (int j = 0; j < a.cols(); ++j)
+    for (int i = 0; i < a.rows(); ++i) out << a(i, j) << "\n";
+}
+
+void write_matrix_market_file(const std::string& path, const Matrix<double>& a) {
+  std::ofstream out(path);
+  LUQR_REQUIRE(out.good(), "cannot open output file: " + path);
+  write_matrix_market(out, a);
+  LUQR_REQUIRE(out.good(), "write failure on: " + path);
+}
+
+}  // namespace luqr::io

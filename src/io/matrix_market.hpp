@@ -1,0 +1,31 @@
+// Matrix Market I/O — the interchange format of sparse/dense matrix
+// collections (NIST MM). Lets the CLI tool and downstream users feed real
+// matrices to the solver without writing converters.
+//
+// Supported on read: `matrix array real general` (dense column-major) and
+// `matrix coordinate real {general|symmetric}` (entries are densified;
+// symmetric files are mirrored). Pattern/complex/integer fields and
+// skew/hermitian symmetry are rejected with a clear error.
+// Written files use the dense `array` format.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "kernels/dense.hpp"
+
+namespace luqr::io {
+
+/// Parse a Matrix Market stream into a dense matrix.
+Matrix<double> read_matrix_market(std::istream& in);
+
+/// Convenience: read from a file path (throws luqr::Error on I/O failure).
+Matrix<double> read_matrix_market_file(const std::string& path);
+
+/// Write a dense matrix in `array real general` format.
+void write_matrix_market(std::ostream& out, const Matrix<double>& a);
+
+/// Convenience: write to a file path.
+void write_matrix_market_file(const std::string& path, const Matrix<double>& a);
+
+}  // namespace luqr::io

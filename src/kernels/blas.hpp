@@ -1,0 +1,42 @@
+// Level-3 BLAS-style tile kernels (GEMM, TRSM) built from scratch.
+//
+// These are the workhorses of the LU step: the trailing update of variant A1
+// is GEMM(alpha=-1, beta=1) and the panel eliminations are TRSMs. They follow
+// the BLAS calling conventions (side/uplo/trans/diag enums, alpha/beta
+// scaling) so the tiled algorithms read like their PLASMA counterparts.
+//
+// Definitions live in gemm.cpp / trsm.cpp with explicit instantiations for
+// float and double.
+#pragma once
+
+#include "kernels/matrix_view.hpp"
+
+namespace luqr::kern {
+
+enum class Trans { No, Yes };
+enum class Side { Left, Right };
+enum class Uplo { Lower, Upper };
+enum class Diag { NonUnit, Unit };
+
+/// C <- alpha * op(A) * op(B) + beta * C.
+/// op(A) is (m x k), op(B) is (k x n), C is (m x n).
+template <typename T>
+void gemm(Trans transa, Trans transb, T alpha, ConstMatrixView<T> a,
+          ConstMatrixView<T> b, T beta, MatrixView<T> c);
+
+/// Triangular solve with multiple right-hand sides:
+///   side == Left : solve op(A) * X = alpha * B, X overwrites B
+///   side == Right: solve X * op(A) = alpha * B, X overwrites B
+/// A is triangular (uplo selects the referenced triangle; diag == Unit means
+/// an implicit unit diagonal).
+template <typename T>
+void trsm(Side side, Uplo uplo, Trans trans, Diag diag, T alpha,
+          ConstMatrixView<T> a, MatrixView<T> b);
+
+/// B <- alpha * op(A) * B (side == Left) or alpha * B * op(A) (side == Right)
+/// with A triangular. Used by the norm estimators and tests.
+template <typename T>
+void trmm(Side side, Uplo uplo, Trans trans, Diag diag, T alpha,
+          ConstMatrixView<T> a, MatrixView<T> b);
+
+}  // namespace luqr::kern

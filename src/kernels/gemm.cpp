@@ -1,0 +1,118 @@
+#include <vector>
+
+#include "kernels/blas.hpp"
+
+namespace luqr::kern {
+
+namespace {
+
+// Scale C by beta (handles beta == 0 without reading C, per BLAS semantics).
+template <typename T>
+void scale_c(T beta, const MatrixView<T>& c) {
+  if (beta == T(1)) return;
+  for (int j = 0; j < c.cols; ++j) {
+    T* cj = &c(0, j);
+    if (beta == T(0)) {
+      for (int i = 0; i < c.rows; ++i) cj[i] = T(0);
+    } else {
+      for (int i = 0; i < c.rows; ++i) cj[i] *= beta;
+    }
+  }
+}
+
+// C += alpha * A * B with A (m x k), B (k x n), both untransposed.
+// Column-major axpy form: C(:,j) += (alpha*B(l,j)) * A(:,l). The inner loop
+// is a contiguous fused multiply-add over a column, which the compiler
+// vectorizes; this is the hot path of the trailing-update GEMMs.
+template <typename T>
+void gemm_nn(T alpha, const ConstMatrixView<T>& a, const ConstMatrixView<T>& b,
+             const MatrixView<T>& c) {
+  const int m = c.rows, n = c.cols, k = a.cols;
+  for (int j = 0; j < n; ++j) {
+    T* cj = &c(0, j);
+    for (int l = 0; l < k; ++l) {
+      const T blj = alpha * b(l, j);
+      if (blj == T(0)) continue;
+      const T* al = &a(0, l);
+      for (int i = 0; i < m; ++i) cj[i] += al[i] * blj;
+    }
+  }
+}
+
+// C += alpha * A^T * B: dot-product form, A (k x m), B (k x n).
+template <typename T>
+void gemm_tn(T alpha, const ConstMatrixView<T>& a, const ConstMatrixView<T>& b,
+             const MatrixView<T>& c) {
+  const int m = c.rows, n = c.cols, k = a.rows;
+  for (int j = 0; j < n; ++j) {
+    const T* bj = &b(0, j);
+    for (int i = 0; i < m; ++i) {
+      const T* ai = &a(0, i);
+      T acc = T(0);
+      for (int l = 0; l < k; ++l) acc += ai[l] * bj[l];
+      c(i, j) += alpha * acc;
+    }
+  }
+}
+
+// C += alpha * A * B^T: axpy form over columns of C, A (m x k), B (n x k).
+template <typename T>
+void gemm_nt(T alpha, const ConstMatrixView<T>& a, const ConstMatrixView<T>& b,
+             const MatrixView<T>& c) {
+  const int m = c.rows, n = c.cols, k = a.cols;
+  for (int j = 0; j < n; ++j) {
+    T* cj = &c(0, j);
+    for (int l = 0; l < k; ++l) {
+      const T blj = alpha * b(j, l);
+      if (blj == T(0)) continue;
+      const T* al = &a(0, l);
+      for (int i = 0; i < m; ++i) cj[i] += al[i] * blj;
+    }
+  }
+}
+
+// C += alpha * A^T * B^T, A (k x m), B (n x k).
+template <typename T>
+void gemm_tt(T alpha, const ConstMatrixView<T>& a, const ConstMatrixView<T>& b,
+             const MatrixView<T>& c) {
+  const int m = c.rows, n = c.cols, k = a.rows;
+  for (int j = 0; j < n; ++j) {
+    for (int i = 0; i < m; ++i) {
+      const T* ai = &a(0, i);
+      T acc = T(0);
+      for (int l = 0; l < k; ++l) acc += ai[l] * b(j, l);
+      c(i, j) += alpha * acc;
+    }
+  }
+}
+
+}  // namespace
+
+template <typename T>
+void gemm(Trans transa, Trans transb, T alpha, ConstMatrixView<T> a,
+          ConstMatrixView<T> b, T beta, MatrixView<T> c) {
+  const int opa_rows = transa == Trans::No ? a.rows : a.cols;
+  const int opa_cols = transa == Trans::No ? a.cols : a.rows;
+  const int opb_rows = transb == Trans::No ? b.rows : b.cols;
+  const int opb_cols = transb == Trans::No ? b.cols : b.rows;
+  LUQR_REQUIRE(opa_rows == c.rows && opb_cols == c.cols && opa_cols == opb_rows,
+               "gemm dimension mismatch");
+  scale_c(beta, c);
+  if (alpha == T(0) || c.rows == 0 || c.cols == 0 || opa_cols == 0) return;
+  if (transa == Trans::No && transb == Trans::No) {
+    gemm_nn(alpha, a, b, c);
+  } else if (transa == Trans::Yes && transb == Trans::No) {
+    gemm_tn(alpha, a, b, c);
+  } else if (transa == Trans::No && transb == Trans::Yes) {
+    gemm_nt(alpha, a, b, c);
+  } else {
+    gemm_tt(alpha, a, b, c);
+  }
+}
+
+template void gemm<double>(Trans, Trans, double, ConstMatrixView<double>,
+                           ConstMatrixView<double>, double, MatrixView<double>);
+template void gemm<float>(Trans, Trans, float, ConstMatrixView<float>,
+                          ConstMatrixView<float>, float, MatrixView<float>);
+
+}  // namespace luqr::kern

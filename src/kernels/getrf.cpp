@@ -1,0 +1,132 @@
+#include <cmath>
+#include <utility>
+
+#include "kernels/lapack.hpp"
+
+namespace luqr::kern {
+
+namespace {
+
+template <typename T>
+void swap_rows(const MatrixView<T>& a, int r1, int r2) {
+  if (r1 == r2) return;
+  for (int j = 0; j < a.cols; ++j) std::swap(a(r1, j), a(r2, j));
+}
+
+// Shared right-looking elimination once the pivot row for column j is in
+// place. Scales the multipliers and applies the rank-1 update column by
+// column (cache-friendly in column-major storage).
+template <typename T>
+void eliminate_column(const MatrixView<T>& a, int j) {
+  const int m = a.rows, n = a.cols;
+  const T pivot = a(j, j);
+  T* colj = &a(0, j);
+  for (int i = j + 1; i < m; ++i) colj[i] /= pivot;
+  for (int jj = j + 1; jj < n; ++jj) {
+    const T ajj = a(j, jj);
+    if (ajj == T(0)) continue;
+    T* col = &a(0, jj);
+    for (int i = j + 1; i < m; ++i) col[i] -= colj[i] * ajj;
+  }
+}
+
+}  // namespace
+
+template <typename T>
+int getrf(MatrixView<T> a, std::vector<int>& piv) {
+  const int m = a.rows, n = a.cols;
+  const int k = std::min(m, n);
+  piv.assign(static_cast<std::size_t>(k), 0);
+  int info = 0;
+  for (int j = 0; j < k; ++j) {
+    int imax = j;
+    T vmax = std::abs(a(j, j));
+    for (int i = j + 1; i < m; ++i) {
+      const T v = std::abs(a(i, j));
+      if (v > vmax) {
+        vmax = v;
+        imax = i;
+      }
+    }
+    piv[static_cast<std::size_t>(j)] = imax;
+    swap_rows(a, j, imax);
+    if (a(j, j) == T(0)) {
+      if (info == 0) info = j + 1;
+      continue;
+    }
+    eliminate_column(a, j);
+  }
+  return info;
+}
+
+template <typename T>
+int getrf_nopiv(MatrixView<T> a) {
+  const int k = std::min(a.rows, a.cols);
+  int info = 0;
+  for (int j = 0; j < k; ++j) {
+    if (a(j, j) == T(0)) {
+      if (info == 0) info = j + 1;
+      continue;
+    }
+    eliminate_column(a, j);
+  }
+  return info;
+}
+
+template <typename T>
+int getrf_restricted(MatrixView<T> a, int lo, std::vector<int>& piv) {
+  const int m = a.rows, n = a.cols;
+  const int k = std::min(m, n);
+  LUQR_REQUIRE(lo >= 0 && lo <= m, "getrf_restricted: bad row bound");
+  piv.assign(static_cast<std::size_t>(k), 0);
+  int info = 0;
+  for (int j = 0; j < k; ++j) {
+    int imax = j;
+    T vmax = std::abs(a(j, j));
+    for (int i = std::max(lo, j + 1); i < m; ++i) {
+      const T v = std::abs(a(i, j));
+      if (v > vmax) {
+        vmax = v;
+        imax = i;
+      }
+    }
+    piv[static_cast<std::size_t>(j)] = imax;
+    swap_rows(a, j, imax);
+    if (a(j, j) == T(0)) {
+      if (info == 0) info = j + 1;
+      continue;
+    }
+    eliminate_column(a, j);
+  }
+  return info;
+}
+
+template <typename T>
+void laswp(MatrixView<T> a, const std::vector<int>& piv, bool forward) {
+  const int k = static_cast<int>(piv.size());
+  if (forward) {
+    for (int j = 0; j < k; ++j) swap_rows(a, j, piv[static_cast<std::size_t>(j)]);
+  } else {
+    for (int j = k - 1; j >= 0; --j) swap_rows(a, j, piv[static_cast<std::size_t>(j)]);
+  }
+}
+
+template <typename T>
+void gessm(ConstMatrixView<T> lu, const std::vector<int>& piv, MatrixView<T> a) {
+  LUQR_REQUIRE(lu.rows == a.rows, "gessm dimension mismatch");
+  laswp(a, piv, /*forward=*/true);
+  trsm(Side::Left, Uplo::Lower, Trans::No, Diag::Unit, T(1), lu, a);
+}
+
+#define LUQR_INST(T)                                                        \
+  template int getrf<T>(MatrixView<T>, std::vector<int>&);                  \
+  template int getrf_nopiv<T>(MatrixView<T>);                               \
+  template int getrf_restricted<T>(MatrixView<T>, int, std::vector<int>&);  \
+  template void laswp<T>(MatrixView<T>, const std::vector<int>&, bool);     \
+  template void gessm<T>(ConstMatrixView<T>, const std::vector<int>&,       \
+                         MatrixView<T>);
+LUQR_INST(double)
+LUQR_INST(float)
+#undef LUQR_INST
+
+}  // namespace luqr::kern

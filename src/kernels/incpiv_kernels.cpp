@@ -1,0 +1,75 @@
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "kernels/lapack.hpp"
+
+namespace luqr::kern {
+
+// TSTRF is implemented as an LU factorization of the stacked tile [U; A]
+// with the pivot search at column j restricted to row j and the rows of A
+// (pairwise pivoting). A swap can pull a row of A — multipliers included —
+// into the top block, so the unit-lower factor has entries in *both* blocks:
+// L1 (top, strictly lower) and L2 (= A on exit). PLASMA's dtstrf stores the
+// same split (its extra "L" tile); SSSSM below replays both.
+template <typename T>
+int tstrf(MatrixView<T> u, MatrixView<T> a, MatrixView<T> l1, std::vector<int>& piv) {
+  const int nb = u.cols;
+  LUQR_REQUIRE(u.rows == nb && a.rows == nb && a.cols == nb, "tstrf shape mismatch");
+  LUQR_REQUIRE(l1.rows >= nb && l1.cols >= nb, "tstrf: L1 too small");
+  // Stack [U; A] into a working buffer; U's strictly-lower part is zero.
+  std::vector<T> buf(static_cast<std::size_t>(2 * nb) * nb);
+  MatrixView<T> mstk(buf.data(), 2 * nb, nb, 2 * nb);
+  for (int j = 0; j < nb; ++j) {
+    for (int i = 0; i < nb; ++i) mstk(i, j) = i <= j ? u(i, j) : T(0);
+    for (int i = 0; i < nb; ++i) mstk(nb + i, j) = a(i, j);
+  }
+  const int info = getrf_restricted(mstk, /*lo=*/nb, piv);
+  // Scatter back: new U (upper), L1 (top strictly lower), L2 (bottom).
+  fill(l1.block(0, 0, nb, nb), T(0));
+  for (int j = 0; j < nb; ++j) {
+    for (int i = 0; i < nb; ++i) {
+      if (i <= j) {
+        u(i, j) = mstk(i, j);
+      } else {
+        l1(i, j) = mstk(i, j);
+      }
+    }
+    for (int i = 0; i < nb; ++i) a(i, j) = mstk(nb + i, j);
+  }
+  return info;
+}
+
+template <typename T>
+void ssssm(ConstMatrixView<T> l1, ConstMatrixView<T> l2, const std::vector<int>& piv,
+           MatrixView<T> a1, MatrixView<T> a2) {
+  const int nb = l2.cols, n = a1.cols;
+  LUQR_REQUIRE(l2.rows == nb && a1.rows == nb && a2.rows == nb && a2.cols == n,
+               "ssssm shape mismatch");
+  LUQR_REQUIRE(static_cast<int>(piv.size()) == nb, "ssssm: bad pivot vector");
+  // Stack, swap, apply the unit-lower factor: top <- L1^{-1} top (unit
+  // diagonal, strictly-lower entries from tstrf), bottom -= L2 * top.
+  std::vector<T> buf(static_cast<std::size_t>(2 * nb) * n);
+  MatrixView<T> c(buf.data(), 2 * nb, n, 2 * nb);
+  copy(ConstMatrixView<T>(a1), c.block(0, 0, nb, n));
+  copy(ConstMatrixView<T>(a2), c.block(nb, 0, nb, n));
+  laswp(c, piv, /*forward=*/true);
+  MatrixView<T> top = c.block(0, 0, nb, n);
+  MatrixView<T> bot = c.block(nb, 0, nb, n);
+  trsm(Side::Left, Uplo::Lower, Trans::No, Diag::Unit, T(1),
+       l1.block(0, 0, nb, nb), top);
+  gemm(Trans::No, Trans::No, T(-1), l2, ConstMatrixView<T>(top), T(1), bot);
+  copy(ConstMatrixView<T>(top), a1);
+  copy(ConstMatrixView<T>(bot), a2);
+}
+
+#define LUQR_INST(T)                                                          \
+  template int tstrf<T>(MatrixView<T>, MatrixView<T>, MatrixView<T>,          \
+                        std::vector<int>&);                                   \
+  template void ssssm<T>(ConstMatrixView<T>, ConstMatrixView<T>,              \
+                         const std::vector<int>&, MatrixView<T>, MatrixView<T>);
+LUQR_INST(double)
+LUQR_INST(float)
+#undef LUQR_INST
+
+}  // namespace luqr::kern

@@ -1,0 +1,91 @@
+// Non-owning column-major matrix views.
+//
+// Every kernel in luqr::kern operates on MatrixView/ConstMatrixView — a
+// (pointer, rows, cols, leading-dimension) quadruple in LAPACK's column-major
+// convention. Views are cheap to copy and to sub-slice, which is how the
+// tiled algorithms address panels, trailing submatrices and stacked panel
+// buffers without copying data.
+#pragma once
+
+#include <cstddef>
+
+#include "common/error.hpp"
+
+namespace luqr::kern {
+
+/// Mutable column-major view: element (i, j) lives at data[i + j*ld].
+template <typename T>
+struct MatrixView {
+  T* data = nullptr;
+  int rows = 0;
+  int cols = 0;
+  int ld = 0;  ///< leading dimension, >= rows
+
+  MatrixView() = default;
+  MatrixView(T* d, int r, int c, int l) : data(d), rows(r), cols(c), ld(l) {
+    LUQR_REQUIRE(r >= 0 && c >= 0 && l >= r, "bad view shape");
+  }
+
+  T& operator()(int i, int j) const { return data[static_cast<std::size_t>(j) * ld + i]; }
+
+  /// Sub-view of rows [i0, i0+nr) x cols [j0, j0+nc).
+  MatrixView block(int i0, int j0, int nr, int nc) const {
+    LUQR_REQUIRE(i0 >= 0 && j0 >= 0 && i0 + nr <= rows && j0 + nc <= cols,
+                 "block out of range");
+    return MatrixView(data + static_cast<std::size_t>(j0) * ld + i0, nr, nc, ld);
+  }
+
+  /// Column j as an (rows x 1) view.
+  MatrixView col(int j) const { return block(0, j, rows, 1); }
+};
+
+/// Read-only column-major view.
+template <typename T>
+struct ConstMatrixView {
+  const T* data = nullptr;
+  int rows = 0;
+  int cols = 0;
+  int ld = 0;
+
+  ConstMatrixView() = default;
+  ConstMatrixView(const T* d, int r, int c, int l) : data(d), rows(r), cols(c), ld(l) {
+    LUQR_REQUIRE(r >= 0 && c >= 0 && l >= r, "bad view shape");
+  }
+  // Implicit widening from a mutable view.
+  ConstMatrixView(const MatrixView<T>& v)  // NOLINT(google-explicit-constructor)
+      : data(v.data), rows(v.rows), cols(v.cols), ld(v.ld) {}
+
+  const T& operator()(int i, int j) const {
+    return data[static_cast<std::size_t>(j) * ld + i];
+  }
+
+  ConstMatrixView block(int i0, int j0, int nr, int nc) const {
+    LUQR_REQUIRE(i0 >= 0 && j0 >= 0 && i0 + nr <= rows && j0 + nc <= cols,
+                 "block out of range");
+    return ConstMatrixView(data + static_cast<std::size_t>(j0) * ld + i0, nr, nc, ld);
+  }
+};
+
+/// Set all elements of a view.
+template <typename T>
+void fill(const MatrixView<T>& a, T value) {
+  for (int j = 0; j < a.cols; ++j)
+    for (int i = 0; i < a.rows; ++i) a(i, j) = value;
+}
+
+/// Copy src into dst (shapes must match).
+template <typename T>
+void copy(const ConstMatrixView<T>& src, const MatrixView<T>& dst) {
+  LUQR_REQUIRE(src.rows == dst.rows && src.cols == dst.cols, "copy shape mismatch");
+  for (int j = 0; j < src.cols; ++j)
+    for (int i = 0; i < src.rows; ++i) dst(i, j) = src(i, j);
+}
+
+/// Set a view to the identity (1 on the main diagonal, 0 elsewhere).
+template <typename T>
+void set_identity(const MatrixView<T>& a) {
+  for (int j = 0; j < a.cols; ++j)
+    for (int i = 0; i < a.rows; ++i) a(i, j) = (i == j) ? T(1) : T(0);
+}
+
+}  // namespace luqr::kern

@@ -1,0 +1,143 @@
+#include <algorithm>
+#include <cmath>
+
+#include "kernels/lapack.hpp"
+#include "kernels/norms.hpp"
+
+namespace luqr::kern {
+
+template <typename T>
+T lange(Norm norm, ConstMatrixView<T> a) {
+  const int m = a.rows, n = a.cols;
+  if (m == 0 || n == 0) return T(0);
+  switch (norm) {
+    case Norm::One: {
+      T best = T(0);
+      for (int j = 0; j < n; ++j) {
+        T s = T(0);
+        for (int i = 0; i < m; ++i) s += std::abs(a(i, j));
+        best = std::max(best, s);
+      }
+      return best;
+    }
+    case Norm::Inf: {
+      std::vector<T> s(static_cast<std::size_t>(m), T(0));
+      for (int j = 0; j < n; ++j)
+        for (int i = 0; i < m; ++i) s[static_cast<std::size_t>(i)] += std::abs(a(i, j));
+      return *std::max_element(s.begin(), s.end());
+    }
+    case Norm::Max: {
+      T best = T(0);
+      for (int j = 0; j < n; ++j)
+        for (int i = 0; i < m; ++i) best = std::max(best, std::abs(a(i, j)));
+      return best;
+    }
+    case Norm::Fro: {
+      T s = T(0);
+      for (int j = 0; j < n; ++j)
+        for (int i = 0; i < m; ++i) s += a(i, j) * a(i, j);
+      return std::sqrt(s);
+    }
+  }
+  return T(0);
+}
+
+namespace {
+
+// x <- A^{-1} x or A^{-T} x via the LU factors.
+template <typename T>
+void lu_solve_vec(ConstMatrixView<T> lu, const std::vector<int>& piv, bool transpose,
+                  T* x) {
+  const int n = lu.rows;
+  MatrixView<T> xv(x, n, 1, n);
+  std::vector<int> pv = piv;
+  if (!transpose) {
+    laswp(xv, pv, true);
+    trsm(Side::Left, Uplo::Lower, Trans::No, Diag::Unit, T(1), lu, xv);
+    trsm(Side::Left, Uplo::Upper, Trans::No, Diag::NonUnit, T(1), lu, xv);
+  } else {
+    // A^T = (P^T L U)^T = U^T L^T P  =>  A^{-T} x = P^T L^{-T} U^{-T} x.
+    trsm(Side::Left, Uplo::Upper, Trans::Yes, Diag::NonUnit, T(1), lu, xv);
+    trsm(Side::Left, Uplo::Lower, Trans::Yes, Diag::Unit, T(1), lu, xv);
+    laswp(xv, pv, false);
+  }
+}
+
+}  // namespace
+
+template <typename T>
+T norm1_inv_exact(ConstMatrixView<T> lu, const std::vector<int>& piv) {
+  const int n = lu.rows;
+  std::vector<T> x(static_cast<std::size_t>(n));
+  T best = T(0);
+  for (int j = 0; j < n; ++j) {
+    std::fill(x.begin(), x.end(), T(0));
+    x[static_cast<std::size_t>(j)] = T(1);
+    lu_solve_vec(lu, piv, false, x.data());
+    T s = T(0);
+    for (const T v : x) s += std::abs(v);
+    best = std::max(best, s);
+  }
+  return best;
+}
+
+template <typename T>
+T norm1_inv_estimate(ConstMatrixView<T> lu, const std::vector<int>& piv,
+                     int max_iter) {
+  const int n = lu.rows;
+  if (n == 0) return T(0);
+  std::vector<T> x(static_cast<std::size_t>(n), T(1) / T(n));
+  std::vector<T> z(static_cast<std::size_t>(n));
+  T est = T(0);
+  int last_j = -1;
+  for (int iter = 0; iter < max_iter; ++iter) {
+    // y = A^{-1} x.
+    lu_solve_vec(lu, piv, false, x.data());
+    T ynorm = T(0);
+    for (const T v : x) ynorm += std::abs(v);
+    est = std::max(est, ynorm);
+    // xi = sign(y); z = A^{-T} xi.
+    for (std::size_t i = 0; i < x.size(); ++i)
+      z[i] = x[i] >= T(0) ? T(1) : T(-1);
+    lu_solve_vec(lu, piv, true, z.data());
+    int jmax = 0;
+    for (int i = 1; i < n; ++i)
+      if (std::abs(z[static_cast<std::size_t>(i)]) >
+          std::abs(z[static_cast<std::size_t>(jmax)]))
+        jmax = i;
+    if (jmax == last_j) break;
+    last_j = jmax;
+    std::fill(x.begin(), x.end(), T(0));
+    x[static_cast<std::size_t>(jmax)] = T(1);
+  }
+  return est;
+}
+
+template <typename T>
+T norm1_inv_upper_exact(ConstMatrixView<T> r) {
+  const int n = r.rows;
+  std::vector<T> x(static_cast<std::size_t>(n));
+  T best = T(0);
+  for (int j = 0; j < n; ++j) {
+    std::fill(x.begin(), x.end(), T(0));
+    x[static_cast<std::size_t>(j)] = T(1);
+    MatrixView<T> xv(x.data(), n, 1, n);
+    trsm(Side::Left, Uplo::Upper, Trans::No, Diag::NonUnit, T(1), r, xv);
+    T s = T(0);
+    for (const T v : x) s += std::abs(v);
+    best = std::max(best, s);
+  }
+  return best;
+}
+
+#define LUQR_INST(T)                                                           \
+  template T lange<T>(Norm, ConstMatrixView<T>);                               \
+  template T norm1_inv_exact<T>(ConstMatrixView<T>, const std::vector<int>&);  \
+  template T norm1_inv_estimate<T>(ConstMatrixView<T>, const std::vector<int>&, \
+                                   int);                                       \
+  template T norm1_inv_upper_exact<T>(ConstMatrixView<T>);
+LUQR_INST(double)
+LUQR_INST(float)
+#undef LUQR_INST
+
+}  // namespace luqr::kern

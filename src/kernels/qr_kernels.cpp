@@ -1,0 +1,106 @@
+#include <cmath>
+#include <vector>
+
+#include "kernels/lapack.hpp"
+
+namespace luqr::kern {
+
+namespace {
+
+// Generate an elementary Householder reflector H = I - tau v v^T with
+// v = [1; x'] such that H [alpha; x] = [beta; 0]. On exit alpha = beta and
+// x holds v[1:]. Returns tau (0 when x is already zero).
+template <typename T>
+T larfg(T& alpha, T* x, int n, int incx = 1) {
+  T xnorm2 = T(0);
+  for (int i = 0; i < n; ++i) {
+    const T xi = x[i * incx];
+    xnorm2 += xi * xi;
+  }
+  if (xnorm2 == T(0)) return T(0);
+  const T beta = -std::copysign(std::sqrt(alpha * alpha + xnorm2), alpha);
+  const T tau = (beta - alpha) / beta;
+  const T scale = T(1) / (alpha - beta);
+  for (int i = 0; i < n; ++i) x[i * incx] *= scale;
+  alpha = beta;
+  return tau;
+}
+
+}  // namespace
+
+template <typename T>
+void geqrt(MatrixView<T> a, MatrixView<T> t) {
+  const int m = a.rows, n = a.cols;
+  LUQR_REQUIRE(m >= n, "geqrt: m >= n required");
+  LUQR_REQUIRE(t.rows >= n && t.cols >= n, "geqrt: T too small");
+  fill(t.block(0, 0, n, n), T(0));
+  std::vector<T> work(static_cast<std::size_t>(n));
+  for (int j = 0; j < n; ++j) {
+    // Reflector for column j.
+    const T tau = larfg(a(j, j), m > j + 1 ? &a(j + 1, j) : nullptr, m - j - 1);
+    t(j, j) = tau;
+    if (tau != T(0)) {
+      // Apply (I - tau v v^T) to the trailing columns, v = [1; A(j+1:m, j)].
+      for (int jj = j + 1; jj < n; ++jj) {
+        T w = a(j, jj);
+        for (int i = j + 1; i < m; ++i) w += a(i, j) * a(i, jj);
+        w *= tau;
+        a(j, jj) -= w;
+        for (int i = j + 1; i < m; ++i) a(i, jj) -= a(i, j) * w;
+      }
+    }
+    // T(0:j, j) = -tau * T(0:j, 0:j) * (V(:, 0:j)^T v_j): the forward
+    // columnwise accumulation of the compact WY factor.
+    if (j > 0 && tau != T(0)) {
+      for (int i = 0; i < j; ++i) {
+        T z = a(j, i);  // V(j, i), the unit of v_j hits row j of column i
+        for (int r = j + 1; r < m; ++r) z += a(r, i) * a(r, j);
+        work[static_cast<std::size_t>(i)] = z;
+      }
+      for (int i = 0; i < j; ++i) {
+        T acc = T(0);
+        for (int l = i; l < j; ++l) acc += t(i, l) * work[static_cast<std::size_t>(l)];
+        t(i, j) = -tau * acc;
+      }
+    }
+  }
+}
+
+template <typename T>
+void unmqr(Trans trans, ConstMatrixView<T> v, ConstMatrixView<T> t, MatrixView<T> c) {
+  const int m = c.rows, n = c.cols, k = v.cols;
+  LUQR_REQUIRE(v.rows == m && t.rows >= k && t.cols >= k, "unmqr shape mismatch");
+  if (m == 0 || n == 0 || k == 0) return;
+  // W = V^T C with V unit lower trapezoidal (implicit unit diagonal).
+  std::vector<T> wbuf(static_cast<std::size_t>(k) * n);
+  MatrixView<T> w(wbuf.data(), k, n, k);
+  for (int j = 0; j < n; ++j) {
+    for (int i = 0; i < k; ++i) {
+      T acc = c(i, j);  // unit diagonal element of column i
+      for (int r = i + 1; r < m; ++r) acc += v(r, i) * c(r, j);
+      w(i, j) = acc;
+    }
+  }
+  // W <- op(T) W.
+  trmm(Side::Left, Uplo::Upper, trans == Trans::Yes ? Trans::Yes : Trans::No,
+       Diag::NonUnit, T(1), t.block(0, 0, k, k), w);
+  // C <- C - V W.
+  for (int j = 0; j < n; ++j) {
+    for (int i = 0; i < k; ++i) {
+      const T wij = w(i, j);
+      if (wij == T(0)) continue;
+      c(i, j) -= wij;  // unit diagonal
+      for (int r = i + 1; r < m; ++r) c(r, j) -= v(r, i) * wij;
+    }
+  }
+}
+
+#define LUQR_INST(T)                                                   \
+  template void geqrt<T>(MatrixView<T>, MatrixView<T>);                \
+  template void unmqr<T>(Trans, ConstMatrixView<T>, ConstMatrixView<T>, \
+                         MatrixView<T>);
+LUQR_INST(double)
+LUQR_INST(float)
+#undef LUQR_INST
+
+}  // namespace luqr::kern

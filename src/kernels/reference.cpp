@@ -1,0 +1,114 @@
+#include <cmath>
+
+#include "kernels/reference.hpp"
+
+namespace luqr::kern {
+
+template <typename T>
+void ref_gemm(Trans transa, Trans transb, T alpha, ConstMatrixView<T> a,
+              ConstMatrixView<T> b, T beta, MatrixView<T> c) {
+  const int m = c.rows, n = c.cols;
+  const int k = transa == Trans::No ? a.cols : a.rows;
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      T acc = T(0);
+      for (int l = 0; l < k; ++l) {
+        const T av = transa == Trans::No ? a(i, l) : a(l, i);
+        const T bv = transb == Trans::No ? b(l, j) : b(j, l);
+        acc += av * bv;
+      }
+      c(i, j) = alpha * acc + (beta == T(0) ? T(0) : beta * c(i, j));
+    }
+  }
+}
+
+namespace {
+
+// Apply H = I - tau v v^T (v given as a dense length-m vector) to Q from the
+// right: Q <- Q H. Accumulating right-to-left yields Q = H_0 H_1 ... H_{k-1}.
+template <typename T>
+void apply_reflector_right(Matrix<T>& q, const std::vector<T>& v, T tau) {
+  const int m = q.rows();
+  for (int i = 0; i < m; ++i) {
+    T dot = T(0);
+    for (int r = 0; r < m; ++r) dot += q(i, r) * v[static_cast<std::size_t>(r)];
+    dot *= tau;
+    for (int r = 0; r < m; ++r) q(i, r) -= dot * v[static_cast<std::size_t>(r)];
+  }
+}
+
+}  // namespace
+
+template <typename T>
+Matrix<T> q_from_geqrt(ConstMatrixView<T> v, ConstMatrixView<T> t) {
+  const int m = v.rows, k = v.cols;
+  Matrix<T> q = Matrix<T>::identity(m);
+  std::vector<T> vec(static_cast<std::size_t>(m));
+  for (int j = 0; j < k; ++j) {
+    for (int i = 0; i < m; ++i)
+      vec[static_cast<std::size_t>(i)] = i < j ? T(0) : (i == j ? T(1) : v(i, j));
+    apply_reflector_right(q, vec, t(j, j));
+  }
+  return q;
+}
+
+template <typename T>
+Matrix<T> q_from_tsqrt(ConstMatrixView<T> v, ConstMatrixView<T> t, int nb) {
+  const int m = v.rows;
+  Matrix<T> q = Matrix<T>::identity(nb + m);
+  std::vector<T> vec(static_cast<std::size_t>(nb + m));
+  for (int j = 0; j < nb; ++j) {
+    for (int i = 0; i < nb + m; ++i) {
+      if (i < nb) {
+        vec[static_cast<std::size_t>(i)] = i == j ? T(1) : T(0);
+      } else {
+        vec[static_cast<std::size_t>(i)] = v(i - nb, j);
+      }
+    }
+    apply_reflector_right(q, vec, t(j, j));
+  }
+  return q;
+}
+
+template <typename T>
+Matrix<T> q_from_ttqrt(ConstMatrixView<T> v, ConstMatrixView<T> t, int nb) {
+  Matrix<T> q = Matrix<T>::identity(2 * nb);
+  std::vector<T> vec(static_cast<std::size_t>(2 * nb));
+  for (int j = 0; j < nb; ++j) {
+    for (int i = 0; i < 2 * nb; ++i) {
+      if (i < nb) {
+        vec[static_cast<std::size_t>(i)] = i == j ? T(1) : T(0);
+      } else {
+        const int r = i - nb;
+        vec[static_cast<std::size_t>(i)] = r <= j ? v(r, j) : T(0);
+      }
+    }
+    apply_reflector_right(q, vec, t(j, j));
+  }
+  return q;
+}
+
+template <typename T>
+T max_abs_diff(ConstMatrixView<T> a, ConstMatrixView<T> b) {
+  LUQR_REQUIRE(a.rows == b.rows && a.cols == b.cols, "max_abs_diff shape mismatch");
+  T best = T(0);
+  for (int j = 0; j < a.cols; ++j)
+    for (int i = 0; i < a.rows; ++i)
+      best = std::max(best, std::abs(a(i, j) - b(i, j)));
+  return best;
+}
+
+#define LUQR_INST(T)                                                          \
+  template void ref_gemm<T>(Trans, Trans, T, ConstMatrixView<T>,              \
+                            ConstMatrixView<T>, T, MatrixView<T>);            \
+  template Matrix<T> q_from_geqrt<T>(ConstMatrixView<T>, ConstMatrixView<T>); \
+  template Matrix<T> q_from_tsqrt<T>(ConstMatrixView<T>, ConstMatrixView<T>,  \
+                                     int);                                    \
+  template Matrix<T> q_from_ttqrt<T>(ConstMatrixView<T>, ConstMatrixView<T>,  \
+                                     int);                                    \
+  template T max_abs_diff<T>(ConstMatrixView<T>, ConstMatrixView<T>);
+LUQR_INST(double)
+LUQR_INST(float)
+#undef LUQR_INST
+
+}  // namespace luqr::kern

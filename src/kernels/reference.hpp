@@ -1,0 +1,39 @@
+// Naive reference implementations used by the test suite to cross-check the
+// optimized kernels. Deliberately written with different loop structures
+// (plain triple loops, explicit reflector accumulation) so a bug in the fast
+// path cannot hide in a shared helper.
+#pragma once
+
+#include <vector>
+
+#include "kernels/blas.hpp"
+#include "kernels/dense.hpp"
+
+namespace luqr::kern {
+
+/// Plain ijk triple-loop C <- alpha op(A) op(B) + beta C.
+template <typename T>
+void ref_gemm(Trans transa, Trans transb, T alpha, ConstMatrixView<T> a,
+              ConstMatrixView<T> b, T beta, MatrixView<T> c);
+
+/// Build the explicit m x m orthogonal Q from a GEQRT factorization by
+/// accumulating elementary reflectors H_0 H_1 ... H_{k-1} (uses only V and
+/// the taus on T's diagonal, independently of the block-T accumulation).
+template <typename T>
+Matrix<T> q_from_geqrt(ConstMatrixView<T> v, ConstMatrixView<T> t);
+
+/// Build the explicit (nb+m) x (nb+m) Q from a TSQRT factorization
+/// (stacked reflectors [e_j; V(:,j)]).
+template <typename T>
+Matrix<T> q_from_tsqrt(ConstMatrixView<T> v, ConstMatrixView<T> t, int nb);
+
+/// Build the explicit 2nb x 2nb Q from a TTQRT factorization
+/// (stacked reflectors [e_j; V(0:j+1, j); 0]).
+template <typename T>
+Matrix<T> q_from_ttqrt(ConstMatrixView<T> v, ConstMatrixView<T> t, int nb);
+
+/// Max |a - b| over all elements.
+template <typename T>
+T max_abs_diff(ConstMatrixView<T> a, ConstMatrixView<T> b);
+
+}  // namespace luqr::kern

@@ -1,0 +1,142 @@
+#include <vector>
+
+#include "kernels/blas.hpp"
+
+namespace luqr::kern {
+
+namespace {
+
+// Solve op(A) x = b in place for one column b, A triangular m x m.
+template <typename T>
+void solve_col(Uplo uplo, Trans trans, Diag diag, const ConstMatrixView<T>& a, T* b) {
+  const int m = a.rows;
+  const bool unit = diag == Diag::Unit;
+  if (uplo == Uplo::Lower && trans == Trans::No) {
+    // Forward substitution, axpy form.
+    for (int l = 0; l < m; ++l) {
+      if (!unit) b[l] /= a(l, l);
+      const T bl = b[l];
+      for (int i = l + 1; i < m; ++i) b[i] -= a(i, l) * bl;
+    }
+  } else if (uplo == Uplo::Upper && trans == Trans::No) {
+    // Backward substitution, axpy form.
+    for (int l = m - 1; l >= 0; --l) {
+      if (!unit) b[l] /= a(l, l);
+      const T bl = b[l];
+      for (int i = 0; i < l; ++i) b[i] -= a(i, l) * bl;
+    }
+  } else if (uplo == Uplo::Lower && trans == Trans::Yes) {
+    // L^T x = b: backward, dot form.
+    for (int l = m - 1; l >= 0; --l) {
+      T acc = b[l];
+      for (int i = l + 1; i < m; ++i) acc -= a(i, l) * b[i];
+      b[l] = unit ? acc : acc / a(l, l);
+    }
+  } else {
+    // U^T x = b: forward, dot form.
+    for (int l = 0; l < m; ++l) {
+      T acc = b[l];
+      for (int i = 0; i < l; ++i) acc -= a(i, l) * b[i];
+      b[l] = unit ? acc : acc / a(l, l);
+    }
+  }
+}
+
+}  // namespace
+
+template <typename T>
+void trsm(Side side, Uplo uplo, Trans trans, Diag diag, T alpha,
+          ConstMatrixView<T> a, MatrixView<T> b) {
+  LUQR_REQUIRE(a.rows == a.cols, "trsm: A must be square");
+  const int m = b.rows, n = b.cols;
+  LUQR_REQUIRE(side == Side::Left ? a.rows == m : a.rows == n,
+               "trsm dimension mismatch");
+  if (alpha != T(1)) {
+    for (int j = 0; j < n; ++j)
+      for (int i = 0; i < m; ++i) b(i, j) *= alpha;
+  }
+  if (m == 0 || n == 0) return;
+
+  if (side == Side::Left) {
+    for (int j = 0; j < n; ++j) solve_col(uplo, trans, diag, a, &b(0, j));
+    return;
+  }
+
+  // side == Right: solve X * op(A) = B column-block-wise; effectively a
+  // triangular solve over the columns of B.
+  const bool unit = diag == Diag::Unit;
+  auto axpy_col = [&](int dst, int src, T coef) {
+    if (coef == T(0)) return;
+    T* d = &b(0, dst);
+    const T* s = &b(0, src);
+    for (int i = 0; i < m; ++i) d[i] -= s[i] * coef;
+  };
+  auto scale_col = [&](int j, T denom) {
+    T* d = &b(0, j);
+    for (int i = 0; i < m; ++i) d[i] /= denom;
+  };
+  const bool left_to_right = (uplo == Uplo::Upper) == (trans == Trans::No);
+  if (left_to_right) {
+    for (int j = 0; j < n; ++j) {
+      for (int l = 0; l < j; ++l)
+        axpy_col(j, l, trans == Trans::No ? a(l, j) : a(j, l));
+      if (!unit) scale_col(j, a(j, j));
+    }
+  } else {
+    for (int j = n - 1; j >= 0; --j) {
+      for (int l = j + 1; l < n; ++l)
+        axpy_col(j, l, trans == Trans::No ? a(l, j) : a(j, l));
+      if (!unit) scale_col(j, a(j, j));
+    }
+  }
+}
+
+template <typename T>
+void trmm(Side side, Uplo uplo, Trans trans, Diag diag, T alpha,
+          ConstMatrixView<T> a, MatrixView<T> b) {
+  LUQR_REQUIRE(a.rows == a.cols, "trmm: A must be square");
+  const int m = b.rows, n = b.cols;
+  LUQR_REQUIRE(side == Side::Left ? a.rows == m : a.rows == n,
+               "trmm dimension mismatch");
+  const bool unit = diag == Diag::Unit;
+  // tri(i, l) = element (i, l) of op(A) restricted to the stored triangle.
+  auto tri = [&](int i, int l) -> T {
+    const int r = trans == Trans::No ? i : l;
+    const int c = trans == Trans::No ? l : i;
+    const bool stored = (uplo == Uplo::Lower) ? (r >= c) : (r <= c);
+    if (!stored) return T(0);
+    if (r == c && unit) return T(1);
+    return a(r, c);
+  };
+  std::vector<T> tmp(static_cast<std::size_t>(side == Side::Left ? m : n));
+  if (side == Side::Left) {
+    for (int j = 0; j < n; ++j) {
+      for (int i = 0; i < m; ++i) {
+        T acc = T(0);
+        for (int l = 0; l < m; ++l) acc += tri(i, l) * b(l, j);
+        tmp[static_cast<std::size_t>(i)] = alpha * acc;
+      }
+      for (int i = 0; i < m; ++i) b(i, j) = tmp[static_cast<std::size_t>(i)];
+    }
+  } else {
+    for (int i = 0; i < m; ++i) {
+      for (int j = 0; j < n; ++j) {
+        T acc = T(0);
+        for (int l = 0; l < n; ++l) acc += b(i, l) * tri(l, j);
+        tmp[static_cast<std::size_t>(j)] = alpha * acc;
+      }
+      for (int j = 0; j < n; ++j) b(i, j) = tmp[static_cast<std::size_t>(j)];
+    }
+  }
+}
+
+#define LUQR_INST(T)                                                      \
+  template void trsm<T>(Side, Uplo, Trans, Diag, T, ConstMatrixView<T>,  \
+                        MatrixView<T>);                                   \
+  template void trmm<T>(Side, Uplo, Trans, Diag, T, ConstMatrixView<T>,  \
+                        MatrixView<T>);
+LUQR_INST(double)
+LUQR_INST(float)
+#undef LUQR_INST
+
+}  // namespace luqr::kern

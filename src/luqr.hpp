@@ -1,0 +1,34 @@
+// Umbrella header for the luqr library.
+//
+// Typical usage (see examples/quickstart.cpp):
+//
+//   luqr::MaxCriterion criterion(/*alpha=*/6000.0);
+//   luqr::core::HybridOptions options;
+//   options.grid_p = 4; options.grid_q = 4;
+//   auto result = luqr::core::hybrid_solve(A, b, criterion, /*nb=*/64, options);
+//   double accuracy = luqr::verify::hpl3(A, result.x, b);
+#pragma once
+
+#include "baselines/baselines.hpp"
+#include "common/env.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "common/timer.hpp"
+#include "core/hybrid.hpp"
+#include "core/autotune.hpp"
+#include "core/factorization.hpp"
+#include "core/solve.hpp"
+#include "criteria/criteria.hpp"
+#include "gen/generators.hpp"
+#include "hqr/elimination.hpp"
+#include "hqr/trees.hpp"
+#include "kernels/blas.hpp"
+#include "kernels/dense.hpp"
+#include "kernels/lapack.hpp"
+#include "io/matrix_market.hpp"
+#include "kernels/norms.hpp"
+#include "runtime/parallel_hybrid.hpp"
+#include "sim/simulate.hpp"
+#include "tile/process_grid.hpp"
+#include "tile/tile_matrix.hpp"
+#include "verify/verify.hpp"

@@ -1,0 +1,141 @@
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "runtime/engine.hpp"
+
+namespace luqr::rt {
+
+Engine::Engine(int num_threads) {
+  LUQR_REQUIRE(num_threads > 0, "engine needs at least one worker");
+  workers_.reserve(static_cast<std::size_t>(num_threads));
+  for (int t = 0; t < num_threads; ++t)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+Engine::~Engine() {
+  // Drain without rethrowing (a destructor must not throw); an unobserved
+  // task error is dropped here.
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [this] { return outstanding_ == 0; });
+    shutdown_ = true;
+  }
+  ready_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+TaskId Engine::submit(std::function<void()> fn, const std::vector<Dep>& deps,
+                      std::string name) {
+  std::unique_lock<std::mutex> lock(mu_);
+  const TaskId id = next_id_++;
+  Task& task = tasks_[id];
+  task.fn = std::move(fn);
+  task.name = std::move(name);
+  ++outstanding_;
+
+  // Infer predecessors from the access history of each datum. A duplicate
+  // predecessor only inflates the counter symmetrically (the successor edge
+  // is added once per inference), so we de-duplicate locally.
+  std::vector<TaskId> preds;
+  auto add_pred = [&](TaskId p) {
+    if (p == 0) return;
+    auto it = tasks_.find(p);
+    if (it == tasks_.end() || it->second.done) return;
+    if (std::find(preds.begin(), preds.end(), p) != preds.end()) return;
+    preds.push_back(p);
+  };
+
+  for (const Dep& d : deps) {
+    DataState& st = data_[d.key];
+    if (d.mode == Access::Read) {
+      if (st.has_writer) add_pred(st.last_writer);
+      st.readers.push_back(id);
+    } else {
+      // Write / ReadWrite: after the last writer and every reader since.
+      if (st.has_writer) add_pred(st.last_writer);
+      for (TaskId r : st.readers)
+        if (r != id) add_pred(r);
+      st.readers.clear();
+      st.last_writer = id;
+      st.has_writer = true;
+    }
+  }
+
+  task.unresolved = static_cast<int>(preds.size());
+  for (TaskId p : preds) tasks_[p].successors.push_back(id);
+
+  if (task.unresolved == 0) {
+    ready_.push_back(id);
+    lock.unlock();
+    ready_cv_.notify_one();
+  }
+  return id;
+}
+
+void Engine::worker_loop() {
+  for (;;) {
+    TaskId id = 0;
+    std::function<void()> fn;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      ready_cv_.wait(lock, [this] { return shutdown_ || !ready_.empty(); });
+      if (ready_.empty()) return;  // shutdown with drained queue
+      id = ready_.front();
+      ready_.pop_front();
+      fn = std::move(tasks_[id].fn);
+    }
+    try {
+      fn();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    finish_task(id);
+  }
+}
+
+void Engine::finish_task(TaskId id) {
+  std::vector<TaskId> now_ready;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Task& task = tasks_[id];
+    task.done = true;
+    task.fn = nullptr;
+    for (TaskId s : task.successors) {
+      Task& succ = tasks_[s];
+      if (--succ.unresolved == 0) now_ready.push_back(s);
+    }
+    task.successors.clear();
+    for (TaskId r : now_ready) ready_.push_back(r);
+    --outstanding_;
+    ++executed_;
+  }
+  if (!now_ready.empty()) ready_cv_.notify_all();
+  done_cv_.notify_all();
+}
+
+void Engine::wait(TaskId id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this, id] {
+    auto it = tasks_.find(id);
+    return it == tasks_.end() || it->second.done;
+  });
+}
+
+void Engine::wait_all() {
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return outstanding_ == 0; });
+  if (first_error_) {
+    std::exception_ptr e = first_error_;
+    first_error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(e);
+  }
+}
+
+std::uint64_t Engine::tasks_executed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return executed_;
+}
+
+}  // namespace luqr::rt

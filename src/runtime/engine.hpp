@@ -1,0 +1,107 @@
+// A superscalar dataflow task engine — the PaRSEC stand-in.
+//
+// The paper implements the hybrid algorithm on PaRSEC's parameterized task
+// graphs, extended with selection (Propagate) tasks because the LU/QR fork
+// is only known at run time. This engine achieves the same dynamic-DAG
+// capability differently: tasks are inserted online (StarPU/OmpSs style) and
+// dependencies are inferred automatically from declared data accesses —
+// a task that writes a tile runs after every earlier task that read or wrote
+// it; readers of a tile run after its last writer.
+//
+// The hybrid driver (parallel_hybrid.cpp) re-creates the paper's
+// Backup-Panel -> LU-On-Panel -> decision -> {LU | restore + QR} structure
+// on top: the submitting thread waits only on each step's panel/decision
+// task while the workers keep draining the previous steps' trailing updates,
+// which is exactly the overlap PaRSEC extracts.
+//
+// Thread-safety: submit/wait may be called from any thread; task functions
+// must confine themselves to their declared accesses (unchecked, as in every
+// runtime of this family).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace luqr::rt {
+
+/// Declared access mode of one task on one datum.
+enum class Access { Read, Write, ReadWrite };
+
+/// One (datum, mode) pair; the datum is identified by its storage address
+/// (tile data pointers are unique and stable).
+struct Dep {
+  const void* key = nullptr;
+  Access mode = Access::Read;
+};
+
+using TaskId = std::uint64_t;
+
+/// Dataflow engine with a fixed worker pool.
+class Engine {
+ public:
+  explicit Engine(int num_threads);
+  ~Engine();  // drains all tasks, then joins the workers
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Insert a task. It becomes ready once every inferred predecessor has
+  /// completed. Returns an id usable with wait().
+  TaskId submit(std::function<void()> fn, const std::vector<Dep>& deps,
+                std::string name = {});
+
+  /// Block until the given task has completed.
+  void wait(TaskId id);
+
+  /// Block until every submitted task has completed. If any task threw, the
+  /// first captured exception is rethrown here (and the engine keeps
+  /// draining the remaining tasks first, so the graph state is quiescent).
+  void wait_all();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Total tasks executed so far (telemetry for tests/benches).
+  std::uint64_t tasks_executed() const;
+
+ private:
+  struct Task {
+    std::function<void()> fn;
+    std::string name;
+    int unresolved = 0;
+    bool done = false;
+    std::vector<TaskId> successors;
+  };
+
+  // Last-writer / readers-since-last-write tracking per datum.
+  struct DataState {
+    TaskId last_writer = 0;
+    bool has_writer = false;
+    std::vector<TaskId> readers;
+  };
+
+  void worker_loop();
+  void finish_task(TaskId id);
+
+  mutable std::mutex mu_;
+  std::condition_variable ready_cv_;  // workers: work available / shutdown
+  std::condition_variable done_cv_;   // waiters: task/all done
+  std::deque<TaskId> ready_;
+  std::unordered_map<TaskId, Task> tasks_;
+  std::unordered_map<const void*, DataState> data_;
+  TaskId next_id_ = 1;
+  std::uint64_t outstanding_ = 0;
+  std::uint64_t executed_ = 0;
+  bool shutdown_ = false;
+  std::exception_ptr first_error_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace luqr::rt

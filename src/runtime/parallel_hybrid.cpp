@@ -1,0 +1,289 @@
+#include <memory>
+#include <utility>
+
+#include "core/lu_step.hpp"
+#include "core/panel.hpp"
+#include "hqr/trees.hpp"
+#include "kernels/lapack.hpp"
+#include "runtime/engine.hpp"
+#include "runtime/parallel_hybrid.hpp"
+#include "tile/process_grid.hpp"
+
+namespace luqr::rt {
+
+using core::FactorizationStats;
+using core::HybridOptions;
+using core::PanelFactorization;
+using core::StepKind;
+using core::StepRecord;
+using kern::ConstMatrixView;
+using kern::Diag;
+using kern::Side;
+using kern::Trans;
+using kern::Uplo;
+
+namespace {
+
+// Everything one step's tasks reference after the submitting thread has
+// moved on: the panel factorization, the backup, the decision, and the QR
+// block-reflector factors. Kept alive until the engine drains.
+struct StepContext {
+  PanelFactorization pf;
+  std::vector<std::vector<double>> backup;
+  bool lu = false;
+  // One T factor per QR factor kernel (geqrt per row, then one per
+  // elimination), allocated up front so pointers are stable task keys.
+  std::vector<std::unique_ptr<Matrix<double>>> t_factors;
+  Matrix<double>* new_t(int nb) {
+    t_factors.push_back(std::make_unique<Matrix<double>>(nb, nb));
+    return t_factors.back().get();
+  }
+};
+
+// Swap the trailing tiles of column j according to the stacked pivots.
+void swap_column(TileMatrix<double>& a, const PanelFactorization& pf, int j) {
+  const int nb = a.nb();
+  for (int s = 0; s < static_cast<int>(pf.piv.size()); ++s) {
+    const int p = pf.piv[static_cast<std::size_t>(s)];
+    const int t1 = pf.domain_rows[static_cast<std::size_t>(s / nb)];
+    const int t2 = pf.domain_rows[static_cast<std::size_t>(p / nb)];
+    const int r1 = s % nb, r2 = p % nb;
+    if (t1 == t2 && r1 == r2) continue;
+    auto tile1 = a.tile(t1, j);
+    auto tile2 = a.tile(t2, j);
+    for (int c = 0; c < nb; ++c) std::swap(tile1(r1, c), tile2(r2, c));
+  }
+}
+
+void submit_lu_step(Engine& engine, TileMatrix<double>& a, StepContext& ctx) {
+  const int k = ctx.pf.k;
+  const int n = a.mt();
+  const int nt = a.nt();
+  std::vector<bool> in_domain(static_cast<std::size_t>(n), false);
+  for (int r : ctx.pf.domain_rows) in_domain[static_cast<std::size_t>(r)] = true;
+
+  // Per-column swap + apply (SWPTRSM on the diagonal row).
+  for (int j = k + 1; j < nt; ++j) {
+    std::vector<Dep> deps;
+    for (int r : ctx.pf.domain_rows) deps.push_back({a.tile(r, j).data, Access::ReadWrite});
+    deps.push_back({a.tile(k, k).data, Access::Read});
+    engine.submit(
+        [&a, &ctx, j, k] {
+          swap_column(a, ctx.pf, j);
+          auto akj = a.tile(k, j);
+          kern::trsm(Side::Left, Uplo::Lower, Trans::No, Diag::Unit, 1.0,
+                     ConstMatrixView<double>(a.tile(k, k)), akj);
+        },
+        deps, "swptrsm");
+  }
+  // Eliminate non-domain rows.
+  for (int i = k + 1; i < n; ++i) {
+    if (in_domain[static_cast<std::size_t>(i)]) continue;
+    engine.submit(
+        [&a, i, k] {
+          auto aik = a.tile(i, k);
+          kern::trsm(Side::Right, Uplo::Upper, Trans::No, Diag::NonUnit, 1.0,
+                     ConstMatrixView<double>(a.tile(k, k)), aik);
+        },
+        {{a.tile(i, k).data, Access::ReadWrite}, {a.tile(k, k).data, Access::Read}},
+        "trsm");
+  }
+  // Embarrassingly parallel trailing update.
+  for (int i = k + 1; i < n; ++i) {
+    for (int j = k + 1; j < nt; ++j) {
+      engine.submit(
+          [&a, i, j, k] {
+            auto aij = a.tile(i, j);
+            kern::gemm(Trans::No, Trans::No, -1.0,
+                       ConstMatrixView<double>(a.tile(i, k)),
+                       ConstMatrixView<double>(a.tile(k, j)), 1.0, aij);
+          },
+          {{a.tile(i, j).data, Access::ReadWrite},
+           {a.tile(i, k).data, Access::Read},
+           {a.tile(k, j).data, Access::Read}},
+          "gemm");
+    }
+  }
+}
+
+void submit_qr_step(Engine& engine, TileMatrix<double>& a, StepContext& ctx,
+                    const ProcessGrid& grid, const hqr::TreeConfig& tree) {
+  const int k = ctx.pf.k;
+  const int n = a.mt();
+  const int nb = a.nb();
+  const int nt = a.nt();
+
+  // Restore the panel (Propagate's QR branch).
+  {
+    std::vector<Dep> deps;
+    for (int r : ctx.pf.domain_rows) deps.push_back({a.tile(r, k).data, Access::ReadWrite});
+    engine.submit(
+        [&a, &ctx, k, nb] {
+          for (std::size_t t = 0; t < ctx.pf.domain_rows.size(); ++t) {
+            auto tile = a.tile(ctx.pf.domain_rows[t], k);
+            const auto& buf = ctx.backup[t];
+            for (int j = 0; j < nb; ++j)
+              for (int i = 0; i < nb; ++i)
+                tile(i, j) = buf[static_cast<std::size_t>(j) * nb + i];
+          }
+        },
+        deps, "restore");
+  }
+
+  const auto list = hqr::elimination_list(grid.panel_domains(k, n), tree);
+
+  // Rows that must be triangular before acting: TS killers and every TT
+  // participant.
+  std::vector<bool> needs_geqrt(static_cast<std::size_t>(n), false);
+  for (const auto& e : list) {
+    needs_geqrt[static_cast<std::size_t>(e.killer)] = true;
+    if (e.kernel == hqr::ElimKernel::TT)
+      needs_geqrt[static_cast<std::size_t>(e.killed)] = true;
+  }
+  if (list.empty()) needs_geqrt[static_cast<std::size_t>(k)] = true;
+
+  for (int row = k; row < n; ++row) {
+    if (!needs_geqrt[static_cast<std::size_t>(row)]) continue;
+    Matrix<double>* t = ctx.new_t(nb);
+    engine.submit(
+        [&a, row, k, t] { kern::geqrt(a.tile(row, k), t->view()); },
+        {{a.tile(row, k).data, Access::ReadWrite}, {t->data(), Access::Write}},
+        "geqrt");
+    for (int j = k + 1; j < nt; ++j) {
+      engine.submit(
+          [&a, row, j, k, t] {
+            kern::unmqr(Trans::Yes, ConstMatrixView<double>(a.tile(row, k)),
+                        t->cview(), a.tile(row, j));
+          },
+          {{a.tile(row, j).data, Access::ReadWrite},
+           {a.tile(row, k).data, Access::Read},
+           {t->data(), Access::Read}},
+          "unmqr");
+    }
+  }
+
+  for (const auto& e : list) {
+    Matrix<double>* t = ctx.new_t(nb);
+    const bool ts = e.kernel == hqr::ElimKernel::TS;
+    engine.submit(
+        [&a, e, k, t, ts] {
+          if (ts) {
+            kern::tsqrt(a.tile(e.killer, k), a.tile(e.killed, k), t->view());
+          } else {
+            kern::ttqrt(a.tile(e.killer, k), a.tile(e.killed, k), t->view());
+          }
+        },
+        {{a.tile(e.killer, k).data, Access::ReadWrite},
+         {a.tile(e.killed, k).data, Access::ReadWrite},
+         {t->data(), Access::Write}},
+        ts ? "tsqrt" : "ttqrt");
+    for (int j = k + 1; j < nt; ++j) {
+      engine.submit(
+          [&a, e, j, k, t, ts] {
+            if (ts) {
+              kern::tsmqr(Trans::Yes, ConstMatrixView<double>(a.tile(e.killed, k)),
+                          t->cview(), a.tile(e.killer, j), a.tile(e.killed, j));
+            } else {
+              kern::ttmqr(Trans::Yes, ConstMatrixView<double>(a.tile(e.killed, k)),
+                          t->cview(), a.tile(e.killer, j), a.tile(e.killed, j));
+            }
+          },
+          {{a.tile(e.killer, j).data, Access::ReadWrite},
+           {a.tile(e.killed, j).data, Access::ReadWrite},
+           {a.tile(e.killed, k).data, Access::Read},
+           {t->data(), Access::Read}},
+          ts ? "tsmqr" : "ttmqr");
+    }
+  }
+}
+
+}  // namespace
+
+FactorizationStats parallel_hybrid_factor(TileMatrix<double>& a,
+                                          Criterion& criterion,
+                                          const HybridOptions& options,
+                                          int num_threads) {
+  LUQR_REQUIRE(!options.track_growth,
+               "growth tracking is only supported by the sequential driver");
+  LUQR_REQUIRE(options.variant == core::LuVariant::A1,
+               "the parallel driver implements variant A1 (the paper's "
+               "evaluated variant); use the sequential driver for A2/B1/B2");
+  const int n = a.mt();
+  LUQR_REQUIRE(a.nt() >= n, "matrix must contain its square part");
+  const ProcessGrid grid(options.grid_p, options.grid_q);
+
+  FactorizationStats stats;
+  Engine engine(num_threads);
+  std::vector<std::unique_ptr<StepContext>> steps;
+  steps.reserve(static_cast<std::size_t>(n));
+
+  for (int k = 0; k < n; ++k) {
+    auto ctx = std::make_unique<StepContext>();
+    StepContext* c = ctx.get();
+    steps.push_back(std::move(ctx));
+
+    std::vector<int> domain_rows;
+    switch (options.scope) {
+      case core::PivotScope::Tile: domain_rows = {k}; break;
+      case core::PivotScope::Domain: domain_rows = grid.diagonal_domain(k, n); break;
+      case core::PivotScope::Panel:
+        for (int i = k; i < n; ++i) domain_rows.push_back(i);
+        break;
+    }
+
+    // Panel task: backup + stacked factorization + criterion. Depends on all
+    // panel tiles (stats are gathered from the whole panel).
+    std::vector<Dep> deps;
+    for (int r : domain_rows) deps.push_back({a.tile(r, k).data, Access::ReadWrite});
+    std::vector<bool> in_domain(static_cast<std::size_t>(n), false);
+    for (int r : domain_rows) in_domain[static_cast<std::size_t>(r)] = true;
+    for (int i = k; i < n; ++i)
+      if (!in_domain[static_cast<std::size_t>(i)])
+        deps.push_back({a.tile(i, k).data, Access::Read});
+
+    const bool exact = options.exact_inv_norm;
+    const TaskId panel_id = engine.submit(
+        [&a, c, k, domain_rows, exact, &criterion] {
+          c->pf = core::factor_panel(a, k, domain_rows, exact, c->backup);
+          c->lu = criterion.accept_lu(c->pf.stats);
+        },
+        deps, "panel");
+
+    // The decision is the only thing the submitting thread blocks on; all
+    // trailing updates of earlier steps keep running in the workers.
+    engine.wait(panel_id);
+
+    StepRecord rec;
+    rec.k = k;
+    rec.kind = c->lu ? StepKind::LU : StepKind::QR;
+    rec.inv_norm_akk = c->pf.stats.inv_norm_akk;
+    for (double nrm : c->pf.stats.below_tile_norms)
+      rec.max_below = std::max(rec.max_below, nrm);
+    stats.steps.push_back(rec);
+
+    if (c->lu) {
+      ++stats.lu_steps;
+      submit_lu_step(engine, a, *c);
+    } else {
+      ++stats.qr_steps;
+      submit_qr_step(engine, a, *c, grid, options.tree);
+    }
+  }
+  engine.wait_all();
+  return stats;
+}
+
+core::SolveResult parallel_hybrid_solve(const Matrix<double>& a,
+                                        const Matrix<double>& b,
+                                        Criterion& criterion, int nb,
+                                        const core::HybridOptions& options,
+                                        int num_threads) {
+  TileMatrix<double> aug = core::make_augmented(a, b, nb);
+  core::SolveResult result;
+  result.stats = parallel_hybrid_factor(aug, criterion, options, num_threads);
+  core::back_substitute(aug);
+  result.x = core::extract_solution(aug, a.rows(), b.cols());
+  return result;
+}
+
+}  // namespace luqr::rt

@@ -1,0 +1,39 @@
+// Task-parallel hybrid LU-QR factorization on the dataflow engine.
+//
+// Mirrors core::hybrid_factor exactly (same kernels, same per-tile operation
+// order, hence bitwise-identical results — a property the tests assert), but
+// expressed as a dynamic task graph:
+//
+//   panel task (Backup + LU-On-Panel + criterion)  <- the decision
+//   LU path:  per-column swap+apply tasks, per-row eliminate tasks,
+//             per-tile GEMM update tasks (embarrassingly parallel)
+//   QR path:  restore task, then GEQRT/TSQRT/TTQRT factor tasks each
+//             fanning out per-column UNMQR/TSMQR/TTMQR update tasks
+//
+// The submitting thread blocks only on each step's panel task (the paper's
+// control-flow join at the Propagate layer); all trailing updates from
+// earlier steps keep executing meanwhile, which is the lookahead PaRSEC
+// provides.
+#pragma once
+
+#include "core/solve.hpp"
+#include "criteria/criteria.hpp"
+#include "tile/tile_matrix.hpp"
+
+namespace luqr::rt {
+
+/// Parallel equivalent of core::hybrid_factor. `track_growth` is not
+/// supported here (it would serialize every step).
+core::FactorizationStats parallel_hybrid_factor(TileMatrix<double>& a,
+                                                Criterion& criterion,
+                                                const core::HybridOptions& options,
+                                                int num_threads);
+
+/// Parallel equivalent of core::hybrid_solve.
+core::SolveResult parallel_hybrid_solve(const Matrix<double>& a,
+                                        const Matrix<double>& b,
+                                        Criterion& criterion, int nb,
+                                        const core::HybridOptions& options,
+                                        int num_threads);
+
+}  // namespace luqr::rt

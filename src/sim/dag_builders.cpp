@@ -1,0 +1,237 @@
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "sim/dag_builders.hpp"
+#include "tile/process_grid.hpp"
+
+namespace luqr::sim {
+
+namespace {
+
+// Shared builder state: the growing graph plus a per-tile "last producer"
+// map that turns tile accesses into DAG edges (the same superscalar
+// inference the real runtime performs).
+class Builder {
+ public:
+  Builder(const DagConfig& cfg, const Platform& pl)
+      : cfg_(cfg), pl_(pl), grid_(pl.p, pl.q),
+        prod_(static_cast<std::size_t>(cfg.n) * cfg.n, -1) {}
+
+  int& prod(int i, int j) {
+    return prod_[static_cast<std::size_t>(j) * cfg_.n + i];
+  }
+
+  // Add a kernel task; duration from the timing model, payload one tile.
+  int add(Kernel k, int node, std::vector<int> preds, int d = 1, int cores = 1,
+          double extra_duration = 0.0) {
+    const double dur =
+        TimingModel::duration(k, cfg_.nb, pl_, d, cores) + extra_duration;
+    g_.account_flops(TimingModel::flops(k, cfg_.nb, d));
+    return g_.add(k, node, dur, std::move(preds), tile_bytes());
+  }
+
+  double tile_bytes() const { return 8.0 * cfg_.nb * cfg_.nb; }
+  int node(int i, int j) const { return pl_.owner(i, j); }
+  const ProcessGrid& grid() const { return grid_; }
+  SimGraph take() { return std::move(g_); }
+
+  // ---- shared step fragments ------------------------------------------
+
+  // LU elimination step at k over the given domain rows; `gate` (if >= 0)
+  // must precede every task of the step (the broadcast decision).
+  void lu_step(int k, const std::vector<int>& domain_rows, int panel_task,
+               int gate) {
+    const int n = cfg_.n;
+    std::vector<bool> in_domain(static_cast<std::size_t>(n), false);
+    for (int r : domain_rows) in_domain[static_cast<std::size_t>(r)] = true;
+    // Swap + apply per trailing column (domain rows live on one grid row, so
+    // the swaps are node-local; the task writes every domain tile of col j).
+    for (int j = k + 1; j < n; ++j) {
+      std::vector<int> preds{panel_task, gate};
+      for (int r : domain_rows) preds.push_back(prod(r, j));
+      const int t = add(Kernel::Swptrsm, node(k, j), std::move(preds));
+      for (int r : domain_rows) prod(r, j) = t;
+    }
+    // Eliminate non-domain rows.
+    for (int i = k + 1; i < n; ++i) {
+      if (in_domain[static_cast<std::size_t>(i)]) continue;
+      prod(i, k) = add(Kernel::Trsm, node(i, k), {panel_task, gate, prod(i, k)});
+    }
+    // Trailing update.
+    for (int i = k + 1; i < n; ++i)
+      for (int j = k + 1; j < n; ++j)
+        prod(i, j) = add(Kernel::Gemm, node(i, j),
+                         {prod(i, k), prod(k, j), prod(i, j)});
+  }
+
+  // QR elimination step at k (HQR trees); `gate` as above.
+  void qr_step(int k, int gate) {
+    const int n = cfg_.n;
+    const auto domains = grid_.panel_domains(k, n);
+    const auto list = hqr::elimination_list(domains, cfg_.tree);
+    std::vector<bool> needs_geqrt(static_cast<std::size_t>(n), false);
+    for (const auto& e : list) {
+      needs_geqrt[static_cast<std::size_t>(e.killer)] = true;
+      if (e.kernel == hqr::ElimKernel::TT)
+        needs_geqrt[static_cast<std::size_t>(e.killed)] = true;
+    }
+    if (list.empty()) needs_geqrt[static_cast<std::size_t>(k)] = true;
+    for (int row = k; row < n; ++row) {
+      if (!needs_geqrt[static_cast<std::size_t>(row)]) continue;
+      const int f = add(Kernel::Geqrt, node(row, k), {prod(row, k), gate});
+      prod(row, k) = f;
+      for (int j = k + 1; j < n; ++j)
+        prod(row, j) = add(Kernel::Unmqr, node(row, j), {f, prod(row, j)});
+    }
+    for (const auto& e : list) {
+      const bool ts = e.kernel == hqr::ElimKernel::TS;
+      const int f = add(ts ? Kernel::Tsqrt : Kernel::Ttqrt, node(e.killed, k),
+                        {prod(e.killer, k), prod(e.killed, k), gate});
+      prod(e.killer, k) = f;
+      prod(e.killed, k) = f;
+      for (int j = k + 1; j < n; ++j) {
+        const int u = add(ts ? Kernel::Tsmqr : Kernel::Ttmqr, node(e.killed, j),
+                          {f, prod(e.killer, j), prod(e.killed, j)});
+        prod(e.killer, j) = u;
+        prod(e.killed, j) = u;
+      }
+    }
+  }
+
+ private:
+  DagConfig cfg_;
+  const Platform& pl_;
+  ProcessGrid grid_;
+  SimGraph g_;
+  std::vector<int> prod_;
+};
+
+}  // namespace
+
+SimGraph build_luqr_dag(const DagConfig& cfg, const Platform& pl,
+                        const std::vector<bool>& lu_step) {
+  LUQR_REQUIRE(static_cast<int>(lu_step.size()) == cfg.n,
+               "build_luqr_dag: decision vector size mismatch");
+  Builder b(cfg, pl);
+  for (int k = 0; k < cfg.n; ++k) {
+    const auto domain_rows = b.grid().diagonal_domain(k, cfg.n);
+    const int d = static_cast<int>(domain_rows.size());
+    const int diag_node = b.node(k, k);
+    // Backup the domain panel tiles (node-local memcpy).
+    std::vector<int> bpreds;
+    for (int r : domain_rows) bpreds.push_back(b.prod(r, k));
+    const int backup = b.add(Kernel::Backup, diag_node, std::move(bpreds), d);
+    // Factor the stacked domain panel (multi-threaded recursive kernel).
+    std::vector<int> fpreds{backup};
+    for (int r : domain_rows) fpreds.push_back(b.prod(r, k));
+    const int factor = b.add(Kernel::GetrfPanel, diag_node, std::move(fpreds), d,
+                             cfg.panel_cores);
+    // Criterion: local reductions of every panel tile + all-reduce.
+    std::vector<int> cpreds{factor};
+    for (int i = k; i < cfg.n; ++i) cpreds.push_back(b.prod(i, k));
+    const int crit = b.add(Kernel::Criterion, diag_node, std::move(cpreds),
+                           cfg.n - k);
+    if (lu_step[static_cast<std::size_t>(k)]) {
+      for (int r : domain_rows) b.prod(r, k) = factor;
+      b.lu_step(k, domain_rows, factor, crit);
+    } else {
+      // Restore, then run the QR step on the original panel.
+      const int restore = b.add(Kernel::Restore, diag_node, {crit, factor}, d);
+      for (int r : domain_rows) b.prod(r, k) = restore;
+      b.qr_step(k, crit);
+    }
+  }
+  return b.take();
+}
+
+SimGraph build_lu_nopiv_dag(const DagConfig& cfg, const Platform& pl) {
+  Builder b(cfg, pl);
+  for (int k = 0; k < cfg.n; ++k) {
+    const int factor =
+        b.add(Kernel::GetrfTile, b.node(k, k), {b.prod(k, k)});
+    b.prod(k, k) = factor;
+    b.lu_step(k, {k}, factor, -1);
+  }
+  return b.take();
+}
+
+SimGraph build_lupp_dag(const DagConfig& cfg, const Platform& pl) {
+  Builder b(cfg, pl);
+  for (int k = 0; k < cfg.n; ++k) {
+    const int n = cfg.n;
+    // The whole panel is factored with nb per-column cross-node pivot
+    // searches serializing it (this is LUPP's distributed bottleneck).
+    std::vector<int> fpreds;
+    for (int i = k; i < n; ++i) fpreds.push_back(b.prod(i, k));
+    const double pivot_lat =
+        cfg.nb * TimingModel::duration(Kernel::PivotSearch, cfg.nb, pl);
+    // The distributed panel proceeds column by column with a cross-node
+    // pivot reduction between columns, so node-level parallelism is wasted
+    // on it: one core's rate plus nb pivot-search round trips.
+    const int factor = b.add(Kernel::GetrfPanel, b.node(k, k), std::move(fpreds),
+                             n - k, /*cores=*/2, pivot_lat);
+    for (int i = k; i < n; ++i) b.prod(i, k) = factor;
+    // Swaps may touch any panel row, so each trailing column joins on every
+    // row of the column before its updates may run (pdlaswp semantics).
+    for (int j = k + 1; j < n; ++j) {
+      std::vector<int> spreds{factor};
+      for (int i = k; i < n; ++i) spreds.push_back(b.prod(i, j));
+      const int swap = b.add(Kernel::Swptrsm, b.node(k, j), std::move(spreds));
+      for (int i = k; i < n; ++i) b.prod(i, j) = swap;
+    }
+    for (int i = k + 1; i < n; ++i)
+      for (int j = k + 1; j < n; ++j)
+        b.prod(i, j) = b.add(Kernel::Gemm, b.node(i, j),
+                             {b.prod(i, k), b.prod(k, j), b.prod(i, j)});
+  }
+  return b.take();
+}
+
+SimGraph build_lu_incpiv_dag(const DagConfig& cfg, const Platform& pl) {
+  Builder b(cfg, pl);
+  const int n = cfg.n;
+  for (int k = 0; k < n; ++k) {
+    const int f0 = b.add(Kernel::GetrfTile, b.node(k, k), {b.prod(k, k)});
+    b.prod(k, k) = f0;
+    for (int j = k + 1; j < n; ++j)
+      b.prod(k, j) = b.add(Kernel::Gessm, b.node(k, j), {f0, b.prod(k, j)});
+    for (int i = k + 1; i < n; ++i) {
+      // The TSTRF chain refines the diagonal factor row block by row block —
+      // the panel is inherently serial.
+      const int f = b.add(Kernel::Tstrf, b.node(i, k),
+                          {b.prod(k, k), b.prod(i, k)});
+      b.prod(k, k) = f;
+      b.prod(i, k) = f;
+      for (int j = k + 1; j < n; ++j) {
+        const int s = b.add(Kernel::Ssssm, b.node(i, j),
+                            {f, b.prod(k, j), b.prod(i, j)});
+        b.prod(k, j) = s;
+        b.prod(i, j) = s;
+      }
+    }
+  }
+  return b.take();
+}
+
+SimGraph build_hqr_dag(const DagConfig& cfg, const Platform& pl) {
+  Builder b(cfg, pl);
+  for (int k = 0; k < cfg.n; ++k) b.qr_step(k, -1);
+  return b.take();
+}
+
+std::vector<bool> spread_lu_steps(int n, double lu_fraction) {
+  LUQR_REQUIRE(lu_fraction >= 0.0 && lu_fraction <= 1.0,
+               "lu fraction must be in [0, 1]");
+  std::vector<bool> steps(static_cast<std::size_t>(n), false);
+  double acc = 0.0;
+  for (int k = 0; k < n; ++k) {
+    acc += lu_fraction;
+    if (acc >= 1.0 - 1e-12) {
+      steps[static_cast<std::size_t>(k)] = true;
+      acc -= 1.0;
+    }
+  }
+  return steps;
+}
+
+}  // namespace luqr::sim

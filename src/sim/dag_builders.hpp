@@ -1,0 +1,50 @@
+// Task-DAG builders: one per algorithm of the paper's evaluation.
+//
+// Each builder emits, tile by tile, the same task structure the real
+// drivers execute (panel factor, swaps/applies, eliminations, trailing
+// updates — plus, for the hybrid, the Backup / Criterion / Restore
+// decision-process tasks whose overhead §V-B measures), mapped onto the
+// 2D block-cyclic grid so the simulator charges inter-node messages
+// exactly where MPI traffic occurs.
+#pragma once
+
+#include <vector>
+
+#include "hqr/trees.hpp"
+#include "sim/des.hpp"
+
+namespace luqr::sim {
+
+/// Problem/configuration description shared by all builders.
+struct DagConfig {
+  int n = 32;              ///< tiles per row/column
+  int nb = 240;            ///< tile order
+  hqr::TreeConfig tree{};  ///< QR reduction trees (greedy local / fibonacci dist)
+  int panel_cores = 4;     ///< cores cooperating in the recursive panel kernel
+};
+
+/// Hybrid LU-QR: `lu_step[k]` says whether step k runs the LU or the QR
+/// path; the Backup / Criterion / (Restore) tasks are always present (the
+/// decision process is paid on every step — the ~10% overhead of §V-B).
+SimGraph build_luqr_dag(const DagConfig& cfg, const Platform& pl,
+                        const std::vector<bool>& lu_step);
+
+/// LU without cross-tile pivoting (diagonal-tile GETRF only).
+SimGraph build_lu_nopiv_dag(const DagConfig& cfg, const Platform& pl);
+
+/// LU with partial pivoting across the whole panel (ScaLAPACK-style):
+/// serialized panel with per-column cross-node pivot searches, and
+/// whole-column swap joins before every trailing update column.
+SimGraph build_lupp_dag(const DagConfig& cfg, const Platform& pl);
+
+/// LU with incremental pairwise pivoting (TSTRF chain down each panel).
+SimGraph build_lu_incpiv_dag(const DagConfig& cfg, const Platform& pl);
+
+/// Pure hierarchical QR (no decision process).
+SimGraph build_hqr_dag(const DagConfig& cfg, const Platform& pl);
+
+/// Deterministic, evenly spread LU/QR decision vector with the given LU
+/// fraction (used to sweep Table II / Figure 2 operating points).
+std::vector<bool> spread_lu_steps(int n, double lu_fraction);
+
+}  // namespace luqr::sim

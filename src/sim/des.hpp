@@ -1,0 +1,66 @@
+// Discrete-event simulation core: a task DAG executed by a list scheduler
+// over the platform's cores, with a latency/bandwidth charge on every
+// cross-node data edge.
+//
+// Model:
+//  - a task occupies one core of its node for `duration` seconds (the
+//    multi-core panel kernel is modelled via a shortened duration);
+//  - a task becomes ready when every predecessor is done and its outputs
+//    have arrived: an edge from a task on another node costs
+//    latency + bytes/bandwidth (links are contention-free — adequate for
+//    shape-level reproduction; see DESIGN.md);
+//  - among ready tasks, the earliest-ready one is scheduled on the earliest
+//    free core of its node (greedy list scheduling, the same class of
+//    scheduler as PaRSEC's).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/platform.hpp"
+#include "sim/timing_model.hpp"
+
+namespace luqr::sim {
+
+/// Node in the simulated task DAG.
+struct SimTask {
+  Kernel kind = Kernel::Gemm;
+  int node = 0;          ///< executing node id
+  double duration = 0.0; ///< seconds on one core
+  double out_bytes = 0.0;///< payload shipped to consumers on other nodes
+  std::vector<int> preds;
+};
+
+/// Growable task DAG.
+class SimGraph {
+ public:
+  /// Add a task; preds must be ids returned by earlier add() calls (or -1
+  /// entries, which are ignored — convenient for "no producer yet").
+  int add(Kernel kind, int node, double duration, std::vector<int> preds,
+          double out_bytes);
+
+  const std::vector<SimTask>& tasks() const { return tasks_; }
+  std::size_t size() const { return tasks_.size(); }
+
+  /// Sum of modelled kernel flops (for true-GFLOP/s accounting).
+  double total_flops() const { return total_flops_; }
+  void account_flops(double f) { total_flops_ += f; }
+
+ private:
+  std::vector<SimTask> tasks_;
+  double total_flops_ = 0.0;
+};
+
+/// Simulation outcome.
+struct SimResult {
+  double makespan_s = 0.0;
+  std::uint64_t task_count = 0;
+  double total_flops = 0.0;
+  double comm_bytes = 0.0;   ///< total cross-node traffic
+  std::uint64_t messages = 0;///< number of cross-node transfers
+};
+
+/// Run the list-scheduling simulation.
+SimResult simulate_graph(const SimGraph& graph, const Platform& platform);
+
+}  // namespace luqr::sim

@@ -1,0 +1,81 @@
+#include <sstream>
+
+#include "sim/dot_export.hpp"
+
+namespace luqr::sim {
+
+std::string kernel_name(Kernel k) {
+  switch (k) {
+    case Kernel::GetrfTile: return "GETRF";
+    case Kernel::GetrfPanel: return "GETRF_PANEL";
+    case Kernel::Swptrsm: return "SWPTRSM";
+    case Kernel::Trsm: return "TRSM";
+    case Kernel::Gemm: return "GEMM";
+    case Kernel::Geqrt: return "GEQRT";
+    case Kernel::Unmqr: return "UNMQR";
+    case Kernel::Tsqrt: return "TSQRT";
+    case Kernel::Tsmqr: return "TSMQR";
+    case Kernel::Ttqrt: return "TTQRT";
+    case Kernel::Ttmqr: return "TTMQR";
+    case Kernel::Gessm: return "GESSM";
+    case Kernel::Tstrf: return "TSTRF";
+    case Kernel::Ssssm: return "SSSSM";
+    case Kernel::Backup: return "BACKUP";
+    case Kernel::Restore: return "RESTORE";
+    case Kernel::Criterion: return "CRITERION";
+    case Kernel::PivotSearch: return "PIVOT";
+  }
+  return "?";
+}
+
+namespace {
+
+const char* kernel_color(Kernel k) {
+  switch (k) {
+    // Decision-process tasks (the paper's Figure 1 control layer).
+    case Kernel::Backup:
+    case Kernel::Restore:
+    case Kernel::Criterion:
+    case Kernel::PivotSearch:
+      return "gray80";
+    // LU family.
+    case Kernel::GetrfTile:
+    case Kernel::GetrfPanel:
+    case Kernel::Swptrsm:
+    case Kernel::Trsm:
+    case Kernel::Gemm:
+    case Kernel::Gessm:
+    case Kernel::Tstrf:
+    case Kernel::Ssssm:
+      return "lightblue";
+    // QR family.
+    case Kernel::Geqrt:
+    case Kernel::Unmqr:
+    case Kernel::Tsqrt:
+    case Kernel::Tsmqr:
+    case Kernel::Ttqrt:
+    case Kernel::Ttmqr:
+      return "lightsalmon";
+  }
+  return "white";
+}
+
+}  // namespace
+
+std::string to_dot(const SimGraph& graph, const std::string& title) {
+  std::ostringstream out;
+  out << "digraph \"" << title << "\" {\n"
+      << "  rankdir=TB;\n  node [style=filled, fontname=\"monospace\"];\n";
+  const auto& tasks = graph.tasks();
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    out << "  t" << i << " [label=\"" << kernel_name(tasks[i].kind) << "\\nn"
+        << tasks[i].node << "\", fillcolor=" << kernel_color(tasks[i].kind)
+        << "];\n";
+  }
+  for (std::size_t i = 0; i < tasks.size(); ++i)
+    for (int p : tasks[i].preds) out << "  t" << p << " -> t" << i << ";\n";
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace luqr::sim

@@ -1,0 +1,21 @@
+// Graphviz export of simulated task DAGs — regenerates the paper's
+// Figure 1 ("Dataflow of one step of the algorithm") for any configuration:
+// the Backup-Panel -> LU-On-Panel -> Criterion gate, with the LU path's
+// SWPTRSM/TRSM/GEMM fan-out or the QR path's Restore + elimination tree.
+#pragma once
+
+#include <string>
+
+#include "sim/des.hpp"
+
+namespace luqr::sim {
+
+/// Render the graph in Graphviz DOT syntax: one node per task (labelled
+/// with its kernel, colored by family: LU kernels blue, QR kernels red,
+/// decision-process tasks grey), one edge per dependency.
+std::string to_dot(const SimGraph& graph, const std::string& title = "luqr dag");
+
+/// Kernel display name ("GEMM", "TSQRT", ...).
+std::string kernel_name(Kernel k);
+
+}  // namespace luqr::sim

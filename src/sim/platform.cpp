@@ -1,0 +1,2 @@
+// Platform is header-only; this translation unit anchors the module.
+#include "sim/platform.hpp"

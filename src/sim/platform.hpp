@@ -1,0 +1,41 @@
+// Platform model for the discrete-event simulator.
+//
+// Substitutes for the paper's testbed (DESIGN.md substitution table):
+// Dancer — 16 nodes (4x4 grid), 2 x Intel Westmere-EP E5606 @ 2.13 GHz
+// (8 cores/node), Infiniband 10G. Theoretical peak 1091 GFLOP/s =
+// 16 nodes x 8 cores x 8.52 GFLOP/s/core (2.13 GHz x 4 DP flops/cycle).
+#pragma once
+
+namespace luqr::sim {
+
+/// Distributed-memory machine: p x q grid of nodes, each with identical
+/// cores, connected by a latency/bandwidth network.
+struct Platform {
+  int p = 4;                      ///< grid rows
+  int q = 4;                      ///< grid cols
+  int cores_per_node = 8;
+  double core_peak_gflops = 8.52; ///< per-core double-precision peak
+  double latency_s = 10e-6;      ///< network latency per message
+  double bandwidth_bps = 1.25e9; ///< network bandwidth, bytes/s (IB 10G)
+  double mem_bw_bps = 8.0e9;     ///< node-local copy bandwidth (backup/restore)
+
+  int nodes() const { return p * q; }
+  double peak_gflops() const { return nodes() * cores_per_node * core_peak_gflops; }
+
+  /// 2D block-cyclic owner of tile (i, j).
+  int owner(int i, int j) const { return (i % p) * q + (j % q); }
+  int row_rank(int i) const { return i % p; }
+
+  /// The paper's machine.
+  static Platform dancer() { return Platform{}; }
+
+  /// Dancer re-gridded (e.g. 16x1 for the special-matrix experiments).
+  static Platform dancer_grid(int p_, int q_) {
+    Platform pl;
+    pl.p = p_;
+    pl.q = q_;
+    return pl;
+  }
+};
+
+}  // namespace luqr::sim

@@ -1,0 +1,68 @@
+#include "common/error.hpp"
+#include "sim/simulate.hpp"
+
+namespace luqr::sim {
+
+AlgoReport simulate_algorithm(Algo algo, const DagConfig& cfg, const Platform& pl,
+                              const std::vector<bool>& lu_steps) {
+  AlgoReport report;
+  report.algo = algo;
+
+  SimGraph graph;
+  switch (algo) {
+    case Algo::LuNoPiv:
+      graph = build_lu_nopiv_dag(cfg, pl);
+      report.lu_fraction = 1.0;
+      break;
+    case Algo::LuIncPiv:
+      graph = build_lu_incpiv_dag(cfg, pl);
+      report.lu_fraction = 1.0;
+      break;
+    case Algo::Lupp:
+      graph = build_lupp_dag(cfg, pl);
+      report.lu_fraction = 1.0;
+      break;
+    case Algo::Hqr:
+      graph = build_hqr_dag(cfg, pl);
+      report.lu_fraction = 0.0;
+      break;
+    case Algo::LuQr: {
+      LUQR_REQUIRE(static_cast<int>(lu_steps.size()) == cfg.n,
+                   "simulate_algorithm: LuQr needs a decision vector");
+      graph = build_luqr_dag(cfg, pl, lu_steps);
+      int lu = 0;
+      for (bool s : lu_steps) lu += s ? 1 : 0;
+      report.lu_fraction = cfg.n == 0 ? 1.0 : static_cast<double>(lu) / cfg.n;
+      break;
+    }
+  }
+
+  report.raw = simulate_graph(graph, pl);
+  report.seconds = report.raw.makespan_s;
+
+  const double bigN = static_cast<double>(cfg.n) * cfg.nb;
+  const double fake_flops = (2.0 / 3.0) * bigN * bigN * bigN;
+  const double f = report.lu_fraction;
+  const double true_flops =
+      ((2.0 / 3.0) * f + (4.0 / 3.0) * (1.0 - f)) * bigN * bigN * bigN;
+  if (report.seconds > 0.0) {
+    report.gflops_fake = fake_flops / report.seconds / 1e9;
+    report.gflops_true = true_flops / report.seconds / 1e9;
+  }
+  report.pct_peak_fake = 100.0 * report.gflops_fake / pl.peak_gflops();
+  report.pct_peak_true = 100.0 * report.gflops_true / pl.peak_gflops();
+  return report;
+}
+
+std::string algo_name(Algo a) {
+  switch (a) {
+    case Algo::LuNoPiv: return "LU NoPiv";
+    case Algo::LuIncPiv: return "LU IncPiv";
+    case Algo::LuQr: return "LUQR";
+    case Algo::Hqr: return "HQR";
+    case Algo::Lupp: return "LUPP";
+  }
+  return "?";
+}
+
+}  // namespace luqr::sim

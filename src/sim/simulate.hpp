@@ -1,0 +1,39 @@
+// High-level simulation API: one call per (algorithm, problem, platform)
+// producing the quantities Table II reports.
+//
+// "Fake" GFLOP/s normalizes by 2/3 N^3 regardless of algorithm (the paper's
+// normalized performance, §V-A); "true" GFLOP/s divides the actually
+// executed (2/3 f_LU + 4/3 (1 - f_LU)) N^3 flops by the same time.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/dag_builders.hpp"
+
+namespace luqr::sim {
+
+enum class Algo { LuNoPiv, LuIncPiv, LuQr, Hqr, Lupp };
+
+/// Table II row, simulated.
+struct AlgoReport {
+  Algo algo = Algo::LuQr;
+  double lu_fraction = 1.0;   ///< f_LU (1 for the LU baselines, 0 for HQR)
+  double seconds = 0.0;
+  double gflops_fake = 0.0;
+  double gflops_true = 0.0;
+  double pct_peak_fake = 0.0;
+  double pct_peak_true = 0.0;
+  SimResult raw;
+};
+
+/// Simulate one algorithm on an N = n * nb problem. For Algo::LuQr,
+/// `lu_steps` gives the per-step decision (use spread_lu_steps() to realize
+/// a target fraction, or feed the decision trace of a real run); it is
+/// ignored for the other algorithms.
+AlgoReport simulate_algorithm(Algo algo, const DagConfig& cfg, const Platform& pl,
+                              const std::vector<bool>& lu_steps = {});
+
+std::string algo_name(Algo a);
+
+}  // namespace luqr::sim

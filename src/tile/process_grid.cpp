@@ -1,0 +1,28 @@
+#include "tile/process_grid.hpp"
+
+namespace luqr {
+
+std::vector<int> ProcessGrid::diagonal_domain(int k, int mt) const {
+  std::vector<int> rows;
+  const int rk = row_rank(k);
+  for (int i = k; i < mt; ++i)
+    if (row_rank(i) == rk) rows.push_back(i);
+  return rows;
+}
+
+std::vector<std::vector<int>> ProcessGrid::panel_domains(int k, int mt) const {
+  std::vector<std::vector<int>> groups;
+  const int rk = row_rank(k);
+  // Order grid rows starting from the diagonal one so groups[0] is the
+  // diagonal domain.
+  for (int off = 0; off < p_; ++off) {
+    const int r = (rk + off) % p_;
+    std::vector<int> rows;
+    for (int i = k; i < mt; ++i)
+      if (row_rank(i) == r) rows.push_back(i);
+    if (!rows.empty()) groups.push_back(std::move(rows));
+  }
+  return groups;
+}
+
+}  // namespace luqr

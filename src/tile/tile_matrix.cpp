@@ -1,0 +1,57 @@
+#include "tile/tile_matrix.hpp"
+
+namespace luqr {
+
+template <typename T>
+TileMatrix<T> TileMatrix<T>::from_dense(const Matrix<T>& dense, int nb) {
+  const int mt = (dense.rows() + nb - 1) / nb;
+  const int nt = (dense.cols() + nb - 1) / nb;
+  TileMatrix out(mt, nt, nb);
+  for (int j = 0; j < out.cols(); ++j) {
+    for (int i = 0; i < out.rows(); ++i) {
+      if (i < dense.rows() && j < dense.cols()) {
+        out.at(i, j) = dense(i, j);
+      } else if (i == j) {
+        out.at(i, j) = T(1);  // identity padding keeps the matrix nonsingular
+      }
+    }
+  }
+  return out;
+}
+
+template <typename T>
+Matrix<T> TileMatrix<T>::to_dense(int rows, int cols) const {
+  LUQR_REQUIRE(rows <= this->rows() && cols <= this->cols(), "to_dense overflow");
+  Matrix<T> out(rows, cols);
+  for (int j = 0; j < cols; ++j)
+    for (int i = 0; i < rows; ++i) out(i, j) = at(i, j);
+  return out;
+}
+
+template <typename T>
+void TileMatrix<T>::backup_column(int j, int i0, int i1,
+                                  std::vector<std::vector<T>>& out) const {
+  LUQR_REQUIRE(i0 >= 0 && i0 <= i1 && i1 <= mt_, "backup range out of bounds");
+  out.assign(static_cast<std::size_t>(i1 - i0), {});
+  for (int i = i0; i < i1; ++i) {
+    const T* p = tile_ptr(i, j);
+    out[static_cast<std::size_t>(i - i0)].assign(p, p + static_cast<std::size_t>(nb_) * nb_);
+  }
+}
+
+template <typename T>
+void TileMatrix<T>::restore_column(int j, int i0, int i1,
+                                   const std::vector<std::vector<T>>& saved) {
+  LUQR_REQUIRE(static_cast<int>(saved.size()) == i1 - i0, "restore size mismatch");
+  for (int i = i0; i < i1; ++i) {
+    const auto& buf = saved[static_cast<std::size_t>(i - i0)];
+    LUQR_REQUIRE(buf.size() == static_cast<std::size_t>(nb_) * nb_, "restore tile size");
+    T* p = tile_ptr(i, j);
+    std::copy(buf.begin(), buf.end(), p);
+  }
+}
+
+template class TileMatrix<double>;
+template class TileMatrix<float>;
+
+}  // namespace luqr

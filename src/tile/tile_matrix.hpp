@@ -1,0 +1,90 @@
+// Tiled matrix storage.
+//
+// The paper's algorithms operate on an n x n grid of nb x nb tiles
+// (N = n * nb). TileMatrix stores each tile contiguously (column-major
+// inside the tile), which is what makes every kernel of Table I a dense
+// operation on one to three contiguous blocks — the storage layout of
+// PLASMA/DPLASMA.
+//
+// Rectangular tile grids are supported so the right-hand side b can ride
+// along as extra tile column(s) (paper §II-D-1: factor the augmented matrix
+// Ã = (A, b)). General N (not a multiple of nb) is handled by embedding the
+// dense matrix into the top-left corner of a padded tiled matrix with an
+// identity tail (§II-D-2's "clean-up" in library form).
+#pragma once
+
+#include <vector>
+
+#include "kernels/dense.hpp"
+#include "kernels/matrix_view.hpp"
+
+namespace luqr {
+
+/// Owning tiled matrix: mt x nt tiles of nb x nb scalars.
+template <typename T>
+class TileMatrix {
+ public:
+  TileMatrix() = default;
+  TileMatrix(int mt, int nt, int nb)
+      : mt_(mt), nt_(nt), nb_(nb),
+        data_(static_cast<std::size_t>(mt) * nt * nb * nb, T(0)) {
+    LUQR_REQUIRE(mt >= 0 && nt >= 0 && nb > 0, "bad tile grid shape");
+  }
+
+  int mt() const { return mt_; }   ///< tile rows
+  int nt() const { return nt_; }   ///< tile cols
+  int nb() const { return nb_; }   ///< tile order
+  int rows() const { return mt_ * nb_; }
+  int cols() const { return nt_ * nb_; }
+
+  /// Mutable view of tile (i, j).
+  kern::MatrixView<T> tile(int i, int j) {
+    return kern::MatrixView<T>(tile_ptr(i, j), nb_, nb_, nb_);
+  }
+  /// Read-only view of tile (i, j).
+  kern::ConstMatrixView<T> tile(int i, int j) const {
+    return kern::ConstMatrixView<T>(tile_ptr(i, j), nb_, nb_, nb_);
+  }
+
+  /// Global element access (i, j in scalar coordinates).
+  T& at(int i, int j) {
+    return *(tile_ptr(i / nb_, j / nb_) + (j % nb_) * nb_ + (i % nb_));
+  }
+  T at(int i, int j) const {
+    return *(tile_ptr(i / nb_, j / nb_) + (j % nb_) * nb_ + (i % nb_));
+  }
+
+  /// Embed a dense matrix into a tiled one. Rows/cols are padded up to a
+  /// multiple of nb; the padding block is the identity (so factorizations
+  /// of the padded matrix reproduce the original, and padded solves return
+  /// zeros in the tail).
+  static TileMatrix from_dense(const Matrix<T>& dense, int nb);
+
+  /// Extract the top-left rows x cols corner back to dense storage.
+  Matrix<T> to_dense(int rows, int cols) const;
+  Matrix<T> to_dense() const { return to_dense(rows(), cols()); }
+
+  /// Deep copy of one tile column segment [i0, i1) x {j} into `out` tiles —
+  /// the Backup-Panel operation of the paper's dataflow (Figure 1).
+  void backup_column(int j, int i0, int i1, std::vector<std::vector<T>>& out) const;
+
+  /// Restore tiles saved by backup_column (the QR branch of Propagate).
+  void restore_column(int j, int i0, int i1, const std::vector<std::vector<T>>& saved);
+
+ private:
+  T* tile_ptr(int i, int j) {
+    LUQR_REQUIRE(i >= 0 && i < mt_ && j >= 0 && j < nt_, "tile index out of range");
+    return data_.data() +
+           (static_cast<std::size_t>(j) * mt_ + i) * nb_ * nb_;
+  }
+  const T* tile_ptr(int i, int j) const {
+    LUQR_REQUIRE(i >= 0 && i < mt_ && j >= 0 && j < nt_, "tile index out of range");
+    return data_.data() +
+           (static_cast<std::size_t>(j) * mt_ + i) * nb_ * nb_;
+  }
+
+  int mt_ = 0, nt_ = 0, nb_ = 1;
+  std::vector<T> data_;
+};
+
+}  // namespace luqr

@@ -1,0 +1,60 @@
+#include <cmath>
+#include <limits>
+
+#include "kernels/blas.hpp"
+#include "kernels/norms.hpp"
+#include "verify/verify.hpp"
+
+namespace luqr::verify {
+
+namespace {
+
+// r = A x - b (inf-norm returned).
+double residual_inf(const Matrix<double>& a, const Matrix<double>& x,
+                    const Matrix<double>& b) {
+  Matrix<double> r = b;
+  kern::gemm(kern::Trans::No, kern::Trans::No, 1.0, a.cview(), x.cview(), -1.0,
+             r.view());
+  return kern::lange(kern::Norm::Inf, r.cview());
+}
+
+}  // namespace
+
+double hpl3(const Matrix<double>& a, const Matrix<double>& x,
+            const Matrix<double>& b) {
+  const double rnorm = residual_inf(a, x, b);
+  const double anorm = kern::lange(kern::Norm::Inf, a.cview());
+  const double xnorm = kern::lange(kern::Norm::Inf, x.cview());
+  const double eps = std::numeric_limits<double>::epsilon();
+  const double denom = anorm * xnorm * eps * a.rows();
+  return denom == 0.0 ? std::numeric_limits<double>::infinity() : rnorm / denom;
+}
+
+double relative_residual(const Matrix<double>& a, const Matrix<double>& x,
+                         const Matrix<double>& b) {
+  const double rnorm = residual_inf(a, x, b);
+  const double anorm = kern::lange(kern::Norm::Inf, a.cview());
+  const double xnorm = kern::lange(kern::Norm::Inf, x.cview());
+  const double bnorm = kern::lange(kern::Norm::Inf, b.cview());
+  const double denom = anorm * xnorm + bnorm;
+  return denom == 0.0 ? std::numeric_limits<double>::infinity() : rnorm / denom;
+}
+
+double orthogonality_error(const Matrix<double>& q) {
+  Matrix<double> qtq = Matrix<double>::identity(q.cols());
+  kern::gemm(kern::Trans::Yes, kern::Trans::No, 1.0, q.cview(), q.cview(), -1.0,
+             qtq.view());
+  return kern::lange(kern::Norm::Max, qtq.cview());
+}
+
+double max_abs_error(const Matrix<double>& x, const Matrix<double>& y) {
+  LUQR_REQUIRE(x.rows() == y.rows() && x.cols() == y.cols(),
+               "max_abs_error shape mismatch");
+  double best = 0.0;
+  for (int j = 0; j < x.cols(); ++j)
+    for (int i = 0; i < x.rows(); ++i)
+      best = std::max(best, std::abs(x(i, j) - y(i, j)));
+  return best;
+}
+
+}  // namespace luqr::verify

@@ -1,0 +1,31 @@
+// Accuracy metrics (paper §V-A).
+//
+// The paper's stability figure of merit is the HPL3 accuracy test of the
+// High-Performance Linpack benchmark:
+//
+//     HPL3 = ||A x - b||_inf / (||A||_inf ||x||_inf eps N)
+//
+// Figures 2 and 3 report HPL3 *relative to LUPP* (ratio of HPL3 values) —
+// helpers for both are provided, plus standard normwise residuals and an
+// orthogonality check used by kernel tests.
+#pragma once
+
+#include "kernels/dense.hpp"
+
+namespace luqr::verify {
+
+/// The HPL3 accuracy metric; eps defaults to double machine epsilon.
+double hpl3(const Matrix<double>& a, const Matrix<double>& x,
+            const Matrix<double>& b);
+
+/// Normwise relative residual ||A x - b||_inf / (||A||_inf ||x||_inf + ||b||_inf).
+double relative_residual(const Matrix<double>& a, const Matrix<double>& x,
+                         const Matrix<double>& b);
+
+/// ||Q^T Q - I||_max for an (allegedly) orthogonal Q.
+double orthogonality_error(const Matrix<double>& q);
+
+/// Max |x - y| elementwise (forward error against a known solution).
+double max_abs_error(const Matrix<double>& x, const Matrix<double>& y);
+
+}  // namespace luqr::verify

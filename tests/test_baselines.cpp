@@ -1,0 +1,151 @@
+// Tests for the baseline solvers and the paper's qualitative stability
+// ordering: HQR and LUPP stable everywhere, LU NoPiv / LU IncPiv unstable on
+// adversarial matrices, NoPiv "failing" (non-finite) on Fiedler.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/baselines.hpp"
+#include "gen/generators.hpp"
+#include "kernels/lapack.hpp"
+#include "test_helpers.hpp"
+#include "verify/verify.hpp"
+
+namespace luqr::baselines {
+namespace {
+
+using luqr::testing::random_matrix;
+
+TEST(Baselines, AllAccurateOnRandomMatrices) {
+  const auto a = gen::generate(gen::MatrixKind::Random, 96, 1);
+  const auto b = random_matrix(96, 1, 2);
+  for (int which = 0; which < 4; ++which) {
+    core::SolveResult r;
+    const char* name = "";
+    switch (which) {
+      case 0: r = lu_nopiv_solve(a, b, 16); name = "nopiv"; break;
+      case 1: r = lupp_solve(a, b, 16); name = "lupp"; break;
+      case 2: r = lu_incpiv_solve(a, b, 16); name = "incpiv"; break;
+      case 3: r = hqr_solve(a, b, 16); name = "hqr"; break;
+    }
+    EXPECT_LT(verify::relative_residual(a, r.x, b), 1e-11) << name;
+  }
+}
+
+TEST(Baselines, StepAccounting) {
+  const auto a = gen::generate(gen::MatrixKind::Random, 64, 3);
+  const auto b = random_matrix(64, 1, 4);
+  EXPECT_EQ(lu_nopiv_solve(a, b, 16).stats.lu_steps, 4);
+  EXPECT_EQ(lupp_solve(a, b, 16).stats.lu_steps, 4);
+  EXPECT_EQ(lu_incpiv_solve(a, b, 16).stats.lu_steps, 4);
+  EXPECT_EQ(hqr_solve(a, b, 16).stats.qr_steps, 4);
+  EXPECT_EQ(hqr_solve(a, b, 16).stats.lu_steps, 0);
+}
+
+TEST(Baselines, LuppMatchesDenseGeppQuality) {
+  // LUPP with the whole panel as pivot scope must be as accurate as a dense
+  // GEPP solve (same pivot sequence when nb covers the matrix).
+  const auto a = gen::generate(gen::MatrixKind::Random, 64, 5);
+  const auto b = random_matrix(64, 1, 6);
+  const auto r = lupp_solve(a, b, 16);
+  EXPECT_LT(verify::hpl3(a, r.x, b), 0.1);  // HPL pass threshold is O(1)
+}
+
+TEST(Baselines, WilkinsonDefeatsNoPivButNotHqr) {
+  const int n = 64;
+  const auto a = gen::generate(gen::MatrixKind::Wilkinson, n, 0);
+  const auto b = random_matrix(n, 1, 7);
+  const double h_nopiv = verify::hpl3(a, lu_nopiv_solve(a, b, 8).x, b);
+  const double h_hqr = verify::hpl3(a, hqr_solve(a, b, 8).x, b);
+  // 2^{63} growth wipes out all accuracy for the LU solves without real
+  // pivoting; QR is immune.
+  EXPECT_GT(h_nopiv, 1e6 * h_hqr);
+  EXPECT_LT(h_hqr, 1.0);
+}
+
+TEST(Baselines, FosterWrightDefeatLuVariantsButNotHqr) {
+  for (auto kind : {gen::MatrixKind::Foster, gen::MatrixKind::Wright}) {
+    const int n = 96;
+    const auto a = gen::generate(kind, n, 0);
+    const auto b = random_matrix(n, 1, 8);
+    const double h_nopiv = verify::hpl3(a, lu_nopiv_solve(a, b, 16).x, b);
+    const double h_hqr = verify::hpl3(a, hqr_solve(a, b, 16).x, b);
+    EXPECT_LT(h_hqr, 1.0) << gen::kind_name(kind);
+    EXPECT_GT(h_nopiv, 1e3 * h_hqr) << gen::kind_name(kind);
+  }
+}
+
+TEST(Baselines, FiedlerBreaksUnpivotedLuButNotHqr) {
+  // §V-C: the paper reports LU NoPiv (and LUPP, in their runs) "failing" on
+  // Fiedler via zero pivots. The zero diagonal makes any elimination that
+  // does not pivot hit an exactly-zero pivot immediately; pivoting inside a
+  // tile already rescues the small instances we can run, so the sharp
+  // reproducible claim is at the no-pivoting-at-all level — plus QR sailing
+  // through regardless.
+  const int n = 64;
+  const auto a = gen::generate(gen::MatrixKind::Fiedler, n, 0);
+  Matrix<double> lu = a;
+  EXPECT_GT(kern::getrf_nopiv(lu.view()), 0);  // zero pivot at column 1
+  const auto b = random_matrix(n, 1, 9);
+  const double h_hqr = verify::hpl3(a, hqr_solve(a, b, 8).x, b);
+  EXPECT_LT(h_hqr, 1.0);
+  // Tile-level pivoting survives but must not beat QR by any margin that
+  // would contradict the paper's ranking.
+  const double h_nopiv = verify::hpl3(a, lu_nopiv_solve(a, b, 8).x, b);
+  EXPECT_TRUE(!std::isfinite(h_nopiv) || h_nopiv >= h_hqr * 0.5);
+}
+
+TEST(Baselines, IncPivMoreAccurateThanNoPivOnWilkinsonVariant) {
+  // Pairwise pivoting at least bounds the multipliers; on the growth-example
+  // matrix it must not be worse than NoPiv.
+  const int n = 64;
+  const auto a = gen::generate(gen::MatrixKind::GrowthExample, n, 0, 4.0);
+  const auto b = random_matrix(n, 1, 10);
+  const double h_inc = verify::hpl3(a, lu_incpiv_solve(a, b, 8).x, b);
+  const double h_nopiv = verify::hpl3(a, lu_nopiv_solve(a, b, 8).x, b);
+  EXPECT_LE(h_inc, h_nopiv * 10.0);
+}
+
+TEST(Baselines, HqrStableOnEverySpecialMatrix) {
+  // QR must deliver a usable solve on the entire Table III set (the paper's
+  // "always stable" claim), at reduced size.
+  for (auto kind : gen::special_set()) {
+    const int n = 48;
+    const auto a = gen::generate(kind, n, 11);
+    const auto b = random_matrix(n, 1, 12);
+    const auto r = hqr_solve(a, b, 8);
+    const double h = verify::hpl3(a, r.x, b);
+    EXPECT_TRUE(std::isfinite(h)) << gen::kind_name(kind);
+    // Threshold generous: several of these matrices are horribly
+    // ill-conditioned, which inflates HPL3 via ||x|| even for QR.
+    EXPECT_LT(h, 1e4) << gen::kind_name(kind);
+  }
+}
+
+TEST(Baselines, GridShapesForHqr) {
+  const auto a = gen::generate(gen::MatrixKind::Random, 80, 13);
+  const auto b = random_matrix(80, 1, 14);
+  for (int p : {1, 2, 5}) {
+    const auto r = hqr_solve(a, b, 16, p, 1);
+    EXPECT_LT(verify::relative_residual(a, r.x, b), 1e-13) << "p=" << p;
+  }
+}
+
+TEST(Baselines, MultipleRhs) {
+  const auto a = gen::generate(gen::MatrixKind::Random, 48, 15);
+  const auto b = random_matrix(48, 3, 16);
+  for (int which = 0; which < 4; ++which) {
+    core::SolveResult r;
+    switch (which) {
+      case 0: r = lu_nopiv_solve(a, b, 16); break;
+      case 1: r = lupp_solve(a, b, 16); break;
+      case 2: r = lu_incpiv_solve(a, b, 16); break;
+      case 3: r = hqr_solve(a, b, 16); break;
+    }
+    ASSERT_EQ(r.x.cols(), 3);
+    EXPECT_LT(verify::relative_residual(a, r.x, b), 1e-11) << which;
+  }
+}
+
+}  // namespace
+}  // namespace luqr::baselines

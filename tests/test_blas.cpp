@@ -1,0 +1,175 @@
+// Tests for the level-3 kernels: gemm against the naive reference over all
+// transpose combinations and shapes (parameterized), trsm against
+// constructed triangular systems in all 16 (side, uplo, trans, diag)
+// combinations, and trmm against explicit products.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <tuple>
+
+#include "kernels/blas.hpp"
+#include "kernels/reference.hpp"
+#include "test_helpers.hpp"
+
+namespace luqr::kern {
+namespace {
+
+using luqr::testing::expect_near;
+using luqr::testing::random_matrix;
+using luqr::testing::random_unit_lower;
+using luqr::testing::random_upper;
+
+// ---------------------------------------------------------------------------
+// GEMM: parameterized over (m, n, k, transa, transb, alpha, beta)
+// ---------------------------------------------------------------------------
+
+using GemmParam = std::tuple<int, int, int, Trans, Trans, double, double>;
+
+class GemmTest : public ::testing::TestWithParam<GemmParam> {};
+
+TEST_P(GemmTest, MatchesNaiveReference) {
+  const auto [m, n, k, ta, tb, alpha, beta] = GetParam();
+  const auto a = random_matrix(ta == Trans::No ? m : k, ta == Trans::No ? k : m, 1);
+  const auto b = random_matrix(tb == Trans::No ? k : n, tb == Trans::No ? n : k, 2);
+  auto c_fast = random_matrix(m, n, 3);
+  auto c_ref = c_fast;
+  gemm(ta, tb, alpha, a.cview(), b.cview(), beta, c_fast.view());
+  ref_gemm(ta, tb, alpha, a.cview(), b.cview(), beta, c_ref.view());
+  expect_near(c_fast, c_ref, 1e-12 * (k + 1), "gemm vs reference");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmTest,
+    ::testing::Combine(::testing::Values(1, 4, 17), ::testing::Values(1, 5, 16),
+                       ::testing::Values(1, 3, 19),
+                       ::testing::Values(Trans::No, Trans::Yes),
+                       ::testing::Values(Trans::No, Trans::Yes),
+                       ::testing::Values(1.0, -1.0, 0.5),
+                       ::testing::Values(0.0, 1.0, -2.0)));
+
+TEST(Gemm, BetaZeroIgnoresGarbageC) {
+  // BLAS semantics: beta == 0 must not read C (NaNs must not propagate).
+  auto a = random_matrix(3, 3, 1);
+  auto b = random_matrix(3, 3, 2);
+  Matrix<double> c(3, 3, std::numeric_limits<double>::quiet_NaN());
+  gemm(Trans::No, Trans::No, 1.0, a.cview(), b.cview(), 0.0, c.view());
+  for (int j = 0; j < 3; ++j)
+    for (int i = 0; i < 3; ++i) EXPECT_TRUE(std::isfinite(c(i, j)));
+}
+
+TEST(Gemm, DimensionMismatchThrows) {
+  auto a = random_matrix(3, 4, 1);
+  auto b = random_matrix(5, 2, 2);  // inner dims 4 != 5
+  Matrix<double> c(3, 2);
+  EXPECT_THROW(
+      gemm(Trans::No, Trans::No, 1.0, a.cview(), b.cview(), 0.0, c.view()),
+      Error);
+}
+
+TEST(Gemm, FloatInstantiation) {
+  Matrix<float> a(2, 2), b(2, 2), c(2, 2);
+  a(0, 0) = 1; a(0, 1) = 2; a(1, 0) = 3; a(1, 1) = 4;
+  set_identity(b.view());
+  gemm(Trans::No, Trans::No, 1.0f, a.cview(), b.cview(), 0.0f, c.view());
+  EXPECT_FLOAT_EQ(c(1, 0), 3.0f);
+}
+
+// ---------------------------------------------------------------------------
+// TRSM: all 16 combinations, verified by construction (B := op(A) X, then
+// solving must recover X).
+// ---------------------------------------------------------------------------
+
+using TrsmParam = std::tuple<Side, Uplo, Trans, Diag>;
+
+class TrsmTest : public ::testing::TestWithParam<TrsmParam> {};
+
+TEST_P(TrsmTest, RecoversKnownSolution) {
+  const auto [side, uplo, trans, diag] = GetParam();
+  const int m = 9, n = 6;
+  const int order = side == Side::Left ? m : n;
+  Matrix<double> a = uplo == Uplo::Upper ? random_upper(order, 11)
+                                         : random_unit_lower(order, 12);
+  if (uplo == Uplo::Lower && diag == Diag::NonUnit) {
+    for (int i = 0; i < order; ++i) a(i, i) = 2.0 + 0.1 * i;
+  }
+  if (uplo == Uplo::Upper && diag == Diag::Unit) {
+    for (int i = 0; i < order; ++i) a(i, i) = 1.0;
+  }
+  const auto x = random_matrix(m, n, 13);
+  // B = op(A) X (left) or X op(A) (right), built with trmm.
+  Matrix<double> b = x;
+  trmm(side, uplo, trans, diag, 1.0, a.cview(), b.view());
+  trsm(side, uplo, trans, diag, 1.0, a.cview(), b.view());
+  expect_near(b, x, 1e-10, "trsm roundtrip");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombos, TrsmTest,
+    ::testing::Combine(::testing::Values(Side::Left, Side::Right),
+                       ::testing::Values(Uplo::Lower, Uplo::Upper),
+                       ::testing::Values(Trans::No, Trans::Yes),
+                       ::testing::Values(Diag::NonUnit, Diag::Unit)));
+
+TEST(Trsm, AlphaScalesRhs) {
+  auto a = random_upper(4, 21);
+  auto x = random_matrix(4, 3, 22);
+  Matrix<double> b1 = x, b2 = x;
+  trsm(Side::Left, Uplo::Upper, Trans::No, Diag::NonUnit, 2.0, a.cview(), b1.view());
+  trsm(Side::Left, Uplo::Upper, Trans::No, Diag::NonUnit, 1.0, a.cview(), b2.view());
+  for (int j = 0; j < 3; ++j)
+    for (int i = 0; i < 4; ++i) EXPECT_NEAR(b1(i, j), 2.0 * b2(i, j), 1e-12);
+}
+
+TEST(Trsm, NonSquareAThrows) {
+  Matrix<double> a(3, 4), b(3, 2);
+  EXPECT_THROW(trsm(Side::Left, Uplo::Upper, Trans::No, Diag::NonUnit, 1.0,
+                    a.cview(), b.view()),
+               Error);
+}
+
+// ---------------------------------------------------------------------------
+// TRMM: against explicit triangular products.
+// ---------------------------------------------------------------------------
+
+TEST(Trmm, LeftLowerAgainstExplicitProduct) {
+  const int n = 6;
+  auto l = random_unit_lower(n, 31);
+  auto x = random_matrix(n, 4, 32);
+  Matrix<double> expected(n, 4);
+  ref_gemm(Trans::No, Trans::No, 1.0, l.cview(), x.cview(), 0.0, expected.view());
+  Matrix<double> got = x;
+  trmm(Side::Left, Uplo::Lower, Trans::No, Diag::Unit, 1.0, l.cview(), got.view());
+  expect_near(got, expected, 1e-12, "trmm left lower");
+}
+
+TEST(Trmm, RightUpperTransposeAgainstExplicitProduct) {
+  const int n = 5;
+  auto u = random_upper(n, 33);
+  auto x = random_matrix(4, n, 34);
+  Matrix<double> expected(4, n);
+  ref_gemm(Trans::No, Trans::Yes, 1.0, x.cview(), u.cview(), 0.0, expected.view());
+  Matrix<double> got = x;
+  trmm(Side::Right, Uplo::Upper, Trans::Yes, Diag::NonUnit, 1.0, u.cview(),
+       got.view());
+  expect_near(got, expected, 1e-12, "trmm right upper^T");
+}
+
+TEST(Trmm, IgnoresOppositeTriangle) {
+  // Garbage in the unreferenced triangle must not leak into the product.
+  const int n = 4;
+  auto u = random_upper(n, 35);
+  auto u_dirty = u;
+  for (int j = 0; j < n; ++j)
+    for (int i = j + 1; i < n; ++i) u_dirty(i, j) = 1e30;
+  auto x = random_matrix(n, 2, 36);
+  Matrix<double> clean = x, dirty = x;
+  trmm(Side::Left, Uplo::Upper, Trans::No, Diag::NonUnit, 1.0, u.cview(),
+       clean.view());
+  trmm(Side::Left, Uplo::Upper, Trans::No, Diag::NonUnit, 1.0, u_dirty.cview(),
+       dirty.view());
+  expect_near(clean, dirty, 0.0, "trmm triangle isolation");
+}
+
+}  // namespace
+}  // namespace luqr::kern

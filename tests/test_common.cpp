@@ -1,0 +1,165 @@
+// Tests for common utilities: RNG determinism/quality, env parsing, tables.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <set>
+
+#include "common/env.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "common/timer.hpp"
+
+namespace luqr {
+namespace {
+
+// Opaque sink so the timing loop is not optimized away.
+void benchmark_guard(double& v) { asm volatile("" : "+m"(v)); }
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(123), b(123), c(124);
+  bool all_equal = true, any_diff = false;
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a.next_u64(), vb = b.next_u64(), vc = c.next_u64();
+    all_equal = all_equal && (va == vb);
+    any_diff = any_diff || (va != vc);
+  }
+  EXPECT_TRUE(all_equal);
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-2.5, 4.0);
+    ASSERT_GE(u, -2.5);
+    ASSERT_LT(u, 4.0);
+  }
+}
+
+TEST(Rng, GaussianMomentsRoughlyStandard) {
+  Rng rng(42);
+  const int n = 200000;
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.gaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.02);
+}
+
+TEST(Rng, ForkIndependentOfParentAdvancement) {
+  Rng a(99);
+  Rng child1 = a.fork(5);
+  a.next_u64();  // advancing the parent must not change an already-made fork
+  Rng b(99);
+  Rng child2 = b.fork(5);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(child1.next_u64(), child2.next_u64());
+}
+
+TEST(Rng, ForkSaltsDiffer) {
+  Rng a(99);
+  Rng c1 = a.fork(1), c2 = a.fork(2);
+  bool any_diff = false;
+  for (int i = 0; i < 20; ++i) any_diff = any_diff || (c1.next_u64() != c2.next_u64());
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, BelowBounds) {
+  Rng rng(3);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.below(7);
+    ASSERT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all residues hit
+  EXPECT_EQ(rng.below(0), 0u);
+}
+
+TEST(Env, LongParsingAndFallback) {
+  ::setenv("LUQR_TEST_LONG", "123", 1);
+  EXPECT_EQ(env_long("LUQR_TEST_LONG", 5), 123);
+  ::setenv("LUQR_TEST_LONG", "junk", 1);
+  EXPECT_EQ(env_long("LUQR_TEST_LONG", 5), 5);
+  ::unsetenv("LUQR_TEST_LONG");
+  EXPECT_EQ(env_long("LUQR_TEST_LONG", 5), 5);
+}
+
+TEST(Env, DoubleParsing) {
+  ::setenv("LUQR_TEST_DBL", "2.5", 1);
+  EXPECT_DOUBLE_EQ(env_double("LUQR_TEST_DBL", 1.0), 2.5);
+  ::unsetenv("LUQR_TEST_DBL");
+  EXPECT_DOUBLE_EQ(env_double("LUQR_TEST_DBL", 1.0), 1.0);
+}
+
+TEST(Env, StringFallback) {
+  ::setenv("LUQR_TEST_STR", "hello", 1);
+  EXPECT_EQ(env_string("LUQR_TEST_STR", "d"), "hello");
+  ::unsetenv("LUQR_TEST_STR");
+  EXPECT_EQ(env_string("LUQR_TEST_STR", "d"), "d");
+}
+
+TEST(Table, AlignsColumns) {
+  TextTable t;
+  t.header({"name", "value"});
+  t.row({"x", "1"});
+  t.row({"long-name", "2.50"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("long-name"), std::string::npos);
+  // Every rendered line has the same width.
+  std::size_t pos = 0, prev_len = std::string::npos;
+  while (pos < s.size()) {
+    const std::size_t nl = s.find('\n', pos);
+    const std::size_t len = nl - pos;
+    if (prev_len != std::string::npos) {
+      EXPECT_EQ(len, prev_len);
+    }
+    prev_len = len;
+    pos = nl + 1;
+  }
+}
+
+TEST(Table, Formatters) {
+  EXPECT_EQ(fmt_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_fixed(-1.0, 1), "-1.0");
+  EXPECT_EQ(fmt_sci(12345.678, 2), "1.23e+04");
+}
+
+TEST(ErrorMacro, ThrowsWithContext) {
+  try {
+    LUQR_REQUIRE(1 == 2, "one is not two");
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("one is not two"), std::string::npos);
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+  }
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  Timer t;
+  double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink += std::sqrt(static_cast<double>(i));
+  benchmark_guard(sink);
+  EXPECT_GE(t.seconds(), 0.0);
+  const double before = t.seconds();
+  t.reset();
+  EXPECT_LE(t.seconds(), before + 1.0);
+}
+
+}  // namespace
+}  // namespace luqr

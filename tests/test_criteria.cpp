@@ -1,0 +1,181 @@
+// Unit tests for the robustness criteria against hand-built PanelInfo
+// snapshots: threshold semantics, endpoints, MUMPS growth-estimate logic,
+// and the factory.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "common/error.hpp"
+#include "criteria/criteria.hpp"
+
+namespace luqr {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+PanelInfo basic_info() {
+  PanelInfo info;
+  info.k = 0;
+  info.panel_rows = 4;
+  info.inv_norm_akk = 0.5;               // ||A_kk^{-1}|| = 0.5 => ||.||^{-1} = 2
+  info.below_tile_norms = {1.0, 3.0, 2.0};  // max 3, sum 6
+  info.pivots = {2.0, 2.0};
+  info.local_max = {2.0, 2.0};
+  info.away_max = {1.0, 1.0};
+  return info;
+}
+
+TEST(MaxCriterion, ThresholdSemantics) {
+  const auto info = basic_info();
+  // Condition: alpha * 2 >= 3  <=>  alpha >= 1.5.
+  EXPECT_FALSE(MaxCriterion(1.0).accept_lu(info));
+  EXPECT_TRUE(MaxCriterion(1.5).accept_lu(info));
+  EXPECT_TRUE(MaxCriterion(10.0).accept_lu(info));
+}
+
+TEST(SumCriterion, StricterThanMax) {
+  const auto info = basic_info();
+  // Condition: alpha * 2 >= 6  <=>  alpha >= 3.
+  EXPECT_FALSE(SumCriterion(1.5).accept_lu(info));
+  EXPECT_TRUE(SumCriterion(3.0).accept_lu(info));
+  // Any info accepted by Sum at alpha is accepted by Max at alpha.
+  for (double alpha : {0.5, 1.0, 2.0, 3.0, 5.0}) {
+    if (SumCriterion(alpha).accept_lu(info)) {
+      EXPECT_TRUE(MaxCriterion(alpha).accept_lu(info)) << alpha;
+    }
+  }
+}
+
+TEST(Criteria, AlphaEndpoints) {
+  const auto info = basic_info();
+  EXPECT_TRUE(MaxCriterion(kInf).accept_lu(info));
+  EXPECT_FALSE(MaxCriterion(0.0).accept_lu(info));
+  EXPECT_TRUE(SumCriterion(kInf).accept_lu(info));
+  EXPECT_FALSE(SumCriterion(0.0).accept_lu(info));
+  EXPECT_TRUE(MumpsCriterion(kInf).accept_lu(info));
+  EXPECT_FALSE(MumpsCriterion(0.0).accept_lu(info));
+}
+
+TEST(Criteria, FactorFailureForcesQR) {
+  auto info = basic_info();
+  info.factor_failed = true;
+  EXPECT_FALSE(MaxCriterion(kInf).accept_lu(info));
+  EXPECT_FALSE(SumCriterion(kInf).accept_lu(info));
+  EXPECT_FALSE(MumpsCriterion(kInf).accept_lu(info));
+  EXPECT_FALSE(RandomCriterion(1.0).accept_lu(info));
+  // AlwaysLU deliberately ignores the failure (true alpha = inf semantics).
+  EXPECT_TRUE(AlwaysLU().accept_lu(info));
+}
+
+TEST(Criteria, EmptyPanelBelowDiagonal) {
+  // Last step of the factorization: nothing below the diagonal. Both norm
+  // criteria accept for any positive alpha (max/sum over empty set = 0).
+  auto info = basic_info();
+  info.below_tile_norms.clear();
+  EXPECT_TRUE(MaxCriterion(0.001).accept_lu(info));
+  EXPECT_TRUE(SumCriterion(0.001).accept_lu(info));
+}
+
+TEST(MumpsCriterion, AcceptsWhenPivotsDominert) {
+  auto info = basic_info();
+  // pivots 2, away 1, growth(0) = 2/2 = 1 -> estimates stay 1.
+  EXPECT_TRUE(MumpsCriterion(1.0).accept_lu(info));
+}
+
+TEST(MumpsCriterion, RejectsWhenEstimateOutgrowsPivot) {
+  PanelInfo info;
+  info.inv_norm_akk = 1.0;
+  info.pivots = {4.0, 0.5};
+  info.local_max = {1.0, 1.0};   // growth factor after column 0: 4.0
+  info.away_max = {1.0, 1.0};
+  // Column 1 estimate = away * growth(0) = 4.0 > alpha * pivot = 1 * 0.5.
+  EXPECT_FALSE(MumpsCriterion(1.0).accept_lu(info));
+  // A loose alpha accepts.
+  EXPECT_TRUE(MumpsCriterion(10.0).accept_lu(info));
+}
+
+TEST(MumpsCriterion, GrowthTracksRunningMaximum) {
+  PanelInfo info;
+  info.inv_norm_akk = 1.0;
+  info.pivots = {2.0, 2.0, 2.0, 0.3};
+  info.local_max = {1.0, 1.0, 1.0, 1.0};
+  info.away_max = {0.1, 0.1, 0.1, 0.1};
+  // Observed growth peaks at 2, so estimate(3) = 0.1 * 2 = 0.2 <= alpha*0.3
+  // for alpha = 1 -> accept; a smaller final pivot must flip the decision.
+  EXPECT_TRUE(MumpsCriterion(1.0).accept_lu(info));
+  info.pivots[3] = 0.15;  // estimate 0.2 > 0.15
+  EXPECT_FALSE(MumpsCriterion(1.0).accept_lu(info));
+}
+
+TEST(MumpsCriterion, ZeroLocalMaxDoesNotDivide) {
+  PanelInfo info;
+  info.inv_norm_akk = 1.0;
+  info.pivots = {1.0, 1.0};
+  info.local_max = {0.0, 1.0};  // degenerate column
+  info.away_max = {0.0, 0.5};
+  EXPECT_TRUE(MumpsCriterion(1.0).accept_lu(info));
+}
+
+TEST(RandomCriterion, ProbabilityEndpoints) {
+  const auto info = basic_info();
+  RandomCriterion never(0.0), always(1.0);
+  int accepted = 0;
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(never.accept_lu(info));
+    accepted += always.accept_lu(info) ? 1 : 0;
+  }
+  EXPECT_EQ(accepted, 50);
+}
+
+TEST(RandomCriterion, HitsTargetFractionRoughly) {
+  const auto info = basic_info();
+  RandomCriterion half(0.5, 99);
+  int accepted = 0;
+  const int trials = 2000;
+  for (int i = 0; i < trials; ++i) accepted += half.accept_lu(info) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(accepted) / trials, 0.5, 0.05);
+}
+
+TEST(RandomCriterion, DeterministicPerSeed) {
+  const auto info = basic_info();
+  RandomCriterion a(0.5, 7), b(0.5, 7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.accept_lu(info), b.accept_lu(info));
+}
+
+TEST(RandomCriterion, InvalidProbabilityThrows) {
+  EXPECT_THROW(RandomCriterion(-0.1), Error);
+  EXPECT_THROW(RandomCriterion(1.5), Error);
+}
+
+TEST(Criteria, Names) {
+  EXPECT_EQ(MaxCriterion(6000).name(), "max(alpha=6000)");
+  EXPECT_EQ(SumCriterion(1).name(), "sum(alpha=1)");
+  EXPECT_EQ(MumpsCriterion(2.1).name(), "mumps(alpha=2.1)");
+  EXPECT_EQ(MaxCriterion(kInf).name(), "max(alpha=inf)");
+  EXPECT_EQ(RandomCriterion(0.5).name(), "random(50%)");
+  EXPECT_EQ(AlwaysLU().name(), "always-lu");
+  EXPECT_EQ(AlwaysQR().name(), "always-qr");
+}
+
+TEST(Criteria, Factory) {
+  const auto info = basic_info();
+  EXPECT_TRUE(make_criterion("max", 10.0)->accept_lu(info));
+  EXPECT_FALSE(make_criterion("max", 0.0)->accept_lu(info));
+  EXPECT_TRUE(make_criterion("always-lu", 0)->accept_lu(info));
+  EXPECT_FALSE(make_criterion("always-qr", 0)->accept_lu(info));
+  EXPECT_NO_THROW(make_criterion("sum", 1.0));
+  EXPECT_NO_THROW(make_criterion("mumps", 2.1));
+  EXPECT_NO_THROW(make_criterion("random", 0.5));
+  EXPECT_THROW(make_criterion("bogus", 1.0), Error);
+}
+
+TEST(MumpsCriterion, InconsistentStatsThrow) {
+  PanelInfo info;
+  info.pivots = {1.0, 1.0};
+  info.local_max = {1.0};
+  info.away_max = {1.0, 1.0};
+  EXPECT_THROW(MumpsCriterion(1.0).accept_lu(info), Error);
+}
+
+}  // namespace
+}  // namespace luqr

@@ -1,0 +1,150 @@
+// Tests for the retained Factorization API (§II-D-1 second pass): replayed
+// transformations must reproduce the fused-RHS solve exactly, across
+// criteria, variants, grids and trees; iterative refinement must improve
+// LU-heavy solves; repeated solves must be independent.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/factorization.hpp"
+#include "core/solve.hpp"
+#include "gen/generators.hpp"
+#include "test_helpers.hpp"
+#include "verify/verify.hpp"
+
+namespace luqr::core {
+namespace {
+
+using luqr::testing::random_matrix;
+
+TEST(Factorization, SecondPassMatchesFusedSolveBitwise) {
+  // The fused driver transforms b alongside A; the retained factorization
+  // replays the same kernels in the same order on b afterwards. The
+  // arithmetic is identical, so the solutions must agree bitwise.
+  const auto a = gen::generate(gen::MatrixKind::Random, 96, 1);
+  const auto b = random_matrix(96, 1, 2);
+  HybridOptions opt;
+  opt.grid_p = 2;
+  opt.grid_q = 2;
+  MaxCriterion c1(30.0), c2(30.0);
+  const auto fused = hybrid_solve(a, b, c1, 16, opt);
+  const auto fac = Factorization::compute(a, c2, 16, opt);
+  const auto x = fac.solve(b);
+  ASSERT_EQ(fac.stats().lu_steps, fused.stats.lu_steps);
+  for (int i = 0; i < 96; ++i) EXPECT_DOUBLE_EQ(x(i, 0), fused.x(i, 0)) << i;
+}
+
+TEST(Factorization, AllQrStepsReplayCorrectly) {
+  const auto a = gen::generate(gen::MatrixKind::Random, 64, 3);
+  const auto b = random_matrix(64, 1, 4);
+  AlwaysQR c1, c2;
+  HybridOptions opt;
+  opt.grid_p = 2;
+  const auto fused = hybrid_solve(a, b, c1, 16, opt);
+  const auto fac = Factorization::compute(a, c2, 16, opt);
+  const auto x = fac.solve(b);
+  for (int i = 0; i < 64; ++i) EXPECT_DOUBLE_EQ(x(i, 0), fused.x(i, 0));
+}
+
+TEST(Factorization, TreeVariationsReplay) {
+  const auto a = gen::generate(gen::MatrixKind::Random, 64, 5);
+  const auto b = random_matrix(64, 1, 6);
+  for (hqr::LocalTree local : {hqr::LocalTree::FlatTS, hqr::LocalTree::Greedy,
+                               hqr::LocalTree::Fibonacci}) {
+    AlwaysQR crit;
+    HybridOptions opt;
+    opt.grid_p = 2;
+    opt.tree.local = local;
+    const auto fac = Factorization::compute(a, crit, 16, opt);
+    const auto x = fac.solve(b);
+    EXPECT_LT(verify::relative_residual(a, x, b), 1e-13)
+        << hqr::to_string(local);
+  }
+}
+
+TEST(Factorization, EveryLuVariantReplays) {
+  const auto a = gen::generate(gen::MatrixKind::Random, 80, 7);
+  const auto b = random_matrix(80, 2, 8);
+  for (auto variant : {LuVariant::A1, LuVariant::A2, LuVariant::B1, LuVariant::B2}) {
+    AlwaysLU crit;
+    HybridOptions opt;
+    opt.variant = variant;
+    const auto fac = Factorization::compute(a, crit, 16, opt);
+    const auto x = fac.solve(b);
+    EXPECT_LT(verify::relative_residual(a, x, b), 1e-10)
+        << static_cast<int>(variant);
+  }
+}
+
+TEST(Factorization, ManySolvesFromOneFactorization) {
+  const auto a = gen::generate(gen::MatrixKind::Random, 64, 9);
+  MaxCriterion crit(40.0);
+  const auto fac = Factorization::compute(a, crit, 16, {});
+  for (int s = 0; s < 5; ++s) {
+    const auto b = random_matrix(64, 1, 100 + s);
+    const auto x = fac.solve(b);
+    EXPECT_LT(verify::relative_residual(a, x, b), 1e-12) << "rhs " << s;
+  }
+}
+
+TEST(Factorization, SolvesAreIndependent) {
+  // Solving with one b must not perturb a later solve with another.
+  const auto a = gen::generate(gen::MatrixKind::Random, 48, 10);
+  MaxCriterion crit(40.0);
+  const auto fac = Factorization::compute(a, crit, 16, {});
+  const auto b1 = random_matrix(48, 1, 11);
+  const auto b2 = random_matrix(48, 1, 12);
+  const auto x2_first = fac.solve(b2);
+  (void)fac.solve(b1);
+  const auto x2_second = fac.solve(b2);
+  for (int i = 0; i < 48; ++i) EXPECT_DOUBLE_EQ(x2_first(i, 0), x2_second(i, 0));
+}
+
+TEST(Factorization, PaddedSizes) {
+  const auto a = gen::generate(gen::MatrixKind::Random, 53, 13);
+  const auto b = random_matrix(53, 1, 14);
+  MaxCriterion crit(40.0);
+  const auto fac = Factorization::compute(a, crit, 16, {});
+  EXPECT_EQ(fac.order(), 53);
+  const auto x = fac.solve(b);
+  EXPECT_LT(verify::relative_residual(a, x, b), 1e-12);
+}
+
+TEST(Factorization, RefinementImprovesUnstableSolve) {
+  // An all-LU factorization of the growth-example matrix loses digits;
+  // iterative refinement with the retained original must win them back.
+  const int n = 64;
+  const auto a = gen::generate(gen::MatrixKind::GrowthExample, n, 0, 1.0);
+  const auto b = random_matrix(n, 1, 15);
+  AlwaysLU crit;
+  const auto fac = Factorization::compute(a, crit, 8, {});
+  const auto x0 = fac.solve(b, /*refinement_sweeps=*/0);
+  const auto x2 = fac.solve(b, /*refinement_sweeps=*/2);
+  const double h0 = verify::hpl3(a, x0, b);
+  const double h2 = verify::hpl3(a, x2, b);
+  EXPECT_LT(h2, h0 * 0.1);  // at least an order of magnitude better
+  EXPECT_LT(h2, 1.0);
+}
+
+TEST(Factorization, RefinementIsNoOpOnAccurateSolve) {
+  const auto a = gen::generate(gen::MatrixKind::DiagDominant, 48, 16);
+  const auto b = random_matrix(48, 1, 17);
+  SumCriterion crit(1.0);
+  const auto fac = Factorization::compute(a, crit, 16, {});
+  const auto x0 = fac.solve(b, 0);
+  const auto x1 = fac.solve(b, 1);
+  EXPECT_LT(verify::max_abs_error(x0, x1), 1e-12);
+}
+
+TEST(Factorization, RejectsWrongShapes) {
+  const auto a = random_matrix(32, 24, 18);
+  MaxCriterion crit(1.0);
+  EXPECT_THROW(Factorization::compute(a, crit, 8, {}), Error);
+  const auto sq = random_matrix(32, 32, 19);
+  const auto fac = Factorization::compute(sq, crit, 8, {});
+  const auto bad_b = random_matrix(16, 1, 20);
+  EXPECT_THROW(fac.solve(bad_b), Error);
+}
+
+}  // namespace
+}  // namespace luqr::core

@@ -1,0 +1,270 @@
+// Tests for the matrix generators: published structural properties of every
+// Table III matrix, determinism, and the registry.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <utility>
+
+#include "gen/generators.hpp"
+#include "kernels/norms.hpp"
+#include "kernels/reference.hpp"
+#include "verify/verify.hpp"
+
+namespace luqr::gen {
+namespace {
+
+TEST(Generators, DeterministicPerSeed) {
+  for (MatrixKind k : all_kinds()) {
+    const auto a = generate(k, 12, 5);
+    const auto b = generate(k, 12, 5);
+    EXPECT_DOUBLE_EQ(kern::max_abs_diff(a.cview(), b.cview()), 0.0)
+        << kind_name(k);
+  }
+}
+
+TEST(Generators, RandomSeedsDiffer) {
+  const auto a = generate(MatrixKind::Random, 8, 1);
+  const auto b = generate(MatrixKind::Random, 8, 2);
+  EXPECT_GT(kern::max_abs_diff(a.cview(), b.cview()), 0.0);
+}
+
+TEST(Generators, NameRoundTrip) {
+  for (MatrixKind k : all_kinds()) {
+    EXPECT_EQ(kind_from_name(kind_name(k)), k);
+  }
+  EXPECT_THROW(kind_from_name("no-such-matrix"), Error);
+}
+
+TEST(Generators, SpecialSetMatchesTableIII) {
+  EXPECT_EQ(special_set().size(), 21u);  // the paper's 21 special matrices
+  EXPECT_EQ(kind_name(special_set().front()), "house");
+  EXPECT_EQ(kind_name(special_set().back()), "wright");
+}
+
+TEST(Generators, AllKindsProduceFiniteEntries) {
+  for (MatrixKind k : all_kinds()) {
+    const auto a = generate(k, 16, 3);
+    ASSERT_EQ(a.rows(), 16);
+    ASSERT_EQ(a.cols(), 16);
+    for (int j = 0; j < 16; ++j)
+      for (int i = 0; i < 16; ++i)
+        ASSERT_TRUE(std::isfinite(a(i, j))) << kind_name(k);
+  }
+}
+
+TEST(House, IsOrthogonalAndSymmetric) {
+  const auto a = generate(MatrixKind::House, 20, 9);
+  EXPECT_LT(verify::orthogonality_error(a), 1e-12);
+  for (int j = 0; j < 20; ++j)
+    for (int i = 0; i < 20; ++i) EXPECT_NEAR(a(i, j), a(j, i), 1e-14);
+}
+
+TEST(Orthog, IsOrthogonal) {
+  const auto a = generate(MatrixKind::Orthog, 16, 0);
+  EXPECT_LT(verify::orthogonality_error(a), 1e-12);
+}
+
+TEST(Parter, ToeplitzStructure) {
+  const auto a = generate(MatrixKind::Parter, 10, 0);
+  EXPECT_DOUBLE_EQ(a(0, 0), 2.0);  // 1/0.5
+  for (int d = -3; d <= 3; ++d)
+    for (int i = 3; i < 6; ++i)  // keep i+1+d within [0, n)
+      EXPECT_DOUBLE_EQ(a(i, i + d), a(i + 1, i + 1 + d));
+}
+
+TEST(Hilb, KnownEntries) {
+  const auto a = generate(MatrixKind::Hilb, 5, 0);
+  EXPECT_DOUBLE_EQ(a(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(a(1, 2), 1.0 / 4.0);
+  EXPECT_DOUBLE_EQ(a(4, 4), 1.0 / 9.0);
+  for (int j = 0; j < 5; ++j)
+    for (int i = 0; i < 5; ++i) EXPECT_DOUBLE_EQ(a(i, j), a(j, i));
+}
+
+TEST(Lotkin, HilbertWithOnesRow) {
+  const auto h = generate(MatrixKind::Hilb, 6, 0);
+  const auto l = generate(MatrixKind::Lotkin, 6, 0);
+  for (int j = 0; j < 6; ++j) {
+    EXPECT_DOUBLE_EQ(l(0, j), 1.0);
+    for (int i = 1; i < 6; ++i) EXPECT_DOUBLE_EQ(l(i, j), h(i, j));
+  }
+}
+
+TEST(Lehmer, SymmetricWithUnitDiagonal) {
+  const auto a = generate(MatrixKind::Lehmer, 9, 0);
+  for (int i = 0; i < 9; ++i) EXPECT_DOUBLE_EQ(a(i, i), 1.0);
+  EXPECT_DOUBLE_EQ(a(2, 5), 3.0 / 6.0);
+  EXPECT_DOUBLE_EQ(a(5, 2), 3.0 / 6.0);
+}
+
+TEST(Kahan, UpperTriangularWithDecayingDiagonal) {
+  const auto a = generate(MatrixKind::Kahan, 12, 0);
+  for (int j = 0; j < 12; ++j)
+    for (int i = j + 1; i < 12; ++i) EXPECT_DOUBLE_EQ(a(i, j), 0.0);
+  for (int i = 1; i < 12; ++i) EXPECT_LT(a(i, i), a(i - 1, i - 1));
+  EXPECT_DOUBLE_EQ(a(0, 0), 1.0);
+}
+
+TEST(Wilkinson, StructureAndGrowth) {
+  const int n = 12;
+  const auto a = generate(MatrixKind::Wilkinson, n, 0);
+  for (int i = 0; i < n; ++i) {
+    EXPECT_DOUBLE_EQ(a(i, n - 1), 1.0);
+    if (i < n - 1) {
+      EXPECT_DOUBLE_EQ(a(i, i), 1.0);
+    }
+    for (int j = 0; j < i && j < n - 1; ++j) EXPECT_DOUBLE_EQ(a(i, j), -1.0);
+  }
+  // GEPP growth 2^{n-1}: eliminate without swaps (no swaps occur: every
+  // pivot is 1 with unit-magnitude competitors) and check the last entry.
+  Matrix<double> w = a;
+  for (int k = 0; k < n - 1; ++k)
+    for (int i = k + 1; i < n; ++i) {
+      const double m = w(i, k) / w(k, k);
+      for (int j = k; j < n; ++j) w(i, j) -= m * w(k, j);
+    }
+  EXPECT_NEAR(w(n - 1, n - 1), std::pow(2.0, n - 1), 1e-6);
+}
+
+TEST(Compan, CompanionStructure) {
+  const auto a = generate(MatrixKind::Compan, 8, 4);
+  for (int i = 1; i < 8; ++i)
+    for (int j = 0; j < 8; ++j)
+      EXPECT_DOUBLE_EQ(a(i, j), j == i - 1 ? 1.0 : 0.0);
+}
+
+TEST(Dorr, TridiagonalAndRowDominant) {
+  const int n = 14;
+  const auto a = generate(MatrixKind::Dorr, n, 0);
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < n; ++i)
+      if (std::abs(i - j) > 1) {
+        EXPECT_DOUBLE_EQ(a(i, j), 0.0);
+      }
+  // Weak row diagonal dominance with strict dominance at the boundaries.
+  for (int i = 0; i < n; ++i) {
+    double off = 0.0;
+    for (int j = 0; j < n; ++j)
+      if (j != i) off += std::abs(a(i, j));
+    EXPECT_GE(std::abs(a(i, i)) + 1e-9, off);
+  }
+}
+
+TEST(Circul, CirculantStructure) {
+  const auto a = generate(MatrixKind::Circul, 7, 11);
+  for (int i = 0; i < 6; ++i)
+    for (int j = 0; j < 6; ++j) EXPECT_DOUBLE_EQ(a(i, j), a(i + 1, j + 1));
+}
+
+TEST(Hankel, ConstantAntiDiagonals) {
+  const auto a = generate(MatrixKind::Hankel, 9, 12);
+  for (int i = 0; i < 8; ++i)
+    for (int j = 1; j < 9; ++j) EXPECT_DOUBLE_EQ(a(i, j), a(i + 1, j - 1));
+}
+
+TEST(Cauchy, KnownEntries) {
+  const auto a = generate(MatrixKind::Cauchy, 4, 0);
+  EXPECT_DOUBLE_EQ(a(0, 0), 0.5);        // 1/(1+1)
+  EXPECT_DOUBLE_EQ(a(3, 3), 1.0 / 8.0);  // 1/(4+4)
+}
+
+TEST(Invhess, SignPattern) {
+  const auto a = generate(MatrixKind::Invhess, 6, 0);
+  for (int j = 0; j < 6; ++j)
+    for (int i = 0; i < 6; ++i) {
+      if (i >= j) {
+        EXPECT_DOUBLE_EQ(a(i, j), j + 1.0);
+      } else {
+        EXPECT_DOUBLE_EQ(a(i, j), -(i + 1.0));
+      }
+    }
+}
+
+TEST(Prolate, SymmetricToeplitzWithKnownDiagonal) {
+  const auto a = generate(MatrixKind::Prolate, 10, 0);
+  for (int i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(a(i, i), 0.5);  // 2w, w=0.25
+  for (int i = 0; i < 9; ++i) EXPECT_DOUBLE_EQ(a(i, i + 1), a(i + 1, i));
+}
+
+TEST(Demmel, GradedRows) {
+  const int n = 8;
+  const auto a = generate(MatrixKind::Demmel, n, 2);
+  // Row magnitudes grow like 10^{14 i / n}.
+  EXPECT_NEAR(a(0, 0), 1.0, 1e-5);
+  EXPECT_GT(std::abs(a(n - 1, n - 1)), 1e11);
+}
+
+TEST(Chebvand, FirstRowsAreChebyshevPolynomials) {
+  const int n = 6;
+  const auto a = generate(MatrixKind::Chebvand, n, 0);
+  for (int j = 0; j < n; ++j) {
+    const double p = static_cast<double>(j) / (n - 1);
+    EXPECT_DOUBLE_EQ(a(0, j), 1.0);
+    EXPECT_DOUBLE_EQ(a(1, j), p);
+    EXPECT_NEAR(a(2, j), 2 * p * p - 1, 1e-14);
+  }
+}
+
+TEST(Fiedler, ZeroDiagonalAbsoluteDifferences) {
+  const auto a = generate(MatrixKind::Fiedler, 7, 0);
+  for (int i = 0; i < 7; ++i) EXPECT_DOUBLE_EQ(a(i, i), 0.0);
+  EXPECT_DOUBLE_EQ(a(1, 5), 4.0);
+  EXPECT_DOUBLE_EQ(a(5, 1), 4.0);
+}
+
+TEST(DiagDominant, ColumnDominanceHolds) {
+  const auto a = generate(MatrixKind::DiagDominant, 20, 21);
+  for (int j = 0; j < 20; ++j) {
+    double off = 0.0;
+    for (int i = 0; i < 20; ++i)
+      if (i != j) off += std::abs(a(i, j));
+    EXPECT_GT(std::abs(a(j, j)), off);
+  }
+}
+
+TEST(GrowthExample, MatchesPaperMatrix) {
+  // The 4x4 instance printed in §III-A with alpha = 1.
+  const auto a = generate(MatrixKind::GrowthExample, 4, 0, 1.0);
+  const double expect[4][4] = {{1, 0, 0, 1},
+                               {-1, 1, 0, 1},
+                               {-1, -1, 1, 1},
+                               {-1, -1, -1, 1}};
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 4; ++j) EXPECT_DOUBLE_EQ(a(i, j), expect[i][j]);
+  // alpha = 2 puts 1/2 on the leading diagonal.
+  const auto b = generate(MatrixKind::GrowthExample, 4, 0, 2.0);
+  EXPECT_DOUBLE_EQ(b(0, 0), 0.5);
+}
+
+TEST(FosterWright, GeppGrowthPathology) {
+  // Both reconstructions must exhibit large element growth under Gaussian
+  // elimination with partial pivoting (that is their defining property).
+  for (MatrixKind k : {MatrixKind::Foster, MatrixKind::Wright}) {
+    const int n = 40;
+    Matrix<double> w = generate(k, n, 0);
+    const double before = kern::lange(kern::Norm::Max, w.cview());
+    double growth = 1.0;
+    for (int kk = 0; kk < n - 1; ++kk) {
+      // partial pivoting
+      int imax = kk;
+      for (int i = kk + 1; i < n; ++i)
+        if (std::abs(w(i, kk)) > std::abs(w(imax, kk))) imax = i;
+      if (imax != kk)
+        for (int j = 0; j < n; ++j) std::swap(w(kk, j), w(imax, j));
+      for (int i = kk + 1; i < n; ++i) {
+        const double m = w(i, kk) / w(kk, kk);
+        for (int j = kk; j < n; ++j) w(i, j) -= m * w(kk, j);
+      }
+      growth = std::max(growth, kern::lange(kern::Norm::Max, w.cview()) / before);
+    }
+    EXPECT_GT(growth, 1e6) << kind_name(k);
+  }
+}
+
+TEST(Generators, InvalidOrderThrows) {
+  EXPECT_THROW(generate(MatrixKind::Random, 0), Error);
+  EXPECT_THROW(generate(MatrixKind::Condex, 3), Error);  // needs n >= 4
+}
+
+}  // namespace
+}  // namespace luqr::gen

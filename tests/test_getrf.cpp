@@ -1,0 +1,211 @@
+// Tests for the LU kernels: reconstruction P A = L U, pivot-restricted
+// variants, laswp, and singularity reporting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "kernels/lapack.hpp"
+#include "kernels/reference.hpp"
+#include "test_helpers.hpp"
+
+namespace luqr::kern {
+namespace {
+
+using luqr::testing::expect_near;
+using luqr::testing::random_matrix;
+
+// Split a factored (m x n, m >= n) LU into explicit L (m x n unit lower
+// trapezoid) and U (n x n upper).
+void split_lu(const Matrix<double>& lu, Matrix<double>& l, Matrix<double>& u) {
+  const int m = lu.rows(), n = lu.cols();
+  l = Matrix<double>(m, n);
+  u = Matrix<double>(n, n);
+  for (int j = 0; j < n; ++j) {
+    for (int i = 0; i < m; ++i) {
+      if (i > j) {
+        l(i, j) = lu(i, j);
+      } else if (i == j) {
+        l(i, j) = 1.0;
+        u(i, j) = lu(i, j);
+      } else if (i < n) {
+        u(i, j) = lu(i, j);
+      }
+    }
+  }
+}
+
+// Apply recorded pivots to a fresh copy of `a` (forward), i.e. compute P A.
+Matrix<double> permuted(const Matrix<double>& a, const std::vector<int>& piv) {
+  Matrix<double> pa = a;
+  laswp(pa.view(), piv, true);
+  return pa;
+}
+
+class GetrfShapes : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(GetrfShapes, ReconstructsPAeqLU) {
+  const auto [m, n] = GetParam();
+  const auto a = random_matrix(m, n, 100 + m * 31 + n);
+  Matrix<double> lu = a;
+  std::vector<int> piv;
+  ASSERT_EQ(getrf(lu.view(), piv), 0);
+  Matrix<double> l, u;
+  split_lu(lu, l, u);
+  Matrix<double> recon(m, n);
+  ref_gemm(Trans::No, Trans::No, 1.0, l.cview(), u.cview(), 0.0, recon.view());
+  expect_near(recon, permuted(a, piv), 1e-11, "P A = L U");
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, GetrfShapes,
+                         ::testing::Values(std::make_tuple(1, 1),
+                                           std::make_tuple(4, 4),
+                                           std::make_tuple(16, 16),
+                                           std::make_tuple(24, 8),
+                                           std::make_tuple(33, 16),
+                                           std::make_tuple(40, 13)));
+
+TEST(Getrf, PivotsBoundMultipliers) {
+  const auto a = random_matrix(20, 20, 7);
+  Matrix<double> lu = a;
+  std::vector<int> piv;
+  getrf(lu.view(), piv);
+  // Partial pivoting guarantees |L(i,j)| <= 1.
+  for (int j = 0; j < 20; ++j)
+    for (int i = j + 1; i < 20; ++i) EXPECT_LE(std::abs(lu(i, j)), 1.0 + 1e-15);
+}
+
+TEST(Getrf, ReportsSingularColumn) {
+  Matrix<double> a(3, 3);  // column 1 is exactly zero
+  a(0, 0) = 1.0;
+  a(1, 2) = 2.0;
+  a(2, 2) = 1.0;
+  std::vector<int> piv;
+  const int info = getrf(a.view(), piv);
+  EXPECT_EQ(info, 2);  // first zero pivot at column 2 (1-based)
+}
+
+TEST(GetrfNoPiv, MatchesGetrfOnDiagonallyDominant) {
+  // With a diagonally dominant matrix, partial pivoting never swaps, so
+  // both factorizations coincide.
+  auto a = random_matrix(12, 12, 8);
+  for (int i = 0; i < 12; ++i) {
+    double s = 0.0;
+    for (int j = 0; j < 12; ++j) s += std::abs(a(i, j));
+    a(i, i) = s + 1.0;
+  }
+  Matrix<double> lu1 = a, lu2 = a;
+  std::vector<int> piv;
+  ASSERT_EQ(getrf(lu1.view(), piv), 0);
+  ASSERT_EQ(getrf_nopiv(lu2.view()), 0);
+  for (int j = 0; j < 12; ++j)
+    EXPECT_EQ(piv[static_cast<std::size_t>(j)], j);  // no swaps happened
+  expect_near(lu1, lu2, 0.0, "nopiv vs pivoted on diag-dominant");
+}
+
+TEST(GetrfNoPiv, FlagsZeroPivot) {
+  Matrix<double> a(2, 2);
+  a(0, 1) = 1.0;
+  a(1, 0) = 1.0;  // a(0,0) == 0: NoPiv must fail at column 1
+  EXPECT_EQ(getrf_nopiv(a.view()), 1);
+}
+
+TEST(GetrfRestricted, EquivalentToFullWhenUnrestricted) {
+  const auto a = random_matrix(10, 10, 9);
+  Matrix<double> lu1 = a, lu2 = a;
+  std::vector<int> p1, p2;
+  getrf(lu1.view(), p1);
+  getrf_restricted(lu2.view(), /*lo=*/0, p2);
+  expect_near(lu1, lu2, 0.0, "restricted(lo=0) == full");
+  EXPECT_EQ(p1, p2);
+}
+
+TEST(GetrfRestricted, NeverPicksForbiddenRows) {
+  const int m = 12, n = 4, lo = 8;
+  const auto a = random_matrix(m, n, 10);
+  Matrix<double> lu = a;
+  std::vector<int> piv;
+  getrf_restricted(lu.view(), lo, piv);
+  for (int j = 0; j < n; ++j) {
+    const int p = piv[static_cast<std::size_t>(j)];
+    EXPECT_TRUE(p == j || p >= lo) << "pivot " << p << " at column " << j;
+  }
+}
+
+TEST(GetrfRestricted, StillReconstructs) {
+  const int m = 12, n = 6, lo = 6;
+  const auto a = random_matrix(m, n, 11);
+  Matrix<double> lu = a;
+  std::vector<int> piv;
+  ASSERT_EQ(getrf_restricted(lu.view(), lo, piv), 0);
+  Matrix<double> l, u;
+  split_lu(lu, l, u);
+  Matrix<double> recon(m, n);
+  ref_gemm(Trans::No, Trans::No, 1.0, l.cview(), u.cview(), 0.0, recon.view());
+  expect_near(recon, permuted(a, piv), 1e-11, "restricted P A = L U");
+}
+
+TEST(Laswp, BackwardUndoesForward) {
+  const auto a = random_matrix(8, 5, 12);
+  Matrix<double> b = a;
+  std::vector<int> piv = {3, 1, 7, 3, 4};
+  laswp(b.view(), piv, true);
+  laswp(b.view(), piv, false);
+  expect_near(a, b, 0.0, "laswp roundtrip");
+}
+
+TEST(Laswp, ForwardMatchesExplicitSwaps) {
+  Matrix<double> a(3, 1);
+  a(0, 0) = 10;
+  a(1, 0) = 20;
+  a(2, 0) = 30;
+  std::vector<int> piv = {2, 2};  // swap(0,2) then swap(1,2)
+  laswp(a.view(), piv, true);
+  EXPECT_DOUBLE_EQ(a(0, 0), 30);
+  EXPECT_DOUBLE_EQ(a(1, 0), 10);
+  EXPECT_DOUBLE_EQ(a(2, 0), 20);
+}
+
+TEST(Gessm, AppliesInterchangesAndLowerSolve) {
+  // gessm(A) must equal L^{-1} P A computed explicitly.
+  const int n = 8;
+  const auto diag = random_matrix(n, n, 13);
+  Matrix<double> lu = diag;
+  std::vector<int> piv;
+  ASSERT_EQ(getrf(lu.view(), piv), 0);
+  const auto c = random_matrix(n, 5, 14);
+  Matrix<double> got = c;
+  gessm(lu.cview(), piv, got.view());
+  Matrix<double> expected = c;
+  laswp(expected.view(), piv, true);
+  trsm(Side::Left, Uplo::Lower, Trans::No, Diag::Unit, 1.0, lu.cview(),
+       expected.view());
+  expect_near(got, expected, 0.0, "gessm");
+}
+
+TEST(GetrfFloat, SinglePrecisionReconstruction) {
+  const int n = 10;
+  Matrix<float> a(n, n);
+  Rng rng(15);
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < n; ++i) a(i, j) = static_cast<float>(rng.gaussian());
+  Matrix<float> lu = a;
+  std::vector<int> piv;
+  ASSERT_EQ(getrf(lu.view(), piv), 0);
+  // Reconstruct in double to check.
+  Matrix<double> l(n, n), u(n, n), pa(n, n);
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < n; ++i) {
+      if (i > j) l(i, j) = lu(i, j);
+      if (i == j) l(i, j) = 1.0;
+      if (i <= j) u(i, j) = lu(i, j);
+      pa(i, j) = a(i, j);
+    }
+  laswp(pa.view(), piv, true);
+  Matrix<double> recon(n, n);
+  ref_gemm(Trans::No, Trans::No, 1.0, l.cview(), u.cview(), 0.0, recon.view());
+  expect_near(recon, pa, 1e-4, "float P A = L U");
+}
+
+}  // namespace
+}  // namespace luqr::kern

@@ -1,0 +1,51 @@
+// Shared helpers for the luqr test suite.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "kernels/dense.hpp"
+#include "kernels/reference.hpp"
+
+namespace luqr::testing {
+
+/// Dense random matrix with i.i.d. standard Gaussian entries.
+inline Matrix<double> random_matrix(int rows, int cols, std::uint64_t seed) {
+  Matrix<double> m(rows, cols);
+  Rng rng(seed);
+  for (int j = 0; j < cols; ++j)
+    for (int i = 0; i < rows; ++i) m(i, j) = rng.gaussian();
+  return m;
+}
+
+/// Random upper-triangular matrix (nonzero diagonal).
+inline Matrix<double> random_upper(int n, std::uint64_t seed) {
+  Matrix<double> m(n, n);
+  Rng rng(seed);
+  for (int j = 0; j < n; ++j) {
+    for (int i = 0; i <= j; ++i) m(i, j) = rng.gaussian();
+    m(j, j) += (m(j, j) >= 0 ? 3.0 : -3.0);  // keep well-conditioned
+  }
+  return m;
+}
+
+/// Random unit-lower-triangular matrix.
+inline Matrix<double> random_unit_lower(int n, std::uint64_t seed) {
+  Matrix<double> m(n, n);
+  Rng rng(seed);
+  for (int j = 0; j < n; ++j) {
+    m(j, j) = 1.0;
+    for (int i = j + 1; i < n; ++i) m(i, j) = 0.5 * rng.gaussian();
+  }
+  return m;
+}
+
+/// EXPECT that two dense matrices agree to `tol` elementwise.
+inline void expect_near(const Matrix<double>& a, const Matrix<double>& b,
+                        double tol, const char* what = "matrices") {
+  ASSERT_EQ(a.rows(), b.rows()) << what;
+  ASSERT_EQ(a.cols(), b.cols()) << what;
+  EXPECT_LE(kern::max_abs_diff(a.cview(), b.cview()), tol) << what;
+}
+
+}  // namespace luqr::testing

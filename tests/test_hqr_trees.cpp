@@ -1,0 +1,192 @@
+// Property-based tests for the HQR reduction trees: every (local tree,
+// distributed tree, panel shape) combination must produce a valid
+// elimination list, and the schedulers must exhibit their published depth
+// characteristics (flat linear, binary/greedy logarithmic, fibonacci in
+// between).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "hqr/elimination.hpp"
+#include "hqr/trees.hpp"
+#include "tile/process_grid.hpp"
+
+namespace luqr::hqr {
+namespace {
+
+std::vector<std::vector<int>> make_domains(int p, int k, int mt) {
+  return ProcessGrid(p, 1).panel_domains(k, mt);
+}
+
+using TreeParam = std::tuple<LocalTree, DistTree, int /*p*/, int /*rows*/>;
+
+class TreeValidity : public ::testing::TestWithParam<TreeParam> {};
+
+TEST_P(TreeValidity, ProducesValidEliminationList) {
+  const auto [local, dist, p, mt] = GetParam();
+  for (int k : {0, 1, mt / 2, mt - 1}) {
+    const auto domains = make_domains(p, k, mt);
+    const TreeConfig cfg{local, dist};
+    const auto list = elimination_list(domains, cfg);
+    ASSERT_NO_THROW(validate_elimination_list(domains, list))
+        << to_string(local) << "/" << to_string(dist) << " k=" << k;
+    // Exactly rows-1 eliminations (every non-head row dies once).
+    int rows = 0;
+    for (const auto& d : domains) rows += static_cast<int>(d.size());
+    EXPECT_EQ(static_cast<int>(list.size()), rows - 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTrees, TreeValidity,
+    ::testing::Combine(
+        ::testing::Values(LocalTree::FlatTS, LocalTree::FlatTT, LocalTree::Binary,
+                          LocalTree::Greedy, LocalTree::Fibonacci),
+        ::testing::Values(DistTree::Flat, DistTree::Binary, DistTree::Greedy,
+                          DistTree::Fibonacci),
+        ::testing::Values(1, 3, 4), ::testing::Values(5, 16, 33)));
+
+TEST(FlatTree, LinearRoundCount) {
+  const std::vector<std::vector<int>> domains = {{0, 1, 2, 3, 4, 5, 6, 7}};
+  const auto list = elimination_list(domains, {LocalTree::FlatTS, DistTree::Flat});
+  EXPECT_EQ(round_count(list), 7);
+  for (const auto& e : list) {
+    EXPECT_EQ(e.killer, 0);
+    EXPECT_EQ(e.kernel, ElimKernel::TS);
+  }
+}
+
+TEST(BinaryTree, LogarithmicRoundCount) {
+  for (int rows : {2, 4, 8, 16, 32, 17, 33}) {
+    std::vector<int> r(static_cast<std::size_t>(rows));
+    for (int i = 0; i < rows; ++i) r[static_cast<std::size_t>(i)] = i;
+    const auto list =
+        elimination_list({r}, {LocalTree::Binary, DistTree::Flat});
+    EXPECT_EQ(round_count(list),
+              static_cast<int>(std::ceil(std::log2(rows))))
+        << "rows=" << rows;
+  }
+}
+
+TEST(GreedyTree, MinimalDepth) {
+  for (int rows : {2, 3, 8, 21, 64}) {
+    std::vector<int> r(static_cast<std::size_t>(rows));
+    for (int i = 0; i < rows; ++i) r[static_cast<std::size_t>(i)] = i;
+    const auto list =
+        elimination_list({r}, {LocalTree::Greedy, DistTree::Flat});
+    EXPECT_EQ(round_count(list), static_cast<int>(std::ceil(std::log2(rows))))
+        << "rows=" << rows;
+  }
+}
+
+TEST(FibonacciTree, DepthBetweenGreedyAndFlat) {
+  for (int rows : {8, 20, 40}) {
+    std::vector<int> r(static_cast<std::size_t>(rows));
+    for (int i = 0; i < rows; ++i) r[static_cast<std::size_t>(i)] = i;
+    const int flat = round_count(
+        elimination_list({r}, {LocalTree::FlatTT, DistTree::Flat}));
+    const int greedy = round_count(
+        elimination_list({r}, {LocalTree::Greedy, DistTree::Flat}));
+    const int fib = round_count(
+        elimination_list({r}, {LocalTree::Fibonacci, DistTree::Flat}));
+    EXPECT_LE(fib, flat) << "rows=" << rows;
+    EXPECT_GE(fib, greedy) << "rows=" << rows;
+  }
+}
+
+TEST(FibonacciTree, KillCountsFollowFibonacci) {
+  const int rows = 34;
+  std::vector<int> r(static_cast<std::size_t>(rows));
+  for (int i = 0; i < rows; ++i) r[static_cast<std::size_t>(i)] = i;
+  const auto list =
+      elimination_list({r}, {LocalTree::Fibonacci, DistTree::Flat});
+  std::vector<int> per_round(static_cast<std::size_t>(round_count(list)), 0);
+  for (const auto& e : list) ++per_round[static_cast<std::size_t>(e.round)];
+  // 1, 1, 2, 3, 5, ... until the half-of-survivors cap bites.
+  EXPECT_EQ(per_round[0], 1);
+  EXPECT_EQ(per_round[1], 1);
+  EXPECT_EQ(per_round[2], 2);
+  EXPECT_EQ(per_round[3], 3);
+  EXPECT_EQ(per_round[4], 5);
+}
+
+TEST(HierarchicalTree, SurvivorIsPanelDiagonal) {
+  const auto domains = make_domains(4, 3, 19);
+  const auto list =
+      elimination_list(domains, {LocalTree::Greedy, DistTree::Fibonacci});
+  // Row 3 (the diagonal) must never be killed.
+  for (const auto& e : list) EXPECT_NE(e.killed, 3);
+}
+
+TEST(HierarchicalTree, LocalEliminationsStayInDomain) {
+  const auto domains = make_domains(4, 0, 16);
+  const auto list =
+      elimination_list(domains, {LocalTree::Greedy, DistTree::Greedy});
+  ProcessGrid g(4, 1);
+  int cross = 0;
+  for (const auto& e : list) {
+    if (g.row_rank(e.killer) != g.row_rank(e.killed)) ++cross;
+  }
+  // Only the distributed phase (3 eliminations among 4 heads) crosses rows.
+  EXPECT_EQ(cross, 3);
+}
+
+TEST(PipelineMakespan, FlatSlowerThanGreedy) {
+  std::vector<int> r(24);
+  for (int i = 0; i < 24; ++i) r[static_cast<std::size_t>(i)] = i;
+  const auto flat = elimination_list({r}, {LocalTree::FlatTT, DistTree::Flat});
+  const auto greedy = elimination_list({r}, {LocalTree::Greedy, DistTree::Flat});
+  EXPECT_GT(pipeline_makespan(flat, 2.0, 1.0),
+            pipeline_makespan(greedy, 2.0, 1.0));
+}
+
+TEST(PipelineMakespan, SingleElimination) {
+  const std::vector<Elimination> one = {{1, 0, ElimKernel::TS, 0}};
+  EXPECT_DOUBLE_EQ(pipeline_makespan(one, 2.5, 1.0), 2.5);
+}
+
+TEST(Validation, CatchesDoubleKill) {
+  const std::vector<std::vector<int>> domains = {{0, 1, 2}};
+  std::vector<Elimination> bad = {{1, 0, ElimKernel::TS, 0},
+                                  {2, 0, ElimKernel::TS, 1},
+                                  {1, 0, ElimKernel::TS, 2}};
+  EXPECT_THROW(validate_elimination_list(domains, bad), Error);
+}
+
+TEST(Validation, CatchesDeadKiller) {
+  const std::vector<std::vector<int>> domains = {{0, 1, 2}};
+  std::vector<Elimination> bad = {{1, 0, ElimKernel::TS, 0},
+                                  {2, 1, ElimKernel::TS, 1}};  // 1 is dead
+  EXPECT_THROW(validate_elimination_list(domains, bad), Error);
+}
+
+TEST(Validation, CatchesSurvivorKilled) {
+  const std::vector<std::vector<int>> domains = {{0, 1}};
+  std::vector<Elimination> bad = {{0, 1, ElimKernel::TT, 0}};
+  EXPECT_THROW(validate_elimination_list(domains, bad), Error);
+}
+
+TEST(Validation, CatchesRoundConflicts) {
+  const std::vector<std::vector<int>> domains = {{0, 1, 2}};
+  std::vector<Elimination> bad = {{1, 0, ElimKernel::TS, 0},
+                                  {2, 0, ElimKernel::TS, 0}};  // row 0 reused
+  EXPECT_THROW(validate_elimination_list(domains, bad), Error);
+}
+
+TEST(Validation, CatchesMissingElimination) {
+  const std::vector<std::vector<int>> domains = {{0, 1, 2}};
+  std::vector<Elimination> bad = {{1, 0, ElimKernel::TS, 0}};  // row 2 survives
+  EXPECT_THROW(validate_elimination_list(domains, bad), Error);
+}
+
+TEST(SingleRowPanel, EmptyEliminationList) {
+  const std::vector<std::vector<int>> domains = {{7}};
+  const auto list =
+      elimination_list(domains, {LocalTree::Greedy, DistTree::Fibonacci});
+  EXPECT_TRUE(list.empty());
+  EXPECT_NO_THROW(validate_elimination_list(domains, list));
+}
+
+}  // namespace
+}  // namespace luqr::hqr

@@ -1,0 +1,184 @@
+// Tests for the incremental (pairwise) pivoting kernels TSTRF/SSSSM: the
+// factorization must reconstruct the stacked tile, pivots stay within the
+// pairwise candidate set, multipliers stay bounded, and SSSSM must replay
+// the elimination exactly (checked against a dense stacked solve).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "kernels/lapack.hpp"
+#include "kernels/reference.hpp"
+#include "test_helpers.hpp"
+
+namespace luqr::kern {
+namespace {
+
+using luqr::testing::expect_near;
+using luqr::testing::random_matrix;
+using luqr::testing::random_upper;
+
+TEST(Tstrf, MatchesStackedRestrictedGetrf) {
+  const int nb = 8;
+  const auto u0 = random_upper(nb, 81);
+  const auto a0 = random_matrix(nb, nb, 82);
+  // Reference: stacked restricted getrf.
+  Matrix<double> mstack(2 * nb, nb);
+  for (int j = 0; j < nb; ++j) {
+    for (int i = 0; i <= j; ++i) mstack(i, j) = u0(i, j);
+    for (int i = 0; i < nb; ++i) mstack(nb + i, j) = a0(i, j);
+  }
+  std::vector<int> piv_ref;
+  ASSERT_EQ(getrf_restricted(mstack.view(), nb, piv_ref), 0);
+
+  Matrix<double> u = u0, a = a0, l1(nb, nb);
+  std::vector<int> piv;
+  ASSERT_EQ(tstrf(u.view(), a.view(), l1.view(), piv), 0);
+  EXPECT_EQ(piv, piv_ref);
+  for (int j = 0; j < nb; ++j) {
+    for (int i = 0; i < nb; ++i) {
+      if (i <= j) {
+        EXPECT_DOUBLE_EQ(u(i, j), mstack(i, j));
+      } else {
+        EXPECT_DOUBLE_EQ(l1(i, j), mstack(i, j));
+      }
+      EXPECT_DOUBLE_EQ(a(i, j), mstack(nb + i, j));
+    }
+  }
+}
+
+TEST(Tstrf, PivotsAreParwiseCandidates) {
+  const int nb = 10;
+  auto u = random_upper(nb, 83);
+  auto a = random_matrix(nb, nb, 84);
+  Matrix<double> l1(nb, nb);
+  std::vector<int> piv;
+  tstrf(u.view(), a.view(), l1.view(), piv);
+  for (int j = 0; j < nb; ++j) {
+    const int p = piv[static_cast<std::size_t>(j)];
+    EXPECT_TRUE(p == j || p >= nb) << "pivot " << p << " at column " << j;
+  }
+}
+
+TEST(Tstrf, MultipliersBounded) {
+  const int nb = 12;
+  auto u = random_upper(nb, 85);
+  auto a = random_matrix(nb, nb, 86);
+  Matrix<double> l1(nb, nb);
+  std::vector<int> piv;
+  tstrf(u.view(), a.view(), l1.view(), piv);
+  // Pairwise pivoting bounds every multiplier by 1.
+  for (int j = 0; j < nb; ++j) {
+    for (int i = 0; i < nb; ++i) {
+      EXPECT_LE(std::abs(a(i, j)), 1.0 + 1e-14);
+      if (i > j) {
+        EXPECT_LE(std::abs(l1(i, j)), 1.0 + 1e-14);
+      }
+    }
+  }
+}
+
+TEST(Ssssm, ReplaysEliminationOnTrailingPair) {
+  const int nb = 6, ncols = 9;
+  const auto u0 = random_upper(nb, 87);
+  const auto p0 = random_matrix(nb, nb, 88);
+  Matrix<double> u = u0, panel = p0, l1(nb, nb);
+  std::vector<int> piv;
+  ASSERT_EQ(tstrf(u.view(), panel.view(), l1.view(), piv), 0);
+
+  const auto a1_0 = random_matrix(nb, ncols, 89);
+  const auto a2_0 = random_matrix(nb, ncols, 90);
+
+  // Reference: stacked laswp + unit-lower solve on the top block + Schur
+  // update of the bottom block, all computed densely.
+  Matrix<double> c(2 * nb, ncols);
+  for (int j = 0; j < ncols; ++j) {
+    for (int i = 0; i < nb; ++i) c(i, j) = a1_0(i, j);
+    for (int i = 0; i < nb; ++i) c(nb + i, j) = a2_0(i, j);
+  }
+  laswp(c.view(), piv, true);
+  auto top = c.view().block(0, 0, nb, ncols);
+  auto bot = c.view().block(nb, 0, nb, ncols);
+  trsm(Side::Left, Uplo::Lower, Trans::No, Diag::Unit, 1.0, l1.cview(), top);
+  ref_gemm(Trans::No, Trans::No, -1.0, panel.cview(), ConstMatrixView<double>(top),
+           1.0, bot);
+
+  Matrix<double> a1 = a1_0, a2 = a2_0;
+  ssssm(l1.cview(), panel.cview(), piv, a1.view(), a2.view());
+  for (int j = 0; j < ncols; ++j) {
+    for (int i = 0; i < nb; ++i) {
+      EXPECT_NEAR(a1(i, j), c(i, j), 1e-13);
+      EXPECT_NEAR(a2(i, j), c(nb + i, j), 1e-13);
+    }
+  }
+}
+
+TEST(TstrfSsssm, TwoTileSolveIsExact) {
+  // End-to-end 2x1-tile LU with pairwise pivoting: factor [A11; A21] panel
+  // against [A12; A22] trailing block and compare the resulting linear-system
+  // solve with a dense reference solve.
+  const int nb = 8;
+  const auto a11 = random_matrix(nb, nb, 91);
+  const auto a21 = random_matrix(nb, nb, 92);
+  const auto a12 = random_matrix(nb, nb, 93);
+  const auto a22 = random_matrix(nb, nb, 94);
+
+  // Dense reference: assemble and getrf-solve A z = rhs.
+  const int n = 2 * nb;
+  Matrix<double> dense(n, n);
+  for (int j = 0; j < nb; ++j)
+    for (int i = 0; i < nb; ++i) {
+      dense(i, j) = a11(i, j);
+      dense(nb + i, j) = a21(i, j);
+      dense(i, nb + j) = a12(i, j);
+      dense(nb + i, nb + j) = a22(i, j);
+    }
+  const auto rhs = random_matrix(n, 1, 95);
+  Matrix<double> lu = dense;
+  std::vector<int> dpiv;
+  ASSERT_EQ(getrf(lu.view(), dpiv), 0);
+  Matrix<double> z = rhs;
+  laswp(z.view(), dpiv, true);
+  trsm(Side::Left, Uplo::Lower, Trans::No, Diag::Unit, 1.0, lu.cview(), z.view());
+  trsm(Side::Left, Uplo::Upper, Trans::No, Diag::NonUnit, 1.0, lu.cview(), z.view());
+
+  // Tiled incremental pivoting path, carrying the RHS as a trailing column.
+  Matrix<double> t11 = a11, t21 = a21, t12 = a12, t22 = a22;
+  Matrix<double> b1(nb, 1), b2(nb, 1);
+  for (int i = 0; i < nb; ++i) {
+    b1(i, 0) = rhs(i, 0);
+    b2(i, 0) = rhs(nb + i, 0);
+  }
+  std::vector<int> piv;
+  Matrix<double> l1(nb, nb);
+  // Step 0.
+  ASSERT_EQ(getrf(t11.view(), piv), 0);
+  gessm(t11.cview(), piv, t12.view());
+  gessm(t11.cview(), piv, b1.view());
+  ASSERT_EQ(tstrf(t11.view(), t21.view(), l1.view(), piv), 0);
+  ssssm(l1.cview(), t21.cview(), piv, t12.view(), t22.view());
+  ssssm(l1.cview(), t21.cview(), piv, b1.view(), b2.view());
+  // Step 1.
+  ASSERT_EQ(getrf(t22.view(), piv), 0);
+  gessm(t22.cview(), piv, b2.view());
+  // Back substitution: x2 = U22^{-1} b2; x1 = U11^{-1} (b1 - U12 x2).
+  trsm(Side::Left, Uplo::Upper, Trans::No, Diag::NonUnit, 1.0, t22.cview(),
+       b2.view());
+  ref_gemm(Trans::No, Trans::No, -1.0, t12.cview(), b2.cview(), 1.0, b1.view());
+  trsm(Side::Left, Uplo::Upper, Trans::No, Diag::NonUnit, 1.0, t11.cview(),
+       b1.view());
+
+  for (int i = 0; i < nb; ++i) {
+    EXPECT_NEAR(b1(i, 0), z(i, 0), 1e-9) << "x1[" << i << "]";
+    EXPECT_NEAR(b2(i, 0), z(nb + i, 0), 1e-9) << "x2[" << i << "]";
+  }
+}
+
+TEST(Tstrf, SingularInputReportsInfo) {
+  const int nb = 4;
+  Matrix<double> u(nb, nb), a(nb, nb), l1(nb, nb);  // everything zero
+  std::vector<int> piv;
+  EXPECT_GT(tstrf(u.view(), a.view(), l1.view(), piv), 0);
+}
+
+}  // namespace
+}  // namespace luqr::kern

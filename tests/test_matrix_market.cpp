@@ -1,0 +1,111 @@
+// Tests for Matrix Market I/O: write/read roundtrip, coordinate and array
+// parsing, symmetric mirroring, comment/blank-line tolerance, and error
+// reporting on malformed input.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "io/matrix_market.hpp"
+#include "kernels/reference.hpp"
+#include "test_helpers.hpp"
+
+namespace luqr::io {
+namespace {
+
+using luqr::testing::random_matrix;
+
+TEST(MatrixMarket, WriteReadRoundtrip) {
+  const auto a = random_matrix(7, 5, 1);
+  std::stringstream s;
+  write_matrix_market(s, a);
+  const auto b = read_matrix_market(s);
+  ASSERT_EQ(b.rows(), 7);
+  ASSERT_EQ(b.cols(), 5);
+  EXPECT_DOUBLE_EQ(kern::max_abs_diff(a.cview(), b.cview()), 0.0);
+}
+
+TEST(MatrixMarket, CoordinateGeneral) {
+  std::stringstream s(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "% a comment\n"
+      "\n"
+      "3 3 4\n"
+      "1 1 2.0\n"
+      "2 2 -1.5\n"
+      "3 1 4.0\n"
+      "1 3 0.25\n");
+  const auto a = read_matrix_market(s);
+  EXPECT_DOUBLE_EQ(a(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(a(1, 1), -1.5);
+  EXPECT_DOUBLE_EQ(a(2, 0), 4.0);
+  EXPECT_DOUBLE_EQ(a(0, 2), 0.25);
+  EXPECT_DOUBLE_EQ(a(2, 2), 0.0);  // unset entries are zero
+}
+
+TEST(MatrixMarket, CoordinateSymmetricMirrors) {
+  std::stringstream s(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "3 3 2\n"
+      "2 1 5.0\n"
+      "3 3 1.0\n");
+  const auto a = read_matrix_market(s);
+  EXPECT_DOUBLE_EQ(a(1, 0), 5.0);
+  EXPECT_DOUBLE_EQ(a(0, 1), 5.0);
+  EXPECT_DOUBLE_EQ(a(2, 2), 1.0);
+}
+
+TEST(MatrixMarket, ArraySymmetric) {
+  // Lower triangle stored column by column.
+  std::stringstream s(
+      "%%MatrixMarket matrix array real symmetric\n"
+      "2 2\n"
+      "1.0\n"
+      "3.0\n"
+      "2.0\n");
+  const auto a = read_matrix_market(s);
+  EXPECT_DOUBLE_EQ(a(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(a(1, 0), 3.0);
+  EXPECT_DOUBLE_EQ(a(0, 1), 3.0);
+  EXPECT_DOUBLE_EQ(a(1, 1), 2.0);
+}
+
+TEST(MatrixMarket, RejectsMalformedInput) {
+  {
+    std::stringstream s("not a banner\n1 1\n0\n");
+    EXPECT_THROW(read_matrix_market(s), Error);
+  }
+  {
+    std::stringstream s("%%MatrixMarket matrix coordinate complex general\n1 1 0\n");
+    EXPECT_THROW(read_matrix_market(s), Error);
+  }
+  {
+    std::stringstream s("%%MatrixMarket matrix coordinate real skew-symmetric\n1 1 0\n");
+    EXPECT_THROW(read_matrix_market(s), Error);
+  }
+  {
+    std::stringstream s(
+        "%%MatrixMarket matrix coordinate real general\n2 2 1\n5 1 1.0\n");
+    EXPECT_THROW(read_matrix_market(s), Error);  // index out of range
+  }
+  {
+    std::stringstream s(
+        "%%MatrixMarket matrix coordinate real general\n2 2 3\n1 1 1.0\n");
+    EXPECT_THROW(read_matrix_market(s), Error);  // truncated entries
+  }
+  {
+    std::stringstream s("");
+    EXPECT_THROW(read_matrix_market(s), Error);
+  }
+}
+
+TEST(MatrixMarket, FileRoundtrip) {
+  const auto a = random_matrix(4, 4, 2);
+  const std::string path = ::testing::TempDir() + "/luqr_mm_test.mtx";
+  write_matrix_market_file(path, a);
+  const auto b = read_matrix_market_file(path);
+  EXPECT_DOUBLE_EQ(kern::max_abs_diff(a.cview(), b.cview()), 0.0);
+  EXPECT_THROW(read_matrix_market_file("/nonexistent/path.mtx"), Error);
+}
+
+}  // namespace
+}  // namespace luqr::io

@@ -1,0 +1,102 @@
+// Tests for the column-major view types and the owning Matrix.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "kernels/dense.hpp"
+#include "kernels/matrix_view.hpp"
+
+namespace luqr::kern {
+namespace {
+
+TEST(MatrixView, ElementAddressing) {
+  double buf[12];
+  for (int i = 0; i < 12; ++i) buf[i] = i;
+  MatrixView<double> v(buf, 3, 4, 3);
+  EXPECT_DOUBLE_EQ(v(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(v(2, 0), 2.0);
+  EXPECT_DOUBLE_EQ(v(0, 1), 3.0);   // column-major stride
+  EXPECT_DOUBLE_EQ(v(2, 3), 11.0);
+}
+
+TEST(MatrixView, LeadingDimensionSkipsRows) {
+  double buf[20];
+  for (int i = 0; i < 20; ++i) buf[i] = i;
+  MatrixView<double> v(buf, 3, 4, 5);  // ld=5 > rows=3
+  EXPECT_DOUBLE_EQ(v(0, 1), 5.0);
+  EXPECT_DOUBLE_EQ(v(2, 3), 17.0);
+}
+
+TEST(MatrixView, BlockSubview) {
+  Matrix<double> m(6, 6);
+  for (int j = 0; j < 6; ++j)
+    for (int i = 0; i < 6; ++i) m(i, j) = 10.0 * i + j;
+  auto blk = m.view().block(2, 3, 3, 2);
+  EXPECT_EQ(blk.rows, 3);
+  EXPECT_EQ(blk.cols, 2);
+  EXPECT_DOUBLE_EQ(blk(0, 0), 23.0);
+  EXPECT_DOUBLE_EQ(blk(2, 1), 44.0);
+  blk(1, 1) = -1.0;
+  EXPECT_DOUBLE_EQ(m(3, 4), -1.0);  // writes through
+}
+
+TEST(MatrixView, BlockOutOfRangeThrows) {
+  Matrix<double> m(4, 4);
+  EXPECT_THROW(m.view().block(2, 2, 3, 1), Error);
+  EXPECT_THROW(m.view().block(-1, 0, 1, 1), Error);
+}
+
+TEST(MatrixView, BadShapeThrows) {
+  double buf[4];
+  EXPECT_THROW(MatrixView<double>(buf, 4, 1, 2), Error);  // ld < rows
+}
+
+TEST(MatrixView, FillCopyIdentity) {
+  Matrix<double> a(3, 3), b(3, 3);
+  fill(a.view(), 7.0);
+  for (int j = 0; j < 3; ++j)
+    for (int i = 0; i < 3; ++i) EXPECT_DOUBLE_EQ(a(i, j), 7.0);
+  set_identity(a.view());
+  copy(ConstMatrixView<double>(a.view()), b.view());
+  for (int j = 0; j < 3; ++j)
+    for (int i = 0; i < 3; ++i) EXPECT_DOUBLE_EQ(b(i, j), i == j ? 1.0 : 0.0);
+}
+
+TEST(MatrixView, CopyShapeMismatchThrows) {
+  Matrix<double> a(3, 3), b(3, 4);
+  EXPECT_THROW(copy(ConstMatrixView<double>(a.view()), b.view()), Error);
+}
+
+TEST(MatrixView, ConstViewFromMutable) {
+  Matrix<double> a(2, 2);
+  a(1, 0) = 5.0;
+  ConstMatrixView<double> cv = a.view();  // implicit widening
+  EXPECT_DOUBLE_EQ(cv(1, 0), 5.0);
+}
+
+TEST(DenseMatrix, IdentityFactory) {
+  auto m = Matrix<double>::identity(4);
+  for (int j = 0; j < 4; ++j)
+    for (int i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(m(i, j), i == j ? 1.0 : 0.0);
+}
+
+TEST(DenseMatrix, NegativeDimensionThrows) {
+  EXPECT_THROW(Matrix<double>(-1, 2), Error);
+}
+
+TEST(DenseMatrix, ColView) {
+  Matrix<double> m(4, 3);
+  m(2, 1) = 9.0;
+  auto c = m.view().col(1);
+  EXPECT_EQ(c.rows, 4);
+  EXPECT_EQ(c.cols, 1);
+  EXPECT_DOUBLE_EQ(c(2, 0), 9.0);
+}
+
+TEST(MatrixViewFloat, WorksWithFloat) {
+  Matrix<float> m(2, 2);
+  m(0, 1) = 3.5f;
+  EXPECT_FLOAT_EQ(m.view()(0, 1), 3.5f);
+}
+
+}  // namespace
+}  // namespace luqr::kern

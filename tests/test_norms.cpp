@@ -1,0 +1,129 @@
+// Tests for matrix norms and the 1-norm inverse estimators that feed the
+// robustness criteria.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "kernels/lapack.hpp"
+#include "kernels/norms.hpp"
+#include "kernels/reference.hpp"
+#include "test_helpers.hpp"
+
+namespace luqr::kern {
+namespace {
+
+using luqr::testing::random_matrix;
+using luqr::testing::random_upper;
+
+TEST(Lange, SmallKnownMatrix) {
+  Matrix<double> a(2, 3);
+  a(0, 0) = 1;  a(0, 1) = -2; a(0, 2) = 3;
+  a(1, 0) = -4; a(1, 1) = 5;  a(1, 2) = -6;
+  EXPECT_DOUBLE_EQ(lange(Norm::One, a.cview()), 9.0);   // max col sum: |3|+|-6|
+  EXPECT_DOUBLE_EQ(lange(Norm::Inf, a.cview()), 15.0);  // max row sum
+  EXPECT_DOUBLE_EQ(lange(Norm::Max, a.cview()), 6.0);
+  EXPECT_NEAR(lange(Norm::Fro, a.cview()), std::sqrt(91.0), 1e-14);
+}
+
+TEST(Lange, EmptyMatrixIsZero) {
+  Matrix<double> a(0, 0);
+  EXPECT_DOUBLE_EQ(lange(Norm::One, a.cview()), 0.0);
+  EXPECT_DOUBLE_EQ(lange(Norm::Inf, a.cview()), 0.0);
+}
+
+TEST(Lange, NormInequalities) {
+  const auto a = random_matrix(17, 17, 101);
+  const double one = lange(Norm::One, a.cview());
+  const double inf = lange(Norm::Inf, a.cview());
+  const double mx = lange(Norm::Max, a.cview());
+  const double fro = lange(Norm::Fro, a.cview());
+  EXPECT_LE(mx, one);
+  EXPECT_LE(mx, inf);
+  EXPECT_LE(fro, std::sqrt(17.0) * one + 1e-9);
+  EXPECT_GE(one, 0.0);
+}
+
+TEST(Norm1InvExact, MatchesExplicitInverse) {
+  for (int n : {1, 3, 8, 20}) {
+    const auto a = random_matrix(n, n, 200 + n);
+    Matrix<double> lu = a;
+    std::vector<int> piv;
+    ASSERT_EQ(getrf(lu.view(), piv), 0);
+    // explicit_inverse solves A X = P^T ... careful: build via solves of e_j.
+    Matrix<double> inv(n, n);
+    for (int j = 0; j < n; ++j) {
+      Matrix<double> e(n, 1);
+      e(j, 0) = 1.0;
+      laswp(e.view(), piv, true);
+      trsm(Side::Left, Uplo::Lower, Trans::No, Diag::Unit, 1.0, lu.cview(), e.view());
+      trsm(Side::Left, Uplo::Upper, Trans::No, Diag::NonUnit, 1.0, lu.cview(),
+           e.view());
+      for (int i = 0; i < n; ++i) inv(i, j) = e(i, 0);
+    }
+    EXPECT_NEAR(norm1_inv_exact(lu.cview(), piv),
+                lange(Norm::One, inv.cview()), 1e-9 * lange(Norm::One, inv.cview()))
+        << "n=" << n;
+  }
+}
+
+TEST(Norm1InvEstimate, NeverExceedsExactAndIsClose) {
+  for (int n : {4, 10, 24}) {
+    for (int seed = 0; seed < 5; ++seed) {
+      const auto a = random_matrix(n, n, 300 + 10 * n + seed);
+      Matrix<double> lu = a;
+      std::vector<int> piv;
+      ASSERT_EQ(getrf(lu.view(), piv), 0);
+      const double exact = norm1_inv_exact(lu.cview(), piv);
+      const double est = norm1_inv_estimate(lu.cview(), piv);
+      EXPECT_LE(est, exact * (1.0 + 1e-10));
+      // Higham's estimator is typically within a factor of ~3.
+      EXPECT_GE(est, exact / 10.0) << "n=" << n << " seed=" << seed;
+    }
+  }
+}
+
+TEST(Norm1InvEstimate, ExactForDiagonal) {
+  const int n = 6;
+  Matrix<double> d(n, n);
+  for (int i = 0; i < n; ++i) d(i, i) = static_cast<double>(i + 1);
+  Matrix<double> lu = d;
+  std::vector<int> piv;
+  ASSERT_EQ(getrf(lu.view(), piv), 0);
+  // ||D^{-1}||_1 = 1 (largest inverse diagonal entry is 1/1).
+  EXPECT_NEAR(norm1_inv_estimate(lu.cview(), piv), 1.0, 1e-14);
+}
+
+TEST(Norm1InvUpperExact, MatchesTriangularInverse) {
+  const int n = 9;
+  const auto r = random_upper(n, 400);
+  // Explicit inverse of R by backward solves.
+  Matrix<double> inv = Matrix<double>::identity(n);
+  trsm(Side::Left, Uplo::Upper, Trans::No, Diag::NonUnit, 1.0, r.cview(),
+       inv.view());
+  EXPECT_NEAR(norm1_inv_upper_exact(r.cview()), lange(Norm::One, inv.cview()),
+              1e-12);
+}
+
+TEST(Norm1Inv, DetectsNearSingularity) {
+  // A matrix with a tiny singular value must report a huge inverse norm —
+  // this is exactly what flips the Max/Sum criteria to QR.
+  const int n = 8;
+  auto a = random_matrix(n, n, 500);
+  // Make the last row nearly a copy of the first.
+  for (int j = 0; j < n; ++j) a(n - 1, j) = a(0, j) + 1e-12 * a(1, j);
+  Matrix<double> lu = a;
+  std::vector<int> piv;
+  ASSERT_EQ(getrf(lu.view(), piv), 0);
+  EXPECT_GT(norm1_inv_estimate(lu.cview(), piv), 1e8);
+}
+
+TEST(LangeFloat, SinglePrecision) {
+  Matrix<float> a(2, 2);
+  a(0, 0) = -3.0f;
+  a(1, 1) = 2.0f;
+  EXPECT_FLOAT_EQ(lange(Norm::Max, a.cview()), 3.0f);
+  EXPECT_FLOAT_EQ(lange(Norm::One, a.cview()), 3.0f);
+}
+
+}  // namespace
+}  // namespace luqr::kern

@@ -1,0 +1,238 @@
+// Tests for the discrete-event simulator: scheduling arithmetic on small
+// hand-built graphs, DAG-builder structure, and the qualitative performance
+// ordering the paper reports (NoPiv fastest, HQR ~ half the normalized rate,
+// LUPP slowest-in-class, decision-process overhead visible, monotonicity in
+// the LU fraction).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "sim/dag_builders.hpp"
+#include "sim/simulate.hpp"
+
+namespace luqr::sim {
+namespace {
+
+Platform tiny_platform() {
+  Platform pl;
+  pl.p = 2;
+  pl.q = 2;
+  pl.cores_per_node = 2;
+  return pl;
+}
+
+TEST(Des, SequentialChainAddsDurations) {
+  SimGraph g;
+  const int a = g.add(Kernel::Gemm, 0, 1.0, {}, 0.0);
+  const int b = g.add(Kernel::Gemm, 0, 2.0, {a}, 0.0);
+  g.add(Kernel::Gemm, 0, 3.0, {b}, 0.0);
+  const auto r = simulate_graph(g, tiny_platform());
+  EXPECT_DOUBLE_EQ(r.makespan_s, 6.0);
+  EXPECT_EQ(r.task_count, 3u);
+}
+
+TEST(Des, ParallelTasksOverlapUpToCoreCount) {
+  Platform pl = tiny_platform();  // 2 cores per node
+  SimGraph g;
+  for (int i = 0; i < 4; ++i) g.add(Kernel::Gemm, 0, 1.0, {}, 0.0);
+  const auto r = simulate_graph(g, pl);
+  EXPECT_DOUBLE_EQ(r.makespan_s, 2.0);  // 4 unit tasks on 2 cores
+}
+
+TEST(Des, TasksOnDifferentNodesDoNotContend) {
+  SimGraph g;
+  g.add(Kernel::Gemm, 0, 1.0, {}, 0.0);
+  g.add(Kernel::Gemm, 1, 1.0, {}, 0.0);
+  g.add(Kernel::Gemm, 2, 1.0, {}, 0.0);
+  const auto r = simulate_graph(g, tiny_platform());
+  EXPECT_DOUBLE_EQ(r.makespan_s, 1.0);
+}
+
+TEST(Des, CrossNodeEdgePaysLatencyAndBandwidth) {
+  Platform pl = tiny_platform();
+  pl.latency_s = 0.5;
+  pl.bandwidth_bps = 100.0;
+  SimGraph g;
+  const int a = g.add(Kernel::Gemm, 0, 1.0, {}, /*out_bytes=*/200.0);
+  g.add(Kernel::Gemm, 1, 1.0, {a}, 0.0);
+  const auto r = simulate_graph(g, pl);
+  // 1.0 (producer) + 0.5 (latency) + 2.0 (200B @ 100B/s) + 1.0 (consumer).
+  EXPECT_DOUBLE_EQ(r.makespan_s, 4.5);
+  EXPECT_EQ(r.messages, 1u);
+  EXPECT_DOUBLE_EQ(r.comm_bytes, 200.0);
+}
+
+TEST(Des, SameNodeEdgeIsFree) {
+  Platform pl = tiny_platform();
+  pl.latency_s = 0.5;
+  SimGraph g;
+  const int a = g.add(Kernel::Gemm, 0, 1.0, {}, 200.0);
+  g.add(Kernel::Gemm, 0, 1.0, {a}, 0.0);
+  const auto r = simulate_graph(g, pl);
+  EXPECT_DOUBLE_EQ(r.makespan_s, 2.0);
+  EXPECT_EQ(r.messages, 0u);
+}
+
+TEST(Des, BadPredecessorThrows) {
+  SimGraph g;
+  EXPECT_THROW(g.add(Kernel::Gemm, 0, 1.0, {3}, 0.0), Error);
+}
+
+TEST(TimingModelFacts, TableOneRatios) {
+  // A QR step's kernels cost exactly twice their LU counterparts (Table I).
+  const int nb = 240;
+  EXPECT_DOUBLE_EQ(TimingModel::flops(Kernel::Geqrt, nb),
+                   2.0 * TimingModel::flops(Kernel::GetrfTile, nb));
+  EXPECT_DOUBLE_EQ(TimingModel::flops(Kernel::Tsqrt, nb),
+                   2.0 * TimingModel::flops(Kernel::Trsm, nb));
+  EXPECT_DOUBLE_EQ(TimingModel::flops(Kernel::Tsmqr, nb),
+                   2.0 * TimingModel::flops(Kernel::Gemm, nb));
+  EXPECT_DOUBLE_EQ(TimingModel::flops(Kernel::Unmqr, nb),
+                   2.0 * TimingModel::flops(Kernel::Swptrsm, nb));
+}
+
+TEST(Platform, DancerMatchesPaperPeak) {
+  const Platform pl = Platform::dancer();
+  EXPECT_EQ(pl.nodes(), 16);
+  EXPECT_NEAR(pl.peak_gflops(), 1091.0, 2.0);  // paper: 1091 GFLOP/s
+}
+
+TEST(SpreadLuSteps, RealizesFraction) {
+  for (double f : {0.0, 0.25, 0.5, 0.833, 1.0}) {
+    const auto steps = spread_lu_steps(48, f);
+    int lu = 0;
+    for (bool s : steps) lu += s ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(lu) / 48.0, f, 0.03) << f;
+  }
+  EXPECT_THROW(spread_lu_steps(10, 1.5), Error);
+}
+
+TEST(DagBuilders, TaskCountsScaleWithProblem) {
+  DagConfig cfg;
+  cfg.n = 8;
+  cfg.nb = 64;
+  const Platform pl = Platform::dancer();
+  const auto nopiv = build_lu_nopiv_dag(cfg, pl);
+  const auto hqr = build_hqr_dag(cfg, pl);
+  const auto luqr = build_luqr_dag(cfg, pl, spread_lu_steps(cfg.n, 1.0));
+  // NoPiv: n factor + sum_k [(n-k-1) applies + (n-k-1) trsm + (n-k-1)^2 gemm].
+  std::size_t expected = 0;
+  for (int k = 0; k < 8; ++k) {
+    const std::size_t r = static_cast<std::size_t>(8 - k - 1);
+    expected += 1 + 2 * r + r * r;
+  }
+  EXPECT_EQ(nopiv.size(), expected);
+  EXPECT_GT(hqr.size(), 0u);
+  // LUQR all-LU adds backup + criterion per step over NoPiv, and saves one
+  // TRSM per non-diagonal domain row (those rows are eliminated inside the
+  // stacked panel factorization). On a 4x4 grid with n=8, steps 0..3 each
+  // have one extra domain row.
+  EXPECT_EQ(luqr.size(), expected + 2 * 8 - 4);
+}
+
+TEST(DagBuilders, DecisionVectorSizeEnforced) {
+  DagConfig cfg;
+  cfg.n = 4;
+  EXPECT_THROW(build_luqr_dag(cfg, Platform::dancer(), {true, false}), Error);
+}
+
+TEST(SimulatedOrdering, NoPivFastestHqrHalfRate) {
+  DagConfig cfg;
+  cfg.n = 24;
+  cfg.nb = 240;
+  const Platform pl = Platform::dancer();
+  const auto nopiv = simulate_algorithm(Algo::LuNoPiv, cfg, pl);
+  const auto hqr = simulate_algorithm(Algo::Hqr, cfg, pl);
+  // The paper's headline: QR costs 2x flops, so its *normalized* (fake) rate
+  // lands near half of NoPiv's while its true rate stays competitive.
+  EXPECT_GT(nopiv.gflops_fake, 1.5 * hqr.gflops_fake);
+  EXPECT_LT(nopiv.gflops_fake, 4.0 * hqr.gflops_fake);
+  EXPECT_GT(hqr.gflops_true, 0.6 * hqr.gflops_fake * 2.0 * 0.9);
+}
+
+TEST(SimulatedOrdering, LuppSlowestLuVariant) {
+  DagConfig cfg;
+  cfg.n = 24;
+  cfg.nb = 240;
+  const Platform pl = Platform::dancer();
+  const auto nopiv = simulate_algorithm(Algo::LuNoPiv, cfg, pl);
+  const auto incpiv = simulate_algorithm(Algo::LuIncPiv, cfg, pl);
+  const auto lupp = simulate_algorithm(Algo::Lupp, cfg, pl);
+  EXPECT_GT(nopiv.gflops_fake, incpiv.gflops_fake);
+  EXPECT_GT(incpiv.gflops_fake, lupp.gflops_fake);
+}
+
+TEST(SimulatedOrdering, DecisionOverheadVisibleAtAlphaZero) {
+  // LUQR with 0% LU steps runs the same QR work as HQR plus the decision
+  // process; the paper measures ~10-13% overhead at N = 20,000 (n = 84).
+  // The relative overhead shrinks with n (the discarded panel factorization
+  // is O(n^2) work against O(n^3) updates), so test at a paper-scale n.
+  DagConfig cfg;
+  cfg.n = 84;
+  cfg.nb = 240;
+  const Platform pl = Platform::dancer();
+  const auto hqr = simulate_algorithm(Algo::Hqr, cfg, pl);
+  const auto luqr0 =
+      simulate_algorithm(Algo::LuQr, cfg, pl, spread_lu_steps(cfg.n, 0.0));
+  EXPECT_GT(luqr0.seconds, hqr.seconds);
+  EXPECT_LT(luqr0.seconds, hqr.seconds * 1.3);
+}
+
+TEST(SimulatedOrdering, TimeMonotoneInQrFraction) {
+  DagConfig cfg;
+  cfg.n = 24;
+  cfg.nb = 240;
+  const Platform pl = Platform::dancer();
+  double prev = 0.0;
+  for (double f : {1.0, 0.75, 0.5, 0.25, 0.0}) {
+    const auto rep =
+        simulate_algorithm(Algo::LuQr, cfg, pl, spread_lu_steps(cfg.n, f));
+    EXPECT_GE(rep.seconds, prev * 0.98) << "f=" << f;  // small scheduling noise
+    prev = rep.seconds;
+    EXPECT_NEAR(rep.lu_fraction, f, 0.05);
+  }
+}
+
+TEST(SimulatedOrdering, TrueRateDegradesGently) {
+  // Table II: true %peak drops only mildly from alpha=inf to alpha=0.
+  DagConfig cfg;
+  cfg.n = 84;  // N = 20160 at nb=240, close to the paper's 20000
+  cfg.nb = 240;
+  const Platform pl = Platform::dancer();
+  const auto all_lu =
+      simulate_algorithm(Algo::LuQr, cfg, pl, spread_lu_steps(cfg.n, 1.0));
+  const auto all_qr =
+      simulate_algorithm(Algo::LuQr, cfg, pl, spread_lu_steps(cfg.n, 0.0));
+  EXPECT_GT(all_qr.pct_peak_true, all_lu.pct_peak_true * 0.6);
+  EXPECT_LT(all_qr.pct_peak_fake, all_lu.pct_peak_fake);
+}
+
+TEST(Simulate, DeterministicRepetition) {
+  DagConfig cfg;
+  cfg.n = 16;
+  cfg.nb = 240;
+  const Platform pl = Platform::dancer();
+  const auto a = simulate_algorithm(Algo::Hqr, cfg, pl);
+  const auto b = simulate_algorithm(Algo::Hqr, cfg, pl);
+  EXPECT_DOUBLE_EQ(a.seconds, b.seconds);
+}
+
+TEST(Simulate, SixteenByOneGridWorks) {
+  DagConfig cfg;
+  cfg.n = 16;
+  cfg.nb = 240;
+  const Platform pl = Platform::dancer_grid(16, 1);
+  EXPECT_EQ(pl.nodes(), 16);
+  const auto rep = simulate_algorithm(Algo::Hqr, cfg, pl);
+  EXPECT_GT(rep.seconds, 0.0);
+}
+
+TEST(Simulate, AlgoNames) {
+  EXPECT_EQ(algo_name(Algo::LuNoPiv), "LU NoPiv");
+  EXPECT_EQ(algo_name(Algo::Lupp), "LUPP");
+  EXPECT_EQ(algo_name(Algo::LuQr), "LUQR");
+}
+
+}  // namespace
+}  // namespace luqr::sim

@@ -1,0 +1,201 @@
+// Strided-view tests: every kernel must honour the leading dimension.
+// All other kernel tests use ld == rows; here each kernel operates on an
+// interior block of a larger matrix (ld > rows) and must neither read nor
+// write outside it. A canary border around the block catches any stray
+// access arithmetically.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "kernels/lapack.hpp"
+#include "kernels/norms.hpp"
+#include "kernels/reference.hpp"
+#include "test_helpers.hpp"
+
+namespace luqr::kern {
+namespace {
+
+using luqr::testing::random_matrix;
+
+constexpr double kCanary = 1.25e9;
+
+// A host matrix with a canary-filled border and an interior block view.
+struct Framed {
+  explicit Framed(int rows, int cols, std::uint64_t seed)
+      : host(rows + 2 * kPad, cols + 2 * kPad, kCanary) {
+    Rng rng(seed);
+    for (int j = 0; j < cols; ++j)
+      for (int i = 0; i < rows; ++i)
+        host(kPad + i, kPad + j) = rng.gaussian();
+    r = rows;
+    c = cols;
+  }
+  MatrixView<double> block() { return host.view().block(kPad, kPad, r, c); }
+  ConstMatrixView<double> cblock() const {
+    return host.cview().block(kPad, kPad, r, c);
+  }
+  void expect_border_intact(const char* what) const {
+    for (int j = 0; j < host.cols(); ++j) {
+      for (int i = 0; i < host.rows(); ++i) {
+        const bool interior = i >= kPad && i < kPad + r && j >= kPad && j < kPad + c;
+        if (!interior) {
+          ASSERT_EQ(host(i, j), kCanary) << what << " touched (" << i << "," << j << ")";
+        }
+      }
+    }
+  }
+  static constexpr int kPad = 3;
+  Matrix<double> host;
+  int r = 0, c = 0;
+};
+
+TEST(StridedViews, GemmRespectsLeadingDimension) {
+  Framed a(7, 5, 1), b(5, 6, 2), c(7, 6, 3);
+  // Reference on compact copies.
+  Matrix<double> ac(7, 5), bc(5, 6), cc(7, 6);
+  copy(a.cblock(), ac.view());
+  copy(b.cblock(), bc.view());
+  copy(c.cblock(), cc.view());
+  gemm(Trans::No, Trans::No, -1.0, a.cblock(), b.cblock(), 1.0, c.block());
+  ref_gemm(Trans::No, Trans::No, -1.0, ac.cview(), bc.cview(), 1.0, cc.view());
+  EXPECT_LT(max_abs_diff(c.cblock(), cc.cview()), 1e-13);
+  a.expect_border_intact("gemm A");
+  b.expect_border_intact("gemm B");
+  c.expect_border_intact("gemm C");
+}
+
+TEST(StridedViews, GemmTransposedOperands) {
+  Framed a(5, 7, 4), b(6, 5, 5), c(7, 6, 6);
+  Matrix<double> ac(5, 7), bc(6, 5), cc(7, 6);
+  copy(a.cblock(), ac.view());
+  copy(b.cblock(), bc.view());
+  copy(c.cblock(), cc.view());
+  gemm(Trans::Yes, Trans::Yes, 0.5, a.cblock(), b.cblock(), -1.0, c.block());
+  ref_gemm(Trans::Yes, Trans::Yes, 0.5, ac.cview(), bc.cview(), -1.0, cc.view());
+  EXPECT_LT(max_abs_diff(c.cblock(), cc.cview()), 1e-13);
+  c.expect_border_intact("gemm^T C");
+}
+
+TEST(StridedViews, TrsmBothSides) {
+  for (Side side : {Side::Left, Side::Right}) {
+    const int m = 6, nrhs = 4;
+    const int order = side == Side::Left ? m : nrhs;
+    Framed a(order, order, 7), b(m, nrhs, 8);
+    for (int i = 0; i < order; ++i) a.block()(i, i) += 5.0;  // well conditioned
+    Matrix<double> ac(order, order), bc(m, nrhs);
+    copy(a.cblock(), ac.view());
+    copy(b.cblock(), bc.view());
+    trsm(side, Uplo::Upper, Trans::No, Diag::NonUnit, 1.0, a.cblock(), b.block());
+    trsm(side, Uplo::Upper, Trans::No, Diag::NonUnit, 1.0, ac.cview(), bc.view());
+    EXPECT_LT(max_abs_diff(b.cblock(), bc.cview()), 1e-12);
+    a.expect_border_intact("trsm A");
+    b.expect_border_intact("trsm B");
+  }
+}
+
+TEST(StridedViews, GetrfAndLaswp) {
+  Framed a(8, 8, 9);
+  Matrix<double> ac(8, 8);
+  copy(a.cblock(), ac.view());
+  std::vector<int> piv1, piv2;
+  ASSERT_EQ(getrf(a.block(), piv1), 0);
+  ASSERT_EQ(getrf(ac.view(), piv2), 0);
+  EXPECT_EQ(piv1, piv2);
+  EXPECT_LT(max_abs_diff(a.cblock(), ac.cview()), 0.0 + 1e-300);
+  a.expect_border_intact("getrf");
+
+  Framed b(8, 3, 10);
+  Matrix<double> bcopy(8, 3);
+  copy(b.cblock(), bcopy.view());
+  laswp(b.block(), piv1, true);
+  laswp(bcopy.view(), piv2, true);
+  EXPECT_LT(max_abs_diff(b.cblock(), bcopy.cview()), 0.0 + 1e-300);
+  b.expect_border_intact("laswp");
+}
+
+TEST(StridedViews, GeqrtUnmqr) {
+  Framed a(9, 6, 11), t(6, 6, 12), c(9, 4, 13);
+  Matrix<double> ac(9, 6), tc(6, 6), cc(9, 4);
+  copy(a.cblock(), ac.view());
+  copy(c.cblock(), cc.view());
+  geqrt(a.block(), t.block());
+  geqrt(ac.view(), tc.view());
+  EXPECT_LT(max_abs_diff(a.cblock(), ac.cview()), 1e-300);
+  unmqr(Trans::Yes, a.cblock(), t.cblock(), c.block());
+  unmqr(Trans::Yes, ac.cview(), tc.cview(), cc.view());
+  EXPECT_LT(max_abs_diff(c.cblock(), cc.cview()), 1e-300);
+  a.expect_border_intact("geqrt A");
+  t.expect_border_intact("geqrt T");
+  c.expect_border_intact("unmqr C");
+}
+
+TEST(StridedViews, TsqrtTsmqr) {
+  const int nb = 5, m = 7;
+  Framed r(nb, nb, 14), v(m, nb, 15), t(nb, nb, 16), c1(nb, 3, 17), c2(m, 3, 18);
+  // Make R upper triangular inside the block.
+  for (int j = 0; j < nb; ++j)
+    for (int i = j + 1; i < nb; ++i) r.block()(i, j) = 0.0;
+  Matrix<double> rc(nb, nb), vc(m, nb), tc(nb, nb), c1c(nb, 3), c2c(m, 3);
+  copy(r.cblock(), rc.view());
+  copy(v.cblock(), vc.view());
+  copy(c1.cblock(), c1c.view());
+  copy(c2.cblock(), c2c.view());
+  tsqrt(r.block(), v.block(), t.block());
+  tsqrt(rc.view(), vc.view(), tc.view());
+  EXPECT_LT(max_abs_diff(v.cblock(), vc.cview()), 1e-300);
+  tsmqr(Trans::Yes, v.cblock(), t.cblock(), c1.block(), c2.block());
+  tsmqr(Trans::Yes, vc.cview(), tc.cview(), c1c.view(), c2c.view());
+  EXPECT_LT(max_abs_diff(c2.cblock(), c2c.cview()), 1e-300);
+  r.expect_border_intact("tsqrt R");
+  v.expect_border_intact("tsqrt V");
+  c1.expect_border_intact("tsmqr C1");
+  c2.expect_border_intact("tsmqr C2");
+}
+
+TEST(StridedViews, TtqrtTtmqr) {
+  const int nb = 6;
+  Framed r1(nb, nb, 19), r2(nb, nb, 20), t(nb, nb, 21), c1(nb, 2, 22), c2(nb, 2, 23);
+  for (int j = 0; j < nb; ++j)
+    for (int i = j + 1; i < nb; ++i) {
+      r1.block()(i, j) = 0.0;
+      r2.block()(i, j) = 0.0;
+    }
+  Matrix<double> r1c(nb, nb), r2c(nb, nb), tc(nb, nb), c1c(nb, 2), c2c(nb, 2);
+  copy(r1.cblock(), r1c.view());
+  copy(r2.cblock(), r2c.view());
+  copy(c1.cblock(), c1c.view());
+  copy(c2.cblock(), c2c.view());
+  ttqrt(r1.block(), r2.block(), t.block());
+  ttqrt(r1c.view(), r2c.view(), tc.view());
+  ttmqr(Trans::Yes, r2.cblock(), t.cblock(), c1.block(), c2.block());
+  ttmqr(Trans::Yes, r2c.cview(), tc.cview(), c1c.view(), c2c.view());
+  EXPECT_LT(max_abs_diff(c1.cblock(), c1c.cview()), 1e-300);
+  r1.expect_border_intact("ttqrt R1");
+  r2.expect_border_intact("ttqrt R2");
+  c2.expect_border_intact("ttmqr C2");
+}
+
+TEST(StridedViews, NormsOnBlocks) {
+  Framed a(6, 5, 24);
+  Matrix<double> ac(6, 5);
+  copy(a.cblock(), ac.view());
+  for (Norm n : {Norm::One, Norm::Inf, Norm::Max, Norm::Fro}) {
+    EXPECT_DOUBLE_EQ(lange(n, a.cblock()), lange(n, ac.cview()));
+  }
+  a.expect_border_intact("lange");
+}
+
+TEST(StridedViews, TrmmOnBlocks) {
+  const int n = 5;
+  Framed a(n, n, 25), b(n, 4, 26);
+  Matrix<double> ac(n, n), bc(n, 4);
+  copy(a.cblock(), ac.view());
+  copy(b.cblock(), bc.view());
+  trmm(Side::Left, Uplo::Lower, Trans::Yes, Diag::Unit, 2.0, a.cblock(), b.block());
+  trmm(Side::Left, Uplo::Lower, Trans::Yes, Diag::Unit, 2.0, ac.cview(), bc.view());
+  EXPECT_LT(max_abs_diff(b.cblock(), bc.cview()), 1e-300);
+  b.expect_border_intact("trmm B");
+}
+
+}  // namespace
+}  // namespace luqr::kern

@@ -1,0 +1,150 @@
+// Tests for the tiled container and the 2D block-cyclic process grid.
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+#include "tile/process_grid.hpp"
+#include "tile/tile_matrix.hpp"
+
+namespace luqr {
+namespace {
+
+using luqr::testing::random_matrix;
+
+TEST(TileMatrix, RoundTripDenseConversion) {
+  const auto dense = random_matrix(24, 24, 1);
+  auto tiled = TileMatrix<double>::from_dense(dense, 8);
+  EXPECT_EQ(tiled.mt(), 3);
+  EXPECT_EQ(tiled.nt(), 3);
+  const auto back = tiled.to_dense(24, 24);
+  for (int j = 0; j < 24; ++j)
+    for (int i = 0; i < 24; ++i) EXPECT_DOUBLE_EQ(back(i, j), dense(i, j));
+}
+
+TEST(TileMatrix, GlobalElementAddressing) {
+  TileMatrix<double> a(2, 2, 4);
+  a.at(5, 6) = 42.0;  // tile (1,1), local (1,2)
+  EXPECT_DOUBLE_EQ(a.tile(1, 1)(1, 2), 42.0);
+  a.tile(0, 1)(3, 0) = -7.0;  // global (3, 4)
+  EXPECT_DOUBLE_EQ(a.at(3, 4), -7.0);
+}
+
+TEST(TileMatrix, TilesAreContiguousColumnMajor) {
+  TileMatrix<double> a(2, 2, 3);
+  auto t = a.tile(1, 0);
+  EXPECT_EQ(t.rows, 3);
+  EXPECT_EQ(t.cols, 3);
+  EXPECT_EQ(t.ld, 3);
+  t(0, 0) = 1.0;
+  t(2, 2) = 9.0;
+  EXPECT_DOUBLE_EQ(*(t.data + 8), 9.0);  // last element of the tile buffer
+}
+
+TEST(TileMatrix, PaddingIsIdentity) {
+  const auto dense = random_matrix(10, 10, 2);  // nb=4 -> padded to 12
+  auto tiled = TileMatrix<double>::from_dense(dense, 4);
+  EXPECT_EQ(tiled.rows(), 12);
+  for (int i = 10; i < 12; ++i) {
+    for (int j = 0; j < 12; ++j) {
+      EXPECT_DOUBLE_EQ(tiled.at(i, j), i == j ? 1.0 : 0.0);
+      EXPECT_DOUBLE_EQ(tiled.at(j, i), j == i ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(TileMatrix, BackupRestoreColumn) {
+  const auto dense = random_matrix(16, 16, 3);
+  auto tiled = TileMatrix<double>::from_dense(dense, 4);
+  std::vector<std::vector<double>> saved;
+  tiled.backup_column(1, 1, 4, saved);
+  ASSERT_EQ(saved.size(), 3u);
+  // Clobber and restore.
+  for (int i = 1; i < 4; ++i) kern::fill(tiled.tile(i, 1), -1.0);
+  tiled.restore_column(1, 1, 4, saved);
+  const auto back = tiled.to_dense(16, 16);
+  for (int j = 0; j < 16; ++j)
+    for (int i = 0; i < 16; ++i) EXPECT_DOUBLE_EQ(back(i, j), dense(i, j));
+}
+
+TEST(TileMatrix, OutOfRangeTileThrows) {
+  TileMatrix<double> a(2, 3, 4);
+  EXPECT_THROW(a.tile(2, 0), Error);
+  EXPECT_THROW(a.tile(0, 3), Error);
+  EXPECT_THROW(a.tile(-1, 0), Error);
+}
+
+TEST(TileMatrix, RectangularGridForAugmentedSystems) {
+  TileMatrix<double> a(3, 5, 4);  // 3x3 square part + 2 RHS tile columns
+  EXPECT_EQ(a.rows(), 12);
+  EXPECT_EQ(a.cols(), 20);
+  a.at(11, 19) = 1.5;
+  EXPECT_DOUBLE_EQ(a.tile(2, 4)(3, 3), 1.5);
+}
+
+TEST(TileMatrixFloat, WorksWithFloat) {
+  TileMatrix<float> a(1, 1, 2);
+  a.at(1, 1) = 2.5f;
+  EXPECT_FLOAT_EQ(a.tile(0, 0)(1, 1), 2.5f);
+}
+
+// ---------------------------------------------------------------------------
+// ProcessGrid
+// ---------------------------------------------------------------------------
+
+TEST(ProcessGrid, OwnershipIsBlockCyclic) {
+  ProcessGrid g(4, 4);
+  EXPECT_EQ(g.nodes(), 16);
+  EXPECT_EQ(g.owner(0, 0), 0);
+  EXPECT_EQ(g.owner(1, 0), 4);
+  EXPECT_EQ(g.owner(0, 1), 1);
+  EXPECT_EQ(g.owner(5, 6), (5 % 4) * 4 + (6 % 4));
+}
+
+TEST(ProcessGrid, DiagonalDomainRows) {
+  ProcessGrid g(4, 4);
+  // Step 1 of a 10-tile panel: rows congruent to 1 mod 4 starting at 1.
+  EXPECT_EQ(g.diagonal_domain(1, 10), (std::vector<int>{1, 5, 9}));
+  // Step 7: rows 7 only (11 > mt).
+  EXPECT_EQ(g.diagonal_domain(7, 10), (std::vector<int>{7}));
+}
+
+TEST(ProcessGrid, SingleRowGridOwnsWholePanel) {
+  ProcessGrid g(1, 4);
+  const auto rows = g.diagonal_domain(2, 6);
+  EXPECT_EQ(rows, (std::vector<int>{2, 3, 4, 5}));
+}
+
+TEST(ProcessGrid, PanelDomainsPartitionThePanel) {
+  ProcessGrid g(3, 2);
+  const int k = 2, mt = 11;
+  const auto domains = g.panel_domains(k, mt);
+  // First group must be the diagonal domain.
+  EXPECT_EQ(domains[0], g.diagonal_domain(k, mt));
+  // All rows k..mt-1 appear exactly once.
+  std::vector<int> seen;
+  for (const auto& d : domains) {
+    EXPECT_FALSE(d.empty());
+    for (int r : d) seen.push_back(r);
+  }
+  std::sort(seen.begin(), seen.end());
+  std::vector<int> expected;
+  for (int i = k; i < mt; ++i) expected.push_back(i);
+  EXPECT_EQ(seen, expected);
+  // Each group is one grid row.
+  for (const auto& d : domains)
+    for (int r : d) EXPECT_EQ(g.row_rank(r), g.row_rank(d[0]));
+}
+
+TEST(ProcessGrid, LastStepHasSingleDomain) {
+  ProcessGrid g(4, 1);
+  const auto domains = g.panel_domains(9, 10);
+  ASSERT_EQ(domains.size(), 1u);
+  EXPECT_EQ(domains[0], (std::vector<int>{9}));
+}
+
+TEST(ProcessGrid, InvalidGridThrows) {
+  EXPECT_THROW(ProcessGrid(0, 2), Error);
+  EXPECT_THROW(ProcessGrid(2, -1), Error);
+}
+
+}  // namespace
+}  // namespace luqr
