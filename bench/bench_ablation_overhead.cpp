@@ -54,9 +54,12 @@ int main() {
       t_hqr += timer.seconds();
     }
     {
-      AlwaysQR crit;
+      const Solver solver(SolverConfig()
+                              .criterion(CriterionSpec::always_qr())
+                              .tile_size(c.nb)
+                              .backend(Backend::Serial));
       Timer timer;
-      (void)core::hybrid_solve(a, b, crit, c.nb, {});
+      (void)solver.solve(a, b);
       t_luqr0 += timer.seconds();
     }
   }

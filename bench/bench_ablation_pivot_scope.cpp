@@ -38,11 +38,13 @@ int main() {
       for (int s = 0; s < c.samples; ++s) {
         const auto a = gen::generate(gen::MatrixKind::Random, n, 9000 + s);
         const auto b = rhs_for(n, 100 + s);
-        AlwaysLU crit;
-        core::HybridOptions opt;
-        opt.scope = scope;
-        opt.grid_p = 4;
-        const auto r = core::hybrid_solve(a, b, crit, c.nb, opt);
+        const Solver solver(SolverConfig()
+                                .criterion(CriterionSpec::always_lu())
+                                .pivot_scope(scope)
+                                .grid(4, 1)
+                                .tile_size(c.nb)
+                                .backend(Backend::Serial));
+        const auto r = solver.solve(a, b);
         h += verify::hpl3(a, r.x, b) / c.samples;
       }
       row.push_back(fmt_ratio(h / lupp));

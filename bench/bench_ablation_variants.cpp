@@ -31,16 +31,20 @@ int main() {
                        : variant == core::LuVariant::A2 ? "A2 (QR factor)"
                        : variant == core::LuVariant::B1 ? "B1 (block LU)"
                                                         : "B2 (block QR)";
-    core::HybridOptions opt;
-    opt.variant = variant;
-    opt.exact_inv_norm = true;
+    const SolverConfig base = SolverConfig()
+                                  .variant(variant)
+                                  .exact_inv_norm(true)
+                                  .tile_size(c.nb)
+                                  .backend(Backend::Serial);
 
-    MaxCriterion c1(50.0);
     Timer timer;
-    const auto r_rand = core::hybrid_solve(a_rand, b, c1, c.nb, opt);
+    const auto r_rand =
+        Solver(SolverConfig(base).criterion(CriterionSpec::max(50.0)))
+            .solve(a_rand, b);
     const double secs = timer.seconds();
-    MaxCriterion c2(0.5);
-    const auto r_wilk = core::hybrid_solve(a_wilk, b, c2, c.nb, opt);
+    const auto r_wilk =
+        Solver(SolverConfig(base).criterion(CriterionSpec::max(0.5)))
+            .solve(a_wilk, b);
 
     t.row({name, fmt_sci(verify::hpl3(a_rand, r_rand.x, b), 2),
            fmt_sci(verify::hpl3(a_wilk, r_wilk.x, b), 2),

@@ -54,8 +54,13 @@ inline HybridOutcome run_hybrid_random(const std::string& criterion, double alph
   for (int s = 0; s < samples; ++s) {
     const auto a = gen::generate(gen::MatrixKind::Random, n, 9000 + s);
     const auto b = rhs_for(n, 100 + s);
-    auto crit = make_criterion(criterion, alpha, 555 + s);
-    const auto r = core::hybrid_solve(a, b, *crit, nb, opt);
+    const Solver solver(SolverConfig()
+                            .hybrid_options(opt)
+                            .tile_size(nb)
+                            .criterion(CriterionSpec::parse(criterion, alpha,
+                                                            555 + s))
+                            .backend(Backend::Serial));
+    const auto r = solver.solve(a, b);
     out.mean_hpl3 += verify::hpl3(a, r.x, b) / samples;
     out.mean_lu_fraction += r.stats.lu_fraction() / samples;
   }

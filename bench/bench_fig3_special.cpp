@@ -29,6 +29,9 @@ int main() {
   t.header({"matrix", "LU NoPiv", "LUQR rand50", "LUQR max", "LUQR mumps", "HQR",
             "%LU max", "%LU mumps"});
 
+  const SolverConfig base =
+      SolverConfig().hybrid_options(opt).tile_size(c.nb).backend(Backend::Serial);
+
   auto run_matrix = [&](const std::string& label, const Matrix<double>& a) {
     const auto b = rhs_for(a.rows(), 1234);
     const double lupp = verify::hpl3(a, baselines::lupp_solve(a, b, c.nb).x, b);
@@ -36,16 +39,19 @@ int main() {
     const double nopiv =
         verify::hpl3(a, baselines::lu_nopiv_solve(a, b, c.nb).x, b);
 
-    RandomCriterion rnd(0.5, 99);
-    const auto r_rand = core::hybrid_solve(a, b, rnd, c.nb, opt);
+    const auto r_rand =
+        Solver(SolverConfig(base).criterion(CriterionSpec::random(0.5, 99)))
+            .solve(a, b);
     const double h_rand = verify::hpl3(a, r_rand.x, b);
 
-    MaxCriterion cmax(alpha_max);
-    const auto r_max = core::hybrid_solve(a, b, cmax, c.nb, opt);
+    const auto r_max =
+        Solver(SolverConfig(base).criterion(CriterionSpec::max(alpha_max)))
+            .solve(a, b);
     const double h_max = verify::hpl3(a, r_max.x, b);
 
-    MumpsCriterion cmumps(alpha_mumps);
-    const auto r_mumps = core::hybrid_solve(a, b, cmumps, c.nb, opt);
+    const auto r_mumps =
+        Solver(SolverConfig(base).criterion(CriterionSpec::mumps(alpha_mumps)))
+            .solve(a, b);
     const double h_mumps = verify::hpl3(a, r_mumps.x, b);
 
     const double hqr = verify::hpl3(a, baselines::hqr_solve(a, b, c.nb, 16, 1).x, b);

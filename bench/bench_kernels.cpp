@@ -171,9 +171,12 @@ void BM_HybridSolveSmall(benchmark::State& state) {
   Matrix<double> b(n, 1);
   Rng rng(2);
   for (int i = 0; i < n; ++i) b(i, 0) = rng.gaussian();
+  const Solver solver(SolverConfig()
+                          .criterion(CriterionSpec::max(50.0))
+                          .tile_size(32)
+                          .backend(Backend::Serial));
   for (auto _ : state) {
-    MaxCriterion crit(50.0);
-    auto r = core::hybrid_solve(a, b, crit, 32, {});
+    auto r = solver.solve(a, b);
     benchmark::DoNotOptimize(r.x.data());
   }
   state.counters["GFLOP/s"] = benchmark::Counter(

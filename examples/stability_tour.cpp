@@ -23,10 +23,12 @@ void tour_one(gen::MatrixKind kind, int n, int nb, bool verbose) {
   Rng rng(7);
   for (int i = 0; i < n; ++i) b(i, 0) = rng.gaussian();
 
-  MaxCriterion criterion(50.0);
-  core::HybridOptions opt;
-  opt.grid_p = 4;
-  const auto hybrid = core::hybrid_solve(a, b, criterion, nb, opt);
+  const Solver solver(SolverConfig()
+                          .criterion(CriterionSpec::max(50.0))
+                          .tile_size(nb)
+                          .grid(4, 1)
+                          .backend(Backend::Serial));
+  const auto hybrid = solver.solve(a, b);
 
   const double h_hybrid = verify::hpl3(a, hybrid.x, b);
   const double h_nopiv = verify::hpl3(a, baselines::lu_nopiv_solve(a, b, nb).x, b);

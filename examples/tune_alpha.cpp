@@ -50,12 +50,14 @@ int main(int argc, char** argv) {
   cfg.n = 84;
   cfg.nb = 240;
 
+  const CriterionSpec base_spec = CriterionSpec::parse(criterion, 0.0);
   for (double alpha : alphas) {
-    auto crit = make_criterion(criterion, alpha);
-    core::HybridOptions opt;
-    opt.grid_p = 4;
-    opt.grid_q = 4;
-    const auto r = core::hybrid_solve(a, b, *crit, nb, opt);
+    const Solver solver(SolverConfig()
+                            .criterion(base_spec.with_alpha(alpha))
+                            .tile_size(nb)
+                            .grid(4, 4)
+                            .backend(Backend::Serial));
+    const auto r = solver.solve(a, b);
     const double h = verify::hpl3(a, r.x, b);
     const auto pred = sim::simulate_algorithm(
         sim::Algo::LuQr, cfg, pl,
@@ -72,5 +74,17 @@ int main(int argc, char** argv) {
   std::printf("%s", t.str().c_str());
   std::printf("\npick the largest alpha whose HPL3 you can live with: everything\n"
               "above it buys speed, everything below buys safety margin.\n");
+
+  if (base_spec.tunable()) {
+    // Or let the auto-tuner pick the threshold for a target LU fraction.
+    core::HybridOptions opt;
+    opt.grid_p = 4;
+    opt.grid_q = 4;
+    const auto tuned = core::auto_tune_alpha(a, base_spec, 0.5, nb, opt);
+    std::printf("\nauto-tuner: %s hits %.0f%% LU at the 50%% target "
+                "(%d evaluations)\n",
+                tuned.spec.name().c_str(), 100.0 * tuned.achieved_lu_fraction,
+                tuned.evaluations);
+  }
   return 0;
 }

@@ -1,0 +1,182 @@
+#include "api/solver.hpp"
+
+#include <thread>
+#include <utility>
+
+#include "core/autotune.hpp"
+#include "runtime/parallel_hybrid.hpp"
+
+namespace luqr {
+
+SolverConfig& SolverConfig::hybrid_options(const core::HybridOptions& o) {
+  grid(o.grid_p, o.grid_q);
+  scope_ = o.scope;
+  variant_ = o.variant;
+  tree_ = o.tree;
+  exact_inv_norm_ = o.exact_inv_norm;
+  track_growth_ = o.track_growth;
+  return *this;
+}
+
+core::HybridOptions SolverConfig::hybrid_options() const {
+  core::HybridOptions o;
+  o.grid_p = grid_p_;
+  o.grid_q = grid_q_;
+  o.scope = scope_;
+  o.variant = variant_;
+  o.tree = tree_;
+  o.exact_inv_norm = exact_inv_norm_;
+  o.track_growth = track_growth_;
+  return o;
+}
+
+void SolverConfig::validate() const {
+  if (backend_ == Backend::Parallel) {
+    LUQR_REQUIRE(variant_ == core::LuVariant::A1,
+                 "the Parallel backend implements variant A1 (the paper's "
+                 "evaluated variant); use Serial or Auto for A2/B1/B2");
+    LUQR_REQUIRE(!track_growth_,
+                 "growth tracking is only supported by the Serial backend");
+  }
+  if (has_autotune_) {
+    LUQR_REQUIRE(external_ == nullptr,
+                 "auto-tuning needs a CriterionSpec, not an external "
+                 "Criterion instance");
+    LUQR_REQUIRE(criterion_.tunable(),
+                 "auto-tuning supports the max/sum/mumps criteria");
+  }
+}
+
+Solver::Solver(SolverConfig config) : config_(std::move(config)) {
+  config_.validate();
+}
+
+CriterionSpec Solver::effective_criterion(const Matrix<double>& a) const {
+  LUQR_REQUIRE(config_.external_criterion() == nullptr,
+               "an external Criterion instance has no spec to report");
+  if (!config_.has_autotune_target()) return config_.criterion();
+  const auto tuned = core::auto_tune_alpha(
+      a, config_.criterion(), config_.autotune_target_lu_fraction(),
+      config_.tile_size(), config_.hybrid_options());
+  return tuned.spec;
+}
+
+Criterion* Solver::resolve_criterion(const Matrix<double>& a,
+                                     std::unique_ptr<Criterion>& owned) const {
+  if (Criterion* external = config_.external_criterion()) return external;
+  owned = make_criterion(effective_criterion(a));
+  return owned.get();
+}
+
+int Solver::resolve_threads() const {
+  if (config_.threads() > 0) return config_.threads();
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+Backend Solver::resolve_backend(int n_tiles) const {
+  switch (config_.backend()) {
+    case Backend::Serial: return Backend::Serial;
+    case Backend::Parallel: return Backend::Parallel;
+    case Backend::Auto: break;
+  }
+  // Auto: the engine only implements A1 without growth tracking, and a
+  // worker pool pays off only with real concurrency and enough tiles for
+  // the trailing updates to overlap the panel's critical path.
+  if (config_.variant() != core::LuVariant::A1 || config_.track_growth())
+    return Backend::Serial;
+  if (resolve_threads() < 2 || n_tiles < 4) return Backend::Serial;
+  return Backend::Parallel;
+}
+
+core::Factorization Solver::factor(const Matrix<double>& a) const {
+  LUQR_REQUIRE(a.rows() == a.cols(), "Solver::factor: matrix must be square");
+  const core::HybridOptions options = config_.hybrid_options();
+  const int nb = config_.tile_size();
+
+  std::unique_ptr<Criterion> owned;
+  Criterion* criterion = resolve_criterion(a, owned);
+
+  const int n_tiles = (a.rows() + nb - 1) / nb;
+  if (resolve_backend(n_tiles) == Backend::Serial)
+    return core::Factorization::compute(a, *criterion, nb, options);
+
+  TileMatrix<double> tiles = TileMatrix<double>::from_dense(a, nb);
+  core::TransformLog log;
+  core::FactorizationStats stats = rt::parallel_hybrid_factor(
+      tiles, *criterion, options, resolve_threads(), &log);
+  return core::Factorization::adopt(a, std::move(tiles), std::move(stats),
+                                    std::move(log), options);
+}
+
+core::SolveResult Solver::solve(const Matrix<double>& a,
+                                const Matrix<double>& b) const {
+  if (config_.refinement_sweeps() > 0) {
+    // Refinement needs the retained original, so go through factor().
+    const core::Factorization fac = factor(a);
+    core::SolveResult result;
+    result.x = fac.solve(b, config_.refinement_sweeps());
+    result.stats = fac.stats();
+    return result;
+  }
+
+  // Fused-RHS fast path (the paper's experimental setup): factor [A | B]
+  // and back-substitute in place.
+  const core::HybridOptions options = config_.hybrid_options();
+  std::unique_ptr<Criterion> owned;
+  Criterion* criterion = resolve_criterion(a, owned);
+
+  TileMatrix<double> aug = core::make_augmented(a, b, config_.tile_size());
+  core::SolveResult result;
+  if (resolve_backend(aug.mt()) == Backend::Parallel) {
+    result.stats =
+        rt::parallel_hybrid_factor(aug, *criterion, options, resolve_threads());
+  } else {
+    result.stats = core::hybrid_factor(aug, *criterion, options);
+  }
+  core::back_substitute(aug, &result.stats);
+  result.x = core::extract_solution(aug, a.rows(), b.cols());
+  return result;
+}
+
+}  // namespace luqr
+
+// ---------------------------------------------------------------------------
+// Historical free-function entry points, kept as thin wrappers over the
+// facade. Defined here (not in their own layers' .cpp files) so core/ and
+// runtime/ never include upward into api/.
+// ---------------------------------------------------------------------------
+
+namespace luqr::core {
+
+SolveResult hybrid_solve(const Matrix<double>& a, const Matrix<double>& b,
+                         Criterion& criterion, int nb,
+                         const HybridOptions& options) {
+  return Solver(SolverConfig()
+                    .hybrid_options(options)
+                    .tile_size(nb)
+                    .criterion(criterion)
+                    .backend(Backend::Serial))
+      .solve(a, b);
+}
+
+}  // namespace luqr::core
+
+namespace luqr::rt {
+
+core::SolveResult parallel_hybrid_solve(const Matrix<double>& a,
+                                        const Matrix<double>& b,
+                                        Criterion& criterion, int nb,
+                                        const core::HybridOptions& options,
+                                        int num_threads) {
+  LUQR_REQUIRE(num_threads >= 1, "need at least one worker thread");
+  return Solver(SolverConfig()
+                    .hybrid_options(options)
+                    .tile_size(nb)
+                    .criterion(criterion)
+                    .backend(Backend::Parallel)
+                    .threads(num_threads))
+      .solve(a, b);
+}
+
+}  // namespace luqr::rt

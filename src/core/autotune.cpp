@@ -9,9 +9,9 @@ namespace luqr::core {
 namespace {
 
 // LU fraction of a factorization of the sample at threshold alpha.
-double fraction_at(const Matrix<double>& sample, const std::string& kind,
+double fraction_at(const Matrix<double>& sample, const CriterionSpec& spec,
                    double alpha, int nb, const HybridOptions& options) {
-  auto criterion = make_criterion(kind, alpha);
+  auto criterion = make_criterion(spec.with_alpha(alpha));
   // Factor a throwaway copy; a 1-column zero RHS keeps make_augmented happy.
   Matrix<double> b(sample.rows(), 1);
   TileMatrix<double> aug = make_augmented(sample, b, nb);
@@ -22,21 +22,26 @@ double fraction_at(const Matrix<double>& sample, const std::string& kind,
 }  // namespace
 
 AutoTuneResult auto_tune_alpha(const Matrix<double>& sample,
-                               const std::string& criterion_kind,
+                               const CriterionSpec& spec,
                                double target_lu_fraction, int nb,
                                const HybridOptions& options,
                                int max_evaluations) {
   LUQR_REQUIRE(target_lu_fraction >= 0.0 && target_lu_fraction <= 1.0,
                "target LU fraction must be in [0, 1]");
-  LUQR_REQUIRE(criterion_kind == "max" || criterion_kind == "sum" ||
-                   criterion_kind == "mumps",
+  LUQR_REQUIRE(spec.tunable(),
                "auto_tune_alpha supports the max/sum/mumps criteria");
   LUQR_REQUIRE(max_evaluations >= 4, "need at least 4 evaluations");
 
   AutoTuneResult result;
+  result.spec = spec;
   auto evaluate = [&](double alpha) {
     ++result.evaluations;
-    return fraction_at(sample, criterion_kind, alpha, nb, options);
+    return fraction_at(sample, spec, alpha, nb, options);
+  };
+  auto settle = [&](double alpha, double fraction) {
+    result.alpha = alpha;
+    result.achieved_lu_fraction = fraction;
+    result.spec = spec.with_alpha(alpha);
   };
 
   // Bracket the target: fraction is monotone nondecreasing in alpha.
@@ -44,19 +49,16 @@ AutoTuneResult auto_tune_alpha(const Matrix<double>& sample,
   double f_lo = evaluate(lo);
   double f_hi = evaluate(hi);
   if (f_lo >= target_lu_fraction) {
-    result.alpha = lo;
-    result.achieved_lu_fraction = f_lo;
+    settle(lo, f_lo);
     return result;
   }
   if (f_hi <= target_lu_fraction) {
-    result.alpha = hi;
-    result.achieved_lu_fraction = f_hi;
+    settle(hi, f_hi);
     return result;
   }
 
   // Log-space bisection; track the best point seen.
-  result.alpha = hi;
-  result.achieved_lu_fraction = f_hi;
+  settle(hi, f_hi);
   double best_err = std::abs(f_hi - target_lu_fraction);
   while (result.evaluations < max_evaluations) {
     const double mid = std::sqrt(lo * hi);
@@ -64,8 +66,7 @@ AutoTuneResult auto_tune_alpha(const Matrix<double>& sample,
     const double err = std::abs(f_mid - target_lu_fraction);
     if (err < best_err) {
       best_err = err;
-      result.alpha = mid;
-      result.achieved_lu_fraction = f_mid;
+      settle(mid, f_mid);
     }
     if (f_mid < target_lu_fraction) {
       lo = mid;
@@ -75,6 +76,15 @@ AutoTuneResult auto_tune_alpha(const Matrix<double>& sample,
     if (hi / lo < 1.05) break;  // threshold resolved
   }
   return result;
+}
+
+AutoTuneResult auto_tune_alpha(const Matrix<double>& sample,
+                               const std::string& criterion_kind,
+                               double target_lu_fraction, int nb,
+                               const HybridOptions& options,
+                               int max_evaluations) {
+  return auto_tune_alpha(sample, CriterionSpec::parse(criterion_kind, 0.0),
+                         target_lu_fraction, nb, options, max_evaluations);
 }
 
 }  // namespace luqr::core

@@ -14,6 +14,7 @@
 #include <string>
 
 #include "core/hybrid.hpp"
+#include "criteria/criteria.hpp"
 #include "kernels/dense.hpp"
 
 namespace luqr::core {
@@ -22,13 +23,26 @@ struct AutoTuneResult {
   double alpha = 0.0;                ///< tuned threshold
   double achieved_lu_fraction = 0.0; ///< LU fraction at `alpha` on the sample
   int evaluations = 0;               ///< factorizations spent
+
+  /// The input spec with the tuned threshold substituted — ready to hand to
+  /// make_criterion or SolverConfig::criterion.
+  CriterionSpec spec;
 };
 
-/// Find an alpha for `criterion_kind` ("max", "sum" or "mumps") whose LU
-/// fraction on the sample problem is as close as possible to
-/// `target_lu_fraction` (in [0, 1]). The step count of the sample quantizes
-/// achievable fractions to multiples of 1/n_tiles; the tuner returns the
-/// closest achievable point. Deterministic.
+/// Find an alpha for the criterion family `spec` describes (must be tunable:
+/// Max, Sum or Mumps — the thresholded families) whose LU fraction on the
+/// sample problem is as close as possible to `target_lu_fraction` (in
+/// [0, 1]). The spec's own alpha is ignored. The step count of the sample
+/// quantizes achievable fractions to multiples of 1/n_tiles; the tuner
+/// returns the closest achievable point. Deterministic.
+AutoTuneResult auto_tune_alpha(const Matrix<double>& sample,
+                               const CriterionSpec& spec,
+                               double target_lu_fraction, int nb,
+                               const HybridOptions& options = {},
+                               int max_evaluations = 24);
+
+/// String-keyed convenience ("max", "sum" or "mumps"): equivalent to tuning
+/// CriterionSpec::parse(criterion_kind, 0).
 AutoTuneResult auto_tune_alpha(const Matrix<double>& sample,
                                const std::string& criterion_kind,
                                double target_lu_fraction, int nb,

@@ -62,6 +62,28 @@ Factorization Factorization::compute(const Matrix<double>& a, Criterion& criteri
   return f;
 }
 
+Factorization Factorization::adopt(const Matrix<double>& original,
+                                   TileMatrix<double> factored,
+                                   FactorizationStats stats, TransformLog log,
+                                   const HybridOptions& options) {
+  LUQR_REQUIRE(original.rows() == original.cols(),
+               "Factorization: matrix must be square");
+  LUQR_REQUIRE(factored.mt() == factored.nt(),
+               "adopt: factored tiles must be square");
+  LUQR_REQUIRE(factored.rows() >= original.rows(),
+               "adopt: factored tiles smaller than the matrix");
+  LUQR_REQUIRE(static_cast<int>(log.size()) == factored.mt(),
+               "adopt: transform log does not cover every step");
+  Factorization f;
+  f.n_scalar_ = original.rows();
+  f.original_ = original;
+  f.options_ = options;
+  f.factored_ = std::move(factored);
+  f.stats_ = std::move(stats);
+  f.log_ = std::move(log);
+  return f;
+}
+
 void Factorization::apply_transformations(TileMatrix<double>& b) const {
   const int n = factored_.mt();
   const int nb = factored_.nb();

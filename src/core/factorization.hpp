@@ -30,9 +30,24 @@ class Factorization {
   static Factorization compute(const Matrix<double>& a, Criterion& criterion,
                                int nb, const HybridOptions& options = {});
 
+  /// Assemble a retained factorization from an externally driven factor
+  /// pass — the parallel backend's path: tile `a` with from_dense, run
+  /// rt::parallel_hybrid_factor over the tiles with a TransformLog, then
+  /// adopt the factored tiles, stats and log. `original` is the unfactored
+  /// A (kept for iterative refinement). The tiles/log must describe a
+  /// factorization of exactly that matrix (padded per from_dense).
+  static Factorization adopt(const Matrix<double>& original,
+                             TileMatrix<double> factored,
+                             FactorizationStats stats, TransformLog log,
+                             const HybridOptions& options = {});
+
   /// Solve A X = B for a fresh right-hand side by replaying the recorded
   /// transformations and back-substituting. `refinement_sweeps` extra
   /// passes of iterative refinement are applied (0 = plain solve).
+  ///
+  /// Const and safe to call from many threads concurrently on the same
+  /// Factorization: all state is read-only after construction, each solve
+  /// works in its own buffers.
   Matrix<double> solve(const Matrix<double>& b, int refinement_sweeps = 0) const;
 
   const FactorizationStats& stats() const { return stats_; }

@@ -38,15 +38,7 @@ Matrix<double> extract_solution(const TileMatrix<double>& aug, int n_scalar,
   return x;
 }
 
-SolveResult hybrid_solve(const Matrix<double>& a, const Matrix<double>& b,
-                         Criterion& criterion, int nb,
-                         const HybridOptions& options) {
-  TileMatrix<double> aug = make_augmented(a, b, nb);
-  SolveResult result;
-  result.stats = hybrid_factor(aug, criterion, options);
-  back_substitute(aug, &result.stats);
-  result.x = extract_solution(aug, a.rows(), b.cols());
-  return result;
-}
+// hybrid_solve is a thin wrapper over the luqr::Solver facade; its
+// definition lives in api/solver.cpp so this layer never includes upward.
 
 }  // namespace luqr::core

@@ -105,15 +105,47 @@ bool AlwaysLU::accept_lu(const PanelInfo&) {
   return true;
 }
 
+CriterionSpec CriterionSpec::parse(const std::string& kind, double alpha,
+                                   std::uint64_t seed) {
+  if (kind == "max") return {CriterionKind::Max, alpha, seed};
+  if (kind == "sum") return {CriterionKind::Sum, alpha, seed};
+  if (kind == "mumps") return {CriterionKind::Mumps, alpha, seed};
+  if (kind == "random") return {CriterionKind::Random, alpha, seed};
+  if (kind == "always-lu") return {CriterionKind::AlwaysLU, alpha, seed};
+  if (kind == "always-qr") return {CriterionKind::AlwaysQR, alpha, seed};
+  throw Error("unknown criterion kind: " + kind);
+}
+
+std::string CriterionSpec::name() const { return make_criterion(*this)->name(); }
+
+std::string to_string(CriterionKind kind) {
+  switch (kind) {
+    case CriterionKind::Max: return "max";
+    case CriterionKind::Sum: return "sum";
+    case CriterionKind::Mumps: return "mumps";
+    case CriterionKind::Random: return "random";
+    case CriterionKind::AlwaysLU: return "always-lu";
+    case CriterionKind::AlwaysQR: return "always-qr";
+  }
+  throw Error("unknown criterion kind");
+}
+
+std::unique_ptr<Criterion> make_criterion(const CriterionSpec& spec) {
+  switch (spec.kind) {
+    case CriterionKind::Max: return std::make_unique<MaxCriterion>(spec.alpha);
+    case CriterionKind::Sum: return std::make_unique<SumCriterion>(spec.alpha);
+    case CriterionKind::Mumps: return std::make_unique<MumpsCriterion>(spec.alpha);
+    case CriterionKind::Random:
+      return std::make_unique<RandomCriterion>(spec.alpha, spec.seed);
+    case CriterionKind::AlwaysLU: return std::make_unique<AlwaysLU>();
+    case CriterionKind::AlwaysQR: return std::make_unique<AlwaysQR>();
+  }
+  throw Error("unknown criterion kind");
+}
+
 std::unique_ptr<Criterion> make_criterion(const std::string& kind, double alpha,
                                           std::uint64_t seed) {
-  if (kind == "max") return std::make_unique<MaxCriterion>(alpha);
-  if (kind == "sum") return std::make_unique<SumCriterion>(alpha);
-  if (kind == "mumps") return std::make_unique<MumpsCriterion>(alpha);
-  if (kind == "random") return std::make_unique<RandomCriterion>(alpha, seed);
-  if (kind == "always-lu") return std::make_unique<AlwaysLU>();
-  if (kind == "always-qr") return std::make_unique<AlwaysQR>();
-  throw Error("unknown criterion kind: " + kind);
+  return make_criterion(CriterionSpec::parse(kind, alpha, seed));
 }
 
 }  // namespace luqr

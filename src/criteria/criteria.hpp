@@ -124,9 +124,62 @@ class AlwaysQR : public Criterion {
   std::string name() const override { return "always-qr"; }
 };
 
-/// Factory used by benches/examples: kind in {"max","sum","mumps","random",
-/// "always-lu","always-qr"}; alpha is the threshold (or LU probability for
-/// "random").
+/// The criterion families a CriterionSpec can describe.
+enum class CriterionKind { Max, Sum, Mumps, Random, AlwaysLU, AlwaysQR };
+
+/// Value-type description of a robustness criterion. This is what travels
+/// through configuration (SolverConfig, the auto-tuner, CLI flags): a plain
+/// copyable record instead of a caller-constructed mutable Criterion&.
+/// make_criterion(spec) instantiates the stateful decision object at the
+/// point of use, so every factorization gets a fresh random stream / fresh
+/// state from the same description.
+struct CriterionSpec {
+  CriterionKind kind = CriterionKind::Max;
+  double alpha = 100.0;    ///< threshold; LU probability for Random;
+                           ///< ignored by AlwaysLU/AlwaysQR
+  std::uint64_t seed = 7;  ///< Random criterion stream seed
+
+  static CriterionSpec max(double alpha) { return {CriterionKind::Max, alpha, 7}; }
+  static CriterionSpec sum(double alpha) { return {CriterionKind::Sum, alpha, 7}; }
+  static CriterionSpec mumps(double alpha) { return {CriterionKind::Mumps, alpha, 7}; }
+  static CriterionSpec random(double lu_probability, std::uint64_t seed = 7) {
+    return {CriterionKind::Random, lu_probability, seed};
+  }
+  static CriterionSpec always_lu() { return {CriterionKind::AlwaysLU, 0.0, 7}; }
+  static CriterionSpec always_qr() { return {CriterionKind::AlwaysQR, 0.0, 7}; }
+
+  /// Parse the CLI/bench spelling ("max", "sum", "mumps", "random",
+  /// "always-lu", "always-qr"). Throws Error on an unknown kind.
+  static CriterionSpec parse(const std::string& kind, double alpha,
+                             std::uint64_t seed = 7);
+
+  /// True for the thresholded families (Max/Sum/Mumps) whose LU fraction is
+  /// monotone in alpha — the ones core::auto_tune_alpha can bisect.
+  bool tunable() const {
+    return kind == CriterionKind::Max || kind == CriterionKind::Sum ||
+           kind == CriterionKind::Mumps;
+  }
+
+  /// Same spec with a different threshold (what the auto-tuner returns).
+  CriterionSpec with_alpha(double a) const {
+    CriterionSpec s = *this;
+    s.alpha = a;
+    return s;
+  }
+
+  /// Display name, identical to make_criterion(*this)->name().
+  std::string name() const;
+};
+
+std::string to_string(CriterionKind kind);
+
+/// Instantiate the decision object a spec describes.
+std::unique_ptr<Criterion> make_criterion(const CriterionSpec& spec);
+
+/// String-keyed convenience used by benches/examples: kind in {"max","sum",
+/// "mumps","random","always-lu","always-qr"}; alpha is the threshold (or LU
+/// probability for "random"). Equivalent to
+/// make_criterion(CriterionSpec::parse(kind, alpha, seed)).
 std::unique_ptr<Criterion> make_criterion(const std::string& kind, double alpha,
                                           std::uint64_t seed = 7);
 

@@ -1,14 +1,26 @@
 // Umbrella header for the luqr library.
 //
-// Typical usage (see examples/quickstart.cpp):
+// The front door is the luqr::Solver facade (see examples/quickstart.cpp):
+// configure once, then solve one-shot or factor once and serve many
+// right-hand sides — on either backend.
 //
-//   luqr::MaxCriterion criterion(/*alpha=*/6000.0);
-//   luqr::core::HybridOptions options;
-//   options.grid_p = 4; options.grid_q = 4;
-//   auto result = luqr::core::hybrid_solve(A, b, criterion, /*nb=*/64, options);
+//   luqr::Solver solver(luqr::SolverConfig()
+//                           .criterion(luqr::CriterionSpec::max(6000.0))
+//                           .tile_size(64)
+//                           .grid(4, 4)
+//                           .backend(luqr::Backend::Auto));
+//   auto result = solver.solve(A, b);              // one-shot
 //   double accuracy = luqr::verify::hpl3(A, result.x, b);
+//
+//   auto fac = solver.factor(A);                   // retained: solve-many
+//   auto x1 = fac.solve(b1);                       // const + thread-safe
+//
+// The low-level entry points (core::hybrid_solve, rt::parallel_hybrid_solve,
+// core::Factorization::compute) remain available and delegate to the same
+// machinery.
 #pragma once
 
+#include "api/solver.hpp"
 #include "baselines/baselines.hpp"
 #include "common/env.hpp"
 #include "common/rng.hpp"

@@ -33,11 +33,9 @@ struct StepContext {
   bool lu = false;
   // One T factor per QR factor kernel (geqrt per row, then one per
   // elimination), allocated up front so pointers are stable task keys.
-  std::vector<std::unique_ptr<Matrix<double>>> t_factors;
-  Matrix<double>* new_t(int nb) {
-    t_factors.push_back(std::make_unique<Matrix<double>>(nb, nb));
-    return t_factors.back().get();
-  }
+  // Shared with the TransformLog when one is kept: the tasks fill these in,
+  // the log's QrOps reference the same storage.
+  std::vector<std::shared_ptr<Matrix<double>>> t_factors;
 };
 
 // Swap the trailing tiles of column j according to the stacked pivots.
@@ -107,7 +105,8 @@ void submit_lu_step(Engine& engine, TileMatrix<double>& a, StepContext& ctx) {
 }
 
 void submit_qr_step(Engine& engine, TileMatrix<double>& a, StepContext& ctx,
-                    const ProcessGrid& grid, const hqr::TreeConfig& tree) {
+                    const ProcessGrid& grid, const hqr::TreeConfig& tree,
+                    core::StepLog* step_log) {
   const int k = ctx.pf.k;
   const int n = a.mt();
   const int nb = a.nb();
@@ -132,19 +131,38 @@ void submit_qr_step(Engine& engine, TileMatrix<double>& a, StepContext& ctx,
 
   const auto list = hqr::elimination_list(grid.panel_domains(k, n), tree);
 
-  // Rows that must be triangular before acting: TS killers and every TT
-  // participant.
+  // Allocate the block-reflector factors up front, walking the elimination
+  // list in the sequential driver's order (lazy GEQRT of killers/TT
+  // participants, then the elimination itself). That walk is what defines a
+  // replay-valid order, so when a log is kept its QrOps are recorded here —
+  // referencing T storage the tasks below will fill in.
   std::vector<bool> needs_geqrt(static_cast<std::size_t>(n), false);
+  std::vector<Matrix<double>*> row_t(static_cast<std::size_t>(n), nullptr);
+  std::vector<Matrix<double>*> elim_t;
+  elim_t.reserve(list.size());
+  auto new_t = [&](core::QrOp::Kind kind, int killer, int killed) {
+    auto t = std::make_shared<Matrix<double>>(nb, nb);
+    ctx.t_factors.push_back(t);
+    if (step_log) step_log->qr_ops.push_back({kind, killer, killed, t});
+    return t.get();
+  };
+  auto plan_geqrt = [&](int row) {
+    if (needs_geqrt[static_cast<std::size_t>(row)]) return;
+    needs_geqrt[static_cast<std::size_t>(row)] = true;
+    row_t[static_cast<std::size_t>(row)] = new_t(core::QrOp::Kind::Geqrt, row, row);
+  };
   for (const auto& e : list) {
-    needs_geqrt[static_cast<std::size_t>(e.killer)] = true;
-    if (e.kernel == hqr::ElimKernel::TT)
-      needs_geqrt[static_cast<std::size_t>(e.killed)] = true;
+    plan_geqrt(e.killer);
+    if (e.kernel == hqr::ElimKernel::TT) plan_geqrt(e.killed);
+    elim_t.push_back(new_t(e.kernel == hqr::ElimKernel::TS ? core::QrOp::Kind::Ts
+                                                           : core::QrOp::Kind::Tt,
+                           e.killer, e.killed));
   }
-  if (list.empty()) needs_geqrt[static_cast<std::size_t>(k)] = true;
+  if (list.empty()) plan_geqrt(k);
 
   for (int row = k; row < n; ++row) {
     if (!needs_geqrt[static_cast<std::size_t>(row)]) continue;
-    Matrix<double>* t = ctx.new_t(nb);
+    Matrix<double>* t = row_t[static_cast<std::size_t>(row)];
     engine.submit(
         [&a, row, k, t] { kern::geqrt(a.tile(row, k), t->view()); },
         {{a.tile(row, k).data, Access::ReadWrite}, {t->data(), Access::Write}},
@@ -162,8 +180,9 @@ void submit_qr_step(Engine& engine, TileMatrix<double>& a, StepContext& ctx,
     }
   }
 
-  for (const auto& e : list) {
-    Matrix<double>* t = ctx.new_t(nb);
+  for (std::size_t ei = 0; ei < list.size(); ++ei) {
+    const auto& e = list[ei];
+    Matrix<double>* t = elim_t[ei];
     const bool ts = e.kernel == hqr::ElimKernel::TS;
     engine.submit(
         [&a, e, k, t, ts] {
@@ -202,7 +221,9 @@ void submit_qr_step(Engine& engine, TileMatrix<double>& a, StepContext& ctx,
 FactorizationStats parallel_hybrid_factor(TileMatrix<double>& a,
                                           Criterion& criterion,
                                           const HybridOptions& options,
-                                          int num_threads) {
+                                          int num_threads,
+                                          core::TransformLog* log) {
+  if (log) log->clear();
   LUQR_REQUIRE(!options.track_growth,
                "growth tracking is only supported by the sequential driver");
   LUQR_REQUIRE(options.variant == core::LuVariant::A1,
@@ -256,34 +277,38 @@ FactorizationStats parallel_hybrid_factor(TileMatrix<double>& a,
     StepRecord rec;
     rec.k = k;
     rec.kind = c->lu ? StepKind::LU : StepKind::QR;
+    rec.variant = options.variant;
     rec.inv_norm_akk = c->pf.stats.inv_norm_akk;
     for (double nrm : c->pf.stats.below_tile_norms)
       rec.max_below = std::max(rec.max_below, nrm);
     stats.steps.push_back(rec);
+
+    core::StepLog* step_log = nullptr;
+    if (log) {
+      log->emplace_back();
+      step_log = &log->back();
+      step_log->lu = c->lu;
+      if (c->lu) {
+        // A1 replay data only: this driver rejects A2/B1/B2 above, so the
+        // panel factorization never carries a diag_t.
+        step_log->domain_rows = c->pf.domain_rows;
+        step_log->piv = c->pf.piv;
+      }
+    }
 
     if (c->lu) {
       ++stats.lu_steps;
       submit_lu_step(engine, a, *c);
     } else {
       ++stats.qr_steps;
-      submit_qr_step(engine, a, *c, grid, options.tree);
+      submit_qr_step(engine, a, *c, grid, options.tree, step_log);
     }
   }
   engine.wait_all();
   return stats;
 }
 
-core::SolveResult parallel_hybrid_solve(const Matrix<double>& a,
-                                        const Matrix<double>& b,
-                                        Criterion& criterion, int nb,
-                                        const core::HybridOptions& options,
-                                        int num_threads) {
-  TileMatrix<double> aug = core::make_augmented(a, b, nb);
-  core::SolveResult result;
-  result.stats = parallel_hybrid_factor(aug, criterion, options, num_threads);
-  core::back_substitute(aug);
-  result.x = core::extract_solution(aug, a.rows(), b.cols());
-  return result;
-}
+// parallel_hybrid_solve is a thin wrapper over the luqr::Solver facade; its
+// definition lives in api/solver.cpp so this layer never includes upward.
 
 }  // namespace luqr::rt

@@ -24,10 +24,16 @@ namespace luqr::rt {
 
 /// Parallel equivalent of core::hybrid_factor. `track_growth` is not
 /// supported here (it would serialize every step).
+///
+/// When `log` is non-null, every transformation is recorded exactly as the
+/// sequential driver records it (same replay order, bitwise-identical
+/// factors), so the result can seed a retained core::Factorization that
+/// serves fresh right-hand sides later.
 core::FactorizationStats parallel_hybrid_factor(TileMatrix<double>& a,
                                                 Criterion& criterion,
                                                 const core::HybridOptions& options,
-                                                int num_threads);
+                                                int num_threads,
+                                                core::TransformLog* log = nullptr);
 
 /// Parallel equivalent of core::hybrid_solve.
 core::SolveResult parallel_hybrid_solve(const Matrix<double>& a,

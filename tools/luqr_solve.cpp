@@ -1,12 +1,17 @@
-// luqr_solve — command-line hybrid solver over Matrix Market files.
+// luqr_solve — command-line hybrid solver over Matrix Market files, built on
+// the luqr::Solver facade.
 //
 //   luqr_solve A.mtx [b.mtx] [options]
 //
 //   --criterion max|sum|mumps|random|always-lu|always-qr   (default max)
 //   --alpha <v>        criterion threshold / LU probability (default 100)
+//   --lu-fraction <t>  auto-tune alpha to hit this LU-step fraction in [0,1]
+//                      (overrides --alpha; max/sum/mumps only)
 //   --nb <v>           tile size (default 64)
 //   --grid PxQ         logical process grid (default 4x4)
 //   --variant A1|A2|B1|B2                                  (default A1)
+//   --threads <n>      run the parallel backend with n worker threads
+//                      (default: serial backend)
 //   --refine <n>       iterative-refinement sweeps (default 0)
 //   --out x.mtx        write the solution (default: print summary only)
 //
@@ -23,8 +28,9 @@ namespace {
 
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s A.mtx [b.mtx] [--criterion C] [--alpha V] [--nb V]\n"
-               "       [--grid PxQ] [--variant A1|A2|B1|B2] [--refine N] [--out x.mtx]\n",
+               "usage: %s A.mtx [b.mtx] [--criterion C] [--alpha V] [--lu-fraction T]\n"
+               "       [--nb V] [--grid PxQ] [--variant A1|A2|B1|B2] [--threads N]\n"
+               "       [--refine N] [--out x.mtx]\n",
                argv0);
   std::exit(2);
 }
@@ -37,8 +43,8 @@ int main(int argc, char** argv) {
 
   std::string a_path, b_path, out_path;
   std::string criterion = "max", variant = "A1";
-  double alpha = 100.0;
-  int nb = 64, refine = 0, grid_p = 4, grid_q = 4;
+  double alpha = 100.0, lu_fraction = -1.0;
+  int nb = 64, refine = 0, grid_p = 4, grid_q = 4, threads = 0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -50,8 +56,12 @@ int main(int argc, char** argv) {
       criterion = need_value();
     } else if (arg == "--alpha") {
       alpha = std::strtod(need_value(), nullptr);
+    } else if (arg == "--lu-fraction") {
+      lu_fraction = std::strtod(need_value(), nullptr);
     } else if (arg == "--nb") {
       nb = std::atoi(need_value());
+    } else if (arg == "--threads") {
+      threads = std::atoi(need_value());
     } else if (arg == "--refine") {
       refine = std::atoi(need_value());
     } else if (arg == "--variant") {
@@ -90,24 +100,41 @@ int main(int argc, char** argv) {
       LUQR_REQUIRE(b.rows() == n, "rhs row count mismatch");
     }
 
-    core::HybridOptions opt;
-    opt.grid_p = grid_p;
-    opt.grid_q = grid_q;
-    if (variant == "A2") opt.variant = core::LuVariant::A2;
-    else if (variant == "B1") opt.variant = core::LuVariant::B1;
-    else if (variant == "B2") opt.variant = core::LuVariant::B2;
+    LUQR_REQUIRE(threads >= 0, "--threads must be nonnegative");
+    SolverConfig config;
+    config.tile_size(nb).grid(grid_p, grid_q);
+    if (variant == "A2") config.variant(core::LuVariant::A2);
+    else if (variant == "B1") config.variant(core::LuVariant::B1);
+    else if (variant == "B2") config.variant(core::LuVariant::B2);
     else LUQR_REQUIRE(variant == "A1", "unknown variant: " + variant);
+    if (threads > 0) config.backend(Backend::Parallel).threads(threads);
+    else config.backend(Backend::Serial);
 
-    auto crit = make_criterion(criterion, alpha);
+    CriterionSpec spec = CriterionSpec::parse(criterion, alpha);
+    if (lu_fraction >= 0.0) {
+      // Tune up front (rather than inside factor()) so the tuned alpha can
+      // be reported and is not re-derived on every solve.
+      const Solver tuner(SolverConfig(config).criterion(spec)
+                             .autotune_target_lu_fraction(lu_fraction));
+      spec = tuner.effective_criterion(a);
+      std::printf("auto-tuned alpha: %g (target LU fraction %.2f)\n", spec.alpha,
+                  lu_fraction);
+    }
+    config.criterion(spec);
+    const Solver solver(config);
+
     Timer timer;
-    const auto fac = core::Factorization::compute(a, *crit, nb, opt);
+    const core::Factorization fac = solver.factor(a);
     const double t_factor = timer.seconds();
     timer.reset();
     const Matrix<double> x = fac.solve(b, refine);
     const double t_solve = timer.seconds();
 
-    std::printf("luqr_solve: N=%d nb=%d criterion=%s grid=%dx%d variant=%s\n", n,
-                nb, crit->name().c_str(), grid_p, grid_q, variant.c_str());
+    std::printf("luqr_solve: N=%d nb=%d criterion=%s grid=%dx%d variant=%s "
+                "backend=%s\n",
+                n, nb, spec.name().c_str(), grid_p, grid_q, variant.c_str(),
+                threads > 0 ? "parallel" : "serial");
+    if (threads > 0) std::printf("threads: %d\n", solver.resolve_threads());
     std::printf("steps: %d LU + %d QR (%.1f%% LU)\n", fac.stats().lu_steps,
                 fac.stats().qr_steps, 100.0 * fac.stats().lu_fraction());
     std::printf("factor: %.3fs   solve(+%d refinements): %.3fs\n", t_factor,
