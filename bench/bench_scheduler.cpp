@@ -1,0 +1,131 @@
+// bench_scheduler — join-per-step vs continuation scheduling on the
+// task-parallel hybrid driver.
+//
+// Factors a LUQR_TILES x LUQR_TILES tile matrix (default 32x32, nb from
+// LUQR_NB, default 16) with LUQR_THREADS workers (default 8) in both
+// scheduler modes and reports factor time, tasks/second, steal counts, and
+// the decision lookahead depth (how many steps behind the panel task the
+// oldest still-running update is — measured from a traced run, so it is
+// reported separately from the untraced timing runs).
+//
+//   LUQR_TILES    tile rows/cols of the square part    (default 32)
+//   LUQR_NB       tile size                            (default 16)
+//   LUQR_THREADS  worker threads                       (default 8)
+//   LUQR_ALPHA    max-criterion threshold              (default 20)
+//   LUQR_SAMPLES  timed runs per mode                  (default 3)
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace luqr;
+
+struct ModeResult {
+  double best_seconds = 0.0;
+  double tasks_per_sec = 0.0;
+  std::uint64_t tasks = 0;
+  std::uint64_t steals = 0;
+  double lookahead_avg = 0.0;
+  int lookahead_max = 0;
+};
+
+// Decision lookahead from a traced run: for each panel task of step k, the
+// oldest step with a task still unfinished when the panel started.
+void lookahead_from_trace(const std::vector<rt::TraceEvent>& events,
+                          ModeResult* out) {
+  double sum = 0.0;
+  int count = 0;
+  for (const auto& panel : events) {
+    if (panel.name != "panel" || panel.tag <= 0) continue;
+    int oldest = panel.tag;
+    for (const auto& e : events)
+      if (e.tag >= 0 && e.tag < oldest && e.end_us > panel.start_us)
+        oldest = e.tag;
+    const int depth = panel.tag - oldest;
+    sum += depth;
+    out->lookahead_max = std::max(out->lookahead_max, depth);
+    ++count;
+  }
+  out->lookahead_avg = count > 0 ? sum / count : 0.0;
+}
+
+ModeResult run_mode(const Matrix<double>& dense, int nb, int threads,
+                    double alpha, int samples, rt::SubmitMode mode) {
+  ModeResult r;
+  core::HybridOptions opt;
+  opt.grid_p = 4;
+  opt.grid_q = 4;
+
+  rt::SchedulerOptions sched;
+  sched.mode = mode;
+
+  r.best_seconds = 1e30;
+  for (int s = 0; s < samples + 1; ++s) {  // first run is warmup
+    TileMatrix<double> tiles = TileMatrix<double>::from_dense(dense, nb);
+    MaxCriterion criterion(alpha);
+    rt::SchedulerStats stats;
+    Timer timer;
+    rt::parallel_hybrid_factor(tiles, criterion, opt, threads, nullptr, sched,
+                               &stats);
+    const double t = timer.seconds();
+    if (s == 0) continue;
+    r.best_seconds = std::min(r.best_seconds, t);
+    r.tasks = stats.tasks_executed;
+    r.steals = stats.steals;
+  }
+  r.tasks_per_sec = static_cast<double>(r.tasks) / r.best_seconds;
+
+  // Separate traced run for the lookahead analysis (tracing adds per-task
+  // overhead, so it never pollutes the timing above).
+  {
+    TileMatrix<double> tiles = TileMatrix<double>::from_dense(dense, nb);
+    MaxCriterion criterion(alpha);
+    rt::SchedulerOptions traced = sched;
+    traced.trace = true;
+    rt::SchedulerStats stats;
+    rt::parallel_hybrid_factor(tiles, criterion, opt, threads, nullptr, traced,
+                               &stats);
+    lookahead_from_trace(stats.trace, &r);
+  }
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  const int tiles = static_cast<int>(env_long("LUQR_TILES", 32));
+  const int nb = static_cast<int>(env_long("LUQR_NB", 16));
+  const int threads = static_cast<int>(env_long("LUQR_THREADS", 8));
+  const double alpha = static_cast<double>(env_long("LUQR_ALPHA", 20));
+  const int samples = static_cast<int>(env_long("LUQR_SAMPLES", 3));
+  const int n = tiles * nb;
+
+  std::printf("bench_scheduler: %dx%d tiles (N=%d, nb=%d), %d threads, "
+              "max criterion alpha=%g, best of %d\n\n",
+              tiles, tiles, n, nb, threads, alpha, samples);
+
+  const auto dense = luqr::gen::generate(luqr::gen::MatrixKind::Random, n, 7);
+
+  const ModeResult join = run_mode(dense, nb, threads, alpha, samples,
+                                   luqr::rt::SubmitMode::JoinPerStep);
+  const ModeResult cont = run_mode(dense, nb, threads, alpha, samples,
+                                   luqr::rt::SubmitMode::Continuation);
+
+  std::printf("%-16s %10s %12s %10s %10s %10s\n", "mode", "factor(s)",
+              "tasks/sec", "tasks", "steals", "lookahead");
+  std::printf("%-16s %10.4f %12.0f %10llu %10llu %5.1f/%d\n", "join-per-step",
+              join.best_seconds, join.tasks_per_sec,
+              static_cast<unsigned long long>(join.tasks),
+              static_cast<unsigned long long>(join.steals), join.lookahead_avg,
+              join.lookahead_max);
+  std::printf("%-16s %10.4f %12.0f %10llu %10llu %5.1f/%d\n", "continuation",
+              cont.best_seconds, cont.tasks_per_sec,
+              static_cast<unsigned long long>(cont.tasks),
+              static_cast<unsigned long long>(cont.steals), cont.lookahead_avg,
+              cont.lookahead_max);
+  std::printf("\ncontinuation speedup over join-per-step: %.3fx\n",
+              join.best_seconds / cont.best_seconds);
+  return 0;
+}

@@ -35,8 +35,6 @@ void SolverConfig::validate() const {
     LUQR_REQUIRE(variant_ == core::LuVariant::A1,
                  "the Parallel backend implements variant A1 (the paper's "
                  "evaluated variant); use Serial or Auto for A2/B1/B2");
-    LUQR_REQUIRE(!track_growth_,
-                 "growth tracking is only supported by the Serial backend");
   }
   if (has_autotune_) {
     LUQR_REQUIRE(external_ == nullptr,
@@ -80,11 +78,10 @@ Backend Solver::resolve_backend(int n_tiles) const {
     case Backend::Parallel: return Backend::Parallel;
     case Backend::Auto: break;
   }
-  // Auto: the engine only implements A1 without growth tracking, and a
-  // worker pool pays off only with real concurrency and enough tiles for
-  // the trailing updates to overlap the panel's critical path.
-  if (config_.variant() != core::LuVariant::A1 || config_.track_growth())
-    return Backend::Serial;
+  // Auto: the engine only implements A1, and a worker pool pays off only
+  // with real concurrency and enough tiles for the trailing updates to
+  // overlap the panel's critical path.
+  if (config_.variant() != core::LuVariant::A1) return Backend::Serial;
   if (resolve_threads() < 2 || n_tiles < 4) return Backend::Serial;
   return Backend::Parallel;
 }
@@ -103,8 +100,9 @@ core::Factorization Solver::factor(const Matrix<double>& a) const {
 
   TileMatrix<double> tiles = TileMatrix<double>::from_dense(a, nb);
   core::TransformLog log;
-  core::FactorizationStats stats = rt::parallel_hybrid_factor(
-      tiles, *criterion, options, resolve_threads(), &log);
+  core::FactorizationStats stats =
+      rt::parallel_hybrid_factor(tiles, *criterion, options, resolve_threads(),
+                                 &log, config_.scheduler());
   return core::Factorization::adopt(a, std::move(tiles), std::move(stats),
                                     std::move(log), options);
 }
@@ -129,8 +127,8 @@ core::SolveResult Solver::solve(const Matrix<double>& a,
   TileMatrix<double> aug = core::make_augmented(a, b, config_.tile_size());
   core::SolveResult result;
   if (resolve_backend(aug.mt()) == Backend::Parallel) {
-    result.stats =
-        rt::parallel_hybrid_factor(aug, *criterion, options, resolve_threads());
+    result.stats = rt::parallel_hybrid_factor(
+        aug, *criterion, options, resolve_threads(), nullptr, config_.scheduler());
   } else {
     result.stats = core::hybrid_factor(aug, *criterion, options);
   }

@@ -29,14 +29,15 @@
 #include "criteria/criteria.hpp"
 #include "hqr/trees.hpp"
 #include "kernels/dense.hpp"
+#include "runtime/scheduler.hpp"
 
 namespace luqr {
 
 /// Execution backend of a Solver. Serial runs the sequential tiled driver;
 /// Parallel runs the dataflow task engine with a worker pool; Auto picks
-/// Parallel when the configuration supports it (variant A1, no growth
-/// tracking), more than one hardware thread is available, and the problem
-/// has enough tiles to keep the workers busy.
+/// Parallel when the configuration supports it (variant A1), more than one
+/// hardware thread is available, and the problem has enough tiles to keep
+/// the workers busy.
 enum class Backend { Serial, Parallel, Auto };
 
 /// Validated, builder-style configuration for luqr::Solver. Every setter
@@ -116,6 +117,14 @@ class SolverConfig {
     track_growth_ = on;
     return *this;
   }
+  /// Scheduling knobs for the Parallel backend: continuation vs
+  /// join-per-step submission, critical-path priorities, and the per-task
+  /// timing trace (rt::SchedulerOptions::trace_path writes a Chrome-tracing
+  /// JSON file after each parallel factorization).
+  SolverConfig& scheduler(const rt::SchedulerOptions& s) {
+    scheduler_ = s;
+    return *this;
+  }
 
   const CriterionSpec& criterion() const { return criterion_; }
   Criterion* external_criterion() const { return external_; }
@@ -132,6 +141,7 @@ class SolverConfig {
   double autotune_target_lu_fraction() const { return autotune_target_; }
   bool exact_inv_norm() const { return exact_inv_norm_; }
   bool track_growth() const { return track_growth_; }
+  const rt::SchedulerOptions& scheduler() const { return scheduler_; }
 
   /// Adopt every knob a low-level HybridOptions carries (used by the
   /// delegating free-function wrappers).
@@ -139,8 +149,8 @@ class SolverConfig {
   /// Project the config back onto the low-level driver options.
   core::HybridOptions hybrid_options() const;
 
-  /// Cross-field validation: the Parallel backend implements variant A1
-  /// without growth tracking; auto-tuning needs a tunable criterion spec.
+  /// Cross-field validation: the Parallel backend implements variant A1;
+  /// auto-tuning needs a tunable criterion spec.
   void validate() const;
 
  private:
@@ -158,6 +168,7 @@ class SolverConfig {
   bool has_autotune_ = false;
   bool exact_inv_norm_ = false;
   bool track_growth_ = false;
+  rt::SchedulerOptions scheduler_{};
 };
 
 /// Session-style entry point: configure once, then factor / solve any number

@@ -11,9 +11,6 @@
 
 namespace luqr::core {
 
-namespace {
-
-// Max tile 1-norm over the square trailing submatrix rows/cols >= k.
 double max_trailing_tile_norm(const TileMatrix<double>& a, int k) {
   double best = 0.0;
   for (int j = k; j < a.mt(); ++j)
@@ -21,6 +18,8 @@ double max_trailing_tile_norm(const TileMatrix<double>& a, int k) {
       best = std::max(best, kern::lange(kern::Norm::One, a.tile(i, j)));
   return best;
 }
+
+namespace {
 
 std::vector<int> rows_for_scope(const ProcessGrid& grid, PivotScope scope, int k,
                                 int n) {

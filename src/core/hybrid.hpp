@@ -110,4 +110,9 @@ void back_substitute(TileMatrix<double>& a,
 
 std::string to_string(StepKind k);
 
+/// Max tile 1-norm over the square trailing submatrix rows/cols >= k — the
+/// quantity whose step-over-step ratio is the growth factor both drivers
+/// report under HybridOptions::track_growth.
+double max_trailing_tile_norm(const TileMatrix<double>& a, int k);
+
 }  // namespace luqr::core

@@ -1,15 +1,31 @@
 #include <algorithm>
+#include <cstdio>
 
 #include "common/error.hpp"
 #include "runtime/engine.hpp"
 
 namespace luqr::rt {
 
-Engine::Engine(int num_threads) {
+namespace {
+
+// Which engine (if any) the current thread is a worker of. Submissions from
+// a worker go to its own deque (LIFO); everything else goes to inject_.
+thread_local Engine* t_engine = nullptr;
+thread_local int t_worker = -1;
+
+}  // namespace
+
+Engine::Engine(int num_threads, EngineOptions options)
+    : tracing_(options.trace), start_(std::chrono::steady_clock::now()) {
   LUQR_REQUIRE(num_threads > 0, "engine needs at least one worker");
   workers_.reserve(static_cast<std::size_t>(num_threads));
   for (int t = 0; t < num_threads; ++t)
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.push_back(std::make_unique<Worker>());
+  // Threads start only after every Worker exists: the steal scan walks all
+  // of workers_.
+  for (int t = 0; t < num_threads; ++t)
+    workers_[static_cast<std::size_t>(t)]->thread =
+        std::thread([this, t] { worker_loop(t); });
 }
 
 Engine::~Engine() {
@@ -21,105 +37,225 @@ Engine::~Engine() {
     shutdown_ = true;
   }
   ready_cv_.notify_all();
-  for (auto& w : workers_) w.join();
+  for (auto& w : workers_) w->thread.join();
+}
+
+std::uint64_t Engine::now_us() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start_)
+          .count());
+}
+
+void Engine::push_ready(Task* task, std::size_t* pushed) {
+  if (task->priority > 0) {
+    SharedQueue& lane = high_[task->priority >= 2 ? 1 : 0];
+    std::lock_guard<std::mutex> lk(lane.mu);
+    lane.ready.push_back(task);
+    high_count_.fetch_add(1, std::memory_order_relaxed);
+  } else if (t_engine == this && t_worker >= 0) {
+    Worker& self = *workers_[static_cast<std::size_t>(t_worker)];
+    std::lock_guard<std::mutex> lk(self.mu);
+    self.ready.push_back(task);  // LIFO for the owner
+  } else {
+    std::lock_guard<std::mutex> lk(inject_.mu);
+    inject_.ready.push_back(task);
+  }
+  ready_count_.fetch_add(1, std::memory_order_relaxed);
+  ++*pushed;
 }
 
 TaskId Engine::submit(std::function<void()> fn, const std::vector<Dep>& deps,
-                      std::string name) {
-  std::unique_lock<std::mutex> lock(mu_);
-  const TaskId id = next_id_++;
-  Task& task = tasks_[id];
-  task.fn = std::move(fn);
-  task.name = std::move(name);
-  ++outstanding_;
+                      TaskAttrs attrs) {
+  std::size_t pushed = 0;
+  TaskId id = 0;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    id = next_id_++;
+    Task& task = tasks_[id];
+    task.id = id;
+    task.fn = std::move(fn);
+    task.name = std::move(attrs.name);
+    task.priority = std::min(std::max(attrs.priority, 0), 2);
+    task.tag = attrs.tag;
+    task.keys.reserve(deps.size());
+    ++outstanding_;
 
-  // Infer predecessors from the access history of each datum. A duplicate
-  // predecessor only inflates the counter symmetrically (the successor edge
-  // is added once per inference), so we de-duplicate locally.
-  std::vector<TaskId> preds;
-  auto add_pred = [&](TaskId p) {
-    if (p == 0) return;
-    auto it = tasks_.find(p);
-    if (it == tasks_.end() || it->second.done) return;
-    if (std::find(preds.begin(), preds.end(), p) != preds.end()) return;
-    preds.push_back(p);
-  };
+    // Infer predecessors from the access history of each datum. Retired
+    // (completed) predecessors are simply absent from tasks_. A duplicate
+    // predecessor only inflates the counter symmetrically (the successor
+    // edge is added once per inference), so we de-duplicate locally.
+    std::vector<TaskId> preds;
+    auto add_pred = [&](TaskId p) {
+      if (p == 0 || p == id) return;
+      if (tasks_.find(p) == tasks_.end()) return;  // completed and retired
+      if (std::find(preds.begin(), preds.end(), p) != preds.end()) return;
+      preds.push_back(p);
+    };
 
-  for (const Dep& d : deps) {
-    DataState& st = data_[d.key];
-    if (d.mode == Access::Read) {
-      if (st.has_writer) add_pred(st.last_writer);
-      st.readers.push_back(id);
-    } else {
-      // Write / ReadWrite: after the last writer and every reader since.
-      if (st.has_writer) add_pred(st.last_writer);
-      for (TaskId r : st.readers)
-        if (r != id) add_pred(r);
-      st.readers.clear();
-      st.last_writer = id;
-      st.has_writer = true;
+    for (const Dep& d : deps) {
+      task.keys.push_back(d.key);
+      DataState& st = data_[d.key];
+      if (d.mode == Access::Read) {
+        if (st.has_writer) add_pred(st.last_writer);
+        st.readers.push_back(id);
+      } else {
+        // Write / ReadWrite: after the last writer and every reader since.
+        if (st.has_writer) add_pred(st.last_writer);
+        for (TaskId r : st.readers)
+          if (r != id) add_pred(r);
+        st.readers.clear();
+        st.last_writer = id;
+        st.has_writer = true;
+      }
     }
-  }
 
-  task.unresolved = static_cast<int>(preds.size());
-  for (TaskId p : preds) tasks_[p].successors.push_back(id);
+    task.unresolved = static_cast<int>(preds.size());
+    for (TaskId p : preds) tasks_[p].successors.push_back(id);
 
-  if (task.unresolved == 0) {
-    ready_.push_back(id);
-    lock.unlock();
-    ready_cv_.notify_one();
+    if (task.unresolved == 0) push_ready(&task, &pushed);
   }
+  if (pushed > 0) ready_cv_.notify_one();
   return id;
 }
 
-void Engine::worker_loop() {
+Engine::Task* Engine::try_pop(int self) {
+  if (ready_count_.load(std::memory_order_relaxed) <= 0) return nullptr;
+  // 1. Priority lanes, highest first (FIFO within a lane).
+  if (high_count_.load(std::memory_order_relaxed) > 0) {
+    for (int lane = 1; lane >= 0; --lane) {
+      std::lock_guard<std::mutex> lk(high_[lane].mu);
+      if (!high_[lane].ready.empty()) {
+        Task* t = high_[lane].ready.front();
+        high_[lane].ready.pop_front();
+        high_count_.fetch_sub(1, std::memory_order_relaxed);
+        ready_count_.fetch_sub(1, std::memory_order_relaxed);
+        return t;
+      }
+    }
+  }
+  // 2. Own deque, LIFO (depth-first: freshest continuation work, warm tiles).
+  {
+    Worker& me = *workers_[static_cast<std::size_t>(self)];
+    std::lock_guard<std::mutex> lk(me.mu);
+    if (!me.ready.empty()) {
+      Task* t = me.ready.back();
+      me.ready.pop_back();
+      ready_count_.fetch_sub(1, std::memory_order_relaxed);
+      return t;
+    }
+  }
+  // 3. External submissions, FIFO.
+  {
+    std::lock_guard<std::mutex> lk(inject_.mu);
+    if (!inject_.ready.empty()) {
+      Task* t = inject_.ready.front();
+      inject_.ready.pop_front();
+      ready_count_.fetch_sub(1, std::memory_order_relaxed);
+      return t;
+    }
+  }
+  // 4. Steal, FIFO from the victim's front (the oldest — and for LIFO
+  //    owners, least cache-warm — task).
+  const int n = static_cast<int>(workers_.size());
+  for (int i = 1; i < n; ++i) {
+    Worker& victim = *workers_[static_cast<std::size_t>((self + i) % n)];
+    std::lock_guard<std::mutex> lk(victim.mu);
+    if (!victim.ready.empty()) {
+      Task* t = victim.ready.front();
+      victim.ready.pop_front();
+      ready_count_.fetch_sub(1, std::memory_order_relaxed);
+      steals_.fetch_add(1, std::memory_order_relaxed);
+      return t;
+    }
+  }
+  return nullptr;
+}
+
+void Engine::worker_loop(int self) {
+  t_engine = this;
+  t_worker = self;
   for (;;) {
-    TaskId id = 0;
-    std::function<void()> fn;
-    {
+    Task* task = try_pop(self);
+    if (task == nullptr) {
       std::unique_lock<std::mutex> lock(mu_);
-      ready_cv_.wait(lock, [this] { return shutdown_ || !ready_.empty(); });
-      if (ready_.empty()) return;  // shutdown with drained queue
-      id = ready_.front();
-      ready_.pop_front();
-      fn = std::move(tasks_[id].fn);
+      ready_cv_.wait(lock, [this] {
+        return shutdown_ || ready_count_.load(std::memory_order_relaxed) > 0;
+      });
+      if (shutdown_ && ready_count_.load(std::memory_order_relaxed) <= 0)
+        return;
+      continue;
     }
-    try {
-      fn();
-    } catch (...) {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (!first_error_) first_error_ = std::current_exception();
-    }
-    finish_task(id);
+    run_task(task, self);
   }
 }
 
-void Engine::finish_task(TaskId id) {
-  std::vector<TaskId> now_ready;
+void Engine::run_task(Task* task, int self) {
+  // Once popped, the task's fn/name/tag are exclusively ours; only
+  // `successors` may still be appended to concurrently (under mu_).
+  std::function<void()> fn = std::move(task->fn);
+  TraceEvent ev;
+  if (tracing_) {
+    ev.name = task->name;
+    ev.tag = task->tag;
+    ev.priority = task->priority;
+    ev.worker = self;
+    ev.start_us = now_us();
+  }
+  try {
+    fn();
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!first_error_) first_error_ = std::current_exception();
+  }
+  if (tracing_) {
+    ev.end_us = now_us();
+    workers_[static_cast<std::size_t>(self)]->events.push_back(std::move(ev));
+  }
+  finish_task(task);
+}
+
+void Engine::finish_task(Task* task) {
+  std::size_t pushed = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    Task& task = tasks_[id];
-    task.done = true;
-    task.fn = nullptr;
-    for (TaskId s : task.successors) {
-      Task& succ = tasks_[s];
-      if (--succ.unresolved == 0) now_ready.push_back(s);
+    // Retire the graph node first (the node handle keeps `task` alive to
+    // the end of this block), so prune_datum and add_pred treat this id as
+    // completed.
+    auto node = tasks_.extract(task->id);
+    for (TaskId s : task->successors) {
+      Task& succ = tasks_.at(s);
+      if (--succ.unresolved == 0) push_ready(&succ, &pushed);
     }
-    task.successors.clear();
-    for (TaskId r : now_ready) ready_.push_back(r);
+    for (const void* key : task->keys) prune_datum(key, task->id);
     --outstanding_;
     ++executed_;
   }
-  if (!now_ready.empty()) ready_cv_.notify_all();
+  if (pushed == 1)
+    ready_cv_.notify_one();
+  else if (pushed > 1)
+    ready_cv_.notify_all();
   done_cv_.notify_all();
+}
+
+void Engine::prune_datum(const void* key, TaskId finished) {
+  auto it = data_.find(key);
+  if (it == data_.end()) return;
+  DataState& st = it->second;
+  st.readers.erase(std::remove(st.readers.begin(), st.readers.end(), finished),
+                   st.readers.end());
+  // The entry only matters while a future submit could infer an edge from
+  // it: a live reader (write-after-read) or a live writer (read/write-after-
+  // write). Once every referenced task has retired, drop the history.
+  const bool writer_live = st.has_writer && tasks_.count(st.last_writer) != 0;
+  if (st.readers.empty() && !writer_live) data_.erase(it);
 }
 
 void Engine::wait(TaskId id) {
   std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [this, id] {
-    auto it = tasks_.find(id);
-    return it == tasks_.end() || it->second.done;
-  });
+  // Completed tasks are retired from tasks_, so absence means done (ids
+  // never submitted also return immediately, as before).
+  done_cv_.wait(lock, [this, id] { return tasks_.find(id) == tasks_.end(); });
 }
 
 void Engine::wait_all() {
@@ -136,6 +272,68 @@ void Engine::wait_all() {
 std::uint64_t Engine::tasks_executed() const {
   std::lock_guard<std::mutex> lock(mu_);
   return executed_;
+}
+
+std::size_t Engine::live_tasks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tasks_.size();
+}
+
+std::size_t Engine::tracked_data() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return data_.size();
+}
+
+std::vector<TraceEvent> Engine::trace() const {
+  // Requires quiescence: worker event buffers are only synchronized through
+  // each task's finish (mu_), so call after wait_all().
+  std::vector<TraceEvent> all;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& w : workers_)
+      all.insert(all.end(), w->events.begin(), w->events.end());
+  }
+  std::sort(all.begin(), all.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.start_us < b.start_us;
+            });
+  return all;
+}
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (static_cast<unsigned char>(c) < 0x20) continue;  // drop control chars
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+void Engine::write_chrome_trace(const std::string& path) const {
+  const std::vector<TraceEvent> events = trace();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  LUQR_REQUIRE(f != nullptr, "cannot open trace file: " + path);
+  std::fputs("[\n", f);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    const std::string name = json_escape(e.name);
+    std::fprintf(f,
+                 "{\"name\":\"%s\",\"cat\":\"task\",\"ph\":\"X\",\"ts\":%llu,"
+                 "\"dur\":%llu,\"pid\":0,\"tid\":%d,"
+                 "\"args\":{\"tag\":%d,\"priority\":%d}}%s\n",
+                 name.c_str(), static_cast<unsigned long long>(e.start_us),
+                 static_cast<unsigned long long>(e.end_us - e.start_us),
+                 e.worker, e.tag, e.priority,
+                 i + 1 < events.size() ? "," : "");
+  }
+  std::fputs("]\n", f);
+  std::fclose(f);
 }
 
 }  // namespace luqr::rt

@@ -8,22 +8,44 @@
 // a task that writes a tile runs after every earlier task that read or wrote
 // it; readers of a tile run after its last writer.
 //
-// The hybrid driver (parallel_hybrid.cpp) re-creates the paper's
-// Backup-Panel -> LU-On-Panel -> decision -> {LU | restore + QR} structure
-// on top: the submitting thread waits only on each step's panel/decision
-// task while the workers keep draining the previous steps' trailing updates,
-// which is exactly the overlap PaRSEC extracts.
+// Scheduling model:
+//   - Each worker owns a ready deque: tasks that become ready on a worker
+//     (successors it unblocks, or tasks it submits from inside a running
+//     task) are pushed to its own deque and popped LIFO for cache locality;
+//     idle workers steal from other deques FIFO (oldest task first).
+//   - Tasks submitted from non-worker threads land in a shared injection
+//     queue, drained FIFO.
+//   - Tasks carry a priority (0..2); ready tasks with priority > 0 go to
+//     shared high-priority lanes that every worker checks before its own
+//     deque, so critical-path work (the hybrid driver's panel/decision
+//     tasks) overtakes bulk trailing updates.
+//   - submit() is safe from inside a running task (continuations): the
+//     hybrid driver's Propagate task decides LU-vs-QR and submits the next
+//     step's graph without the submitting thread ever joining.
+//   - Completed tasks are retired: their graph node is erased and the
+//     per-datum access history is pruned, so engine memory is O(live
+//     frontier), not O(total tasks submitted) — essential for solve-many
+//     workloads that keep a factorization's engine busy for a long time.
+//   - With EngineOptions::trace set, every executed task records
+//     {name, tag, priority, worker, start, end}; write_chrome_trace()
+//     exports the Chrome-tracing JSON ("chrome://tracing" / Perfetto).
 //
-// Thread-safety: submit/wait may be called from any thread; task functions
-// must confine themselves to their declared accesses (unchecked, as in every
-// runtime of this family).
+// Thread-safety: submit/wait may be called from any thread, including from
+// inside running tasks; wait() must not be called from inside a task for an
+// id that has not yet run (the waiting worker would never drain it). Task
+// functions must confine themselves to their declared accesses (unchecked,
+// as in every runtime of this family). trace()/write_chrome_trace() require
+// a quiescent engine (call after wait_all()).
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -44,21 +66,54 @@ struct Dep {
 
 using TaskId = std::uint64_t;
 
+/// Optional task attributes: a display name for traces, a scheduling
+/// priority (0 = bulk work, higher runs earlier; clamped to [0, 2]), and a
+/// caller-defined tag recorded in the trace (the hybrid driver tags every
+/// task with its step index k, which is what the lookahead-depth analysis
+/// in bench_scheduler reads back).
+struct TaskAttrs {
+  std::string name;
+  int priority = 0;
+  int tag = -1;
+
+  TaskAttrs() = default;
+  TaskAttrs(std::string name_, int priority_ = 0, int tag_ = -1)
+      : name(std::move(name_)), priority(priority_), tag(tag_) {}
+  TaskAttrs(const char* name_) : name(name_) {}  // NOLINT: implicit by design
+};
+
+/// One executed task, as recorded when tracing is enabled. Times are
+/// microseconds since engine construction.
+struct TraceEvent {
+  std::string name;
+  int tag = -1;
+  int priority = 0;
+  int worker = 0;
+  std::uint64_t start_us = 0;
+  std::uint64_t end_us = 0;
+};
+
+struct EngineOptions {
+  bool trace = false;  ///< record a TraceEvent per executed task
+};
+
 /// Dataflow engine with a fixed worker pool.
 class Engine {
  public:
-  explicit Engine(int num_threads);
+  explicit Engine(int num_threads, EngineOptions options = {});
   ~Engine();  // drains all tasks, then joins the workers
 
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
   /// Insert a task. It becomes ready once every inferred predecessor has
-  /// completed. Returns an id usable with wait().
+  /// completed. Returns an id usable with wait(). Callable from any thread,
+  /// including from inside a running task.
   TaskId submit(std::function<void()> fn, const std::vector<Dep>& deps,
-                std::string name = {});
+                TaskAttrs attrs = {});
 
-  /// Block until the given task has completed.
+  /// Block until the given task has completed (ids of retired tasks return
+  /// immediately). Must not be called from inside a task.
   void wait(TaskId id);
 
   /// Block until every submitted task has completed. If any task threw, the
@@ -70,14 +125,29 @@ class Engine {
 
   /// Total tasks executed so far (telemetry for tests/benches).
   std::uint64_t tasks_executed() const;
+  /// Ready tasks taken from another worker's deque (telemetry).
+  std::uint64_t steals() const { return steals_.load(std::memory_order_relaxed); }
+  /// Graph nodes not yet retired (0 once quiescent — memory is O(frontier)).
+  std::size_t live_tasks() const;
+  /// Per-datum access histories not yet pruned.
+  std::size_t tracked_data() const;
+
+  /// All recorded trace events, merged across workers and sorted by start
+  /// time. Requires a quiescent engine (call after wait_all()).
+  std::vector<TraceEvent> trace() const;
+  /// Write the recorded events as Chrome-tracing JSON. Quiescent only.
+  void write_chrome_trace(const std::string& path) const;
 
  private:
   struct Task {
+    TaskId id = 0;
     std::function<void()> fn;
     std::string name;
+    int priority = 0;
+    int tag = -1;
     int unresolved = 0;
-    bool done = false;
     std::vector<TaskId> successors;
+    std::vector<const void*> keys;  // declared data, for pruning at retirement
   };
 
   // Last-writer / readers-since-last-write tracking per datum.
@@ -87,13 +157,34 @@ class Engine {
     std::vector<TaskId> readers;
   };
 
-  void worker_loop();
-  void finish_task(TaskId id);
+  struct Worker {
+    std::mutex mu;
+    std::deque<Task*> ready;  // owner: push/pop back (LIFO); thief: pop front
+    std::vector<TraceEvent> events;
+    std::thread thread;
+  };
 
-  mutable std::mutex mu_;
+  struct SharedQueue {
+    std::mutex mu;
+    std::deque<Task*> ready;  // FIFO
+  };
+
+  void worker_loop(int self);
+  Task* try_pop(int self);
+  void run_task(Task* task, int self);
+  void finish_task(Task* task);
+  // Route a ready task to the right queue. Caller must hold mu_ (that is
+  // what makes the ready_count_ increment visible to the sleep predicate).
+  void push_ready(Task* task, std::size_t* pushed);
+  // Drop `finished` from one datum's history; erase the whole entry once no
+  // live task references it. Caller must hold mu_, with `finished` already
+  // removed from tasks_.
+  void prune_datum(const void* key, TaskId finished);
+  std::uint64_t now_us() const;
+
+  mutable std::mutex mu_;             // graph state: tasks_, data_, counters
   std::condition_variable ready_cv_;  // workers: work available / shutdown
   std::condition_variable done_cv_;   // waiters: task/all done
-  std::deque<TaskId> ready_;
   std::unordered_map<TaskId, Task> tasks_;
   std::unordered_map<const void*, DataState> data_;
   TaskId next_id_ = 1;
@@ -101,7 +192,15 @@ class Engine {
   std::uint64_t executed_ = 0;
   bool shutdown_ = false;
   std::exception_ptr first_error_;
-  std::vector<std::thread> workers_;
+
+  SharedQueue inject_;   // submissions from non-worker threads
+  SharedQueue high_[2];  // priority lanes: [1] = priority 2, [0] = priority 1
+  std::atomic<int> high_count_{0};
+  std::atomic<long long> ready_count_{0};
+  std::atomic<std::uint64_t> steals_{0};
+  bool tracing_ = false;
+  std::chrono::steady_clock::time_point start_;
+  std::vector<std::unique_ptr<Worker>> workers_;
 };
 
 }  // namespace luqr::rt

@@ -1,10 +1,12 @@
+#include <atomic>
 #include <memory>
 #include <utility>
 
-#include "core/lu_step.hpp"
+#include "core/hybrid.hpp"
 #include "core/panel.hpp"
 #include "hqr/trees.hpp"
 #include "kernels/lapack.hpp"
+#include "kernels/norms.hpp"
 #include "runtime/engine.hpp"
 #include "runtime/parallel_hybrid.hpp"
 #include "tile/process_grid.hpp"
@@ -24,9 +26,10 @@ using kern::Uplo;
 
 namespace {
 
-// Everything one step's tasks reference after the submitting thread has
-// moved on: the panel factorization, the backup, the decision, and the QR
-// block-reflector factors. Kept alive until the engine drains.
+// Everything one step's tasks reference after control has moved on: the
+// panel factorization, the backup, the decision, the QR block-reflector
+// factors, and (track_growth) the running max over the final value of each
+// trailing tile. Kept alive until the engine drains.
 struct StepContext {
   PanelFactorization pf;
   std::vector<std::vector<double>> backup;
@@ -36,6 +39,53 @@ struct StepContext {
   // Shared with the TransformLog when one is kept: the tasks fill these in,
   // the log's QrOps reference the same storage.
   std::vector<std::shared_ptr<Matrix<double>>> t_factors;
+  // track_growth: max tile 1-norm over the trailing submatrix (rows/cols
+  // >= k+1) *after* this step, reduced task-by-task: every update task that
+  // performs the final write of a trailing tile contributes that tile's
+  // norm. The contributions are bitwise the values the sequential driver's
+  // full sweep reads, and max is order-insensitive, so the reduced growth
+  // factor matches the sequential one exactly.
+  std::atomic<double> step_max{0.0};
+};
+
+void atomic_max(std::atomic<double>& m, double v) {
+  double cur = m.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !m.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+// Shared state of one factorization run. Tasks capture a pointer to this;
+// it outlives them (parallel_hybrid_factor drains the engine before
+// returning). `engine` is the last member so it is destroyed first.
+struct Driver {
+  TileMatrix<double>& a;
+  Criterion& criterion;
+  const HybridOptions& options;
+  SchedulerOptions sched;
+  ProcessGrid grid;
+  int n;                      // tile rows of the square part
+  bool growth;                // options.track_growth
+  double initial_max = 0.0;   // growth baseline: max tile norm of A
+  FactorizationStats stats;   // appended to by the decision chain, in k order
+  core::TransformLog* log = nullptr;
+  std::vector<std::unique_ptr<StepContext>> steps;
+  Engine engine;
+
+  Driver(TileMatrix<double>& a_, Criterion& criterion_,
+         const HybridOptions& options_, const SchedulerOptions& sched_,
+         int num_threads)
+      : a(a_),
+        criterion(criterion_),
+        options(options_),
+        sched(sched_),
+        grid(options_.grid_p, options_.grid_q),
+        n(a_.mt()),
+        growth(options_.track_growth),
+        steps(static_cast<std::size_t>(a_.mt())),
+        engine(num_threads, EngineOptions{sched_.trace}) {}
+
+  int prio(int level) const { return sched.priorities ? level : 0; }
 };
 
 // Swap the trailing tiles of column j according to the stacked pivots.
@@ -53,83 +103,94 @@ void swap_column(TileMatrix<double>& a, const PanelFactorization& pf, int j) {
   }
 }
 
-void submit_lu_step(Engine& engine, TileMatrix<double>& a, StepContext& ctx) {
+void submit_lu_step(Driver& d, StepContext& ctx) {
+  TileMatrix<double>& a = d.a;
   const int k = ctx.pf.k;
-  const int n = a.mt();
+  const int n = d.n;
   const int nt = a.nt();
+  const bool growth = d.growth;
+  StepContext* c = &ctx;
   std::vector<bool> in_domain(static_cast<std::size_t>(n), false);
   for (int r : ctx.pf.domain_rows) in_domain[static_cast<std::size_t>(r)] = true;
 
-  // Per-column swap + apply (SWPTRSM on the diagonal row).
+  // Per-column swap + apply (SWPTRSM on the diagonal row). Column k+1 is
+  // on the critical path to the next panel.
   for (int j = k + 1; j < nt; ++j) {
     std::vector<Dep> deps;
     for (int r : ctx.pf.domain_rows) deps.push_back({a.tile(r, j).data, Access::ReadWrite});
     deps.push_back({a.tile(k, k).data, Access::Read});
-    engine.submit(
-        [&a, &ctx, j, k] {
-          swap_column(a, ctx.pf, j);
+    d.engine.submit(
+        [&a, c, j, k] {
+          swap_column(a, c->pf, j);
           auto akj = a.tile(k, j);
           kern::trsm(Side::Left, Uplo::Lower, Trans::No, Diag::Unit, 1.0,
                      ConstMatrixView<double>(a.tile(k, k)), akj);
         },
-        deps, "swptrsm");
+        deps, {"swptrsm", d.prio(j == k + 1 ? 1 : 0), k});
   }
-  // Eliminate non-domain rows.
+  // Eliminate non-domain rows (every next-column GEMM needs its row's
+  // eliminate, so these are critical-path too).
   for (int i = k + 1; i < n; ++i) {
     if (in_domain[static_cast<std::size_t>(i)]) continue;
-    engine.submit(
+    d.engine.submit(
         [&a, i, k] {
           auto aik = a.tile(i, k);
           kern::trsm(Side::Right, Uplo::Upper, Trans::No, Diag::NonUnit, 1.0,
                      ConstMatrixView<double>(a.tile(k, k)), aik);
         },
         {{a.tile(i, k).data, Access::ReadWrite}, {a.tile(k, k).data, Access::Read}},
-        "trsm");
+        {"trsm", d.prio(1), k});
   }
-  // Embarrassingly parallel trailing update.
+  // Embarrassingly parallel trailing update. The GEMM is the final writer
+  // of trailing tile (i, j) in this step, so it contributes the growth term.
   for (int i = k + 1; i < n; ++i) {
     for (int j = k + 1; j < nt; ++j) {
-      engine.submit(
-          [&a, i, j, k] {
+      d.engine.submit(
+          [&a, c, i, j, k, n, growth] {
             auto aij = a.tile(i, j);
             kern::gemm(Trans::No, Trans::No, -1.0,
                        ConstMatrixView<double>(a.tile(i, k)),
                        ConstMatrixView<double>(a.tile(k, j)), 1.0, aij);
+            if (growth && j < n)
+              atomic_max(c->step_max,
+                         kern::lange(kern::Norm::One,
+                                     ConstMatrixView<double>(aij)));
           },
           {{a.tile(i, j).data, Access::ReadWrite},
            {a.tile(i, k).data, Access::Read},
            {a.tile(k, j).data, Access::Read}},
-          "gemm");
+          {"gemm", d.prio(j == k + 1 ? 1 : 0), k});
     }
   }
 }
 
-void submit_qr_step(Engine& engine, TileMatrix<double>& a, StepContext& ctx,
-                    const ProcessGrid& grid, const hqr::TreeConfig& tree,
-                    core::StepLog* step_log) {
+void submit_qr_step(Driver& d, StepContext& ctx, core::StepLog* step_log) {
+  TileMatrix<double>& a = d.a;
   const int k = ctx.pf.k;
-  const int n = a.mt();
+  const int n = d.n;
   const int nb = a.nb();
   const int nt = a.nt();
+  const bool growth = d.growth;
+  StepContext* c = &ctx;
 
   // Restore the panel (Propagate's QR branch).
   {
     std::vector<Dep> deps;
     for (int r : ctx.pf.domain_rows) deps.push_back({a.tile(r, k).data, Access::ReadWrite});
-    engine.submit(
-        [&a, &ctx, k, nb] {
-          for (std::size_t t = 0; t < ctx.pf.domain_rows.size(); ++t) {
-            auto tile = a.tile(ctx.pf.domain_rows[t], k);
-            const auto& buf = ctx.backup[t];
+    d.engine.submit(
+        [&a, c, k, nb] {
+          for (std::size_t t = 0; t < c->pf.domain_rows.size(); ++t) {
+            auto tile = a.tile(c->pf.domain_rows[t], k);
+            const auto& buf = c->backup[t];
             for (int j = 0; j < nb; ++j)
               for (int i = 0; i < nb; ++i)
                 tile(i, j) = buf[static_cast<std::size_t>(j) * nb + i];
           }
         },
-        deps, "restore");
+        deps, {"restore", d.prio(1), k});
   }
 
-  const auto list = hqr::elimination_list(grid.panel_domains(k, n), tree);
+  const auto list = hqr::elimination_list(d.grid.panel_domains(k, n), d.options.tree);
 
   // Allocate the block-reflector factors up front, walking the elimination
   // list in the sequential driver's order (lazy GEQRT of killers/TT
@@ -163,12 +224,12 @@ void submit_qr_step(Engine& engine, TileMatrix<double>& a, StepContext& ctx,
   for (int row = k; row < n; ++row) {
     if (!needs_geqrt[static_cast<std::size_t>(row)]) continue;
     Matrix<double>* t = row_t[static_cast<std::size_t>(row)];
-    engine.submit(
+    d.engine.submit(
         [&a, row, k, t] { kern::geqrt(a.tile(row, k), t->view()); },
         {{a.tile(row, k).data, Access::ReadWrite}, {t->data(), Access::Write}},
-        "geqrt");
+        {"geqrt", d.prio(1), k});
     for (int j = k + 1; j < nt; ++j) {
-      engine.submit(
+      d.engine.submit(
           [&a, row, j, k, t] {
             kern::unmqr(Trans::Yes, ConstMatrixView<double>(a.tile(row, k)),
                         t->cview(), a.tile(row, j));
@@ -176,7 +237,7 @@ void submit_qr_step(Engine& engine, TileMatrix<double>& a, StepContext& ctx,
           {{a.tile(row, j).data, Access::ReadWrite},
            {a.tile(row, k).data, Access::Read},
            {t->data(), Access::Read}},
-          "unmqr");
+          {"unmqr", d.prio(j == k + 1 ? 1 : 0), k});
     }
   }
 
@@ -184,7 +245,7 @@ void submit_qr_step(Engine& engine, TileMatrix<double>& a, StepContext& ctx,
     const auto& e = list[ei];
     Matrix<double>* t = elim_t[ei];
     const bool ts = e.kernel == hqr::ElimKernel::TS;
-    engine.submit(
+    d.engine.submit(
         [&a, e, k, t, ts] {
           if (ts) {
             kern::tsqrt(a.tile(e.killer, k), a.tile(e.killed, k), t->view());
@@ -195,10 +256,14 @@ void submit_qr_step(Engine& engine, TileMatrix<double>& a, StepContext& ctx,
         {{a.tile(e.killer, k).data, Access::ReadWrite},
          {a.tile(e.killed, k).data, Access::ReadWrite},
          {t->data(), Access::Write}},
-        ts ? "tsqrt" : "ttqrt");
+        {ts ? "tsqrt" : "ttqrt", d.prio(1), k});
     for (int j = k + 1; j < nt; ++j) {
-      engine.submit(
-          [&a, e, j, k, t, ts] {
+      // A row is killed exactly once and never reappears in the list, so
+      // this update performs the final write of tile (killed, j) this step
+      // — the growth contribution. (Killer rows > k get their final write
+      // where they are later killed; row k is outside the trailing block.)
+      d.engine.submit(
+          [&a, c, e, j, k, n, t, ts, growth] {
             if (ts) {
               kern::tsmqr(Trans::Yes, ConstMatrixView<double>(a.tile(e.killed, k)),
                           t->cview(), a.tile(e.killer, j), a.tile(e.killed, j));
@@ -206,14 +271,102 @@ void submit_qr_step(Engine& engine, TileMatrix<double>& a, StepContext& ctx,
               kern::ttmqr(Trans::Yes, ConstMatrixView<double>(a.tile(e.killed, k)),
                           t->cview(), a.tile(e.killer, j), a.tile(e.killed, j));
             }
+            if (growth && j < n)
+              atomic_max(c->step_max,
+                         kern::lange(kern::Norm::One,
+                                     ConstMatrixView<double>(a.tile(e.killed, j))));
           },
           {{a.tile(e.killer, j).data, Access::ReadWrite},
            {a.tile(e.killed, j).data, Access::ReadWrite},
            {a.tile(e.killed, k).data, Access::Read},
            {t->data(), Access::Read}},
-          ts ? "tsmqr" : "ttmqr");
+          {ts ? "tsmqr" : "ttmqr", d.prio(j == k + 1 ? 1 : 0), k});
     }
   }
+}
+
+TaskId submit_step(Driver& d, int k);
+
+// The post-decision half of the paper's Propagate task: record the step,
+// fan out the LU or QR update graph, and (Continuation mode) submit the
+// next step's panel. Runs inside the panel task in Continuation mode, on
+// the submitting thread in JoinPerStep mode — the code path is identical,
+// which is what keeps the two modes (and the sequential driver) bitwise
+// interchangeable.
+void record_and_submit(Driver& d, int k) {
+  StepContext* c = d.steps[static_cast<std::size_t>(k)].get();
+
+  StepRecord rec;
+  rec.k = k;
+  rec.kind = c->lu ? StepKind::LU : StepKind::QR;
+  rec.variant = d.options.variant;
+  rec.inv_norm_akk = c->pf.stats.inv_norm_akk;
+  for (double nrm : c->pf.stats.below_tile_norms)
+    rec.max_below = std::max(rec.max_below, nrm);
+  d.stats.steps.push_back(rec);
+
+  core::StepLog* step_log = nullptr;
+  if (d.log) {
+    d.log->emplace_back();
+    step_log = &d.log->back();
+    step_log->lu = c->lu;
+    if (c->lu) {
+      // A1 replay data only: this driver rejects A2/B1/B2, so the panel
+      // factorization never carries a diag_t.
+      step_log->domain_rows = c->pf.domain_rows;
+      step_log->piv = c->pf.piv;
+    }
+  }
+
+  if (c->lu) {
+    ++d.stats.lu_steps;
+    submit_lu_step(d, *c);
+  } else {
+    ++d.stats.qr_steps;
+    submit_qr_step(d, *c, step_log);
+  }
+
+  if (d.sched.mode == SubmitMode::Continuation && k + 1 < d.n)
+    submit_step(d, k + 1);
+}
+
+// Submit the panel/decision task for step k. Its dependences on the column-k
+// tiles order it after every update of step k-1 that feeds it, and order the
+// panels themselves sequentially — which is what lets the decision chain
+// append to stats/log without extra synchronization.
+TaskId submit_step(Driver& d, int k) {
+  d.steps[static_cast<std::size_t>(k)] = std::make_unique<StepContext>();
+  StepContext* c = d.steps[static_cast<std::size_t>(k)].get();
+
+  std::vector<int> domain_rows;
+  switch (d.options.scope) {
+    case core::PivotScope::Tile: domain_rows = {k}; break;
+    case core::PivotScope::Domain: domain_rows = d.grid.diagonal_domain(k, d.n); break;
+    case core::PivotScope::Panel:
+      for (int i = k; i < d.n; ++i) domain_rows.push_back(i);
+      break;
+  }
+
+  // Panel task: backup + stacked factorization + criterion. Depends on all
+  // panel tiles (stats are gathered from the whole panel).
+  std::vector<Dep> deps;
+  for (int r : domain_rows) deps.push_back({d.a.tile(r, k).data, Access::ReadWrite});
+  std::vector<bool> in_domain(static_cast<std::size_t>(d.n), false);
+  for (int r : domain_rows) in_domain[static_cast<std::size_t>(r)] = true;
+  for (int i = k; i < d.n; ++i)
+    if (!in_domain[static_cast<std::size_t>(i)])
+      deps.push_back({d.a.tile(i, k).data, Access::Read});
+
+  const bool exact = d.options.exact_inv_norm;
+  const bool continuation = d.sched.mode == SubmitMode::Continuation;
+  Driver* dp = &d;
+  return d.engine.submit(
+      [dp, c, k, domain_rows, exact, continuation] {
+        c->pf = core::factor_panel(dp->a, k, domain_rows, exact, c->backup);
+        c->lu = dp->criterion.accept_lu(c->pf.stats);
+        if (continuation) record_and_submit(*dp, k);
+      },
+      deps, {"panel", d.prio(2), k});
 }
 
 }  // namespace
@@ -222,90 +375,53 @@ FactorizationStats parallel_hybrid_factor(TileMatrix<double>& a,
                                           Criterion& criterion,
                                           const HybridOptions& options,
                                           int num_threads,
-                                          core::TransformLog* log) {
+                                          core::TransformLog* log,
+                                          const SchedulerOptions& sched,
+                                          SchedulerStats* sched_stats) {
   if (log) log->clear();
-  LUQR_REQUIRE(!options.track_growth,
-               "growth tracking is only supported by the sequential driver");
   LUQR_REQUIRE(options.variant == core::LuVariant::A1,
                "the parallel driver implements variant A1 (the paper's "
                "evaluated variant); use the sequential driver for A2/B1/B2");
-  const int n = a.mt();
-  LUQR_REQUIRE(a.nt() >= n, "matrix must contain its square part");
-  const ProcessGrid grid(options.grid_p, options.grid_q);
+  LUQR_REQUIRE(a.nt() >= a.mt(), "matrix must contain its square part");
 
-  FactorizationStats stats;
-  Engine engine(num_threads);
-  std::vector<std::unique_ptr<StepContext>> steps;
-  steps.reserve(static_cast<std::size_t>(n));
+  Driver d(a, criterion, options, sched, num_threads);
+  d.log = log;
+  if (d.growth) {
+    d.initial_max = core::max_trailing_tile_norm(a, 0);
+    d.stats.growth_factor = 1.0;
+  }
 
-  for (int k = 0; k < n; ++k) {
-    auto ctx = std::make_unique<StepContext>();
-    StepContext* c = ctx.get();
-    steps.push_back(std::move(ctx));
-
-    std::vector<int> domain_rows;
-    switch (options.scope) {
-      case core::PivotScope::Tile: domain_rows = {k}; break;
-      case core::PivotScope::Domain: domain_rows = grid.diagonal_domain(k, n); break;
-      case core::PivotScope::Panel:
-        for (int i = k; i < n; ++i) domain_rows.push_back(i);
-        break;
+  if (d.sched.mode == SubmitMode::JoinPerStep) {
+    // Historical mode: the submitting thread blocks on each step's decision
+    // while the workers keep draining earlier steps' trailing updates.
+    for (int k = 0; k < d.n; ++k) {
+      const TaskId panel_id = submit_step(d, k);
+      d.engine.wait(panel_id);
+      record_and_submit(d, k);
     }
+  } else if (d.n > 0) {
+    // Continuation mode: seed step 0; the decision chain submits the rest.
+    submit_step(d, 0);
+  }
+  d.engine.wait_all();
 
-    // Panel task: backup + stacked factorization + criterion. Depends on all
-    // panel tiles (stats are gathered from the whole panel).
-    std::vector<Dep> deps;
-    for (int r : domain_rows) deps.push_back({a.tile(r, k).data, Access::ReadWrite});
-    std::vector<bool> in_domain(static_cast<std::size_t>(n), false);
-    for (int r : domain_rows) in_domain[static_cast<std::size_t>(r)] = true;
-    for (int i = k; i < n; ++i)
-      if (!in_domain[static_cast<std::size_t>(i)])
-        deps.push_back({a.tile(i, k).data, Access::Read});
-
-    const bool exact = options.exact_inv_norm;
-    const TaskId panel_id = engine.submit(
-        [&a, c, k, domain_rows, exact, &criterion] {
-          c->pf = core::factor_panel(a, k, domain_rows, exact, c->backup);
-          c->lu = criterion.accept_lu(c->pf.stats);
-        },
-        deps, "panel");
-
-    // The decision is the only thing the submitting thread blocks on; all
-    // trailing updates of earlier steps keep running in the workers.
-    engine.wait(panel_id);
-
-    StepRecord rec;
-    rec.k = k;
-    rec.kind = c->lu ? StepKind::LU : StepKind::QR;
-    rec.variant = options.variant;
-    rec.inv_norm_akk = c->pf.stats.inv_norm_akk;
-    for (double nrm : c->pf.stats.below_tile_norms)
-      rec.max_below = std::max(rec.max_below, nrm);
-    stats.steps.push_back(rec);
-
-    core::StepLog* step_log = nullptr;
-    if (log) {
-      log->emplace_back();
-      step_log = &log->back();
-      step_log->lu = c->lu;
-      if (c->lu) {
-        // A1 replay data only: this driver rejects A2/B1/B2 above, so the
-        // panel factorization never carries a diag_t.
-        step_log->domain_rows = c->pf.domain_rows;
-        step_log->piv = c->pf.piv;
-      }
-    }
-
-    if (c->lu) {
-      ++stats.lu_steps;
-      submit_lu_step(engine, a, *c);
-    } else {
-      ++stats.qr_steps;
-      submit_qr_step(engine, a, *c, grid, options.tree, step_log);
+  if (d.growth && d.initial_max > 0.0) {
+    for (const auto& step : d.steps) {
+      if (!step) continue;  // a failed step cut the decision chain short
+      d.stats.growth_factor =
+          std::max(d.stats.growth_factor,
+                   step->step_max.load(std::memory_order_relaxed) / d.initial_max);
     }
   }
-  engine.wait_all();
-  return stats;
+
+  if (sched_stats) {
+    sched_stats->tasks_executed = d.engine.tasks_executed();
+    sched_stats->steals = d.engine.steals();
+    if (sched.trace) sched_stats->trace = d.engine.trace();
+  }
+  if (sched.trace && !sched.trace_path.empty())
+    d.engine.write_chrome_trace(sched.trace_path);
+  return std::move(d.stats);
 }
 
 // parallel_hybrid_solve is a thin wrapper over the luqr::Solver facade; its

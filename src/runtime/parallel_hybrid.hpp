@@ -10,30 +10,47 @@
 //   QR path:  restore task, then GEQRT/TSQRT/TTQRT factor tasks each
 //             fanning out per-column UNMQR/TSMQR/TTMQR update tasks
 //
-// The submitting thread blocks only on each step's panel task (the paper's
-// control-flow join at the Propagate layer); all trailing updates from
-// earlier steps keep executing meanwhile, which is the lookahead PaRSEC
-// provides.
+// In the default Continuation mode the panel task is the paper's Propagate
+// selection task: it decides LU-vs-QR *inside the dataflow* and submits the
+// step's updates plus the next step's panel itself, so the submitting thread
+// never joins and the workers keep lookahead across as many steps as the
+// dependences allow. SchedulerOptions selects the historical join-per-step
+// mode, toggles critical-path priorities, and enables the per-task timing
+// trace (see runtime/scheduler.hpp).
 #pragma once
 
 #include "core/solve.hpp"
 #include "criteria/criteria.hpp"
+#include "runtime/engine.hpp"
+#include "runtime/scheduler.hpp"
 #include "tile/tile_matrix.hpp"
 
 namespace luqr::rt {
 
-/// Parallel equivalent of core::hybrid_factor. `track_growth` is not
-/// supported here (it would serialize every step).
+/// Engine-level telemetry of one parallel factorization (optional out-param
+/// of parallel_hybrid_factor; filled after the graph drains).
+struct SchedulerStats {
+  std::uint64_t tasks_executed = 0;
+  std::uint64_t steals = 0;
+  /// Per-task timing (only when SchedulerOptions::trace was set). Tasks are
+  /// tagged with their step index k.
+  std::vector<TraceEvent> trace;
+};
+
+/// Parallel equivalent of core::hybrid_factor, including
+/// HybridOptions::track_growth (reduced via per-step atomic maxima over the
+/// final value of each trailing tile, so the reported growth factor is
+/// bitwise identical to the sequential driver's).
 ///
 /// When `log` is non-null, every transformation is recorded exactly as the
 /// sequential driver records it (same replay order, bitwise-identical
 /// factors), so the result can seed a retained core::Factorization that
 /// serves fresh right-hand sides later.
-core::FactorizationStats parallel_hybrid_factor(TileMatrix<double>& a,
-                                                Criterion& criterion,
-                                                const core::HybridOptions& options,
-                                                int num_threads,
-                                                core::TransformLog* log = nullptr);
+core::FactorizationStats parallel_hybrid_factor(
+    TileMatrix<double>& a, Criterion& criterion,
+    const core::HybridOptions& options, int num_threads,
+    core::TransformLog* log = nullptr, const SchedulerOptions& sched = {},
+    SchedulerStats* sched_stats = nullptr);
 
 /// Parallel equivalent of core::hybrid_solve.
 core::SolveResult parallel_hybrid_solve(const Matrix<double>& a,

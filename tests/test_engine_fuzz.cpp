@@ -4,6 +4,8 @@
 // superscalar property the hybrid driver's correctness rests on.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <functional>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -73,6 +75,72 @@ TEST_P(EngineFuzz, MatchesSequentialSemantics) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, EngineFuzz, ::testing::Range(0, 12));
+
+TEST(EngineFuzz, ContinuationSubmissionMatchesSequential) {
+  // The same random graphs, but submitted in bursts *from inside running
+  // tasks* (the continuation-driven driver's pattern): each burst's
+  // submitter task enqueues the next burst. Submission order — and hence
+  // the sequential reference semantics — is unchanged.
+  for (int seed : {31, 32, 33}) {
+    const int slots = 10, tasks = 240, burst = 30;
+    const auto graph = make_graph(tasks, slots, static_cast<std::uint64_t>(seed));
+    std::vector<long> expected(slots, 1);
+    for (const auto& t : graph) apply(t, expected);
+
+    for (int threads : {2, 4}) {
+      std::vector<long> data(slots, 1);
+      {
+        Engine engine(threads);
+        std::function<void(int)> submit_burst = [&](int first) {
+          const int last = std::min(first + burst, tasks);
+          for (int i = first; i < last; ++i) {
+            const auto& t = graph[static_cast<std::size_t>(i)];
+            std::vector<Dep> deps;
+            for (int r : t.reads)
+              deps.push_back({&data[static_cast<std::size_t>(r)], Access::Read});
+            deps.push_back(
+                {&data[static_cast<std::size_t>(t.target)], Access::ReadWrite});
+            engine.submit([&data, &t] { apply(t, data); }, deps);
+          }
+          if (last < tasks)
+            engine.submit([&submit_burst, last] { submit_burst(last); }, {});
+        };
+        engine.submit([&submit_burst] { submit_burst(0); }, {});
+        engine.wait_all();
+        EXPECT_EQ(engine.live_tasks(), 0u) << "seed " << seed;
+        EXPECT_EQ(engine.tracked_data(), 0u) << "seed " << seed;
+      }
+      EXPECT_EQ(data, expected) << "seed " << seed << " threads " << threads;
+    }
+  }
+}
+
+TEST(EngineFuzz, RandomPrioritiesPreserveSemantics) {
+  // Priorities reorder execution but must never override a data dependence.
+  for (int seed : {41, 42}) {
+    const int slots = 8, tasks = 200;
+    const auto graph = make_graph(tasks, slots, static_cast<std::uint64_t>(seed));
+    std::vector<long> expected(slots, 1);
+    for (const auto& t : graph) apply(t, expected);
+
+    Rng prio_rng(static_cast<std::uint64_t>(seed) * 77);
+    std::vector<long> data(slots, 1);
+    {
+      Engine engine(4);
+      for (const auto& t : graph) {
+        std::vector<Dep> deps;
+        for (int r : t.reads)
+          deps.push_back({&data[static_cast<std::size_t>(r)], Access::Read});
+        deps.push_back(
+            {&data[static_cast<std::size_t>(t.target)], Access::ReadWrite});
+        engine.submit([&data, &t] { apply(t, data); }, deps,
+                      {"fuzz", static_cast<int>(prio_rng.below(3))});
+      }
+      engine.wait_all();
+    }
+    EXPECT_EQ(data, expected) << "seed " << seed;
+  }
+}
 
 TEST(EngineFuzz, InterleavedSubmissionAndWaiting) {
   // Submit in bursts with waits between them (the hybrid driver's pattern);

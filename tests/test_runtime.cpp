@@ -1,10 +1,15 @@
-// Tests for the dataflow engine (dependency inference, stress) and the
-// task-parallel hybrid driver (bitwise agreement with the sequential one).
+// Tests for the dataflow engine (dependency inference, continuations,
+// priorities, work-stealing, retirement, stress) and the task-parallel
+// hybrid driver (bitwise agreement with the sequential one in both
+// scheduler modes).
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdio>
+#include <functional>
 #include <numeric>
 
+#include "core/hybrid.hpp"
 #include "core/solve.hpp"
 #include "gen/generators.hpp"
 #include "runtime/engine.hpp"
@@ -128,6 +133,160 @@ TEST(Engine, SingleWorkerIsCorrect) {
 TEST(Engine, ZeroWorkersThrows) { EXPECT_THROW(Engine(0), Error); }
 
 // ---------------------------------------------------------------------------
+// Continuations, priorities, stealing, retirement, tracing
+// ---------------------------------------------------------------------------
+
+TEST(Engine, TasksSubmittingTasksSingleWorker) {
+  // A continuation chain on one worker must never deadlock (regression for
+  // the decision-as-task driver): each task submits the next before it
+  // finishes, so outstanding work never reaches zero early.
+  Engine engine(1);
+  std::atomic<int> count{0};
+  std::function<void(int)> spawn = [&](int depth) {
+    count.fetch_add(1);
+    if (depth < 2000) engine.submit([&spawn, depth] { spawn(depth + 1); }, {});
+  };
+  engine.submit([&spawn] { spawn(0); }, {});
+  engine.wait_all();
+  EXPECT_EQ(count.load(), 2001);
+}
+
+TEST(Engine, ContinuationSubmissionKeepsDataOrdering) {
+  // Tasks submitted from inside a task must see the same inferred
+  // dependences as external submissions: an RW chain built by a
+  // continuation serializes in submission order.
+  Engine engine(4);
+  int datum = 0;
+  std::vector<int> order;
+  engine.submit(
+      [&] {
+        for (int i = 0; i < 50; ++i)
+          engine.submit([&order, i] { order.push_back(i); },
+                        {{&datum, Access::ReadWrite}});
+      },
+      {});
+  engine.wait_all();
+  std::vector<int> expected(50);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(Engine, PriorityTasksOvertakeNormalOnes) {
+  // One worker, held busy while we queue bulk tasks and then one
+  // high-priority task: the priority lane must be drained first.
+  Engine engine(1);
+  std::atomic<bool> gate{false};
+  std::vector<int> order;  // only the single worker writes; main reads after
+  engine.submit([&gate] {
+    while (!gate.load()) std::this_thread::yield();
+  }, {});
+  for (int i = 0; i < 4; ++i)
+    engine.submit([&order, i] { order.push_back(i); }, {});
+  engine.submit([&order] { order.push_back(99); }, {}, {"urgent", 2});
+  gate.store(true);
+  engine.wait_all();
+  ASSERT_EQ(order.size(), 5u);
+  EXPECT_EQ(order.front(), 99);  // priority 2 beat every earlier bulk task
+}
+
+TEST(Engine, PriorityLanesOrderedHighestFirst) {
+  Engine engine(1);
+  std::atomic<bool> gate{false};
+  std::vector<int> order;
+  engine.submit([&gate] {
+    while (!gate.load()) std::this_thread::yield();
+  }, {});
+  engine.submit([&order] { order.push_back(0); }, {});
+  engine.submit([&order] { order.push_back(1); }, {}, {"p1", 1});
+  engine.submit([&order] { order.push_back(2); }, {}, {"p2", 2});
+  gate.store(true);
+  engine.wait_all();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 2);  // priority 2 lane first
+  EXPECT_EQ(order[1], 1);  // then priority 1
+  EXPECT_EQ(order[2], 0);  // bulk last
+}
+
+TEST(Engine, StealPathStressManyTinyTasks) {
+  // One root task floods its own deque with tiny children; the other
+  // workers have nothing else, so the children can only complete through
+  // the steal path.
+  Engine engine(4);
+  constexpr int kChildren = 3000;
+  std::atomic<long> sum{0};
+  engine.submit(
+      [&] {
+        for (int i = 0; i < kChildren; ++i)
+          engine.submit(
+              [&sum, i] {
+                volatile long spin = 0;
+                for (int s = 0; s < 2000; ++s) spin += s;
+                (void)spin;
+                sum.fetch_add(i);
+              },
+              {});
+      },
+      {});
+  engine.wait_all();
+  EXPECT_EQ(sum.load(), static_cast<long>(kChildren) * (kChildren - 1) / 2);
+  EXPECT_EQ(engine.tasks_executed(), static_cast<std::uint64_t>(kChildren) + 1);
+  EXPECT_GT(engine.steals(), 0u);
+}
+
+TEST(Engine, RetiresTasksAndPrunesDataHistory) {
+  // Memory must be O(live frontier): after the graph drains, no task nodes
+  // and no per-datum access histories remain (the pre-refactor engine kept
+  // both forever).
+  Engine engine(2);
+  std::vector<long> data(4, 0);
+  for (int i = 0; i < 5000; ++i) {
+    const int d = i % 4;
+    engine.submit([&data, d] { ++data[static_cast<std::size_t>(d)]; },
+                  {{&data[static_cast<std::size_t>(d)], Access::ReadWrite}});
+  }
+  engine.wait_all();
+  for (long v : data) EXPECT_EQ(v, 1250);
+  EXPECT_EQ(engine.tasks_executed(), 5000u);
+  EXPECT_EQ(engine.live_tasks(), 0u);
+  EXPECT_EQ(engine.tracked_data(), 0u);
+}
+
+TEST(Engine, WaitOnRetiredTaskReturnsImmediately) {
+  Engine engine(2);
+  int x = 0;
+  const TaskId id = engine.submit([&x] { x = 1; }, {{&x, Access::Write}});
+  engine.wait_all();
+  engine.wait(id);  // retired: must not block
+  EXPECT_EQ(x, 1);
+}
+
+TEST(Engine, TraceRecordsExecutedTasks) {
+  Engine engine(2, EngineOptions{/*trace=*/true});
+  int datum = 0;
+  engine.submit([] {}, {{&datum, Access::Write}}, {"writer", 2, 7});
+  engine.submit([] {}, {{&datum, Access::Read}}, {"reader", 0, 8});
+  engine.wait_all();
+  const auto events = engine.trace();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].name, "writer");
+  EXPECT_EQ(events[0].tag, 7);
+  EXPECT_EQ(events[0].priority, 2);
+  EXPECT_EQ(events[1].name, "reader");
+  EXPECT_EQ(events[1].tag, 8);
+  for (const auto& e : events) EXPECT_LE(e.start_us, e.end_us);
+
+  const std::string path = "engine_trace_test.json";
+  engine.write_chrome_trace(path);
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char first = 0;
+  ASSERT_EQ(std::fread(&first, 1, 1, f), 1u);
+  EXPECT_EQ(first, '[');
+  std::fclose(f);
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
 // Parallel hybrid driver
 // ---------------------------------------------------------------------------
 
@@ -136,12 +295,35 @@ void expect_bitwise_equal_solve(const Matrix<double>& a, const Matrix<double>& b
                                 int nb, int threads) {
   MaxCriterion c1(alpha), c2(alpha);
   const auto seq = core::hybrid_solve(a, b, c1, nb, opt);
+  // parallel_hybrid_solve runs the default scheduler (continuation mode).
   const auto par = parallel_hybrid_solve(a, b, c2, nb, opt, threads);
   ASSERT_EQ(seq.stats.lu_steps, par.stats.lu_steps);
   ASSERT_EQ(seq.stats.qr_steps, par.stats.qr_steps);
   for (int j = 0; j < seq.x.cols(); ++j)
     for (int i = 0; i < seq.x.rows(); ++i)
       ASSERT_EQ(seq.x(i, j), par.x(i, j)) << "element " << i << "," << j;
+}
+
+// Factor a fresh tiling of `a` with the given scheduler and return the tiles.
+TileMatrix<double> factor_tiles(const Matrix<double>& a, double alpha, int nb,
+                                const core::HybridOptions& opt, int threads,
+                                const SchedulerOptions& sched,
+                                core::FactorizationStats* stats_out = nullptr,
+                                core::TransformLog* log = nullptr) {
+  TileMatrix<double> tiles = TileMatrix<double>::from_dense(a, nb);
+  MaxCriterion criterion(alpha);
+  auto stats = parallel_hybrid_factor(tiles, criterion, opt, threads, log, sched);
+  if (stats_out) *stats_out = std::move(stats);
+  return tiles;
+}
+
+void expect_tiles_equal(const TileMatrix<double>& x, const TileMatrix<double>& y,
+                        const char* label) {
+  ASSERT_EQ(x.mt(), y.mt());
+  ASSERT_EQ(x.nt(), y.nt());
+  for (int j = 0; j < x.cols(); ++j)
+    for (int i = 0; i < x.rows(); ++i)
+      ASSERT_EQ(x.at(i, j), y.at(i, j)) << label << " element " << i << "," << j;
 }
 
 TEST(ParallelHybrid, BitwiseMatchesSequentialAllLu) {
@@ -187,12 +369,102 @@ TEST(ParallelHybrid, QrStepsWithAllTrees) {
   }
 }
 
-TEST(ParallelHybrid, RejectsGrowthTracking) {
-  auto a = TileMatrix<double>(2, 3, 8);
+TEST(ParallelHybrid, ContinuationAndJoinModesMatchSerialBitwise) {
+  // The tentpole property: both scheduler modes reproduce the sequential
+  // factors and TransformLog exactly, element for element.
+  const auto a = gen::generate(gen::MatrixKind::Random, 96, 21);
   core::HybridOptions opt;
-  opt.track_growth = true;
-  AlwaysLU crit;
-  EXPECT_THROW(parallel_hybrid_factor(a, crit, opt, 2), Error);
+  opt.grid_p = 2;
+  opt.grid_q = 2;
+  const double alpha = 20.0;
+  const int nb = 16, threads = 4;
+
+  TileMatrix<double> serial_tiles = TileMatrix<double>::from_dense(a, nb);
+  core::TransformLog serial_log;
+  MaxCriterion serial_crit(alpha);
+  const auto serial_stats =
+      core::hybrid_factor(serial_tiles, serial_crit, opt, &serial_log);
+
+  for (SubmitMode mode : {SubmitMode::JoinPerStep, SubmitMode::Continuation}) {
+    SchedulerOptions sched;
+    sched.mode = mode;
+    core::FactorizationStats stats;
+    core::TransformLog log;
+    const auto tiles =
+        factor_tiles(a, alpha, nb, opt, threads, sched, &stats, &log);
+    const char* label =
+        mode == SubmitMode::Continuation ? "continuation" : "join";
+    ASSERT_EQ(stats.lu_steps, serial_stats.lu_steps) << label;
+    ASSERT_EQ(stats.qr_steps, serial_stats.qr_steps) << label;
+    expect_tiles_equal(tiles, serial_tiles, label);
+    // TransformLog replay order must match step by step.
+    ASSERT_EQ(log.size(), serial_log.size()) << label;
+    for (std::size_t k = 0; k < log.size(); ++k) {
+      EXPECT_EQ(log[k].lu, serial_log[k].lu) << label << " step " << k;
+      EXPECT_EQ(log[k].piv, serial_log[k].piv) << label << " step " << k;
+      EXPECT_EQ(log[k].domain_rows, serial_log[k].domain_rows)
+          << label << " step " << k;
+      ASSERT_EQ(log[k].qr_ops.size(), serial_log[k].qr_ops.size())
+          << label << " step " << k;
+    }
+  }
+}
+
+TEST(ParallelHybrid, PrioritiesOffStillBitwiseIdentical) {
+  const auto a = gen::generate(gen::MatrixKind::Random, 80, 23);
+  core::HybridOptions opt;
+  opt.grid_p = 2;
+  SchedulerOptions plain;
+  SchedulerOptions unprioritized;
+  unprioritized.priorities = false;
+  const auto x = factor_tiles(a, 20.0, 16, opt, 4, plain);
+  const auto y = factor_tiles(a, 20.0, 16, opt, 4, unprioritized);
+  expect_tiles_equal(x, y, "priorities-off");
+}
+
+TEST(ParallelHybrid, TrackGrowthMatchesSerialBitwise) {
+  // The per-step atomic max reduction sees exactly the final tile values
+  // the sequential full sweep reads, so the growth factor is identical —
+  // in both scheduler modes, for all-LU and for mixed LU/QR runs.
+  for (double alpha : {1e30, 20.0}) {
+    const auto a = gen::generate(gen::MatrixKind::Random, 96, 25);
+    core::HybridOptions opt;
+    opt.grid_p = 2;
+    opt.grid_q = 2;
+    opt.track_growth = true;
+
+    TileMatrix<double> serial_tiles = TileMatrix<double>::from_dense(a, 16);
+    MaxCriterion serial_crit(alpha);
+    const auto serial_stats = core::hybrid_factor(serial_tiles, serial_crit, opt);
+    ASSERT_GE(serial_stats.growth_factor, 1.0);
+
+    for (SubmitMode mode : {SubmitMode::JoinPerStep, SubmitMode::Continuation}) {
+      SchedulerOptions sched;
+      sched.mode = mode;
+      core::FactorizationStats stats;
+      factor_tiles(a, alpha, 16, opt, 4, sched, &stats);
+      EXPECT_EQ(stats.growth_factor, serial_stats.growth_factor)
+          << "alpha " << alpha << " mode "
+          << (mode == SubmitMode::Continuation ? "continuation" : "join");
+    }
+  }
+}
+
+TEST(ParallelHybrid, SchedulerStatsReportTelemetry) {
+  const auto a = gen::generate(gen::MatrixKind::Random, 64, 27);
+  SchedulerOptions sched;
+  sched.trace = true;
+  TileMatrix<double> tiles = TileMatrix<double>::from_dense(a, 16);
+  MaxCriterion criterion(20.0);
+  SchedulerStats stats;
+  parallel_hybrid_factor(tiles, criterion, {}, 3, nullptr, sched, &stats);
+  EXPECT_GT(stats.tasks_executed, 0u);
+  ASSERT_EQ(stats.trace.size(), stats.tasks_executed);
+  // Every step contributes a tagged panel task.
+  int panels = 0;
+  for (const auto& e : stats.trace)
+    if (e.name == "panel") ++panels;
+  EXPECT_EQ(panels, 4);  // 64 / 16 tiles
 }
 
 }  // namespace

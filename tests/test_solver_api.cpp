@@ -4,6 +4,7 @@
 // the auto-tuner.
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <thread>
 #include <vector>
 
@@ -90,13 +91,15 @@ TEST(SolverConfig, RejectsBadScalarValues) {
 }
 
 TEST(SolverConfig, CrossFieldValidationAtConstruction) {
-  // The Parallel backend implements variant A1 without growth tracking.
+  // The Parallel backend implements variant A1 only.
   EXPECT_THROW(Solver(SolverConfig()
                           .backend(Backend::Parallel)
                           .variant(core::LuVariant::B1)),
                Error);
-  EXPECT_THROW(Solver(SolverConfig().backend(Backend::Parallel).track_growth(true)),
-               Error);
+  // Growth tracking is supported on every backend since the per-step atomic
+  // max reduction landed.
+  EXPECT_NO_THROW(
+      Solver(SolverConfig().backend(Backend::Parallel).track_growth(true)));
   // Auto-tuning needs a tunable (thresholded) criterion family.
   EXPECT_THROW(Solver(SolverConfig()
                           .criterion(CriterionSpec::random(0.5))
@@ -127,6 +130,23 @@ TEST(SolverConfig, HybridOptionsRoundTrip) {
   EXPECT_EQ(r.track_growth, o.track_growth);
 }
 
+TEST(SolverConfig, SchedulerKnobsRoundTrip) {
+  rt::SchedulerOptions sched;
+  sched.mode = rt::SubmitMode::JoinPerStep;
+  sched.priorities = false;
+  sched.trace = true;
+  sched.trace_path = "t.json";
+  const SolverConfig cfg = SolverConfig().scheduler(sched);
+  EXPECT_EQ(cfg.scheduler().mode, rt::SubmitMode::JoinPerStep);
+  EXPECT_FALSE(cfg.scheduler().priorities);
+  EXPECT_TRUE(cfg.scheduler().trace);
+  EXPECT_EQ(cfg.scheduler().trace_path, "t.json");
+  // Default: continuation mode with priorities, no trace.
+  EXPECT_EQ(SolverConfig().scheduler().mode, rt::SubmitMode::Continuation);
+  EXPECT_TRUE(SolverConfig().scheduler().priorities);
+  EXPECT_FALSE(SolverConfig().scheduler().trace);
+}
+
 TEST(Solver, BackendResolution) {
   const Solver serial(SolverConfig().backend(Backend::Serial).threads(8));
   EXPECT_EQ(serial.resolve_backend(100), Backend::Serial);
@@ -144,6 +164,11 @@ TEST(Solver, BackendResolution) {
   const Solver auto_a1(SolverConfig().backend(Backend::Auto).threads(8));
   EXPECT_EQ(auto_a1.resolve_backend(2), Backend::Serial);
   EXPECT_EQ(auto_a1.resolve_backend(16), Backend::Parallel);
+
+  // Growth tracking no longer forces Auto onto the serial backend.
+  const Solver auto_growth(
+      SolverConfig().backend(Backend::Auto).track_growth(true).threads(8));
+  EXPECT_EQ(auto_growth.resolve_backend(16), Backend::Parallel);
 }
 
 // ---------------------------------------------------------------------------
@@ -291,6 +316,57 @@ TEST(Solver, ConcurrentSolvesFromOneFactorization) {
                 expected[static_cast<std::size_t>(t)](i, 0))
           << "thread " << t << " row " << i;
   }
+}
+
+TEST(Solver, JoinSchedulerFactorsBitwiseIdenticalToContinuation) {
+  const auto a = gen::generate(gen::MatrixKind::Random, 96, 31);
+  const auto b = random_matrix(96, 1, 32);
+  const SolverConfig base = SolverConfig()
+                                .criterion(CriterionSpec::max(25.0))
+                                .tile_size(16)
+                                .grid(2, 2)
+                                .backend(Backend::Parallel)
+                                .threads(4);
+  rt::SchedulerOptions join;
+  join.mode = rt::SubmitMode::JoinPerStep;
+  const auto x_cont = Solver(base).factor(a).solve(b);
+  const auto x_join = Solver(SolverConfig(base).scheduler(join)).factor(a).solve(b);
+  for (int i = 0; i < 96; ++i) ASSERT_EQ(x_cont(i, 0), x_join(i, 0)) << i;
+}
+
+TEST(Solver, TrackGrowthOnParallelBackendMatchesSerial) {
+  const auto a = gen::generate(gen::MatrixKind::Random, 96, 33);
+  const SolverConfig base = SolverConfig()
+                                .criterion(CriterionSpec::max(25.0))
+                                .tile_size(16)
+                                .grid(2, 2)
+                                .track_growth(true);
+  const auto serial =
+      Solver(SolverConfig(base).backend(Backend::Serial)).factor(a);
+  const auto parallel =
+      Solver(SolverConfig(base).backend(Backend::Parallel).threads(4)).factor(a);
+  EXPECT_GE(serial.stats().growth_factor, 1.0);
+  EXPECT_EQ(parallel.stats().growth_factor, serial.stats().growth_factor);
+}
+
+TEST(Solver, SchedulerTraceFileWritten) {
+  const auto a = gen::generate(gen::MatrixKind::Random, 64, 35);
+  rt::SchedulerOptions sched;
+  sched.trace = true;
+  sched.trace_path = "solver_trace_test.json";
+  const Solver solver(SolverConfig()
+                          .criterion(CriterionSpec::max(25.0))
+                          .tile_size(16)
+                          .backend(Backend::Parallel)
+                          .threads(2)
+                          .scheduler(sched));
+  (void)solver.factor(a);
+  std::FILE* f = std::fopen(sched.trace_path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  EXPECT_GT(std::ftell(f), 2L);
+  std::fclose(f);
+  std::remove(sched.trace_path.c_str());
 }
 
 TEST(Solver, AdoptRejectsIncompleteLog) {

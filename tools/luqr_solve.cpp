@@ -12,6 +12,11 @@
 //   --variant A1|A2|B1|B2                                  (default A1)
 //   --threads <n>      run the parallel backend with n worker threads
 //                      (default: serial backend)
+//   --sched M          parallel scheduler mode: continuation (default) or
+//                      join — join-per-step, the pre-continuation baseline
+//   --no-priorities    disable critical-path task priorities
+//   --trace f.json     write a Chrome-tracing JSON of the parallel
+//                      factorization's tasks (open via chrome://tracing)
 //   --refine <n>       iterative-refinement sweeps (default 0)
 //   --out x.mtx        write the solution (default: print summary only)
 //
@@ -30,6 +35,7 @@ namespace {
   std::fprintf(stderr,
                "usage: %s A.mtx [b.mtx] [--criterion C] [--alpha V] [--lu-fraction T]\n"
                "       [--nb V] [--grid PxQ] [--variant A1|A2|B1|B2] [--threads N]\n"
+               "       [--sched continuation|join] [--no-priorities] [--trace f.json]\n"
                "       [--refine N] [--out x.mtx]\n",
                argv0);
   std::exit(2);
@@ -41,10 +47,11 @@ int main(int argc, char** argv) {
   using namespace luqr;
   if (argc < 2) usage(argv[0]);
 
-  std::string a_path, b_path, out_path;
-  std::string criterion = "max", variant = "A1";
+  std::string a_path, b_path, out_path, trace_path;
+  std::string criterion = "max", variant = "A1", sched_mode = "continuation";
   double alpha = 100.0, lu_fraction = -1.0;
   int nb = 64, refine = 0, grid_p = 4, grid_q = 4, threads = 0;
+  bool priorities = true;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -66,6 +73,12 @@ int main(int argc, char** argv) {
       refine = std::atoi(need_value());
     } else if (arg == "--variant") {
       variant = need_value();
+    } else if (arg == "--sched") {
+      sched_mode = need_value();
+    } else if (arg == "--no-priorities") {
+      priorities = false;
+    } else if (arg == "--trace") {
+      trace_path = need_value();
     } else if (arg == "--grid") {
       const char* v = need_value();
       if (std::sscanf(v, "%dx%d", &grid_p, &grid_q) != 2) usage(argv[0]);
@@ -110,6 +123,18 @@ int main(int argc, char** argv) {
     if (threads > 0) config.backend(Backend::Parallel).threads(threads);
     else config.backend(Backend::Serial);
 
+    rt::SchedulerOptions sched;
+    if (sched_mode == "join") sched.mode = rt::SubmitMode::JoinPerStep;
+    else LUQR_REQUIRE(sched_mode == "continuation" || sched_mode == "cont",
+                      "unknown scheduler mode: " + sched_mode);
+    sched.priorities = priorities;
+    if (!trace_path.empty()) {
+      LUQR_REQUIRE(threads > 0, "--trace requires the parallel backend (--threads)");
+      sched.trace = true;
+      sched.trace_path = trace_path;
+    }
+    config.scheduler(sched);
+
     CriterionSpec spec = CriterionSpec::parse(criterion, alpha);
     if (lu_fraction >= 0.0) {
       // Tune up front (rather than inside factor()) so the tuned alpha can
@@ -134,7 +159,12 @@ int main(int argc, char** argv) {
                 "backend=%s\n",
                 n, nb, spec.name().c_str(), grid_p, grid_q, variant.c_str(),
                 threads > 0 ? "parallel" : "serial");
-    if (threads > 0) std::printf("threads: %d\n", solver.resolve_threads());
+    if (threads > 0)
+      std::printf("threads: %d   scheduler: %s%s\n", solver.resolve_threads(),
+                  sched_mode == "join" ? "join-per-step" : "continuation",
+                  priorities ? "" : " (no priorities)");
+    if (!trace_path.empty())
+      std::printf("task trace written to %s\n", trace_path.c_str());
     std::printf("steps: %d LU + %d QR (%.1f%% LU)\n", fac.stats().lu_steps,
                 fac.stats().qr_steps, 100.0 * fac.stats().lu_fraction());
     std::printf("factor: %.3fs   solve(+%d refinements): %.3fs\n", t_factor,
