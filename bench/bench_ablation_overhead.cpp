@@ -9,11 +9,12 @@
 #include "bench_common.hpp"
 #include "common/timer.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace luqr;
   using namespace luqr::bench;
   using namespace luqr::sim;
 
+  bench::JsonReport json("bench_ablation_overhead", argc, argv);
   const Platform pl = Platform::dancer();
   std::printf("=== Decision-process overhead (simulated Dancer) ===\n\n");
   TextTable t;
@@ -34,6 +35,11 @@ int main() {
            fmt_fixed(100.0 * (luqr0.seconds / hqr.seconds - 1.0), 1),
            fmt_fixed(luqr1.seconds, 2), fmt_fixed(nopiv.seconds, 2),
            fmt_fixed(100.0 * (luqr1.seconds / nopiv.seconds - 1.0), 1)});
+    json.row("sim_overhead")
+        .metric("tiles", n)
+        .metric("overhead_alpha0_pct", 100.0 * (luqr0.seconds / hqr.seconds - 1.0))
+        .metric("overhead_alphainf_pct",
+                100.0 * (luqr1.seconds / nopiv.seconds - 1.0));
   }
   std::printf("%s\n", t.str().c_str());
   std::printf("paper: ~10%% overhead at alpha=0 (backup/restore on the critical\n"
@@ -66,5 +72,12 @@ int main() {
   std::printf("HQR: %.3fs   LUQR(alpha=0): %.3fs   overhead: %.1f%%\n",
               t_hqr / c.samples, t_luqr0 / c.samples,
               100.0 * (t_luqr0 / t_hqr - 1.0));
+  json.row("real_overhead")
+      .metric("n", c.n_max)
+      .metric("nb", c.nb)
+      .metric("hqr_seconds", t_hqr / c.samples)
+      .metric("luqr_alpha0_seconds", t_luqr0 / c.samples)
+      .metric("overhead_pct", 100.0 * (t_luqr0 / t_hqr - 1.0));
+  json.write();
   return 0;
 }

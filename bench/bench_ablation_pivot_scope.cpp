@@ -8,10 +8,13 @@
 // grows), while tile pivoting is clearly unstable. Real numerics.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace luqr;
   using namespace luqr::bench;
   const auto c = config(/*n=*/768, /*nb=*/32, /*samples=*/3);
+  bench::JsonReport json("bench_ablation_pivot_scope", argc, argv);
+  json.config("nb", c.nb);
+  json.config("samples", c.samples);
 
   std::printf("=== Pivot-scope ablation: relative HPL3 (ratio to LUPP), alpha = inf ===\n");
   std::printf("nb = %d, grid 4x1 (domains = every 4th tile row), %d samples\n\n",
@@ -48,11 +51,13 @@ int main() {
         h += verify::hpl3(a, r.x, b) / c.samples;
       }
       row.push_back(fmt_ratio(h / lupp));
+      json.row(name).metric("n", n).metric("hpl3_ratio_to_lupp", h / lupp);
     }
     t.row(row);
   }
   std::printf("%s\n", t.str().c_str());
   std::printf("expected shape (paper): tile >> 1 and growing; domain close to 1\n"
               "(and approaching it as N grows); panel == 1 by construction.\n");
+  json.write();
   return 0;
 }

@@ -5,12 +5,14 @@
 #include "bench_common.hpp"
 #include "hqr/elimination.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace luqr;
   using namespace luqr::bench;
   using namespace luqr::sim;
 
   const int n = static_cast<int>(env_long("LUQR_SIM_NT", 48));
+  bench::JsonReport json("bench_ablation_trees", argc, argv);
+  json.config("sim_nt", n);
   const Platform pl = Platform::dancer();
 
   std::printf("=== Ablation: HQR reduction trees (panel of %d tiles, 4-row grid) ===\n\n", n);
@@ -37,11 +39,17 @@ int main() {
              std::to_string(hqr::round_count(list)),
              fmt_fixed(hqr::pipeline_makespan(list, ts_cost, tt_cost), 1),
              fmt_fixed(rep.seconds, 2), fmt_fixed(rep.gflops_fake, 1)});
+      json.row(std::string(hqr::to_string(local)) + "+" + hqr::to_string(dist))
+          .metric("rounds", static_cast<long>(hqr::round_count(list)))
+          .metric("panel_makespan", hqr::pipeline_makespan(list, ts_cost, tt_cost))
+          .metric("sim_seconds", rep.seconds)
+          .metric("sim_gflops", rep.gflops_fake);
     }
   }
   std::printf("%s\n", t.str().c_str());
   std::printf("expected shape: flat chains have linear depth; greedy/binary are\n"
               "logarithmic; the paper's greedy+fibonacci pair is at or near the\n"
               "best simulated time.\n");
+  json.write();
   return 0;
 }

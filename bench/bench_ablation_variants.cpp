@@ -9,10 +9,13 @@
 #include "bench_common.hpp"
 #include "common/timer.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace luqr;
   using namespace luqr::bench;
   const auto c = config(/*n=*/512, /*nb=*/32, /*samples=*/2);
+  bench::JsonReport json("bench_ablation_variants", argc, argv);
+  json.config("n", c.n_max);
+  json.config("nb", c.nb);
 
   std::printf("=== LU-variant ablation (N = %d, nb = %d, alpha = 50, Max) ===\n\n",
               c.n_max, c.nb);
@@ -50,6 +53,11 @@ int main() {
            fmt_sci(verify::hpl3(a_wilk, r_wilk.x, b), 2),
            fmt_fixed(100.0 * r_rand.stats.lu_fraction(), 1),
            fmt_fixed(secs, 3)});
+    json.row(name)
+        .metric("hpl3_random", verify::hpl3(a_rand, r_rand.x, b))
+        .metric("hpl3_wilkinson", verify::hpl3(a_wilk, r_wilk.x, b))
+        .metric("lu_fraction", r_rand.stats.lu_fraction())
+        .metric("seconds", secs);
   }
   std::printf("%s\n", t.str().c_str());
 
@@ -65,5 +73,6 @@ int main() {
               "GEMMs), so performance differences are second order — the paper's\n"
               "rationale for studying A1 only. B variants trade the Apply stage\n"
               "for a block-triangular solve at the end.\n");
+  json.write();
   return 0;
 }

@@ -5,17 +5,143 @@
 //   LUQR_N        largest real-numerics problem size (default per bench)
 //   LUQR_NB       tile size for real-numerics runs (default 48)
 //   LUQR_SAMPLES  matrices per ensemble average (default 3)
+//
+// Every bench also accepts `--json <path>`: alongside the human-readable
+// tables it then writes one machine-readable JSON document (bench name,
+// config, result rows) so the perf trajectory can be tracked across commits
+// (BENCH_*.json at the repo root, and the CI perf-smoke artifact).
 #pragma once
 
 #include <cmath>
 #include <cstdio>
 #include <limits>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "luqr.hpp"
 
 namespace luqr::bench {
+
+/// Machine-readable result sink behind `--json <path>`. Rows are collected
+/// unconditionally (it is cheap); write() emits the file only when a path
+/// was given on the command line.
+///
+///   JsonReport report("bench_kernels", argc, argv);
+///   report.config("nb", 128);
+///   report.row("gemm_nn_blocked").metric("gflops", 44.5).metric("nb", 128);
+///   ...
+///   report.write();  // at the end of main
+class JsonReport {
+ public:
+  class Row {
+   public:
+    Row& metric(const std::string& key, double v) {
+      fields_.emplace_back(key, num(v));
+      return *this;
+    }
+    Row& metric(const std::string& key, long v) {
+      fields_.emplace_back(key, std::to_string(v));
+      return *this;
+    }
+    Row& metric(const std::string& key, int v) { return metric(key, static_cast<long>(v)); }
+    Row& label(const std::string& key, const std::string& v) {
+      fields_.emplace_back(key, quoted(v));
+      return *this;
+    }
+
+   private:
+    friend class JsonReport;
+    std::string name_;
+    std::vector<std::pair<std::string, std::string>> fields_;
+  };
+
+  JsonReport(std::string bench, int argc, char** argv) : bench_(std::move(bench)) {
+    for (int i = 1; i + 1 < argc; ++i)
+      if (std::string(argv[i]) == "--json") path_ = argv[i + 1];
+  }
+
+  bool enabled() const { return !path_.empty(); }
+  const std::string& path() const { return path_; }
+
+  void config(const std::string& key, double v) { config_.emplace_back(key, num(v)); }
+  void config(const std::string& key, long v) { config_.emplace_back(key, std::to_string(v)); }
+  void config(const std::string& key, int v) { config(key, static_cast<long>(v)); }
+  void config(const std::string& key, const std::string& v) {
+    config_.emplace_back(key, quoted(v));
+  }
+
+  Row& row(const std::string& name) {
+    rows_.emplace_back();
+    rows_.back().name_ = name;
+    return rows_.back();
+  }
+
+  /// Write the report if --json was given. Returns true when a file was
+  /// written (and prints where, so logs show the artifact location).
+  bool write() const {
+    if (!enabled()) return false;
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n", path_.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n  \"bench\": %s,\n  \"config\": {", quoted(bench_).c_str());
+    for (std::size_t i = 0; i < config_.size(); ++i)
+      std::fprintf(f, "%s%s: %s", i ? ", " : "", quoted(config_[i].first).c_str(),
+                   config_[i].second.c_str());
+    std::fprintf(f, "},\n  \"results\": [\n");
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      std::fprintf(f, "    {\"name\": %s", quoted(rows_[r].name_).c_str());
+      for (const auto& kv : rows_[r].fields_)
+        std::fprintf(f, ", %s: %s", quoted(kv.first).c_str(), kv.second.c_str());
+      std::fprintf(f, "}%s\n", r + 1 < rows_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", path_.c_str());
+    return true;
+  }
+
+ private:
+  static std::string num(double v) {
+    if (!(v == v)) return "null";  // NaN has no JSON literal
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    // %g may emit "inf"; JSON has no literal for it either.
+    if (buf[0] == 'i' || buf[1] == 'i') return "null";
+    return buf;
+  }
+  static std::string quoted(const std::string& s) {
+    std::string out = "\"";
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      if (static_cast<unsigned char>(c) >= 0x20) out.push_back(c);
+    }
+    out.push_back('"');
+    return out;
+  }
+
+  std::string bench_;
+  std::string path_;
+  std::vector<std::pair<std::string, std::string>> config_;
+  std::vector<Row> rows_;
+};
+
+/// Best-of-N wall-clock timing of `fn` (seconds). Each sample runs `reps`
+/// calls back to back; the per-call time of the fastest sample is returned —
+/// the standard "least-disturbed run" estimator the perf rows report.
+template <typename F>
+double best_of(int samples, long reps, F&& fn) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int s = 0; s < samples; ++s) {
+    Timer timer;
+    for (long r = 0; r < reps; ++r) fn();
+    const double dt = timer.seconds() / static_cast<double>(reps);
+    if (dt < best) best = dt;
+  }
+  return best;
+}
 
 struct Config {
   int n_max;

@@ -4,7 +4,7 @@
 // paper's observation — and smaller alpha means fewer LU steps.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace luqr;
   using namespace luqr::bench;
   const auto c = config(/*n=*/768, /*nb=*/48, /*samples=*/3);
@@ -15,6 +15,11 @@ int main() {
 
   std::vector<int> sizes;
   for (int n = c.n_max / 3; n <= c.n_max; n += c.n_max / 3) sizes.push_back(n);
+
+  bench::JsonReport json("bench_fig2_lusteps", argc, argv);
+  json.config("nb", c.nb);
+  json.config("samples", c.samples);
+  json.config("n_max", c.n_max);
 
   std::printf("=== Figure 2, col 3: %%LU steps vs N, random matrices (real runs) ===\n");
   std::printf("nb = %d, %d samples per point\n\n", c.nb, c.samples);
@@ -46,6 +51,9 @@ int main() {
         const auto out =
             run_hybrid_random(criterion, alpha, n, c.nb, c.samples, opt);
         row.push_back(fmt_fixed(100.0 * out.mean_lu_fraction, 1));
+        json.row(std::string(criterion) + "_a" + tag)
+            .metric("n", n)
+            .metric("lu_fraction", out.mean_lu_fraction);
       }
       t.row(row);
     }
@@ -53,5 +61,6 @@ int main() {
   }
   std::printf("expected shape (paper): monotone in alpha per criterion; each\n"
               "criterion needs a different alpha range to cover 0..100%% LU.\n");
+  json.write();
   return 0;
 }

@@ -4,7 +4,7 @@
 // numerics per alpha.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace luqr;
   using namespace luqr::bench;
   using namespace luqr::sim;
@@ -38,13 +38,18 @@ int main() {
     for (int n : tile_counts) header.push_back(std::to_string(n * nb));
     t.header(header);
   }
+  bench::JsonReport json("bench_fig2_perf", argc, argv);
+  json.config("nb", nb);
+  json.config("samples", c.samples);
   auto sweep = [&](const std::string& name, auto&& make_report) {
     std::vector<std::string> row = {name};
     for (int n : tile_counts) {
       DagConfig cfg;
       cfg.n = n;
       cfg.nb = nb;
-      row.push_back(fmt_fixed(make_report(cfg).gflops_fake, 1));
+      const double gf = make_report(cfg).gflops_fake;
+      row.push_back(fmt_fixed(gf, 1));
+      json.row(name).metric("n", n * nb).metric("gflops_fake", gf);
     }
     t.row(row);
   };
@@ -73,5 +78,6 @@ int main() {
   std::printf("%s\n", t.str().c_str());
   std::printf("expected shape (paper): LU NoPiv on top; LUQR decreases smoothly as\n"
               "alpha (and the LU fraction) shrinks; HQR ~ half of NoPiv; LUPP lowest.\n");
+  json.write();
   return 0;
 }

@@ -94,7 +94,7 @@ ModeResult run_mode(const Matrix<double>& dense, int nb, int threads,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   const int tiles = static_cast<int>(env_long("LUQR_TILES", 32));
   const int nb = static_cast<int>(env_long("LUQR_NB", 16));
   const int threads = static_cast<int>(env_long("LUQR_THREADS", 8));
@@ -127,5 +127,26 @@ int main() {
               cont.lookahead_max);
   std::printf("\ncontinuation speedup over join-per-step: %.3fx\n",
               join.best_seconds / cont.best_seconds);
+
+  bench::JsonReport report("bench_scheduler", argc, argv);
+  report.config("tiles", tiles);
+  report.config("nb", nb);
+  report.config("threads", threads);
+  report.config("alpha", alpha);
+  report.config("samples", samples);
+  auto record = [&report](const char* mode, const ModeResult& r) {
+    report.row(mode)
+        .metric("factor_seconds", r.best_seconds)
+        .metric("tasks_per_sec", r.tasks_per_sec)
+        .metric("tasks", static_cast<long>(r.tasks))
+        .metric("steals", static_cast<long>(r.steals))
+        .metric("lookahead_avg", r.lookahead_avg)
+        .metric("lookahead_max", r.lookahead_max);
+  };
+  record("join_per_step", join);
+  record("continuation", cont);
+  report.row("continuation_speedup")
+      .metric("speedup", join.best_seconds / cont.best_seconds);
+  report.write();
   return 0;
 }

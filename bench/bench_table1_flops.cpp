@@ -25,7 +25,7 @@ double time_best(F&& fn, int reps = 3) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace luqr;
   using namespace luqr::kern;
   const int nb = static_cast<int>(env_long("LUQR_NB", 240));
@@ -61,11 +61,17 @@ int main() {
     return a;
   };
 
+  bench::JsonReport json("bench_table1_flops", argc, argv);
+  json.config("nb", nb);
   TextTable t;
   t.header({"kernel", "flops (nb^3)", "time (ms)", "GFLOP/s"});
   auto report = [&](const char* name, double units, double seconds) {
     t.row({name, fmt_fixed(units, 3), fmt_fixed(seconds * 1e3, 2),
            fmt_fixed(units * nb3 / seconds / 1e9, 2)});
+    json.row(name)
+        .metric("flop_units_nb3", units)
+        .metric("seconds", seconds)
+        .metric("gflops", units * nb3 / seconds / 1e9);
   };
 
   {
@@ -135,5 +141,6 @@ int main() {
   std::printf("note: QR kernels sustain lower rates than GEMM/TRSM, matching the\n"
               "paper's premise that LU steps are both cheaper (flops) and faster\n"
               "(rate) than QR steps.\n");
+  json.write();
   return 0;
 }

@@ -10,7 +10,7 @@
 // %LU mapping measured with *real numerics* at laptop scale.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace luqr;
   using namespace luqr::bench;
   using namespace luqr::sim;
@@ -28,11 +28,19 @@ int main() {
   TextTable t;
   t.header({"Algorithm", "alpha", "Time", "% LU", "Fake GF/s", "True GF/s",
             "Fake %Pk", "True %Pk"});
+  bench::JsonReport json("bench_table2_dancer", argc, argv);
+  json.config("nb", nb);
+  json.config("sim_nt", n);
   auto add_row = [&](const std::string& name, const std::string& alpha,
                      const AlgoReport& r) {
     t.row({name, alpha, fmt_fixed(r.seconds, 2), fmt_fixed(100.0 * r.lu_fraction, 1),
            fmt_fixed(r.gflops_fake, 1), fmt_fixed(r.gflops_true, 1),
            fmt_fixed(r.pct_peak_fake, 1), fmt_fixed(r.pct_peak_true, 1)});
+    auto& row = json.row(alpha.empty() ? name : name + " a=" + alpha);
+    row.metric("sim_seconds", r.seconds)
+        .metric("lu_fraction", r.lu_fraction)
+        .metric("gflops_fake", r.gflops_fake)
+        .metric("gflops_true", r.gflops_true);
   };
 
   add_row("LU NoPiv", "", simulate_algorithm(Algo::LuNoPiv, cfg, pl));
@@ -76,7 +84,11 @@ int main() {
       std::snprintf(tag, sizeof(tag), "%g", alpha);
     }
     m.row({tag, fmt_fixed(100.0 * out.mean_lu_fraction, 1), fmt_sci(out.mean_hpl3, 2)});
+    json.row(std::string("measured_max_a=") + tag)
+        .metric("lu_fraction", out.mean_lu_fraction)
+        .metric("hpl3", out.mean_hpl3);
   }
   std::printf("%s", m.str().c_str());
+  json.write();
   return 0;
 }

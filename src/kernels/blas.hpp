@@ -5,11 +5,18 @@
 // the BLAS calling conventions (side/uplo/trans/diag enums, alpha/beta
 // scaling) so the tiled algorithms read like their PLASMA counterparts.
 //
+// GEMM has two code paths: a packed, cache-blocked, register-tiled kernel
+// (kernels/microkernel.hpp + kernels/pack.hpp) for products above a size
+// threshold, and the seed's simple loops for small/edge tiles. gemm()
+// dispatches on size (see pack.hpp for the blocking/threshold knobs); both
+// paths are exposed directly for the parity tests and the kernel bench.
+//
 // Definitions live in gemm.cpp / trsm.cpp with explicit instantiations for
 // float and double.
 #pragma once
 
 #include "kernels/matrix_view.hpp"
+#include "kernels/workspace.hpp"
 
 namespace luqr::kern {
 
@@ -20,9 +27,24 @@ enum class Diag { NonUnit, Unit };
 
 /// C <- alpha * op(A) * op(B) + beta * C.
 /// op(A) is (m x k), op(B) is (k x n), C is (m x n).
+/// Packing scratch comes from `ws` (the calling thread's arena when null).
 template <typename T>
 void gemm(Trans transa, Trans transb, T alpha, ConstMatrixView<T> a,
-          ConstMatrixView<T> b, T beta, MatrixView<T> c);
+          ConstMatrixView<T> b, T beta, MatrixView<T> c,
+          Workspace* ws = nullptr);
+
+/// The packed cache-blocked path, unconditionally (exposed so tests can
+/// exercise it at sizes the dispatcher would route to the simple loops).
+template <typename T>
+void gemm_blocked(Trans transa, Trans transb, T alpha, ConstMatrixView<T> a,
+                  ConstMatrixView<T> b, T beta, MatrixView<T> c,
+                  Workspace* ws = nullptr);
+
+/// The simple axpy/dot loops, unconditionally (the small-tile path; also
+/// the bench's baseline for the blocked kernel's speedup).
+template <typename T>
+void gemm_unblocked(Trans transa, Trans transb, T alpha, ConstMatrixView<T> a,
+                    ConstMatrixView<T> b, T beta, MatrixView<T> c);
 
 /// Triangular solve with multiple right-hand sides:
 ///   side == Left : solve op(A) * X = alpha * B, X overwrites B

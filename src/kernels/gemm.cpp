@@ -1,6 +1,8 @@
-#include <vector>
+#include <algorithm>
 
 #include "kernels/blas.hpp"
+#include "kernels/microkernel.hpp"
+#include "kernels/pack.hpp"
 
 namespace luqr::kern {
 
@@ -20,10 +22,23 @@ void scale_c(T beta, const MatrixView<T>& c) {
   }
 }
 
+// op(A)'s column count == the shared dimension k; also validates shapes.
+template <typename T>
+int checked_k(Trans transa, Trans transb, const ConstMatrixView<T>& a,
+              const ConstMatrixView<T>& b, const MatrixView<T>& c) {
+  const int opa_rows = transa == Trans::No ? a.rows : a.cols;
+  const int opa_cols = transa == Trans::No ? a.cols : a.rows;
+  const int opb_rows = transb == Trans::No ? b.rows : b.cols;
+  const int opb_cols = transb == Trans::No ? b.cols : b.rows;
+  LUQR_REQUIRE(opa_rows == c.rows && opb_cols == c.cols && opa_cols == opb_rows,
+               "gemm dimension mismatch");
+  return opa_cols;
+}
+
 // C += alpha * A * B with A (m x k), B (k x n), both untransposed.
-// Column-major axpy form: C(:,j) += (alpha*B(l,j)) * A(:,l). The inner loop
-// is a contiguous fused multiply-add over a column, which the compiler
-// vectorizes; this is the hot path of the trailing-update GEMMs.
+// Column-major axpy form: C(:,j) += (alpha*B(l,j)) * A(:,l). No value-based
+// short-circuit on B(l,j) == 0: skipping the axpy would drop a NaN/Inf
+// carried by A (0 * NaN must propagate, as in BLAS).
 template <typename T>
 void gemm_nn(T alpha, const ConstMatrixView<T>& a, const ConstMatrixView<T>& b,
              const MatrixView<T>& c) {
@@ -32,7 +47,6 @@ void gemm_nn(T alpha, const ConstMatrixView<T>& a, const ConstMatrixView<T>& b,
     T* cj = &c(0, j);
     for (int l = 0; l < k; ++l) {
       const T blj = alpha * b(l, j);
-      if (blj == T(0)) continue;
       const T* al = &a(0, l);
       for (int i = 0; i < m; ++i) cj[i] += al[i] * blj;
     }
@@ -64,7 +78,6 @@ void gemm_nt(T alpha, const ConstMatrixView<T>& a, const ConstMatrixView<T>& b,
     T* cj = &c(0, j);
     for (int l = 0; l < k; ++l) {
       const T blj = alpha * b(j, l);
-      if (blj == T(0)) continue;
       const T* al = &a(0, l);
       for (int i = 0; i < m; ++i) cj[i] += al[i] * blj;
     }
@@ -89,16 +102,11 @@ void gemm_tt(T alpha, const ConstMatrixView<T>& a, const ConstMatrixView<T>& b,
 }  // namespace
 
 template <typename T>
-void gemm(Trans transa, Trans transb, T alpha, ConstMatrixView<T> a,
-          ConstMatrixView<T> b, T beta, MatrixView<T> c) {
-  const int opa_rows = transa == Trans::No ? a.rows : a.cols;
-  const int opa_cols = transa == Trans::No ? a.cols : a.rows;
-  const int opb_rows = transb == Trans::No ? b.rows : b.cols;
-  const int opb_cols = transb == Trans::No ? b.cols : b.rows;
-  LUQR_REQUIRE(opa_rows == c.rows && opb_cols == c.cols && opa_cols == opb_rows,
-               "gemm dimension mismatch");
+void gemm_unblocked(Trans transa, Trans transb, T alpha, ConstMatrixView<T> a,
+                    ConstMatrixView<T> b, T beta, MatrixView<T> c) {
+  const int k = checked_k(transa, transb, a, b, c);
   scale_c(beta, c);
-  if (alpha == T(0) || c.rows == 0 || c.cols == 0 || opa_cols == 0) return;
+  if (alpha == T(0) || c.rows == 0 || c.cols == 0 || k == 0) return;
   if (transa == Trans::No && transb == Trans::No) {
     gemm_nn(alpha, a, b, c);
   } else if (transa == Trans::Yes && transb == Trans::No) {
@@ -110,9 +118,85 @@ void gemm(Trans transa, Trans transb, T alpha, ConstMatrixView<T> a,
   }
 }
 
-template void gemm<double>(Trans, Trans, double, ConstMatrixView<double>,
-                           ConstMatrixView<double>, double, MatrixView<double>);
-template void gemm<float>(Trans, Trans, float, ConstMatrixView<float>,
-                          ConstMatrixView<float>, float, MatrixView<float>);
+template <typename T>
+void gemm_blocked(Trans transa, Trans transb, T alpha, ConstMatrixView<T> a,
+                  ConstMatrixView<T> b, T beta, MatrixView<T> c,
+                  Workspace* wsp) {
+  constexpr int MR = MicroTile<T>::MR;
+  constexpr int NR = MicroTile<T>::NR;
+  const int m = c.rows, n = c.cols;
+  const int k = checked_k(transa, transb, a, b, c);
+  scale_c(beta, c);
+  if (alpha == T(0) || m == 0 || n == 0 || k == 0) return;
+
+  const GemmBlocking& bl = gemm_blocking();
+  Workspace& ws = workspace_or_tls(wsp);
+  Workspace::Frame frame(ws);
+  // Panel buffers sized to the smaller of the blocking limit and the actual
+  // problem, rounded up to whole micro-panels.
+  const int mc_cap = std::min((m + MR - 1) / MR * MR, (bl.mc + MR - 1) / MR * MR);
+  const int nc_cap = std::min((n + NR - 1) / NR * NR, (bl.nc + NR - 1) / NR * NR);
+  const int kc_cap = std::min(k, bl.kc);
+  T* apack = ws.alloc<T>(static_cast<std::size_t>(mc_cap) * kc_cap);
+  T* bpack = ws.alloc<T>(static_cast<std::size_t>(kc_cap) * nc_cap);
+  alignas(kCacheLineBytes) T ctmp[MR * NR];
+
+  for (int jc = 0; jc < n; jc += bl.nc) {
+    const int nc = std::min(bl.nc, n - jc);
+    for (int pc = 0; pc < k; pc += bl.kc) {
+      const int kc = std::min(bl.kc, k - pc);
+      pack_b_panel<T, NR>(transb, alpha, kc, nc, b, pc, jc, bpack);
+      for (int ic = 0; ic < m; ic += bl.mc) {
+        const int mc = std::min(bl.mc, m - ic);
+        pack_a_panel<T, MR>(transa, mc, kc, a, ic, pc, apack);
+        for (int jr = 0; jr < nc; jr += NR) {
+          const int nr = std::min(NR, nc - jr);
+          const T* bp = bpack + static_cast<std::ptrdiff_t>(jr) * kc;
+          for (int ir = 0; ir < mc; ir += MR) {
+            const int mr = std::min(MR, mc - ir);
+            const T* ap = apack + static_cast<std::ptrdiff_t>(ir) * kc;
+            T* cblk = &c(ic + ir, jc + jr);
+            if (mr == MR && nr == NR) {
+              microkernel<T>(kc, ap, bp, cblk, c.ld);
+            } else {
+              // Edge micro-tile: run full-width into a scratch tile, write
+              // back only the live mr x nr corner (same summation order as
+              // the aligned path: zero-init accumulate, then one add to C).
+              for (int i = 0; i < MR * NR; ++i) ctmp[i] = T(0);
+              microkernel<T>(kc, ap, bp, ctmp, MR);
+              for (int j = 0; j < nr; ++j)
+                for (int i = 0; i < mr; ++i)
+                  cblk[i + static_cast<std::ptrdiff_t>(j) * c.ld] +=
+                      ctmp[i + j * MR];
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+template <typename T>
+void gemm(Trans transa, Trans transb, T alpha, ConstMatrixView<T> a,
+          ConstMatrixView<T> b, T beta, MatrixView<T> c, Workspace* ws) {
+  const int k = transa == Trans::No ? a.cols : a.rows;
+  if (gemm_wants_blocked(c.rows, c.cols, k)) {
+    gemm_blocked(transa, transb, alpha, a, b, beta, c, ws);
+  } else {
+    gemm_unblocked(transa, transb, alpha, a, b, beta, c);
+  }
+}
+
+#define LUQR_INST(T)                                                          \
+  template void gemm<T>(Trans, Trans, T, ConstMatrixView<T>,                  \
+                        ConstMatrixView<T>, T, MatrixView<T>, Workspace*);    \
+  template void gemm_blocked<T>(Trans, Trans, T, ConstMatrixView<T>,          \
+                                ConstMatrixView<T>, T, MatrixView<T>,         \
+                                Workspace*);                                  \
+  template void gemm_unblocked<T>(Trans, Trans, T, ConstMatrixView<T>,        \
+                                  ConstMatrixView<T>, T, MatrixView<T>);
+LUQR_INST(double)
+LUQR_INST(float)
+#undef LUQR_INST
 
 }  // namespace luqr::kern

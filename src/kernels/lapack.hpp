@@ -14,12 +14,19 @@
 //
 // Definitions live in getrf.cpp / qr_kernels.cpp / ts_kernels.cpp /
 // tt_kernels.cpp / incpiv_kernels.cpp, instantiated for float and double.
+//
+// Kernels that need scratch (the compact-WY applies and the panel
+// factorizations' work vectors) take an optional Workspace*; nullptr means
+// the calling thread's arena (each engine worker owns one). The apply
+// kernels (TSMQR/TTMQR/UNMQR) route their W = V^T C / C -= V W products
+// through the packed blocked GEMM above the gemm dispatch threshold.
 #pragma once
 
 #include <vector>
 
 #include "kernels/blas.hpp"
 #include "kernels/matrix_view.hpp"
+#include "kernels/workspace.hpp"
 
 namespace luqr::kern {
 
@@ -62,12 +69,13 @@ void laswp(MatrixView<T> a, const std::vector<int>& piv, bool forward = true);
 /// (implicit unit diagonal); t (n x n) holds the upper-triangular block
 /// reflector factor with Q = I - V T V^T.
 template <typename T>
-void geqrt(MatrixView<T> a, MatrixView<T> t);
+void geqrt(MatrixView<T> a, MatrixView<T> t, Workspace* ws = nullptr);
 
 /// UNMQR: apply Q or Q^T from a GEQRT factorization to C (m x n), from the
 /// left: C <- op(Q) C, with V m x k, T k x k.
 template <typename T>
-void unmqr(Trans trans, ConstMatrixView<T> v, ConstMatrixView<T> t, MatrixView<T> c);
+void unmqr(Trans trans, ConstMatrixView<T> v, ConstMatrixView<T> t, MatrixView<T> c,
+           Workspace* ws = nullptr);
 
 /// TSQRT (triangle on top of square): QR factorization of the stacked tile
 ///   [ R ]   (nb x nb, upper triangular, updated in place)
@@ -75,7 +83,7 @@ void unmqr(Trans trans, ConstMatrixView<T> v, ConstMatrixView<T> t, MatrixView<T
 /// t (nb x nb) receives the block reflector factor. The stacked reflectors
 /// are [ I ; V ].
 template <typename T>
-void tsqrt(MatrixView<T> r, MatrixView<T> a, MatrixView<T> t);
+void tsqrt(MatrixView<T> r, MatrixView<T> a, MatrixView<T> t, Workspace* ws = nullptr);
 
 /// TSMQR: apply op(Q) from a TSQRT factorization to the stacked pair
 ///   [ C1 ]  (nb x n, the row of the eliminator)
@@ -83,20 +91,21 @@ void tsqrt(MatrixView<T> r, MatrixView<T> a, MatrixView<T> t);
 /// with V (m x nb) and T (nb x nb) from tsqrt.
 template <typename T>
 void tsmqr(Trans trans, ConstMatrixView<T> v, ConstMatrixView<T> t,
-           MatrixView<T> c1, MatrixView<T> c2);
+           MatrixView<T> c1, MatrixView<T> c2, Workspace* ws = nullptr);
 
 /// TTQRT (triangle on top of triangle): QR factorization of the stacked tile
 ///   [ R1 ]  (nb x nb upper triangular, updated in place)
 ///   [ R2 ]  (nb x nb upper triangular; on exit holds V, upper triangular)
 /// t (nb x nb) receives the block reflector factor.
 template <typename T>
-void ttqrt(MatrixView<T> r1, MatrixView<T> r2, MatrixView<T> t);
+void ttqrt(MatrixView<T> r1, MatrixView<T> r2, MatrixView<T> t,
+           Workspace* ws = nullptr);
 
 /// TTMQR: apply op(Q) from a TTQRT factorization to the stacked pair
 /// [C1; C2] (each nb x n) with upper-triangular V.
 template <typename T>
 void ttmqr(Trans trans, ConstMatrixView<T> v, ConstMatrixView<T> t,
-           MatrixView<T> c1, MatrixView<T> c2);
+           MatrixView<T> c1, MatrixView<T> c2, Workspace* ws = nullptr);
 
 // ---------------------------------------------------------------------------
 // Incremental (pairwise) pivoting kernels — the LU IncPiv baseline

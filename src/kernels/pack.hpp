@@ -1,0 +1,58 @@
+// Panel packing and cache-blocking configuration for the packed GEMM.
+//
+// The blocked GEMM (kernels/gemm.cpp) walks C in NC-wide column blocks, the
+// shared dimension in KC-deep slices, and A in MC-tall row blocks — the
+// classic {NC, KC, MC} loop nest that keeps a KC x NC slice of B resident in
+// L2/L3, an MC x KC slice of A in L2, and streams MR x NR micro-tiles of C
+// through registers. Before the micro-kernel runs, both slices are packed
+// into contiguous panels:
+//
+//   Ap: MR-row panels, element (i, l) of a panel at dst[l*MR + i]
+//   Bp: NR-column panels, element (l, j) of a panel at dst[l*NR + j]
+//
+// Packing absorbs the transpose variants (all four of gemm_nn/tn/nt/tt read
+// through the same packed layout) and folds alpha into Bp, so the inner
+// kernel is a single alpha-free code path. Short panels are zero-padded to
+// MR/NR, which is numerically inert (the padding rows/cols are never written
+// back).
+//
+// Blocking parameters come from the environment once per process
+// (LUQR_GEMM_MC/KC/NC, LUQR_GEMM_SMALL_MNK) and are deliberately
+// independent of thread count: a tile's GEMM performs bit-identical
+// arithmetic whether the serial driver or any engine worker runs it.
+#pragma once
+
+#include "kernels/blas.hpp"
+#include "kernels/matrix_view.hpp"
+
+namespace luqr::kern {
+
+/// Cache-blocking parameters, fixed at first use for the whole process.
+struct GemmBlocking {
+  int mc;         ///< A row-block height        (LUQR_GEMM_MC, default 256)
+  int kc;         ///< shared-dimension depth    (LUQR_GEMM_KC, default 256)
+  int nc;         ///< B/C column-block width    (LUQR_GEMM_NC, default 2048)
+  long small_mnk; ///< m*n*k below which gemm() keeps the simple loops
+                  ///< (LUQR_GEMM_SMALL_MNK, default 8192)
+};
+
+/// The process-wide blocking configuration (env read once, then cached).
+const GemmBlocking& gemm_blocking();
+
+/// Dispatch predicate of gemm(): true when an (m x n x k) product is big
+/// enough for the packed path to win over the simple loops.
+bool gemm_wants_blocked(int m, int n, int k);
+
+/// Pack the [i0, i0+mc) x [p0, p0+kc) block of op(A) into MR-row panels at
+/// dst (size >= round_up(mc, MR) * kc). op(A)(i, l) is a(i, l) or a(l, i).
+template <typename T, int MR>
+void pack_a_panel(Trans trans, int mc, int kc, ConstMatrixView<T> a, int i0,
+                  int p0, T* dst);
+
+/// Pack the [p0, p0+kc) x [j0, j0+nc) block of op(B), scaled by alpha, into
+/// NR-column panels at dst (size >= kc * round_up(nc, NR)).
+template <typename T, int NR>
+void pack_b_panel(Trans trans, T alpha, int kc, int nc, ConstMatrixView<T> b,
+                  int p0, int j0, T* dst);
+
+}  // namespace luqr::kern

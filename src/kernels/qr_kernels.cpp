@@ -1,7 +1,7 @@
 #include <cmath>
-#include <vector>
 
 #include "kernels/lapack.hpp"
+#include "kernels/pack.hpp"
 
 namespace luqr::kern {
 
@@ -29,12 +29,14 @@ T larfg(T& alpha, T* x, int n, int incx = 1) {
 }  // namespace
 
 template <typename T>
-void geqrt(MatrixView<T> a, MatrixView<T> t) {
+void geqrt(MatrixView<T> a, MatrixView<T> t, Workspace* wsp) {
   const int m = a.rows, n = a.cols;
   LUQR_REQUIRE(m >= n, "geqrt: m >= n required");
   LUQR_REQUIRE(t.rows >= n && t.cols >= n, "geqrt: T too small");
   fill(t.block(0, 0, n, n), T(0));
-  std::vector<T> work(static_cast<std::size_t>(n));
+  Workspace& ws = workspace_or_tls(wsp);
+  Workspace::Frame frame(ws);
+  T* work = ws.alloc<T>(static_cast<std::size_t>(n));
   for (int j = 0; j < n; ++j) {
     // Reflector for column j.
     const T tau = larfg(a(j, j), m > j + 1 ? &a(j + 1, j) : nullptr, m - j - 1);
@@ -55,11 +57,11 @@ void geqrt(MatrixView<T> a, MatrixView<T> t) {
       for (int i = 0; i < j; ++i) {
         T z = a(j, i);  // V(j, i), the unit of v_j hits row j of column i
         for (int r = j + 1; r < m; ++r) z += a(r, i) * a(r, j);
-        work[static_cast<std::size_t>(i)] = z;
+        work[i] = z;
       }
       for (int i = 0; i < j; ++i) {
         T acc = T(0);
-        for (int l = i; l < j; ++l) acc += t(i, l) * work[static_cast<std::size_t>(l)];
+        for (int l = i; l < j; ++l) acc += t(i, l) * work[l];
         t(i, j) = -tau * acc;
       }
     }
@@ -67,13 +69,43 @@ void geqrt(MatrixView<T> a, MatrixView<T> t) {
 }
 
 template <typename T>
-void unmqr(Trans trans, ConstMatrixView<T> v, ConstMatrixView<T> t, MatrixView<T> c) {
+void unmqr(Trans trans, ConstMatrixView<T> v, ConstMatrixView<T> t,
+           MatrixView<T> c, Workspace* wsp) {
   const int m = c.rows, n = c.cols, k = v.cols;
   LUQR_REQUIRE(v.rows == m && t.rows >= k && t.cols >= k, "unmqr shape mismatch");
   if (m == 0 || n == 0 || k == 0) return;
+  Workspace& ws = workspace_or_tls(wsp);
+  Workspace::Frame frame(ws);
+  MatrixView<T> w(ws.alloc<T>(static_cast<std::size_t>(k) * n), k, n, k);
+
+  if (gemm_wants_blocked(k, n, m)) {
+    // Big tiles: materialize the unit-lower-trapezoidal V densely (the
+    // upper triangle of its storage holds R and must read as zero, the
+    // diagonal as one) so both halves of the compact-WY apply are packed
+    // GEMMs — the W = V^T C / C -= V W shapes that dominate the QR step.
+    MatrixView<T> vfull(ws.alloc<T>(static_cast<std::size_t>(m) * k), m, k, m);
+    for (int j = 0; j < k; ++j) {
+      T* col = &vfull(0, j);
+      for (int i = 0; i < j; ++i) col[i] = T(0);
+      col[j] = T(1);
+      const T* src = &v(0, j);
+      for (int i = j + 1; i < m; ++i) col[i] = src[i];
+    }
+    // W = V^T C.
+    gemm(Trans::Yes, Trans::No, T(1), ConstMatrixView<T>(vfull),
+         ConstMatrixView<T>(c), T(0), w, &ws);
+    // W <- op(T) W.
+    trmm(Side::Left, Uplo::Upper, trans, Diag::NonUnit, T(1),
+         t.block(0, 0, k, k), w);
+    // C <- C - V W.
+    gemm(Trans::No, Trans::No, T(-1), ConstMatrixView<T>(vfull),
+         ConstMatrixView<T>(w), T(1), c, &ws);
+    return;
+  }
+
+  // Small tiles: trapezoidal loops, no value-based short-circuits (a NaN in
+  // W must reach every row of C it mathematically touches).
   // W = V^T C with V unit lower trapezoidal (implicit unit diagonal).
-  std::vector<T> wbuf(static_cast<std::size_t>(k) * n);
-  MatrixView<T> w(wbuf.data(), k, n, k);
   for (int j = 0; j < n; ++j) {
     for (int i = 0; i < k; ++i) {
       T acc = c(i, j);  // unit diagonal element of column i
@@ -82,23 +114,22 @@ void unmqr(Trans trans, ConstMatrixView<T> v, ConstMatrixView<T> t, MatrixView<T
     }
   }
   // W <- op(T) W.
-  trmm(Side::Left, Uplo::Upper, trans == Trans::Yes ? Trans::Yes : Trans::No,
-       Diag::NonUnit, T(1), t.block(0, 0, k, k), w);
+  trmm(Side::Left, Uplo::Upper, trans, Diag::NonUnit, T(1),
+       t.block(0, 0, k, k), w);
   // C <- C - V W.
   for (int j = 0; j < n; ++j) {
     for (int i = 0; i < k; ++i) {
       const T wij = w(i, j);
-      if (wij == T(0)) continue;
       c(i, j) -= wij;  // unit diagonal
       for (int r = i + 1; r < m; ++r) c(r, j) -= v(r, i) * wij;
     }
   }
 }
 
-#define LUQR_INST(T)                                                   \
-  template void geqrt<T>(MatrixView<T>, MatrixView<T>);                \
+#define LUQR_INST(T)                                                    \
+  template void geqrt<T>(MatrixView<T>, MatrixView<T>, Workspace*);     \
   template void unmqr<T>(Trans, ConstMatrixView<T>, ConstMatrixView<T>, \
-                         MatrixView<T>);
+                         MatrixView<T>, Workspace*);
 LUQR_INST(double)
 LUQR_INST(float)
 #undef LUQR_INST

@@ -99,26 +99,54 @@ void trmm(Side side, Uplo uplo, Trans trans, Diag diag, T alpha,
   LUQR_REQUIRE(side == Side::Left ? a.rows == m : a.rows == n,
                "trmm dimension mismatch");
   const bool unit = diag == Diag::Unit;
-  // tri(i, l) = element (i, l) of op(A) restricted to the stored triangle.
-  auto tri = [&](int i, int l) -> T {
-    const int r = trans == Trans::No ? i : l;
-    const int c = trans == Trans::No ? l : i;
-    const bool stored = (uplo == Uplo::Lower) ? (r >= c) : (r <= c);
-    if (!stored) return T(0);
-    if (r == c && unit) return T(1);
-    return a(r, c);
-  };
-  std::vector<T> tmp(static_cast<std::size_t>(side == Side::Left ? m : n));
   if (side == Side::Left) {
+    // In-place dot form over the stored triangle, per column of B. The
+    // traversal direction is chosen so each b(i, j) is overwritten only
+    // after every element that reads it: op(A) upper -> descending reads /
+    // ascending writes, op(A) lower -> the reverse. This is the hot path of
+    // every compact-WY apply (the op(T) * Z step), so the inner loops are
+    // plain contiguous dots rather than a branchy triangle lambda.
+    const bool op_upper = (uplo == Uplo::Upper) == (trans == Trans::No);
     for (int j = 0; j < n; ++j) {
-      for (int i = 0; i < m; ++i) {
-        T acc = T(0);
-        for (int l = 0; l < m; ++l) acc += tri(i, l) * b(l, j);
-        tmp[static_cast<std::size_t>(i)] = alpha * acc;
+      T* bj = &b(0, j);
+      if (op_upper) {
+        for (int i = 0; i < m; ++i) {
+          T acc = unit ? bj[i] : a(i, i) * bj[i];
+          if (trans == Trans::No) {
+            // Row i of upper A, elements l > i: strided read of A.
+            for (int l = i + 1; l < m; ++l) acc += a(i, l) * bj[l];
+          } else {
+            // op(A) = L^T: column i of lower A below the diagonal.
+            const T* ai = &a(0, i);
+            for (int l = i + 1; l < m; ++l) acc += ai[l] * bj[l];
+          }
+          bj[i] = alpha * acc;
+        }
+      } else {
+        for (int i = m - 1; i >= 0; --i) {
+          T acc = unit ? bj[i] : a(i, i) * bj[i];
+          if (trans == Trans::No) {
+            for (int l = 0; l < i; ++l) acc += a(i, l) * bj[l];
+          } else {
+            // op(A) = U^T: column i of upper A above the diagonal.
+            const T* ai = &a(0, i);
+            for (int l = 0; l < i; ++l) acc += ai[l] * bj[l];
+          }
+          bj[i] = alpha * acc;
+        }
       }
-      for (int i = 0; i < m; ++i) b(i, j) = tmp[static_cast<std::size_t>(i)];
     }
   } else {
+    // tri(i, l) = element (i, l) of op(A) restricted to the stored triangle.
+    auto tri = [&](int i, int l) -> T {
+      const int r = trans == Trans::No ? i : l;
+      const int c = trans == Trans::No ? l : i;
+      const bool stored = (uplo == Uplo::Lower) ? (r >= c) : (r <= c);
+      if (!stored) return T(0);
+      if (r == c && unit) return T(1);
+      return a(r, c);
+    };
+    std::vector<T> tmp(static_cast<std::size_t>(n));
     for (int i = 0; i < m; ++i) {
       for (int j = 0; j < n; ++j) {
         T acc = T(0);

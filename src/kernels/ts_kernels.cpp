@@ -1,17 +1,18 @@
 #include <cmath>
-#include <vector>
 
 #include "kernels/lapack.hpp"
 
 namespace luqr::kern {
 
 template <typename T>
-void tsqrt(MatrixView<T> r, MatrixView<T> a, MatrixView<T> t) {
+void tsqrt(MatrixView<T> r, MatrixView<T> a, MatrixView<T> t, Workspace* wsp) {
   const int nb = r.cols, m = a.rows;
   LUQR_REQUIRE(r.rows == nb && a.cols == nb, "tsqrt shape mismatch");
   LUQR_REQUIRE(t.rows >= nb && t.cols >= nb, "tsqrt: T too small");
   fill(t.block(0, 0, nb, nb), T(0));
-  std::vector<T> work(static_cast<std::size_t>(nb));
+  Workspace& ws = workspace_or_tls(wsp);
+  Workspace::Frame frame(ws);
+  T* work = ws.alloc<T>(static_cast<std::size_t>(nb));
   for (int j = 0; j < nb; ++j) {
     // Reflector from [R(j,j); A(:,j)] — the rows of R below j are zero and
     // stay zero, so v = [e_j; A(:,j)] with the unit carried by R's row j.
@@ -42,11 +43,11 @@ void tsqrt(MatrixView<T> r, MatrixView<T> a, MatrixView<T> t) {
         for (int i = 0; i < j; ++i) {
           T z = T(0);
           for (int rr = 0; rr < m; ++rr) z += a(rr, i) * a(rr, j);
-          work[static_cast<std::size_t>(i)] = z;
+          work[i] = z;
         }
         for (int i = 0; i < j; ++i) {
           T acc = T(0);
-          for (int l = i; l < j; ++l) acc += t(i, l) * work[static_cast<std::size_t>(l)];
+          for (int l = i; l < j; ++l) acc += t(i, l) * work[l];
           t(i, j) = -tau * acc;
         }
       }
@@ -56,28 +57,30 @@ void tsqrt(MatrixView<T> r, MatrixView<T> a, MatrixView<T> t) {
 
 template <typename T>
 void tsmqr(Trans trans, ConstMatrixView<T> v, ConstMatrixView<T> t,
-           MatrixView<T> c1, MatrixView<T> c2) {
+           MatrixView<T> c1, MatrixView<T> c2, Workspace* wsp) {
   const int nb = v.cols, m = v.rows, n = c1.cols;
   LUQR_REQUIRE(c1.rows == nb && c2.rows == m && c2.cols == n, "tsmqr shape mismatch");
   if (n == 0) return;
+  Workspace& ws = workspace_or_tls(wsp);
+  Workspace::Frame frame(ws);
   // Z = C1 + V^T C2  (the stacked reflectors are [I; V]).
-  std::vector<T> zbuf(static_cast<std::size_t>(nb) * n);
-  MatrixView<T> z(zbuf.data(), nb, n, nb);
+  MatrixView<T> z(ws.alloc<T>(static_cast<std::size_t>(nb) * n), nb, n, nb);
   copy(ConstMatrixView<T>(c1), z);
-  gemm(Trans::Yes, Trans::No, T(1), v, ConstMatrixView<T>(c2), T(1), z);
+  gemm(Trans::Yes, Trans::No, T(1), v, ConstMatrixView<T>(c2), T(1), z, &ws);
   // Z <- op(T) Z.
   trmm(Side::Left, Uplo::Upper, trans, Diag::NonUnit, T(1),
        t.block(0, 0, nb, nb), z);
   // C1 -= Z ; C2 -= V Z.
   for (int j = 0; j < n; ++j)
     for (int i = 0; i < nb; ++i) c1(i, j) -= z(i, j);
-  gemm(Trans::No, Trans::No, T(-1), v, ConstMatrixView<T>(z), T(1), c2);
+  gemm(Trans::No, Trans::No, T(-1), v, ConstMatrixView<T>(z), T(1), c2, &ws);
 }
 
 #define LUQR_INST(T)                                                      \
-  template void tsqrt<T>(MatrixView<T>, MatrixView<T>, MatrixView<T>);    \
+  template void tsqrt<T>(MatrixView<T>, MatrixView<T>, MatrixView<T>,     \
+                         Workspace*);                                     \
   template void tsmqr<T>(Trans, ConstMatrixView<T>, ConstMatrixView<T>,   \
-                         MatrixView<T>, MatrixView<T>);
+                         MatrixView<T>, MatrixView<T>, Workspace*);
 LUQR_INST(double)
 LUQR_INST(float)
 #undef LUQR_INST

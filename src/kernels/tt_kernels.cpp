@@ -1,17 +1,19 @@
 #include <cmath>
-#include <vector>
 
 #include "kernels/lapack.hpp"
+#include "kernels/pack.hpp"
 
 namespace luqr::kern {
 
 template <typename T>
-void ttqrt(MatrixView<T> r1, MatrixView<T> r2, MatrixView<T> t) {
+void ttqrt(MatrixView<T> r1, MatrixView<T> r2, MatrixView<T> t, Workspace* wsp) {
   const int nb = r1.cols;
   LUQR_REQUIRE(r1.rows == nb && r2.rows == nb && r2.cols == nb, "ttqrt shape mismatch");
   LUQR_REQUIRE(t.rows >= nb && t.cols >= nb, "ttqrt: T too small");
   fill(t.block(0, 0, nb, nb), T(0));
-  std::vector<T> work(static_cast<std::size_t>(nb));
+  Workspace& ws = workspace_or_tls(wsp);
+  Workspace::Frame frame(ws);
+  T* work = ws.alloc<T>(static_cast<std::size_t>(nb));
   for (int j = 0; j < nb; ++j) {
     // Reflector from [R1(j,j); R2(0:j+1, j)] — both blocks upper triangular,
     // so the reflector touches only rows 0..j of R2 and V stays triangular.
@@ -42,11 +44,11 @@ void ttqrt(MatrixView<T> r1, MatrixView<T> r2, MatrixView<T> t) {
         for (int i = 0; i < j; ++i) {
           T z = T(0);
           for (int rr = 0; rr <= i; ++rr) z += r2(rr, i) * r2(rr, j);
-          work[static_cast<std::size_t>(i)] = z;
+          work[i] = z;
         }
         for (int i = 0; i < j; ++i) {
           T acc = T(0);
-          for (int l = i; l < j; ++l) acc += t(i, l) * work[static_cast<std::size_t>(l)];
+          for (int l = i; l < j; ++l) acc += t(i, l) * work[l];
           t(i, j) = -tau * acc;
         }
       }
@@ -56,15 +58,44 @@ void ttqrt(MatrixView<T> r1, MatrixView<T> r2, MatrixView<T> t) {
 
 template <typename T>
 void ttmqr(Trans trans, ConstMatrixView<T> v, ConstMatrixView<T> t,
-           MatrixView<T> c1, MatrixView<T> c2) {
+           MatrixView<T> c1, MatrixView<T> c2, Workspace* wsp) {
   const int nb = v.cols, n = c1.cols;
   LUQR_REQUIRE(v.rows == nb && c1.rows == nb && c2.rows == nb && c2.cols == n,
                "ttmqr shape mismatch");
   if (n == 0) return;
-  // Z = C1 + V^T C2 with V upper triangular.
-  std::vector<T> zbuf(static_cast<std::size_t>(nb) * n);
-  MatrixView<T> z(zbuf.data(), nb, n, nb);
+  Workspace& ws = workspace_or_tls(wsp);
+  Workspace::Frame frame(ws);
+  MatrixView<T> z(ws.alloc<T>(static_cast<std::size_t>(nb) * n), nb, n, nb);
   copy(ConstMatrixView<T>(c1), z);
+
+  if (gemm_wants_blocked(nb, n, nb)) {
+    // Big tiles: materialize the triangular V as a dense tile (the storage
+    // below its diagonal belongs to earlier reflectors and must read as
+    // zero) and ride the packed GEMM for both V^T C2 and V Z. The explicit
+    // zeros double the nominal flop count but run at blocked-kernel speed,
+    // which overtakes the short triangular loops well before nb = 64.
+    MatrixView<T> vfull(ws.alloc<T>(static_cast<std::size_t>(nb) * nb), nb, nb, nb);
+    for (int j = 0; j < nb; ++j) {
+      T* col = &vfull(0, j);
+      for (int i = 0; i <= j; ++i) col[i] = v(i, j);
+      for (int i = j + 1; i < nb; ++i) col[i] = T(0);
+    }
+    // Z = C1 + V^T C2.
+    gemm(Trans::Yes, Trans::No, T(1), ConstMatrixView<T>(vfull),
+         ConstMatrixView<T>(c2), T(1), z, &ws);
+    trmm(Side::Left, Uplo::Upper, trans, Diag::NonUnit, T(1),
+         t.block(0, 0, nb, nb), z);
+    // C1 -= Z ; C2 -= V Z.
+    for (int j = 0; j < n; ++j)
+      for (int i = 0; i < nb; ++i) c1(i, j) -= z(i, j);
+    gemm(Trans::No, Trans::No, T(-1), ConstMatrixView<T>(vfull),
+         ConstMatrixView<T>(z), T(1), c2, &ws);
+    return;
+  }
+
+  // Small tiles: triangular loops touch half the elements; no value-based
+  // short-circuits (NaN/Inf in C2/Z must propagate).
+  // Z = C1 + V^T C2 with V upper triangular.
   for (int j = 0; j < n; ++j) {
     for (int i = 0; i < nb; ++i) {
       T acc = T(0);
@@ -79,16 +110,16 @@ void ttmqr(Trans trans, ConstMatrixView<T> v, ConstMatrixView<T> t,
     for (int i = 0; i < nb; ++i) c1(i, j) -= z(i, j);
     for (int i = 0; i < nb; ++i) {
       const T zij = z(i, j);
-      if (zij == T(0)) continue;
       for (int r = 0; r <= i; ++r) c2(r, j) -= v(r, i) * zij;
     }
   }
 }
 
 #define LUQR_INST(T)                                                      \
-  template void ttqrt<T>(MatrixView<T>, MatrixView<T>, MatrixView<T>);    \
+  template void ttqrt<T>(MatrixView<T>, MatrixView<T>, MatrixView<T>,     \
+                         Workspace*);                                     \
   template void ttmqr<T>(Trans, ConstMatrixView<T>, ConstMatrixView<T>,   \
-                         MatrixView<T>, MatrixView<T>);
+                         MatrixView<T>, MatrixView<T>, Workspace*);
 LUQR_INST(double)
 LUQR_INST(float)
 #undef LUQR_INST

@@ -1,0 +1,64 @@
+#include "kernels/workspace.hpp"
+
+namespace luqr::kern {
+
+namespace {
+
+// First chunk is sized for one nb=128 apply kernel's scratch; bigger needs
+// grow geometrically from there.
+constexpr std::size_t kMinChunkBytes = std::size_t(1) << 18;  // 256 KiB
+
+thread_local Workspace* t_workspace = nullptr;
+
+}  // namespace
+
+Workspace::~Workspace() {
+  for (Chunk& c : chunks_)
+    ::operator delete(c.data, std::align_val_t(kCacheLineBytes));
+}
+
+void* Workspace::raw_alloc(std::size_t bytes) {
+  bytes = align_up(bytes > 0 ? bytes : 1, kCacheLineBytes);
+  // Advance through (empty) later chunks until one fits; chunks before
+  // active_ belong to enclosing frames and are never touched.
+  while (active_ < chunks_.size()) {
+    Chunk& c = chunks_[active_];
+    if (c.cap - c.used >= bytes) {
+      void* p = c.data + c.used;
+      c.used += bytes;
+      return p;
+    }
+    if (active_ + 1 == chunks_.size()) break;
+    ++active_;
+  }
+  // Grow: new chunk at the tail, geometric in the arena's total size.
+  std::size_t cap = kMinChunkBytes;
+  for (const Chunk& c : chunks_) cap += c.cap;  // ~doubling overall
+  if (cap < bytes) cap = align_up(bytes, kMinChunkBytes);
+  Chunk c;
+  c.data = static_cast<std::byte*>(
+      ::operator new(cap, std::align_val_t(kCacheLineBytes)));
+  c.cap = cap;
+  c.used = bytes;
+  chunks_.push_back(c);
+  active_ = chunks_.size() - 1;
+  bytes_reserved_.fetch_add(cap, std::memory_order_relaxed);
+  return c.data;
+}
+
+void Workspace::release_(std::size_t chunk, std::size_t used) {
+  if (chunks_.empty()) return;
+  for (std::size_t i = chunk + 1; i < chunks_.size(); ++i) chunks_[i].used = 0;
+  chunks_[chunk].used = used;
+  active_ = chunk;
+}
+
+Workspace& tls_workspace() {
+  if (t_workspace != nullptr) return *t_workspace;
+  thread_local Workspace fallback;
+  return fallback;
+}
+
+void install_tls_workspace(Workspace* ws) { t_workspace = ws; }
+
+}  // namespace luqr::kern

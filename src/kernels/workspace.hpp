@@ -1,0 +1,107 @@
+// Per-worker workspace arena for kernel scratch memory.
+//
+// Every apply kernel (TSMQR, TTMQR, UNMQR) and the packed GEMM need scratch
+// buffers — the W = V^T C intermediate, the packed A/B panels, the
+// block-reflector work vector. Allocating those per call (the seed did a
+// std::vector per task) puts an allocator round-trip on every task of the
+// trailing update; a Workspace instead grows once per thread to the
+// high-water mark and is bump-allocated from then on.
+//
+// Ownership model:
+//   - Each engine worker owns one Workspace (runtime/engine installs it for
+//     the duration of worker_loop via install_tls_workspace).
+//   - Non-worker threads (the serial driver, tests) fall back to a
+//     function-local thread_local arena.
+//   - Kernels take an optional `Workspace*` argument; nullptr means "the
+//     calling thread's arena" — so call sites only thread it explicitly
+//     when they want a specific one.
+//
+// Allocation discipline: a kernel opens a Frame (RAII) and alloc()s inside
+// it; the frame pops everything it allocated on destruction, so nested
+// kernel calls (tsmqr -> gemm -> pack) stack naturally. Chunks are never
+// freed before the Workspace dies and grow geometrically, so pointers
+// handed out stay valid for the life of their frame and steady-state reuse
+// allocates nothing.
+//
+// A Workspace is single-threaded by construction (one per worker); only the
+// bytes_reserved() telemetry counter is cross-thread readable.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+#include "common/aligned.hpp"
+#include "common/error.hpp"
+
+namespace luqr::kern {
+
+class Workspace {
+ public:
+  Workspace() = default;
+  ~Workspace();
+  Workspace(const Workspace&) = delete;
+  Workspace& operator=(const Workspace&) = delete;
+
+  /// RAII allocation scope: everything alloc()ed after frame() opens is
+  /// released when the Frame goes out of scope.
+  class Frame {
+   public:
+    explicit Frame(Workspace& ws)
+        : ws_(ws), chunk_(ws.active_), used_(ws.chunk_used_()) {}
+    ~Frame() { ws_.release_(chunk_, used_); }
+    Frame(const Frame&) = delete;
+    Frame& operator=(const Frame&) = delete;
+
+   private:
+    Workspace& ws_;
+    std::size_t chunk_;
+    std::size_t used_;
+  };
+
+  /// 64-byte-aligned scratch for `count` elements of T, valid until the
+  /// enclosing Frame closes. Contents are uninitialized.
+  template <typename T>
+  T* alloc(std::size_t count) {
+    return static_cast<T*>(raw_alloc(count * sizeof(T)));
+  }
+
+  /// Total bytes of chunk capacity this arena holds (telemetry; readable
+  /// from any thread).
+  std::size_t bytes_reserved() const {
+    return bytes_reserved_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Chunk {
+    std::byte* data = nullptr;
+    std::size_t cap = 0;
+    std::size_t used = 0;
+  };
+
+  void* raw_alloc(std::size_t bytes);
+  std::size_t chunk_used_() const {
+    return chunks_.empty() ? 0 : chunks_[active_].used;
+  }
+  void release_(std::size_t chunk, std::size_t used);
+
+  std::vector<Chunk> chunks_;
+  std::size_t active_ = 0;  // index of the chunk currently bump-allocated
+  std::atomic<std::size_t> bytes_reserved_{0};
+};
+
+/// The calling thread's arena: the installed per-worker Workspace when
+/// running inside an engine worker, a thread_local fallback otherwise.
+Workspace& tls_workspace();
+
+/// Register `ws` as the calling thread's arena (nullptr to deregister).
+/// Used by runtime/engine to hand each worker its own arena; the pointer
+/// must outlive the registration.
+void install_tls_workspace(Workspace* ws);
+
+/// Resolve a kernel's optional workspace argument.
+inline Workspace& workspace_or_tls(Workspace* ws) {
+  return ws != nullptr ? *ws : tls_workspace();
+}
+
+}  // namespace luqr::kern

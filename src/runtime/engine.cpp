@@ -175,6 +175,10 @@ Engine::Task* Engine::try_pop(int self) {
 void Engine::worker_loop(int self) {
   t_engine = this;
   t_worker = self;
+  // Hand every kernel that runs on this worker the worker's own arena:
+  // scratch is allocated once per worker, not once per task.
+  kern::install_tls_workspace(
+      &workers_[static_cast<std::size_t>(self)]->workspace);
   for (;;) {
     Task* task = try_pop(self);
     if (task == nullptr) {
@@ -282,6 +286,12 @@ std::size_t Engine::live_tasks() const {
 std::size_t Engine::tracked_data() const {
   std::lock_guard<std::mutex> lock(mu_);
   return data_.size();
+}
+
+std::size_t Engine::workspace_bytes() const {
+  std::size_t total = 0;
+  for (const auto& w : workers_) total += w->workspace.bytes_reserved();
+  return total;
 }
 
 std::vector<TraceEvent> Engine::trace() const {

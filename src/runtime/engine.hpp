@@ -52,6 +52,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "kernels/workspace.hpp"
+
 namespace luqr::rt {
 
 /// Declared access mode of one task on one datum.
@@ -131,6 +133,10 @@ class Engine {
   std::size_t live_tasks() const;
   /// Per-datum access histories not yet pruned.
   std::size_t tracked_data() const;
+  /// Total bytes of kernel-workspace arena capacity across the worker pool
+  /// (telemetry: the steady-state scratch footprint; allocated once per
+  /// worker, not per task).
+  std::size_t workspace_bytes() const;
 
   /// All recorded trace events, merged across workers and sorted by start
   /// time. Requires a quiescent engine (call after wait_all()).
@@ -161,6 +167,11 @@ class Engine {
     std::mutex mu;
     std::deque<Task*> ready;  // owner: push/pop back (LIFO); thief: pop front
     std::vector<TraceEvent> events;
+    // Per-worker kernel scratch arena: packed GEMM panels and compact-WY
+    // intermediates grow it to the high-water mark once, then every task on
+    // this worker bump-allocates from it (installed as the thread's arena
+    // for the lifetime of worker_loop).
+    kern::Workspace workspace;
     std::thread thread;
   };
 

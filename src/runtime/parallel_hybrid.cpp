@@ -147,10 +147,13 @@ void submit_lu_step(Driver& d, StepContext& ctx) {
     for (int j = k + 1; j < nt; ++j) {
       d.engine.submit(
           [&a, c, i, j, k, n, growth] {
+            // The executing worker's arena: packing scratch allocated once
+            // per worker, reused by every task that lands on it.
+            kern::Workspace& ws = kern::tls_workspace();
             auto aij = a.tile(i, j);
             kern::gemm(Trans::No, Trans::No, -1.0,
                        ConstMatrixView<double>(a.tile(i, k)),
-                       ConstMatrixView<double>(a.tile(k, j)), 1.0, aij);
+                       ConstMatrixView<double>(a.tile(k, j)), 1.0, aij, &ws);
             if (growth && j < n)
               atomic_max(c->step_max,
                          kern::lange(kern::Norm::One,
@@ -232,7 +235,7 @@ void submit_qr_step(Driver& d, StepContext& ctx, core::StepLog* step_log) {
       d.engine.submit(
           [&a, row, j, k, t] {
             kern::unmqr(Trans::Yes, ConstMatrixView<double>(a.tile(row, k)),
-                        t->cview(), a.tile(row, j));
+                        t->cview(), a.tile(row, j), &kern::tls_workspace());
           },
           {{a.tile(row, j).data, Access::ReadWrite},
            {a.tile(row, k).data, Access::Read},
@@ -264,12 +267,15 @@ void submit_qr_step(Driver& d, StepContext& ctx, core::StepLog* step_log) {
       // where they are later killed; row k is outside the trailing block.)
       d.engine.submit(
           [&a, c, e, j, k, n, t, ts, growth] {
+            kern::Workspace& ws = kern::tls_workspace();
             if (ts) {
               kern::tsmqr(Trans::Yes, ConstMatrixView<double>(a.tile(e.killed, k)),
-                          t->cview(), a.tile(e.killer, j), a.tile(e.killed, j));
+                          t->cview(), a.tile(e.killer, j), a.tile(e.killed, j),
+                          &ws);
             } else {
               kern::ttmqr(Trans::Yes, ConstMatrixView<double>(a.tile(e.killed, k)),
-                          t->cview(), a.tile(e.killer, j), a.tile(e.killed, j));
+                          t->cview(), a.tile(e.killer, j), a.tile(e.killed, j),
+                          &ws);
             }
             if (growth && j < n)
               atomic_max(c->step_max,

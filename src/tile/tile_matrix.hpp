@@ -15,19 +15,23 @@
 
 #include <vector>
 
+#include "common/aligned.hpp"
 #include "kernels/dense.hpp"
 #include "kernels/matrix_view.hpp"
 
 namespace luqr {
 
-/// Owning tiled matrix: mt x nt tiles of nb x nb scalars.
+/// Owning tiled matrix: mt x nt tiles of nb x nb scalars. Storage is
+/// 64-byte aligned and the per-tile stride is padded up to a whole number
+/// of cache lines, so every tile starts on a cache-line/SIMD boundary
+/// regardless of nb.
 template <typename T>
 class TileMatrix {
  public:
   TileMatrix() = default;
   TileMatrix(int mt, int nt, int nb)
-      : mt_(mt), nt_(nt), nb_(nb),
-        data_(static_cast<std::size_t>(mt) * nt * nb * nb, T(0)) {
+      : mt_(mt), nt_(nt), nb_(nb), tile_stride_(padded_tile_stride(nb)),
+        data_(static_cast<std::size_t>(mt) * nt * padded_tile_stride(nb), T(0)) {
     LUQR_REQUIRE(mt >= 0 && nt >= 0 && nb > 0, "bad tile grid shape");
   }
 
@@ -72,19 +76,25 @@ class TileMatrix {
   void restore_column(int j, int i0, int i1, const std::vector<std::vector<T>>& saved);
 
  private:
+  /// Elements between consecutive tiles: nb*nb rounded up so each tile
+  /// begins a whole number of cache lines after the (aligned) base.
+  static std::size_t padded_tile_stride(int nb) {
+    constexpr std::size_t elems_per_line = kCacheLineBytes / sizeof(T);
+    return align_up(static_cast<std::size_t>(nb) * nb, elems_per_line);
+  }
+
   T* tile_ptr(int i, int j) {
     LUQR_REQUIRE(i >= 0 && i < mt_ && j >= 0 && j < nt_, "tile index out of range");
-    return data_.data() +
-           (static_cast<std::size_t>(j) * mt_ + i) * nb_ * nb_;
+    return data_.data() + (static_cast<std::size_t>(j) * mt_ + i) * tile_stride_;
   }
   const T* tile_ptr(int i, int j) const {
     LUQR_REQUIRE(i >= 0 && i < mt_ && j >= 0 && j < nt_, "tile index out of range");
-    return data_.data() +
-           (static_cast<std::size_t>(j) * mt_ + i) * nb_ * nb_;
+    return data_.data() + (static_cast<std::size_t>(j) * mt_ + i) * tile_stride_;
   }
 
   int mt_ = 0, nt_ = 0, nb_ = 1;
-  std::vector<T> data_;
+  std::size_t tile_stride_ = 0;
+  std::vector<T, AlignedAllocator<T>> data_;
 };
 
 }  // namespace luqr
