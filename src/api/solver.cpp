@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "core/autotune.hpp"
+#include "runtime/engine.hpp"
 #include "runtime/parallel_hybrid.hpp"
 
 namespace luqr {
@@ -43,6 +44,11 @@ void SolverConfig::validate() const {
     LUQR_REQUIRE(criterion_.tunable(),
                  "auto-tuning supports the max/sum/mumps criteria");
   }
+  if (engine_ != nullptr) {
+    LUQR_REQUIRE(!scheduler_.trace,
+                 "the per-task trace needs a quiescent engine of its own; "
+                 "it is unavailable on a shared engine");
+  }
 }
 
 Solver::Solver(SolverConfig config) : config_(std::move(config)) {
@@ -67,6 +73,7 @@ Criterion* Solver::resolve_criterion(const Matrix<double>& a,
 }
 
 int Solver::resolve_threads() const {
+  if (config_.engine() != nullptr) return config_.engine()->num_threads();
   if (config_.threads() > 0) return config_.threads();
   const unsigned hw = std::thread::hardware_concurrency();
   return hw > 0 ? static_cast<int>(hw) : 1;
@@ -101,8 +108,12 @@ core::Factorization Solver::factor(const Matrix<double>& a) const {
   TileMatrix<double> tiles = TileMatrix<double>::from_dense(a, nb);
   core::TransformLog log;
   core::FactorizationStats stats =
-      rt::parallel_hybrid_factor(tiles, *criterion, options, resolve_threads(),
-                                 &log, config_.scheduler());
+      config_.engine() != nullptr
+          ? rt::parallel_hybrid_factor_on(*config_.engine(), tiles, *criterion,
+                                          options, &log, config_.scheduler())
+          : rt::parallel_hybrid_factor(tiles, *criterion, options,
+                                       resolve_threads(), &log,
+                                       config_.scheduler());
   return core::Factorization::adopt(a, std::move(tiles), std::move(stats),
                                     std::move(log), options);
 }
@@ -127,8 +138,14 @@ core::SolveResult Solver::solve(const Matrix<double>& a,
   TileMatrix<double> aug = core::make_augmented(a, b, config_.tile_size());
   core::SolveResult result;
   if (resolve_backend(aug.mt()) == Backend::Parallel) {
-    result.stats = rt::parallel_hybrid_factor(
-        aug, *criterion, options, resolve_threads(), nullptr, config_.scheduler());
+    result.stats =
+        config_.engine() != nullptr
+            ? rt::parallel_hybrid_factor_on(*config_.engine(), aug, *criterion,
+                                            options, nullptr,
+                                            config_.scheduler())
+            : rt::parallel_hybrid_factor(aug, *criterion, options,
+                                         resolve_threads(), nullptr,
+                                         config_.scheduler());
   } else {
     result.stats = core::hybrid_factor(aug, *criterion, options);
   }

@@ -31,6 +31,10 @@
 #include "kernels/dense.hpp"
 #include "runtime/scheduler.hpp"
 
+namespace luqr::rt {
+class Engine;
+}
+
 namespace luqr {
 
 /// Execution backend of a Solver. Serial runs the sequential tiled driver;
@@ -125,6 +129,16 @@ class SolverConfig {
     scheduler_ = s;
     return *this;
   }
+  /// Shared-engine handle: run every Parallel-backend factorization on this
+  /// long-lived engine instead of constructing a per-call worker pool — the
+  /// serve subsystem's mode, where many Solver calls (possibly concurrent)
+  /// multiplex onto one pool. The engine defines the worker count (threads()
+  /// is ignored) and must outlive the Solver. Incompatible with the per-task
+  /// trace, which needs a quiescent engine of its own.
+  SolverConfig& engine(std::shared_ptr<rt::Engine> e) {
+    engine_ = std::move(e);
+    return *this;
+  }
 
   const CriterionSpec& criterion() const { return criterion_; }
   Criterion* external_criterion() const { return external_; }
@@ -142,6 +156,7 @@ class SolverConfig {
   bool exact_inv_norm() const { return exact_inv_norm_; }
   bool track_growth() const { return track_growth_; }
   const rt::SchedulerOptions& scheduler() const { return scheduler_; }
+  const std::shared_ptr<rt::Engine>& engine() const { return engine_; }
 
   /// Adopt every knob a low-level HybridOptions carries (used by the
   /// delegating free-function wrappers).
@@ -169,6 +184,7 @@ class SolverConfig {
   bool exact_inv_norm_ = false;
   bool track_growth_ = false;
   rt::SchedulerOptions scheduler_{};
+  std::shared_ptr<rt::Engine> engine_;
 };
 
 /// Session-style entry point: configure once, then factor / solve any number

@@ -2,6 +2,7 @@
 
 #include "kernels/blas.hpp"
 #include "kernels/lapack.hpp"
+#include "kernels/pack.hpp"
 
 namespace luqr::core {
 
@@ -158,14 +159,65 @@ void Factorization::apply_transformations(TileMatrix<double>& b) const {
   }
 }
 
+// ---------------------------------------------------------------------------
+// WideBlocked RHS path: all columns in one dense panel
+// ---------------------------------------------------------------------------
+//
+// The per-tile-column layout slices a W-column RHS into ceil(W/nb) separate
+// nb-wide tile columns (one column pads up to a whole nb-wide tile), so
+// every trailing GEMM of the replay and the back-substitution runs
+// ceil(W/nb) times at width nb. The wide layout keeps the RHS as one
+// (mt*nb) x Wp column-major panel addressed through nb-row block views, so
+// each of those GEMMs runs once at the panel width: bigger products through
+// the packed cache-blocked kernel for batched RHS, and — the serving hot
+// path — Wp = W exactly for LU/A1-only factorizations, which removes the
+// padded-to-nb waste entirely (a cache-hit single-RHS solve drops from
+// O(n^2 nb) to O(n^2) work).
+//
+// Bitwise equality with the per-tile-column path (asserted by the tests)
+// rests on three facts: (1) the packed GEMM's per-element sums depend only
+// on KC, never on the panel width — and the wide path does not re-dispatch
+// on its own width but mirrors the per-column path's choice (an nb x nb x
+// nb product's verdict), so every element goes through the same kernel at
+// a different width; (2) TRSM and the row interchanges are exactly
+// per-column operations; (3) the orthogonal applies (UNMQR/TSMQR/TTMQR,
+// whose internals dispatch on their own operand widths) are only reached
+// for factorizations with QR or block-LU steps, where the panel is padded
+// to whole tiles and walked in nb-wide slices, keeping every such kernel
+// call shape-identical to the per-column path.
+
 Matrix<double> Factorization::solve(const Matrix<double>& b,
-                                    int refinement_sweeps) const {
+                                    int refinement_sweeps, RhsPath path) const {
   LUQR_REQUIRE(b.rows() == n_scalar_, "rhs row count mismatch");
   const int nb = factored_.nb();
   const int mt = factored_.mt();
   const int bt = (b.cols() + nb - 1) / nb;
 
+  // Plain LU/A1 factorizations replay through swaps, TRSM and GEMM only —
+  // all exactly per-column — so the wide panel may be the exact RHS width.
+  bool lu_a1_only = true;
+  for (const StepRecord& rec : stats_.steps)
+    lu_a1_only = lu_a1_only && rec.kind == StepKind::LU &&
+                 rec.variant == LuVariant::A1;
+
+  // Auto: wide whenever it saves work — multi-column RHS (fewer, bigger
+  // GEMMs), or any width on an LU/A1-only factorization (exact-width panel).
+  const bool wide = path == RhsPath::WideBlocked ||
+                    (path == RhsPath::Auto && (b.cols() > 1 || lu_a1_only));
+  const int wp = lu_a1_only ? b.cols() : bt * nb;
+
   auto solve_once = [&](const Matrix<double>& rhs) {
+    if (wide && wp > 0) {
+      Matrix<double> wb(mt * nb, wp);
+      for (int j = 0; j < rhs.cols(); ++j)
+        for (int i = 0; i < rhs.rows(); ++i) wb(i, j) = rhs(i, j);
+      apply_transformations_wide(wb);
+      solve_triangular_wide(wb);
+      Matrix<double> x(n_scalar_, rhs.cols());
+      for (int j = 0; j < rhs.cols(); ++j)
+        for (int i = 0; i < n_scalar_; ++i) x(i, j) = wb(i, j);
+      return x;
+    }
     TileMatrix<double> bt_tiles(mt, bt, nb);
     for (int j = 0; j < rhs.cols(); ++j)
       for (int i = 0; i < rhs.rows(); ++i) bt_tiles.at(i, j) = rhs(i, j);
@@ -188,6 +240,163 @@ Matrix<double> Factorization::solve(const Matrix<double>& b,
       for (int i = 0; i < x.rows(); ++i) x(i, j) += d(i, j);
   }
   return x;
+}
+
+namespace {
+
+// The wide panel's GEMM: same kernel the per-tile-column path's dispatcher
+// picks for its nb x nb x nb products, applied at the panel width. Mirroring
+// the choice (instead of re-dispatching on the wide shape) is what keeps
+// every element's arithmetic bit-identical across the two layouts — the
+// packed kernel's per-element sums depend only on KC, never on the width.
+void wide_gemm(int nb, double alpha, ConstMatrixView<double> a,
+               ConstMatrixView<double> b, double beta,
+               kern::MatrixView<double> c) {
+  if (kern::gemm_wants_blocked(nb, nb, nb))
+    kern::gemm_blocked(Trans::No, Trans::No, alpha, a, b, beta, c);
+  else
+    kern::gemm_unblocked(Trans::No, Trans::No, alpha, a, b, beta, c);
+}
+
+}  // namespace
+
+void Factorization::apply_transformations_wide(Matrix<double>& wb) const {
+  const int n = factored_.mt();
+  const int nb = factored_.nb();
+  const int wp = wb.cols();
+  LUQR_REQUIRE(wb.rows() == n * nb, "wide rhs shape mismatch");
+  auto rb = [&](int i) { return wb.view().block(i * nb, 0, nb, wp); };
+
+  for (int k = 0; k < n; ++k) {
+    const StepLog& step = log_[static_cast<std::size_t>(k)];
+    if (step.lu) {
+      const LuVariant variant = stats_.steps[static_cast<std::size_t>(k)].variant;
+      if (variant == LuVariant::A1) {
+        // Replay the stacked domain interchanges across the full width.
+        for (int s = 0; s < static_cast<int>(step.piv.size()); ++s) {
+          const int p = step.piv[static_cast<std::size_t>(s)];
+          const int t1 = step.domain_rows[static_cast<std::size_t>(s / nb)];
+          const int t2 = step.domain_rows[static_cast<std::size_t>(p / nb)];
+          const int r1 = s % nb, r2 = p % nb;
+          if (t1 == t2 && r1 == r2) continue;
+          const int row1 = t1 * nb + r1, row2 = t2 * nb + r2;
+          for (int c = 0; c < wp; ++c) std::swap(wb(row1, c), wb(row2, c));
+        }
+        // b_k <- L11^{-1} b_k, all columns at once (TRSM is per-column).
+        auto bk = rb(k);
+        kern::trsm(Side::Left, Uplo::Lower, Trans::No, Diag::Unit, 1.0,
+                   ConstMatrixView<double>(factored_.tile(k, k)), bk);
+      } else if (variant == LuVariant::A2) {
+        // Orthogonal apply: nb-wide slices (see the path comment above).
+        LUQR_REQUIRE(wp % nb == 0, "wide rhs must be tile-padded for A2");
+        for (int c0 = 0; c0 < wp; c0 += nb) {
+          auto slice = rb(k).block(0, c0, nb, nb);
+          kern::unmqr(Trans::Yes, ConstMatrixView<double>(factored_.tile(k, k)),
+                      step.diag_t->cview(), slice);
+        }
+      }
+      // B1/B2: row k is untouched (block LU).
+      // Eliminations: one full-width GEMM per trailing tile row.
+      for (int i = k + 1; i < n; ++i) {
+        auto bi = rb(i);
+        wide_gemm(nb, -1.0, ConstMatrixView<double>(factored_.tile(i, k)),
+                  ConstMatrixView<double>(rb(k)), 1.0, bi);
+      }
+    } else {
+      // QR step: orthogonal ops in execution order, nb-wide slices each.
+      LUQR_REQUIRE(wp % nb == 0, "wide rhs must be tile-padded for QR steps");
+      for (const QrOp& op : step.qr_ops) {
+        for (int c0 = 0; c0 < wp; c0 += nb) {
+          switch (op.kind) {
+            case QrOp::Kind::Geqrt: {
+              auto slice = rb(op.killer).block(0, c0, nb, nb);
+              kern::unmqr(Trans::Yes,
+                          ConstMatrixView<double>(factored_.tile(op.killer, k)),
+                          op.t->cview(), slice);
+              break;
+            }
+            case QrOp::Kind::Ts: {
+              auto top = rb(op.killer).block(0, c0, nb, nb);
+              auto bottom = rb(op.killed).block(0, c0, nb, nb);
+              kern::tsmqr(Trans::Yes,
+                          ConstMatrixView<double>(factored_.tile(op.killed, k)),
+                          op.t->cview(), top, bottom);
+              break;
+            }
+            case QrOp::Kind::Tt: {
+              auto top = rb(op.killer).block(0, c0, nb, nb);
+              auto bottom = rb(op.killed).block(0, c0, nb, nb);
+              kern::ttmqr(Trans::Yes,
+                          ConstMatrixView<double>(factored_.tile(op.killed, k)),
+                          op.t->cview(), top, bottom);
+              break;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void Factorization::solve_triangular_wide(Matrix<double>& wb) const {
+  const int n = factored_.mt();
+  const int nb = factored_.nb();
+  const int wp = wb.cols();
+  auto rb = [&](int i) { return wb.view().block(i * nb, 0, nb, wp); };
+
+  for (int k = n - 1; k >= 0; --k) {
+    const auto diag = factored_.tile(k, k);
+    const StepRecord* rec = nullptr;
+    if (k < static_cast<int>(stats_.steps.size()) &&
+        stats_.steps[static_cast<std::size_t>(k)].kind == StepKind::LU) {
+      rec = &stats_.steps[static_cast<std::size_t>(k)];
+    }
+    const bool b1 = rec && rec->variant == LuVariant::B1;
+    const bool b2 = rec && rec->variant == LuVariant::B2;
+    auto bk = rb(k);
+    for (int j = k + 1; j < n; ++j)
+      wide_gemm(nb, -1.0, ConstMatrixView<double>(factored_.tile(k, j)),
+                ConstMatrixView<double>(rb(j)), 1.0, bk);
+    if (b1) {
+      kern::laswp(bk, rec->diag_piv, /*forward=*/true);
+      kern::trsm(Side::Left, Uplo::Lower, Trans::No, Diag::Unit, 1.0,
+                 ConstMatrixView<double>(diag), bk);
+    } else if (b2) {
+      LUQR_REQUIRE(wp % nb == 0, "wide rhs must be tile-padded for B2");
+      for (int c0 = 0; c0 < wp; c0 += nb) {
+        auto slice = bk.block(0, c0, nb, nb);
+        kern::unmqr(Trans::Yes, ConstMatrixView<double>(diag),
+                    rec->diag_t->cview(), slice);
+      }
+    }
+    kern::trsm(Side::Left, Uplo::Upper, Trans::No, Diag::NonUnit, 1.0,
+               ConstMatrixView<double>(diag), bk);
+  }
+}
+
+std::size_t Factorization::memory_bytes() const {
+  std::size_t bytes = sizeof(*this);
+  bytes += factored_.allocated_bytes();
+  bytes += static_cast<std::size_t>(original_.rows()) * original_.cols() *
+           sizeof(double);
+  for (const StepLog& step : log_) {
+    bytes += sizeof(StepLog);
+    bytes += step.domain_rows.size() * sizeof(int) + step.piv.size() * sizeof(int);
+    if (step.diag_t)
+      bytes += static_cast<std::size_t>(step.diag_t->rows()) *
+               step.diag_t->cols() * sizeof(double);
+    for (const QrOp& op : step.qr_ops) {
+      bytes += sizeof(QrOp);
+      if (op.t)
+        bytes += static_cast<std::size_t>(op.t->rows()) * op.t->cols() *
+                 sizeof(double);
+    }
+  }
+  for (const StepRecord& rec : stats_.steps) {
+    bytes += sizeof(StepRecord) + rec.diag_piv.size() * sizeof(int);
+    // rec.diag_t aliases the log's diag_t (shared_ptr); counted once above.
+  }
+  return bytes;
 }
 
 }  // namespace luqr::core

@@ -21,6 +21,29 @@
 
 namespace luqr::core {
 
+/// How Factorization::solve carries a multi-column right-hand side through
+/// the transformation replay and the back-substitution.
+enum class RhsPath {
+  /// WideBlocked whenever it saves work: any multi-column RHS, and every
+  /// width (including a single column) on plain-LU/A1 factorizations. The
+  /// default. Always bitwise-equal to PerTileColumn.
+  Auto,
+  /// One nb-wide tile column at a time — the historical layout, and the one
+  /// whose arithmetic matches the fused-RHS driver tile for tile.
+  PerTileColumn,
+  /// All RHS columns ride in one dense panel: each trailing GEMM of the
+  /// replay and the back-substitution runs once per tile pair at the full
+  /// panel width through the same kernel the per-tile-column dispatch picks
+  /// (fewer, bigger products — the batched-solve path of the serve
+  /// subsystem). On LU/A1-only factorizations the panel is the exact RHS
+  /// width, which turns a single-RHS cache-hit solve from O(n^2 nb) into
+  /// O(n^2) work; factorizations with QR or block-LU steps pad to whole
+  /// tiles and walk their orthogonal applies (UNMQR/TSMQR/TTMQR) in
+  /// nb-wide slices, so every such kernel call keeps the exact shape (and
+  /// hence bits) of the per-tile-column path.
+  WideBlocked,
+};
+
 /// A hybrid LU-QR factorization retained for repeated solves.
 class Factorization {
  public:
@@ -48,17 +71,32 @@ class Factorization {
   /// Const and safe to call from many threads concurrently on the same
   /// Factorization: all state is read-only after construction, each solve
   /// works in its own buffers.
-  Matrix<double> solve(const Matrix<double>& b, int refinement_sweeps = 0) const;
+  Matrix<double> solve(const Matrix<double>& b, int refinement_sweeps = 0,
+                       RhsPath path = RhsPath::Auto) const;
 
   const FactorizationStats& stats() const { return stats_; }
   int order() const { return n_scalar_; }
   int tile_size() const { return factored_.nb(); }
+
+  /// The unfactored A this factorization was computed from (also what the
+  /// serve cache compares against on a content-hash hit).
+  const Matrix<double>& matrix() const { return original_; }
+
+  /// Approximate resident footprint: factored tiles + retained original +
+  /// transformation log (pivot sequences and block-reflector T factors).
+  /// What the serve FactorizationCache charges against its byte budget.
+  std::size_t memory_bytes() const;
 
  private:
   Factorization() = default;
 
   /// Apply the recorded row transformations of all steps to a tiled RHS.
   void apply_transformations(TileMatrix<double>& b) const;
+
+  /// WideBlocked internals: replay / back-substitute on one dense panel
+  /// holding every RHS column (rows padded to whole tiles).
+  void apply_transformations_wide(Matrix<double>& wb) const;
+  void solve_triangular_wide(Matrix<double>& wb) const;
 
   int n_scalar_ = 0;
   TileMatrix<double> factored_;  ///< n x n tiles, upper part = U/R, lower = L/V

@@ -16,10 +16,17 @@ std::string lower(std::string s) {
   return s;
 }
 
+// Strip a trailing carriage return (files written on Windows arrive with
+// CRLF line endings; tokenized parsing must not see the \r).
+void chomp_cr(std::string& line) {
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+}
+
 // Read the next line that is neither empty nor a % comment.
 bool next_data_line(std::istream& in, std::string& line) {
   while (std::getline(in, line)) {
-    std::size_t pos = line.find_first_not_of(" \t\r");
+    chomp_cr(line);
+    std::size_t pos = line.find_first_not_of(" \t");
     if (pos == std::string::npos) continue;
     if (line[pos] == '%') continue;
     return true;
@@ -33,6 +40,7 @@ Matrix<double> read_matrix_market(std::istream& in) {
   std::string banner;
   LUQR_REQUIRE(static_cast<bool>(std::getline(in, banner)),
                "matrix market: empty stream");
+  chomp_cr(banner);
   std::istringstream hs(banner);
   std::string tag, object, format, field, symmetry;
   hs >> tag >> object >> format >> field >> symmetry;
@@ -41,26 +49,42 @@ Matrix<double> read_matrix_market(std::istream& in) {
   format = lower(format);
   field = lower(field);
   symmetry = lower(symmetry);
-  LUQR_REQUIRE(field == "real", "matrix market: only real matrices supported");
-  LUQR_REQUIRE(symmetry == "general" || symmetry == "symmetric",
-               "matrix market: only general/symmetric supported");
+  // Field: real and integer parse as doubles; pattern files carry no value
+  // (entries read as 1.0 — the SuiteSparse structural-pattern convention).
+  const bool pattern = field == "pattern";
+  LUQR_REQUIRE(field == "real" || field == "integer" || pattern,
+               "matrix market: only real/integer/pattern fields supported");
+  const bool symmetric = symmetry == "symmetric";
+  const bool skew = symmetry == "skew-symmetric";
+  LUQR_REQUIRE(symmetry == "general" || symmetric || skew,
+               "matrix market: only general/symmetric/skew-symmetric supported");
+  LUQR_REQUIRE(!(pattern && skew),
+               "matrix market: a skew-symmetric pattern has no sign to mirror");
 
   std::string line;
   LUQR_REQUIRE(next_data_line(in, line), "matrix market: missing size line");
   std::istringstream sz(line);
 
   if (format == "array") {
+    LUQR_REQUIRE(!pattern, "matrix market: pattern requires coordinate format");
     int rows = 0, cols = 0;
     sz >> rows >> cols;
     LUQR_REQUIRE(rows > 0 && cols > 0, "matrix market: bad array dimensions");
+    LUQR_REQUIRE(!(symmetric || skew) || rows == cols,
+                 "matrix market: symmetric matrices must be square");
     Matrix<double> a(rows, cols);
-    // Array format stores the full matrix column-major (lower triangle only
-    // when symmetric).
+    // Array format stores the full matrix column-major; symmetric files
+    // store the lower triangle only, skew-symmetric the strict lower
+    // triangle (the diagonal of a skew matrix is identically zero).
     for (int j = 0; j < cols; ++j) {
-      for (int i = symmetry == "symmetric" ? j : 0; i < rows; ++i) {
+      const int i0 = symmetric ? j : skew ? j + 1 : 0;
+      for (int i = i0; i < rows; ++i) {
         LUQR_REQUIRE(next_data_line(in, line), "matrix market: truncated array data");
-        a(i, j) = std::strtod(line.c_str(), nullptr);
-        if (symmetry == "symmetric") a(j, i) = a(i, j);
+        char* end = nullptr;
+        a(i, j) = std::strtod(line.c_str(), &end);
+        LUQR_REQUIRE(end != line.c_str(), "matrix market: malformed array value");
+        if (symmetric) a(j, i) = a(i, j);
+        if (skew) a(j, i) = -a(i, j);
       }
     }
     return a;
@@ -72,17 +96,24 @@ Matrix<double> read_matrix_market(std::istream& in) {
   sz >> rows >> cols >> nnz;
   LUQR_REQUIRE(rows > 0 && cols > 0 && nnz >= 0,
                "matrix market: bad coordinate header");
+  LUQR_REQUIRE(!(symmetric || skew) || rows == cols,
+               "matrix market: symmetric matrices must be square");
   Matrix<double> a(rows, cols);
   for (long e = 0; e < nnz; ++e) {
     LUQR_REQUIRE(next_data_line(in, line), "matrix market: truncated entries");
     std::istringstream es(line);
     int i = 0, j = 0;
-    double v = 0.0;
-    es >> i >> j >> v;
+    double v = 1.0;  // pattern entries have no value token
+    es >> i >> j;
+    if (!pattern) es >> v;
+    LUQR_REQUIRE(!es.fail(), "matrix market: malformed entry line");
     LUQR_REQUIRE(i >= 1 && i <= rows && j >= 1 && j <= cols,
                  "matrix market: entry index out of range");
+    LUQR_REQUIRE(!(skew && i == j),
+                 "matrix market: skew-symmetric diagonal entries must be absent");
     a(i - 1, j - 1) = v;
-    if (symmetry == "symmetric") a(j - 1, i - 1) = v;
+    if (symmetric && i != j) a(j - 1, i - 1) = v;
+    if (skew) a(j - 1, i - 1) = -v;
   }
   return a;
 }

@@ -2,11 +2,14 @@
 // collections (NIST MM). Lets the CLI tool and downstream users feed real
 // matrices to the solver without writing converters.
 //
-// Supported on read: `matrix array real general` (dense column-major) and
-// `matrix coordinate real {general|symmetric}` (entries are densified;
-// symmetric files are mirrored). Pattern/complex/integer fields and
-// skew/hermitian symmetry are rejected with a clear error.
-// Written files use the dense `array` format.
+// Supported on read: formats `array` (dense column-major) and `coordinate`
+// (entries are densified); fields `real` and `integer` (parsed as doubles)
+// plus `pattern` (coordinate only; structural entries read as 1.0, the
+// SuiteSparse convention); symmetries `general`, `symmetric` (mirrored) and
+// `skew-symmetric` (mirrored with negation, zero diagonal). CRLF line
+// endings are tolerated. Complex fields and hermitian symmetry are rejected
+// with a clear error. Written files use the dense `array real general`
+// format.
 #pragma once
 
 #include <iosfwd>

@@ -15,6 +15,10 @@
 //   auto fac = solver.factor(A);                   // retained: solve-many
 //   auto x1 = fac.solve(b1);                       // const + thread-safe
 //
+// For request-serving workloads, luqr::serve::SolveService wraps the same
+// machinery in an asynchronous job service: bounded queue, priorities,
+// factorization cache, batched multi-RHS (see serve/service.hpp).
+//
 // The low-level entry points (core::hybrid_solve, rt::parallel_hybrid_solve,
 // core::Factorization::compute) remain available and delegate to the same
 // machinery.
@@ -40,6 +44,7 @@
 #include "io/matrix_market.hpp"
 #include "kernels/norms.hpp"
 #include "runtime/parallel_hybrid.hpp"
+#include "serve/service.hpp"
 #include "sim/simulate.hpp"
 #include "tile/process_grid.hpp"
 #include "tile/tile_matrix.hpp"

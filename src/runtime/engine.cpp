@@ -273,6 +273,16 @@ void Engine::wait_all() {
   }
 }
 
+bool Engine::idle() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return outstanding_ == 0;
+}
+
+void Engine::wait_idle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return outstanding_ == 0; });
+}
+
 std::uint64_t Engine::tasks_executed() const {
   std::lock_guard<std::mutex> lock(mu_);
   return executed_;

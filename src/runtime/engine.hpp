@@ -123,6 +123,16 @@ class Engine {
   /// draining the remaining tasks first, so the graph state is quiescent).
   void wait_all();
 
+  /// True when no submitted task is pending or running. A long-lived shared
+  /// engine (the serve subsystem) polls this between job waves.
+  bool idle() const;
+
+  /// Block until the engine is quiescent. Unlike wait_all() this neither
+  /// consumes nor rethrows task errors — on a shared engine each job owns
+  /// its errors (the drivers capture them per job), so the drain hook must
+  /// not steal another caller's exception.
+  void wait_idle();
+
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
   /// Total tasks executed so far (telemetry for tests/benches).

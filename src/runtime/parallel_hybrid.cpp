@@ -1,5 +1,7 @@
 #include <atomic>
+#include <future>
 #include <memory>
+#include <mutex>
 #include <utility>
 
 #include "core/hybrid.hpp"
@@ -56,8 +58,14 @@ void atomic_max(std::atomic<double>& m, double v) {
 }
 
 // Shared state of one factorization run. Tasks capture a pointer to this;
-// it outlives them (parallel_hybrid_factor drains the engine before
-// returning). `engine` is the last member so it is destroyed first.
+// it outlives them (the drive loop waits for the run's last task before
+// returning). The engine is either owned (historical mode: one pool per
+// factorization, destroyed first — it is constructed last) or external (a
+// caller-provided shared pool that outlives the driver; the serve
+// subsystem's mode). On an external engine the driver must not use the
+// engine-global error/quiescence machinery: every task is guarded into a
+// per-driver error slot, and completion is a sentinel task that reads every
+// tile — it runs strictly after all of this run's tasks, and only them.
 struct Driver {
   TileMatrix<double>& a;
   Criterion& criterion;
@@ -70,7 +78,14 @@ struct Driver {
   FactorizationStats stats;   // appended to by the decision chain, in k order
   core::TransformLog* log = nullptr;
   std::vector<std::unique_ptr<StepContext>> steps;
-  Engine engine;
+  const bool external;  // running on a caller-provided engine
+  std::mutex error_mu;
+  std::exception_ptr error;            // first failure of this run
+  std::atomic<bool> failed{false};
+  std::atomic<bool> completion_sent{false};
+  std::promise<void> done;             // fulfilled by the completion sentinel
+  std::unique_ptr<Engine> owned;
+  Engine& engine;
 
   Driver(TileMatrix<double>& a_, Criterion& criterion_,
          const HybridOptions& options_, const SchedulerOptions& sched_,
@@ -83,9 +98,76 @@ struct Driver {
         n(a_.mt()),
         growth(options_.track_growth),
         steps(static_cast<std::size_t>(a_.mt())),
-        engine(num_threads, EngineOptions{sched_.trace}) {}
+        external(false),
+        owned(std::make_unique<Engine>(num_threads, EngineOptions{sched_.trace})),
+        engine(*owned) {}
+
+  Driver(Engine& engine_, TileMatrix<double>& a_, Criterion& criterion_,
+         const HybridOptions& options_, const SchedulerOptions& sched_)
+      : a(a_),
+        criterion(criterion_),
+        options(options_),
+        sched(sched_),
+        grid(options_.grid_p, options_.grid_q),
+        n(a_.mt()),
+        growth(options_.track_growth),
+        steps(static_cast<std::size_t>(a_.mt())),
+        external(true),
+        engine(engine_) {}
 
   int prio(int level) const { return sched.priorities ? level : 0; }
+
+  void record_error(std::exception_ptr e) {
+    {
+      std::lock_guard<std::mutex> lk(error_mu);
+      if (!error) error = std::move(e);
+    }
+    failed.store(true, std::memory_order_release);
+  }
+
+  void rethrow_if_failed() {
+    std::lock_guard<std::mutex> lk(error_mu);
+    if (error) {
+      std::exception_ptr e = error;
+      error = nullptr;
+      std::rethrow_exception(e);
+    }
+  }
+
+  // Submit one task of this run. External engines get a guard: the task's
+  // exception lands in this driver's error slot instead of the engine's
+  // global first_error_, so one job's failure never poisons another job
+  // sharing the pool (and never leaks out of a worker).
+  TaskId submit(std::function<void()> fn, const std::vector<Dep>& deps,
+                TaskAttrs attrs) {
+    if (!external) return engine.submit(std::move(fn), deps, std::move(attrs));
+    Driver* d = this;
+    return engine.submit(
+        [d, fn = std::move(fn)] {
+          try {
+            fn();
+          } catch (...) {
+            d->record_error(std::current_exception());
+          }
+        },
+        deps, std::move(attrs));
+  }
+
+  // External mode: the run's last task. Reading every tile orders it after
+  // every task of this factorization (each of them declares at least one
+  // tile access) and after nothing else on the shared engine. Idempotent —
+  // failure paths and the regular chain end may race to send it.
+  TaskId submit_completion() {
+    if (completion_sent.exchange(true)) return 0;
+    std::vector<Dep> deps;
+    deps.reserve(static_cast<std::size_t>(a.mt()) * a.nt());
+    for (int j = 0; j < a.nt(); ++j)
+      for (int i = 0; i < a.mt(); ++i)
+        deps.push_back({a.tile(i, j).data, Access::Read});
+    Driver* d = this;
+    return engine.submit([d] { d->done.set_value(); }, deps,
+                         {"job-done", prio(0), -1});
+  }
 };
 
 // Swap the trailing tiles of column j according to the stacked pivots.
@@ -119,7 +201,7 @@ void submit_lu_step(Driver& d, StepContext& ctx) {
     std::vector<Dep> deps;
     for (int r : ctx.pf.domain_rows) deps.push_back({a.tile(r, j).data, Access::ReadWrite});
     deps.push_back({a.tile(k, k).data, Access::Read});
-    d.engine.submit(
+    d.submit(
         [&a, c, j, k] {
           swap_column(a, c->pf, j);
           auto akj = a.tile(k, j);
@@ -132,7 +214,7 @@ void submit_lu_step(Driver& d, StepContext& ctx) {
   // eliminate, so these are critical-path too).
   for (int i = k + 1; i < n; ++i) {
     if (in_domain[static_cast<std::size_t>(i)]) continue;
-    d.engine.submit(
+    d.submit(
         [&a, i, k] {
           auto aik = a.tile(i, k);
           kern::trsm(Side::Right, Uplo::Upper, Trans::No, Diag::NonUnit, 1.0,
@@ -145,7 +227,7 @@ void submit_lu_step(Driver& d, StepContext& ctx) {
   // of trailing tile (i, j) in this step, so it contributes the growth term.
   for (int i = k + 1; i < n; ++i) {
     for (int j = k + 1; j < nt; ++j) {
-      d.engine.submit(
+      d.submit(
           [&a, c, i, j, k, n, growth] {
             // The executing worker's arena: packing scratch allocated once
             // per worker, reused by every task that lands on it.
@@ -180,7 +262,7 @@ void submit_qr_step(Driver& d, StepContext& ctx, core::StepLog* step_log) {
   {
     std::vector<Dep> deps;
     for (int r : ctx.pf.domain_rows) deps.push_back({a.tile(r, k).data, Access::ReadWrite});
-    d.engine.submit(
+    d.submit(
         [&a, c, k, nb] {
           for (std::size_t t = 0; t < c->pf.domain_rows.size(); ++t) {
             auto tile = a.tile(c->pf.domain_rows[t], k);
@@ -227,12 +309,12 @@ void submit_qr_step(Driver& d, StepContext& ctx, core::StepLog* step_log) {
   for (int row = k; row < n; ++row) {
     if (!needs_geqrt[static_cast<std::size_t>(row)]) continue;
     Matrix<double>* t = row_t[static_cast<std::size_t>(row)];
-    d.engine.submit(
+    d.submit(
         [&a, row, k, t] { kern::geqrt(a.tile(row, k), t->view()); },
         {{a.tile(row, k).data, Access::ReadWrite}, {t->data(), Access::Write}},
         {"geqrt", d.prio(1), k});
     for (int j = k + 1; j < nt; ++j) {
-      d.engine.submit(
+      d.submit(
           [&a, row, j, k, t] {
             kern::unmqr(Trans::Yes, ConstMatrixView<double>(a.tile(row, k)),
                         t->cview(), a.tile(row, j), &kern::tls_workspace());
@@ -248,7 +330,7 @@ void submit_qr_step(Driver& d, StepContext& ctx, core::StepLog* step_log) {
     const auto& e = list[ei];
     Matrix<double>* t = elim_t[ei];
     const bool ts = e.kernel == hqr::ElimKernel::TS;
-    d.engine.submit(
+    d.submit(
         [&a, e, k, t, ts] {
           if (ts) {
             kern::tsqrt(a.tile(e.killer, k), a.tile(e.killed, k), t->view());
@@ -265,7 +347,7 @@ void submit_qr_step(Driver& d, StepContext& ctx, core::StepLog* step_log) {
       // this update performs the final write of tile (killed, j) this step
       // — the growth contribution. (Killer rows > k get their final write
       // where they are later killed; row k is outside the trailing block.)
-      d.engine.submit(
+      d.submit(
           [&a, c, e, j, k, n, t, ts, growth] {
             kern::Workspace& ws = kern::tls_workspace();
             if (ts) {
@@ -332,8 +414,12 @@ void record_and_submit(Driver& d, int k) {
     submit_qr_step(d, *c, step_log);
   }
 
-  if (d.sched.mode == SubmitMode::Continuation && k + 1 < d.n)
-    submit_step(d, k + 1);
+  if (d.sched.mode == SubmitMode::Continuation) {
+    if (k + 1 < d.n)
+      submit_step(d, k + 1);
+    else if (d.external)
+      d.submit_completion();  // chain end: this run's sentinel
+  }
 }
 
 // Submit the panel/decision task for step k. Its dependences on the column-k
@@ -366,50 +452,72 @@ TaskId submit_step(Driver& d, int k) {
   const bool exact = d.options.exact_inv_norm;
   const bool continuation = d.sched.mode == SubmitMode::Continuation;
   Driver* dp = &d;
+  // Submitted raw (not via Driver::submit): on an external engine a panel
+  // failure must not just be recorded — it cuts the decision chain, so the
+  // panel itself routes the error and sends the completion sentinel in the
+  // chain's stead (otherwise the waiting driver thread would never wake).
   return d.engine.submit(
       [dp, c, k, domain_rows, exact, continuation] {
-        c->pf = core::factor_panel(dp->a, k, domain_rows, exact, c->backup);
-        c->lu = dp->criterion.accept_lu(c->pf.stats);
-        if (continuation) record_and_submit(*dp, k);
+        try {
+          c->pf = core::factor_panel(dp->a, k, domain_rows, exact, c->backup);
+          c->lu = dp->criterion.accept_lu(c->pf.stats);
+          if (continuation) record_and_submit(*dp, k);
+        } catch (...) {
+          if (!dp->external) throw;  // owned engine: captured globally, as before
+          dp->record_error(std::current_exception());
+          if (continuation) dp->submit_completion();
+        }
       },
       deps, {"panel", d.prio(2), k});
 }
 
-}  // namespace
-
-FactorizationStats parallel_hybrid_factor(TileMatrix<double>& a,
-                                          Criterion& criterion,
-                                          const HybridOptions& options,
-                                          int num_threads,
-                                          core::TransformLog* log,
-                                          const SchedulerOptions& sched,
-                                          SchedulerStats* sched_stats) {
+// Submission/wait phase plus the post-drain bookkeeping, shared by the
+// owned-engine and external-engine entry points.
+FactorizationStats drive(Driver& d, core::TransformLog* log,
+                         const SchedulerOptions& sched,
+                         SchedulerStats* sched_stats) {
   if (log) log->clear();
-  LUQR_REQUIRE(options.variant == core::LuVariant::A1,
-               "the parallel driver implements variant A1 (the paper's "
-               "evaluated variant); use the sequential driver for A2/B1/B2");
-  LUQR_REQUIRE(a.nt() >= a.mt(), "matrix must contain its square part");
-
-  Driver d(a, criterion, options, sched, num_threads);
   d.log = log;
   if (d.growth) {
-    d.initial_max = core::max_trailing_tile_norm(a, 0);
+    d.initial_max = core::max_trailing_tile_norm(d.a, 0);
     d.stats.growth_factor = 1.0;
   }
 
-  if (d.sched.mode == SubmitMode::JoinPerStep) {
-    // Historical mode: the submitting thread blocks on each step's decision
-    // while the workers keep draining earlier steps' trailing updates.
-    for (int k = 0; k < d.n; ++k) {
-      const TaskId panel_id = submit_step(d, k);
-      d.engine.wait(panel_id);
-      record_and_submit(d, k);
+  try {
+    if (d.sched.mode == SubmitMode::JoinPerStep) {
+      // Historical mode: the submitting thread blocks on each step's
+      // decision while the workers keep draining earlier steps' updates.
+      for (int k = 0; k < d.n; ++k) {
+        const TaskId panel_id = submit_step(d, k);
+        d.engine.wait(panel_id);
+        if (d.external && d.failed.load(std::memory_order_acquire)) break;
+        record_and_submit(d, k);
+      }
+    } else if (d.n > 0) {
+      // Continuation mode: seed step 0; the decision chain submits the rest.
+      submit_step(d, 0);
     }
-  } else if (d.n > 0) {
-    // Continuation mode: seed step 0; the decision chain submits the rest.
-    submit_step(d, 0);
+  } catch (...) {
+    // Owned engine: propagate as before (the engine member drains in the
+    // Driver's destruction). External engine: the driver must stay alive
+    // until its in-flight tasks finish, so record, sentinel, and fall
+    // through to the wait below.
+    if (!d.external) throw;
+    d.record_error(std::current_exception());
+    d.submit_completion();
   }
-  d.engine.wait_all();
+
+  if (d.external) {
+    // In join mode (and for an empty matrix) every task is submitted by
+    // this thread, so it sends the sentinel itself; in continuation mode
+    // the decision chain sends it. submit_completion is idempotent.
+    if (d.sched.mode == SubmitMode::JoinPerStep || d.n == 0)
+      d.submit_completion();
+    d.done.get_future().wait();
+    d.rethrow_if_failed();
+  } else {
+    d.engine.wait_all();
+  }
 
   if (d.growth && d.initial_max > 0.0) {
     for (const auto& step : d.steps) {
@@ -428,6 +536,43 @@ FactorizationStats parallel_hybrid_factor(TileMatrix<double>& a,
   if (sched.trace && !sched.trace_path.empty())
     d.engine.write_chrome_trace(sched.trace_path);
   return std::move(d.stats);
+}
+
+void validate_factor_args(const TileMatrix<double>& a,
+                          const HybridOptions& options) {
+  LUQR_REQUIRE(options.variant == core::LuVariant::A1,
+               "the parallel driver implements variant A1 (the paper's "
+               "evaluated variant); use the sequential driver for A2/B1/B2");
+  LUQR_REQUIRE(a.nt() >= a.mt(), "matrix must contain its square part");
+}
+
+}  // namespace
+
+FactorizationStats parallel_hybrid_factor(TileMatrix<double>& a,
+                                          Criterion& criterion,
+                                          const HybridOptions& options,
+                                          int num_threads,
+                                          core::TransformLog* log,
+                                          const SchedulerOptions& sched,
+                                          SchedulerStats* sched_stats) {
+  validate_factor_args(a, options);
+  Driver d(a, criterion, options, sched, num_threads);
+  return drive(d, log, sched, sched_stats);
+}
+
+FactorizationStats parallel_hybrid_factor_on(Engine& engine,
+                                             TileMatrix<double>& a,
+                                             Criterion& criterion,
+                                             const HybridOptions& options,
+                                             core::TransformLog* log,
+                                             const SchedulerOptions& sched,
+                                             SchedulerStats* sched_stats) {
+  validate_factor_args(a, options);
+  LUQR_REQUIRE(!sched.trace,
+               "per-task tracing needs a quiescent engine of its own; it is "
+               "unavailable on a shared engine");
+  Driver d(engine, a, criterion, options, sched);
+  return drive(d, log, sched, sched_stats);
 }
 
 // parallel_hybrid_solve is a thin wrapper over the luqr::Solver facade; its

@@ -52,6 +52,19 @@ core::FactorizationStats parallel_hybrid_factor(
     core::TransformLog* log = nullptr, const SchedulerOptions& sched = {},
     SchedulerStats* sched_stats = nullptr);
 
+/// Same factorization, but on a caller-provided long-lived engine instead of
+/// a per-call worker pool — the serve subsystem's mode: many factorizations
+/// multiplex onto one shared pool, concurrently if the caller wishes (their
+/// task graphs touch disjoint tiles, so the engine keeps them independent).
+/// Returns once this run's tasks have all completed; errors are captured per
+/// run and rethrown here, never parked in the shared engine's global error
+/// slot. SchedulerOptions::trace is unsupported (it needs a quiescent
+/// engine); SchedulerStats, when requested, reports engine-wide totals.
+core::FactorizationStats parallel_hybrid_factor_on(
+    Engine& engine, TileMatrix<double>& a, Criterion& criterion,
+    const core::HybridOptions& options, core::TransformLog* log = nullptr,
+    const SchedulerOptions& sched = {}, SchedulerStats* sched_stats = nullptr);
+
 /// Parallel equivalent of core::hybrid_solve.
 core::SolveResult parallel_hybrid_solve(const Matrix<double>& a,
                                         const Matrix<double>& b,

@@ -1,0 +1,122 @@
+#include "serve/cache.hpp"
+
+#include <cstring>
+
+namespace luqr::serve {
+
+bool matrices_equal(const Matrix<double>& a, const Matrix<double>& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  const std::size_t bytes =
+      static_cast<std::size_t>(a.rows()) * a.cols() * sizeof(double);
+  return bytes == 0 || std::memcmp(a.data(), b.data(), bytes) == 0;
+}
+
+std::uint64_t FactorizationCache::content_hash(const Matrix<double>& a) {
+  // FNV-1a, 64-bit, one word per element (not per byte — hashing sits on
+  // the cache-hit critical path, and an n^2 payload at a byte per round
+  // would cost more than the solve it saves). Bitwise content keying is
+  // exactly right here: the factorization is a function of the bits, and a
+  // matrix that differs in the last ulp must miss.
+  const std::uint64_t prime = 1099511628211ull;
+  std::uint64_t h = 14695981039346656037ull;
+  h = (h ^ static_cast<std::uint64_t>(a.rows())) * prime;
+  h = (h ^ static_cast<std::uint64_t>(a.cols())) * prime;
+  const double* p = a.data();
+  const std::size_t count = static_cast<std::size_t>(a.rows()) * a.cols();
+  for (std::size_t i = 0; i < count; ++i) {
+    std::uint64_t w;
+    std::memcpy(&w, p + i, sizeof(w));  // bit pattern of the element
+    h = (h ^ w) * prime;
+  }
+  return h;
+}
+
+bool FactorizationCache::matches(const Entry& e, std::uint64_t hash,
+                                 const Matrix<double>& a,
+                                 const std::string& config_fp) {
+  return e.hash == hash && e.config_fp == config_fp &&
+         matrices_equal(e.fac->matrix(), a);
+}
+
+std::shared_ptr<const core::Factorization> FactorizationCache::find(
+    const Matrix<double>& a, const std::string& config_fp) {
+  return find_hashed(a, config_fp, hash_(a));
+}
+
+std::shared_ptr<const core::Factorization> FactorizationCache::find_hashed(
+    const Matrix<double>& a, const std::string& config_fp, std::uint64_t h,
+    bool count_miss) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto range = index_.equal_range(h);
+  for (auto it = range.first; it != range.second; ++it) {
+    if (!matches(*it->second, h, a, config_fp)) continue;  // hash collision
+    lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+    ++stats_.hits;
+    return it->second->fac;
+  }
+  if (count_miss) ++stats_.misses;
+  return nullptr;
+}
+
+void FactorizationCache::insert(const Matrix<double>& a,
+                                const std::string& config_fp,
+                                std::shared_ptr<const core::Factorization> fac) {
+  insert_hashed(a, config_fp, hash_(a), std::move(fac));
+}
+
+void FactorizationCache::insert_hashed(
+    const Matrix<double>& a, const std::string& config_fp, std::uint64_t h,
+    std::shared_ptr<const core::Factorization> fac) {
+  if (fac == nullptr) return;
+  const std::size_t bytes = fac->memory_bytes();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (bytes > budget_) {
+    ++stats_.oversize_rejects;
+    return;
+  }
+  auto range = index_.equal_range(h);
+  for (auto it = range.first; it != range.second; ++it) {
+    if (!matches(*it->second, h, a, config_fp)) continue;
+    // Already cached (e.g. the benign duplicate-factor race): keep the
+    // first copy but refresh its recency — it was just used.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  while (stats_.bytes + bytes > budget_ && !lru_.empty()) evict_lru_locked();
+  lru_.push_front(Entry{h, config_fp, std::move(fac), bytes});
+  index_.emplace(h, lru_.begin());
+  stats_.bytes += bytes;
+  ++stats_.entries;
+}
+
+void FactorizationCache::evict_lru_locked() {
+  auto victim = std::prev(lru_.end());
+  auto range = index_.equal_range(victim->hash);
+  for (auto it = range.first; it != range.second; ++it) {
+    if (it->second == victim) {
+      index_.erase(it);
+      break;
+    }
+  }
+  stats_.bytes -= victim->bytes;
+  --stats_.entries;
+  ++stats_.evictions;
+  lru_.erase(victim);
+}
+
+CacheStats FactorizationCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  CacheStats s = stats_;
+  s.byte_budget = budget_;
+  return s;
+}
+
+void FactorizationCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+  stats_.bytes = 0;
+  stats_.entries = 0;
+}
+
+}  // namespace luqr::serve

@@ -1,0 +1,127 @@
+// Content-hash-keyed, byte-budgeted LRU cache of retained factorizations.
+//
+// The serve subsystem's factor-once-solve-many accelerator: a job whose
+// coefficient matrix (and factorization-relevant config) was seen before
+// skips the O(N^3) factorization entirely and goes straight to
+// Factorization::solve. Keys are a 64-bit content hash of the matrix bytes;
+// because hashes can collide, every hit is verified by an exact
+// dimensions-plus-bytes comparison against the candidate's retained
+// original (Factorization::matrix()), so a collision costs a memcmp, never
+// a wrong answer — a property the tests force with an injected constant
+// hash function.
+//
+// Entries are charged Factorization::memory_bytes() against a byte budget;
+// insertion evicts least-recently-used entries until the new entry fits. A
+// factorization bigger than the whole budget is not admitted (callers keep
+// their shared_ptr and simply never see it again). Entries are handed out
+// as shared_ptr<const Factorization>, so eviction never invalidates a
+// solve in flight.
+//
+// All operations are mutex-guarded and O(1) amortized plus the verify
+// memcmp; the counters are plain fields under the same mutex.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "core/factorization.hpp"
+
+namespace luqr::serve {
+
+/// Exact (dims + bits) matrix equality — the one definition of "same
+/// matrix" the serve layer uses everywhere: cache hit verification and the
+/// service's pending-factorization dedup must never disagree about
+/// identity.
+bool matrices_equal(const Matrix<double>& a, const Matrix<double>& b);
+
+/// Snapshot of the cache's telemetry counters.
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t oversize_rejects = 0;  ///< entries bigger than the whole budget
+  std::size_t bytes = 0;               ///< currently cached
+  std::size_t entries = 0;
+  std::size_t byte_budget = 0;
+
+  double hit_rate() const {
+    const std::uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+  }
+};
+
+class FactorizationCache {
+ public:
+  /// Content-hash function over a dense matrix; injectable so tests can
+  /// force collisions deterministically. nullptr selects content_hash().
+  using HashFn = std::uint64_t (*)(const Matrix<double>&);
+
+  explicit FactorizationCache(std::size_t byte_budget, HashFn hash = nullptr)
+      : budget_(byte_budget), hash_(hash != nullptr ? hash : &content_hash) {}
+
+  FactorizationCache(const FactorizationCache&) = delete;
+  FactorizationCache& operator=(const FactorizationCache&) = delete;
+
+  /// FNV-1a over the dimensions and raw column-major bytes (the default
+  /// HashFn).
+  static std::uint64_t content_hash(const Matrix<double>& a);
+
+  /// The hash this cache would key `a` under (the service shares it with
+  /// its pending-factorization map so both use the injected function).
+  std::uint64_t hash_of(const Matrix<double>& a) const { return hash_(a); }
+
+  /// Verified lookup: hash, then exact dims+bytes+config comparison.
+  /// A hit refreshes the entry's LRU position. nullptr on miss.
+  std::shared_ptr<const core::Factorization> find(const Matrix<double>& a,
+                                                  const std::string& config_fp);
+
+  /// find() with the content hash already computed (callers that key other
+  /// structures — the service's pending map — off the same hash avoid
+  /// hashing the payload twice on the hot path). Hits are always counted
+  /// (they correspond to actually serving from the cache); `count_miss =
+  /// false` suppresses the miss counter for re-probes of one logical
+  /// lookup whose first probe already recorded it.
+  std::shared_ptr<const core::Factorization> find_hashed(
+      const Matrix<double>& a, const std::string& config_fp, std::uint64_t h,
+      bool count_miss = true);
+
+  /// Admit a factorization of `a` (dedupes against an equal existing entry;
+  /// evicts LRU entries until the budget holds it; skips oversize entries).
+  void insert(const Matrix<double>& a, const std::string& config_fp,
+              std::shared_ptr<const core::Factorization> fac);
+
+  /// insert() with the content hash already computed (pairs with
+  /// find_hashed: the service hashes a job's matrix exactly once).
+  void insert_hashed(const Matrix<double>& a, const std::string& config_fp,
+                     std::uint64_t h,
+                     std::shared_ptr<const core::Factorization> fac);
+
+  CacheStats stats() const;
+  void clear();
+
+ private:
+  struct Entry {
+    std::uint64_t hash = 0;
+    std::string config_fp;
+    std::shared_ptr<const core::Factorization> fac;
+    std::size_t bytes = 0;
+  };
+  using LruList = std::list<Entry>;
+
+  static bool matches(const Entry& e, std::uint64_t hash, const Matrix<double>& a,
+                      const std::string& config_fp);
+  void evict_lru_locked();
+
+  const std::size_t budget_;
+  const HashFn hash_;
+  mutable std::mutex mu_;
+  LruList lru_;  // front = most recently used
+  std::unordered_multimap<std::uint64_t, LruList::iterator> index_;
+  CacheStats stats_;
+};
+
+}  // namespace luqr::serve

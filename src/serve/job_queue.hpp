@@ -1,0 +1,113 @@
+// Bounded, closable MPMC job queue with strict-priority lanes — the
+// admission side of the solve service.
+//
+// Clients push into one of three FIFO lanes; pop() always drains the
+// highest non-empty lane first, so an Interactive job entering a backed-up
+// queue overtakes every queued Batch job before the engine even sees it
+// (the second priority level — the first is the engine's own ready lanes).
+//
+// Capacity counts all lanes together and is what turns overload into
+// backpressure instead of unbounded memory growth: push() blocks until
+// space frees up, try_push() fails fast (the reject-when-full policy).
+// Priorities order jobs *inside* the queue; pushers blocked at admission
+// race equally for freed slots (per-lane capacity reservation would be the
+// next step if sustained batch floods must never delay interactive
+// admission — size queue_capacity generously relative to batch burst size).
+// close() wakes everyone; a closed queue rejects pushes but keeps serving
+// pop() until drained, so shutdown completes the work already accepted.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace luqr::serve {
+
+template <typename T>
+class JobQueue {
+ public:
+  static constexpr int kLanes = 3;
+
+  explicit JobQueue(std::size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  /// Blocking push (backpressure). Returns false only when the queue was
+  /// closed (either before the call or while waiting for space).
+  bool push(T item, int lane) {
+    std::unique_lock<std::mutex> lock(mu_);
+    space_cv_.wait(lock, [this] { return closed_ || size_ < capacity_; });
+    if (closed_) return false;
+    lanes_[clamp(lane)].push_back(std::move(item));
+    ++size_;
+    lock.unlock();
+    item_cv_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking push. Returns false when full or closed.
+  bool try_push(T item, int lane) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || size_ >= capacity_) return false;
+      lanes_[clamp(lane)].push_back(std::move(item));
+      ++size_;
+    }
+    item_cv_.notify_one();
+    return true;
+  }
+
+  /// Blocking pop, highest lane first. Returns false once closed and fully
+  /// drained.
+  bool pop(T& out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    item_cv_.wait(lock, [this] { return closed_ || size_ > 0; });
+    if (size_ == 0) return false;  // closed and drained
+    for (int lane = kLanes - 1; lane >= 0; --lane) {
+      if (lanes_[lane].empty()) continue;
+      out = std::move(lanes_[lane].front());
+      lanes_[lane].pop_front();
+      --size_;
+      break;
+    }
+    lock.unlock();
+    space_cv_.notify_one();
+    return true;
+  }
+
+  /// Stop accepting work; wakes blocked pushers (they fail) and poppers
+  /// (they drain the remainder, then fail).
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    item_cv_.notify_all();
+    space_cv_.notify_all();
+  }
+
+  std::size_t depth() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return size_;
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+ private:
+  static int clamp(int lane) { return lane < 0 ? 0 : lane >= kLanes ? kLanes - 1 : lane; }
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable item_cv_;   // pop side: work available / closed
+  std::condition_variable space_cv_;  // push side: space available / closed
+  std::deque<T> lanes_[kLanes];
+  std::size_t size_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace luqr::serve

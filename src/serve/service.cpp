@@ -1,0 +1,829 @@
+#include "serve/service.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <utility>
+
+#include "runtime/engine.hpp"
+
+namespace luqr::serve {
+
+namespace detail {
+
+// Shared between the client's JobHandle and whichever thread executes the
+// job. All transitions happen under mu; terminal states notify cv.
+struct JobState {
+  std::mutex mu;
+  std::condition_variable cv;
+  JobStatus status = JobStatus::Queued;
+  SolveReply reply;
+  std::exception_ptr error;
+  std::uint64_t t_submit_us = 0;
+  std::uint64_t t_start_us = 0;
+};
+
+}  // namespace detail
+
+namespace {
+
+using detail::JobState;
+
+bool is_terminal(JobStatus s) {
+  return s == JobStatus::Done || s == JobStatus::Failed ||
+         s == JobStatus::Cancelled || s == JobStatus::Rejected;
+}
+
+// Every knob that shapes a factorization (and its replayed solves), flat
+// text: part of the cache identity next to the matrix content hash.
+std::string fingerprint(const SolverConfig& c) {
+  char buf[320];
+  const CriterionSpec& spec = c.criterion();
+  std::snprintf(
+      buf, sizeof(buf),
+      "crit=%d:%.17g:%llu;nb=%d;grid=%dx%d;variant=%d;scope=%d;tree=%d/%d;"
+      "exact=%d;growth=%d;refine=%d;tune=%d:%.17g",
+      static_cast<int>(spec.kind), spec.alpha,
+      static_cast<unsigned long long>(spec.seed), c.tile_size(), c.grid_p(),
+      c.grid_q(), static_cast<int>(c.variant()),
+      static_cast<int>(c.pivot_scope()), static_cast<int>(c.trees().local),
+      static_cast<int>(c.trees().dist), c.exact_inv_norm() ? 1 : 0,
+      c.track_growth() ? 1 : 0, c.refinement_sweeps(),
+      c.has_autotune_target() ? 1 : 0,
+      c.has_autotune_target() ? c.autotune_target_lu_fraction() : 0.0);
+  return buf;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// JobHandle
+// ---------------------------------------------------------------------------
+
+JobStatus JobHandle::status() const {
+  LUQR_REQUIRE(state_ != nullptr, "empty JobHandle");
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->status;
+}
+
+void JobHandle::wait() const {
+  LUQR_REQUIRE(state_ != nullptr, "empty JobHandle");
+  std::unique_lock<std::mutex> lock(state_->mu);
+  state_->cv.wait(lock, [this] { return is_terminal(state_->status); });
+}
+
+SolveReply JobHandle::get() {
+  LUQR_REQUIRE(state_ != nullptr, "empty JobHandle");
+  std::unique_lock<std::mutex> lock(state_->mu);
+  state_->cv.wait(lock, [this] { return is_terminal(state_->status); });
+  switch (state_->status) {
+    case JobStatus::Done: return std::move(state_->reply);
+    case JobStatus::Failed: std::rethrow_exception(state_->error);
+    case JobStatus::Cancelled: throw Error("serve: job was cancelled");
+    case JobStatus::Rejected:
+      throw Error("serve: job rejected (queue full or service shutting down)");
+    default: throw Error("serve: job in non-terminal state");  // unreachable
+  }
+}
+
+bool JobHandle::cancel() {
+  if (state_ == nullptr) return false;
+  bool won = false;
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    if (state_->status == JobStatus::Queued) {
+      state_->status = JobStatus::Cancelled;
+      won = true;
+    }
+  }
+  if (won) state_->cv.notify_all();
+  // Counters and drain accounting happen when the job's owner (dispatcher
+  // or engine task) observes the cancellation.
+  return won;
+}
+
+// ---------------------------------------------------------------------------
+// SolveService — lifecycle
+// ---------------------------------------------------------------------------
+
+SolveService::SolveService(ServiceConfig config)
+    : cfg_(std::move(config)),
+      cache_(cfg_.cache_bytes, cfg_.cache_hash),
+      queue_(cfg_.queue_capacity) {
+  LUQR_REQUIRE(cfg_.solver.external_criterion() == nullptr,
+               "serve: the service needs a CriterionSpec-configured solver "
+               "(an external Criterion instance is stateful across jobs)");
+  LUQR_REQUIRE(cfg_.solver.engine() == nullptr,
+               "serve: the service owns its engine; do not set one on the "
+               "solver config");
+  cfg_.solver.validate();
+
+  if (cfg_.threads > 0) {
+    workers_ = cfg_.threads;
+  } else {
+    const unsigned hw = std::thread::hardware_concurrency();
+    workers_ = hw > 0 ? static_cast<int>(hw) : 1;
+  }
+  engine_ = std::make_shared<rt::Engine>(workers_);
+  max_inflight_ = cfg_.max_inflight > 0 ? cfg_.max_inflight : 2 * workers_;
+  config_fp_ = fingerprint(cfg_.solver);
+
+  // Request-sized factorizations run as one coarse task on a worker...
+  coarse_solver_ = std::make_unique<Solver>(
+      SolverConfig(cfg_.solver).backend(Backend::Serial));
+  // ...big ones as a fine-grained task graph on the same shared engine,
+  // driven by the dispatcher (Serial and Parallel factors are bitwise
+  // identical, so the split is invisible to results and to the cache).
+  if (cfg_.parallel_factor_tiles > 0 && workers_ > 1 &&
+      cfg_.solver.variant() == core::LuVariant::A1) {
+    fine_solver_ = std::make_unique<Solver>(
+        SolverConfig(cfg_.solver).backend(Backend::Parallel).engine(engine_));
+  }
+
+  start_ = std::chrono::steady_clock::now();
+  const int n_dispatchers = std::max(1, cfg_.dispatchers);
+  dispatchers_.reserve(static_cast<std::size_t>(n_dispatchers));
+  for (int i = 0; i < n_dispatchers; ++i)
+    dispatchers_.emplace_back([this] { dispatcher_loop(); });
+}
+
+SolveService::~SolveService() {
+  // Stop accepting, dispatch what was accepted, wait for every job to reach
+  // a terminal state, then retire the engine (its destructor drains and
+  // joins the workers). The solvers hold engine references too, so they go
+  // first — the pool must be fully joined before any other member (mutexes,
+  // condition variables) is destroyed under it.
+  queue_.close();
+  for (std::thread& t : dispatchers_) t.join();
+  drain();
+  fine_solver_.reset();
+  coarse_solver_.reset();
+  engine_.reset();
+}
+
+rt::Engine& SolveService::engine() { return *engine_; }
+
+std::uint64_t SolveService::now_us() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start_)
+          .count());
+}
+
+void SolveService::drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  drain_cv_.wait(lock, [this] { return active_ == 0; });
+}
+
+// ---------------------------------------------------------------------------
+// Submission
+// ---------------------------------------------------------------------------
+
+JobHandle SolveService::enqueue(Job job) {
+  const std::size_t members =
+      job.kind == Job::Kind::Batch ? job.batch_states.size() : 1;
+  std::vector<std::shared_ptr<JobState>> states =
+      job.kind == Job::Kind::Batch
+          ? job.batch_states
+          : std::vector<std::shared_ptr<JobState>>{job.state};
+  submitted_.fetch_add(members, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    active_ += members;
+  }
+  const int lane = static_cast<int>(job.priority);
+  const bool accepted = cfg_.reject_when_full
+                            ? queue_.try_push(std::move(job), lane)
+                            : queue_.push(std::move(job), lane);
+  if (!accepted)
+    for (const auto& s : states) complete_rejected(s);
+  return JobHandle(states.front());
+}
+
+JobHandle SolveService::submit_solve(Matrix<double> a, Matrix<double> b,
+                                     Priority priority) {
+  LUQR_REQUIRE(a.rows() == a.cols(), "serve: system matrix must be square");
+  LUQR_REQUIRE(b.rows() == a.rows(), "serve: rhs row count mismatch");
+  Job job;
+  job.kind = Job::Kind::Solve;
+  job.priority = priority;
+  job.a = std::make_shared<Matrix<double>>(std::move(a));
+  job.b = std::move(b);
+  job.state = std::make_shared<JobState>();
+  job.state->t_submit_us = now_us();
+  return enqueue(std::move(job));
+}
+
+JobHandle SolveService::submit_factor(Matrix<double> a, Priority priority) {
+  LUQR_REQUIRE(a.rows() == a.cols(), "serve: system matrix must be square");
+  Job job;
+  job.kind = Job::Kind::Factor;
+  job.priority = priority;
+  job.a = std::make_shared<Matrix<double>>(std::move(a));
+  job.state = std::make_shared<JobState>();
+  job.state->t_submit_us = now_us();
+  return enqueue(std::move(job));
+}
+
+std::vector<JobHandle> SolveService::submit_batch(Matrix<double> a,
+                                                  std::vector<Matrix<double>> bs,
+                                                  Priority priority) {
+  LUQR_REQUIRE(a.rows() == a.cols(), "serve: system matrix must be square");
+  LUQR_REQUIRE(!bs.empty(), "serve: empty batch");
+  for (const auto& b : bs)
+    LUQR_REQUIRE(b.rows() == a.rows(), "serve: rhs row count mismatch");
+  Job job;
+  job.kind = Job::Kind::Batch;
+  job.priority = priority;
+  job.a = std::make_shared<Matrix<double>>(std::move(a));
+  job.batch_b = std::move(bs);
+  const std::uint64_t t = now_us();
+  job.batch_states.reserve(job.batch_b.size());
+  for (std::size_t i = 0; i < job.batch_b.size(); ++i) {
+    auto s = std::make_shared<JobState>();
+    s->t_submit_us = t;
+    job.batch_states.push_back(std::move(s));
+  }
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  batch_members_.fetch_add(job.batch_states.size(), std::memory_order_relaxed);
+  std::vector<JobHandle> handles;
+  handles.reserve(job.batch_states.size());
+  for (const auto& s : job.batch_states) handles.push_back(JobHandle(s));
+  enqueue(std::move(job));
+  return handles;
+}
+
+// ---------------------------------------------------------------------------
+// State transitions
+// ---------------------------------------------------------------------------
+
+bool SolveService::try_begin(const std::shared_ptr<JobState>& state) {
+  std::lock_guard<std::mutex> lock(state->mu);
+  if (state->status != JobStatus::Queued) return false;  // cancelled
+  state->status = JobStatus::Running;
+  state->t_start_us = now_us();
+  return true;
+}
+
+void SolveService::on_terminal() {
+  // Notify under the lock: a drain()er may destroy this service right after
+  // waking, so the broadcast must complete before its wait can return.
+  std::lock_guard<std::mutex> lock(mu_);
+  --active_;
+  drain_cv_.notify_all();
+}
+
+// Counters and histograms update *before* the state turns terminal, and
+// active_ drops before the waiter wakes: a client returning from get() (or
+// drain()) sees final telemetry.
+
+void SolveService::complete_ok(const std::shared_ptr<JobState>& state,
+                               Matrix<double> x, bool cache_hit) {
+  const std::uint64_t t = now_us();
+  completed_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    state->reply.x = std::move(x);
+    state->reply.cache_hit = cache_hit;
+    state->reply.queue_us = state->t_start_us - state->t_submit_us;
+    state->reply.exec_us = t - state->t_start_us;
+    latency_.record(t - state->t_submit_us);
+    exec_.record(state->reply.exec_us);
+    state->status = JobStatus::Done;
+  }
+  on_terminal();
+  state->cv.notify_all();
+}
+
+void SolveService::complete_error(const std::shared_ptr<JobState>& state,
+                                  std::exception_ptr error) {
+  failed_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    state->error = std::move(error);
+    latency_.record(now_us() - state->t_submit_us);
+    state->status = JobStatus::Failed;
+  }
+  on_terminal();
+  state->cv.notify_all();
+}
+
+void SolveService::complete_cancelled(const std::shared_ptr<JobState>& state) {
+  cancelled_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    state->status = JobStatus::Cancelled;  // usually set by cancel() already
+    latency_.record(now_us() - state->t_submit_us);
+  }
+  on_terminal();
+  state->cv.notify_all();
+}
+
+void SolveService::complete_rejected(const std::shared_ptr<JobState>& state) {
+  rejected_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    state->status = JobStatus::Rejected;
+  }
+  on_terminal();
+  state->cv.notify_all();
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch
+// ---------------------------------------------------------------------------
+
+void SolveService::acquire_inflight_slot() {
+  std::unique_lock<std::mutex> lock(mu_);
+  inflight_cv_.wait(lock, [this] { return inflight_ < max_inflight_; });
+  ++inflight_;
+}
+
+void SolveService::release_inflight_slot() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --inflight_;
+  }
+  inflight_cv_.notify_one();
+}
+
+void SolveService::dispatcher_loop() {
+  Job job;
+  while (queue_.pop(job)) {
+    dispatch(std::move(job));
+    job = Job{};  // drop matrix buffers before blocking on the next pop
+  }
+}
+
+SolveService::Waiters SolveService::take_pending_waiters(
+    const std::shared_ptr<Pending>& p) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto range = pending_.equal_range(p->hash);
+  for (auto it = range.first; it != range.second; ++it) {
+    if (it->second == p) {
+      pending_.erase(it);
+      break;
+    }
+  }
+  Waiters waiters = std::move(p->waiters);
+  p->waiters.clear();
+  return waiters;
+}
+
+void SolveService::flush_pending(const std::shared_ptr<Pending>& p,
+                                 const FacPtr& fac, std::exception_ptr error) {
+  Waiters waiters = take_pending_waiters(p);
+  for (auto& w : waiters) w(fac, error);
+}
+
+bool SolveService::wants_fine_grained(const Matrix<double>& a) const {
+  const int nb = cfg_.solver.tile_size();
+  return fine_solver_ != nullptr &&
+         (a.rows() + nb - 1) / nb >= cfg_.parallel_factor_tiles;
+}
+
+SolveService::FacPtr SolveService::compute_factorization(
+    const std::shared_ptr<Matrix<double>>& a, bool fine, std::uint64_t h,
+    std::exception_ptr& error) {
+  FacPtr fac;
+  try {
+    Solver& solver = fine ? *fine_solver_ : *coarse_solver_;
+    fac = std::make_shared<core::Factorization>(solver.factor(*a));
+    cache_.insert_hashed(*a, config_fp_, h, fac);
+    (fine ? factors_inline_ : factors_coarse_)
+        .fetch_add(1, std::memory_order_relaxed);
+  } catch (...) {
+    error = std::current_exception();
+  }
+  return fac;
+}
+
+// Settlement discipline for every execution path: finish the computation,
+// release the inflight slot, and only then drive job states terminal. A
+// client observing a terminal state (or drain() observing active_ == 0) is
+// thus guaranteed the slot is already back and the counters are final.
+
+void SolveService::submit_solve_task(std::shared_ptr<JobState> state,
+                                     Matrix<double> b, FacPtr fac,
+                                     bool cache_hit, Priority priority) {
+  const int sweeps = cfg_.solver.refinement_sweeps();
+  engine_->submit(
+      [this, state = std::move(state), b = std::move(b), fac = std::move(fac),
+       cache_hit, sweeps] {
+        if (!try_begin(state)) {
+          release_inflight_slot();
+          complete_cancelled(state);
+          return;
+        }
+        Matrix<double> x;
+        std::exception_ptr err;
+        try {
+          x = fac->solve(b, sweeps);
+        } catch (...) {
+          err = std::current_exception();
+        }
+        release_inflight_slot();
+        if (err)
+          complete_error(state, err);
+        else
+          complete_ok(state, std::move(x), cache_hit);
+      },
+      {}, {"serve-solve", static_cast<int>(priority), -1});
+}
+
+void SolveService::submit_batch_task(
+    std::vector<std::shared_ptr<JobState>> states,
+    std::vector<Matrix<double>> bs, FacPtr fac, bool cache_hit,
+    Priority priority) {
+  engine_->submit(
+      [this, states = std::move(states), bs = std::move(bs),
+       fac = std::move(fac), cache_hit] {
+        // Fuse every member that is still alive into one wide solve.
+        std::vector<std::size_t> live;
+        for (std::size_t i = 0; i < states.size(); ++i)
+          if (try_begin(states[i])) live.push_back(i);
+        fuse_solve_settle(states, bs, live, fac, cache_hit);
+      },
+      {}, {"serve-batch", static_cast<int>(priority), -1});
+}
+
+void SolveService::fuse_solve_settle(
+    const std::vector<std::shared_ptr<JobState>>& states,
+    const std::vector<Matrix<double>>& bs, const std::vector<std::size_t>& live,
+    const FacPtr& fac, bool cache_hit) {
+  std::vector<Matrix<double>> xs;
+  std::exception_ptr err;
+  if (!live.empty()) {
+    try {
+      int width = 0;
+      for (std::size_t idx : live) width += bs[idx].cols();
+      const int n = fac->order();
+      Matrix<double> bcat(n, width);
+      int col = 0;
+      for (std::size_t idx : live) {
+        const Matrix<double>& b = bs[idx];
+        for (int j = 0; j < b.cols(); ++j, ++col)
+          for (int i = 0; i < n; ++i) bcat(i, col) = b(i, j);
+      }
+      const Matrix<double> xw = fac->solve(bcat, cfg_.solver.refinement_sweeps());
+      fused_cols_.fetch_add(static_cast<std::uint64_t>(width),
+                            std::memory_order_relaxed);
+      col = 0;
+      for (std::size_t idx : live) {
+        const int cols = bs[idx].cols();
+        Matrix<double> x(n, cols);
+        for (int j = 0; j < cols; ++j, ++col)
+          for (int i = 0; i < n; ++i) x(i, j) = xw(i, col);
+        xs.push_back(std::move(x));
+      }
+    } catch (...) {
+      err = std::current_exception();
+    }
+  }
+  release_inflight_slot();
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    bool was_live = false;
+    for (std::size_t l = 0; l < live.size(); ++l) {
+      if (live[l] != i) continue;
+      was_live = true;
+      if (err)
+        complete_error(states[i], err);
+      else
+        complete_ok(states[i], std::move(xs[l]), cache_hit);
+      break;
+    }
+    if (!was_live) complete_cancelled(states[i]);
+  }
+}
+
+bool SolveService::job_fully_cancelled(const Job& job) const {
+  if (job.kind != Job::Kind::Batch) {
+    std::lock_guard<std::mutex> lock(job.state->mu);
+    return job.state->status == JobStatus::Cancelled;
+  }
+  for (const auto& s : job.batch_states) {
+    std::lock_guard<std::mutex> lock(s->mu);
+    if (s->status != JobStatus::Cancelled) return false;
+  }
+  return true;
+}
+
+void SolveService::settle_job_cancelled(const Job& job) {
+  if (job.kind == Job::Kind::Batch) {
+    for (const auto& s : job.batch_states) complete_cancelled(s);
+  } else {
+    complete_cancelled(job.state);
+  }
+}
+
+void SolveService::settle_cancelled_owner(const Job& job,
+                                          const std::shared_ptr<Pending>& p,
+                                          bool fine) {
+  // The owner of a pending factorization was cancelled before its work
+  // began. Claim the entry atomically — erasing it and taking its waiters
+  // in one step, so no waiter can attach to a half-dead entry — and factor
+  // only if someone was already waiting on it.
+  Waiters waiters = take_pending_waiters(p);
+  if (!waiters.empty()) {
+    std::exception_ptr error;
+    FacPtr fac = compute_factorization(job.a, fine, p->hash, error);
+    for (auto& w : waiters) w(fac, error);
+  }
+  release_inflight_slot();
+  settle_job_cancelled(job);
+}
+
+void SolveService::dispatch(Job job) {
+  // Jobs cancelled while queued are settled here, before admission.
+  if (job_fully_cancelled(job)) {
+    settle_job_cancelled(job);
+    return;
+  }
+
+  acquire_inflight_slot();
+
+  // Resolve the factorization source: cache hit, attach to an in-flight
+  // factorization of the same matrix, or become the owner of a new one.
+  // Every O(n^2) byte compare (the verified cache probe and the pending
+  // candidates' identity checks) runs *outside* mu_ — the service lock
+  // guards only map transitions, so job completions, slot releases and
+  // other dispatchers never stall behind a compare. The retry loop absorbs
+  // the races that opens: a candidate that completes mid-verify sends us
+  // back to the cache probe; an entry published after the snapshot gets
+  // verified on the next pass. (A factorization that completes entirely
+  // inside the probe-to-insert window can still slip through and be
+  // factored twice — benign: insert dedupes and results are identical.)
+  const std::uint64_t h = cache_.hash_of(*job.a);
+  bool count_miss = true;  // later passes re-examine one logical lookup
+  std::shared_ptr<Pending> owned;
+  for (;;) {
+    if (FacPtr fac = cache_.find_hashed(*job.a, config_fp_, h, count_miss)) {
+      dispatch_with_factorization(std::move(job), std::move(fac), true);
+      return;
+    }
+    count_miss = false;
+
+    std::vector<std::shared_ptr<Pending>> candidates;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto range = pending_.equal_range(h);
+      for (auto it = range.first; it != range.second; ++it)
+        candidates.push_back(it->second);
+    }
+    std::shared_ptr<Pending> match;
+    for (const auto& c : candidates) {
+      if (matrices_equal(*c->a, *job.a)) {  // non-matches are hash collisions
+        match = c;
+        break;
+      }
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto range = pending_.equal_range(h);
+      if (match) {
+        for (auto it = range.first; it != range.second; ++it) {
+          if (it->second == match) {
+            attach_to_pending(*match, std::move(job));
+            return;  // attach only queued a closure; holding the lock is fine
+          }
+        }
+        continue;  // the match completed while we verified: re-probe
+      }
+      bool unseen = false;
+      for (auto it = range.first; it != range.second; ++it) {
+        bool known = false;
+        for (const auto& c : candidates) known = known || c == it->second;
+        unseen = unseen || !known;
+      }
+      if (unseen) continue;  // new entry since the snapshot: verify it first
+      owned = std::make_shared<Pending>();
+      owned->hash = h;
+      owned->a = job.a;
+      pending_.emplace(h, owned);
+    }
+    break;
+  }
+
+  // Owner path. Fine-grained factorizations are driven right here (the
+  // dispatcher is a non-worker thread, so it may block on the engine);
+  // coarse ones ride inside the job's own engine task.
+  if (wants_fine_grained(*job.a)) {
+    // Re-check cancellation: the slot wait above can be long, and a job
+    // cancelled during it must not burn an O(n^3) factorization — unless
+    // waiters already attached to the pending entry and need it.
+    if (job_fully_cancelled(job)) {
+      settle_cancelled_owner(job, owned, /*fine=*/true);
+      return;
+    }
+    std::exception_ptr error;
+    FacPtr fac = compute_factorization(job.a, /*fine=*/true, h, error);
+    flush_pending(owned, fac, error);
+    if (error) {
+      release_inflight_slot();
+      fail_job(job, error);
+      return;
+    }
+    dispatch_with_factorization(std::move(job), std::move(fac), false);
+    return;
+  }
+  submit_owner_task(std::move(job), std::move(owned));
+}
+
+void SolveService::attach_to_pending(Pending& p, Job job) {
+  // Single-flight: this job parks a continuation on the in-flight
+  // factorization instead of computing its own. Runs on whichever thread
+  // finishes the factorization; submitting engine tasks from there is safe.
+  if (job.kind == Job::Kind::Batch) {
+    p.waiters.push_back(
+        [this, states = std::move(job.batch_states), bs = std::move(job.batch_b),
+         prio = job.priority](const FacPtr& fac, std::exception_ptr err) mutable {
+          if (err) {
+            release_inflight_slot();
+            for (const auto& s : states)
+              if (try_begin(s))
+                complete_error(s, err);
+              else
+                complete_cancelled(s);
+            return;
+          }
+          submit_batch_task(std::move(states), std::move(bs), fac, false, prio);
+        });
+    return;
+  }
+  p.waiters.push_back(
+      [this, kind = job.kind, state = std::move(job.state), b = std::move(job.b),
+       prio = job.priority](const FacPtr& fac, std::exception_ptr err) mutable {
+        if (err) {
+          release_inflight_slot();
+          if (try_begin(state))
+            complete_error(state, err);
+          else
+            complete_cancelled(state);
+          return;
+        }
+        if (kind == Job::Kind::Factor) {
+          const bool began = try_begin(state);
+          release_inflight_slot();
+          if (began)
+            complete_ok(state, Matrix<double>{}, false);
+          else
+            complete_cancelled(state);
+          return;
+        }
+        submit_solve_task(std::move(state), std::move(b), fac, false, prio);
+      });
+}
+
+void SolveService::dispatch_with_factorization(Job job, FacPtr fac, bool hit) {
+  switch (job.kind) {
+    case Job::Kind::Factor: {
+      // Nothing left to compute: settle on the dispatcher.
+      const bool began = try_begin(job.state);
+      release_inflight_slot();
+      if (began)
+        complete_ok(job.state, Matrix<double>{}, hit);
+      else
+        complete_cancelled(job.state);
+      return;
+    }
+    case Job::Kind::Solve:
+      submit_solve_task(std::move(job.state), std::move(job.b), std::move(fac),
+                        hit, job.priority);
+      return;
+    case Job::Kind::Batch:
+      submit_batch_task(std::move(job.batch_states), std::move(job.batch_b),
+                        std::move(fac), hit, job.priority);
+      return;
+  }
+}
+
+void SolveService::fail_job(const Job& job, std::exception_ptr error) {
+  if (job.kind == Job::Kind::Batch) {
+    for (const auto& s : job.batch_states)
+      if (try_begin(s))
+        complete_error(s, error);
+      else
+        complete_cancelled(s);
+    return;
+  }
+  if (try_begin(job.state))
+    complete_error(job.state, error);
+  else
+    complete_cancelled(job.state);
+}
+
+void SolveService::submit_owner_task(Job job, std::shared_ptr<Pending> p) {
+  auto shared_job = std::make_shared<Job>(std::move(job));
+  engine_->submit(
+      [this, shared_job, p] {
+        Job& job = *shared_job;
+
+        // Did the owner get cancelled while queued on the engine? If nobody
+        // attached to its pending factorization, the work can be skipped
+        // entirely; otherwise the factorization still has customers.
+        std::vector<std::shared_ptr<JobState>> began;
+        if (job.kind == Job::Kind::Batch) {
+          for (const auto& s : job.batch_states)
+            if (try_begin(s)) began.push_back(s);
+        } else if (try_begin(job.state)) {
+          began.push_back(job.state);
+        }
+
+        if (began.empty()) {
+          // The whole job was cancelled while queued on the engine.
+          settle_cancelled_owner(job, p, /*fine=*/false);
+          return;
+        }
+
+        std::exception_ptr error;
+        FacPtr fac = compute_factorization(job.a, /*fine=*/false, p->hash, error);
+        flush_pending(p, fac, error);
+
+        if (error) {
+          release_inflight_slot();
+          for (const auto& s : began) complete_error(s, error);
+          // Batch members whose cancel() won the race before try_begin.
+          if (job.kind == Job::Kind::Batch) {
+            for (const auto& s : job.batch_states) {
+              bool skipped = true;
+              for (const auto& g : began) skipped = skipped && g != s;
+              if (skipped) complete_cancelled(s);
+            }
+          }
+          return;
+        }
+
+        if (job.kind == Job::Kind::Batch) {
+          std::vector<std::size_t> live;
+          for (std::size_t i = 0; i < job.batch_states.size(); ++i)
+            for (const auto& g : began)
+              if (job.batch_states[i] == g) {
+                live.push_back(i);
+                break;
+              }
+          fuse_solve_settle(job.batch_states, job.batch_b, live, fac, false);
+          return;
+        }
+        Matrix<double> x;
+        std::exception_ptr solve_err;
+        try {
+          if (job.kind == Job::Kind::Solve)
+            x = fac->solve(job.b, cfg_.solver.refinement_sweeps());
+        } catch (...) {
+          solve_err = std::current_exception();
+        }
+        release_inflight_slot();
+        if (solve_err)
+          complete_error(job.state, solve_err);
+        else
+          complete_ok(job.state, std::move(x), false);
+      },
+      {}, {"serve-factor", static_cast<int>(job.priority), -1});
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry
+// ---------------------------------------------------------------------------
+
+ServiceStats SolveService::stats() const {
+  ServiceStats s;
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.completed = completed_.load(std::memory_order_relaxed);
+  s.failed = failed_.load(std::memory_order_relaxed);
+  s.cancelled = cancelled_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.batches = batches_.load(std::memory_order_relaxed);
+  s.batch_members = batch_members_.load(std::memory_order_relaxed);
+  s.fused_rhs_columns = fused_cols_.load(std::memory_order_relaxed);
+  s.factors_coarse = factors_coarse_.load(std::memory_order_relaxed);
+  s.factors_inline_parallel = factors_inline_.load(std::memory_order_relaxed);
+  s.queue_depth = queue_.depth();
+  s.queue_capacity = queue_.capacity();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s.inflight = static_cast<std::size_t>(inflight_);
+    s.pending_factorizations = pending_.size();
+  }
+  s.cache = cache_.stats();
+  s.latency_p50_us = latency_.quantile_us(0.50);
+  s.latency_p99_us = latency_.quantile_us(0.99);
+  s.latency_max_us = latency_.max_us();
+  s.latency_mean_us = latency_.mean_us();
+  s.exec_p50_us = exec_.quantile_us(0.50);
+  s.exec_p99_us = exec_.quantile_us(0.99);
+  s.uptime_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  s.jobs_per_second =
+      s.uptime_seconds > 0.0 ? static_cast<double>(s.completed) / s.uptime_seconds
+                             : 0.0;
+  s.engine_tasks_executed = engine_->tasks_executed();
+  s.engine_steals = engine_->steals();
+  s.workspace_bytes = engine_->workspace_bytes();
+  s.workers = workers_;
+  return s;
+}
+
+}  // namespace luqr::serve

@@ -1,0 +1,303 @@
+// luqr::serve::SolveService — a concurrent solve service over the dataflow
+// engine.
+//
+// The library's execution layers compose into a serving system here:
+// clients submit factor/solve jobs asynchronously (futures-style JobHandle)
+// into a bounded priority queue with backpressure; dispatcher threads admit
+// them onto one persistent shared rt::Engine whose worker pool executes
+// every job, with client priorities mapped onto the engine's ready lanes so
+// interactive traffic overtakes batch traffic twice (once in the queue,
+// once in the engine). A content-hash-keyed FactorizationCache turns
+// repeated coefficient matrices into factor-free solves, concurrent misses
+// on the same matrix are deduplicated through a pending-factorization map
+// (one factor run, everyone else attaches), and submit_batch fuses many
+// independent right-hand sides against one matrix into a single wide solve
+// (Factorization's WideBlocked path) instead of N engine round-trips.
+//
+//   serve::ServiceConfig cfg;
+//   cfg.solver.criterion(CriterionSpec::max(100.0)).tile_size(64);
+//   cfg.threads = 8;
+//   serve::SolveService svc(cfg);
+//   auto job = svc.submit_solve(a, b, serve::Priority::Interactive);
+//   ... do other work ...
+//   Matrix<double> x = job.get().x;       // blocks; rethrows job errors
+//
+// Guarantees:
+//   - Results are bitwise identical to one-shot luqr::Solver::solve with
+//     the same SolverConfig, whether the job was a cache hit, a cache miss,
+//     an attached duplicate, or a batch member (the test suite asserts it).
+//   - A job error fails that job's handle only; the shared engine and every
+//     other job are unaffected.
+//   - cancel() before execution wins: the job's work is skipped (a pending
+//     factorization other jobs wait on still completes).
+//
+// Shutdown: the destructor stops accepting work, lets the dispatchers
+// drain what was accepted, waits for every job to reach a terminal state,
+// then retires the engine.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "api/solver.hpp"
+#include "serve/cache.hpp"
+#include "serve/job_queue.hpp"
+#include "serve/telemetry.hpp"
+
+namespace luqr::rt {
+class Engine;
+}
+
+namespace luqr::serve {
+
+/// Client priority of a job; maps 1:1 onto the engine's scheduling lanes
+/// (and onto the admission queue's lanes).
+enum class Priority { Batch = 0, Normal = 1, Interactive = 2 };
+
+/// Lifecycle of a job. Queued -> Running -> Done/Failed is the normal path;
+/// Cancelled only happens before execution begins; Rejected happens under
+/// the reject-when-full admission policy, or for a submit that races
+/// service shutdown (the queue closed before it was accepted).
+enum class JobStatus { Queued, Running, Done, Failed, Cancelled, Rejected };
+
+/// What a completed job hands back.
+struct SolveReply {
+  Matrix<double> x;        ///< solution (empty for factor-only jobs)
+  bool cache_hit = false;  ///< served from the factorization cache
+  std::uint64_t queue_us = 0;  ///< submit -> execution start
+  std::uint64_t exec_us = 0;   ///< execution start -> done
+};
+
+namespace detail {
+struct JobState;
+}
+
+/// Future-style handle to a submitted job. Copyable; all copies share one
+/// job. get() consumes the solution (call it once).
+class JobHandle {
+ public:
+  JobHandle() = default;
+
+  bool valid() const { return state_ != nullptr; }
+  JobStatus status() const;
+  void wait() const;
+
+  /// Block until terminal, then return the reply (moves the solution out).
+  /// Failed rethrows the job's exception; Cancelled/Rejected throw Error.
+  SolveReply get();
+
+  /// Request cancellation. Returns true when the job was still queued (its
+  /// work will be skipped); false once execution has begun or finished.
+  bool cancel();
+
+ private:
+  friend class SolveService;
+  explicit JobHandle(std::shared_ptr<detail::JobState> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<detail::JobState> state_;
+};
+
+struct ServiceConfig {
+  /// Factorization/solve configuration (criterion, tile size, variant,
+  /// grids, refinement, ...). Everything here is part of the cache identity:
+  /// two services with different solver configs never share cached factors.
+  /// Must use a CriterionSpec (an external Criterion& instance is stateful
+  /// across calls and therefore unservable).
+  SolverConfig solver;
+
+  int threads = 0;      ///< engine workers; 0 = hardware concurrency
+  int dispatchers = 1;  ///< queue-to-engine dispatcher threads
+
+  std::size_t queue_capacity = 1024;  ///< bounded admission queue (all lanes)
+  /// Admission policy when the queue is full: false = submit blocks until
+  /// space (backpressure), true = the job is Rejected immediately.
+  bool reject_when_full = false;
+
+  std::size_t cache_bytes = std::size_t{256} << 20;  ///< factorization cache budget
+  FactorizationCache::HashFn cache_hash = nullptr;   ///< injectable (tests)
+
+  /// Jobs admitted onto the engine but not yet finished; dispatchers stall
+  /// beyond this, letting the queue (and its backpressure) absorb overload.
+  /// 0 = twice the worker count.
+  int max_inflight = 0;
+
+  /// Matrices with at least this many tile rows factor fine-grained on the
+  /// shared engine (the dispatcher drives the parallel task graph and
+  /// blocks until it completes); smaller ones factor as one coarse task on
+  /// a worker, which is the right grain for request-sized systems. 0
+  /// disables the fine-grained path. Requires variant A1 and > 1 worker.
+  int parallel_factor_tiles = 8;
+};
+
+/// Telemetry snapshot (see SolveService::stats); counters are monotonic
+/// since service construction.
+struct ServiceStats {
+  std::uint64_t submitted = 0, completed = 0, failed = 0, cancelled = 0,
+                rejected = 0;
+  std::uint64_t batches = 0, batch_members = 0, fused_rhs_columns = 0;
+  std::uint64_t factors_coarse = 0, factors_inline_parallel = 0;
+  std::size_t queue_depth = 0, queue_capacity = 0, inflight = 0,
+              pending_factorizations = 0;
+  CacheStats cache;
+  std::uint64_t latency_p50_us = 0, latency_p99_us = 0, latency_max_us = 0;
+  double latency_mean_us = 0.0;
+  std::uint64_t exec_p50_us = 0, exec_p99_us = 0;
+  double jobs_per_second = 0.0;  ///< completed / uptime
+  double uptime_seconds = 0.0;
+  std::uint64_t engine_tasks_executed = 0, engine_steals = 0;
+  std::size_t workspace_bytes = 0;
+  int workers = 0;
+};
+
+class SolveService {
+ public:
+  explicit SolveService(ServiceConfig config);
+  ~SolveService();
+
+  SolveService(const SolveService&) = delete;
+  SolveService& operator=(const SolveService&) = delete;
+
+  /// Enqueue "solve A x = b" (b may have several columns). Throws Error on
+  /// shape mismatch; returns a handle that may report Rejected under the
+  /// reject-when-full policy.
+  JobHandle submit_solve(Matrix<double> a, Matrix<double> b,
+                         Priority priority = Priority::Normal);
+
+  /// Enqueue "factor A and warm the cache" (the reply's x is empty).
+  JobHandle submit_factor(Matrix<double> a, Priority priority = Priority::Normal);
+
+  /// Enqueue many independent solves against one matrix as a single fused
+  /// job: one factorization (or cache hit) and one wide multi-RHS solve
+  /// serve every member. Returns one handle per right-hand side.
+  std::vector<JobHandle> submit_batch(Matrix<double> a,
+                                      std::vector<Matrix<double>> bs,
+                                      Priority priority = Priority::Batch);
+
+  /// Block until every accepted job has reached a terminal state.
+  void drain();
+
+  ServiceStats stats() const;
+  rt::Engine& engine();
+  const std::string& config_fingerprint() const { return config_fp_; }
+
+ private:
+  /// One factorization in flight: the first missing job computes it; equal-
+  /// matrix jobs arriving meanwhile park a continuation here instead of
+  /// factoring again (single-flight). Continuations run when the owner
+  /// finishes — with the factorization, or with the error that killed it.
+  struct Pending {
+    std::uint64_t hash = 0;
+    std::shared_ptr<Matrix<double>> a;
+    std::vector<std::function<void(
+        const std::shared_ptr<const core::Factorization>&, std::exception_ptr)>>
+        waiters;
+  };
+
+  /// Queue element: one client request (or one fused batch of them).
+  struct Job {
+    enum class Kind { Solve, Factor, Batch };
+    Kind kind = Kind::Solve;
+    Priority priority = Priority::Normal;
+    std::shared_ptr<Matrix<double>> a;
+    Matrix<double> b;                                       // Solve
+    std::shared_ptr<detail::JobState> state;                // Solve/Factor
+    std::vector<Matrix<double>> batch_b;                    // Batch
+    std::vector<std::shared_ptr<detail::JobState>> batch_states;  // Batch
+  };
+
+  using FacPtr = std::shared_ptr<const core::Factorization>;
+  using Waiters = std::vector<std::function<void(
+      const std::shared_ptr<const core::Factorization>&, std::exception_ptr)>>;
+
+  std::uint64_t now_us() const;
+  JobHandle enqueue(Job job);
+  void dispatcher_loop();
+  void dispatch(Job job);
+  void acquire_inflight_slot();
+  void release_inflight_slot();
+  // Matrices at least parallel_factor_tiles tiles tall factor fine-grained
+  // on the shared engine — the one place that decides; the fine path must
+  // only ever run on a dispatcher thread (it blocks on the engine).
+  bool wants_fine_grained(const Matrix<double>& a) const;
+  // Factorize *a and publish it to the cache (hash `h` precomputed). Never
+  // throws; failure lands in `error`.
+  FacPtr compute_factorization(const std::shared_ptr<Matrix<double>>& a,
+                               bool fine, std::uint64_t h,
+                               std::exception_ptr& error);
+  // Atomically unpublish `p` (no new waiter can attach after this) and
+  // take whatever waiters it collected.
+  Waiters take_pending_waiters(const std::shared_ptr<Pending>& p);
+  void flush_pending(const std::shared_ptr<Pending>& p, const FacPtr& fac,
+                     std::exception_ptr error);
+  bool job_fully_cancelled(const Job& job) const;
+  void settle_job_cancelled(const Job& job);
+  // Cancelled owner of a pending entry: factor only for parked waiters,
+  // then settle. Shared by the dispatcher (fine) and owner-task (coarse)
+  // paths.
+  void settle_cancelled_owner(const Job& job, const std::shared_ptr<Pending>& p,
+                              bool fine);
+  void dispatch_with_factorization(Job job, FacPtr fac, bool hit);
+  void attach_to_pending(Pending& p, Job job);
+  void fail_job(const Job& job, std::exception_ptr error);
+  void submit_owner_task(Job job, std::shared_ptr<Pending> p);
+  // Shared tail of every batch path: fuse the live members' RHS columns,
+  // solve wide, split, release the inflight slot, settle every member.
+  void fuse_solve_settle(const std::vector<std::shared_ptr<detail::JobState>>& states,
+                         const std::vector<Matrix<double>>& bs,
+                         const std::vector<std::size_t>& live, const FacPtr& fac,
+                         bool cache_hit);
+  void submit_solve_task(std::shared_ptr<detail::JobState> state,
+                         Matrix<double> b, FacPtr fac, bool cache_hit,
+                         Priority priority);
+  void submit_batch_task(std::vector<std::shared_ptr<detail::JobState>> states,
+                         std::vector<Matrix<double>> bs, FacPtr fac,
+                         bool cache_hit, Priority priority);
+  bool try_begin(const std::shared_ptr<detail::JobState>& state);
+  void complete_ok(const std::shared_ptr<detail::JobState>& state,
+                   Matrix<double> x, bool cache_hit);
+  void complete_error(const std::shared_ptr<detail::JobState>& state,
+                      std::exception_ptr error);
+  void complete_cancelled(const std::shared_ptr<detail::JobState>& state);
+  void complete_rejected(const std::shared_ptr<detail::JobState>& state);
+  void on_terminal();
+
+  ServiceConfig cfg_;
+  std::string config_fp_;
+  int workers_ = 1;
+  int max_inflight_ = 2;
+  std::shared_ptr<rt::Engine> engine_;
+  std::unique_ptr<Solver> coarse_solver_;  // serial factor, runs inside a task
+  std::unique_ptr<Solver> fine_solver_;    // parallel factor on the shared engine
+  FactorizationCache cache_;
+  JobQueue<Job> queue_;
+
+  mutable std::mutex mu_;  // pending_, inflight_, active_
+  std::condition_variable inflight_cv_;
+  std::condition_variable drain_cv_;
+  std::unordered_multimap<std::uint64_t, std::shared_ptr<Pending>> pending_;
+  int inflight_ = 0;
+  std::uint64_t active_ = 0;  // accepted jobs not yet terminal
+
+  std::vector<std::thread> dispatchers_;
+  std::chrono::steady_clock::time_point start_;
+
+  std::atomic<std::uint64_t> submitted_{0}, completed_{0}, failed_{0},
+      cancelled_{0}, rejected_{0};
+  std::atomic<std::uint64_t> batches_{0}, batch_members_{0}, fused_cols_{0};
+  std::atomic<std::uint64_t> factors_coarse_{0}, factors_inline_{0};
+  LatencyHistogram latency_;  // submit -> terminal
+  LatencyHistogram exec_;     // execution start -> done
+};
+
+}  // namespace luqr::serve

@@ -68,6 +68,9 @@ class TileMatrix {
   Matrix<T> to_dense(int rows, int cols) const;
   Matrix<T> to_dense() const { return to_dense(rows(), cols()); }
 
+  /// Bytes of tile storage this matrix holds (telemetry / cache budgeting).
+  std::size_t allocated_bytes() const { return data_.size() * sizeof(T); }
+
   /// Deep copy of one tile column segment [i0, i1) x {j} into `out` tiles —
   /// the Backup-Panel operation of the paper's dataflow (Figure 1).
   void backup_column(int j, int i0, int i1, std::vector<std::vector<T>>& out) const;

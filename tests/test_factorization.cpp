@@ -136,6 +136,116 @@ TEST(Factorization, RefinementIsNoOpOnAccurateSolve) {
   EXPECT_LT(verify::max_abs_error(x0, x1), 1e-12);
 }
 
+TEST(Factorization, WideBlockedPathMatchesPerColumnBitwise) {
+  // The wide multi-RHS path runs every replay/back-substitution GEMM once
+  // at the full RHS width through the same kernel the per-tile-column
+  // dispatch picks, so per-element arithmetic is bit-identical to the
+  // per-tile-column layout at every width.
+  const auto a = gen::generate(gen::MatrixKind::Random, 96, 21);
+  MaxCriterion crit(30.0);
+  const auto fac = Factorization::compute(a, crit, 32, {});
+  for (int cols : {1, 2, 3, 8, 32, 37, 64}) {
+    const auto b = random_matrix(96, cols, 400 + cols);
+    const auto x_col = fac.solve(b, 0, RhsPath::PerTileColumn);
+    const auto x_wide = fac.solve(b, 0, RhsPath::WideBlocked);
+    const auto x_auto = fac.solve(b);  // Auto must pick the wide path here
+    ASSERT_EQ(x_wide.rows(), x_col.rows());
+    for (int j = 0; j < cols; ++j)
+      for (int i = 0; i < 96; ++i) {
+        EXPECT_EQ(x_wide(i, j), x_col(i, j)) << i << "," << j;
+        EXPECT_EQ(x_auto(i, j), x_col(i, j)) << i << "," << j;
+      }
+  }
+}
+
+TEST(Factorization, WideBlockedPathQrStepsAndVariants) {
+  // QR steps replay through nb-wide orthogonal-apply slices on the wide
+  // panel; A2 exercises the diagonal UNMQR apply, B1/B2 the block-diagonal
+  // solves. All must match the per-column path bitwise (same-shape kernel
+  // calls, same inputs).
+  for (auto variant :
+       {LuVariant::A1, LuVariant::A2, LuVariant::B1, LuVariant::B2}) {
+    const auto a = gen::generate(gen::MatrixKind::Random, 64, 23);
+    const auto b = random_matrix(64, 5, 24);
+    HybridOptions opt;
+    opt.variant = variant;
+    MaxCriterion crit(variant == LuVariant::A1 ? 2.0 : 1e9);  // A1: mixed LU/QR
+    const auto fac = Factorization::compute(a, crit, 32, opt);
+    const auto x_col = fac.solve(b, 0, RhsPath::PerTileColumn);
+    const auto x_wide = fac.solve(b, 0, RhsPath::WideBlocked);
+    for (int j = 0; j < 5; ++j)
+      for (int i = 0; i < 64; ++i)
+        EXPECT_EQ(x_wide(i, j), x_col(i, j))
+            << static_cast<int>(variant) << " @ " << i << "," << j;
+  }
+}
+
+TEST(Factorization, WidePathRefinementAndPadding) {
+  // Refinement sweeps and non-tile-multiple orders go through the same
+  // wide machinery.
+  const auto a = gen::generate(gen::MatrixKind::Random, 75, 25);
+  const auto b = random_matrix(75, 6, 26);
+  MaxCriterion crit(40.0);
+  const auto fac = Factorization::compute(a, crit, 32, {});
+  const auto x_col = fac.solve(b, 2, RhsPath::PerTileColumn);
+  const auto x_wide = fac.solve(b, 2, RhsPath::WideBlocked);
+  for (int j = 0; j < 6; ++j)
+    for (int i = 0; i < 75; ++i) EXPECT_EQ(x_wide(i, j), x_col(i, j));
+  EXPECT_LT(verify::relative_residual(a, x_wide, b), 1e-12);
+}
+
+TEST(Factorization, ExactWidthPanelOnAllLuFactorizations) {
+  // Diagonally dominant input + Max criterion: every step is LU/A1, so the
+  // wide panel is the exact RHS width (no tile padding) — including the
+  // serving-critical single-column case. Still bitwise vs per-column.
+  const auto a = gen::generate(gen::MatrixKind::DiagDominant, 96, 33);
+  MaxCriterion crit(100.0);
+  const auto fac = Factorization::compute(a, crit, 32, {});
+  ASSERT_EQ(fac.stats().qr_steps, 0);
+  for (int cols : {1, 3, 17}) {
+    const auto b = random_matrix(96, cols, 700 + cols);
+    const auto x_col = fac.solve(b, 0, RhsPath::PerTileColumn);
+    const auto x_auto = fac.solve(b);  // Auto: exact-width wide panel
+    for (int j = 0; j < cols; ++j)
+      for (int i = 0; i < 96; ++i) EXPECT_EQ(x_auto(i, j), x_col(i, j));
+  }
+  // Padded order: the identity tail is factored as LU/A1 steps as well.
+  const auto ap = gen::generate(gen::MatrixKind::DiagDominant, 75, 34);
+  MaxCriterion crit2(100.0);
+  const auto facp = Factorization::compute(ap, crit2, 32, {});
+  ASSERT_EQ(facp.stats().qr_steps, 0);
+  const auto bp = random_matrix(75, 1, 750);
+  const auto xp_col = facp.solve(bp, 0, RhsPath::PerTileColumn);
+  const auto xp_auto = facp.solve(bp);
+  for (int i = 0; i < 75; ++i) EXPECT_EQ(xp_auto(i, 0), xp_col(i, 0));
+}
+
+TEST(Factorization, WidePathSmallTilesUnblockedMirror) {
+  // nb = 8 keeps the nb^3 product under the packed-GEMM threshold: the
+  // per-column path runs the simple loops, and the wide path must mirror
+  // that choice (not re-dispatch on its larger width) to stay bitwise.
+  const auto a = gen::generate(gen::MatrixKind::Random, 48, 29);
+  MaxCriterion crit(30.0);
+  const auto fac = Factorization::compute(a, crit, 8, {});
+  for (int cols : {1, 5, 48}) {
+    const auto b = random_matrix(48, cols, 500 + cols);
+    const auto x_col = fac.solve(b, 0, RhsPath::PerTileColumn);
+    const auto x_wide = fac.solve(b, 0, RhsPath::WideBlocked);
+    for (int j = 0; j < cols; ++j)
+      for (int i = 0; i < 48; ++i) EXPECT_EQ(x_wide(i, j), x_col(i, j));
+  }
+}
+
+TEST(Factorization, MemoryBytesAccountsForTilesAndLog) {
+  const auto a = gen::generate(gen::MatrixKind::Random, 64, 27);
+  MaxCriterion crit(2.0);
+  const auto fac = Factorization::compute(a, crit, 16, {});
+  // At minimum the factored tiles and the retained original.
+  EXPECT_GE(fac.memory_bytes(), 2u * 64u * 64u * sizeof(double));
+  EXPECT_EQ(fac.matrix().rows(), 64);
+  EXPECT_EQ(fac.matrix().cols(), 64);
+}
+
 TEST(Factorization, RejectsWrongShapes) {
   const auto a = random_matrix(32, 24, 18);
   MaxCriterion crit(1.0);

@@ -79,7 +79,46 @@ TEST(MatrixMarket, RejectsMalformedInput) {
     EXPECT_THROW(read_matrix_market(s), Error);
   }
   {
-    std::stringstream s("%%MatrixMarket matrix coordinate real skew-symmetric\n1 1 0\n");
+    // Hermitian is complex-only and stays rejected.
+    std::stringstream s("%%MatrixMarket matrix coordinate real hermitian\n1 1 0\n");
+    EXPECT_THROW(read_matrix_market(s), Error);
+  }
+  {
+    // Pattern carries no values, so the dense array format cannot hold one.
+    std::stringstream s("%%MatrixMarket matrix array pattern general\n2 2\n");
+    EXPECT_THROW(read_matrix_market(s), Error);
+  }
+  {
+    // Skew-symmetric diagonals are identically zero and must not be stored.
+    std::stringstream s(
+        "%%MatrixMarket matrix coordinate real skew-symmetric\n2 2 1\n1 1 3.0\n");
+    EXPECT_THROW(read_matrix_market(s), Error);
+  }
+  {
+    // Mirroring a non-square "symmetric" file would write out of bounds.
+    std::stringstream s(
+        "%%MatrixMarket matrix coordinate real symmetric\n3 2 1\n3 1 5.0\n");
+    EXPECT_THROW(read_matrix_market(s), Error);
+  }
+  {
+    std::stringstream s(
+        "%%MatrixMarket matrix coordinate real skew-symmetric\n3 2 1\n3 1 5.0\n");
+    EXPECT_THROW(read_matrix_market(s), Error);
+  }
+  {
+    std::stringstream s("%%MatrixMarket matrix array real symmetric\n3 2\n1.0\n");
+    EXPECT_THROW(read_matrix_market(s), Error);
+  }
+  {
+    // A real entry line that lost its value token must not fabricate one.
+    std::stringstream s(
+        "%%MatrixMarket matrix coordinate real general\n2 2 1\n2 1\n");
+    EXPECT_THROW(read_matrix_market(s), Error);
+  }
+  {
+    // Same for a corrupted dense array value.
+    std::stringstream s(
+        "%%MatrixMarket matrix array real general\n2 2\ngarbage\n1.0\n2.0\n3.0\n");
     EXPECT_THROW(read_matrix_market(s), Error);
   }
   {
@@ -96,6 +135,94 @@ TEST(MatrixMarket, RejectsMalformedInput) {
     std::stringstream s("");
     EXPECT_THROW(read_matrix_market(s), Error);
   }
+}
+
+TEST(MatrixMarket, IntegerFieldParsesAsDoubles) {
+  std::stringstream s(
+      "%%MatrixMarket matrix coordinate integer general\n"
+      "2 3 3\n"
+      "1 1 4\n"
+      "2 2 -7\n"
+      "1 3 12\n");
+  const auto a = read_matrix_market(s);
+  ASSERT_EQ(a.rows(), 2);
+  ASSERT_EQ(a.cols(), 3);
+  EXPECT_DOUBLE_EQ(a(0, 0), 4.0);
+  EXPECT_DOUBLE_EQ(a(1, 1), -7.0);
+  EXPECT_DOUBLE_EQ(a(0, 2), 12.0);
+}
+
+TEST(MatrixMarket, PatternEntriesReadAsOnes) {
+  std::stringstream s(
+      "%%MatrixMarket matrix coordinate pattern symmetric\n"
+      "3 3 3\n"
+      "1 1\n"
+      "2 1\n"
+      "3 2\n");
+  const auto a = read_matrix_market(s);
+  EXPECT_DOUBLE_EQ(a(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(a(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(a(0, 1), 1.0);  // symmetric mirror
+  EXPECT_DOUBLE_EQ(a(2, 1), 1.0);
+  EXPECT_DOUBLE_EQ(a(1, 2), 1.0);
+  EXPECT_DOUBLE_EQ(a(2, 2), 0.0);
+}
+
+TEST(MatrixMarket, SkewSymmetricCoordinateMirrorsWithNegation) {
+  std::stringstream s(
+      "%%MatrixMarket matrix coordinate real skew-symmetric\n"
+      "3 3 2\n"
+      "2 1 5.0\n"
+      "3 2 -1.5\n");
+  const auto a = read_matrix_market(s);
+  EXPECT_DOUBLE_EQ(a(1, 0), 5.0);
+  EXPECT_DOUBLE_EQ(a(0, 1), -5.0);
+  EXPECT_DOUBLE_EQ(a(2, 1), -1.5);
+  EXPECT_DOUBLE_EQ(a(1, 2), 1.5);
+  for (int i = 0; i < 3; ++i) EXPECT_DOUBLE_EQ(a(i, i), 0.0);
+}
+
+TEST(MatrixMarket, SkewSymmetricArrayStoresStrictLowerTriangle) {
+  std::stringstream s(
+      "%%MatrixMarket matrix array real skew-symmetric\n"
+      "3 3\n"
+      "2.0\n"   // a(2,1)
+      "-4.0\n"  // a(3,1)
+      "6.0\n"); // a(3,2)
+  const auto a = read_matrix_market(s);
+  EXPECT_DOUBLE_EQ(a(1, 0), 2.0);
+  EXPECT_DOUBLE_EQ(a(0, 1), -2.0);
+  EXPECT_DOUBLE_EQ(a(2, 0), -4.0);
+  EXPECT_DOUBLE_EQ(a(0, 2), 4.0);
+  EXPECT_DOUBLE_EQ(a(2, 1), 6.0);
+  EXPECT_DOUBLE_EQ(a(1, 2), -6.0);
+  for (int i = 0; i < 3; ++i) EXPECT_DOUBLE_EQ(a(i, i), 0.0);
+}
+
+TEST(MatrixMarket, CrlfLineEndingsRoundtrip) {
+  // A written file transported through a CRLF channel must read back
+  // exactly — banner, size line and data lines all carry \r.
+  const auto a = random_matrix(6, 4, 3);
+  std::stringstream unix_file;
+  write_matrix_market(unix_file, a);
+  std::string text = unix_file.str();
+  std::string crlf;
+  for (char c : text) {
+    if (c == '\n') crlf += '\r';
+    crlf += c;
+  }
+  std::stringstream s(crlf);
+  const auto b = read_matrix_market(s);
+  EXPECT_DOUBLE_EQ(kern::max_abs_diff(a.cview(), b.cview()), 0.0);
+
+  std::stringstream coord(
+      "%%MatrixMarket matrix coordinate integer general\r\n"
+      "2 2 2\r\n"
+      "1 1 3\r\n"
+      "2 2 9\r\n");
+  const auto c = read_matrix_market(coord);
+  EXPECT_DOUBLE_EQ(c(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 9.0);
 }
 
 TEST(MatrixMarket, FileRoundtrip) {

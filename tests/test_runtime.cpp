@@ -467,5 +467,101 @@ TEST(ParallelHybrid, SchedulerStatsReportTelemetry) {
   EXPECT_EQ(panels, 4);  // 64 / 16 tiles
 }
 
+TEST(Engine, IdleAndWaitIdleHooks) {
+  Engine engine(2);
+  EXPECT_TRUE(engine.idle());
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 16; ++i)
+    engine.submit([&ran] { ran.fetch_add(1); }, {});
+  engine.wait_idle();
+  EXPECT_TRUE(engine.idle());
+  EXPECT_EQ(ran.load(), 16);
+  // Reusable after quiescence (the shared-engine lifecycle).
+  engine.submit([&ran] { ran.fetch_add(1); }, {});
+  engine.wait_idle();
+  EXPECT_EQ(ran.load(), 17);
+}
+
+TEST(ExternalEngineFactor, MatchesOwnedPoolBitwiseBothModes) {
+  const auto a = gen::generate(gen::MatrixKind::Random, 80, 71);
+  core::HybridOptions opt;
+  opt.grid_p = 2;
+
+  TileMatrix<double> owned_tiles = TileMatrix<double>::from_dense(a, 16);
+  MaxCriterion c0(20.0);
+  core::TransformLog owned_log;
+  const auto owned_stats =
+      parallel_hybrid_factor(owned_tiles, c0, opt, 3, &owned_log);
+
+  Engine engine(3);
+  for (SubmitMode mode : {SubmitMode::Continuation, SubmitMode::JoinPerStep}) {
+    TileMatrix<double> tiles = TileMatrix<double>::from_dense(a, 16);
+    MaxCriterion criterion(20.0);
+    core::TransformLog log;
+    SchedulerOptions sched;
+    sched.mode = mode;
+    const auto stats =
+        parallel_hybrid_factor_on(engine, tiles, criterion, opt, &log, sched);
+    EXPECT_EQ(stats.lu_steps, owned_stats.lu_steps);
+    EXPECT_EQ(stats.qr_steps, owned_stats.qr_steps);
+    for (int tj = 0; tj < tiles.nt(); ++tj)
+      for (int ti = 0; ti < tiles.mt(); ++ti) {
+        const auto got = tiles.tile(ti, tj);
+        const auto want = owned_tiles.tile(ti, tj);
+        for (int j = 0; j < 16; ++j)
+          for (int i = 0; i < 16; ++i)
+            ASSERT_EQ(got(i, j), want(i, j))
+                << "mode " << static_cast<int>(mode) << " tile " << ti << ","
+                << tj;
+      }
+    ASSERT_EQ(log.size(), owned_log.size());
+    engine.wait_idle();
+    EXPECT_TRUE(engine.idle());
+  }
+}
+
+TEST(ExternalEngineFactor, ErrorsAreIsolatedPerRun) {
+  // A criterion that blows up mid-factorization: the error must reach the
+  // caller of *this* run, and must not park itself in the shared engine's
+  // global error slot (wait_all would rethrow it into an innocent caller).
+  struct Bomb : Criterion {
+    int calls = 0;
+    bool accept_lu(const PanelInfo&) override {
+      if (++calls == 2) throw Error("bomb");
+      return true;
+    }
+    std::string name() const override { return "bomb"; }
+  };
+
+  Engine engine(2);
+  const auto a = gen::generate(gen::MatrixKind::Random, 64, 73);
+  for (SubmitMode mode : {SubmitMode::Continuation, SubmitMode::JoinPerStep}) {
+    TileMatrix<double> tiles = TileMatrix<double>::from_dense(a, 16);
+    Bomb bomb;
+    SchedulerOptions sched;
+    sched.mode = mode;
+    EXPECT_THROW(parallel_hybrid_factor_on(engine, tiles, bomb, {}, nullptr, sched),
+                 Error)
+        << static_cast<int>(mode);
+    // The shared engine survives unpoisoned and keeps serving.
+    engine.wait_all();  // must NOT rethrow the bomb
+    TileMatrix<double> ok_tiles = TileMatrix<double>::from_dense(a, 16);
+    MaxCriterion fine(20.0);
+    const auto stats = parallel_hybrid_factor_on(engine, ok_tiles, fine, {});
+    EXPECT_EQ(stats.lu_steps + stats.qr_steps, 4);
+  }
+}
+
+TEST(ExternalEngineFactor, RejectsTracing) {
+  Engine engine(2);
+  const auto a = gen::generate(gen::MatrixKind::Random, 32, 75);
+  TileMatrix<double> tiles = TileMatrix<double>::from_dense(a, 16);
+  MaxCriterion criterion(20.0);
+  SchedulerOptions sched;
+  sched.trace = true;
+  EXPECT_THROW(parallel_hybrid_factor_on(engine, tiles, criterion, {}, nullptr, sched),
+               Error);
+}
+
 }  // namespace
 }  // namespace luqr::rt

@@ -1,0 +1,342 @@
+// Tests for the luqr::serve::SolveService: bitwise parity with one-shot
+// Solver::solve across hits/misses/attaches/batches, cancellation,
+// backpressure (blocking and rejecting), priority overtaking, single-flight
+// deduplication, batching fusion, telemetry sanity, engine idle hooks, and
+// a mixed multi-client stress run (sized to stay TSan-friendly — the CI
+// thread-sanitizer job runs this whole binary).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "gen/generators.hpp"
+#include "runtime/engine.hpp"
+#include "serve/service.hpp"
+#include "test_helpers.hpp"
+#include "verify/verify.hpp"
+
+namespace luqr::serve {
+namespace {
+
+using luqr::testing::random_matrix;
+
+SolverConfig base_solver() {
+  return SolverConfig()
+      .criterion(CriterionSpec::max(50.0))
+      .tile_size(16)
+      .grid(2, 2);
+}
+
+ServiceConfig base_config(int threads = 2) {
+  ServiceConfig cfg;
+  cfg.solver = base_solver();
+  cfg.threads = threads;
+  return cfg;
+}
+
+void expect_bitwise(const Matrix<double>& got, const Matrix<double>& want,
+                    const char* what) {
+  ASSERT_EQ(got.rows(), want.rows()) << what;
+  ASSERT_EQ(got.cols(), want.cols()) << what;
+  for (int j = 0; j < want.cols(); ++j)
+    for (int i = 0; i < want.rows(); ++i)
+      ASSERT_EQ(got(i, j), want(i, j)) << what << " @ " << i << "," << j;
+}
+
+TEST(SolveService, BitwiseIdenticalToOneShotSolver) {
+  const ServiceConfig cfg = base_config();
+  const Solver reference(cfg.solver);
+  SolveService svc(cfg);
+
+  // Mixed sizes, including non-tile-multiples; each job must match the
+  // one-shot facade bitwise — cold misses and warm hits alike.
+  for (int n : {16, 24, 48, 53}) {
+    const auto a = gen::generate(gen::MatrixKind::Random, n, 1000 + n);
+    const auto b = random_matrix(n, 1, 2000 + n);
+    const auto want = reference.solve(a, b).x;
+    auto cold = svc.submit_solve(a, b);
+    expect_bitwise(cold.get().x, want, "cold");
+    auto warm = svc.submit_solve(a, b);
+    const SolveReply r = warm.get();
+    EXPECT_TRUE(r.cache_hit) << n;
+    expect_bitwise(r.x, want, "warm");
+  }
+  const ServiceStats s = svc.stats();
+  EXPECT_GE(s.cache.hits, 4u);
+  EXPECT_GE(s.completed, 8u);
+}
+
+TEST(SolveService, MultiRhsAndRefinementMatchOneShot) {
+  ServiceConfig cfg = base_config();
+  cfg.solver.refinement_sweeps(1);
+  const Solver reference(cfg.solver);
+  SolveService svc(cfg);
+  const auto a = gen::generate(gen::MatrixKind::Random, 48, 7);
+  const auto b = random_matrix(48, 5, 8);
+  const auto want = reference.solve(a, b).x;
+  expect_bitwise(svc.submit_solve(a, b).get().x, want, "multi-rhs refined");
+}
+
+TEST(SolveService, FactorJobWarmsCache) {
+  SolveService svc(base_config());
+  const auto a = gen::generate(gen::MatrixKind::Random, 32, 11);
+  const SolveReply fr = svc.submit_factor(a).get();
+  EXPECT_FALSE(fr.cache_hit);
+  EXPECT_EQ(fr.x.rows(), 0);
+  const auto b = random_matrix(32, 1, 12);
+  EXPECT_TRUE(svc.submit_solve(a, b).get().cache_hit);
+  EXPECT_TRUE(svc.submit_factor(a).get().cache_hit);
+}
+
+TEST(SolveService, BatchFusesAndMatchesIndividualSolves) {
+  const ServiceConfig cfg = base_config();
+  const Solver reference(cfg.solver);
+  SolveService svc(cfg);
+  const auto a = gen::generate(gen::MatrixKind::Random, 48, 21);
+  std::vector<Matrix<double>> bs;
+  for (int i = 0; i < 6; ++i) bs.push_back(random_matrix(48, i % 2 ? 2 : 1, 30 + i));
+
+  auto handles = svc.submit_batch(a, bs, Priority::Normal);
+  ASSERT_EQ(handles.size(), bs.size());
+  for (std::size_t i = 0; i < handles.size(); ++i) {
+    const auto want = reference.solve(a, bs[i]).x;
+    expect_bitwise(handles[i].get().x, want, "batch member");
+  }
+  const ServiceStats s = svc.stats();
+  EXPECT_EQ(s.batches, 1u);
+  EXPECT_EQ(s.batch_members, 6u);
+  EXPECT_EQ(s.fused_rhs_columns, 9u);  // 1+2+1+2+1+2
+}
+
+TEST(SolveService, SingleFlightDeduplicatesConcurrentMisses) {
+  // Many concurrent jobs on the same (uncached) matrix: exactly one
+  // factorization runs; everyone gets bitwise-correct answers.
+  ServiceConfig cfg = base_config(2);
+  cfg.parallel_factor_tiles = 0;  // coarse path, so attaches park as waiters
+  const Solver reference(cfg.solver);
+  SolveService svc(cfg);
+  const auto a = gen::generate(gen::MatrixKind::Random, 64, 41);
+  std::vector<Matrix<double>> bs;
+  std::vector<JobHandle> jobs;
+  for (int i = 0; i < 8; ++i) {
+    bs.push_back(random_matrix(64, 1, 50 + i));
+    jobs.push_back(svc.submit_solve(a, bs.back()));
+  }
+  for (int i = 0; i < 8; ++i)
+    expect_bitwise(jobs[static_cast<std::size_t>(i)].get().x,
+                   reference.solve(a, bs[static_cast<std::size_t>(i)]).x,
+                   "deduped");
+  const ServiceStats s = svc.stats();
+  EXPECT_EQ(s.factors_coarse + s.factors_inline_parallel, 1u);
+}
+
+TEST(SolveService, CancelQueuedJobSkipsWork) {
+  // One worker, inflight 1, and a slow job in front: jobs cancelled while
+  // queued never run.
+  ServiceConfig cfg = base_config(1);
+  cfg.max_inflight = 1;
+  cfg.dispatchers = 1;
+  SolveService svc(cfg);
+  const auto slow_a = gen::generate(gen::MatrixKind::Random, 96, 61);
+  const auto slow_b = random_matrix(96, 1, 62);
+  auto slow = svc.submit_solve(slow_a, slow_b);
+
+  const auto a = gen::generate(gen::MatrixKind::Random, 32, 63);
+  const auto b = random_matrix(32, 1, 64);
+  auto victim = svc.submit_solve(a, b);
+  // Cancellation wins while the job is queued (the slow job occupies the
+  // only inflight slot; the victim sits in the admission queue or engine).
+  const bool won = victim.cancel();
+  if (won) {
+    EXPECT_EQ(victim.status(), JobStatus::Cancelled);
+    EXPECT_THROW(victim.get(), Error);
+  }
+  (void)slow.get();
+  svc.drain();
+  const ServiceStats s = svc.stats();
+  if (won) {
+    EXPECT_EQ(s.cancelled, 1u);
+    EXPECT_EQ(s.completed, 1u);
+  } else {
+    EXPECT_EQ(s.completed, 2u);
+  }
+  EXPECT_FALSE(victim.cancel());  // terminal either way: cancel loses now
+}
+
+TEST(SolveService, RejectWhenFullPolicy) {
+  ServiceConfig cfg = base_config(1);
+  cfg.queue_capacity = 2;
+  cfg.max_inflight = 1;
+  cfg.reject_when_full = true;
+  SolveService svc(cfg);
+  std::vector<JobHandle> jobs;
+  for (int i = 0; i < 12; ++i) {
+    const auto a = gen::generate(gen::MatrixKind::Random, 48, 100 + i);
+    const auto b = random_matrix(48, 1, 200 + i);
+    jobs.push_back(svc.submit_solve(a, b));
+  }
+  int done = 0, rejected = 0;
+  for (auto& j : jobs) {
+    j.wait();
+    if (j.status() == JobStatus::Done) ++done;
+    if (j.status() == JobStatus::Rejected) {
+      ++rejected;
+      EXPECT_THROW(j.get(), Error);
+    }
+  }
+  EXPECT_EQ(done + rejected, 12);
+  EXPECT_GT(rejected, 0);  // 12 jobs into capacity 2 + inflight 1 must spill
+  EXPECT_EQ(svc.stats().rejected, static_cast<std::uint64_t>(rejected));
+}
+
+TEST(SolveService, BlockingBackpressureCompletesEverything) {
+  ServiceConfig cfg = base_config(2);
+  cfg.queue_capacity = 2;
+  cfg.max_inflight = 2;
+  cfg.reject_when_full = false;
+  SolveService svc(cfg);
+  std::vector<JobHandle> jobs;
+  for (int i = 0; i < 16; ++i) {
+    const auto a = gen::generate(gen::MatrixKind::Random, 32, 300 + i);
+    const auto b = random_matrix(32, 1, 400 + i);
+    jobs.push_back(svc.submit_solve(a, b));  // blocks when the queue fills
+  }
+  for (auto& j : jobs) EXPECT_EQ(JobStatus::Done, (j.wait(), j.status()));
+  EXPECT_EQ(svc.stats().completed, 16u);
+  EXPECT_EQ(svc.stats().rejected, 0u);
+}
+
+TEST(SolveService, InteractiveOvertakesBatchTraffic) {
+  ServiceConfig cfg = base_config(1);
+  cfg.max_inflight = 1;
+  SolveService svc(cfg);
+  std::vector<JobHandle> batch;
+  for (int i = 0; i < 12; ++i) {
+    const auto a = gen::generate(gen::MatrixKind::Random, 64, 500 + i);
+    const auto b = random_matrix(64, 1, 600 + i);
+    batch.push_back(svc.submit_solve(a, b, Priority::Batch));
+  }
+  const auto a = gen::generate(gen::MatrixKind::Random, 32, 700);
+  const auto b = random_matrix(32, 1, 701);
+  auto urgent = svc.submit_solve(a, b, Priority::Interactive);
+  (void)urgent.get();
+  // The urgent job jumped the queue: batch work must still be outstanding.
+  int not_done = 0;
+  for (auto& j : batch)
+    if (j.status() != JobStatus::Done) ++not_done;
+  EXPECT_GT(not_done, 0);
+  for (auto& j : batch) (void)j.get();
+}
+
+TEST(SolveService, TelemetryAndIdleHooks) {
+  SolveService svc(base_config());
+  const auto a = gen::generate(gen::MatrixKind::Random, 32, 801);
+  for (int i = 0; i < 5; ++i)
+    (void)svc.submit_solve(a, random_matrix(32, 1, 810 + i)).get();
+  svc.drain();
+  const ServiceStats s = svc.stats();
+  EXPECT_EQ(s.queue_depth, 0u);
+  EXPECT_EQ(s.inflight, 0u);
+  EXPECT_EQ(s.pending_factorizations, 0u);
+  EXPECT_EQ(s.completed, 5u);
+  EXPECT_LE(s.latency_p50_us, s.latency_p99_us);
+  EXPECT_GE(s.latency_p99_us, 1u);
+  EXPECT_GT(s.jobs_per_second, 0.0);
+  EXPECT_GT(s.engine_tasks_executed, 0u);
+  EXPECT_EQ(s.workers, 2);
+  EXPECT_GE(s.cache.hits, 4u);
+  EXPECT_GT(s.cache.hit_rate(), 0.5);
+  // Engine drain hooks: drain() settles jobs before the final task retires,
+  // so quiescence is reached via wait_idle(), after which idle() holds.
+  svc.engine().wait_idle();
+  EXPECT_TRUE(svc.engine().idle());
+}
+
+TEST(SolveService, FineGrainedFactorOnSharedEngineMatchesSerial) {
+  // Large-matrix path: the dispatcher drives the parallel factorization on
+  // the shared engine. Results stay bitwise identical to the one-shot
+  // facade (serial == parallel factorization is a library invariant).
+  ServiceConfig cfg = base_config(2);
+  cfg.parallel_factor_tiles = 4;  // 64/16 = 4 tiles triggers the fine path
+  const Solver reference(cfg.solver);
+  SolveService svc(cfg);
+  const auto a = gen::generate(gen::MatrixKind::Random, 96, 901);
+  const auto b = random_matrix(96, 2, 902);
+  expect_bitwise(svc.submit_solve(a, b).get().x, reference.solve(a, b).x,
+                 "fine-grained");
+  const ServiceStats s = svc.stats();
+  EXPECT_EQ(s.factors_inline_parallel, 1u);
+  EXPECT_EQ(s.factors_coarse, 0u);
+}
+
+TEST(SolveServiceStress, MixedClientsMatchReferenceBitwise) {
+  // The acceptance-grade stress shape, sized for TSan: 8 client threads x
+  // 25 requests each (200 total) over a shared pool of matrices with mixed
+  // sizes, priorities, multi-RHS widths, and occasional batches. Every
+  // result must be bitwise identical to the one-shot facade.
+  ServiceConfig cfg = base_config(4);
+  cfg.queue_capacity = 64;
+  cfg.dispatchers = 2;
+  const Solver reference(cfg.solver);
+
+  constexpr int kPool = 6;
+  constexpr int kClients = 8;
+  constexpr int kPerClient = 25;
+  std::vector<Matrix<double>> pool;
+  std::vector<int> sizes = {16, 24, 32, 48, 53, 64};
+  for (int i = 0; i < kPool; ++i)
+    pool.push_back(gen::generate(gen::MatrixKind::Random,
+                                 sizes[static_cast<std::size_t>(i)], 1100 + i));
+
+  std::atomic<int> mismatches{0};
+  std::atomic<int> failures{0};
+  SolveService svc(cfg);
+  SolveService* svcp = &svc;
+  auto client = [&](int id) {
+    for (int r = 0; r < kPerClient; ++r) {
+      const int pick = (id * 7 + r * 3) % kPool;
+      const Matrix<double>& a = pool[static_cast<std::size_t>(pick)];
+      const int cols = 1 + (r % 3);
+      const auto b = random_matrix(a.rows(), cols,
+                                   static_cast<std::uint64_t>(id) * 1000 + r);
+      const auto prio = static_cast<Priority>(r % 3);
+      try {
+        Matrix<double> got;
+        if (r % 5 == 4) {
+          std::vector<Matrix<double>> bs = {b, random_matrix(a.rows(), 1,
+                                                             9000 + id * 31 + r)};
+          auto handles = svcp->submit_batch(a, bs, prio);
+          got = handles[0].get().x;
+          (void)handles[1].get();
+        } else {
+          got = svcp->submit_solve(a, b, prio).get().x;
+        }
+        const auto want = reference.solve(a, b).x;
+        for (int j = 0; j < want.cols(); ++j)
+          for (int i = 0; i < want.rows(); ++i)
+            if (got(i, j) != want(i, j)) {
+              mismatches.fetch_add(1);
+              return;
+            }
+      } catch (...) {
+        failures.fetch_add(1);
+      }
+    }
+  };
+
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) clients.emplace_back(client, c);
+  for (auto& t : clients) t.join();
+  svc.drain();
+  const ServiceStats s = svc.stats();
+  EXPECT_EQ(s.completed, static_cast<std::uint64_t>(kClients * kPerClient) +
+                             s.batch_members - s.batches);
+  EXPECT_GT(s.cache.hits, 0u);
+  EXPECT_EQ(s.queue_depth, 0u);
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(failures.load(), 0);
+}
+
+}  // namespace
+}  // namespace luqr::serve

@@ -424,5 +424,76 @@ TEST(Solver, AutotuneTargetThroughConfig) {
   EXPECT_LT(verify::hpl3(a, r.x, b), 16.0);
 }
 
+TEST(Solver, SharedEngineFactorsBitwiseIdenticalToOwnedPool) {
+  // The shared-engine handle reuses one long-lived pool across Solver
+  // calls; factorizations and solves must not change by a bit.
+  const auto a = gen::generate(gen::MatrixKind::Random, 96, 31);
+  const auto b = random_matrix(96, 2, 32);
+  const SolverConfig base =
+      SolverConfig().criterion(CriterionSpec::max(20.0)).tile_size(16).grid(2, 2);
+
+  auto engine = std::make_shared<rt::Engine>(3);
+  const Solver shared(SolverConfig(base).backend(Backend::Parallel).engine(engine));
+  const Solver owned(SolverConfig(base).backend(Backend::Parallel).threads(3));
+
+  EXPECT_EQ(shared.resolve_threads(), 3);  // the engine defines the pool size
+
+  const auto fs = shared.factor(a);
+  const auto fo = owned.factor(a);
+  const auto xs = fs.solve(b);
+  const auto xo = fo.solve(b);
+  for (int j = 0; j < 2; ++j)
+    for (int i = 0; i < 96; ++i) ASSERT_EQ(xs(i, j), xo(i, j));
+
+  // One-shot fused solves ride the shared engine too.
+  const auto rs = shared.solve(a, b);
+  const auto ro = owned.solve(a, b);
+  for (int j = 0; j < 2; ++j)
+    for (int i = 0; i < 96; ++i) ASSERT_EQ(rs.x(i, j), ro.x(i, j));
+
+  // The engine outlives the solvers and is reusable afterwards.
+  engine->wait_idle();
+  EXPECT_TRUE(engine->idle());
+}
+
+TEST(Solver, ConcurrentFactorizationsShareOneEngine) {
+  // Several threads drive independent factorizations onto one engine at
+  // once (the serve subsystem's fine-grained mode). Each result must match
+  // the serial reference bitwise.
+  auto engine = std::make_shared<rt::Engine>(3);
+  const SolverConfig base =
+      SolverConfig().criterion(CriterionSpec::max(30.0)).tile_size(16).grid(2, 2);
+  const Solver shared(SolverConfig(base).backend(Backend::Parallel).engine(engine));
+  const Solver serial(SolverConfig(base).backend(Backend::Serial));
+
+  constexpr int kJobs = 4;
+  std::vector<Matrix<double>> as, bs, got(kJobs), want(kJobs);
+  for (int i = 0; i < kJobs; ++i) {
+    as.push_back(gen::generate(gen::MatrixKind::Random, 64, 40 + i));
+    bs.push_back(random_matrix(64, 1, 50 + i));
+  }
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kJobs; ++i)
+    threads.emplace_back([&, i] { got[i] = shared.factor(as[i]).solve(bs[i]); });
+  for (auto& t : threads) t.join();
+  for (int i = 0; i < kJobs; ++i) {
+    want[i] = serial.factor(as[i]).solve(bs[i]);
+    for (int r = 0; r < 64; ++r) ASSERT_EQ(got[i](r, 0), want[i](r, 0)) << i;
+  }
+  engine->wait_idle();
+  EXPECT_TRUE(engine->idle());
+}
+
+TEST(SolverConfig, SharedEngineRejectsTracing) {
+  auto engine = std::make_shared<rt::Engine>(2);
+  rt::SchedulerOptions sched;
+  sched.trace = true;
+  EXPECT_THROW(Solver(SolverConfig()
+                          .backend(Backend::Parallel)
+                          .engine(engine)
+                          .scheduler(sched)),
+               Error);
+}
+
 }  // namespace
 }  // namespace luqr

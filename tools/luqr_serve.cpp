@@ -1,0 +1,283 @@
+// luqr_serve — stress driver for the serve::SolveService subsystem.
+//
+//   luqr_serve [options]
+//
+//   --clients N       client threads (default 8)
+//   --requests M      requests per client (default 25; total = N*M)
+//   --sizes a,b,c     matrix-order pool (default 32,48,64,96)
+//   --pool K          distinct matrices in the pool (default 8; reuse
+//                     across requests is what exercises the cache)
+//   --nb V            tile size (default 32)
+//   --threads T       engine workers (default: hardware)
+//   --dispatchers D   queue dispatchers (default 1)
+//   --queue Q         admission-queue capacity (default 256)
+//   --cache-mb MB     factorization-cache budget (default 256)
+//   --reject          reject-when-full admission instead of blocking
+//   --batch K         fold every K-th request into a K-member fused batch
+//                     (default 0 = no batching)
+//   --verify          check every result bitwise against a one-shot
+//                     luqr::Solver reference (results are collected during
+//                     the run and verified after it, outside the timed
+//                     region, so the throughput numbers measure the service)
+//   --stress          acceptance preset: >= 8 clients x >= 25 requests,
+//                     --verify on, nonzero exit on any mismatch/failure
+//   --seed S          matrix/rhs seed base (default 1)
+//
+// Prints the full service telemetry snapshot at the end (queue depth,
+// cache hit rate, latency percentiles, jobs/s, workspace bytes); exits
+// nonzero if any job failed, any verification mismatched, or (stress mode)
+// the run shape fell short of the acceptance floor.
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "luqr.hpp"
+#include "serve/service.hpp"
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--clients N] [--requests M] [--sizes a,b,c] [--pool K]\n"
+               "       [--nb V] [--threads T] [--dispatchers D] [--queue Q]\n"
+               "       [--cache-mb MB] [--reject] [--batch K] [--verify]\n"
+               "       [--stress] [--seed S]\n",
+               argv0);
+  std::exit(2);
+}
+
+std::vector<int> parse_sizes(const std::string& csv) {
+  std::vector<int> out;
+  std::size_t pos = 0;
+  while (pos < csv.size()) {
+    const std::size_t comma = csv.find(',', pos);
+    const std::string tok = csv.substr(pos, comma == std::string::npos
+                                                ? std::string::npos
+                                                : comma - pos);
+    out.push_back(std::atoi(tok.c_str()));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace luqr;
+
+  int clients = 8, requests = 25, pool_size = 8, nb = 32, threads = 0;
+  int dispatchers = 1, batch_every = 0;
+  std::size_t queue_capacity = 256, cache_mb = 256;
+  bool reject = false, verify_results = false, stress = false;
+  std::uint64_t seed = 1;
+  std::vector<int> sizes = {32, 48, 64, 96};
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto need_value = [&]() -> const char* {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--clients") clients = std::atoi(need_value());
+    else if (arg == "--requests") requests = std::atoi(need_value());
+    else if (arg == "--sizes") sizes = parse_sizes(need_value());
+    else if (arg == "--pool") pool_size = std::atoi(need_value());
+    else if (arg == "--nb") nb = std::atoi(need_value());
+    else if (arg == "--threads") threads = std::atoi(need_value());
+    else if (arg == "--dispatchers") dispatchers = std::atoi(need_value());
+    else if (arg == "--queue") queue_capacity = static_cast<std::size_t>(std::atol(need_value()));
+    else if (arg == "--cache-mb") cache_mb = static_cast<std::size_t>(std::atol(need_value()));
+    else if (arg == "--reject") reject = true;
+    else if (arg == "--batch") batch_every = std::atoi(need_value());
+    else if (arg == "--verify") verify_results = true;
+    else if (arg == "--stress") stress = true;
+    else if (arg == "--seed") seed = static_cast<std::uint64_t>(std::atoll(need_value()));
+    else usage(argv[0]);
+  }
+  if (stress) {
+    clients = std::max(clients, 8);
+    requests = std::max(requests, 25);
+    verify_results = true;
+  }
+  if (clients < 1 || requests < 1 || pool_size < 1 || sizes.empty()) usage(argv[0]);
+
+  try {
+    serve::ServiceConfig cfg;
+    cfg.solver =
+        SolverConfig().criterion(CriterionSpec::max(100.0)).tile_size(nb).grid(2, 2);
+    cfg.threads = threads;
+    cfg.dispatchers = dispatchers;
+    cfg.queue_capacity = queue_capacity;
+    cfg.cache_bytes = cache_mb << 20;
+    cfg.reject_when_full = reject;
+
+    // Matrix pool (mixed sizes) and, when verifying, bitwise references.
+    std::vector<Matrix<double>> pool;
+    pool.reserve(static_cast<std::size_t>(pool_size));
+    for (int i = 0; i < pool_size; ++i) {
+      const int n = sizes[static_cast<std::size_t>(i) % sizes.size()];
+      pool.push_back(gen::generate(gen::MatrixKind::Random, n,
+                                   seed + static_cast<std::uint64_t>(i)));
+    }
+    const Solver reference(cfg.solver);
+
+    const int total = clients * requests;
+    std::printf("luqr_serve: %d clients x %d requests = %d jobs | pool=%d "
+                "sizes=%zu nb=%d | queue=%zu (%s) cache=%zuMB | %s%s\n",
+                clients, requests, total, pool_size, sizes.size(), nb,
+                queue_capacity, reject ? "reject" : "block", cache_mb,
+                verify_results ? "verify" : "no-verify", stress ? " [stress]" : "");
+
+    std::atomic<long> mismatches{0}, failures{0}, rejected{0}, done{0};
+    // Per-client record of what came back, verified after the timed run.
+    struct Outcome {
+      int pick = 0;
+      Matrix<double> b, x;
+    };
+    std::vector<std::vector<Outcome>> outcomes(static_cast<std::size_t>(clients));
+    Timer wall;
+    {
+      serve::SolveService svc(cfg);
+      auto client = [&](int id) {
+        Rng rng(seed * 977 + static_cast<std::uint64_t>(id));
+        for (int r = 0; r < requests; ++r) {
+          const int pick = static_cast<int>(rng.uniform() * pool_size) % pool_size;
+          const Matrix<double>& a = pool[static_cast<std::size_t>(pick)];
+          const auto prio = static_cast<serve::Priority>(r % 3);
+          const std::uint64_t rhs_seed =
+              seed + 7919u * static_cast<std::uint64_t>(id) + static_cast<std::uint64_t>(r);
+          try {
+            std::vector<serve::JobHandle> handles;
+            std::vector<Matrix<double>> bs;
+            if (batch_every > 0 && r % batch_every == 0) {
+              for (int k = 0; k < batch_every; ++k) {
+                Matrix<double> b(a.rows(), 1);
+                Rng brng(rhs_seed + static_cast<std::uint64_t>(k) * 131);
+                for (int i = 0; i < a.rows(); ++i) b(i, 0) = brng.gaussian();
+                bs.push_back(std::move(b));
+              }
+              handles = svc.submit_batch(a, bs, prio);
+            } else {
+              Matrix<double> b(a.rows(), 1 + r % 2);
+              Rng brng(rhs_seed);
+              for (int j = 0; j < b.cols(); ++j)
+                for (int i = 0; i < a.rows(); ++i) b(i, j) = brng.gaussian();
+              bs.push_back(b);
+              handles.push_back(svc.submit_solve(a, std::move(b), prio));
+            }
+            for (std::size_t h = 0; h < handles.size(); ++h) {
+              handles[h].wait();
+              if (handles[h].status() == serve::JobStatus::Rejected) {
+                rejected.fetch_add(1);
+                continue;
+              }
+              Matrix<double> x = handles[h].get().x;
+              done.fetch_add(1);
+              if (verify_results)
+                outcomes[static_cast<std::size_t>(id)].push_back(
+                    Outcome{pick, std::move(bs[h]), std::move(x)});
+            }
+          } catch (const std::exception& e) {
+            // get() rethrows the job's original exception of any type.
+            failures.fetch_add(1);
+            std::fprintf(stderr, "client %d request %d: %s\n", id, r, e.what());
+          } catch (...) {
+            failures.fetch_add(1);
+            std::fprintf(stderr, "client %d request %d: unknown error\n", id, r);
+          }
+        }
+      };
+      std::vector<std::thread> pool_threads;
+      pool_threads.reserve(static_cast<std::size_t>(clients));
+      for (int c = 0; c < clients; ++c) pool_threads.emplace_back(client, c);
+      for (auto& t : pool_threads) t.join();
+      svc.drain();
+      const double secs = wall.seconds();
+
+      // Verification runs after the timed region: the reference solves are
+      // O(n^3) each and must not pollute the service throughput numbers.
+      if (verify_results) {
+        for (const auto& per_client : outcomes) {
+          for (const Outcome& o : per_client) {
+            const Matrix<double>& a = pool[static_cast<std::size_t>(o.pick)];
+            const Matrix<double> want = reference.solve(a, o.b).x;
+            bool ok = o.x.rows() == want.rows() && o.x.cols() == want.cols();
+            for (int j = 0; ok && j < want.cols(); ++j)
+              for (int i = 0; i < want.rows(); ++i)
+                if (o.x(i, j) != want(i, j)) {
+                  ok = false;
+                  break;
+                }
+            if (!ok) mismatches.fetch_add(1);
+          }
+        }
+      }
+
+      const serve::ServiceStats s = svc.stats();
+      std::printf("\n-- results ------------------------------------------\n");
+      std::printf("wall time          %.3fs   (%.1f jobs/s end-to-end)\n", secs,
+                  static_cast<double>(done.load()) / secs);
+      std::printf("completed          %llu (ok %ld, rejected %ld, failed %llu)\n",
+                  static_cast<unsigned long long>(s.completed), done.load(),
+                  rejected.load(), static_cast<unsigned long long>(s.failed));
+      std::printf("verify             %s (%ld mismatches)\n",
+                  verify_results ? (mismatches.load() ? "FAILED" : "bitwise ok")
+                                 : "off",
+                  mismatches.load());
+      std::printf("\n-- service telemetry --------------------------------\n");
+      std::printf("queue              depth=%zu capacity=%zu inflight=%zu\n",
+                  s.queue_depth, s.queue_capacity, s.inflight);
+      std::printf("cache              hits=%llu misses=%llu (%.1f%% hit rate), "
+                  "%zu entries, %.1f/%.0f MB, %llu evictions\n",
+                  static_cast<unsigned long long>(s.cache.hits),
+                  static_cast<unsigned long long>(s.cache.misses),
+                  100.0 * s.cache.hit_rate(), s.cache.entries,
+                  static_cast<double>(s.cache.bytes) / (1 << 20),
+                  static_cast<double>(s.cache.byte_budget) / (1 << 20),
+                  static_cast<unsigned long long>(s.cache.evictions));
+      std::printf("factorizations     %llu coarse, %llu fine-grained, "
+                  "%zu pending\n",
+                  static_cast<unsigned long long>(s.factors_coarse),
+                  static_cast<unsigned long long>(s.factors_inline_parallel),
+                  s.pending_factorizations);
+      std::printf("batching           %llu batches / %llu members / %llu fused "
+                  "rhs columns\n",
+                  static_cast<unsigned long long>(s.batches),
+                  static_cast<unsigned long long>(s.batch_members),
+                  static_cast<unsigned long long>(s.fused_rhs_columns));
+      std::printf("latency (us)       p50=%llu p99=%llu max=%llu mean=%.0f\n",
+                  static_cast<unsigned long long>(s.latency_p50_us),
+                  static_cast<unsigned long long>(s.latency_p99_us),
+                  static_cast<unsigned long long>(s.latency_max_us),
+                  s.latency_mean_us);
+      std::printf("exec (us)          p50=%llu p99=%llu\n",
+                  static_cast<unsigned long long>(s.exec_p50_us),
+                  static_cast<unsigned long long>(s.exec_p99_us));
+      std::printf("throughput         %.1f jobs/s over %.3fs uptime\n",
+                  s.jobs_per_second, s.uptime_seconds);
+      std::printf("engine             %d workers, %llu tasks, %llu steals, "
+                  "%.1f KB workspace\n",
+                  s.workers,
+                  static_cast<unsigned long long>(s.engine_tasks_executed),
+                  static_cast<unsigned long long>(s.engine_steals),
+                  static_cast<double>(s.workspace_bytes) / 1024.0);
+
+      if (s.failed != 0 || failures.load() != 0) return 1;
+      if (mismatches.load() != 0) return 1;
+      if (stress && done.load() < 200) {
+        std::fprintf(stderr, "stress: fewer than 200 verified jobs completed\n");
+        return 1;
+      }
+    }
+    return 0;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
