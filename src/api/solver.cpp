@@ -110,10 +110,12 @@ core::Factorization Solver::factor(const Matrix<double>& a) const {
   core::FactorizationStats stats =
       config_.engine() != nullptr
           ? rt::parallel_hybrid_factor_on(*config_.engine(), tiles, *criterion,
-                                          options, &log, config_.scheduler())
+                                          options, &log, config_.scheduler(),
+                                          config_.scheduler_stats())
           : rt::parallel_hybrid_factor(tiles, *criterion, options,
                                        resolve_threads(), &log,
-                                       config_.scheduler());
+                                       config_.scheduler(),
+                                       config_.scheduler_stats());
   return core::Factorization::adopt(a, std::move(tiles), std::move(stats),
                                     std::move(log), options);
 }
@@ -142,10 +144,12 @@ core::SolveResult Solver::solve(const Matrix<double>& a,
         config_.engine() != nullptr
             ? rt::parallel_hybrid_factor_on(*config_.engine(), aug, *criterion,
                                             options, nullptr,
-                                            config_.scheduler())
+                                            config_.scheduler(),
+                                            config_.scheduler_stats())
             : rt::parallel_hybrid_factor(aug, *criterion, options,
                                          resolve_threads(), nullptr,
-                                         config_.scheduler());
+                                         config_.scheduler(),
+                                         config_.scheduler_stats());
   } else {
     result.stats = core::hybrid_factor(aug, *criterion, options);
   }

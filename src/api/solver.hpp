@@ -33,6 +33,7 @@
 
 namespace luqr::rt {
 class Engine;
+struct SchedulerStats;
 }
 
 namespace luqr {
@@ -122,11 +123,21 @@ class SolverConfig {
     return *this;
   }
   /// Scheduling knobs for the Parallel backend: continuation vs
-  /// join-per-step submission, critical-path priorities, and the per-task
-  /// timing trace (rt::SchedulerOptions::trace_path writes a Chrome-tracing
-  /// JSON file after each parallel factorization).
+  /// join-per-step submission, critical-path priorities with a configurable
+  /// lookahead depth, and the per-task timing trace
+  /// (rt::SchedulerOptions::trace_path writes a Chrome-tracing JSON file
+  /// after each parallel factorization).
   SolverConfig& scheduler(const rt::SchedulerOptions& s) {
     scheduler_ = s;
+    return *this;
+  }
+  /// Telemetry out-param: after every Parallel-backend factorization the
+  /// engine's scheduler statistics (tasks, steals, critical path length,
+  /// per-lane counts, and — with the trace enabled — per-task timings) are
+  /// written here. Non-owning; must outlive the Solver calls. Serial-backend
+  /// runs leave it untouched.
+  SolverConfig& scheduler_stats(rt::SchedulerStats* stats) {
+    sched_stats_ = stats;
     return *this;
   }
   /// Shared-engine handle: run every Parallel-backend factorization on this
@@ -156,6 +167,7 @@ class SolverConfig {
   bool exact_inv_norm() const { return exact_inv_norm_; }
   bool track_growth() const { return track_growth_; }
   const rt::SchedulerOptions& scheduler() const { return scheduler_; }
+  rt::SchedulerStats* scheduler_stats() const { return sched_stats_; }
   const std::shared_ptr<rt::Engine>& engine() const { return engine_; }
 
   /// Adopt every knob a low-level HybridOptions carries (used by the
@@ -184,6 +196,7 @@ class SolverConfig {
   bool exact_inv_norm_ = false;
   bool track_growth_ = false;
   rt::SchedulerOptions scheduler_{};
+  rt::SchedulerStats* sched_stats_ = nullptr;
   std::shared_ptr<rt::Engine> engine_;
 };
 

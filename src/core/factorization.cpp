@@ -180,7 +180,11 @@ void Factorization::apply_transformations(TileMatrix<double>& b) const {
 // on its own width but mirrors the per-column path's choice (an nb x nb x
 // nb product's verdict), so every element goes through the same kernel at
 // a different width; (2) TRSM and the row interchanges are exactly
-// per-column operations; (3) the orthogonal applies (UNMQR/TSMQR/TTMQR,
+// per-column operations — the blocked TRSM keeps this by dispatching on the
+// triangle dimension alone and running its inner updates through the packed
+// GEMM unconditionally (see trsm_wants_blocked), so a diagonal tile picks
+// the same kernel and the same per-element sums at any RHS width; (3) the
+// orthogonal applies (UNMQR/TSMQR/TTMQR,
 // whose internals dispatch on their own operand widths) are only reached
 // for factorizations with QR or block-LU steps, where the panel is padded
 // to whole tiles and walked in nb-wide slices, keeping every such kernel

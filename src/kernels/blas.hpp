@@ -50,10 +50,31 @@ void gemm_unblocked(Trans transa, Trans transb, T alpha, ConstMatrixView<T> a,
 ///   side == Left : solve op(A) * X = alpha * B, X overwrites B
 ///   side == Right: solve X * op(A) = alpha * B, X overwrites B
 /// A is triangular (uplo selects the referenced triangle; diag == Unit means
-/// an implicit unit diagonal).
+/// an implicit unit diagonal — those entries are never read, so no redundant
+/// divides and no sensitivity to whatever is stored there).
+///
+/// Like gemm, trsm() dispatches on size between a blocked path (unblocked
+/// diagonal-block solves + packed GEMM updates) and the seed's simple loops
+/// — but on the *triangle* dimension only, never the RHS width, so Left
+/// solves stay exactly per-column operations at any width (see
+/// trsm_wants_blocked in kernels/pack.hpp). Packing scratch comes from `ws`
+/// (the calling thread's arena when null).
 template <typename T>
 void trsm(Side side, Uplo uplo, Trans trans, Diag diag, T alpha,
-          ConstMatrixView<T> a, MatrixView<T> b);
+          ConstMatrixView<T> a, MatrixView<T> b, Workspace* ws = nullptr);
+
+/// The blocked TRSM path, unconditionally (exposed for parity tests and the
+/// panel bench).
+template <typename T>
+void trsm_blocked(Side side, Uplo uplo, Trans trans, Diag diag, T alpha,
+                  ConstMatrixView<T> a, MatrixView<T> b,
+                  Workspace* ws = nullptr);
+
+/// The seed's simple substitution loops, unconditionally (small-triangle
+/// path; also the bench's baseline for the blocked TRSM's speedup).
+template <typename T>
+void trsm_unblocked(Side side, Uplo uplo, Trans trans, Diag diag, T alpha,
+                    ConstMatrixView<T> a, MatrixView<T> b);
 
 /// B <- alpha * op(A) * B (side == Left) or alpha * B * op(A) (side == Right)
 /// with A triangular. Used by the norm estimators and tests.

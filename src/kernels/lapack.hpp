@@ -41,8 +41,25 @@ namespace luqr::kern {
 /// Returns 0 on success or (j+1) of the first exactly-zero pivot (the
 /// factorization keeps going with the zero pivot column skipped, matching
 /// LAPACK's info semantics).
+///
+/// Above the panel dispatch threshold (panel_wants_blocked in
+/// kernels/pack.hpp) the factorization is blocked right-looking: jb-wide
+/// unblocked panels, one TRSM + one packed GEMM per block step. The blocking
+/// is fixed at config time (LUQR_PANEL_JB / LUQR_PANEL_SMALL_N) and
+/// thread-independent, so serial and parallel drivers stay bitwise equal.
 template <typename T>
-int getrf(MatrixView<T> a, std::vector<int>& piv);
+int getrf(MatrixView<T> a, std::vector<int>& piv, Workspace* ws = nullptr);
+
+/// The seed's unblocked right-looking loops, unconditionally (small-panel
+/// path; also the bench's baseline for the blocked panel's speedup).
+template <typename T>
+int getrf_unblocked(MatrixView<T> a, std::vector<int>& piv);
+
+/// The blocked right-looking path, unconditionally (exposed for parity tests
+/// and the panel bench).
+template <typename T>
+int getrf_blocked(MatrixView<T> a, std::vector<int>& piv,
+                  Workspace* ws = nullptr);
 
 /// LU factorization *without* any pivoting. Returns 0 or (j+1) of the first
 /// zero pivot. Used by tests and the pure NoPiv ablation.
@@ -52,8 +69,11 @@ int getrf_nopiv(MatrixView<T> a);
 /// LU factorization with pivot search restricted to a caller-chosen row set:
 /// at column j the pivot is chosen among row j and rows [lo, a.rows).
 /// This is the pairwise/TSTRF search pattern generalized; piv as in getrf.
+/// Dispatches blocked/unblocked exactly like getrf (the restricted bound
+/// translates into each panel frame unchanged).
 template <typename T>
-int getrf_restricted(MatrixView<T> a, int lo, std::vector<int>& piv);
+int getrf_restricted(MatrixView<T> a, int lo, std::vector<int>& piv,
+                     Workspace* ws = nullptr);
 
 /// Apply the row interchanges recorded by getrf to another matrix:
 /// forward (the order they were produced) or backward (inverse permutation).
@@ -67,9 +87,25 @@ void laswp(MatrixView<T> a, const std::vector<int>& piv, bool forward = true);
 /// GEQRT: QR factorization of an m x n tile (m >= n). On exit A holds R in
 /// its upper triangle and the Householder vectors V below the diagonal
 /// (implicit unit diagonal); t (n x n) holds the upper-triangular block
-/// reflector factor with Q = I - V T V^T.
+/// reflector factor with Q = I - V T V^T (forward columnwise convention).
+///
+/// Above the panel dispatch threshold the factorization is blocked: jb-wide
+/// unblocked panels, the trailing columns updated through the compact-WY
+/// apply (packed GEMMs), and the T factor accumulated block-by-block via
+/// T12 = -T1 (V1^T V2) T2 — the same T the unblocked loops produce, in
+/// GEMM-reassociated arithmetic.
 template <typename T>
 void geqrt(MatrixView<T> a, MatrixView<T> t, Workspace* ws = nullptr);
+
+/// The seed's unblocked reflector-at-a-time loops, unconditionally (also the
+/// bench's baseline for the blocked GEQRT's speedup).
+template <typename T>
+void geqrt_unblocked(MatrixView<T> a, MatrixView<T> t, Workspace* ws = nullptr);
+
+/// The blocked GEQRT path, unconditionally (exposed for parity tests and the
+/// panel bench).
+template <typename T>
+void geqrt_blocked(MatrixView<T> a, MatrixView<T> t, Workspace* ws = nullptr);
 
 /// UNMQR: apply Q or Q^T from a GEQRT factorization to C (m x n), from the
 /// left: C <- op(Q) C, with V m x k, T k x k.

@@ -26,6 +26,42 @@ bool gemm_wants_blocked(int m, int n, int k) {
          static_cast<long long>(gemm_blocking().small_mnk);
 }
 
+const PanelBlocking& panel_blocking() {
+  static const PanelBlocking blocking = [] {
+    PanelBlocking b;
+    b.jb = static_cast<int>(env_long("LUQR_PANEL_JB", 32));
+    b.small_n = static_cast<int>(env_long("LUQR_PANEL_SMALL_N", 64));
+    LUQR_REQUIRE(b.jb > 0 && b.small_n > 0,
+                 "LUQR_PANEL_JB/SMALL_N must be positive");
+    return b;
+  }();
+  return blocking;
+}
+
+bool panel_wants_blocked(int m, int n) {
+  const PanelBlocking& b = panel_blocking();
+  // Blocking pays once there is more than one block step; m only has to be
+  // large enough for the panel/GEMM split to exist at all.
+  return n >= b.small_n && n > b.jb && m > b.jb;
+}
+
+const TrsmBlocking& trsm_blocking() {
+  static const TrsmBlocking blocking = [] {
+    TrsmBlocking b;
+    b.kb = static_cast<int>(env_long("LUQR_TRSM_KB", 64));
+    b.small_m = static_cast<int>(env_long("LUQR_TRSM_SMALL_M", 128));
+    LUQR_REQUIRE(b.kb > 0 && b.small_m > 0,
+                 "LUQR_TRSM_KB/SMALL_M must be positive");
+    return b;
+  }();
+  return blocking;
+}
+
+bool trsm_wants_blocked(int dim) {
+  const TrsmBlocking& b = trsm_blocking();
+  return dim >= b.small_m && dim > b.kb;
+}
+
 template <typename T, int MR>
 void pack_a_panel(Trans trans, int mc, int kc, ConstMatrixView<T> a, int i0,
                   int p0, T* dst) {

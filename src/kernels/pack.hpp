@@ -43,6 +43,41 @@ const GemmBlocking& gemm_blocking();
 /// enough for the packed path to win over the simple loops.
 bool gemm_wants_blocked(int m, int n, int k);
 
+/// Blocking/dispatch knobs for the blocked panel factorizations (GETRF and
+/// GEQRT): the inner unblocked panel width, and the column count below which
+/// the kernels keep the seed's unblocked loops. Like the GEMM blocking these
+/// are read from the environment once per process and never depend on thread
+/// count, so a panel factorization is bitwise identical on the serial driver
+/// and on any engine worker.
+struct PanelBlocking {
+  int jb;       ///< inner panel width           (LUQR_PANEL_JB, default 32)
+  int small_n;  ///< unblocked below this n      (LUQR_PANEL_SMALL_N, default 64)
+};
+
+/// The process-wide panel blocking configuration (env read once, cached).
+const PanelBlocking& panel_blocking();
+
+/// Dispatch predicate of getrf()/geqrt(): true when an m x n panel is big
+/// enough for the blocked algorithm to win over the unblocked loops.
+bool panel_wants_blocked(int m, int n);
+
+/// Blocking/dispatch knobs for the blocked TRSM.
+struct TrsmBlocking {
+  int kb;       ///< diagonal block size         (LUQR_TRSM_KB, default 64)
+  int small_m;  ///< unblocked below this triangle dim
+                ///<                              (LUQR_TRSM_SMALL_M, default 128)
+};
+
+/// The process-wide TRSM blocking configuration (env read once, cached).
+const TrsmBlocking& trsm_blocking();
+
+/// Dispatch predicate of trsm(). Depends on the triangle dimension only —
+/// never on the RHS width — so a Left-side solve picks the same kernel for
+/// one column or for many. Together with the blocked path's fixed inner GEMM
+/// this keeps Left TRSM exactly a per-column operation at any width, the
+/// invariance the wide-RHS solve path (core/factorization.cpp) relies on.
+bool trsm_wants_blocked(int dim);
+
 /// Pack the [i0, i0+mc) x [p0, p0+kc) block of op(A) into MR-row panels at
 /// dst (size >= round_up(mc, MR) * kc). op(A)(i, l) is a(i, l) or a(l, i).
 template <typename T, int MR>

@@ -1,3 +1,4 @@
+#include <algorithm>
 #include <cmath>
 
 #include "kernels/lapack.hpp"
@@ -29,7 +30,7 @@ T larfg(T& alpha, T* x, int n, int incx = 1) {
 }  // namespace
 
 template <typename T>
-void geqrt(MatrixView<T> a, MatrixView<T> t, Workspace* wsp) {
+void geqrt_unblocked(MatrixView<T> a, MatrixView<T> t, Workspace* wsp) {
   const int m = a.rows, n = a.cols;
   LUQR_REQUIRE(m >= n, "geqrt: m >= n required");
   LUQR_REQUIRE(t.rows >= n && t.cols >= n, "geqrt: T too small");
@@ -65,6 +66,91 @@ void geqrt(MatrixView<T> a, MatrixView<T> t, Workspace* wsp) {
         t(i, j) = -tau * acc;
       }
     }
+  }
+}
+
+// Blocked compact-WY factorization: factor a jb-wide panel with the
+// unblocked loops, push the trailing-column update through unmqr (whose
+// W = V^T C / C -= V W halves are packed GEMMs above the dispatch
+// threshold), and accumulate the full T factor block-by-block with the
+// standard coupling T12 = -T1 (V1^T V2) T2 — so downstream consumers
+// (unmqr, the replay log) see exactly the same compact-WY convention the
+// unblocked kernel produces.
+template <typename T>
+void geqrt_blocked(MatrixView<T> a, MatrixView<T> t, Workspace* wsp) {
+  const int m = a.rows, n = a.cols;
+  LUQR_REQUIRE(m >= n, "geqrt: m >= n required");
+  LUQR_REQUIRE(t.rows >= n && t.cols >= n, "geqrt: T too small");
+  // Zero the whole factor up front (like the unblocked kernel): the blocks
+  // below the coupled diagonal are never written, and callers reuse T
+  // storage across calls.
+  fill(t.block(0, 0, n, n), T(0));
+  Workspace& ws = workspace_or_tls(wsp);
+  const int jb = panel_blocking().jb;
+  for (int j0 = 0; j0 < n; j0 += jb) {
+    const int bb = std::min(jb, n - j0);
+    MatrixView<T> panel = a.block(j0, j0, m - j0, bb);
+    MatrixView<T> t22 = t.block(j0, j0, bb, bb);
+    geqrt_unblocked(panel, t22, wsp);
+    const int ncols = n - j0 - bb;
+    if (ncols > 0)
+      unmqr(Trans::Yes, ConstMatrixView<T>(panel), ConstMatrixView<T>(t22),
+            a.block(j0, j0 + bb, m - j0, ncols), wsp);
+    if (j0 > 0) {
+      Workspace::Frame frame(ws);
+      // V2 densified: the unit-lower trapezoid of the factored panel.
+      const int mrem = m - j0;
+      MatrixView<T> v2(ws.alloc<T>(static_cast<std::size_t>(mrem) * bb), mrem,
+                       bb, mrem);
+      for (int j = 0; j < bb; ++j) {
+        T* col = &v2(0, j);
+        for (int i = 0; i < j; ++i) col[i] = T(0);
+        col[j] = T(1);
+        for (int i = j + 1; i < mrem; ++i) col[i] = panel(i, j);
+      }
+      // W = V1^T V2. V2 is zero in the rows above j0, so only the dense
+      // below-j0 part of V1 (= the stored reflectors of the earlier panels)
+      // contributes.
+      MatrixView<T> w(ws.alloc<T>(static_cast<std::size_t>(j0) * bb), j0, bb,
+                      j0);
+      gemm(Trans::Yes, Trans::No, T(1),
+           ConstMatrixView<T>(a.block(j0, 0, mrem, j0)),
+           ConstMatrixView<T>(v2), T(0), w, wsp);
+      // T12 = -T1 W T2, both triangular products through GEMM on densified
+      // triangles: T1 grows to n - jb and the in-place TRMM's strided dot
+      // loops would dominate the whole factorization (measured >50% of the
+      // blocked kernel at nb = 128); two copies + packed GEMMs are far
+      // cheaper.
+      MatrixView<T> t1d(ws.alloc<T>(static_cast<std::size_t>(j0) * j0), j0, j0,
+                        j0);
+      for (int j = 0; j < j0; ++j) {
+        T* col = &t1d(0, j);
+        for (int i = 0; i <= j; ++i) col[i] = t(i, j);
+        for (int i = j + 1; i < j0; ++i) col[i] = T(0);
+      }
+      MatrixView<T> t2d(ws.alloc<T>(static_cast<std::size_t>(bb) * bb), bb, bb,
+                        bb);
+      for (int j = 0; j < bb; ++j) {
+        T* col = &t2d(0, j);
+        for (int i = 0; i <= j; ++i) col[i] = t22(i, j);
+        for (int i = j + 1; i < bb; ++i) col[i] = T(0);
+      }
+      MatrixView<T> w2(ws.alloc<T>(static_cast<std::size_t>(j0) * bb), j0, bb,
+                       j0);
+      gemm(Trans::No, Trans::No, T(1), ConstMatrixView<T>(t1d),
+           ConstMatrixView<T>(w), T(0), w2, wsp);
+      gemm(Trans::No, Trans::No, T(-1), ConstMatrixView<T>(w2),
+           ConstMatrixView<T>(t2d), T(0), t.block(0, j0, j0, bb), wsp);
+    }
+  }
+}
+
+template <typename T>
+void geqrt(MatrixView<T> a, MatrixView<T> t, Workspace* wsp) {
+  if (panel_wants_blocked(a.rows, a.cols)) {
+    geqrt_blocked(a, t, wsp);
+  } else {
+    geqrt_unblocked(a, t, wsp);
   }
 }
 
@@ -126,9 +212,11 @@ void unmqr(Trans trans, ConstMatrixView<T> v, ConstMatrixView<T> t,
   }
 }
 
-#define LUQR_INST(T)                                                    \
-  template void geqrt<T>(MatrixView<T>, MatrixView<T>, Workspace*);     \
-  template void unmqr<T>(Trans, ConstMatrixView<T>, ConstMatrixView<T>, \
+#define LUQR_INST(T)                                                          \
+  template void geqrt<T>(MatrixView<T>, MatrixView<T>, Workspace*);           \
+  template void geqrt_unblocked<T>(MatrixView<T>, MatrixView<T>, Workspace*); \
+  template void geqrt_blocked<T>(MatrixView<T>, MatrixView<T>, Workspace*);   \
+  template void unmqr<T>(Trans, ConstMatrixView<T>, ConstMatrixView<T>,       \
                          MatrixView<T>, Workspace*);
 LUQR_INST(double)
 LUQR_INST(float)

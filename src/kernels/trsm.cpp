@@ -1,6 +1,8 @@
+#include <algorithm>
 #include <vector>
 
 #include "kernels/blas.hpp"
+#include "kernels/pack.hpp"
 
 namespace luqr::kern {
 
@@ -45,8 +47,8 @@ void solve_col(Uplo uplo, Trans trans, Diag diag, const ConstMatrixView<T>& a, T
 }  // namespace
 
 template <typename T>
-void trsm(Side side, Uplo uplo, Trans trans, Diag diag, T alpha,
-          ConstMatrixView<T> a, MatrixView<T> b) {
+void trsm_unblocked(Side side, Uplo uplo, Trans trans, Diag diag, T alpha,
+                    ConstMatrixView<T> a, MatrixView<T> b) {
   LUQR_REQUIRE(a.rows == a.cols, "trsm: A must be square");
   const int m = b.rows, n = b.cols;
   LUQR_REQUIRE(side == Side::Left ? a.rows == m : a.rows == n,
@@ -63,7 +65,9 @@ void trsm(Side side, Uplo uplo, Trans trans, Diag diag, T alpha,
   }
 
   // side == Right: solve X * op(A) = B column-block-wise; effectively a
-  // triangular solve over the columns of B.
+  // triangular solve over the columns of B. The unit-diagonal case never
+  // touches the diagonal entries (no divide, no read — a NaN parked there
+  // must stay inert).
   const bool unit = diag == Diag::Unit;
   auto axpy_col = [&](int dst, int src, T coef) {
     if (coef == T(0)) return;
@@ -88,6 +92,135 @@ void trsm(Side side, Uplo uplo, Trans trans, Diag diag, T alpha,
         axpy_col(j, l, trans == Trans::No ? a(l, j) : a(j, l));
       if (!unit) scale_col(j, a(j, j));
     }
+  }
+}
+
+namespace {
+
+// Blocked Left-side solve: unblocked solves on kb x kb diagonal blocks, the
+// rest of the flops in one packed GEMM per block step. The inner GEMM is
+// *unconditionally* the blocked kernel: its per-element sums depend only on
+// KC, never on the RHS width, so — together with the per-column diagonal
+// solves — every column of B sees identical arithmetic whether it is solved
+// alone or as part of a wide panel (the invariance trsm_wants_blocked's
+// width-free dispatch promises).
+template <typename T>
+void trsm_blocked_left(Uplo uplo, Trans trans, Diag diag, ConstMatrixView<T> a,
+                       MatrixView<T> b, Workspace* ws) {
+  const int m = b.rows, n = b.cols;
+  const int kb = trsm_blocking().kb;
+  const bool forward = (uplo == Uplo::Lower) == (trans == Trans::No);
+  const int nblk = (m + kb - 1) / kb;
+  for (int step = 0; step < nblk; ++step) {
+    const int bi = forward ? step : nblk - 1 - step;
+    const int b0 = bi * kb;
+    const int bs = std::min(kb, m - b0);
+    trsm_unblocked(Side::Left, uplo, trans, diag, T(1), a.block(b0, b0, bs, bs),
+                   b.block(b0, 0, bs, n));
+    if (forward) {
+      const int rem = m - b0 - bs;
+      if (rem == 0) continue;
+      if (trans == Trans::No) {
+        gemm_blocked(Trans::No, Trans::No, T(-1), a.block(b0 + bs, b0, rem, bs),
+                     ConstMatrixView<T>(b.block(b0, 0, bs, n)), T(1),
+                     b.block(b0 + bs, 0, rem, n), ws);
+      } else {
+        // op(A) = U^T: the sub-diagonal coefficients live above the diagonal.
+        gemm_blocked(Trans::Yes, Trans::No, T(-1), a.block(b0, b0 + bs, bs, rem),
+                     ConstMatrixView<T>(b.block(b0, 0, bs, n)), T(1),
+                     b.block(b0 + bs, 0, rem, n), ws);
+      }
+    } else {
+      if (b0 == 0) continue;
+      if (trans == Trans::No) {
+        gemm_blocked(Trans::No, Trans::No, T(-1), a.block(0, b0, b0, bs),
+                     ConstMatrixView<T>(b.block(b0, 0, bs, n)), T(1),
+                     b.block(0, 0, b0, n), ws);
+      } else {
+        // op(A) = L^T: the super-diagonal coefficients live below the diagonal.
+        gemm_blocked(Trans::Yes, Trans::No, T(-1), a.block(b0, 0, bs, b0),
+                     ConstMatrixView<T>(b.block(b0, 0, bs, n)), T(1),
+                     b.block(0, 0, b0, n), ws);
+      }
+    }
+  }
+}
+
+// Blocked Right-side solve over the columns of B (X * op(A) = B).
+template <typename T>
+void trsm_blocked_right(Uplo uplo, Trans trans, Diag diag, ConstMatrixView<T> a,
+                        MatrixView<T> b, Workspace* ws) {
+  const int m = b.rows, n = b.cols;
+  const int kb = trsm_blocking().kb;
+  const bool forward = (uplo == Uplo::Upper) == (trans == Trans::No);
+  const int nblk = (n + kb - 1) / kb;
+  for (int step = 0; step < nblk; ++step) {
+    const int bi = forward ? step : nblk - 1 - step;
+    const int b0 = bi * kb;
+    const int bs = std::min(kb, n - b0);
+    trsm_unblocked(Side::Right, uplo, trans, diag, T(1), a.block(b0, b0, bs, bs),
+                   b.block(0, b0, m, bs));
+    const ConstMatrixView<T> xblk(b.block(0, b0, m, bs));
+    if (forward) {
+      const int rem = n - b0 - bs;
+      if (rem == 0) continue;
+      if (trans == Trans::No) {
+        gemm_blocked(Trans::No, Trans::No, T(-1), xblk,
+                     a.block(b0, b0 + bs, bs, rem), T(1),
+                     b.block(0, b0 + bs, m, rem), ws);
+      } else {
+        // op(A) = L^T: op(A)(block, j) = A(j, block)^T with j > block.
+        gemm_blocked(Trans::No, Trans::Yes, T(-1), xblk,
+                     a.block(b0 + bs, b0, rem, bs), T(1),
+                     b.block(0, b0 + bs, m, rem), ws);
+      }
+    } else {
+      if (b0 == 0) continue;
+      if (trans == Trans::No) {
+        gemm_blocked(Trans::No, Trans::No, T(-1), xblk, a.block(b0, 0, bs, b0),
+                     T(1), b.block(0, 0, m, b0), ws);
+      } else {
+        // op(A) = U^T: op(A)(block, j) = A(j, block)^T with j < block.
+        gemm_blocked(Trans::No, Trans::Yes, T(-1), xblk, a.block(0, b0, b0, bs),
+                     T(1), b.block(0, 0, m, b0), ws);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+template <typename T>
+void trsm_blocked(Side side, Uplo uplo, Trans trans, Diag diag, T alpha,
+                  ConstMatrixView<T> a, MatrixView<T> b, Workspace* ws) {
+  LUQR_REQUIRE(a.rows == a.cols, "trsm: A must be square");
+  const int m = b.rows, n = b.cols;
+  LUQR_REQUIRE(side == Side::Left ? a.rows == m : a.rows == n,
+               "trsm dimension mismatch");
+  if (alpha != T(1)) {
+    for (int j = 0; j < n; ++j)
+      for (int i = 0; i < m; ++i) b(i, j) *= alpha;
+  }
+  if (m == 0 || n == 0) return;
+  if (side == Side::Left) {
+    trsm_blocked_left(uplo, trans, diag, a, b, ws);
+  } else {
+    trsm_blocked_right(uplo, trans, diag, a, b, ws);
+  }
+}
+
+template <typename T>
+void trsm(Side side, Uplo uplo, Trans trans, Diag diag, T alpha,
+          ConstMatrixView<T> a, MatrixView<T> b, Workspace* ws) {
+  LUQR_REQUIRE(a.rows == a.cols, "trsm: A must be square");
+  const int m = b.rows, n = b.cols;
+  LUQR_REQUIRE(side == Side::Left ? a.rows == m : a.rows == n,
+               "trsm dimension mismatch");
+  // Dispatch on the triangle dimension only (see trsm_wants_blocked).
+  if (trsm_wants_blocked(a.rows)) {
+    trsm_blocked(side, uplo, trans, diag, alpha, a, b, ws);
+  } else {
+    trsm_unblocked(side, uplo, trans, diag, alpha, a, b);
   }
 }
 
@@ -160,7 +293,12 @@ void trmm(Side side, Uplo uplo, Trans trans, Diag diag, T alpha,
 
 #define LUQR_INST(T)                                                      \
   template void trsm<T>(Side, Uplo, Trans, Diag, T, ConstMatrixView<T>,  \
-                        MatrixView<T>);                                   \
+                        MatrixView<T>, Workspace*);                       \
+  template void trsm_blocked<T>(Side, Uplo, Trans, Diag, T,              \
+                                ConstMatrixView<T>, MatrixView<T>,       \
+                                Workspace*);                              \
+  template void trsm_unblocked<T>(Side, Uplo, Trans, Diag, T,            \
+                                  ConstMatrixView<T>, MatrixView<T>);    \
   template void trmm<T>(Side, Uplo, Trans, Diag, T, ConstMatrixView<T>,  \
                         MatrixView<T>);
 LUQR_INST(double)

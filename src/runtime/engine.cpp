@@ -49,7 +49,7 @@ std::uint64_t Engine::now_us() const {
 
 void Engine::push_ready(Task* task, std::size_t* pushed) {
   if (task->priority > 0) {
-    SharedQueue& lane = high_[task->priority >= 2 ? 1 : 0];
+    SharedQueue& lane = high_[task->priority - 1];
     std::lock_guard<std::mutex> lk(lane.mu);
     lane.ready.push_back(task);
     high_count_.fetch_add(1, std::memory_order_relaxed);
@@ -76,7 +76,7 @@ TaskId Engine::submit(std::function<void()> fn, const std::vector<Dep>& deps,
     task.id = id;
     task.fn = std::move(fn);
     task.name = std::move(attrs.name);
-    task.priority = std::min(std::max(attrs.priority, 0), 2);
+    task.priority = std::min(std::max(attrs.priority, 0), kPriorityLanes - 1);
     task.tag = attrs.tag;
     task.keys.reserve(deps.size());
     ++outstanding_;
@@ -93,22 +93,42 @@ TaskId Engine::submit(std::function<void()> fn, const std::vector<Dep>& deps,
       preds.push_back(p);
     };
 
+    // DAG depth: 1 + the deepest predecessor. Writer depths are read from
+    // the datum history (they survive the writer's retirement); reader
+    // depths from the live task table (readers in the history are always
+    // live — retirement prunes them).
+    int pred_depth = 0;
     for (const Dep& d : deps) {
       task.keys.push_back(d.key);
       DataState& st = data_[d.key];
       if (d.mode == Access::Read) {
-        if (st.has_writer) add_pred(st.last_writer);
+        if (st.has_writer) {
+          add_pred(st.last_writer);
+          pred_depth = std::max(pred_depth, st.writer_depth);
+        }
         st.readers.push_back(id);
       } else {
         // Write / ReadWrite: after the last writer and every reader since.
-        if (st.has_writer) add_pred(st.last_writer);
+        if (st.has_writer) {
+          add_pred(st.last_writer);
+          pred_depth = std::max(pred_depth, st.writer_depth);
+        }
         for (TaskId r : st.readers)
-          if (r != id) add_pred(r);
+          if (r != id) {
+            add_pred(r);
+            pred_depth = std::max(pred_depth, tasks_.at(r).depth);
+          }
         st.readers.clear();
         st.last_writer = id;
         st.has_writer = true;
       }
     }
+    task.depth = pred_depth + 1;
+    for (const Dep& d : deps) {
+      if (d.mode == Access::Read) continue;
+      data_[d.key].writer_depth = task.depth;
+    }
+    critical_path_ = std::max(critical_path_, static_cast<std::uint64_t>(task.depth));
 
     task.unresolved = static_cast<int>(preds.size());
     for (TaskId p : preds) tasks_[p].successors.push_back(id);
@@ -123,7 +143,7 @@ Engine::Task* Engine::try_pop(int self) {
   if (ready_count_.load(std::memory_order_relaxed) <= 0) return nullptr;
   // 1. Priority lanes, highest first (FIFO within a lane).
   if (high_count_.load(std::memory_order_relaxed) > 0) {
-    for (int lane = 1; lane >= 0; --lane) {
+    for (int lane = kPriorityLanes - 2; lane >= 0; --lane) {
       std::lock_guard<std::mutex> lk(high_[lane].mu);
       if (!high_[lane].ready.empty()) {
         Task* t = high_[lane].ready.front();
@@ -203,6 +223,7 @@ void Engine::run_task(Task* task, int self) {
     ev.name = task->name;
     ev.tag = task->tag;
     ev.priority = task->priority;
+    ev.depth = task->depth;
     ev.worker = self;
     ev.start_us = now_us();
   }
@@ -234,6 +255,7 @@ void Engine::finish_task(Task* task) {
     for (const void* key : task->keys) prune_datum(key, task->id);
     --outstanding_;
     ++executed_;
+    ++lane_executed_[task->priority];
   }
   if (pushed == 1)
     ready_cv_.notify_one();
@@ -288,6 +310,17 @@ std::uint64_t Engine::tasks_executed() const {
   return executed_;
 }
 
+std::uint64_t Engine::critical_path_length() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return critical_path_;
+}
+
+std::vector<std::uint64_t> Engine::lane_executed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<std::uint64_t>(lane_executed_,
+                                    lane_executed_ + kPriorityLanes);
+}
+
 std::size_t Engine::live_tasks() const {
   std::lock_guard<std::mutex> lock(mu_);
   return tasks_.size();
@@ -337,22 +370,36 @@ std::string json_escape(const std::string& s) {
 
 void Engine::write_chrome_trace(const std::string& path) const {
   const std::vector<TraceEvent> events = trace();
+  const std::vector<std::uint64_t> lanes = lane_executed();
+  const std::uint64_t cp = critical_path_length();
   std::FILE* f = std::fopen(path.c_str(), "w");
   LUQR_REQUIRE(f != nullptr, "cannot open trace file: " + path);
   std::fputs("[\n", f);
-  for (std::size_t i = 0; i < events.size(); ++i) {
-    const TraceEvent& e = events[i];
+  std::uint64_t last_end = 0;
+  for (const TraceEvent& e : events) {
     const std::string name = json_escape(e.name);
     std::fprintf(f,
                  "{\"name\":\"%s\",\"cat\":\"task\",\"ph\":\"X\",\"ts\":%llu,"
                  "\"dur\":%llu,\"pid\":0,\"tid\":%d,"
-                 "\"args\":{\"tag\":%d,\"priority\":%d}}%s\n",
+                 "\"args\":{\"tag\":%d,\"priority\":%d,\"depth\":%d}},\n",
                  name.c_str(), static_cast<unsigned long long>(e.start_us),
                  static_cast<unsigned long long>(e.end_us - e.start_us),
-                 e.worker, e.tag, e.priority,
-                 i + 1 < events.size() ? "," : "");
+                 e.worker, e.tag, e.priority, e.depth);
+    last_end = std::max(last_end, e.end_us);
   }
-  std::fputs("]\n", f);
+  // Scheduler summary: the DAG critical path length and how many tasks each
+  // priority lane carried (a global instant event, shown by Perfetto /
+  // chrome://tracing in the args pane).
+  std::fprintf(f,
+               "{\"name\":\"scheduler-summary\",\"cat\":\"telemetry\","
+               "\"ph\":\"i\",\"ts\":%llu,\"pid\":0,\"tid\":0,\"s\":\"g\","
+               "\"args\":{\"critical_path_length\":%llu",
+               static_cast<unsigned long long>(last_end),
+               static_cast<unsigned long long>(cp));
+  for (std::size_t p = 0; p < lanes.size(); ++p)
+    std::fprintf(f, ",\"lane%zu_tasks\":%llu", p,
+                 static_cast<unsigned long long>(lanes[p]));
+  std::fputs("}}\n]\n", f);
   std::fclose(f);
 }
 

@@ -15,10 +15,21 @@
 //     idle workers steal from other deques FIFO (oldest task first).
 //   - Tasks submitted from non-worker threads land in a shared injection
 //     queue, drained FIFO.
-//   - Tasks carry a priority (0..2); ready tasks with priority > 0 go to
-//     shared high-priority lanes that every worker checks before its own
-//     deque, so critical-path work (the hybrid driver's panel/decision
-//     tasks) overtakes bulk trailing updates.
+//   - Tasks carry a priority (0..kPriorityLanes-1); ready tasks with
+//     priority > 0 go to shared high-priority lanes that every worker checks
+//     (highest lane first) before its own deque, so critical-path work (the
+//     hybrid driver's panel/decision chain and the updates that gate the
+//     next few panels, graded by lookahead distance) overtakes bulk trailing
+//     updates.
+//   - Every task's DAG depth is computed at submit time: 1 + the maximum
+//     depth over its inferred predecessors. The depth of a datum's last
+//     writer is kept in the datum history, so chains survive individual
+//     task retirement — but once a datum's whole history is pruned (no live
+//     task references it), a later chain through it starts fresh: depths
+//     measure the *live* graph, which is also what bounds engine memory.
+//     The running maximum is the critical path length — exported, together
+//     with per-lane executed-task counts, as telemetry and in the Chrome
+//     trace.
 //   - submit() is safe from inside a running task (continuations): the
 //     hybrid driver's Propagate task decides LU-vs-QR and submits the next
 //     step's graph without the submitting thread ever joining.
@@ -68,11 +79,17 @@ struct Dep {
 
 using TaskId = std::uint64_t;
 
+/// Number of scheduling priority levels. Priority 0 runs from the per-worker
+/// deques; priorities 1..kPriorityLanes-1 each have a shared lane, drained
+/// highest-first before any deque work. Wide enough for the hybrid driver's
+/// lookahead-graded lanes (panel > gates > near-frontier updates > bulk).
+inline constexpr int kPriorityLanes = 8;
+
 /// Optional task attributes: a display name for traces, a scheduling
-/// priority (0 = bulk work, higher runs earlier; clamped to [0, 2]), and a
-/// caller-defined tag recorded in the trace (the hybrid driver tags every
-/// task with its step index k, which is what the lookahead-depth analysis
-/// in bench_scheduler reads back).
+/// priority (0 = bulk work, higher runs earlier; clamped to
+/// [0, kPriorityLanes-1]), and a caller-defined tag recorded in the trace
+/// (the hybrid driver tags every task with its step index k, which is what
+/// the lookahead-depth analysis in bench_scheduler reads back).
 struct TaskAttrs {
   std::string name;
   int priority = 0;
@@ -85,11 +102,13 @@ struct TaskAttrs {
 };
 
 /// One executed task, as recorded when tracing is enabled. Times are
-/// microseconds since engine construction.
+/// microseconds since engine construction. `depth` is the task's DAG depth
+/// (longest predecessor chain + 1, computed at submit time).
 struct TraceEvent {
   std::string name;
   int tag = -1;
   int priority = 0;
+  int depth = 0;
   int worker = 0;
   std::uint64_t start_us = 0;
   std::uint64_t end_us = 0;
@@ -139,6 +158,12 @@ class Engine {
   std::uint64_t tasks_executed() const;
   /// Ready tasks taken from another worker's deque (telemetry).
   std::uint64_t steals() const { return steals_.load(std::memory_order_relaxed); }
+  /// Longest dependence chain over every task submitted so far (the DAG
+  /// critical path length, in tasks; computed incrementally at submit time).
+  std::uint64_t critical_path_length() const;
+  /// Tasks executed per priority lane (index = priority, size
+  /// kPriorityLanes) — shows how much work the lookahead lanes carried.
+  std::vector<std::uint64_t> lane_executed() const;
   /// Graph nodes not yet retired (0 once quiescent — memory is O(frontier)).
   std::size_t live_tasks() const;
   /// Per-datum access histories not yet pruned.
@@ -161,15 +186,19 @@ class Engine {
     std::string name;
     int priority = 0;
     int tag = -1;
+    int depth = 0;  // 1 + max predecessor depth, fixed at submit
     int unresolved = 0;
     std::vector<TaskId> successors;
     std::vector<const void*> keys;  // declared data, for pruning at retirement
   };
 
-  // Last-writer / readers-since-last-write tracking per datum.
+  // Last-writer / readers-since-last-write tracking per datum. writer_depth
+  // keeps the last writer's DAG depth even after that task retires, so depth
+  // chains survive retirement as long as the datum stays tracked.
   struct DataState {
     TaskId last_writer = 0;
     bool has_writer = false;
+    int writer_depth = 0;
     std::vector<TaskId> readers;
   };
 
@@ -211,11 +240,14 @@ class Engine {
   TaskId next_id_ = 1;
   std::uint64_t outstanding_ = 0;
   std::uint64_t executed_ = 0;
+  std::uint64_t critical_path_ = 0;                 // max task depth so far
+  std::uint64_t lane_executed_[kPriorityLanes] = {};  // per-priority counts
   bool shutdown_ = false;
   std::exception_ptr first_error_;
 
-  SharedQueue inject_;   // submissions from non-worker threads
-  SharedQueue high_[2];  // priority lanes: [1] = priority 2, [0] = priority 1
+  SharedQueue inject_;  // submissions from non-worker threads
+  // Shared priority lanes: high_[p - 1] holds ready tasks of priority p.
+  SharedQueue high_[kPriorityLanes - 1];
   std::atomic<int> high_count_{0};
   std::atomic<long long> ready_count_{0};
   std::atomic<std::uint64_t> steals_{0};

@@ -1,3 +1,4 @@
+#include <algorithm>
 #include <atomic>
 #include <future>
 #include <memory>
@@ -115,7 +116,29 @@ struct Driver {
         external(true),
         engine(engine_) {}
 
-  int prio(int level) const { return sched.priorities ? level : 0; }
+  // Priority-lane mapping, graded by how directly a task gates the
+  // panel/decision chain. With lookahead L, update tasks on trailing column
+  // k+1+d run in lane max(0, L - d): the columns feeding the next L panel
+  // decisions overtake bulk trailing work. The per-step gate kernels
+  // (eliminates, QR factor kernels, restores) sit one lane above the
+  // frontier updates, the panel chain itself on top. Everything is a pure
+  // scheduling hint — execution order within the dependences never changes
+  // results (the parity tests pin that).
+  int lookahead() const {
+    return std::min(std::max(sched.lookahead, 0), kPriorityLanes - 3);
+  }
+  int lane_panel() const { return sched.priorities ? lookahead() + 2 : 0; }
+  int lane_gate() const { return sched.priorities ? lookahead() + 1 : 0; }
+  int lane_update(int k, int j) const {
+    if (!sched.priorities) return 0;
+    return std::max(0, lookahead() - (j - k - 1));
+  }
+  // A swap+apply gates every update GEMM of its column, so it runs one lane
+  // above them.
+  int lane_swptrsm(int k, int j) const {
+    if (!sched.priorities) return 0;
+    return std::max(0, lookahead() + 1 - (j - k - 1));
+  }
 
   void record_error(std::exception_ptr e) {
     {
@@ -166,7 +189,7 @@ struct Driver {
         deps.push_back({a.tile(i, j).data, Access::Read});
     Driver* d = this;
     return engine.submit([d] { d->done.set_value(); }, deps,
-                         {"job-done", prio(0), -1});
+                         {"job-done", 0, -1});
   }
 };
 
@@ -208,7 +231,7 @@ void submit_lu_step(Driver& d, StepContext& ctx) {
           kern::trsm(Side::Left, Uplo::Lower, Trans::No, Diag::Unit, 1.0,
                      ConstMatrixView<double>(a.tile(k, k)), akj);
         },
-        deps, {"swptrsm", d.prio(j == k + 1 ? 1 : 0), k});
+        deps, {"swptrsm", d.lane_swptrsm(k, j), k});
   }
   // Eliminate non-domain rows (every next-column GEMM needs its row's
   // eliminate, so these are critical-path too).
@@ -221,7 +244,7 @@ void submit_lu_step(Driver& d, StepContext& ctx) {
                      ConstMatrixView<double>(a.tile(k, k)), aik);
         },
         {{a.tile(i, k).data, Access::ReadWrite}, {a.tile(k, k).data, Access::Read}},
-        {"trsm", d.prio(1), k});
+        {"trsm", d.lane_gate(), k});
   }
   // Embarrassingly parallel trailing update. The GEMM is the final writer
   // of trailing tile (i, j) in this step, so it contributes the growth term.
@@ -244,7 +267,7 @@ void submit_lu_step(Driver& d, StepContext& ctx) {
           {{a.tile(i, j).data, Access::ReadWrite},
            {a.tile(i, k).data, Access::Read},
            {a.tile(k, j).data, Access::Read}},
-          {"gemm", d.prio(j == k + 1 ? 1 : 0), k});
+          {"gemm", d.lane_update(k, j), k});
     }
   }
 }
@@ -272,7 +295,7 @@ void submit_qr_step(Driver& d, StepContext& ctx, core::StepLog* step_log) {
                 tile(i, j) = buf[static_cast<std::size_t>(j) * nb + i];
           }
         },
-        deps, {"restore", d.prio(1), k});
+        deps, {"restore", d.lane_gate(), k});
   }
 
   const auto list = hqr::elimination_list(d.grid.panel_domains(k, n), d.options.tree);
@@ -312,7 +335,7 @@ void submit_qr_step(Driver& d, StepContext& ctx, core::StepLog* step_log) {
     d.submit(
         [&a, row, k, t] { kern::geqrt(a.tile(row, k), t->view()); },
         {{a.tile(row, k).data, Access::ReadWrite}, {t->data(), Access::Write}},
-        {"geqrt", d.prio(1), k});
+        {"geqrt", d.lane_gate(), k});
     for (int j = k + 1; j < nt; ++j) {
       d.submit(
           [&a, row, j, k, t] {
@@ -322,7 +345,7 @@ void submit_qr_step(Driver& d, StepContext& ctx, core::StepLog* step_log) {
           {{a.tile(row, j).data, Access::ReadWrite},
            {a.tile(row, k).data, Access::Read},
            {t->data(), Access::Read}},
-          {"unmqr", d.prio(j == k + 1 ? 1 : 0), k});
+          {"unmqr", d.lane_update(k, j), k});
     }
   }
 
@@ -341,7 +364,7 @@ void submit_qr_step(Driver& d, StepContext& ctx, core::StepLog* step_log) {
         {{a.tile(e.killer, k).data, Access::ReadWrite},
          {a.tile(e.killed, k).data, Access::ReadWrite},
          {t->data(), Access::Write}},
-        {ts ? "tsqrt" : "ttqrt", d.prio(1), k});
+        {ts ? "tsqrt" : "ttqrt", d.lane_gate(), k});
     for (int j = k + 1; j < nt; ++j) {
       // A row is killed exactly once and never reappears in the list, so
       // this update performs the final write of tile (killed, j) this step
@@ -368,7 +391,7 @@ void submit_qr_step(Driver& d, StepContext& ctx, core::StepLog* step_log) {
            {a.tile(e.killed, j).data, Access::ReadWrite},
            {a.tile(e.killed, k).data, Access::Read},
            {t->data(), Access::Read}},
-          {ts ? "tsmqr" : "ttmqr", d.prio(j == k + 1 ? 1 : 0), k});
+          {ts ? "tsmqr" : "ttmqr", d.lane_update(k, j), k});
     }
   }
 }
@@ -468,7 +491,7 @@ TaskId submit_step(Driver& d, int k) {
           if (continuation) dp->submit_completion();
         }
       },
-      deps, {"panel", d.prio(2), k});
+      deps, {"panel", d.lane_panel(), k});
 }
 
 // Submission/wait phase plus the post-drain bookkeeping, shared by the
@@ -531,6 +554,8 @@ FactorizationStats drive(Driver& d, core::TransformLog* log,
   if (sched_stats) {
     sched_stats->tasks_executed = d.engine.tasks_executed();
     sched_stats->steals = d.engine.steals();
+    sched_stats->critical_path = d.engine.critical_path_length();
+    sched_stats->lane_tasks = d.engine.lane_executed();
     if (sched.trace) sched_stats->trace = d.engine.trace();
   }
   if (sched.trace && !sched.trace_path.empty())

@@ -28,10 +28,20 @@
 namespace luqr::rt {
 
 /// Engine-level telemetry of one parallel factorization (optional out-param
-/// of parallel_hybrid_factor; filled after the graph drains).
+/// of parallel_hybrid_factor; filled after the graph drains). On an owned
+/// engine (parallel_hybrid_factor) every field describes exactly this run;
+/// on a caller-provided shared engine (parallel_hybrid_factor_on) all of
+/// them — including critical_path and lane_tasks — are engine-lifetime
+/// totals across every job the pool has executed, not per-run deltas (a
+/// running max cannot be rewound, and concurrent jobs interleave).
 struct SchedulerStats {
   std::uint64_t tasks_executed = 0;
   std::uint64_t steals = 0;
+  /// Longest dependence chain of the submitted task graph (in tasks) — the
+  /// DAG critical path the lookahead lanes are racing.
+  std::uint64_t critical_path = 0;
+  /// Tasks executed per engine priority lane (index = priority).
+  std::vector<std::uint64_t> lane_tasks;
   /// Per-task timing (only when SchedulerOptions::trace was set). Tasks are
   /// tagged with their step index k.
   std::vector<TraceEvent> trace;
@@ -59,7 +69,8 @@ core::FactorizationStats parallel_hybrid_factor(
 /// Returns once this run's tasks have all completed; errors are captured per
 /// run and rethrown here, never parked in the shared engine's global error
 /// slot. SchedulerOptions::trace is unsupported (it needs a quiescent
-/// engine); SchedulerStats, when requested, reports engine-wide totals.
+/// engine); SchedulerStats, when requested, reports engine-wide lifetime
+/// totals (see the struct comment), not this run's share.
 core::FactorizationStats parallel_hybrid_factor_on(
     Engine& engine, TileMatrix<double>& a, Criterion& criterion,
     const core::HybridOptions& options, core::TransformLog* log = nullptr,

@@ -29,6 +29,14 @@ struct SchedulerOptions {
   /// Give critical-path tasks (panel/decision, and the updates that unblock
   /// the next panel column) elevated engine priority.
   bool priorities = true;
+  /// Lookahead depth of the priority grading (with priorities on): update
+  /// tasks on trailing column k+1+d run in lane max(0, lookahead - d), so
+  /// the columns feeding the next `lookahead` panel decisions overtake bulk
+  /// trailing work; the panel chain itself sits two lanes above that and the
+  /// per-step gate kernels (eliminates, QR factor kernels, restores) one.
+  /// Clamped to the engine's lane budget (rt::kPriorityLanes). 0 keeps only
+  /// the panel/gate split.
+  int lookahead = 2;
   /// Record per-task timing in the engine (needed for trace_path and for
   /// SchedulerStats::trace).
   bool trace = false;

@@ -15,8 +15,15 @@
 //   --sched M          parallel scheduler mode: continuation (default) or
 //                      join — join-per-step, the pre-continuation baseline
 //   --no-priorities    disable critical-path task priorities
+//   --lookahead N      priority-lane lookahead depth: updates feeding the
+//                      next N panel decisions overtake bulk trailing work
+//                      (default 2; parallel backend)
 //   --trace f.json     write a Chrome-tracing JSON of the parallel
 //                      factorization's tasks (open via chrome://tracing)
+//   --profile          print a per-kernel-class time breakdown (panel+
+//                      decision / trsm / gemm / qr-factor / qr-apply) of the
+//                      parallel factorization, plus critical-path length and
+//                      per-lane task counts (from the engine trace)
 //   --refine <n>       iterative-refinement sweeps (default 0)
 //   --out x.mtx        write the solution (default: print summary only)
 //
@@ -35,8 +42,8 @@ namespace {
   std::fprintf(stderr,
                "usage: %s A.mtx [b.mtx] [--criterion C] [--alpha V] [--lu-fraction T]\n"
                "       [--nb V] [--grid PxQ] [--variant A1|A2|B1|B2] [--threads N]\n"
-               "       [--sched continuation|join] [--no-priorities] [--trace f.json]\n"
-               "       [--refine N] [--out x.mtx]\n",
+               "       [--sched continuation|join] [--no-priorities] [--lookahead N]\n"
+               "       [--trace f.json] [--profile] [--refine N] [--out x.mtx]\n",
                argv0);
   std::exit(2);
 }
@@ -50,8 +57,8 @@ int main(int argc, char** argv) {
   std::string a_path, b_path, out_path, trace_path;
   std::string criterion = "max", variant = "A1", sched_mode = "continuation";
   double alpha = 100.0, lu_fraction = -1.0;
-  int nb = 64, refine = 0, grid_p = 4, grid_q = 4, threads = 0;
-  bool priorities = true;
+  int nb = 64, refine = 0, grid_p = 4, grid_q = 4, threads = 0, lookahead = -1;
+  bool priorities = true, profile = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -77,6 +84,10 @@ int main(int argc, char** argv) {
       sched_mode = need_value();
     } else if (arg == "--no-priorities") {
       priorities = false;
+    } else if (arg == "--lookahead") {
+      lookahead = std::atoi(need_value());
+    } else if (arg == "--profile") {
+      profile = true;
     } else if (arg == "--trace") {
       trace_path = need_value();
     } else if (arg == "--grid") {
@@ -128,12 +139,20 @@ int main(int argc, char** argv) {
     else LUQR_REQUIRE(sched_mode == "continuation" || sched_mode == "cont",
                       "unknown scheduler mode: " + sched_mode);
     sched.priorities = priorities;
+    if (lookahead >= 0) sched.lookahead = lookahead;
     if (!trace_path.empty()) {
       LUQR_REQUIRE(threads > 0, "--trace requires the parallel backend (--threads)");
       sched.trace = true;
       sched.trace_path = trace_path;
     }
+    rt::SchedulerStats sched_stats;
+    if (profile) {
+      LUQR_REQUIRE(threads > 0,
+                   "--profile requires the parallel backend (--threads)");
+      sched.trace = true;  // the breakdown is computed from the task trace
+    }
     config.scheduler(sched);
+    if (profile || threads > 0) config.scheduler_stats(&sched_stats);
 
     CriterionSpec spec = CriterionSpec::parse(criterion, alpha);
     if (lu_fraction >= 0.0) {
@@ -165,6 +184,50 @@ int main(int argc, char** argv) {
                   priorities ? "" : " (no priorities)");
     if (!trace_path.empty())
       std::printf("task trace written to %s\n", trace_path.c_str());
+    if (profile) {
+      // Per-kernel-class breakdown of the factorization's task trace: where
+      // the workers' busy time went, so critical-path wins show up from the
+      // CLI without opening the Chrome trace.
+      struct KernelClass { const char* name; double secs; std::uint64_t tasks; };
+      KernelClass classes[] = {{"panel+decision", 0.0, 0}, {"trsm", 0.0, 0},
+                               {"gemm", 0.0, 0},           {"qr-factor", 0.0, 0},
+                               {"qr-apply", 0.0, 0},       {"other", 0.0, 0}};
+      auto class_of = [](const std::string& name) -> int {
+        if (name == "panel") return 0;
+        if (name == "swptrsm" || name == "trsm") return 1;
+        if (name == "gemm") return 2;
+        if (name == "restore" || name == "geqrt" || name == "tsqrt" ||
+            name == "ttqrt")
+          return 3;
+        if (name == "unmqr" || name == "tsmqr" || name == "ttmqr") return 4;
+        return 5;
+      };
+      double busy = 0.0;
+      for (const auto& e : sched_stats.trace) {
+        const double secs = static_cast<double>(e.end_us - e.start_us) * 1e-6;
+        KernelClass& c = classes[class_of(e.name)];
+        c.secs += secs;
+        ++c.tasks;
+        busy += secs;
+      }
+      std::printf("\nprofile (worker-busy %.3fs across %llu tasks):\n", busy,
+                  static_cast<unsigned long long>(sched_stats.tasks_executed));
+      std::printf("  %-16s %8s %10s %7s\n", "class", "tasks", "time(s)", "share");
+      for (const auto& c : classes) {
+        if (c.tasks == 0) continue;
+        std::printf("  %-16s %8llu %10.4f %6.1f%%\n", c.name,
+                    static_cast<unsigned long long>(c.tasks), c.secs,
+                    busy > 0 ? 100.0 * c.secs / busy : 0.0);
+      }
+      std::printf("  critical path: %llu tasks   lookahead: %d\n",
+                  static_cast<unsigned long long>(sched_stats.critical_path),
+                  sched.lookahead);
+      std::printf("  lane tasks:");
+      for (std::size_t l = 0; l < sched_stats.lane_tasks.size(); ++l)
+        std::printf(" L%zu=%llu", l,
+                    static_cast<unsigned long long>(sched_stats.lane_tasks[l]));
+      std::printf("\n");
+    }
     std::printf("steps: %d LU + %d QR (%.1f%% LU)\n", fac.stats().lu_steps,
                 fac.stats().qr_steps, 100.0 * fac.stats().lu_fraction());
     std::printf("factor: %.3fs   solve(+%d refinements): %.3fs\n", t_factor,
