@@ -1,0 +1,76 @@
+// Per-thread observed-access hook for the correctness auditor.
+//
+// The dataflow engine infers dependencies from each task's *declared*
+// accesses; under EngineOptions::audit the runtime validates that tasks
+// confine themselves to those declarations. The kernel layer cannot include
+// upward into runtime/, so the instrumentation point lives here: a
+// dependency-free listener interface plus a thread-local installation hook
+// (the same pattern as install_tls_workspace). The runtime installs a
+// listener around each audited task; the kernel dispatchers (blas.hpp /
+// lapack.hpp entry points) and TileMatrix's tile-pointer acquisition report
+// the footprint of every operand through note_read/note_write.
+//
+// Cost when auditing is off: one thread-local pointer test per kernel entry
+// or tile acquisition — never per element — so benchmarks are unaffected.
+#pragma once
+
+#include <cstddef>
+
+#include "kernels/matrix_view.hpp"
+
+namespace luqr::kern {
+
+/// Receives the observed data accesses of the current thread's running task.
+/// Implementations may throw (the auditor fails loudly on an undeclared
+/// access); the exception propagates out of the kernel like any task error.
+class AccessListener {
+ public:
+  virtual ~AccessListener() = default;
+  /// `ptr` is the first touched element, `bytes` the extent of the touched
+  /// range, `write` whether the access may modify it.
+  virtual void on_access(const void* ptr, std::size_t bytes, bool write) = 0;
+};
+
+/// The calling thread's installed listener (none by default).
+inline thread_local AccessListener* t_access_listener = nullptr;
+
+/// Install `listener` for the calling thread; returns the previous one so
+/// scopes can nest/restore.
+inline AccessListener* install_access_listener(AccessListener* listener) {
+  AccessListener* prev = t_access_listener;
+  t_access_listener = listener;
+  return prev;
+}
+
+/// Report a raw access (used by non-kernel task bodies, e.g. the fuzz tests).
+inline void note_access(const void* ptr, std::size_t bytes, bool write) {
+  if (t_access_listener != nullptr && ptr != nullptr)
+    t_access_listener->on_access(ptr, bytes, write);
+}
+
+/// Bytes spanned by a column-major (rows, cols, ld) view.
+template <typename T>
+inline std::size_t view_span_bytes(int rows, int cols, int ld) {
+  if (rows <= 0 || cols <= 0) return 0;
+  return (static_cast<std::size_t>(cols - 1) * static_cast<std::size_t>(ld) +
+          static_cast<std::size_t>(rows)) *
+         sizeof(T);
+}
+
+/// Report a read of every element a view can address.
+template <typename T>
+inline void note_read(const ConstMatrixView<T>& v) {
+  if (t_access_listener != nullptr && v.data != nullptr)
+    t_access_listener->on_access(v.data, view_span_bytes<T>(v.rows, v.cols, v.ld),
+                                 /*write=*/false);
+}
+
+/// Report a (potential) write of every element a view can address.
+template <typename T>
+inline void note_write(const MatrixView<T>& v) {
+  if (t_access_listener != nullptr && v.data != nullptr)
+    t_access_listener->on_access(v.data, view_span_bytes<T>(v.rows, v.cols, v.ld),
+                                 /*write=*/true);
+}
+
+}  // namespace luqr::kern

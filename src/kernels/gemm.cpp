@@ -1,5 +1,6 @@
 #include <algorithm>
 
+#include "kernels/access.hpp"
 #include "kernels/blas.hpp"
 #include "kernels/microkernel.hpp"
 #include "kernels/pack.hpp"
@@ -179,6 +180,10 @@ void gemm_blocked(Trans transa, Trans transb, T alpha, ConstMatrixView<T> a,
 template <typename T>
 void gemm(Trans transa, Trans transb, T alpha, ConstMatrixView<T> a,
           ConstMatrixView<T> b, T beta, MatrixView<T> c, Workspace* ws) {
+  // Audited-task footprint report (no-op without an installed listener).
+  note_read(a);
+  note_read(b);
+  note_write(c);
   const int k = transa == Trans::No ? a.cols : a.rows;
   if (gemm_wants_blocked(c.rows, c.cols, k)) {
     gemm_blocked(transa, transb, alpha, a, b, beta, c, ws);

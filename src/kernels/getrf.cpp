@@ -2,6 +2,7 @@
 #include <cmath>
 #include <utility>
 
+#include "kernels/access.hpp"
 #include "kernels/lapack.hpp"
 #include "kernels/pack.hpp"
 
@@ -112,6 +113,8 @@ int getrf_blocked_impl(MatrixView<T> a, int lo, std::vector<int>& piv,
 
 template <typename T>
 int getrf(MatrixView<T> a, std::vector<int>& piv, Workspace* ws) {
+  // Audited-task footprint report (no-op without an installed listener).
+  note_write(a);
   if (panel_wants_blocked(a.rows, a.cols))
     return getrf_blocked_impl(a, /*lo=*/0, piv, ws);
   return getrf_unblocked_impl(a, /*lo=*/0, piv);
@@ -129,6 +132,7 @@ int getrf_blocked(MatrixView<T> a, std::vector<int>& piv, Workspace* ws) {
 
 template <typename T>
 int getrf_nopiv(MatrixView<T> a) {
+  note_write(a);
   const int k = std::min(a.rows, a.cols);
   int info = 0;
   for (int j = 0; j < k; ++j) {
@@ -144,6 +148,7 @@ int getrf_nopiv(MatrixView<T> a) {
 template <typename T>
 int getrf_restricted(MatrixView<T> a, int lo, std::vector<int>& piv,
                      Workspace* ws) {
+  note_write(a);
   const int m = a.rows;
   LUQR_REQUIRE(lo >= 0 && lo <= m, "getrf_restricted: bad row bound");
   if (panel_wants_blocked(m, a.cols)) return getrf_blocked_impl(a, lo, piv, ws);
@@ -152,6 +157,7 @@ int getrf_restricted(MatrixView<T> a, int lo, std::vector<int>& piv,
 
 template <typename T>
 void laswp(MatrixView<T> a, const std::vector<int>& piv, bool forward) {
+  note_write(a);
   const int k = static_cast<int>(piv.size());
   if (forward) {
     for (int j = 0; j < k; ++j) swap_rows(a, j, piv[static_cast<std::size_t>(j)]);
@@ -162,6 +168,8 @@ void laswp(MatrixView<T> a, const std::vector<int>& piv, bool forward) {
 
 template <typename T>
 void gessm(ConstMatrixView<T> lu, const std::vector<int>& piv, MatrixView<T> a) {
+  note_read(lu);
+  note_write(a);
   LUQR_REQUIRE(lu.rows == a.rows, "gessm dimension mismatch");
   laswp(a, piv, /*forward=*/true);
   trsm(Side::Left, Uplo::Lower, Trans::No, Diag::Unit, T(1), lu, a);

@@ -2,6 +2,7 @@
 #include <utility>
 #include <vector>
 
+#include "kernels/access.hpp"
 #include "kernels/lapack.hpp"
 
 namespace luqr::kern {
@@ -14,6 +15,10 @@ namespace luqr::kern {
 // same split (its extra "L" tile); SSSSM below replays both.
 template <typename T>
 int tstrf(MatrixView<T> u, MatrixView<T> a, MatrixView<T> l1, std::vector<int>& piv) {
+  // Audited-task footprint report (no-op without an installed listener).
+  note_write(u);
+  note_write(a);
+  note_write(l1);
   const int nb = u.cols;
   LUQR_REQUIRE(u.rows == nb && a.rows == nb && a.cols == nb, "tstrf shape mismatch");
   LUQR_REQUIRE(l1.rows >= nb && l1.cols >= nb, "tstrf: L1 too small");
@@ -43,6 +48,10 @@ int tstrf(MatrixView<T> u, MatrixView<T> a, MatrixView<T> l1, std::vector<int>& 
 template <typename T>
 void ssssm(ConstMatrixView<T> l1, ConstMatrixView<T> l2, const std::vector<int>& piv,
            MatrixView<T> a1, MatrixView<T> a2) {
+  note_read(l1);
+  note_read(l2);
+  note_write(a1);
+  note_write(a2);
   const int nb = l2.cols, n = a1.cols;
   LUQR_REQUIRE(l2.rows == nb && a1.rows == nb && a2.rows == nb && a2.cols == n,
                "ssssm shape mismatch");

@@ -1,6 +1,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "kernels/access.hpp"
 #include "kernels/lapack.hpp"
 #include "kernels/norms.hpp"
 
@@ -8,6 +9,8 @@ namespace luqr::kern {
 
 template <typename T>
 T lange(Norm norm, ConstMatrixView<T> a) {
+  // Audited-task footprint report (no-op without an installed listener).
+  note_read(a);
   const int m = a.rows, n = a.cols;
   if (m == 0 || n == 0) return T(0);
   switch (norm) {

@@ -1,6 +1,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "kernels/access.hpp"
 #include "kernels/lapack.hpp"
 #include "kernels/pack.hpp"
 
@@ -147,6 +148,9 @@ void geqrt_blocked(MatrixView<T> a, MatrixView<T> t, Workspace* wsp) {
 
 template <typename T>
 void geqrt(MatrixView<T> a, MatrixView<T> t, Workspace* wsp) {
+  // Audited-task footprint report (no-op without an installed listener).
+  note_write(a);
+  note_write(t);
   if (panel_wants_blocked(a.rows, a.cols)) {
     geqrt_blocked(a, t, wsp);
   } else {
@@ -157,6 +161,9 @@ void geqrt(MatrixView<T> a, MatrixView<T> t, Workspace* wsp) {
 template <typename T>
 void unmqr(Trans trans, ConstMatrixView<T> v, ConstMatrixView<T> t,
            MatrixView<T> c, Workspace* wsp) {
+  note_read(v);
+  note_read(t);
+  note_write(c);
   const int m = c.rows, n = c.cols, k = v.cols;
   LUQR_REQUIRE(v.rows == m && t.rows >= k && t.cols >= k, "unmqr shape mismatch");
   if (m == 0 || n == 0 || k == 0) return;

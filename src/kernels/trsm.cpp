@@ -1,6 +1,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "kernels/access.hpp"
 #include "kernels/blas.hpp"
 #include "kernels/pack.hpp"
 
@@ -212,6 +213,9 @@ void trsm_blocked(Side side, Uplo uplo, Trans trans, Diag diag, T alpha,
 template <typename T>
 void trsm(Side side, Uplo uplo, Trans trans, Diag diag, T alpha,
           ConstMatrixView<T> a, MatrixView<T> b, Workspace* ws) {
+  // Audited-task footprint report (no-op without an installed listener).
+  note_read(a);
+  note_write(b);
   LUQR_REQUIRE(a.rows == a.cols, "trsm: A must be square");
   const int m = b.rows, n = b.cols;
   LUQR_REQUIRE(side == Side::Left ? a.rows == m : a.rows == n,
@@ -227,6 +231,8 @@ void trsm(Side side, Uplo uplo, Trans trans, Diag diag, T alpha,
 template <typename T>
 void trmm(Side side, Uplo uplo, Trans trans, Diag diag, T alpha,
           ConstMatrixView<T> a, MatrixView<T> b) {
+  note_read(a);
+  note_write(b);
   LUQR_REQUIRE(a.rows == a.cols, "trmm: A must be square");
   const int m = b.rows, n = b.cols;
   LUQR_REQUIRE(side == Side::Left ? a.rows == m : a.rows == n,

@@ -1,11 +1,16 @@
 #include <cmath>
 
+#include "kernels/access.hpp"
 #include "kernels/lapack.hpp"
 
 namespace luqr::kern {
 
 template <typename T>
 void tsqrt(MatrixView<T> r, MatrixView<T> a, MatrixView<T> t, Workspace* wsp) {
+  // Audited-task footprint report (no-op without an installed listener).
+  note_write(r);
+  note_write(a);
+  note_write(t);
   const int nb = r.cols, m = a.rows;
   LUQR_REQUIRE(r.rows == nb && a.cols == nb, "tsqrt shape mismatch");
   LUQR_REQUIRE(t.rows >= nb && t.cols >= nb, "tsqrt: T too small");
@@ -58,6 +63,10 @@ void tsqrt(MatrixView<T> r, MatrixView<T> a, MatrixView<T> t, Workspace* wsp) {
 template <typename T>
 void tsmqr(Trans trans, ConstMatrixView<T> v, ConstMatrixView<T> t,
            MatrixView<T> c1, MatrixView<T> c2, Workspace* wsp) {
+  note_read(v);
+  note_read(t);
+  note_write(c1);
+  note_write(c2);
   const int nb = v.cols, m = v.rows, n = c1.cols;
   LUQR_REQUIRE(c1.rows == nb && c2.rows == m && c2.cols == n, "tsmqr shape mismatch");
   if (n == 0) return;

@@ -1,5 +1,6 @@
 #include <cmath>
 
+#include "kernels/access.hpp"
 #include "kernels/lapack.hpp"
 #include "kernels/pack.hpp"
 
@@ -7,6 +8,10 @@ namespace luqr::kern {
 
 template <typename T>
 void ttqrt(MatrixView<T> r1, MatrixView<T> r2, MatrixView<T> t, Workspace* wsp) {
+  // Audited-task footprint report (no-op without an installed listener).
+  note_write(r1);
+  note_write(r2);
+  note_write(t);
   const int nb = r1.cols;
   LUQR_REQUIRE(r1.rows == nb && r2.rows == nb && r2.cols == nb, "ttqrt shape mismatch");
   LUQR_REQUIRE(t.rows >= nb && t.cols >= nb, "ttqrt: T too small");
@@ -59,6 +64,10 @@ void ttqrt(MatrixView<T> r1, MatrixView<T> r2, MatrixView<T> t, Workspace* wsp) 
 template <typename T>
 void ttmqr(Trans trans, ConstMatrixView<T> v, ConstMatrixView<T> t,
            MatrixView<T> c1, MatrixView<T> c2, Workspace* wsp) {
+  note_read(v);
+  note_read(t);
+  note_write(c1);
+  note_write(c2);
   const int nb = v.cols, n = c1.cols;
   LUQR_REQUIRE(v.rows == nb && c1.rows == nb && c2.rows == nb && c2.cols == n,
                "ttmqr shape mismatch");

@@ -1,0 +1,170 @@
+#include "runtime/audit.hpp"
+
+#include <cstdio>
+#include <map>
+
+#include "common/error.hpp"
+
+namespace luqr::rt {
+
+namespace {
+
+std::string ptr_string(const void* p) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%p", p);
+  return std::string(buf);
+}
+
+const char* mode_string(Access mode) {
+  switch (mode) {
+    case Access::Read: return "R";
+    case Access::Write: return "W";
+    case Access::ReadWrite: return "RW";
+  }
+  return "?";
+}
+
+// The registry: begin address -> extent + label, ordered so interior
+// pointers resolve via the greatest registration at or below them.
+struct RegistryEntry {
+  std::size_t bytes = 0;
+  std::string label;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::map<const void*, RegistryEntry> entries;
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+}  // namespace
+
+void audit_register_datum(const void* begin, std::size_t bytes, std::string label) {
+  LUQR_REQUIRE(begin != nullptr && bytes > 0, "bad audit datum registration");
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.entries[begin] = RegistryEntry{bytes, std::move(label)};
+}
+
+void audit_unregister_datum(const void* begin) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.entries.erase(begin);
+}
+
+bool audit_resolve(const void* ptr, ResolvedDatum* out) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  if (r.entries.empty()) return false;
+  auto it = r.entries.upper_bound(ptr);
+  if (it == r.entries.begin()) return false;
+  --it;  // greatest registration with begin <= ptr
+  const char* begin = static_cast<const char*>(it->first);
+  const char* p = static_cast<const char*>(ptr);
+  if (p >= begin + it->second.bytes) return false;
+  out->key = it->first;
+  out->label = it->second.label;
+  return true;
+}
+
+std::size_t audit_registered_count() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  return r.entries.size();
+}
+
+std::string render_declared(const std::vector<Dep>& deps) {
+  if (deps.empty()) return "(none)";
+  std::string out;
+  for (const Dep& d : deps) {
+    if (!out.empty()) out += ", ";
+    ResolvedDatum rd;
+    out += audit_resolve(d.key, &rd) ? rd.label : ptr_string(d.key);
+    out += ":";
+    out += mode_string(d.mode);
+  }
+  return out;
+}
+
+std::string AuditViolation::message() const {
+  std::string out = "audit violation: ";
+  switch (kind) {
+    case Kind::UndeclaredAccess:
+    case Kind::ReadOnlyWrite: {
+      out += kind == Kind::UndeclaredAccess ? "undeclared access"
+                                            : "write through a Read-only declaration";
+      out += " by task '" + task_name + "'";
+      out += " (id " + std::to_string(task) + ", tag " + std::to_string(tag) + ")";
+      out += " on " + datum_label + " at " + ptr_string(datum);
+      out += "; declared {" + declared + "}";
+      out += ", actual " + actual;
+      break;
+    }
+    case Kind::UnorderedConflict: {
+      out += "no happens-before path orders the conflicting accesses " + actual;
+      out += " on " + datum_label;
+      out += " between task '" + other_name + "' (id " + std::to_string(other) + ")";
+      out += " and task '" + task_name + "' (id " + std::to_string(task) + ")";
+      out += "; the schedule that ran merely got lucky";
+      break;
+    }
+  }
+  return out;
+}
+
+void TaskAuditor::on_access(const void* ptr, std::size_t bytes, bool write) {
+  ResolvedDatum rd;
+  if (!audit_resolve(ptr, &rd)) return;  // unregistered: scratch/T-factors
+
+  // Merge into the observed set first, so the happens-before recorder sees
+  // the access even when the check below throws. Re-checking is only needed
+  // when this access strengthens the recorded one (first touch, or first
+  // write after reads).
+  bool strengthens = true;
+  bool seen = false;
+  for (ObservedAccess& o : observed_) {
+    if (o.key != rd.key) continue;
+    seen = true;
+    if (o.write || !write) strengthens = false;
+    o.write = o.write || write;
+    break;
+  }
+  if (!seen) observed_.push_back(ObservedAccess{rd.key, write, rd.label});
+  if (!strengthens) return;
+
+  // Check against the declaration. A key may legitimately appear several
+  // times in the Dep set (e.g. once as Read and once as ReadWrite when a
+  // task's read list and write target coincide); the strongest declaration
+  // governs, so scan them all.
+  bool found = false, writable = false;
+  for (const Dep& d : *declared_) {
+    if (d.key != rd.key) continue;
+    found = true;
+    writable = writable || d.mode != Access::Read;
+  }
+  // A Write/ReadWrite declaration orders the task after every earlier access
+  // of the datum, so reads through it are safe; only an undeclared datum or
+  // a write through a Read-only declaration breaks the inferred dependencies.
+  if (found && (!write || writable)) return;
+
+  AuditViolation v;
+  v.kind = found ? AuditViolation::Kind::ReadOnlyWrite
+                 : AuditViolation::Kind::UndeclaredAccess;
+  v.task = id_;
+  v.task_name = name_;
+  v.tag = tag_;
+  v.datum = rd.key;
+  v.datum_label = rd.label;
+  v.declared = render_declared(*declared_);
+  v.actual = std::string(write ? "write" : "read") + " of " +
+             std::to_string(bytes) + " bytes";
+  const std::string msg = v.message();
+  if (sink_ != nullptr) sink_->record(std::move(v));
+  throw Error(msg);
+}
+
+}  // namespace luqr::rt

@@ -1,0 +1,184 @@
+// Access auditing for the dataflow engine.
+//
+// The engine's correctness contract — "task functions must confine
+// themselves to their declared accesses" — is unchecked in every runtime of
+// this family. Under EngineOptions::audit it becomes checked: datums of
+// interest (tile storage) are registered in a global address-range registry,
+// every audited task runs with a TaskAuditor installed as the thread's
+// kern::AccessListener, and each observed access is resolved against the
+// registry and matched against the task's declared Dep set. An access to a
+// registered datum the task never declared — or a write through a Read-only
+// declaration — fails loudly with the task's name, tag, the datum's label
+// and address, and the declared-vs-actual sets.
+//
+// Unregistered memory (per-worker scratch arenas, block-reflector T factors,
+// stack buffers) is deliberately outside the audit: those are task-private
+// by construction, and auditing them would only produce noise.
+//
+// The observed footprints are also forwarded to the happens-before recorder
+// (runtime/hb_checker.hpp), which certifies after the run that every
+// conflicting pair of accesses — including the *observed* ones — is ordered
+// by a declared-dependency path.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "runtime/engine.hpp"
+#include "tile/tile_matrix.hpp"
+
+namespace luqr::rt {
+
+/// One audit finding. Access-audit kinds carry the offending task and the
+/// declared-vs-actual evidence; UnorderedConflict carries the two tasks whose
+/// conflicting accesses no declared-dependency path orders.
+struct AuditViolation {
+  enum class Kind {
+    UndeclaredAccess,   ///< touched a registered datum absent from the Dep set
+    ReadOnlyWrite,      ///< wrote a datum declared Access::Read
+    UnorderedConflict,  ///< W-W or R-W pair with no happens-before path
+  };
+  Kind kind = Kind::UndeclaredAccess;
+  TaskId task = 0;  ///< offending task (UnorderedConflict: the later one)
+  std::string task_name;
+  int tag = -1;
+  TaskId other = 0;  ///< UnorderedConflict only: the earlier task
+  std::string other_name;
+  const void* datum = nullptr;
+  std::string datum_label;
+  std::string declared;  ///< rendered declared-access set of `task`
+  std::string actual;    ///< rendered offending access(es)
+
+  /// Human-readable one-line report (what the thrown Error carries).
+  std::string message() const;
+};
+
+/// Render a declared Dep set as "label:R, label:W, ..." (labels resolved
+/// through the registry; unregistered keys print as addresses).
+std::string render_declared(const std::vector<Dep>& deps);
+
+// ---------------------------------------------------------------------------
+// Datum registry: address range -> (stable key, label)
+// ---------------------------------------------------------------------------
+
+/// Register [begin, begin+bytes) as an audited datum. `begin` is the datum's
+/// identity — the same pointer tasks use as their Dep key. Interior pointers
+/// (sub-views of a tile) resolve to the containing registration.
+void audit_register_datum(const void* begin, std::size_t bytes, std::string label);
+
+/// Remove a registration made with audit_register_datum.
+void audit_unregister_datum(const void* begin);
+
+/// Resolved identity of an observed access.
+struct ResolvedDatum {
+  const void* key = nullptr;
+  std::string label;
+};
+
+/// Resolve an address (possibly interior) to its registered datum. Returns
+/// false for unregistered memory — such accesses are not audited.
+bool audit_resolve(const void* ptr, ResolvedDatum* out);
+
+/// Number of live registrations (tests assert registration is scoped).
+std::size_t audit_registered_count();
+
+/// RAII registration of one datum.
+class ScopedDatumRegistration {
+ public:
+  ScopedDatumRegistration(const void* begin, std::size_t bytes, std::string label)
+      : begin_(begin) {
+    audit_register_datum(begin, bytes, std::move(label));
+  }
+  ~ScopedDatumRegistration() { audit_unregister_datum(begin_); }
+  ScopedDatumRegistration(const ScopedDatumRegistration&) = delete;
+  ScopedDatumRegistration& operator=(const ScopedDatumRegistration&) = delete;
+
+ private:
+  const void* begin_;
+};
+
+/// RAII registration of every tile of a TileMatrix, labeled "tile(i,j)" —
+/// what the parallel driver installs for the duration of an audited
+/// factorization.
+class ScopedTileRegistration {
+ public:
+  template <typename T>
+  explicit ScopedTileRegistration(const TileMatrix<T>& a) {
+    keys_.reserve(static_cast<std::size_t>(a.mt()) * static_cast<std::size_t>(a.nt()));
+    const std::size_t bytes =
+        static_cast<std::size_t>(a.nb()) * static_cast<std::size_t>(a.nb()) * sizeof(T);
+    for (int j = 0; j < a.nt(); ++j) {
+      for (int i = 0; i < a.mt(); ++i) {
+        const void* key = a.tile_key(i, j);
+        audit_register_datum(key, bytes,
+                             "tile(" + std::to_string(i) + "," + std::to_string(j) + ")");
+        keys_.push_back(key);
+      }
+    }
+  }
+  ~ScopedTileRegistration() {
+    for (const void* key : keys_) audit_unregister_datum(key);
+  }
+  ScopedTileRegistration(const ScopedTileRegistration&) = delete;
+  ScopedTileRegistration& operator=(const ScopedTileRegistration&) = delete;
+
+ private:
+  std::vector<const void*> keys_;
+};
+
+// ---------------------------------------------------------------------------
+// Per-task auditing
+// ---------------------------------------------------------------------------
+
+/// One observed access, merged per datum (a read later upgraded by a write
+/// of the same datum is recorded once, as a write).
+struct ObservedAccess {
+  const void* key = nullptr;
+  bool write = false;
+  std::string label;
+};
+
+/// Engine-side sink the auditor records violations into (kept even though the
+/// auditor also throws, so telemetry survives drivers that swallow the
+/// per-task exception).
+struct ViolationLog {
+  std::mutex mu;
+  std::vector<AuditViolation> violations;
+
+  void record(AuditViolation v) {
+    std::lock_guard<std::mutex> lock(mu);
+    violations.push_back(std::move(v));
+  }
+  std::vector<AuditViolation> snapshot() {
+    std::lock_guard<std::mutex> lock(mu);
+    return violations;
+  }
+};
+
+/// The engine installs one of these as the worker thread's AccessListener
+/// for the duration of one audited task. Observed accesses on registered
+/// datums are merged into `observed()` (later fed to the happens-before
+/// recorder) and checked against the declared Dep set; the first violation
+/// is recorded in the sink and thrown as luqr::Error.
+class TaskAuditor final : public kern::AccessListener {
+ public:
+  TaskAuditor(TaskId id, std::string name, int tag,
+              const std::vector<Dep>* declared, ViolationLog* sink)
+      : id_(id), name_(std::move(name)), tag_(tag), declared_(declared), sink_(sink) {}
+
+  void on_access(const void* ptr, std::size_t bytes, bool write) override;
+
+  std::vector<ObservedAccess> take_observed() { return std::move(observed_); }
+
+ private:
+  TaskId id_;
+  std::string name_;
+  int tag_;
+  const std::vector<Dep>* declared_;
+  ViolationLog* sink_;
+  std::vector<ObservedAccess> observed_;
+};
+
+}  // namespace luqr::rt

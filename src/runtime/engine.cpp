@@ -2,9 +2,21 @@
 #include <cstdio>
 
 #include "common/error.hpp"
+#include "kernels/access.hpp"
+#include "runtime/audit.hpp"
 #include "runtime/engine.hpp"
+#include "runtime/hb_checker.hpp"
 
 namespace luqr::rt {
+
+/// Everything audit mode records: the access-violation log and the full
+/// submission history for happens-before certification. Behind a
+/// unique_ptr so non-audit engines pay nothing.
+struct AuditState {
+  ViolationLog log;
+  HbRecorder hb;
+  std::atomic<std::uint64_t> audited{0};
+};
 
 namespace {
 
@@ -12,15 +24,41 @@ namespace {
 // a worker go to its own deque (LIFO); everything else goes to inject_.
 thread_local Engine* t_engine = nullptr;
 thread_local int t_worker = -1;
+// Id of the task the current thread is executing (0 between tasks / on
+// non-worker threads). Read at submit time to record creation edges for the
+// happens-before certifier.
+thread_local TaskId t_current_task = 0;
+
+// splitmix64: turns the user's chaos seed into well-mixed per-worker states
+// (any seed, including small integers, yields independent streams).
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t chaos_next(std::uint64_t& s) {  // xorshift64
+  s ^= s << 13;
+  s ^= s >> 7;
+  s ^= s << 17;
+  return s;
+}
 
 }  // namespace
 
 Engine::Engine(int num_threads, EngineOptions options)
-    : tracing_(options.trace), start_(std::chrono::steady_clock::now()) {
+    : tracing_(options.trace), chaos_(options.chaos_seed != 0),
+      start_(std::chrono::steady_clock::now()) {
   LUQR_REQUIRE(num_threads > 0, "engine needs at least one worker");
+  if (options.audit) audit_ = std::make_unique<AuditState>();
   workers_.reserve(static_cast<std::size_t>(num_threads));
-  for (int t = 0; t < num_threads; ++t)
+  for (int t = 0; t < num_threads; ++t) {
     workers_.push_back(std::make_unique<Worker>());
+    if (chaos_)
+      workers_.back()->chaos_state =
+          mix64(options.chaos_seed + static_cast<std::uint64_t>(t) + 1);
+  }
   // Threads start only after every Worker exists: the steal scan walks all
   // of workers_.
   for (int t = 0; t < num_threads; ++t)
@@ -80,6 +118,11 @@ TaskId Engine::submit(std::function<void()> fn, const std::vector<Dep>& deps,
     task.tag = attrs.tag;
     task.keys.reserve(deps.size());
     ++outstanding_;
+
+    if (audit_) {
+      task.declared = deps;
+      audit_->hb.on_submit(id, task.name, task.tag, t_current_task, deps);
+    }
 
     // Infer predecessors from the access history of each datum. Retired
     // (completed) predecessors are simply absent from tasks_. A duplicate
@@ -141,6 +184,7 @@ TaskId Engine::submit(std::function<void()> fn, const std::vector<Dep>& deps,
 
 Engine::Task* Engine::try_pop(int self) {
   if (ready_count_.load(std::memory_order_relaxed) <= 0) return nullptr;
+  if (chaos_) return try_pop_chaos(self);
   // 1. Priority lanes, highest first (FIFO within a lane).
   if (high_count_.load(std::memory_order_relaxed) > 0) {
     for (int lane = kPriorityLanes - 2; lane >= 0; --lane) {
@@ -192,6 +236,93 @@ Engine::Task* Engine::try_pop(int self) {
   return nullptr;
 }
 
+// Adversarial draining: visit the four sources (priority lanes, own deque,
+// injection queue, steal scan) in a seed-dependent order, with the lane scan
+// start, pop direction, and steal victim rotation all perturbed. Only ready
+// tasks are ever popped — the dependences are enforced upstream — so every
+// schedule this produces is legal; anything that changes results under it
+// is a declaration bug.
+Engine::Task* Engine::try_pop_chaos(int self) {
+  std::uint64_t& s = workers_[static_cast<std::size_t>(self)]->chaos_state;
+  auto take = [this](SharedQueue& q, bool front) -> Task* {
+    std::lock_guard<std::mutex> lk(q.mu);
+    if (q.ready.empty()) return nullptr;
+    Task* t = front ? q.ready.front() : q.ready.back();
+    if (front)
+      q.ready.pop_front();
+    else
+      q.ready.pop_back();
+    ready_count_.fetch_sub(1, std::memory_order_relaxed);
+    return t;
+  };
+  int order[4] = {0, 1, 2, 3};
+  for (int i = 3; i > 0; --i)
+    std::swap(order[i],
+              order[chaos_next(s) % static_cast<std::uint64_t>(i + 1)]);
+  const int n = static_cast<int>(workers_.size());
+  for (int source : order) {
+    switch (source) {
+      case 0: {  // priority lanes, rotated scan start, random end
+        if (high_count_.load(std::memory_order_relaxed) <= 0) break;
+        const int start =
+            static_cast<int>(chaos_next(s) % (kPriorityLanes - 1));
+        for (int l = 0; l < kPriorityLanes - 1; ++l) {
+          Task* t = take(high_[(start + l) % (kPriorityLanes - 1)],
+                         (chaos_next(s) & 1) != 0);
+          if (t != nullptr) {
+            high_count_.fetch_sub(1, std::memory_order_relaxed);
+            return t;
+          }
+        }
+        break;
+      }
+      case 1: {  // own deque, random end
+        Worker& me = *workers_[static_cast<std::size_t>(self)];
+        const bool front = (chaos_next(s) & 1) != 0;
+        std::lock_guard<std::mutex> lk(me.mu);
+        if (!me.ready.empty()) {
+          Task* t = front ? me.ready.front() : me.ready.back();
+          if (front)
+            me.ready.pop_front();
+          else
+            me.ready.pop_back();
+          ready_count_.fetch_sub(1, std::memory_order_relaxed);
+          return t;
+        }
+        break;
+      }
+      case 2: {  // injection queue, random end
+        Task* t = take(inject_, (chaos_next(s) & 1) != 0);
+        if (t != nullptr) return t;
+        break;
+      }
+      case 3: {  // steal scan, rotated victim start, random end
+        if (n <= 1) break;
+        const int start =
+            static_cast<int>(chaos_next(s) % static_cast<std::uint64_t>(n - 1));
+        for (int i = 0; i < n - 1; ++i) {
+          const int offset = 1 + (start + i) % (n - 1);  // in [1, n-1]: never self
+          Worker& victim = *workers_[static_cast<std::size_t>((self + offset) % n)];
+          const bool front = (chaos_next(s) & 1) != 0;
+          std::lock_guard<std::mutex> lk(victim.mu);
+          if (!victim.ready.empty()) {
+            Task* t = front ? victim.ready.front() : victim.ready.back();
+            if (front)
+              victim.ready.pop_front();
+            else
+              victim.ready.pop_back();
+            ready_count_.fetch_sub(1, std::memory_order_relaxed);
+            steals_.fetch_add(1, std::memory_order_relaxed);
+            return t;
+          }
+        }
+        break;
+      }
+    }
+  }
+  return nullptr;
+}
+
 void Engine::worker_loop(int self) {
   t_engine = this;
   t_worker = self;
@@ -227,11 +358,44 @@ void Engine::run_task(Task* task, int self) {
     ev.worker = self;
     ev.start_us = now_us();
   }
+  if (chaos_) {
+    // Perturb the interleaving, not just the pop order: occasionally stall
+    // before running so a concurrently-ready task on another worker can
+    // overtake this one.
+    std::uint64_t& s = workers_[static_cast<std::size_t>(self)]->chaos_state;
+    const std::uint64_t r = chaos_next(s);
+    if ((r & 63) == 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    } else if ((r & 7) == 0) {
+      const int yields = 1 + static_cast<int>((r >> 3) & 3);
+      for (int i = 0; i < yields; ++i) std::this_thread::yield();
+    }
+  }
+  // Audit scope: install this task's auditor as the thread's access
+  // listener; every registered-datum access the task performs is checked
+  // against its declared Dep set (and collected for the happens-before
+  // certifier). Restored before finish_task so retirement bookkeeping is
+  // never attributed to the task.
+  std::unique_ptr<TaskAuditor> auditor;
+  kern::AccessListener* prev_listener = nullptr;
+  if (audit_) {
+    auditor = std::make_unique<TaskAuditor>(task->id, task->name, task->tag,
+                                            &task->declared, &audit_->log);
+    prev_listener = kern::install_access_listener(auditor.get());
+    audit_->audited.fetch_add(1, std::memory_order_relaxed);
+  }
+  const TaskId prev_task = t_current_task;
+  t_current_task = task->id;
   try {
     fn();
   } catch (...) {
     std::lock_guard<std::mutex> lock(mu_);
     if (!first_error_) first_error_ = std::current_exception();
+  }
+  t_current_task = prev_task;
+  if (auditor) {
+    kern::install_access_listener(prev_listener);
+    audit_->hb.on_complete(task->id, auditor->take_observed());
   }
   if (tracing_) {
     ev.end_us = now_us();
@@ -278,6 +442,15 @@ void Engine::prune_datum(const void* key, TaskId finished) {
 }
 
 void Engine::wait(TaskId id) {
+  // Worker threads only ever execute task bodies, so being on one means the
+  // caller is inside a task: blocking here can deadlock the pool (the waiting
+  // worker may be the one that must drain `id`). The documented footgun is
+  // now an enforced precondition — restructure as a continuation (submit the
+  // follow-up work from the task) instead.
+  LUQR_REQUIRE(!(t_engine == this && t_worker >= 0),
+               "Engine::wait() called from inside a task: a blocked worker "
+               "cannot drain the task it waits on; submit a continuation "
+               "instead");
   std::unique_lock<std::mutex> lock(mu_);
   // Completed tasks are retired from tasks_, so absence means done (ids
   // never submitted also return immediately, as before).
@@ -285,6 +458,10 @@ void Engine::wait(TaskId id) {
 }
 
 void Engine::wait_all() {
+  LUQR_REQUIRE(!(t_engine == this && t_worker >= 0),
+               "Engine::wait_all() called from inside a task: a blocked "
+               "worker cannot drain the tasks it waits on; submit a "
+               "continuation instead");
   std::unique_lock<std::mutex> lock(mu_);
   done_cv_.wait(lock, [this] { return outstanding_ == 0; });
   if (first_error_) {
@@ -329,6 +506,18 @@ std::size_t Engine::live_tasks() const {
 std::size_t Engine::tracked_data() const {
   std::lock_guard<std::mutex> lock(mu_);
   return data_.size();
+}
+
+std::uint64_t Engine::audited_tasks() const {
+  return audit_ ? audit_->audited.load(std::memory_order_relaxed) : 0;
+}
+
+std::vector<AuditViolation> Engine::access_violations() const {
+  return audit_ ? audit_->log.snapshot() : std::vector<AuditViolation>{};
+}
+
+std::vector<AuditViolation> Engine::certify_happens_before() const {
+  return audit_ ? audit_->hb.certify() : std::vector<AuditViolation>{};
 }
 
 std::size_t Engine::workspace_bytes() const {

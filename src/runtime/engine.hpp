@@ -41,12 +41,22 @@
 //     {name, tag, priority, worker, start, end}; write_chrome_trace()
 //     exports the Chrome-tracing JSON ("chrome://tracing" / Perfetto).
 //
-// Thread-safety: submit/wait may be called from any thread, including from
-// inside running tasks; wait() must not be called from inside a task for an
-// id that has not yet run (the waiting worker would never drain it). Task
-// functions must confine themselves to their declared accesses (unchecked,
-// as in every runtime of this family). trace()/write_chrome_trace() require
-// a quiescent engine (call after wait_all()).
+// Thread-safety: submit may be called from any thread, including from
+// inside running tasks. wait()/wait_all() must not be called from inside a
+// task (the waiting worker could never drain the task it waits on) — this
+// historical footgun is now an enforced precondition: both throw
+// luqr::Error when called on a worker thread. Task functions must confine
+// themselves to their declared accesses; with EngineOptions::audit set this
+// contract is *checked* — every audited task runs with a
+// kern::AccessListener installed, observed accesses on registered datums
+// (runtime/audit.hpp) are validated against the declared Dep set, and
+// certify_happens_before() proves post-run that every conflicting access
+// pair is ordered by a declared-dependency path (runtime/hb_checker.hpp).
+// EngineOptions::chaos_seed randomizes queue draining and injects per-task
+// delays to explore adversarial-but-legal schedules (dependences are always
+// respected, so results must not change — the audit harness asserts it).
+// trace()/write_chrome_trace() require a quiescent engine (call after
+// wait_all()).
 #pragma once
 
 #include <atomic>
@@ -116,7 +126,21 @@ struct TraceEvent {
 
 struct EngineOptions {
   bool trace = false;  ///< record a TraceEvent per executed task
+  /// Validate every task's actual data accesses against its declared Dep set
+  /// (see runtime/audit.hpp) and record the full submission history for
+  /// certify_happens_before(). Off by default: disabled, the only residual
+  /// cost is one thread-local pointer test at each instrumentation point.
+  bool audit = false;
+  /// Nonzero: adversarial schedule exploration. Seeds per-worker RNGs that
+  /// randomize the order queues are drained in (priority lanes, own deque,
+  /// injection queue, steal victims — including pop direction) and inject
+  /// small per-task delays. Dependences are still honored exactly, so any
+  /// result change under chaos is a declaration bug.
+  std::uint64_t chaos_seed = 0;
 };
+
+struct AuditViolation;  // runtime/audit.hpp
+struct AuditState;      // engine.cpp: violation log + happens-before recorder
 
 /// Dataflow engine with a fixed worker pool.
 class Engine {
@@ -134,7 +158,8 @@ class Engine {
                 TaskAttrs attrs = {});
 
   /// Block until the given task has completed (ids of retired tasks return
-  /// immediately). Must not be called from inside a task.
+  /// immediately). Must not be called from inside a task — enforced: throws
+  /// luqr::Error when called on one of this engine's worker threads.
   void wait(TaskId id);
 
   /// Block until every submitted task has completed. If any task threw, the
@@ -173,6 +198,19 @@ class Engine {
   /// worker, not per task).
   std::size_t workspace_bytes() const;
 
+  /// True when constructed with EngineOptions::audit.
+  bool auditing() const { return audit_ != nullptr; }
+  /// Tasks that ran under the access auditor (0 when audit is off).
+  std::uint64_t audited_tasks() const;
+  /// Access-audit violations recorded so far (each was also thrown inside
+  /// the offending task; kept here so telemetry survives drivers that
+  /// capture task errors per job).
+  std::vector<AuditViolation> access_violations() const;
+  /// Prove every conflicting access pair of the run is ordered by a declared
+  /// dependency path (see runtime/hb_checker.hpp). Audit mode, quiescent
+  /// engine only; returns one violation per unordered pair.
+  std::vector<AuditViolation> certify_happens_before() const;
+
   /// All recorded trace events, merged across workers and sorted by start
   /// time. Requires a quiescent engine (call after wait_all()).
   std::vector<TraceEvent> trace() const;
@@ -190,6 +228,7 @@ class Engine {
     int unresolved = 0;
     std::vector<TaskId> successors;
     std::vector<const void*> keys;  // declared data, for pruning at retirement
+    std::vector<Dep> declared;      // full Dep set; audit mode only
   };
 
   // Last-writer / readers-since-last-write tracking per datum. writer_depth
@@ -211,6 +250,9 @@ class Engine {
     // this worker bump-allocates from it (installed as the thread's arena
     // for the lifetime of worker_loop).
     kern::Workspace workspace;
+    // Chaos mode: this worker's private schedule-perturbation RNG state
+    // (only ever touched by the owning thread).
+    std::uint64_t chaos_state = 0;
     std::thread thread;
   };
 
@@ -221,6 +263,7 @@ class Engine {
 
   void worker_loop(int self);
   Task* try_pop(int self);
+  Task* try_pop_chaos(int self);
   void run_task(Task* task, int self);
   void finish_task(Task* task);
   // Route a ready task to the right queue. Caller must hold mu_ (that is
@@ -252,6 +295,8 @@ class Engine {
   std::atomic<long long> ready_count_{0};
   std::atomic<std::uint64_t> steals_{0};
   bool tracing_ = false;
+  bool chaos_ = false;
+  std::unique_ptr<AuditState> audit_;  // non-null iff EngineOptions::audit
   std::chrono::steady_clock::time_point start_;
   std::vector<std::unique_ptr<Worker>> workers_;
 };

@@ -1,0 +1,198 @@
+#include "runtime/hb_checker.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+namespace luqr::rt {
+
+void HbRecorder::on_submit(TaskId id, const std::string& name, int tag,
+                           TaskId creator, const std::vector<Dep>& declared) {
+  std::lock_guard<std::mutex> lock(mu_);
+  HbNode node;
+  node.id = id;
+  node.name = name;
+  node.tag = tag;
+  node.creator = creator;
+  node.declared = declared;
+  index_[id] = nodes_.size();
+  nodes_.push_back(std::move(node));
+}
+
+void HbRecorder::on_complete(TaskId id, std::vector<ObservedAccess> observed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(id);
+  if (it == index_.end()) return;
+  nodes_[it->second].observed = std::move(observed);
+}
+
+std::size_t HbRecorder::recorded_tasks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return nodes_.size();
+}
+
+namespace {
+
+// Effective access of one task on one datum: declared mode merged with the
+// observed footprint (an observed write promotes; an observed access on an
+// undeclared datum participates as what it was seen to be).
+struct EffectiveAccess {
+  std::size_t node = 0;  // index into nodes_
+  bool write = false;
+  bool declared_only = true;
+};
+
+// Immediate-predecessor adjacency; every edge goes from a lower node index
+// to a higher one (creators were submitted earlier; inferred predecessors
+// were submitted earlier), which is what lets reachability prune hard.
+using Preds = std::vector<std::vector<std::size_t>>;
+
+bool ordered(const Preds& preds, std::size_t from, std::size_t to,
+             std::vector<std::size_t>& stack, std::vector<char>& seen) {
+  // Is there a path from `from` to `to` (from < to)? Walk backward from `to`;
+  // indices below `from` cannot reach back up, so they are pruned.
+  for (std::size_t p : preds[to]) {
+    if (p == from) return true;  // direct edge: the common case
+  }
+  stack.clear();
+  std::fill(seen.begin(), seen.end(), 0);
+  stack.push_back(to);
+  seen[to] = 1;
+  while (!stack.empty()) {
+    const std::size_t n = stack.back();
+    stack.pop_back();
+    for (std::size_t p : preds[n]) {
+      if (p == from) return true;
+      if (p < from || seen[p] != 0) continue;
+      seen[p] = 1;
+      stack.push_back(p);
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<AuditViolation> HbRecorder::certify() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::size_t n = nodes_.size();
+
+  // Re-derive the declared-dependency edges from the full history with the
+  // engine's inference rule, plus one creation edge per task.
+  Preds preds(n);
+  struct KeyState {
+    std::size_t last_writer = 0;
+    bool has_writer = false;
+    std::vector<std::size_t> readers;
+  };
+  std::map<const void*, KeyState> state;
+  auto add_pred = [&](std::size_t node, std::size_t pred) {
+    if (pred == node) return;
+    auto& v = preds[node];
+    if (std::find(v.begin(), v.end(), pred) == v.end()) v.push_back(pred);
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    const HbNode& node = nodes_[i];
+    if (node.creator != 0) {
+      auto it = index_.find(node.creator);
+      if (it != index_.end()) add_pred(i, it->second);
+    }
+    for (const Dep& d : node.declared) {
+      KeyState& st = state[d.key];
+      if (d.mode == Access::Read) {
+        if (st.has_writer) add_pred(i, st.last_writer);
+        if (st.readers.empty() || st.readers.back() != i) st.readers.push_back(i);
+      } else {
+        if (st.has_writer) add_pred(i, st.last_writer);
+        for (std::size_t r : st.readers) add_pred(i, r);
+        st.readers.clear();
+        st.last_writer = i;
+        st.has_writer = true;
+      }
+    }
+  }
+
+  // Effective per-datum access sequences (id order), merged from declared
+  // and observed sets.
+  std::map<const void*, std::vector<EffectiveAccess>> accesses;
+  std::map<const void*, std::string> labels;
+  for (std::size_t i = 0; i < n; ++i) {
+    const HbNode& node = nodes_[i];
+    std::map<const void*, EffectiveAccess> merged;
+    for (const Dep& d : node.declared) {
+      EffectiveAccess& e = merged[d.key];
+      e.node = i;
+      e.write = e.write || d.mode != Access::Read;
+    }
+    for (const ObservedAccess& o : node.observed) {
+      EffectiveAccess& e = merged[o.key];
+      e.node = i;
+      e.write = e.write || o.write;
+      e.declared_only = false;
+      if (!o.label.empty()) labels.emplace(o.key, o.label);
+    }
+    for (const auto& [key, e] : merged) accesses[key].push_back(e);
+  }
+
+  // Sweep each datum's sequence: a read must be ordered after the previous
+  // writer; a write after the previous writer and every reader since. With
+  // happens-before transitive and earlier pairs already certified, this
+  // covers all conflicting pairs.
+  std::vector<AuditViolation> out;
+  std::vector<std::size_t> stack;
+  std::vector<char> seen(n, 0);
+  auto report = [&](const void* key, std::size_t earlier, std::size_t later,
+                    const char* pair) {
+    AuditViolation v;
+    v.kind = AuditViolation::Kind::UnorderedConflict;
+    v.task = nodes_[later].id;
+    v.task_name = nodes_[later].name;
+    v.tag = nodes_[later].tag;
+    v.other = nodes_[earlier].id;
+    v.other_name = nodes_[earlier].name;
+    v.datum = key;
+    auto lit = labels.find(key);
+    ResolvedDatum rd;
+    if (lit != labels.end()) {
+      v.datum_label = lit->second;
+    } else if (audit_resolve(key, &rd)) {
+      v.datum_label = rd.label;
+    } else {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%p", key);
+      v.datum_label = buf;
+    }
+    v.actual = pair;
+    out.push_back(std::move(v));
+  };
+  for (const auto& [key, seq] : accesses) {
+    // Purely declared sequences are ordered by construction (the edges above
+    // came from exactly these declarations) — only datums with at least one
+    // observed access can expose an unordered pair.
+    if (std::all_of(seq.begin(), seq.end(),
+                    [](const EffectiveAccess& e) { return e.declared_only; }))
+      continue;
+    std::size_t last_writer = 0;
+    bool has_writer = false;
+    std::vector<std::size_t> readers;
+    for (const EffectiveAccess& e : seq) {
+      if (e.write) {
+        if (has_writer && !ordered(preds, last_writer, e.node, stack, seen))
+          report(key, last_writer, e.node, "write-write");
+        for (std::size_t r : readers)
+          if (!ordered(preds, r, e.node, stack, seen))
+            report(key, r, e.node, "read-write");
+        readers.clear();
+        last_writer = e.node;
+        has_writer = true;
+      } else {
+        if (has_writer && !ordered(preds, last_writer, e.node, stack, seen))
+          report(key, last_writer, e.node, "write-read");
+        readers.push_back(e.node);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace luqr::rt

@@ -1,0 +1,73 @@
+// Happens-before certification of a submitted task graph.
+//
+// The access auditor (runtime/audit.hpp) catches a task touching data it
+// never declared. That alone is the weak property: an undeclared access is
+// only a *race* when no declared-dependency path orders it against a
+// conflicting access — and the schedule that actually ran may have
+// serialized the pair by pure luck (especially on few workers). This checker
+// proves the strong property per run: for every W-W and R-W pair on the
+// same registered datum — over the union of declared and observed accesses —
+// there is a happens-before path built exclusively from
+//
+//   - declared-dependency edges, re-derived from the full (unpruned)
+//     submission history with the engine's own inference rule (a writer
+//     follows the datum's last writer and every reader since; a reader
+//     follows the last writer), and
+//   - creation edges (the submitting task happens-before the task it
+//     submits — program order of the continuation drivers).
+//
+// Real execution timestamps are deliberately *not* edges: ordering observed
+// at run time without a dependency path is exactly the scheduler luck this
+// checker exists to reject. Likewise the engine's live inference state is
+// not reused: it prunes retired history, which would make the certificate
+// depend on the schedule; the recorder keeps the whole run.
+//
+// Audit mode only — memory is O(total tasks), unlike the engine's O(live
+// frontier).
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/audit.hpp"
+#include "runtime/engine.hpp"
+
+namespace luqr::rt {
+
+/// One recorded task: identity, creator, declared Dep set, and the observed
+/// footprint merged in at completion.
+struct HbNode {
+  TaskId id = 0;
+  std::string name;
+  int tag = -1;
+  TaskId creator = 0;  ///< task that submitted this one (0: external thread)
+  std::vector<Dep> declared;
+  std::vector<ObservedAccess> observed;
+};
+
+/// Records every submission/completion of an audited engine and certifies
+/// the graph after the run. on_submit must be called in id order (the engine
+/// calls it under its graph mutex, where ids are assigned).
+class HbRecorder {
+ public:
+  void on_submit(TaskId id, const std::string& name, int tag, TaskId creator,
+                 const std::vector<Dep>& declared);
+  void on_complete(TaskId id, std::vector<ObservedAccess> observed);
+
+  /// Check every conflicting access pair for a declared happens-before path.
+  /// Requires a quiescent engine. Returns one UnorderedConflict violation per
+  /// uncertified pair (empty = the run's DAG is certified race-free).
+  std::vector<AuditViolation> certify() const;
+
+  std::size_t recorded_tasks() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<HbNode> nodes_;  // submission (= id) order
+  std::unordered_map<TaskId, std::size_t> index_;
+};
+
+}  // namespace luqr::rt

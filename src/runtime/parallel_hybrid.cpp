@@ -10,6 +10,7 @@
 #include "hqr/trees.hpp"
 #include "kernels/lapack.hpp"
 #include "kernels/norms.hpp"
+#include "runtime/audit.hpp"
 #include "runtime/engine.hpp"
 #include "runtime/parallel_hybrid.hpp"
 #include "tile/process_grid.hpp"
@@ -50,6 +51,14 @@ struct StepContext {
   // factor matches the sequential one exactly.
   std::atomic<double> step_max{0.0};
 };
+
+EngineOptions engine_options(const SchedulerOptions& sched) {
+  EngineOptions o;
+  o.trace = sched.trace;
+  o.audit = sched.audit;
+  o.chaos_seed = sched.chaos_seed;
+  return o;
+}
 
 void atomic_max(std::atomic<double>& m, double v) {
   double cur = m.load(std::memory_order_relaxed);
@@ -100,7 +109,7 @@ struct Driver {
         growth(options_.track_growth),
         steps(static_cast<std::size_t>(a_.mt())),
         external(false),
-        owned(std::make_unique<Engine>(num_threads, EngineOptions{sched_.trace})),
+        owned(std::make_unique<Engine>(num_threads, engine_options(sched_))),
         engine(*owned) {}
 
   Driver(Engine& engine_, TileMatrix<double>& a_, Criterion& criterion_,
@@ -186,7 +195,7 @@ struct Driver {
     deps.reserve(static_cast<std::size_t>(a.mt()) * a.nt());
     for (int j = 0; j < a.nt(); ++j)
       for (int i = 0; i < a.mt(); ++i)
-        deps.push_back({a.tile(i, j).data, Access::Read});
+        deps.push_back({a.tile_key(i, j), Access::Read});
     Driver* d = this;
     return engine.submit([d] { d->done.set_value(); }, deps,
                          {"job-done", 0, -1});
@@ -222,14 +231,14 @@ void submit_lu_step(Driver& d, StepContext& ctx) {
   // on the critical path to the next panel.
   for (int j = k + 1; j < nt; ++j) {
     std::vector<Dep> deps;
-    for (int r : ctx.pf.domain_rows) deps.push_back({a.tile(r, j).data, Access::ReadWrite});
-    deps.push_back({a.tile(k, k).data, Access::Read});
+    for (int r : ctx.pf.domain_rows) deps.push_back({a.tile_key(r, j), Access::ReadWrite});
+    deps.push_back({a.tile_key(k, k), Access::Read});
     d.submit(
         [&a, c, j, k] {
           swap_column(a, c->pf, j);
           auto akj = a.tile(k, j);
           kern::trsm(Side::Left, Uplo::Lower, Trans::No, Diag::Unit, 1.0,
-                     ConstMatrixView<double>(a.tile(k, k)), akj);
+                     std::as_const(a).tile(k, k), akj);
         },
         deps, {"swptrsm", d.lane_swptrsm(k, j), k});
   }
@@ -241,9 +250,9 @@ void submit_lu_step(Driver& d, StepContext& ctx) {
         [&a, i, k] {
           auto aik = a.tile(i, k);
           kern::trsm(Side::Right, Uplo::Upper, Trans::No, Diag::NonUnit, 1.0,
-                     ConstMatrixView<double>(a.tile(k, k)), aik);
+                     std::as_const(a).tile(k, k), aik);
         },
-        {{a.tile(i, k).data, Access::ReadWrite}, {a.tile(k, k).data, Access::Read}},
+        {{a.tile_key(i, k), Access::ReadWrite}, {a.tile_key(k, k), Access::Read}},
         {"trsm", d.lane_gate(), k});
   }
   // Embarrassingly parallel trailing update. The GEMM is the final writer
@@ -256,17 +265,16 @@ void submit_lu_step(Driver& d, StepContext& ctx) {
             // per worker, reused by every task that lands on it.
             kern::Workspace& ws = kern::tls_workspace();
             auto aij = a.tile(i, j);
-            kern::gemm(Trans::No, Trans::No, -1.0,
-                       ConstMatrixView<double>(a.tile(i, k)),
-                       ConstMatrixView<double>(a.tile(k, j)), 1.0, aij, &ws);
+            kern::gemm(Trans::No, Trans::No, -1.0, std::as_const(a).tile(i, k),
+                       std::as_const(a).tile(k, j), 1.0, aij, &ws);
             if (growth && j < n)
               atomic_max(c->step_max,
                          kern::lange(kern::Norm::One,
                                      ConstMatrixView<double>(aij)));
           },
-          {{a.tile(i, j).data, Access::ReadWrite},
-           {a.tile(i, k).data, Access::Read},
-           {a.tile(k, j).data, Access::Read}},
+          {{a.tile_key(i, j), Access::ReadWrite},
+           {a.tile_key(i, k), Access::Read},
+           {a.tile_key(k, j), Access::Read}},
           {"gemm", d.lane_update(k, j), k});
     }
   }
@@ -284,7 +292,7 @@ void submit_qr_step(Driver& d, StepContext& ctx, core::StepLog* step_log) {
   // Restore the panel (Propagate's QR branch).
   {
     std::vector<Dep> deps;
-    for (int r : ctx.pf.domain_rows) deps.push_back({a.tile(r, k).data, Access::ReadWrite});
+    for (int r : ctx.pf.domain_rows) deps.push_back({a.tile_key(r, k), Access::ReadWrite});
     d.submit(
         [&a, c, k, nb] {
           for (std::size_t t = 0; t < c->pf.domain_rows.size(); ++t) {
@@ -334,16 +342,16 @@ void submit_qr_step(Driver& d, StepContext& ctx, core::StepLog* step_log) {
     Matrix<double>* t = row_t[static_cast<std::size_t>(row)];
     d.submit(
         [&a, row, k, t] { kern::geqrt(a.tile(row, k), t->view()); },
-        {{a.tile(row, k).data, Access::ReadWrite}, {t->data(), Access::Write}},
+        {{a.tile_key(row, k), Access::ReadWrite}, {t->data(), Access::Write}},
         {"geqrt", d.lane_gate(), k});
     for (int j = k + 1; j < nt; ++j) {
       d.submit(
           [&a, row, j, k, t] {
-            kern::unmqr(Trans::Yes, ConstMatrixView<double>(a.tile(row, k)),
-                        t->cview(), a.tile(row, j), &kern::tls_workspace());
+            kern::unmqr(Trans::Yes, std::as_const(a).tile(row, k), t->cview(),
+                        a.tile(row, j), &kern::tls_workspace());
           },
-          {{a.tile(row, j).data, Access::ReadWrite},
-           {a.tile(row, k).data, Access::Read},
+          {{a.tile_key(row, j), Access::ReadWrite},
+           {a.tile_key(row, k), Access::Read},
            {t->data(), Access::Read}},
           {"unmqr", d.lane_update(k, j), k});
     }
@@ -361,8 +369,8 @@ void submit_qr_step(Driver& d, StepContext& ctx, core::StepLog* step_log) {
             kern::ttqrt(a.tile(e.killer, k), a.tile(e.killed, k), t->view());
           }
         },
-        {{a.tile(e.killer, k).data, Access::ReadWrite},
-         {a.tile(e.killed, k).data, Access::ReadWrite},
+        {{a.tile_key(e.killer, k), Access::ReadWrite},
+         {a.tile_key(e.killed, k), Access::ReadWrite},
          {t->data(), Access::Write}},
         {ts ? "tsqrt" : "ttqrt", d.lane_gate(), k});
     for (int j = k + 1; j < nt; ++j) {
@@ -374,11 +382,11 @@ void submit_qr_step(Driver& d, StepContext& ctx, core::StepLog* step_log) {
           [&a, c, e, j, k, n, t, ts, growth] {
             kern::Workspace& ws = kern::tls_workspace();
             if (ts) {
-              kern::tsmqr(Trans::Yes, ConstMatrixView<double>(a.tile(e.killed, k)),
+              kern::tsmqr(Trans::Yes, std::as_const(a).tile(e.killed, k),
                           t->cview(), a.tile(e.killer, j), a.tile(e.killed, j),
                           &ws);
             } else {
-              kern::ttmqr(Trans::Yes, ConstMatrixView<double>(a.tile(e.killed, k)),
+              kern::ttmqr(Trans::Yes, std::as_const(a).tile(e.killed, k),
                           t->cview(), a.tile(e.killer, j), a.tile(e.killed, j),
                           &ws);
             }
@@ -387,9 +395,9 @@ void submit_qr_step(Driver& d, StepContext& ctx, core::StepLog* step_log) {
                          kern::lange(kern::Norm::One,
                                      ConstMatrixView<double>(a.tile(e.killed, j))));
           },
-          {{a.tile(e.killer, j).data, Access::ReadWrite},
-           {a.tile(e.killed, j).data, Access::ReadWrite},
-           {a.tile(e.killed, k).data, Access::Read},
+          {{a.tile_key(e.killer, j), Access::ReadWrite},
+           {a.tile_key(e.killed, j), Access::ReadWrite},
+           {a.tile_key(e.killed, k), Access::Read},
            {t->data(), Access::Read}},
           {ts ? "tsmqr" : "ttmqr", d.lane_update(k, j), k});
     }
@@ -465,12 +473,12 @@ TaskId submit_step(Driver& d, int k) {
   // Panel task: backup + stacked factorization + criterion. Depends on all
   // panel tiles (stats are gathered from the whole panel).
   std::vector<Dep> deps;
-  for (int r : domain_rows) deps.push_back({d.a.tile(r, k).data, Access::ReadWrite});
+  for (int r : domain_rows) deps.push_back({d.a.tile_key(r, k), Access::ReadWrite});
   std::vector<bool> in_domain(static_cast<std::size_t>(d.n), false);
   for (int r : domain_rows) in_domain[static_cast<std::size_t>(r)] = true;
   for (int i = k; i < d.n; ++i)
     if (!in_domain[static_cast<std::size_t>(i)])
-      deps.push_back({d.a.tile(i, k).data, Access::Read});
+      deps.push_back({d.a.tile_key(i, k), Access::Read});
 
   const bool exact = d.options.exact_inv_norm;
   const bool continuation = d.sched.mode == SubmitMode::Continuation;
@@ -501,6 +509,16 @@ FactorizationStats drive(Driver& d, core::TransformLog* log,
                          SchedulerStats* sched_stats) {
   if (log) log->clear();
   d.log = log;
+
+  // Audit mode: register every tile of the working matrix so each task's
+  // actual accesses resolve back to tile coordinates. Scratch the tasks own
+  // privately (panel backups, T factors) stays unregistered and unaudited.
+  // The registration must outlive the task graph; drive() drains the engine
+  // before returning, so function scope is exactly right.
+  std::unique_ptr<ScopedTileRegistration> audit_tiles;
+  if (d.engine.auditing())
+    audit_tiles = std::make_unique<ScopedTileRegistration>(d.a);
+
   if (d.growth) {
     d.initial_max = core::max_trailing_tile_norm(d.a, 0);
     d.stats.growth_factor = 1.0;
@@ -557,9 +575,24 @@ FactorizationStats drive(Driver& d, core::TransformLog* log,
     sched_stats->critical_path = d.engine.critical_path_length();
     sched_stats->lane_tasks = d.engine.lane_executed();
     if (sched.trace) sched_stats->trace = d.engine.trace();
+    if (d.engine.auditing()) {
+      sched_stats->audited_tasks = d.engine.audited_tasks();
+      sched_stats->audit_access_violations = d.engine.access_violations().size();
+    }
   }
   if (sched.trace && !sched.trace_path.empty())
     d.engine.write_chrome_trace(sched.trace_path);
+
+  // Happens-before certification: with the graph drained, prove every
+  // conflicting access pair was ordered by a declared-dependency path. Owned
+  // engines only — a shared engine's recorded history interleaves other
+  // jobs' tasks, so certification there is the engine owner's call (the
+  // per-task access audit above still ran either way).
+  if (!d.external && d.engine.auditing()) {
+    const auto hb = d.engine.certify_happens_before();
+    if (sched_stats) sched_stats->audit_hb_violations = hb.size();
+    if (!hb.empty()) throw Error(hb.front().message());
+  }
   return std::move(d.stats);
 }
 

@@ -45,6 +45,13 @@ struct SchedulerStats {
   /// Per-task timing (only when SchedulerOptions::trace was set). Tasks are
   /// tagged with their step index k.
   std::vector<TraceEvent> trace;
+  /// Audit mode only (SchedulerOptions::audit): tasks that ran under the
+  /// access auditor, and the violation counts of the two analyses. A clean
+  /// audited run reports audited_tasks > 0 and both counts zero (nonzero
+  /// counts also make the factorization throw).
+  std::uint64_t audited_tasks = 0;
+  std::uint64_t audit_access_violations = 0;
+  std::uint64_t audit_hb_violations = 0;
 };
 
 /// Parallel equivalent of core::hybrid_factor, including

@@ -7,6 +7,7 @@
 // engine's critical-path priorities and the per-task timing trace.
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 namespace luqr::rt {
@@ -43,6 +44,17 @@ struct SchedulerOptions {
   /// When tracing, write a Chrome-tracing JSON file here after the
   /// factorization drains (open via chrome://tracing or Perfetto).
   std::string trace_path;
+  /// Run the factorization under the dataflow correctness auditor: every
+  /// tile is registered with the audit registry, every task's actual
+  /// accesses are validated against its declared set, and after the drain
+  /// the happens-before certifier proves all conflicting access pairs are
+  /// ordered by declared dependencies. Violations throw luqr::Error.
+  /// Costs time and O(total tasks) memory — keep out of benchmarks.
+  bool audit = false;
+  /// Nonzero: seed the engine's adversarial schedule exploration (randomized
+  /// queue draining + per-task delays; see rt::EngineOptions::chaos_seed).
+  /// Results must stay bitwise identical — the audit harness asserts it.
+  std::uint64_t chaos_seed = 0;
 };
 
 }  // namespace luqr::rt

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/aligned.hpp"
+#include "kernels/access.hpp"
 #include "kernels/dense.hpp"
 #include "kernels/matrix_view.hpp"
 
@@ -41,14 +42,27 @@ class TileMatrix {
   int rows() const { return mt_ * nb_; }
   int cols() const { return nt_ * nb_; }
 
-  /// Mutable view of tile (i, j).
+  /// Mutable view of tile (i, j). Acquisition reports a write to the
+  /// thread's access listener when one is installed (the runtime auditor);
+  /// without one the hook is a single thread-local pointer test. Read-only
+  /// uses inside audited tasks must go through the const overload
+  /// (std::as_const) or they count as writes.
   kern::MatrixView<T> tile(int i, int j) {
-    return kern::MatrixView<T>(tile_ptr(i, j), nb_, nb_, nb_);
+    T* p = tile_ptr(i, j);
+    kern::note_access(p, tile_bytes(), /*write=*/true);
+    return kern::MatrixView<T>(p, nb_, nb_, nb_);
   }
-  /// Read-only view of tile (i, j).
+  /// Read-only view of tile (i, j); acquisition reports a read.
   kern::ConstMatrixView<T> tile(int i, int j) const {
-    return kern::ConstMatrixView<T>(tile_ptr(i, j), nb_, nb_, nb_);
+    const T* p = tile_ptr(i, j);
+    kern::note_access(p, tile_bytes(), /*write=*/false);
+    return kern::ConstMatrixView<T>(p, nb_, nb_, nb_);
   }
+  /// Tile (i, j)'s identity for dependency declaration and audit
+  /// registration: the same address tile().data yields, but with *no* access
+  /// report — drivers build Dep lists (often from inside other audited
+  /// tasks) without touching the data.
+  const void* tile_key(int i, int j) const { return tile_ptr(i, j); }
 
   /// Global element access (i, j in scalar coordinates).
   T& at(int i, int j) {
@@ -84,6 +98,11 @@ class TileMatrix {
   static std::size_t padded_tile_stride(int nb) {
     constexpr std::size_t elems_per_line = kCacheLineBytes / sizeof(T);
     return align_up(static_cast<std::size_t>(nb) * nb, elems_per_line);
+  }
+
+  /// Bytes one tile's elements span (the audit footprint of a tile view).
+  std::size_t tile_bytes() const {
+    return static_cast<std::size_t>(nb_) * static_cast<std::size_t>(nb_) * sizeof(T);
   }
 
   T* tile_ptr(int i, int j) {

@@ -20,6 +20,14 @@
 //                      (default 2; parallel backend)
 //   --trace f.json     write a Chrome-tracing JSON of the parallel
 //                      factorization's tasks (open via chrome://tracing)
+//   --audit            run the parallel factorization under the dataflow
+//                      correctness auditor: validate every task's actual
+//                      accesses against its declared set and certify after
+//                      the drain that all conflicting pairs are ordered by
+//                      declared dependencies (violations abort with details)
+//   --chaos-seed N     adversarial schedule exploration: seed N randomizes
+//                      queue draining order and injects per-task delays
+//                      (results stay bitwise identical; pairs with --audit)
 //   --profile          print a per-kernel-class time breakdown (panel+
 //                      decision / trsm / gemm / qr-factor / qr-apply) of the
 //                      parallel factorization, plus critical-path length and
@@ -43,7 +51,8 @@ namespace {
                "usage: %s A.mtx [b.mtx] [--criterion C] [--alpha V] [--lu-fraction T]\n"
                "       [--nb V] [--grid PxQ] [--variant A1|A2|B1|B2] [--threads N]\n"
                "       [--sched continuation|join] [--no-priorities] [--lookahead N]\n"
-               "       [--trace f.json] [--profile] [--refine N] [--out x.mtx]\n",
+               "       [--trace f.json] [--profile] [--audit] [--chaos-seed N]\n"
+               "       [--refine N] [--out x.mtx]\n",
                argv0);
   std::exit(2);
 }
@@ -58,7 +67,8 @@ int main(int argc, char** argv) {
   std::string criterion = "max", variant = "A1", sched_mode = "continuation";
   double alpha = 100.0, lu_fraction = -1.0;
   int nb = 64, refine = 0, grid_p = 4, grid_q = 4, threads = 0, lookahead = -1;
-  bool priorities = true, profile = false;
+  bool priorities = true, profile = false, audit = false;
+  unsigned long long chaos_seed = 0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -88,6 +98,10 @@ int main(int argc, char** argv) {
       lookahead = std::atoi(need_value());
     } else if (arg == "--profile") {
       profile = true;
+    } else if (arg == "--audit") {
+      audit = true;
+    } else if (arg == "--chaos-seed") {
+      chaos_seed = std::strtoull(need_value(), nullptr, 10);
     } else if (arg == "--trace") {
       trace_path = need_value();
     } else if (arg == "--grid") {
@@ -145,6 +159,15 @@ int main(int argc, char** argv) {
       sched.trace = true;
       sched.trace_path = trace_path;
     }
+    if (audit) {
+      LUQR_REQUIRE(threads > 0, "--audit requires the parallel backend (--threads)");
+      sched.audit = true;
+    }
+    if (chaos_seed != 0) {
+      LUQR_REQUIRE(threads > 0,
+                   "--chaos-seed requires the parallel backend (--threads)");
+      sched.chaos_seed = chaos_seed;
+    }
     rt::SchedulerStats sched_stats;
     if (profile) {
       LUQR_REQUIRE(threads > 0,
@@ -184,6 +207,12 @@ int main(int argc, char** argv) {
                   priorities ? "" : " (no priorities)");
     if (!trace_path.empty())
       std::printf("task trace written to %s\n", trace_path.c_str());
+    if (audit)
+      std::printf("audit: %llu tasks validated; access audit and "
+                  "happens-before certification passed\n",
+                  static_cast<unsigned long long>(sched_stats.audited_tasks));
+    if (chaos_seed != 0)
+      std::printf("chaos schedule: seed %llu\n", chaos_seed);
     if (profile) {
       // Per-kernel-class breakdown of the factorization's task trace: where
       // the workers' busy time went, so critical-path wins show up from the
