@@ -1,0 +1,166 @@
+// Mixed-precision benchmark: what does factoring in f32 buy, and what does
+// iterative refinement cost to buy the f64 accuracy back?
+//
+// Three sections:
+//   1. factorization rate, f32 vs f64, across tile sizes — the headline
+//      speedup the reduced-precision path exists for (CI enforces a 1.4x
+//      floor at nb >= 128);
+//   2. end-to-end solve, F32_IR vs F64, well- and ill-conditioned — wall
+//      time, residual, refinement iterations, fallback;
+//   3. a conditioning sweep: how iteration count grows and where the f64
+//      fallback takes over as kappa climbs through 1/eps_f32.
+//
+// Scales via LUQR_N / LUQR_SAMPLES; `--json <path>` writes the
+// machine-readable report (BENCH_precision.json at the repo root).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "gen/generators.hpp"
+#include "verify/verify.hpp"
+
+namespace luqr {
+namespace {
+
+Matrix<float> narrow(const Matrix<double>& a) {
+  Matrix<float> f(a.rows(), a.cols());
+  for (int j = 0; j < a.cols(); ++j)
+    for (int i = 0; i < a.rows(); ++i) f(i, j) = static_cast<float>(a(i, j));
+  return f;
+}
+
+// Serial factorization rate at one (type, nb). The CI-floored headline rows
+// pin the criterion to AlwaysLU so every step runs the GEMM-dominated LU
+// update — the path reduced precision accelerates — instead of letting the
+// random ensemble's panel statistics tip steps into the (much slower, flop-
+// heavier) QR propagation and turn the ratio into a criterion benchmark.
+// Returns GFLOP/s against the 2/3 n^3 LU flop count. The tiles are rebuilt
+// outside the timed region each sample.
+template <typename T>
+double factor_rate(const Matrix<T>& dense, int n, int nb, int samples) {
+  const double flops = (2.0 / 3.0) * n * static_cast<double>(n) * n;
+  double best = std::numeric_limits<double>::infinity();
+  for (int s = 0; s < samples; ++s) {
+    TileMatrix<T> tiles = TileMatrix<T>::from_dense(dense, nb);
+    AlwaysLU crit;
+    Timer timer;
+    core::hybrid_factor(tiles, crit, {});
+    best = std::min(best, timer.seconds());
+  }
+  return flops / best / 1e9;
+}
+
+void bench_factor_rates(bench::JsonReport& report, int n, int samples) {
+  const auto a64 = gen::generate(gen::MatrixKind::Random, n, 77);
+  const auto a32 = narrow(a64);
+  std::printf("factorization rate (serial, all-LU steps, n = %d)\n", n);
+  std::printf("  %-6s %12s %12s %9s\n", "nb", "f64 GF/s", "f32 GF/s",
+              "speedup");
+  for (int nb : {64, 128, 256}) {
+    const double g64 = factor_rate(a64, n, nb, samples);
+    const double g32 = factor_rate(a32, n, nb, samples);
+    const double speedup = g32 / g64;
+    std::printf("  %-6d %12.2f %12.2f %8.2fx\n", nb, g64, g32, speedup);
+    report.row("factor_f64").metric("nb", nb).metric("gflops", g64);
+    report.row("factor_f32").metric("nb", nb).metric("gflops", g32);
+    report.row("factor_speedup").metric("nb", nb).metric("speedup", speedup);
+  }
+  std::printf("\n");
+}
+
+void bench_solves(bench::JsonReport& report, int n, int nb, int samples) {
+  struct Case {
+    const char* tag;
+    gen::MatrixKind kind;
+  };
+  const Case cases[] = {{"well_conditioned", gen::MatrixKind::DiagDominant},
+                        {"ill_conditioned", gen::MatrixKind::Chebvand}};
+  std::printf("end-to-end solve, F32_IR vs F64 (n = %d, nb = %d)\n", n, nb);
+  std::printf("  %-18s %10s %10s %7s %6s %10s %10s\n", "matrix", "f64 ms",
+              "f32_ir ms", "iters", "fb", "res f64", "res f32_ir");
+  for (const Case& c : cases) {
+    const auto a = gen::generate(c.kind, n, 88);
+    const auto b = bench::rhs_for(n);
+    const SolverConfig base =
+        SolverConfig().tile_size(nb).backend(Backend::Serial);
+
+    const double t64 = bench::best_of(samples, 1, [&] {
+      (void)Solver(SolverConfig(base).precision(Precision::F64)).solve(a, b);
+    });
+    const double tir = bench::best_of(samples, 1, [&] {
+      (void)Solver(SolverConfig(base).precision(Precision::F32_IR)).solve(a, b);
+    });
+    const auto r64 =
+        Solver(SolverConfig(base).precision(Precision::F64)).solve(a, b);
+    const auto rir =
+        Solver(SolverConfig(base).precision(Precision::F32_IR)).solve(a, b);
+    const double res64 = verify::relative_residual(a, r64.x, b);
+    const double resir = verify::relative_residual(a, rir.x, b);
+    std::printf("  %-18s %10.2f %10.2f %7d %6s %10.2e %10.2e\n", c.tag,
+                t64 * 1e3, tir * 1e3, rir.report.refine_iterations,
+                rir.report.fell_back ? "yes" : "no", res64, resir);
+    report.row(std::string("solve_") + c.tag)
+        .metric("n", n)
+        .metric("nb", nb)
+        .metric("f64_seconds", t64)
+        .metric("f32_ir_seconds", tir)
+        .metric("f32_ir_over_f64", tir / t64)
+        .metric("refine_iterations", rir.report.refine_iterations)
+        .metric("fell_back", rir.report.fell_back ? 1 : 0)
+        .metric("residual_f64", res64)
+        .metric("residual_f32_ir", resir);
+  }
+  std::printf("\n");
+}
+
+void bench_condition_sweep(bench::JsonReport& report, int n, int nb) {
+  // From benign to numerically hostile: iteration count should climb with
+  // kappa until kappa * eps_f32 ~ 1, past which the f64 fallback serves.
+  const gen::MatrixKind kinds[] = {
+      gen::MatrixKind::DiagDominant, gen::MatrixKind::Random,
+      gen::MatrixKind::Lehmer,       gen::MatrixKind::Dorr,
+      gen::MatrixKind::Chebvand,     gen::MatrixKind::Lotkin,
+      gen::MatrixKind::Hilb,
+  };
+  std::printf("conditioning sweep, F32_IR (n = %d, nb = %d)\n", n, nb);
+  std::printf("  %-14s %7s %6s %10s\n", "matrix", "iters", "fb", "residual");
+  for (const auto kind : kinds) {
+    const auto a = gen::generate(kind, n, 99);
+    const auto b = bench::rhs_for(n, 909);
+    const auto r = Solver(SolverConfig()
+                              .tile_size(nb)
+                              .backend(Backend::Serial)
+                              .precision(Precision::F32_IR))
+                       .solve(a, b);
+    std::printf("  %-14s %7d %6s %10.2e\n", gen::kind_name(kind).c_str(),
+                r.report.refine_iterations, r.report.fell_back ? "yes" : "no",
+                r.report.residual);
+    report.row("sweep_" + gen::kind_name(kind))
+        .metric("refine_iterations", r.report.refine_iterations)
+        .metric("fell_back", r.report.fell_back ? 1 : 0)
+        .metric("converged", r.report.converged ? 1 : 0)
+        .metric("residual", r.report.residual);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace luqr
+
+int main(int argc, char** argv) {
+  using namespace luqr;
+  const bench::Config c = bench::config(/*default_n=*/512, /*default_nb=*/128);
+
+  bench::JsonReport report("bench_precision", argc, argv);
+  report.config("n", c.n_max);
+  report.config("nb", c.nb);
+  report.config("samples", c.samples);
+
+  bench_factor_rates(report, c.n_max, c.samples);
+  bench_solves(report, c.n_max, c.nb, c.samples);
+  bench_condition_sweep(report, 256 <= c.n_max ? 256 : c.n_max, 64);
+
+  report.write();
+  return 0;
+}

@@ -49,6 +49,12 @@ void SolverConfig::validate() const {
                  "the per-task trace needs a quiescent engine of its own; "
                  "it is unavailable on a shared engine");
   }
+  if (precision_ != Precision::F64) {
+    LUQR_REQUIRE(external_ == nullptr,
+                 "reduced-precision factorization needs a CriterionSpec (the "
+                 "F32_IR fallback refactorization reuses it); an external "
+                 "Criterion instance cannot be replayed");
+  }
 }
 
 Solver::Solver(SolverConfig config) : config_(std::move(config)) {
@@ -97,11 +103,42 @@ core::Factorization Solver::factor(const Matrix<double>& a) const {
   LUQR_REQUIRE(a.rows() == a.cols(), "Solver::factor: matrix must be square");
   const core::HybridOptions options = config_.hybrid_options();
   const int nb = config_.tile_size();
+  const int n_tiles = (a.rows() + nb - 1) / nb;
+
+  if (config_.precision() != Precision::F64) {
+    // Reduced-precision route: narrow the input, factor in f32 through the
+    // same serial/parallel drivers (the criterion sees double-widened panel
+    // statistics, so the LU-vs-QR decisions are made exactly as specified),
+    // and retain the f64 original for residuals / the F32_IR fallback.
+    const CriterionSpec spec = effective_criterion(a);
+    const auto crit = make_criterion(spec);
+    Matrix<float> af(a.rows(), a.cols());
+    for (int j = 0; j < a.cols(); ++j)
+      for (int i = 0; i < a.rows(); ++i)
+        af(i, j) = static_cast<float>(a(i, j));
+    TileMatrix<float> tiles = TileMatrix<float>::from_dense(af, nb);
+    core::TransformLogT<float> log;
+    core::FactorizationStatsT<float> stats;
+    if (resolve_backend(n_tiles) == Backend::Serial) {
+      stats = core::hybrid_factor(tiles, *crit, options, &log);
+    } else {
+      stats = config_.engine() != nullptr
+                  ? rt::parallel_hybrid_factor_on(
+                        *config_.engine(), tiles, *crit, options, &log,
+                        config_.scheduler(), config_.scheduler_stats())
+                  : rt::parallel_hybrid_factor(
+                        tiles, *crit, options, resolve_threads(), &log,
+                        config_.scheduler(), config_.scheduler_stats());
+    }
+    return core::Factorization::adopt_f32(a, std::move(tiles),
+                                          std::move(stats), std::move(log),
+                                          options, config_.precision(),
+                                          config_.refine(), &spec);
+  }
 
   std::unique_ptr<Criterion> owned;
   Criterion* criterion = resolve_criterion(a, owned);
 
-  const int n_tiles = (a.rows() + nb - 1) / nb;
   if (resolve_backend(n_tiles) == Backend::Serial)
     return core::Factorization::compute(a, *criterion, nb, options);
 
@@ -122,11 +159,14 @@ core::Factorization Solver::factor(const Matrix<double>& a) const {
 
 core::SolveResult Solver::solve(const Matrix<double>& a,
                                 const Matrix<double>& b) const {
-  if (config_.refinement_sweeps() > 0) {
-    // Refinement needs the retained original, so go through factor().
+  if (config_.precision() != Precision::F64 ||
+      config_.refinement_sweeps() > 0) {
+    // Refinement (classic sweeps or LU-IR) needs the retained original, and
+    // the reduced-precision routes need the precision-aware handle — go
+    // through factor().
     const core::Factorization fac = factor(a);
     core::SolveResult result;
-    result.x = fac.solve(b, config_.refinement_sweeps());
+    result.x = fac.solve(b, &result.report, config_.refinement_sweeps());
     result.stats = fac.stats();
     return result;
   }
@@ -142,14 +182,14 @@ core::SolveResult Solver::solve(const Matrix<double>& a,
   if (resolve_backend(aug.mt()) == Backend::Parallel) {
     result.stats =
         config_.engine() != nullptr
-            ? rt::parallel_hybrid_factor_on(*config_.engine(), aug, *criterion,
-                                            options, nullptr,
-                                            config_.scheduler(),
-                                            config_.scheduler_stats())
-            : rt::parallel_hybrid_factor(aug, *criterion, options,
-                                         resolve_threads(), nullptr,
-                                         config_.scheduler(),
-                                         config_.scheduler_stats());
+            ? rt::parallel_hybrid_factor_on(
+                  *config_.engine(), aug, *criterion, options,
+                  static_cast<core::TransformLog*>(nullptr),
+                  config_.scheduler(), config_.scheduler_stats())
+            : rt::parallel_hybrid_factor(
+                  aug, *criterion, options, resolve_threads(),
+                  static_cast<core::TransformLog*>(nullptr),
+                  config_.scheduler(), config_.scheduler_stats());
   } else {
     result.stats = core::hybrid_factor(aug, *criterion, options);
   }

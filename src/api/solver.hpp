@@ -38,6 +38,10 @@ struct SchedulerStats;
 
 namespace luqr {
 
+using core::Precision;
+using core::RefineOptions;
+using core::SolveReport;
+
 /// Execution backend of a Solver. Serial runs the sequential tiled driver;
 /// Parallel runs the dataflow task engine with a worker pool; Auto picks
 /// Parallel when the configuration supports it (variant A1), more than one
@@ -104,6 +108,29 @@ class SolverConfig {
     refinement_sweeps_ = n;
     return *this;
   }
+  /// Working precision. F64 (default) is the historical all-double path.
+  /// F32 converts the input to single precision and factors/solves there —
+  /// the hybrid LU-vs-QR criterion decides per panel exactly as in f64,
+  /// on statistics widened to double. F32_IR adds LU-IR on top: solves
+  /// compute f64 residuals against the retained original, push corrections
+  /// through the f32 factors, and iterate to f64-level accuracy, falling
+  /// back to an f64 refactorization (reported, never silent) on stall.
+  SolverConfig& precision(Precision p) {
+    precision_ = p;
+    return *this;
+  }
+  /// F32_IR: cap on refinement iterations per solve (default 20).
+  SolverConfig& refine_max_iterations(int n) {
+    LUQR_REQUIRE(n >= 1, "refinement iteration cap must be positive");
+    refine_.max_iterations = n;
+    return *this;
+  }
+  /// F32_IR: scaled-residual convergence target (0 = auto: 4·N·eps_f64).
+  SolverConfig& refine_tolerance(double tol) {
+    LUQR_REQUIRE(tol >= 0.0, "refinement tolerance must be nonnegative");
+    refine_.tolerance = tol;
+    return *this;
+  }
   /// Auto-tune the criterion threshold so the LU-step fraction on the input
   /// matrix lands near `fraction` (paper §VII). Requires a tunable
   /// (Max/Sum/Mumps) criterion spec.
@@ -162,6 +189,8 @@ class SolverConfig {
   Backend backend() const { return backend_; }
   int threads() const { return threads_; }
   int refinement_sweeps() const { return refinement_sweeps_; }
+  Precision precision() const { return precision_; }
+  const RefineOptions& refine() const { return refine_; }
   bool has_autotune_target() const { return has_autotune_; }
   double autotune_target_lu_fraction() const { return autotune_target_; }
   bool exact_inv_norm() const { return exact_inv_norm_; }
@@ -191,6 +220,8 @@ class SolverConfig {
   Backend backend_ = Backend::Auto;
   int threads_ = 0;
   int refinement_sweeps_ = 0;
+  Precision precision_ = Precision::F64;
+  RefineOptions refine_{};
   double autotune_target_ = 0.0;
   bool has_autotune_ = false;
   bool exact_inv_norm_ = false;

@@ -1,7 +1,12 @@
 #include "core/factorization.hpp"
 
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
 #include "kernels/blas.hpp"
 #include "kernels/lapack.hpp"
+#include "kernels/norms.hpp"
 #include "kernels/pack.hpp"
 
 namespace luqr::core {
@@ -17,12 +22,13 @@ namespace {
 // Back-substitution with the factored matrix and the RHS in *separate* tile
 // containers (the augmented-driver version lives in hybrid.cpp); handles
 // the block-triangular diagonal of B-variant steps via the stats.
-void solve_triangular(const TileMatrix<double>& a, const FactorizationStats& stats,
-                      TileMatrix<double>& b) {
+template <typename T>
+void solve_triangular(const TileMatrix<T>& a, const FactorizationStatsT<T>& stats,
+                      TileMatrix<T>& b) {
   const int n = a.mt();
   for (int k = n - 1; k >= 0; --k) {
     const auto diag = a.tile(k, k);
-    const StepRecord* rec = nullptr;
+    const StepRecordT<T>* rec = nullptr;
     if (k < static_cast<int>(stats.steps.size()) &&
         stats.steps[static_cast<std::size_t>(k)].kind == StepKind::LU) {
       rec = &stats.steps[static_cast<std::size_t>(k)];
@@ -32,41 +38,45 @@ void solve_triangular(const TileMatrix<double>& a, const FactorizationStats& sta
     for (int col = 0; col < b.nt(); ++col) {
       auto bk = b.tile(k, col);
       for (int j = k + 1; j < n; ++j)
-        kern::gemm(Trans::No, Trans::No, -1.0,
-                   ConstMatrixView<double>(a.tile(k, j)),
-                   ConstMatrixView<double>(b.tile(j, col)), 1.0, bk);
+        kern::gemm(Trans::No, Trans::No, T(-1),
+                   ConstMatrixView<T>(a.tile(k, j)),
+                   ConstMatrixView<T>(b.tile(j, col)), T(1), bk);
       if (b1) {
         kern::laswp(bk, rec->diag_piv, /*forward=*/true);
-        kern::trsm(Side::Left, Uplo::Lower, Trans::No, Diag::Unit, 1.0,
-                   ConstMatrixView<double>(diag), bk);
+        kern::trsm(Side::Left, Uplo::Lower, Trans::No, Diag::Unit, T(1),
+                   ConstMatrixView<T>(diag), bk);
       } else if (b2) {
-        kern::unmqr(Trans::Yes, ConstMatrixView<double>(diag),
+        kern::unmqr(Trans::Yes, ConstMatrixView<T>(diag),
                     rec->diag_t->cview(), bk);
       }
-      kern::trsm(Side::Left, Uplo::Upper, Trans::No, Diag::NonUnit, 1.0,
-                 ConstMatrixView<double>(diag), bk);
+      kern::trsm(Side::Left, Uplo::Upper, Trans::No, Diag::NonUnit, T(1),
+                 ConstMatrixView<T>(diag), bk);
     }
   }
 }
 
 }  // namespace
 
-Factorization Factorization::compute(const Matrix<double>& a, Criterion& criterion,
-                                     int nb, const HybridOptions& options) {
+template <typename T>
+FactorizationT<T> FactorizationT<T>::compute(const Matrix<T>& a,
+                                             Criterion& criterion, int nb,
+                                             const HybridOptions& options) {
   LUQR_REQUIRE(a.rows() == a.cols(), "Factorization: matrix must be square");
-  Factorization f;
+  FactorizationT f;
   f.n_scalar_ = a.rows();
   f.original_ = a;
   f.options_ = options;
-  f.factored_ = TileMatrix<double>::from_dense(a, nb);
+  f.factored_ = TileMatrix<T>::from_dense(a, nb);
   f.stats_ = hybrid_factor(f.factored_, criterion, options, &f.log_);
   return f;
 }
 
-Factorization Factorization::adopt(const Matrix<double>& original,
-                                   TileMatrix<double> factored,
-                                   FactorizationStats stats, TransformLog log,
-                                   const HybridOptions& options) {
+template <typename T>
+FactorizationT<T> FactorizationT<T>::adopt(const Matrix<T>& original,
+                                           TileMatrix<T> factored,
+                                           FactorizationStatsT<T> stats,
+                                           TransformLogT<T> log,
+                                           const HybridOptions& options) {
   LUQR_REQUIRE(original.rows() == original.cols(),
                "Factorization: matrix must be square");
   LUQR_REQUIRE(factored.mt() == factored.nt(),
@@ -75,7 +85,7 @@ Factorization Factorization::adopt(const Matrix<double>& original,
                "adopt: factored tiles smaller than the matrix");
   LUQR_REQUIRE(static_cast<int>(log.size()) == factored.mt(),
                "adopt: transform log does not cover every step");
-  Factorization f;
+  FactorizationT f;
   f.n_scalar_ = original.rows();
   f.original_ = original;
   f.options_ = options;
@@ -85,13 +95,14 @@ Factorization Factorization::adopt(const Matrix<double>& original,
   return f;
 }
 
-void Factorization::apply_transformations(TileMatrix<double>& b) const {
+template <typename T>
+void FactorizationT<T>::apply_transformations(TileMatrix<T>& b) const {
   const int n = factored_.mt();
   const int nb = factored_.nb();
   LUQR_REQUIRE(b.mt() == n && b.nb() == nb, "rhs tiling mismatch");
 
   for (int k = 0; k < n; ++k) {
-    const StepLog& step = log_[static_cast<std::size_t>(k)];
+    const StepLogT<T>& step = log_[static_cast<std::size_t>(k)];
     if (step.lu) {
       const LuVariant variant = stats_.steps[static_cast<std::size_t>(k)].variant;
       if (variant == LuVariant::A1) {
@@ -111,13 +122,13 @@ void Factorization::apply_transformations(TileMatrix<double>& b) const {
         // b_k <- L11^{-1} b_k.
         for (int col = 0; col < b.nt(); ++col) {
           auto bk = b.tile(k, col);
-          kern::trsm(Side::Left, Uplo::Lower, Trans::No, Diag::Unit, 1.0,
-                     ConstMatrixView<double>(factored_.tile(k, k)), bk);
+          kern::trsm(Side::Left, Uplo::Lower, Trans::No, Diag::Unit, T(1),
+                     ConstMatrixView<T>(factored_.tile(k, k)), bk);
         }
       } else if (variant == LuVariant::A2) {
         // b_k <- Q^T b_k from the diagonal GEQRT.
         for (int col = 0; col < b.nt(); ++col)
-          kern::unmqr(Trans::Yes, ConstMatrixView<double>(factored_.tile(k, k)),
+          kern::unmqr(Trans::Yes, ConstMatrixView<T>(factored_.tile(k, k)),
                       step.diag_t->cview(), b.tile(k, col));
       }
       // B1/B2: row k is untouched (block LU).
@@ -125,30 +136,30 @@ void Factorization::apply_transformations(TileMatrix<double>& b) const {
       for (int i = k + 1; i < n; ++i) {
         for (int col = 0; col < b.nt(); ++col) {
           auto bi = b.tile(i, col);
-          kern::gemm(Trans::No, Trans::No, -1.0,
-                     ConstMatrixView<double>(factored_.tile(i, k)),
-                     ConstMatrixView<double>(b.tile(k, col)), 1.0, bi);
+          kern::gemm(Trans::No, Trans::No, T(-1),
+                     ConstMatrixView<T>(factored_.tile(i, k)),
+                     ConstMatrixView<T>(b.tile(k, col)), T(1), bi);
         }
       }
     } else {
       // Replay the QR step's orthogonal operations in execution order.
-      for (const QrOp& op : step.qr_ops) {
+      for (const QrOpT<T>& op : step.qr_ops) {
         for (int col = 0; col < b.nt(); ++col) {
           switch (op.kind) {
-            case QrOp::Kind::Geqrt:
+            case QrKind::Geqrt:
               kern::unmqr(Trans::Yes,
-                          ConstMatrixView<double>(factored_.tile(op.killer, k)),
+                          ConstMatrixView<T>(factored_.tile(op.killer, k)),
                           op.t->cview(), b.tile(op.killer, col));
               break;
-            case QrOp::Kind::Ts:
+            case QrKind::Ts:
               kern::tsmqr(Trans::Yes,
-                          ConstMatrixView<double>(factored_.tile(op.killed, k)),
+                          ConstMatrixView<T>(factored_.tile(op.killed, k)),
                           op.t->cview(), b.tile(op.killer, col),
                           b.tile(op.killed, col));
               break;
-            case QrOp::Kind::Tt:
+            case QrKind::Tt:
               kern::ttmqr(Trans::Yes,
-                          ConstMatrixView<double>(factored_.tile(op.killed, k)),
+                          ConstMatrixView<T>(factored_.tile(op.killed, k)),
                           op.t->cview(), b.tile(op.killer, col),
                           b.tile(op.killed, col));
               break;
@@ -190,8 +201,9 @@ void Factorization::apply_transformations(TileMatrix<double>& b) const {
 // to whole tiles and walked in nb-wide slices, keeping every such kernel
 // call shape-identical to the per-column path.
 
-Matrix<double> Factorization::solve(const Matrix<double>& b,
-                                    int refinement_sweeps, RhsPath path) const {
+template <typename T>
+Matrix<T> FactorizationT<T>::solve(const Matrix<T>& b, int refinement_sweeps,
+                                   RhsPath path) const {
   LUQR_REQUIRE(b.rows() == n_scalar_, "rhs row count mismatch");
   const int nb = factored_.nb();
   const int mt = factored_.mt();
@@ -200,7 +212,7 @@ Matrix<double> Factorization::solve(const Matrix<double>& b,
   // Plain LU/A1 factorizations replay through swaps, TRSM and GEMM only —
   // all exactly per-column — so the wide panel may be the exact RHS width.
   bool lu_a1_only = true;
-  for (const StepRecord& rec : stats_.steps)
+  for (const StepRecordT<T>& rec : stats_.steps)
     lu_a1_only = lu_a1_only && rec.kind == StepKind::LU &&
                  rec.variant == LuVariant::A1;
 
@@ -210,36 +222,36 @@ Matrix<double> Factorization::solve(const Matrix<double>& b,
                     (path == RhsPath::Auto && (b.cols() > 1 || lu_a1_only));
   const int wp = lu_a1_only ? b.cols() : bt * nb;
 
-  auto solve_once = [&](const Matrix<double>& rhs) {
+  auto solve_once = [&](const Matrix<T>& rhs) {
     if (wide && wp > 0) {
-      Matrix<double> wb(mt * nb, wp);
+      Matrix<T> wb(mt * nb, wp);
       for (int j = 0; j < rhs.cols(); ++j)
         for (int i = 0; i < rhs.rows(); ++i) wb(i, j) = rhs(i, j);
       apply_transformations_wide(wb);
       solve_triangular_wide(wb);
-      Matrix<double> x(n_scalar_, rhs.cols());
+      Matrix<T> x(n_scalar_, rhs.cols());
       for (int j = 0; j < rhs.cols(); ++j)
         for (int i = 0; i < n_scalar_; ++i) x(i, j) = wb(i, j);
       return x;
     }
-    TileMatrix<double> bt_tiles(mt, bt, nb);
+    TileMatrix<T> bt_tiles(mt, bt, nb);
     for (int j = 0; j < rhs.cols(); ++j)
       for (int i = 0; i < rhs.rows(); ++i) bt_tiles.at(i, j) = rhs(i, j);
     apply_transformations(bt_tiles);
     solve_triangular(factored_, stats_, bt_tiles);
-    Matrix<double> x(n_scalar_, rhs.cols());
+    Matrix<T> x(n_scalar_, rhs.cols());
     for (int j = 0; j < rhs.cols(); ++j)
       for (int i = 0; i < n_scalar_; ++i) x(i, j) = bt_tiles.at(i, j);
     return x;
   };
 
-  Matrix<double> x = solve_once(b);
+  Matrix<T> x = solve_once(b);
   for (int sweep = 0; sweep < refinement_sweeps; ++sweep) {
     // r = b - A x, d = A^{-1} r (reusing the factorization), x += d.
-    Matrix<double> r = b;
-    kern::gemm(Trans::No, Trans::No, -1.0, original_.cview(), x.cview(), 1.0,
+    Matrix<T> r = b;
+    kern::gemm(Trans::No, Trans::No, T(-1), original_.cview(), x.cview(), T(1),
                r.view());
-    const Matrix<double> d = solve_once(r);
+    const Matrix<T> d = solve_once(r);
     for (int j = 0; j < x.cols(); ++j)
       for (int i = 0; i < x.rows(); ++i) x(i, j) += d(i, j);
   }
@@ -253,9 +265,9 @@ namespace {
 // the choice (instead of re-dispatching on the wide shape) is what keeps
 // every element's arithmetic bit-identical across the two layouts — the
 // packed kernel's per-element sums depend only on KC, never on the width.
-void wide_gemm(int nb, double alpha, ConstMatrixView<double> a,
-               ConstMatrixView<double> b, double beta,
-               kern::MatrixView<double> c) {
+template <typename T>
+void wide_gemm(int nb, T alpha, ConstMatrixView<T> a, ConstMatrixView<T> b,
+               T beta, kern::MatrixView<T> c) {
   if (kern::gemm_wants_blocked(nb, nb, nb))
     kern::gemm_blocked(Trans::No, Trans::No, alpha, a, b, beta, c);
   else
@@ -264,7 +276,8 @@ void wide_gemm(int nb, double alpha, ConstMatrixView<double> a,
 
 }  // namespace
 
-void Factorization::apply_transformations_wide(Matrix<double>& wb) const {
+template <typename T>
+void FactorizationT<T>::apply_transformations_wide(Matrix<T>& wb) const {
   const int n = factored_.mt();
   const int nb = factored_.nb();
   const int wp = wb.cols();
@@ -272,7 +285,7 @@ void Factorization::apply_transformations_wide(Matrix<double>& wb) const {
   auto rb = [&](int i) { return wb.view().block(i * nb, 0, nb, wp); };
 
   for (int k = 0; k < n; ++k) {
-    const StepLog& step = log_[static_cast<std::size_t>(k)];
+    const StepLogT<T>& step = log_[static_cast<std::size_t>(k)];
     if (step.lu) {
       const LuVariant variant = stats_.steps[static_cast<std::size_t>(k)].variant;
       if (variant == LuVariant::A1) {
@@ -288,14 +301,14 @@ void Factorization::apply_transformations_wide(Matrix<double>& wb) const {
         }
         // b_k <- L11^{-1} b_k, all columns at once (TRSM is per-column).
         auto bk = rb(k);
-        kern::trsm(Side::Left, Uplo::Lower, Trans::No, Diag::Unit, 1.0,
-                   ConstMatrixView<double>(factored_.tile(k, k)), bk);
+        kern::trsm(Side::Left, Uplo::Lower, Trans::No, Diag::Unit, T(1),
+                   ConstMatrixView<T>(factored_.tile(k, k)), bk);
       } else if (variant == LuVariant::A2) {
         // Orthogonal apply: nb-wide slices (see the path comment above).
         LUQR_REQUIRE(wp % nb == 0, "wide rhs must be tile-padded for A2");
         for (int c0 = 0; c0 < wp; c0 += nb) {
           auto slice = rb(k).block(0, c0, nb, nb);
-          kern::unmqr(Trans::Yes, ConstMatrixView<double>(factored_.tile(k, k)),
+          kern::unmqr(Trans::Yes, ConstMatrixView<T>(factored_.tile(k, k)),
                       step.diag_t->cview(), slice);
         }
       }
@@ -303,35 +316,35 @@ void Factorization::apply_transformations_wide(Matrix<double>& wb) const {
       // Eliminations: one full-width GEMM per trailing tile row.
       for (int i = k + 1; i < n; ++i) {
         auto bi = rb(i);
-        wide_gemm(nb, -1.0, ConstMatrixView<double>(factored_.tile(i, k)),
-                  ConstMatrixView<double>(rb(k)), 1.0, bi);
+        wide_gemm(nb, T(-1), ConstMatrixView<T>(factored_.tile(i, k)),
+                  ConstMatrixView<T>(rb(k)), T(1), bi);
       }
     } else {
       // QR step: orthogonal ops in execution order, nb-wide slices each.
       LUQR_REQUIRE(wp % nb == 0, "wide rhs must be tile-padded for QR steps");
-      for (const QrOp& op : step.qr_ops) {
+      for (const QrOpT<T>& op : step.qr_ops) {
         for (int c0 = 0; c0 < wp; c0 += nb) {
           switch (op.kind) {
-            case QrOp::Kind::Geqrt: {
+            case QrKind::Geqrt: {
               auto slice = rb(op.killer).block(0, c0, nb, nb);
               kern::unmqr(Trans::Yes,
-                          ConstMatrixView<double>(factored_.tile(op.killer, k)),
+                          ConstMatrixView<T>(factored_.tile(op.killer, k)),
                           op.t->cview(), slice);
               break;
             }
-            case QrOp::Kind::Ts: {
+            case QrKind::Ts: {
               auto top = rb(op.killer).block(0, c0, nb, nb);
               auto bottom = rb(op.killed).block(0, c0, nb, nb);
               kern::tsmqr(Trans::Yes,
-                          ConstMatrixView<double>(factored_.tile(op.killed, k)),
+                          ConstMatrixView<T>(factored_.tile(op.killed, k)),
                           op.t->cview(), top, bottom);
               break;
             }
-            case QrOp::Kind::Tt: {
+            case QrKind::Tt: {
               auto top = rb(op.killer).block(0, c0, nb, nb);
               auto bottom = rb(op.killed).block(0, c0, nb, nb);
               kern::ttmqr(Trans::Yes,
-                          ConstMatrixView<double>(factored_.tile(op.killed, k)),
+                          ConstMatrixView<T>(factored_.tile(op.killed, k)),
                           op.t->cview(), top, bottom);
               break;
             }
@@ -342,7 +355,8 @@ void Factorization::apply_transformations_wide(Matrix<double>& wb) const {
   }
 }
 
-void Factorization::solve_triangular_wide(Matrix<double>& wb) const {
+template <typename T>
+void FactorizationT<T>::solve_triangular_wide(Matrix<T>& wb) const {
   const int n = factored_.mt();
   const int nb = factored_.nb();
   const int wp = wb.cols();
@@ -350,7 +364,7 @@ void Factorization::solve_triangular_wide(Matrix<double>& wb) const {
 
   for (int k = n - 1; k >= 0; --k) {
     const auto diag = factored_.tile(k, k);
-    const StepRecord* rec = nullptr;
+    const StepRecordT<T>* rec = nullptr;
     if (k < static_cast<int>(stats_.steps.size()) &&
         stats_.steps[static_cast<std::size_t>(k)].kind == StepKind::LU) {
       rec = &stats_.steps[static_cast<std::size_t>(k)];
@@ -359,46 +373,299 @@ void Factorization::solve_triangular_wide(Matrix<double>& wb) const {
     const bool b2 = rec && rec->variant == LuVariant::B2;
     auto bk = rb(k);
     for (int j = k + 1; j < n; ++j)
-      wide_gemm(nb, -1.0, ConstMatrixView<double>(factored_.tile(k, j)),
-                ConstMatrixView<double>(rb(j)), 1.0, bk);
+      wide_gemm(nb, T(-1), ConstMatrixView<T>(factored_.tile(k, j)),
+                ConstMatrixView<T>(rb(j)), T(1), bk);
     if (b1) {
       kern::laswp(bk, rec->diag_piv, /*forward=*/true);
-      kern::trsm(Side::Left, Uplo::Lower, Trans::No, Diag::Unit, 1.0,
-                 ConstMatrixView<double>(diag), bk);
+      kern::trsm(Side::Left, Uplo::Lower, Trans::No, Diag::Unit, T(1),
+                 ConstMatrixView<T>(diag), bk);
     } else if (b2) {
       LUQR_REQUIRE(wp % nb == 0, "wide rhs must be tile-padded for B2");
       for (int c0 = 0; c0 < wp; c0 += nb) {
         auto slice = bk.block(0, c0, nb, nb);
-        kern::unmqr(Trans::Yes, ConstMatrixView<double>(diag),
+        kern::unmqr(Trans::Yes, ConstMatrixView<T>(diag),
                     rec->diag_t->cview(), slice);
       }
     }
-    kern::trsm(Side::Left, Uplo::Upper, Trans::No, Diag::NonUnit, 1.0,
-               ConstMatrixView<double>(diag), bk);
+    kern::trsm(Side::Left, Uplo::Upper, Trans::No, Diag::NonUnit, T(1),
+               ConstMatrixView<T>(diag), bk);
   }
+}
+
+template <typename T>
+std::size_t FactorizationT<T>::memory_bytes() const {
+  std::size_t bytes = sizeof(*this);
+  bytes += factored_.allocated_bytes();
+  bytes += static_cast<std::size_t>(original_.rows()) * original_.cols() *
+           sizeof(T);
+  for (const StepLogT<T>& step : log_) {
+    bytes += sizeof(StepLogT<T>);
+    bytes += step.domain_rows.size() * sizeof(int) + step.piv.size() * sizeof(int);
+    if (step.diag_t)
+      bytes += static_cast<std::size_t>(step.diag_t->rows()) *
+               step.diag_t->cols() * sizeof(T);
+    for (const QrOpT<T>& op : step.qr_ops) {
+      bytes += sizeof(QrOpT<T>);
+      if (op.t)
+        bytes += static_cast<std::size_t>(op.t->rows()) * op.t->cols() *
+                 sizeof(T);
+    }
+  }
+  for (const StepRecordT<T>& rec : stats_.steps) {
+    bytes += sizeof(StepRecordT<T>) + rec.diag_piv.size() * sizeof(int);
+    // rec.diag_t aliases the log's diag_t (shared_ptr); counted once above.
+  }
+  return bytes;
+}
+
+template class FactorizationT<double>;
+template class FactorizationT<float>;
+
+// ---------------------------------------------------------------------------
+// Factorization: the precision-aware public handle
+// ---------------------------------------------------------------------------
+
+namespace {
+
+template <typename Dst, typename Src>
+Matrix<Dst> convert_matrix(const Matrix<Src>& m) {
+  Matrix<Dst> out(m.rows(), m.cols());
+  for (int j = 0; j < m.cols(); ++j)
+    for (int i = 0; i < m.rows(); ++i)
+      out(i, j) = static_cast<Dst>(m(i, j));
+  return out;
+}
+
+// Widen a float step trace to the double record type for reporting. The
+// B2 diagonal T factors are engine-internal (the float solve path replays
+// them); the widened summary drops them.
+FactorizationStats widen_stats(const FactorizationStatsT<float>& s) {
+  FactorizationStats out;
+  out.lu_steps = s.lu_steps;
+  out.qr_steps = s.qr_steps;
+  out.growth_factor = s.growth_factor;
+  out.steps.reserve(s.steps.size());
+  for (const StepRecordT<float>& r : s.steps) {
+    StepRecord w;
+    w.k = r.k;
+    w.kind = r.kind;
+    w.variant = r.variant;
+    w.inv_norm_akk = r.inv_norm_akk;
+    w.max_below = r.max_below;
+    w.diag_piv = r.diag_piv;
+    out.steps.push_back(std::move(w));
+  }
+  return out;
+}
+
+// Scaled residual max_j ||r_j||_inf / (anorm ||x_j||_inf + ||b_j||_inf) —
+// the per-column HPL-style backward error the IR loop drives down and the
+// report surfaces.
+double scaled_residual(const Matrix<double>& r, const Matrix<double>& x,
+                       const Matrix<double>& b, double anorm) {
+  double worst = 0.0;
+  for (int j = 0; j < r.cols(); ++j) {
+    double rn = 0.0, xn = 0.0, bn = 0.0;
+    for (int i = 0; i < r.rows(); ++i) {
+      rn = std::max(rn, std::abs(r(i, j)));
+      xn = std::max(xn, std::abs(x(i, j)));
+      bn = std::max(bn, std::abs(b(i, j)));
+    }
+    const double denom = anorm * xn + bn;
+    worst = std::max(worst, denom > 0.0 ? rn / denom
+                                        : (rn > 0.0
+                                               ? std::numeric_limits<double>::infinity()
+                                               : 0.0));
+  }
+  return worst;
+}
+
+}  // namespace
+
+Factorization Factorization::compute(const Matrix<double>& a,
+                                     Criterion& criterion, int nb,
+                                     const HybridOptions& options) {
+  Factorization f;
+  f.precision_ = Precision::F64;
+  f.f64_ = std::make_shared<FactorizationT<double>>(
+      FactorizationT<double>::compute(a, criterion, nb, options));
+  f.n_scalar_ = f.f64_->order();
+  f.nb_ = f.f64_->tile_size();
+  f.options_ = options;
+  return f;
+}
+
+Factorization Factorization::adopt(const Matrix<double>& original,
+                                   TileMatrix<double> factored,
+                                   FactorizationStats stats, TransformLog log,
+                                   const HybridOptions& options) {
+  Factorization f;
+  f.precision_ = Precision::F64;
+  f.f64_ = std::make_shared<FactorizationT<double>>(
+      FactorizationT<double>::adopt(original, std::move(factored),
+                                    std::move(stats), std::move(log), options));
+  f.n_scalar_ = f.f64_->order();
+  f.nb_ = f.f64_->tile_size();
+  f.options_ = options;
+  return f;
+}
+
+Factorization Factorization::adopt_f32(const Matrix<double>& original,
+                                       TileMatrix<float> factored,
+                                       FactorizationStatsT<float> stats,
+                                       TransformLogT<float> log,
+                                       const HybridOptions& options,
+                                       Precision precision,
+                                       const RefineOptions& refine,
+                                       const CriterionSpec* fallback) {
+  LUQR_REQUIRE(precision == Precision::F32 || precision == Precision::F32_IR,
+               "adopt_f32: precision must be F32 or F32_IR");
+  LUQR_REQUIRE(precision != Precision::F32_IR || fallback != nullptr,
+               "adopt_f32: F32_IR needs a fallback criterion spec");
+  Factorization f;
+  f.precision_ = precision;
+  f.refine_ = refine;
+  f.original_ = original;
+  f.stats_summary_ = widen_stats(stats);
+  f.f32_ = std::make_shared<FactorizationT<float>>(
+      FactorizationT<float>::adopt(convert_matrix<float>(original),
+                                   std::move(factored), std::move(stats),
+                                   std::move(log), options));
+  f.n_scalar_ = f.f32_->order();
+  f.nb_ = f.f32_->tile_size();
+  f.options_ = options;
+  if (fallback) {
+    f.has_fallback_spec_ = true;
+    f.fallback_spec_ = *fallback;
+  }
+  f.fallback_ = std::make_shared<FallbackSlot>();
+  return f;
+}
+
+const FactorizationStats& Factorization::stats() const {
+  return f64_ ? f64_->stats() : stats_summary_;
+}
+
+Matrix<double> Factorization::solve_through_f32(const Matrix<double>& rhs,
+                                                int refinement_sweeps,
+                                                RhsPath path) const {
+  const Matrix<float> narrowed = convert_matrix<float>(rhs);
+  return convert_matrix<double>(f32_->solve(narrowed, refinement_sweeps, path));
+}
+
+const FactorizationT<double>& Factorization::fallback_f64() const {
+  std::lock_guard<std::mutex> lk(fallback_->mu);
+  if (!fallback_->fac) {
+    LUQR_REQUIRE(has_fallback_spec_,
+                 "F32_IR fallback requested without a criterion spec");
+    const auto crit = make_criterion(fallback_spec_);
+    fallback_->fac = std::make_shared<FactorizationT<double>>(
+        FactorizationT<double>::compute(original_, *crit, nb_, options_));
+  }
+  return *fallback_->fac;
+}
+
+Matrix<double> Factorization::solve(const Matrix<double>& b,
+                                    int refinement_sweeps, RhsPath path) const {
+  return solve(b, nullptr, refinement_sweeps, path);
+}
+
+Matrix<double> Factorization::solve(const Matrix<double>& b, SolveReport* report,
+                                    int refinement_sweeps, RhsPath path) const {
+  SolveReport rep;
+  rep.precision = precision_;
+
+  if (precision_ == Precision::F64) {
+    Matrix<double> x = f64_->solve(b, refinement_sweeps, path);
+    if (report) *report = rep;
+    return x;
+  }
+
+  if (precision_ == Precision::F32) {
+    Matrix<double> x = solve_through_f32(b, refinement_sweeps, path);
+    if (report) *report = rep;
+    return x;
+  }
+
+  // F32_IR: LU-IR against the retained f64 original. Each iteration solves
+  // the correction through the f32 factors and re-evaluates the f64 scaled
+  // residual; the loop runs until it stops making progress (two consecutive
+  // iterations that fail to halve the best residual) or hits the cap, so a
+  // converging solve is driven all the way to its f64 limiting accuracy —
+  // not merely to the tolerance — and the report's residual is comparable
+  // to a pure-f64 solve's.
+  const double eps = std::numeric_limits<double>::epsilon();
+  const double tol = refine_.tolerance > 0.0
+                         ? refine_.tolerance
+                         : 4.0 * std::max(n_scalar_, 1) * eps;
+  const double anorm =
+      kern::lange(kern::Norm::Inf, original_.cview());
+
+  Matrix<double> x = solve_through_f32(b, 0, path);
+  Matrix<double> r(b.rows(), b.cols());
+  auto residual_of = [&](const Matrix<double>& xx) {
+    r = b;
+    kern::gemm(Trans::No, Trans::No, -1.0, original_.cview(), xx.cview(), 1.0,
+               r.view());
+    return scaled_residual(r, xx, b, anorm);
+  };
+
+  double rho = residual_of(x);
+  Matrix<double> best_x = x;
+  double best_rho = rho;
+  int iters = 0;
+  int stall = 0;
+  while (iters < refine_.max_iterations && stall < 2 && best_rho > eps &&
+         std::isfinite(rho)) {
+    // r currently holds b - A x for the latest x.
+    const Matrix<double> d = solve_through_f32(r, 0, path);
+    for (int j = 0; j < x.cols(); ++j)
+      for (int i = 0; i < x.rows(); ++i) x(i, j) += d(i, j);
+    ++iters;
+    rho = residual_of(x);
+    stall = (std::isfinite(rho) && rho < 0.5 * best_rho) ? 0 : stall + 1;
+    if (std::isfinite(rho) && rho < best_rho) {
+      best_rho = rho;
+      best_x = x;
+    } else {
+      // Restore the best iterate so a diverging correction never degrades
+      // the result (and the residual buffer matches it again).
+      x = best_x;
+      residual_of(x);
+    }
+  }
+
+  rep.refine_iterations = iters;
+  rep.converged = best_rho <= tol;
+  rep.residual = best_rho;
+
+  if (!rep.converged && has_fallback_spec_) {
+    // Refinement stalled above the tolerance: refactor in f64 and serve the
+    // solve from the full-precision factors, reporting the fallback.
+    Matrix<double> xf = fallback_f64().solve(b, refinement_sweeps, path);
+    rep.fell_back = true;
+    rep.residual = residual_of(xf);
+    rep.converged = rep.residual <= tol;
+    if (report) *report = rep;
+    return xf;
+  }
+
+  if (report) *report = rep;
+  return best_x;
 }
 
 std::size_t Factorization::memory_bytes() const {
   std::size_t bytes = sizeof(*this);
-  bytes += factored_.allocated_bytes();
-  bytes += static_cast<std::size_t>(original_.rows()) * original_.cols() *
-           sizeof(double);
-  for (const StepLog& step : log_) {
-    bytes += sizeof(StepLog);
-    bytes += step.domain_rows.size() * sizeof(int) + step.piv.size() * sizeof(int);
-    if (step.diag_t)
-      bytes += static_cast<std::size_t>(step.diag_t->rows()) *
-               step.diag_t->cols() * sizeof(double);
-    for (const QrOp& op : step.qr_ops) {
-      bytes += sizeof(QrOp);
-      if (op.t)
-        bytes += static_cast<std::size_t>(op.t->rows()) * op.t->cols() *
-                 sizeof(double);
-    }
+  if (f64_) bytes += f64_->memory_bytes();
+  if (f32_) {
+    bytes += f32_->memory_bytes();
+    // The retained f64 original (the engine's copy is float).
+    bytes += static_cast<std::size_t>(original_.rows()) * original_.cols() *
+             sizeof(double);
   }
-  for (const StepRecord& rec : stats_.steps) {
-    bytes += sizeof(StepRecord) + rec.diag_piv.size() * sizeof(int);
-    // rec.diag_t aliases the log's diag_t (shared_ptr); counted once above.
+  if (fallback_) {
+    std::lock_guard<std::mutex> lk(fallback_->mu);
+    if (fallback_->fac) bytes += fallback_->fac->memory_bytes();
   }
   return bytes;
 }

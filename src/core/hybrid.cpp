@@ -11,11 +11,14 @@
 
 namespace luqr::core {
 
-double max_trailing_tile_norm(const TileMatrix<double>& a, int k) {
+template <typename T>
+double max_trailing_tile_norm(const TileMatrix<T>& a, int k) {
   double best = 0.0;
   for (int j = k; j < a.mt(); ++j)
     for (int i = k; i < a.mt(); ++i)
-      best = std::max(best, kern::lange(kern::Norm::One, a.tile(i, j)));
+      best = std::max(best, static_cast<double>(kern::lange(
+                                kern::Norm::One,
+                                kern::ConstMatrixView<T>(a.tile(i, j)))));
   return best;
 }
 
@@ -39,22 +42,23 @@ std::vector<int> rows_for_scope(const ProcessGrid& grid, PivotScope scope, int k
 
 }  // namespace
 
-FactorizationStats hybrid_factor(TileMatrix<double>& a, Criterion& criterion,
-                                 const HybridOptions& options,
-                                 TransformLog* log) {
+template <typename T>
+FactorizationStatsT<T> hybrid_factor(TileMatrix<T>& a, Criterion& criterion,
+                                     const HybridOptions& options,
+                                     TransformLogT<T>* log) {
   if (log) log->clear();
   const int n = a.mt();
   LUQR_REQUIRE(a.nt() >= n, "hybrid_factor: matrix must contain its square part");
   const ProcessGrid grid(options.grid_p, options.grid_q);
 
-  FactorizationStats stats;
+  FactorizationStatsT<T> stats;
   double initial_max = 0.0;
   if (options.track_growth) {
     initial_max = max_trailing_tile_norm(a, 0);
     stats.growth_factor = 1.0;
   }
 
-  std::vector<std::vector<double>> backup;
+  std::vector<std::vector<T>> backup;
   for (int k = 0; k < n; ++k) {
     // A2/B1/B2 factor the diagonal tile only (paper §II-C); A1 uses the
     // configured pivot scope.
@@ -72,7 +76,7 @@ FactorizationStats hybrid_factor(TileMatrix<double>& a, Criterion& criterion,
     // Check.
     const bool lu = criterion.accept_lu(pf.stats);
 
-    StepRecord rec;
+    StepRecordT<T> rec;
     rec.k = k;
     rec.kind = lu ? StepKind::LU : StepKind::QR;
     rec.variant = options.variant;
@@ -83,7 +87,7 @@ FactorizationStats hybrid_factor(TileMatrix<double>& a, Criterion& criterion,
     if (lu && options.variant == LuVariant::B2) rec.diag_t = pf.diag_t;
     stats.steps.push_back(rec);
 
-    StepLog* step_log = nullptr;
+    StepLogT<T>* step_log = nullptr;
     if (log) {
       log->emplace_back();
       step_log = &log->back();
@@ -125,7 +129,8 @@ FactorizationStats hybrid_factor(TileMatrix<double>& a, Criterion& criterion,
   return stats;
 }
 
-void back_substitute(TileMatrix<double>& a, const FactorizationStats* stats) {
+template <typename T>
+void back_substitute(TileMatrix<T>& a, const FactorizationStatsT<T>* stats) {
   const int n = a.mt();
   const int nt = a.nt();
   LUQR_REQUIRE(nt > n, "back_substitute: no right-hand-side tile columns");
@@ -133,7 +138,7 @@ void back_substitute(TileMatrix<double>& a, const FactorizationStats* stats) {
     const auto diag = a.tile(k, k);
     // B-variant LU steps leave the *original* A_kk factored in place of the
     // diagonal tile (block upper triangular result); replay its factors.
-    const StepRecord* rec = nullptr;
+    const StepRecordT<T>* rec = nullptr;
     if (stats && k < static_cast<int>(stats->steps.size()) &&
         stats->steps[static_cast<std::size_t>(k)].kind == StepKind::LU) {
       rec = &stats->steps[static_cast<std::size_t>(k)];
@@ -144,25 +149,40 @@ void back_substitute(TileMatrix<double>& a, const FactorizationStats* stats) {
       auto bk = a.tile(k, b);
       // y <- b_k - sum_{j>k} U_kj x_j
       for (int j = k + 1; j < n; ++j)
-        kern::gemm(kern::Trans::No, kern::Trans::No, -1.0,
-                   kern::ConstMatrixView<double>(a.tile(k, j)),
-                   kern::ConstMatrixView<double>(a.tile(j, b)), 1.0, bk);
+        kern::gemm(kern::Trans::No, kern::Trans::No, T(-1),
+                   kern::ConstMatrixView<T>(a.tile(k, j)),
+                   kern::ConstMatrixView<T>(a.tile(j, b)), T(1), bk);
       if (b1) {
         // x_k = A_kk^{-1} y = U^{-1} L^{-1} P y.
         kern::laswp(bk, rec->diag_piv, /*forward=*/true);
         kern::trsm(kern::Side::Left, kern::Uplo::Lower, kern::Trans::No,
-                   kern::Diag::Unit, 1.0, kern::ConstMatrixView<double>(diag), bk);
+                   kern::Diag::Unit, T(1), kern::ConstMatrixView<T>(diag), bk);
       } else if (b2) {
         // x_k = A_kk^{-1} y = R^{-1} Q^T y.
-        kern::unmqr(kern::Trans::Yes, kern::ConstMatrixView<double>(diag),
+        kern::unmqr(kern::Trans::Yes, kern::ConstMatrixView<T>(diag),
                     rec->diag_t->cview(), bk);
       }
       kern::trsm(kern::Side::Left, kern::Uplo::Upper, kern::Trans::No,
-                 kern::Diag::NonUnit, 1.0, kern::ConstMatrixView<double>(diag), bk);
+                 kern::Diag::NonUnit, T(1), kern::ConstMatrixView<T>(diag), bk);
     }
   }
 }
 
 std::string to_string(StepKind k) { return k == StepKind::LU ? "LU" : "QR"; }
+
+template double max_trailing_tile_norm(const TileMatrix<double>&, int);
+template double max_trailing_tile_norm(const TileMatrix<float>&, int);
+template FactorizationStatsT<double> hybrid_factor(TileMatrix<double>&,
+                                                   Criterion&,
+                                                   const HybridOptions&,
+                                                   TransformLogT<double>*);
+template FactorizationStatsT<float> hybrid_factor(TileMatrix<float>&,
+                                                  Criterion&,
+                                                  const HybridOptions&,
+                                                  TransformLogT<float>*);
+template void back_substitute(TileMatrix<double>&,
+                              const FactorizationStatsT<double>*);
+template void back_substitute(TileMatrix<float>&,
+                              const FactorizationStatsT<float>*);
 
 }  // namespace luqr::core

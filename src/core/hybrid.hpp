@@ -47,7 +47,10 @@ enum class StepKind { LU, QR };
 enum class LuVariant { A1, A2, B1, B2 };
 
 /// Per-step trace entry (drives the %LU-steps experiments and debugging).
-struct StepRecord {
+/// Templated on the working scalar; criterion-facing statistics stay double
+/// at every precision (the criteria are precision-agnostic).
+template <typename T>
+struct StepRecordT {
   int k = 0;
   StepKind kind = StepKind::LU;
   LuVariant variant = LuVariant::A1;
@@ -57,8 +60,10 @@ struct StepRecord {
   /// A_kk^{-1} during the block back-substitution).
   std::vector<int> diag_piv;
   /// B2 only: the block-reflector factor of the diagonal-tile GEQRT.
-  std::shared_ptr<Matrix<double>> diag_t;
+  std::shared_ptr<Matrix<T>> diag_t;
 };
+
+using StepRecord = StepRecordT<double>;
 
 /// Factorization configuration.
 struct HybridOptions {
@@ -72,12 +77,15 @@ struct HybridOptions {
 };
 
 /// Factorization outcome and trace.
-struct FactorizationStats {
-  std::vector<StepRecord> steps;
+template <typename T>
+struct FactorizationStatsT {
+  std::vector<StepRecordT<T>> steps;
   int lu_steps = 0;
   int qr_steps = 0;
   /// max_k max_{ij} ||A^{(k)}_ij||_1 / max_{ij} ||A_ij||_1 over the trailing
   /// submatrices, when track_growth is set (the quantity bounded in §III).
+  /// Reduced in double at every precision (same float tile norms, same
+  /// double arithmetic, so serial==parallel stays bitwise).
   double growth_factor = 1.0;
 
   double lu_fraction() const {
@@ -85,6 +93,8 @@ struct FactorizationStats {
     return total == 0 ? 0.0 : static_cast<double>(lu_steps) / total;
   }
 };
+
+using FactorizationStats = FactorizationStatsT<double>;
 
 /// Factor the augmented tiled matrix in place. The first mt() tile columns
 /// are the (square) system matrix; any further columns (e.g. the RHS) are
@@ -95,9 +105,10 @@ struct FactorizationStats {
 /// When `log` is non-null, every transformation is recorded so it can be
 /// replayed on fresh right-hand sides later (paper §II-D-1's second-pass
 /// alternative; see core::Factorization for the retained-factorization API).
-FactorizationStats hybrid_factor(TileMatrix<double>& a, Criterion& criterion,
-                                 const HybridOptions& options = {},
-                                 TransformLog* log = nullptr);
+template <typename T>
+FactorizationStatsT<T> hybrid_factor(TileMatrix<T>& a, Criterion& criterion,
+                                     const HybridOptions& options = {},
+                                     TransformLogT<T>* log = nullptr);
 
 /// Back-substitution for the (tile or block) upper triangular system
 /// produced by hybrid_factor: solves U X = B where B is the tile columns
@@ -105,14 +116,17 @@ FactorizationStats hybrid_factor(TileMatrix<double>& a, Criterion& criterion,
 /// used the B1/B2 variants, pass the stats so the block-diagonal solves can
 /// replay the stored diagonal factors; A-variant factorizations may pass
 /// nullptr.
-void back_substitute(TileMatrix<double>& a,
-                     const FactorizationStats* stats = nullptr);
+template <typename T>
+void back_substitute(TileMatrix<T>& a,
+                     const FactorizationStatsT<T>* stats = nullptr);
 
 std::string to_string(StepKind k);
 
 /// Max tile 1-norm over the square trailing submatrix rows/cols >= k — the
 /// quantity whose step-over-step ratio is the growth factor both drivers
-/// report under HybridOptions::track_growth.
-double max_trailing_tile_norm(const TileMatrix<double>& a, int k);
+/// report under HybridOptions::track_growth. Widened to double at every
+/// precision so the growth reduction is precision-uniform.
+template <typename T>
+double max_trailing_tile_norm(const TileMatrix<T>& a, int k);
 
 }  // namespace luqr::core

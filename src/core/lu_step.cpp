@@ -16,7 +16,8 @@ namespace {
 
 // Swap global element rows (t1, r1) and (t2, r2) (tile, in-tile row) across
 // all trailing tile columns [j0, nt).
-void swap_trailing_rows(TileMatrix<double>& a, int j0, int t1, int r1, int t2,
+template <typename T>
+void swap_trailing_rows(TileMatrix<T>& a, int j0, int t1, int r1, int t2,
                         int r2) {
   if (t1 == t2 && r1 == r2) return;
   for (int j = j0; j < a.nt(); ++j) {
@@ -28,7 +29,8 @@ void swap_trailing_rows(TileMatrix<double>& a, int j0, int t1, int r1, int t2,
 
 }  // namespace
 
-void apply_lu_step(TileMatrix<double>& a, const PanelFactorization& pf) {
+template <typename T>
+void apply_lu_step(TileMatrix<T>& a, const PanelFactorizationT<T>& pf) {
   const int k = pf.k;
   const int n = a.mt();
   const int nb = a.nb();
@@ -51,8 +53,8 @@ void apply_lu_step(TileMatrix<double>& a, const PanelFactorization& pf) {
   const auto diag = a.tile(k, k);
   for (int j = k + 1; j < nt; ++j) {
     auto akj = a.tile(k, j);
-    kern::trsm(Side::Left, Uplo::Lower, Trans::No, Diag::Unit, 1.0,
-               kern::ConstMatrixView<double>(diag), akj);
+    kern::trsm(Side::Left, Uplo::Lower, Trans::No, Diag::Unit, T(1),
+               kern::ConstMatrixView<T>(diag), akj);
   }
 
   // Eliminate: non-domain rows solve against U11; domain rows below k
@@ -60,8 +62,8 @@ void apply_lu_step(TileMatrix<double>& a, const PanelFactorization& pf) {
   for (int i = k + 1; i < n; ++i) {
     if (in_domain[static_cast<std::size_t>(i)]) continue;
     auto aik = a.tile(i, k);
-    kern::trsm(Side::Right, Uplo::Upper, Trans::No, Diag::NonUnit, 1.0,
-               kern::ConstMatrixView<double>(diag), aik);
+    kern::trsm(Side::Right, Uplo::Upper, Trans::No, Diag::NonUnit, T(1),
+               kern::ConstMatrixView<T>(diag), aik);
   }
 
   // Update: the embarrassingly parallel Schur complement.
@@ -69,8 +71,8 @@ void apply_lu_step(TileMatrix<double>& a, const PanelFactorization& pf) {
     const auto aik = a.tile(i, k);
     for (int j = k + 1; j < nt; ++j) {
       auto aij = a.tile(i, j);
-      kern::gemm(Trans::No, Trans::No, -1.0, kern::ConstMatrixView<double>(aik),
-                 kern::ConstMatrixView<double>(a.tile(k, j)), 1.0, aij);
+      kern::gemm(Trans::No, Trans::No, T(-1), kern::ConstMatrixView<T>(aik),
+                 kern::ConstMatrixView<T>(a.tile(k, j)), T(1), aij);
     }
   }
 }
@@ -78,13 +80,14 @@ void apply_lu_step(TileMatrix<double>& a, const PanelFactorization& pf) {
 namespace {
 
 // Shared trailing update A_ij -= A_ik * A_kj for all i, j > k.
-void schur_update(TileMatrix<double>& a, int k) {
+template <typename T>
+void schur_update(TileMatrix<T>& a, int k) {
   for (int i = k + 1; i < a.mt(); ++i) {
     const auto aik = a.tile(i, k);
     for (int j = k + 1; j < a.nt(); ++j) {
       auto aij = a.tile(i, j);
-      kern::gemm(Trans::No, Trans::No, -1.0, kern::ConstMatrixView<double>(aik),
-                 kern::ConstMatrixView<double>(a.tile(k, j)), 1.0, aij);
+      kern::gemm(Trans::No, Trans::No, T(-1), kern::ConstMatrixView<T>(aik),
+                 kern::ConstMatrixView<T>(a.tile(k, j)), T(1), aij);
     }
   }
 }
@@ -93,7 +96,8 @@ void schur_update(TileMatrix<double>& a, int k) {
 // forward laswp pivot vector: N = M * P with (P x)_i = x_{arr[i]}, i.e.
 // N(:, j) = M(:, pos[j]) where pos inverts the swap simulation. Used by the
 // B1 eliminate stage (A_kk^{-1} = U^{-1} L^{-1} P).
-void permute_columns_right(kern::MatrixView<double> m, const std::vector<int>& piv) {
+template <typename T>
+void permute_columns_right(kern::MatrixView<T> m, const std::vector<int>& piv) {
   const int n = m.cols;
   std::vector<int> arr(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) arr[static_cast<std::size_t>(i)] = i;
@@ -102,21 +106,21 @@ void permute_columns_right(kern::MatrixView<double> m, const std::vector<int>& p
               arr[static_cast<std::size_t>(piv[static_cast<std::size_t>(j)])]);
   std::vector<int> pos(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) pos[static_cast<std::size_t>(arr[static_cast<std::size_t>(i)])] = i;
-  std::vector<double> tmp(static_cast<std::size_t>(m.rows) * n);
-  kern::MatrixView<double> t(tmp.data(), m.rows, n, m.rows);
+  std::vector<T> tmp(static_cast<std::size_t>(m.rows) * n);
+  kern::MatrixView<T> t(tmp.data(), m.rows, n, m.rows);
   for (int j = 0; j < n; ++j)
     for (int i = 0; i < m.rows; ++i)
       t(i, j) = m(i, pos[static_cast<std::size_t>(j)]);
-  kern::copy(kern::ConstMatrixView<double>(t), m);
+  kern::copy(kern::ConstMatrixView<T>(t), m);
 }
 
 // Right-multiply M in place by Q^T from a GEQRT factorization (V, T):
 // M Q^T = (Q M^T)^T, realized through a transpose buffer.
-void apply_qt_from_right(kern::MatrixView<double> m,
-                         kern::ConstMatrixView<double> v,
-                         kern::ConstMatrixView<double> t) {
-  std::vector<double> buf(static_cast<std::size_t>(m.rows) * m.cols);
-  kern::MatrixView<double> mt(buf.data(), m.cols, m.rows, m.cols);
+template <typename T>
+void apply_qt_from_right(kern::MatrixView<T> m, kern::ConstMatrixView<T> v,
+                         kern::ConstMatrixView<T> t) {
+  std::vector<T> buf(static_cast<std::size_t>(m.rows) * m.cols);
+  kern::MatrixView<T> mt(buf.data(), m.cols, m.rows, m.cols);
   for (int j = 0; j < m.cols; ++j)
     for (int i = 0; i < m.rows; ++i) mt(j, i) = m(i, j);
   kern::unmqr(Trans::No, v, t, mt);  // Q * M^T
@@ -126,24 +130,26 @@ void apply_qt_from_right(kern::MatrixView<double> m,
 
 }  // namespace
 
-void apply_lu_step_a2(TileMatrix<double>& a, const PanelFactorization& pf) {
+template <typename T>
+void apply_lu_step_a2(TileMatrix<T>& a, const PanelFactorizationT<T>& pf) {
   const int k = pf.k;
   LUQR_REQUIRE(pf.diag_t != nullptr, "A2 step needs the diagonal T factor");
   const auto diag = a.tile(k, k);  // V below diagonal, R above
   // Apply: A_kj <- Q^T A_kj.
   for (int j = k + 1; j < a.nt(); ++j)
-    kern::unmqr(Trans::Yes, kern::ConstMatrixView<double>(diag),
-                pf.diag_t->cview(), a.tile(k, j));
+    kern::unmqr(Trans::Yes, kern::ConstMatrixView<T>(diag), pf.diag_t->cview(),
+                a.tile(k, j));
   // Eliminate: A_ik <- A_ik R^{-1}.
   for (int i = k + 1; i < a.mt(); ++i) {
     auto aik = a.tile(i, k);
-    kern::trsm(Side::Right, Uplo::Upper, Trans::No, Diag::NonUnit, 1.0,
-               kern::ConstMatrixView<double>(diag), aik);
+    kern::trsm(Side::Right, Uplo::Upper, Trans::No, Diag::NonUnit, T(1),
+               kern::ConstMatrixView<T>(diag), aik);
   }
   schur_update(a, k);
 }
 
-void apply_lu_step_b1(TileMatrix<double>& a, const PanelFactorization& pf) {
+template <typename T>
+void apply_lu_step_b1(TileMatrix<T>& a, const PanelFactorizationT<T>& pf) {
   const int k = pf.k;
   const auto diag = a.tile(k, k);  // L\U factors of the diagonal tile
   // Eliminate: A_ik <- A_ik A_kk^{-1} = A_ik U^{-1} L^{-1} P. Row k is not
@@ -151,28 +157,38 @@ void apply_lu_step_b1(TileMatrix<double>& a, const PanelFactorization& pf) {
   // diagonal row — the communication saving §II-C-2 notes.
   for (int i = k + 1; i < a.mt(); ++i) {
     auto aik = a.tile(i, k);
-    kern::trsm(Side::Right, Uplo::Upper, Trans::No, Diag::NonUnit, 1.0,
-               kern::ConstMatrixView<double>(diag), aik);
-    kern::trsm(Side::Right, Uplo::Lower, Trans::No, Diag::Unit, 1.0,
-               kern::ConstMatrixView<double>(diag), aik);
+    kern::trsm(Side::Right, Uplo::Upper, Trans::No, Diag::NonUnit, T(1),
+               kern::ConstMatrixView<T>(diag), aik);
+    kern::trsm(Side::Right, Uplo::Lower, Trans::No, Diag::Unit, T(1),
+               kern::ConstMatrixView<T>(diag), aik);
     permute_columns_right(aik, pf.piv);
   }
   schur_update(a, k);
 }
 
-void apply_lu_step_b2(TileMatrix<double>& a, const PanelFactorization& pf) {
+template <typename T>
+void apply_lu_step_b2(TileMatrix<T>& a, const PanelFactorizationT<T>& pf) {
   const int k = pf.k;
   LUQR_REQUIRE(pf.diag_t != nullptr, "B2 step needs the diagonal T factor");
   const auto diag = a.tile(k, k);  // V\R factors of the diagonal tile
   // Eliminate: A_ik <- A_ik A_kk^{-1} = A_ik R^{-1} Q^T; row k untouched.
   for (int i = k + 1; i < a.mt(); ++i) {
     auto aik = a.tile(i, k);
-    kern::trsm(Side::Right, Uplo::Upper, Trans::No, Diag::NonUnit, 1.0,
-               kern::ConstMatrixView<double>(diag), aik);
-    apply_qt_from_right(aik, kern::ConstMatrixView<double>(diag),
+    kern::trsm(Side::Right, Uplo::Upper, Trans::No, Diag::NonUnit, T(1),
+               kern::ConstMatrixView<T>(diag), aik);
+    apply_qt_from_right(aik, kern::ConstMatrixView<T>(diag),
                         pf.diag_t->cview());
   }
   schur_update(a, k);
 }
+
+template void apply_lu_step(TileMatrix<double>&, const PanelFactorizationT<double>&);
+template void apply_lu_step(TileMatrix<float>&, const PanelFactorizationT<float>&);
+template void apply_lu_step_a2(TileMatrix<double>&, const PanelFactorizationT<double>&);
+template void apply_lu_step_a2(TileMatrix<float>&, const PanelFactorizationT<float>&);
+template void apply_lu_step_b1(TileMatrix<double>&, const PanelFactorizationT<double>&);
+template void apply_lu_step_b1(TileMatrix<float>&, const PanelFactorizationT<float>&);
+template void apply_lu_step_b2(TileMatrix<double>&, const PanelFactorizationT<double>&);
+template void apply_lu_step_b2(TileMatrix<float>&, const PanelFactorizationT<float>&);
 
 }  // namespace luqr::core

@@ -19,20 +19,24 @@ namespace luqr::core {
 
 /// Apply the accepted LU step to the trailing matrix (all tile columns
 /// j > k, including augmented RHS columns). Variant A1.
-void apply_lu_step(TileMatrix<double>& a, const PanelFactorization& pf);
+template <typename T>
+void apply_lu_step(TileMatrix<T>& a, const PanelFactorizationT<T>& pf);
 
 /// Variant A2 (paper §II-C-1): the diagonal tile was GEQRT-factored
 /// (factor_panel_qr_tile); apply Q^T to row k, eliminate against R, GEMM
 /// update. Same dependencies and result shape as A1.
-void apply_lu_step_a2(TileMatrix<double>& a, const PanelFactorization& pf);
+template <typename T>
+void apply_lu_step_a2(TileMatrix<T>& a, const PanelFactorizationT<T>& pf);
 
 /// Variant B1 (paper §II-C-2, block LU): the diagonal tile was
 /// GETRF-factored with tile-local pivoting; the eliminate stage multiplies
 /// by the full A_kk^{-1} and row k is left untouched, so the final matrix is
 /// only block upper triangular.
-void apply_lu_step_b1(TileMatrix<double>& a, const PanelFactorization& pf);
+template <typename T>
+void apply_lu_step_b1(TileMatrix<T>& a, const PanelFactorizationT<T>& pf);
 
 /// Variant B2: block LU with a GEQRT-factored diagonal tile.
-void apply_lu_step_b2(TileMatrix<double>& a, const PanelFactorization& pf);
+template <typename T>
+void apply_lu_step_b2(TileMatrix<T>& a, const PanelFactorizationT<T>& pf);
 
 }  // namespace luqr::core

@@ -16,7 +16,10 @@ namespace {
 // diagonal (Max/Sum criteria) and per-column maxima inside/outside the
 // diagonal domain (MUMPS criterion). These are the values at the beginning
 // of step k, collected concurrently with the factorization in the paper.
-void gather_panel_stats(const TileMatrix<double>& a, int k,
+// Reduced-precision panels widen each scalar to double so every criterion
+// sees the same PanelInfo type regardless of the working precision.
+template <typename T>
+void gather_panel_stats(const TileMatrix<T>& a, int k,
                         const std::vector<int>& domain_rows, PanelInfo& stats) {
   const int n = a.mt();
   const int nb = a.nb();
@@ -24,8 +27,8 @@ void gather_panel_stats(const TileMatrix<double>& a, int k,
   for (int r : domain_rows) in_domain[static_cast<std::size_t>(r)] = true;
 
   for (int i = k + 1; i < n; ++i)
-    stats.below_tile_norms.push_back(
-        kern::lange(kern::Norm::One, a.tile(i, k)));
+    stats.below_tile_norms.push_back(static_cast<double>(
+        kern::lange(kern::Norm::One, ConstMatrixView<T>(a.tile(i, k)))));
   stats.local_max.assign(static_cast<std::size_t>(nb), 0.0);
   stats.away_max.assign(static_cast<std::size_t>(nb), 0.0);
   for (int i = k; i < n; ++i) {
@@ -34,22 +37,23 @@ void gather_panel_stats(const TileMatrix<double>& a, int k,
                                                        : stats.away_max;
     for (int j = 0; j < nb; ++j) {
       double m = 0.0;
-      for (int r = 0; r < nb; ++r) m = std::max(m, std::abs(tile(r, j)));
+      for (int r = 0; r < nb; ++r)
+        m = std::max(m, std::abs(static_cast<double>(tile(r, j))));
       dst[static_cast<std::size_t>(j)] = std::max(dst[static_cast<std::size_t>(j)], m);
     }
   }
 }
 
 // Backup-Panel: deep copies of the tiles the factor stage will overwrite.
-void backup_tiles(const TileMatrix<double>& a, int k,
-                  const std::vector<int>& rows,
-                  std::vector<std::vector<double>>& backup) {
+template <typename T>
+void backup_tiles(const TileMatrix<T>& a, int k, const std::vector<int>& rows,
+                  std::vector<std::vector<T>>& backup) {
   const int nb = a.nb();
   backup.clear();
   backup.reserve(rows.size());
   for (int r : rows) {
     auto tile = a.tile(r, k);
-    std::vector<double> buf(static_cast<std::size_t>(nb) * nb);
+    std::vector<T> buf(static_cast<std::size_t>(nb) * nb);
     for (int j = 0; j < nb; ++j)
       for (int i = 0; i < nb; ++i) buf[static_cast<std::size_t>(j) * nb + i] = tile(i, j);
     backup.push_back(std::move(buf));
@@ -58,16 +62,17 @@ void backup_tiles(const TileMatrix<double>& a, int k,
 
 }  // namespace
 
-PanelFactorization factor_panel(TileMatrix<double>& a, int k,
-                                const std::vector<int>& domain_rows,
-                                bool exact_inv_norm,
-                                std::vector<std::vector<double>>& backup) {
+template <typename T>
+PanelFactorizationT<T> factor_panel(TileMatrix<T>& a, int k,
+                                    const std::vector<int>& domain_rows,
+                                    bool exact_inv_norm,
+                                    std::vector<std::vector<T>>& backup) {
   const int n = a.mt();
   const int nb = a.nb();
   LUQR_REQUIRE(!domain_rows.empty() && domain_rows[0] == k,
                "factor_panel: domain must start at the diagonal row");
 
-  PanelFactorization pf;
+  PanelFactorizationT<T> pf;
   pf.k = k;
   pf.domain_rows = domain_rows;
   pf.stats.k = k;
@@ -78,8 +83,8 @@ PanelFactorization factor_panel(TileMatrix<double>& a, int k,
 
   // Stacked LU with partial pivoting over the domain.
   const int d = static_cast<int>(domain_rows.size());
-  std::vector<double> stack_buf(static_cast<std::size_t>(d) * nb * nb);
-  MatrixView<double> stack(stack_buf.data(), d * nb, nb, d * nb);
+  std::vector<T> stack_buf(static_cast<std::size_t>(d) * nb * nb);
+  MatrixView<T> stack(stack_buf.data(), d * nb, nb, d * nb);
   for (int t = 0; t < d; ++t) {
     auto tile = a.tile(domain_rows[static_cast<std::size_t>(t)], k);
     for (int j = 0; j < nb; ++j)
@@ -94,26 +99,28 @@ PanelFactorization factor_panel(TileMatrix<double>& a, int k,
 
   pf.stats.pivots.assign(static_cast<std::size_t>(nb), 0.0);
   for (int j = 0; j < nb; ++j)
-    pf.stats.pivots[static_cast<std::size_t>(j)] = std::abs(stack(j, j));
+    pf.stats.pivots[static_cast<std::size_t>(j)] =
+        std::abs(static_cast<double>(stack(j, j)));
   pf.stats.factor_failed = pf.info != 0;
   if (!pf.stats.factor_failed) {
     // The pivoted diagonal tile is L11*U11 = the top nb x nb of the stack
     // (its permutation is external, so the factor pair needs no laswp).
-    ConstMatrixView<double> top(stack.data, nb, nb, d * nb);
+    ConstMatrixView<T> top(stack.data, nb, nb, d * nb);
     const std::vector<int> no_piv;
-    const double inv_norm = exact_inv_norm
-                                ? kern::norm1_inv_exact(top, no_piv)
-                                : kern::norm1_inv_estimate(top, no_piv);
+    const double inv_norm = static_cast<double>(
+        exact_inv_norm ? kern::norm1_inv_exact(top, no_piv)
+                       : kern::norm1_inv_estimate(top, no_piv));
     pf.stats.inv_norm_akk = inv_norm;
     if (!std::isfinite(inv_norm)) pf.stats.factor_failed = true;
   }
   return pf;
 }
 
-PanelFactorization factor_panel_qr_tile(TileMatrix<double>& a, int k,
-                                        std::vector<std::vector<double>>& backup) {
+template <typename T>
+PanelFactorizationT<T> factor_panel_qr_tile(TileMatrix<T>& a, int k,
+                                            std::vector<std::vector<T>>& backup) {
   const int nb = a.nb();
-  PanelFactorization pf;
+  PanelFactorizationT<T> pf;
   pf.k = k;
   pf.domain_rows = {k};
   pf.stats.k = k;
@@ -122,19 +129,32 @@ PanelFactorization factor_panel_qr_tile(TileMatrix<double>& a, int k,
   gather_panel_stats(a, k, pf.domain_rows, pf.stats);
   backup_tiles(a, k, pf.domain_rows, backup);
 
-  pf.diag_t = std::make_shared<Matrix<double>>(nb, nb);
+  pf.diag_t = std::make_shared<Matrix<T>>(nb, nb);
   auto tile = a.tile(k, k);
   kern::geqrt(tile, pf.diag_t->view());
 
   pf.stats.pivots.assign(static_cast<std::size_t>(nb), 0.0);
   for (int j = 0; j < nb; ++j)
-    pf.stats.pivots[static_cast<std::size_t>(j)] = std::abs(tile(j, j));
+    pf.stats.pivots[static_cast<std::size_t>(j)] =
+        std::abs(static_cast<double>(tile(j, j)));
   // ||A_kk^{-1}||_1 = ||R^{-1} Q^T||_1; ||R^{-1}||_1 matches it up to the
   // orthogonal factor's norm equivalence, which is all the criteria need.
-  const double inv_norm = kern::norm1_inv_upper_exact(ConstMatrixView<double>(tile));
+  const double inv_norm = static_cast<double>(
+      kern::norm1_inv_upper_exact(ConstMatrixView<T>(tile)));
   pf.stats.inv_norm_akk = inv_norm;
   pf.stats.factor_failed = !std::isfinite(inv_norm);
   return pf;
 }
+
+template PanelFactorizationT<double> factor_panel(
+    TileMatrix<double>&, int, const std::vector<int>&, bool,
+    std::vector<std::vector<double>>&);
+template PanelFactorizationT<float> factor_panel(
+    TileMatrix<float>&, int, const std::vector<int>&, bool,
+    std::vector<std::vector<float>>&);
+template PanelFactorizationT<double> factor_panel_qr_tile(
+    TileMatrix<double>&, int, std::vector<std::vector<double>>&);
+template PanelFactorizationT<float> factor_panel_qr_tile(
+    TileMatrix<float>&, int, std::vector<std::vector<float>>&);
 
 }  // namespace luqr::core

@@ -16,8 +16,12 @@
 
 namespace luqr::core {
 
-/// Result of the panel factor stage at step k.
-struct PanelFactorization {
+/// Result of the panel factor stage at step k. Templated on the working
+/// scalar; the criterion statistics (PanelInfo) stay double at every
+/// precision — reduced-precision panels widen their norms and pivots so the
+/// per-panel LU-vs-QR decision runs through the exact same criteria.
+template <typename T>
+struct PanelFactorizationT {
   int k = 0;
   std::vector<int> domain_rows;  ///< tile rows of the diagonal domain, k first
   std::vector<int> piv;          ///< stacked-row pivots (0-based within the stack)
@@ -25,8 +29,10 @@ struct PanelFactorization {
   PanelInfo stats;               ///< criterion inputs (norms, pivots, maxima)
   /// A2/B2: the diagonal tile was factored with GEQRT instead; this is its
   /// block-reflector factor (empty for LU-factored panels).
-  std::shared_ptr<Matrix<double>> diag_t;
+  std::shared_ptr<Matrix<T>> diag_t;
 };
+
+using PanelFactorization = PanelFactorizationT<double>;
 
 /// Back up the domain tiles of column k into `backup`, gather the panel
 /// statistics (tile 1-norms below the diagonal, per-column local/away
@@ -36,16 +42,18 @@ struct PanelFactorization {
 /// On return the domain tiles of column k hold the L\U factors of the
 /// stacked panel; all other tiles are untouched. Row interchanges have NOT
 /// been applied to trailing columns yet (that is the LU path's Apply).
-PanelFactorization factor_panel(TileMatrix<double>& a, int k,
-                                const std::vector<int>& domain_rows,
-                                bool exact_inv_norm,
-                                std::vector<std::vector<double>>& backup);
+template <typename T>
+PanelFactorizationT<T> factor_panel(TileMatrix<T>& a, int k,
+                                    const std::vector<int>& domain_rows,
+                                    bool exact_inv_norm,
+                                    std::vector<std::vector<T>>& backup);
 
 /// Variant A2/B2 factor stage: GEQRT on the diagonal tile only (no
 /// pivoting). Panel statistics are collected exactly as in factor_panel;
 /// ||A_kk^{-1}||_1 is taken as ||R^{-1}||_1 (equal up to the orthogonal
 /// factor) and the MUMPS pivots as |R_jj|.
-PanelFactorization factor_panel_qr_tile(TileMatrix<double>& a, int k,
-                                        std::vector<std::vector<double>>& backup);
+template <typename T>
+PanelFactorizationT<T> factor_panel_qr_tile(TileMatrix<T>& a, int k,
+                                            std::vector<std::vector<T>>& backup);
 
 }  // namespace luqr::core

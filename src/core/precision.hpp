@@ -1,0 +1,61 @@
+// Working precision of a factorization and the mixed-precision solve report.
+//
+// The paper's per-panel speed-vs-stability tradeoff (LU when safe, QR when
+// not) extends across the precision axis: factor in f32 where the kernels
+// run ~2x faster, then recover f64 accuracy with LU-IR-style iterative
+// refinement against the retained f64 original. When refinement cannot
+// reach the f64 tolerance (ill-conditioned beyond 1/eps_f32, pathological
+// growth), the solve falls back to an f64 refactorization and says so —
+// reduced precision never silently returns a low-accuracy solution.
+#pragma once
+
+#include <string>
+
+namespace luqr::core {
+
+/// Working precision of the factorization.
+enum class Precision {
+  F64,     ///< factor and solve entirely in double (the default)
+  F32,     ///< factor and solve in float; results carry f32 accuracy
+  F32_IR,  ///< factor in float, refine each solve to f64 accuracy
+           ///< (with an f64 refactorization fallback when refinement stalls)
+};
+
+/// Iterative-refinement controls for Precision::F32_IR.
+struct RefineOptions {
+  /// Correction solves per refinement loop before declaring failure.
+  int max_iterations = 20;
+  /// Scaled-residual convergence target
+  /// max_j ||b_j - A x_j||_inf / (||A||_inf ||x_j||_inf + ||b_j||_inf).
+  /// 0 (the default) means 4 * N * eps_f64.
+  double tolerance = 0.0;
+};
+
+/// Outcome of one Factorization::solve, surfaced per precision.
+struct SolveReport {
+  Precision precision = Precision::F64;
+  /// F32_IR: correction solves performed (0 when the first residual already
+  /// met the tolerance). 0 for F64/F32.
+  int refine_iterations = 0;
+  /// F32_IR: the returned x meets the f64 tolerance (possibly via the
+  /// fallback). Always true for F64; true for F32 (which promises only f32
+  /// accuracy and checks nothing).
+  bool converged = true;
+  /// F32_IR only: refinement stalled and the solve was served by an f64
+  /// refactorization of the retained original.
+  bool fell_back = false;
+  /// F32_IR: the scaled residual of the returned x. Negative when the solve
+  /// did not evaluate a residual (F64/F32 paths).
+  double residual = -1.0;
+};
+
+inline std::string to_string(Precision p) {
+  switch (p) {
+    case Precision::F64: return "f64";
+    case Precision::F32: return "f32";
+    case Precision::F32_IR: return "f32_ir";
+  }
+  return "?";
+}
+
+}  // namespace luqr::core

@@ -10,9 +10,10 @@ namespace luqr::core {
 using kern::ConstMatrixView;
 using kern::Trans;
 
-void apply_qr_step(TileMatrix<double>& a, int k,
+template <typename T>
+void apply_qr_step(TileMatrix<T>& a, int k,
                    const std::vector<std::vector<int>>& domains,
-                   const hqr::TreeConfig& tree, StepLog* log) {
+                   const hqr::TreeConfig& tree, StepLogT<T>* log) {
   const int n = a.mt();
   const int nb = a.nb();
   const int nt = a.nt();
@@ -20,14 +21,13 @@ void apply_qr_step(TileMatrix<double>& a, int k,
   const auto list = hqr::elimination_list(domains, tree);
 
   std::vector<bool> triangular(static_cast<std::size_t>(n), false);
-  Matrix<double> scratch_t(nb, nb);  // reused when no log is kept
+  Matrix<T> scratch_t(nb, nb);  // reused when no log is kept
 
   // Hand out a T factor: a persistent one when logging (the replay needs
   // it), the shared scratch tile otherwise.
-  auto next_t = [&](QrOp::Kind kind, int killer,
-                    int killed) -> kern::MatrixView<double> {
+  auto next_t = [&](QrKind kind, int killer, int killed) -> kern::MatrixView<T> {
     if (!log) return scratch_t.view();
-    auto t = std::make_shared<Matrix<double>>(nb, nb);
+    auto t = std::make_shared<Matrix<T>>(nb, nb);
     log->qr_ops.push_back({kind, killer, killed, t});
     return t->view();
   };
@@ -35,33 +35,33 @@ void apply_qr_step(TileMatrix<double>& a, int k,
   // GEQRT the row's panel tile (once) and apply Q^T to its trailing tiles.
   auto ensure_triangular = [&](int row) {
     if (triangular[static_cast<std::size_t>(row)]) return;
-    auto t = next_t(QrOp::Kind::Geqrt, row, row);
+    auto t = next_t(QrKind::Geqrt, row, row);
     auto v = a.tile(row, k);
     kern::geqrt(v, t);
     for (int j = k + 1; j < nt; ++j)
-      kern::unmqr(Trans::Yes, ConstMatrixView<double>(v),
-                  ConstMatrixView<double>(t), a.tile(row, j));
+      kern::unmqr(Trans::Yes, ConstMatrixView<T>(v), ConstMatrixView<T>(t),
+                  a.tile(row, j));
     triangular[static_cast<std::size_t>(row)] = true;
   };
 
   for (const auto& e : list) {
     if (e.kernel == hqr::ElimKernel::TS) {
       ensure_triangular(e.killer);
-      auto t = next_t(QrOp::Kind::Ts, e.killer, e.killed);
+      auto t = next_t(QrKind::Ts, e.killer, e.killed);
       kern::tsqrt(a.tile(e.killer, k), a.tile(e.killed, k), t);
       for (int j = k + 1; j < nt; ++j)
-        kern::tsmqr(Trans::Yes, ConstMatrixView<double>(a.tile(e.killed, k)),
-                    ConstMatrixView<double>(t), a.tile(e.killer, j),
+        kern::tsmqr(Trans::Yes, ConstMatrixView<T>(a.tile(e.killed, k)),
+                    ConstMatrixView<T>(t), a.tile(e.killer, j),
                     a.tile(e.killed, j));
       // The killed tile now stores a square V block; it can no longer act.
     } else {
       ensure_triangular(e.killer);
       ensure_triangular(e.killed);
-      auto t = next_t(QrOp::Kind::Tt, e.killer, e.killed);
+      auto t = next_t(QrKind::Tt, e.killer, e.killed);
       kern::ttqrt(a.tile(e.killer, k), a.tile(e.killed, k), t);
       for (int j = k + 1; j < nt; ++j)
-        kern::ttmqr(Trans::Yes, ConstMatrixView<double>(a.tile(e.killed, k)),
-                    ConstMatrixView<double>(t), a.tile(e.killer, j),
+        kern::ttmqr(Trans::Yes, ConstMatrixView<T>(a.tile(e.killed, k)),
+                    ConstMatrixView<T>(t), a.tile(e.killer, j),
                     a.tile(e.killed, j));
     }
   }
@@ -70,5 +70,12 @@ void apply_qr_step(TileMatrix<double>& a, int k,
   // matrix is tile upper triangular.
   if (list.empty()) ensure_triangular(k);
 }
+
+template void apply_qr_step(TileMatrix<double>&, int,
+                            const std::vector<std::vector<int>>&,
+                            const hqr::TreeConfig&, StepLogT<double>*);
+template void apply_qr_step(TileMatrix<float>&, int,
+                            const std::vector<std::vector<int>>&,
+                            const hqr::TreeConfig&, StepLogT<float>*);
 
 }  // namespace luqr::core

@@ -21,8 +21,9 @@ namespace luqr::core {
 /// ProcessGrid::panel_domains). When `log` is non-null, the block-reflector
 /// factors are retained and every orthogonal operation is recorded in
 /// execution order so the step can be replayed on a fresh RHS.
-void apply_qr_step(TileMatrix<double>& a, int k,
+template <typename T>
+void apply_qr_step(TileMatrix<T>& a, int k,
                    const std::vector<std::vector<int>>& domains,
-                   const hqr::TreeConfig& tree, StepLog* log = nullptr);
+                   const hqr::TreeConfig& tree, StepLogT<T>* log = nullptr);
 
 }  // namespace luqr::core

@@ -2,15 +2,15 @@
 
 namespace luqr::core {
 
-TileMatrix<double> make_augmented(const Matrix<double>& a, const Matrix<double>& b,
-                                  int nb) {
+template <typename T>
+TileMatrix<T> make_augmented(const Matrix<T>& a, const Matrix<T>& b, int nb) {
   LUQR_REQUIRE(a.rows() == a.cols(), "system matrix must be square");
   LUQR_REQUIRE(b.rows() == a.rows(), "rhs row count mismatch");
   LUQR_REQUIRE(nb > 0, "tile size must be positive");
   const int n_scalar = a.rows();
   const int mt = (n_scalar + nb - 1) / nb;
   const int bt = (b.cols() + nb - 1) / nb;
-  TileMatrix<double> aug(mt, mt + bt, nb);
+  TileMatrix<T> aug(mt, mt + bt, nb);
   // Square part with identity padding (keeps the padded system nonsingular
   // and the padded solution tail exactly zero).
   for (int j = 0; j < mt * nb; ++j) {
@@ -18,7 +18,7 @@ TileMatrix<double> make_augmented(const Matrix<double>& a, const Matrix<double>&
       if (i < n_scalar && j < n_scalar) {
         aug.at(i, j) = a(i, j);
       } else if (i == j) {
-        aug.at(i, j) = 1.0;
+        aug.at(i, j) = T(1);
       }
     }
   }
@@ -28,15 +28,22 @@ TileMatrix<double> make_augmented(const Matrix<double>& a, const Matrix<double>&
   return aug;
 }
 
-Matrix<double> extract_solution(const TileMatrix<double>& aug, int n_scalar,
-                                int nrhs) {
+template <typename T>
+Matrix<T> extract_solution(const TileMatrix<T>& aug, int n_scalar, int nrhs) {
   const int nb = aug.nb();
   const int mt = aug.mt();
-  Matrix<double> x(n_scalar, nrhs);
+  Matrix<T> x(n_scalar, nrhs);
   for (int j = 0; j < nrhs; ++j)
     for (int i = 0; i < n_scalar; ++i) x(i, j) = aug.at(i, mt * nb + j);
   return x;
 }
+
+template TileMatrix<double> make_augmented(const Matrix<double>&,
+                                           const Matrix<double>&, int);
+template TileMatrix<float> make_augmented(const Matrix<float>&,
+                                          const Matrix<float>&, int);
+template Matrix<double> extract_solution(const TileMatrix<double>&, int, int);
+template Matrix<float> extract_solution(const TileMatrix<float>&, int, int);
 
 // hybrid_solve is a thin wrapper over the luqr::Solver facade; its
 // definition lives in api/solver.cpp so this layer never includes upward.

@@ -6,14 +6,19 @@
 #pragma once
 
 #include "core/hybrid.hpp"
+#include "core/precision.hpp"
 #include "kernels/dense.hpp"
 
 namespace luqr::core {
 
-/// Result of a dense solve.
+/// Result of a dense solve. `x` and `stats` are always double-typed: a
+/// reduced-precision solve widens its factors' trace and (F32_IR) refines
+/// the solution back to f64; `report` says which precision ran and how the
+/// refinement went.
 struct SolveResult {
   Matrix<double> x;          ///< N x nrhs solution
   FactorizationStats stats;  ///< per-step LU/QR trace
+  SolveReport report;        ///< precision + refinement outcome
 };
 
 /// Solve A x = b. `a` is N x N, `b` is N x nrhs, `nb` the tile size (any
@@ -25,12 +30,12 @@ SolveResult hybrid_solve(const Matrix<double>& a, const Matrix<double>& b,
 /// Build the augmented tiled matrix [A | b] with identity padding on the
 /// square part and zero padding on the RHS rows. Exposed for drivers that
 /// want to run hybrid_factor / back_substitute themselves.
-TileMatrix<double> make_augmented(const Matrix<double>& a, const Matrix<double>& b,
-                                  int nb);
+template <typename T>
+TileMatrix<T> make_augmented(const Matrix<T>& a, const Matrix<T>& b, int nb);
 
 /// Extract the N x nrhs solution from an augmented matrix after
 /// back_substitute.
-Matrix<double> extract_solution(const TileMatrix<double>& aug, int n_scalar,
-                                int nrhs);
+template <typename T>
+Matrix<T> extract_solution(const TileMatrix<T>& aug, int n_scalar, int nrhs);
 
 }  // namespace luqr::core

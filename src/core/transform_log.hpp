@@ -6,6 +6,9 @@
 // The in-place factored matrix already holds the L blocks and Householder
 // vectors; the log adds what is *not* in the tiles: the pivot sequences,
 // the block-reflector T factors, and the order of the QR eliminations.
+//
+// Templated on the working scalar (float for the reduced-precision path,
+// double for the default); the unsuffixed names are the double aliases.
 #pragma once
 
 #include <memory>
@@ -15,26 +18,36 @@
 
 namespace luqr::core {
 
+/// Kind of one orthogonal operation of a QR elimination step.
+enum class QrKind { Geqrt, Ts, Tt };
+
 /// One orthogonal operation of a QR elimination step, in execution order.
-struct QrOp {
-  enum class Kind { Geqrt, Ts, Tt };
-  Kind kind = Kind::Geqrt;
+template <typename T>
+struct QrOpT {
+  using Kind = QrKind;
+  QrKind kind = QrKind::Geqrt;
   int killer = 0;  ///< for Geqrt: the factored row (killed unused)
   int killed = 0;
-  std::shared_ptr<Matrix<double>> t;  ///< block-reflector factor
+  std::shared_ptr<Matrix<T>> t;  ///< block-reflector factor
 };
 
 /// Replay record for one elimination step.
-struct StepLog {
+template <typename T>
+struct StepLogT {
   bool lu = true;
   // LU-step data (variant-dependent; unused fields stay empty):
   std::vector<int> domain_rows;  ///< A1: stacked domain rows (k first)
   std::vector<int> piv;          ///< A1/B1: pivot sequence of the factor stage
-  std::shared_ptr<Matrix<double>> diag_t;  ///< A2/B2: diagonal GEQRT T factor
+  std::shared_ptr<Matrix<T>> diag_t;  ///< A2/B2: diagonal GEQRT T factor
   // QR-step data:
-  std::vector<QrOp> qr_ops;  ///< ordered orthogonal operations
+  std::vector<QrOpT<T>> qr_ops;  ///< ordered orthogonal operations
 };
 
-using TransformLog = std::vector<StepLog>;
+template <typename T>
+using TransformLogT = std::vector<StepLogT<T>>;
+
+using QrOp = QrOpT<double>;
+using StepLog = StepLogT<double>;
+using TransformLog = TransformLogT<double>;
 
 }  // namespace luqr::core

@@ -276,23 +276,32 @@ void trmm(Side side, Uplo uplo, Trans trans, Diag diag, T alpha,
       }
     }
   } else {
-    // tri(i, l) = element (i, l) of op(A) restricted to the stored triangle.
-    auto tri = [&](int i, int l) -> T {
-      const int r = trans == Trans::No ? i : l;
-      const int c = trans == Trans::No ? l : i;
-      const bool stored = (uplo == Uplo::Lower) ? (r >= c) : (r <= c);
-      if (!stored) return T(0);
-      if (r == c && unit) return T(1);
-      return a(r, c);
-    };
-    std::vector<T> tmp(static_cast<std::size_t>(n));
-    for (int i = 0; i < m; ++i) {
-      for (int j = 0; j < n; ++j) {
-        T acc = T(0);
-        for (int l = 0; l < n; ++l) acc += b(i, l) * tri(l, j);
-        tmp[static_cast<std::size_t>(j)] = alpha * acc;
+    // B <- alpha B op(A), in-place column axpy form mirroring the Left
+    // path: column j of the result is a combination of the columns op(A)
+    // feeds it from (l <= j when op(A) is upper, l >= j when lower), so
+    // traversing columns away from the diagonal's feed direction —
+    // descending for upper, ascending for lower — overwrites each column
+    // only after every column that reads it. All inner loops are contiguous
+    // column axpys (unit stride in B both sides), replacing the old per-row
+    // triangle-lambda form that branched on storedness per element.
+    const bool op_upper = (uplo == Uplo::Upper) == (trans == Trans::No);
+    const int jb = op_upper ? n - 1 : 0;
+    const int je = op_upper ? -1 : n;
+    const int jstep = op_upper ? -1 : 1;
+    for (int j = jb; j != je; j += jstep) {
+      T* bj = &b(0, j);
+      const T djj = unit ? T(1) : a(j, j);
+      if (djj != T(1))
+        for (int i = 0; i < m; ++i) bj[i] *= djj;
+      const int lb = op_upper ? 0 : j + 1;
+      const int le = op_upper ? j : n;
+      for (int l = lb; l < le; ++l) {
+        const T coef = trans == Trans::No ? a(l, j) : a(j, l);
+        const T* bl = &b(0, l);
+        for (int i = 0; i < m; ++i) bj[i] += coef * bl[i];
       }
-      for (int j = 0; j < n; ++j) b(i, j) = tmp[static_cast<std::size_t>(j)];
+      if (alpha != T(1))
+        for (int i = 0; i < m; ++i) bj[i] *= alpha;
     }
   }
 }

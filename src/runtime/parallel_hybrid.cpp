@@ -17,11 +17,8 @@
 
 namespace luqr::rt {
 
-using core::FactorizationStats;
 using core::HybridOptions;
-using core::PanelFactorization;
 using core::StepKind;
-using core::StepRecord;
 using kern::ConstMatrixView;
 using kern::Diag;
 using kern::Side;
@@ -34,21 +31,23 @@ namespace {
 // panel factorization, the backup, the decision, the QR block-reflector
 // factors, and (track_growth) the running max over the final value of each
 // trailing tile. Kept alive until the engine drains.
+template <typename T>
 struct StepContext {
-  PanelFactorization pf;
-  std::vector<std::vector<double>> backup;
+  core::PanelFactorizationT<T> pf;
+  std::vector<std::vector<T>> backup;
   bool lu = false;
   // One T factor per QR factor kernel (geqrt per row, then one per
   // elimination), allocated up front so pointers are stable task keys.
   // Shared with the TransformLog when one is kept: the tasks fill these in,
   // the log's QrOps reference the same storage.
-  std::vector<std::shared_ptr<Matrix<double>>> t_factors;
+  std::vector<std::shared_ptr<Matrix<T>>> t_factors;
   // track_growth: max tile 1-norm over the trailing submatrix (rows/cols
   // >= k+1) *after* this step, reduced task-by-task: every update task that
   // performs the final write of a trailing tile contributes that tile's
-  // norm. The contributions are bitwise the values the sequential driver's
-  // full sweep reads, and max is order-insensitive, so the reduced growth
-  // factor matches the sequential one exactly.
+  // norm. The contributions are (widened to double, exactly as the
+  // sequential driver widens them) bitwise the values the sequential
+  // driver's full sweep reads, and max is order-insensitive, so the reduced
+  // growth factor matches the sequential one exactly at every precision.
   std::atomic<double> step_max{0.0};
 };
 
@@ -76,8 +75,9 @@ void atomic_max(std::atomic<double>& m, double v) {
 // engine-global error/quiescence machinery: every task is guarded into a
 // per-driver error slot, and completion is a sentinel task that reads every
 // tile — it runs strictly after all of this run's tasks, and only them.
+template <typename T>
 struct Driver {
-  TileMatrix<double>& a;
+  TileMatrix<T>& a;
   Criterion& criterion;
   const HybridOptions& options;
   SchedulerOptions sched;
@@ -85,9 +85,9 @@ struct Driver {
   int n;                      // tile rows of the square part
   bool growth;                // options.track_growth
   double initial_max = 0.0;   // growth baseline: max tile norm of A
-  FactorizationStats stats;   // appended to by the decision chain, in k order
-  core::TransformLog* log = nullptr;
-  std::vector<std::unique_ptr<StepContext>> steps;
+  core::FactorizationStatsT<T> stats;  // appended by the decision chain, in k order
+  core::TransformLogT<T>* log = nullptr;
+  std::vector<std::unique_ptr<StepContext<T>>> steps;
   const bool external;  // running on a caller-provided engine
   std::mutex error_mu;
   std::exception_ptr error;            // first failure of this run
@@ -97,7 +97,7 @@ struct Driver {
   std::unique_ptr<Engine> owned;
   Engine& engine;
 
-  Driver(TileMatrix<double>& a_, Criterion& criterion_,
+  Driver(TileMatrix<T>& a_, Criterion& criterion_,
          const HybridOptions& options_, const SchedulerOptions& sched_,
          int num_threads)
       : a(a_),
@@ -112,7 +112,7 @@ struct Driver {
         owned(std::make_unique<Engine>(num_threads, engine_options(sched_))),
         engine(*owned) {}
 
-  Driver(Engine& engine_, TileMatrix<double>& a_, Criterion& criterion_,
+  Driver(Engine& engine_, TileMatrix<T>& a_, Criterion& criterion_,
          const HybridOptions& options_, const SchedulerOptions& sched_)
       : a(a_),
         criterion(criterion_),
@@ -203,7 +203,9 @@ struct Driver {
 };
 
 // Swap the trailing tiles of column j according to the stacked pivots.
-void swap_column(TileMatrix<double>& a, const PanelFactorization& pf, int j) {
+template <typename T>
+void swap_column(TileMatrix<T>& a, const core::PanelFactorizationT<T>& pf,
+                 int j) {
   const int nb = a.nb();
   for (int s = 0; s < static_cast<int>(pf.piv.size()); ++s) {
     const int p = pf.piv[static_cast<std::size_t>(s)];
@@ -217,13 +219,14 @@ void swap_column(TileMatrix<double>& a, const PanelFactorization& pf, int j) {
   }
 }
 
-void submit_lu_step(Driver& d, StepContext& ctx) {
-  TileMatrix<double>& a = d.a;
+template <typename T>
+void submit_lu_step(Driver<T>& d, StepContext<T>& ctx) {
+  TileMatrix<T>& a = d.a;
   const int k = ctx.pf.k;
   const int n = d.n;
   const int nt = a.nt();
   const bool growth = d.growth;
-  StepContext* c = &ctx;
+  StepContext<T>* c = &ctx;
   std::vector<bool> in_domain(static_cast<std::size_t>(n), false);
   for (int r : ctx.pf.domain_rows) in_domain[static_cast<std::size_t>(r)] = true;
 
@@ -237,7 +240,7 @@ void submit_lu_step(Driver& d, StepContext& ctx) {
         [&a, c, j, k] {
           swap_column(a, c->pf, j);
           auto akj = a.tile(k, j);
-          kern::trsm(Side::Left, Uplo::Lower, Trans::No, Diag::Unit, 1.0,
+          kern::trsm(Side::Left, Uplo::Lower, Trans::No, Diag::Unit, T(1),
                      std::as_const(a).tile(k, k), akj);
         },
         deps, {"swptrsm", d.lane_swptrsm(k, j), k});
@@ -249,7 +252,7 @@ void submit_lu_step(Driver& d, StepContext& ctx) {
     d.submit(
         [&a, i, k] {
           auto aik = a.tile(i, k);
-          kern::trsm(Side::Right, Uplo::Upper, Trans::No, Diag::NonUnit, 1.0,
+          kern::trsm(Side::Right, Uplo::Upper, Trans::No, Diag::NonUnit, T(1),
                      std::as_const(a).tile(k, k), aik);
         },
         {{a.tile_key(i, k), Access::ReadWrite}, {a.tile_key(k, k), Access::Read}},
@@ -265,12 +268,12 @@ void submit_lu_step(Driver& d, StepContext& ctx) {
             // per worker, reused by every task that lands on it.
             kern::Workspace& ws = kern::tls_workspace();
             auto aij = a.tile(i, j);
-            kern::gemm(Trans::No, Trans::No, -1.0, std::as_const(a).tile(i, k),
-                       std::as_const(a).tile(k, j), 1.0, aij, &ws);
+            kern::gemm(Trans::No, Trans::No, T(-1), std::as_const(a).tile(i, k),
+                       std::as_const(a).tile(k, j), T(1), aij, &ws);
             if (growth && j < n)
               atomic_max(c->step_max,
-                         kern::lange(kern::Norm::One,
-                                     ConstMatrixView<double>(aij)));
+                         static_cast<double>(kern::lange(
+                             kern::Norm::One, ConstMatrixView<T>(aij))));
           },
           {{a.tile_key(i, j), Access::ReadWrite},
            {a.tile_key(i, k), Access::Read},
@@ -280,14 +283,16 @@ void submit_lu_step(Driver& d, StepContext& ctx) {
   }
 }
 
-void submit_qr_step(Driver& d, StepContext& ctx, core::StepLog* step_log) {
-  TileMatrix<double>& a = d.a;
+template <typename T>
+void submit_qr_step(Driver<T>& d, StepContext<T>& ctx,
+                    core::StepLogT<T>* step_log) {
+  TileMatrix<T>& a = d.a;
   const int k = ctx.pf.k;
   const int n = d.n;
   const int nb = a.nb();
   const int nt = a.nt();
   const bool growth = d.growth;
-  StepContext* c = &ctx;
+  StepContext<T>* c = &ctx;
 
   // Restore the panel (Propagate's QR branch).
   {
@@ -314,11 +319,11 @@ void submit_qr_step(Driver& d, StepContext& ctx, core::StepLog* step_log) {
   // replay-valid order, so when a log is kept its QrOps are recorded here —
   // referencing T storage the tasks below will fill in.
   std::vector<bool> needs_geqrt(static_cast<std::size_t>(n), false);
-  std::vector<Matrix<double>*> row_t(static_cast<std::size_t>(n), nullptr);
-  std::vector<Matrix<double>*> elim_t;
+  std::vector<Matrix<T>*> row_t(static_cast<std::size_t>(n), nullptr);
+  std::vector<Matrix<T>*> elim_t;
   elim_t.reserve(list.size());
-  auto new_t = [&](core::QrOp::Kind kind, int killer, int killed) {
-    auto t = std::make_shared<Matrix<double>>(nb, nb);
+  auto new_t = [&](core::QrKind kind, int killer, int killed) {
+    auto t = std::make_shared<Matrix<T>>(nb, nb);
     ctx.t_factors.push_back(t);
     if (step_log) step_log->qr_ops.push_back({kind, killer, killed, t});
     return t.get();
@@ -326,20 +331,20 @@ void submit_qr_step(Driver& d, StepContext& ctx, core::StepLog* step_log) {
   auto plan_geqrt = [&](int row) {
     if (needs_geqrt[static_cast<std::size_t>(row)]) return;
     needs_geqrt[static_cast<std::size_t>(row)] = true;
-    row_t[static_cast<std::size_t>(row)] = new_t(core::QrOp::Kind::Geqrt, row, row);
+    row_t[static_cast<std::size_t>(row)] = new_t(core::QrKind::Geqrt, row, row);
   };
   for (const auto& e : list) {
     plan_geqrt(e.killer);
     if (e.kernel == hqr::ElimKernel::TT) plan_geqrt(e.killed);
-    elim_t.push_back(new_t(e.kernel == hqr::ElimKernel::TS ? core::QrOp::Kind::Ts
-                                                           : core::QrOp::Kind::Tt,
+    elim_t.push_back(new_t(e.kernel == hqr::ElimKernel::TS ? core::QrKind::Ts
+                                                           : core::QrKind::Tt,
                            e.killer, e.killed));
   }
   if (list.empty()) plan_geqrt(k);
 
   for (int row = k; row < n; ++row) {
     if (!needs_geqrt[static_cast<std::size_t>(row)]) continue;
-    Matrix<double>* t = row_t[static_cast<std::size_t>(row)];
+    Matrix<T>* t = row_t[static_cast<std::size_t>(row)];
     d.submit(
         [&a, row, k, t] { kern::geqrt(a.tile(row, k), t->view()); },
         {{a.tile_key(row, k), Access::ReadWrite}, {t->data(), Access::Write}},
@@ -359,7 +364,7 @@ void submit_qr_step(Driver& d, StepContext& ctx, core::StepLog* step_log) {
 
   for (std::size_t ei = 0; ei < list.size(); ++ei) {
     const auto& e = list[ei];
-    Matrix<double>* t = elim_t[ei];
+    Matrix<T>* t = elim_t[ei];
     const bool ts = e.kernel == hqr::ElimKernel::TS;
     d.submit(
         [&a, e, k, t, ts] {
@@ -392,8 +397,9 @@ void submit_qr_step(Driver& d, StepContext& ctx, core::StepLog* step_log) {
             }
             if (growth && j < n)
               atomic_max(c->step_max,
-                         kern::lange(kern::Norm::One,
-                                     ConstMatrixView<double>(a.tile(e.killed, j))));
+                         static_cast<double>(kern::lange(
+                             kern::Norm::One,
+                             ConstMatrixView<T>(a.tile(e.killed, j)))));
           },
           {{a.tile_key(e.killer, j), Access::ReadWrite},
            {a.tile_key(e.killed, j), Access::ReadWrite},
@@ -404,7 +410,8 @@ void submit_qr_step(Driver& d, StepContext& ctx, core::StepLog* step_log) {
   }
 }
 
-TaskId submit_step(Driver& d, int k);
+template <typename T>
+TaskId submit_step(Driver<T>& d, int k);
 
 // The post-decision half of the paper's Propagate task: record the step,
 // fan out the LU or QR update graph, and (Continuation mode) submit the
@@ -412,10 +419,11 @@ TaskId submit_step(Driver& d, int k);
 // the submitting thread in JoinPerStep mode — the code path is identical,
 // which is what keeps the two modes (and the sequential driver) bitwise
 // interchangeable.
-void record_and_submit(Driver& d, int k) {
-  StepContext* c = d.steps[static_cast<std::size_t>(k)].get();
+template <typename T>
+void record_and_submit(Driver<T>& d, int k) {
+  StepContext<T>* c = d.steps[static_cast<std::size_t>(k)].get();
 
-  StepRecord rec;
+  core::StepRecordT<T> rec;
   rec.k = k;
   rec.kind = c->lu ? StepKind::LU : StepKind::QR;
   rec.variant = d.options.variant;
@@ -424,7 +432,7 @@ void record_and_submit(Driver& d, int k) {
     rec.max_below = std::max(rec.max_below, nrm);
   d.stats.steps.push_back(rec);
 
-  core::StepLog* step_log = nullptr;
+  core::StepLogT<T>* step_log = nullptr;
   if (d.log) {
     d.log->emplace_back();
     step_log = &d.log->back();
@@ -457,9 +465,10 @@ void record_and_submit(Driver& d, int k) {
 // tiles order it after every update of step k-1 that feeds it, and order the
 // panels themselves sequentially — which is what lets the decision chain
 // append to stats/log without extra synchronization.
-TaskId submit_step(Driver& d, int k) {
-  d.steps[static_cast<std::size_t>(k)] = std::make_unique<StepContext>();
-  StepContext* c = d.steps[static_cast<std::size_t>(k)].get();
+template <typename T>
+TaskId submit_step(Driver<T>& d, int k) {
+  d.steps[static_cast<std::size_t>(k)] = std::make_unique<StepContext<T>>();
+  StepContext<T>* c = d.steps[static_cast<std::size_t>(k)].get();
 
   std::vector<int> domain_rows;
   switch (d.options.scope) {
@@ -482,7 +491,7 @@ TaskId submit_step(Driver& d, int k) {
 
   const bool exact = d.options.exact_inv_norm;
   const bool continuation = d.sched.mode == SubmitMode::Continuation;
-  Driver* dp = &d;
+  Driver<T>* dp = &d;
   // Submitted raw (not via Driver::submit): on an external engine a panel
   // failure must not just be recorded — it cuts the decision chain, so the
   // panel itself routes the error and sends the completion sentinel in the
@@ -504,9 +513,10 @@ TaskId submit_step(Driver& d, int k) {
 
 // Submission/wait phase plus the post-drain bookkeeping, shared by the
 // owned-engine and external-engine entry points.
-FactorizationStats drive(Driver& d, core::TransformLog* log,
-                         const SchedulerOptions& sched,
-                         SchedulerStats* sched_stats) {
+template <typename T>
+core::FactorizationStatsT<T> drive(Driver<T>& d, core::TransformLogT<T>* log,
+                                   const SchedulerOptions& sched,
+                                   SchedulerStats* sched_stats) {
   if (log) log->clear();
   d.log = log;
 
@@ -596,8 +606,8 @@ FactorizationStats drive(Driver& d, core::TransformLog* log,
   return std::move(d.stats);
 }
 
-void validate_factor_args(const TileMatrix<double>& a,
-                          const HybridOptions& options) {
+template <typename T>
+void validate_factor_args(const TileMatrix<T>& a, const HybridOptions& options) {
   LUQR_REQUIRE(options.variant == core::LuVariant::A1,
                "the parallel driver implements variant A1 (the paper's "
                "evaluated variant); use the sequential driver for A2/B1/B2");
@@ -606,32 +616,42 @@ void validate_factor_args(const TileMatrix<double>& a,
 
 }  // namespace
 
-FactorizationStats parallel_hybrid_factor(TileMatrix<double>& a,
-                                          Criterion& criterion,
-                                          const HybridOptions& options,
-                                          int num_threads,
-                                          core::TransformLog* log,
-                                          const SchedulerOptions& sched,
-                                          SchedulerStats* sched_stats) {
+template <typename T>
+core::FactorizationStatsT<T> parallel_hybrid_factor(
+    TileMatrix<T>& a, Criterion& criterion, const HybridOptions& options,
+    int num_threads, detail::non_deduced<core::TransformLogT<T>*> log,
+    const SchedulerOptions& sched, SchedulerStats* sched_stats) {
   validate_factor_args(a, options);
-  Driver d(a, criterion, options, sched, num_threads);
+  Driver<T> d(a, criterion, options, sched, num_threads);
   return drive(d, log, sched, sched_stats);
 }
 
-FactorizationStats parallel_hybrid_factor_on(Engine& engine,
-                                             TileMatrix<double>& a,
-                                             Criterion& criterion,
-                                             const HybridOptions& options,
-                                             core::TransformLog* log,
-                                             const SchedulerOptions& sched,
-                                             SchedulerStats* sched_stats) {
+template <typename T>
+core::FactorizationStatsT<T> parallel_hybrid_factor_on(
+    Engine& engine, TileMatrix<T>& a, Criterion& criterion,
+    const HybridOptions& options,
+    detail::non_deduced<core::TransformLogT<T>*> log,
+    const SchedulerOptions& sched, SchedulerStats* sched_stats) {
   validate_factor_args(a, options);
   LUQR_REQUIRE(!sched.trace,
                "per-task tracing needs a quiescent engine of its own; it is "
                "unavailable on a shared engine");
-  Driver d(engine, a, criterion, options, sched);
+  Driver<T> d(engine, a, criterion, options, sched);
   return drive(d, log, sched, sched_stats);
 }
+
+template core::FactorizationStatsT<double> parallel_hybrid_factor(
+    TileMatrix<double>&, Criterion&, const HybridOptions&, int,
+    core::TransformLogT<double>*, const SchedulerOptions&, SchedulerStats*);
+template core::FactorizationStatsT<float> parallel_hybrid_factor(
+    TileMatrix<float>&, Criterion&, const HybridOptions&, int,
+    core::TransformLogT<float>*, const SchedulerOptions&, SchedulerStats*);
+template core::FactorizationStatsT<double> parallel_hybrid_factor_on(
+    Engine&, TileMatrix<double>&, Criterion&, const HybridOptions&,
+    core::TransformLogT<double>*, const SchedulerOptions&, SchedulerStats*);
+template core::FactorizationStatsT<float> parallel_hybrid_factor_on(
+    Engine&, TileMatrix<float>&, Criterion&, const HybridOptions&,
+    core::TransformLogT<float>*, const SchedulerOptions&, SchedulerStats*);
 
 // parallel_hybrid_solve is a thin wrapper over the luqr::Solver facade; its
 // definition lives in api/solver.cpp so this layer never includes upward.

@@ -27,6 +27,17 @@
 
 namespace luqr::rt {
 
+namespace detail {
+/// Keeps a parameter out of template-argument deduction (so callers may
+/// pass nullptr for the optional TransformLog without naming T).
+template <typename U>
+struct NonDeduced {
+  using type = U;
+};
+template <typename U>
+using non_deduced = typename NonDeduced<U>::type;
+}  // namespace detail
+
 /// Engine-level telemetry of one parallel factorization (optional out-param
 /// of parallel_hybrid_factor; filled after the graph drains). On an owned
 /// engine (parallel_hybrid_factor) every field describes exactly this run;
@@ -63,11 +74,14 @@ struct SchedulerStats {
 /// sequential driver records it (same replay order, bitwise-identical
 /// factors), so the result can seed a retained core::Factorization that
 /// serves fresh right-hand sides later.
-core::FactorizationStats parallel_hybrid_factor(
-    TileMatrix<double>& a, Criterion& criterion,
-    const core::HybridOptions& options, int num_threads,
-    core::TransformLog* log = nullptr, const SchedulerOptions& sched = {},
-    SchedulerStats* sched_stats = nullptr);
+/// Instantiated for double and float; the float instantiation backs the
+/// Precision::F32/F32_IR paths (criterion statistics are gathered in double
+/// regardless of T, so the LU-vs-QR decisions match the f64 run shape-wise).
+template <typename T>
+core::FactorizationStatsT<T> parallel_hybrid_factor(
+    TileMatrix<T>& a, Criterion& criterion, const core::HybridOptions& options,
+    int num_threads, detail::non_deduced<core::TransformLogT<T>*> log = nullptr,
+    const SchedulerOptions& sched = {}, SchedulerStats* sched_stats = nullptr);
 
 /// Same factorization, but on a caller-provided long-lived engine instead of
 /// a per-call worker pool — the serve subsystem's mode: many factorizations
@@ -78,9 +92,11 @@ core::FactorizationStats parallel_hybrid_factor(
 /// slot. SchedulerOptions::trace is unsupported (it needs a quiescent
 /// engine); SchedulerStats, when requested, reports engine-wide lifetime
 /// totals (see the struct comment), not this run's share.
-core::FactorizationStats parallel_hybrid_factor_on(
-    Engine& engine, TileMatrix<double>& a, Criterion& criterion,
-    const core::HybridOptions& options, core::TransformLog* log = nullptr,
+template <typename T>
+core::FactorizationStatsT<T> parallel_hybrid_factor_on(
+    Engine& engine, TileMatrix<T>& a, Criterion& criterion,
+    const core::HybridOptions& options,
+    detail::non_deduced<core::TransformLogT<T>*> log = nullptr,
     const SchedulerOptions& sched = {}, SchedulerStats* sched_stats = nullptr);
 
 /// Parallel equivalent of core::hybrid_solve.

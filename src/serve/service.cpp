@@ -38,12 +38,12 @@ bool is_terminal(JobStatus s) {
 // Every knob that shapes a factorization (and its replayed solves), flat
 // text: part of the cache identity next to the matrix content hash.
 std::string fingerprint(const SolverConfig& c) {
-  char buf[320];
+  char buf[384];
   const CriterionSpec& spec = c.criterion();
   std::snprintf(
       buf, sizeof(buf),
       "crit=%d:%.17g:%llu;nb=%d;grid=%dx%d;variant=%d;scope=%d;tree=%d/%d;"
-      "exact=%d;growth=%d;refine=%d;tune=%d:%.17g",
+      "exact=%d;growth=%d;refine=%d;tune=%d:%.17g;prec=%d;ir=%d:%.17g",
       static_cast<int>(spec.kind), spec.alpha,
       static_cast<unsigned long long>(spec.seed), c.tile_size(), c.grid_p(),
       c.grid_q(), static_cast<int>(c.variant()),
@@ -51,8 +51,22 @@ std::string fingerprint(const SolverConfig& c) {
       static_cast<int>(c.trees().dist), c.exact_inv_norm() ? 1 : 0,
       c.track_growth() ? 1 : 0, c.refinement_sweeps(),
       c.has_autotune_target() ? 1 : 0,
-      c.has_autotune_target() ? c.autotune_target_lu_fraction() : 0.0);
+      c.has_autotune_target() ? c.autotune_target_lu_fraction() : 0.0,
+      static_cast<int>(c.precision()), c.refine().max_iterations,
+      c.refine().tolerance);
   return buf;
+}
+
+// FNV-1a of the fingerprint text — folded into every content hash so even
+// the 64-bit pre-verification key separates configurations (in particular,
+// same matrix bytes under different precisions never share a key).
+std::uint64_t fingerprint_hash(const std::string& fp) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char ch : fp) {
+    h ^= static_cast<unsigned char>(ch);
+    h *= 1099511628211ULL;
+  }
+  return h;
 }
 
 }  // namespace
@@ -128,6 +142,7 @@ SolveService::SolveService(ServiceConfig config)
   engine_ = std::make_shared<rt::Engine>(workers_);
   max_inflight_ = cfg_.max_inflight > 0 ? cfg_.max_inflight : 2 * workers_;
   config_fp_ = fingerprint(cfg_.solver);
+  config_fp_hash_ = fingerprint_hash(config_fp_);
 
   // Request-sized factorizations run as one coarse task on a worker...
   coarse_solver_ = std::make_unique<Solver>(
@@ -188,6 +203,7 @@ JobHandle SolveService::enqueue(Job job) {
           ? job.batch_states
           : std::vector<std::shared_ptr<JobState>>{job.state};
   submitted_.fetch_add(members, std::memory_order_relaxed);
+  precision_jobs_.record(cfg_.solver.precision(), members);
   {
     std::lock_guard<std::mutex> lock(mu_);
     active_ += members;
@@ -279,13 +295,15 @@ void SolveService::on_terminal() {
 // drain()) sees final telemetry.
 
 void SolveService::complete_ok(const std::shared_ptr<JobState>& state,
-                               Matrix<double> x, bool cache_hit) {
+                               Matrix<double> x, bool cache_hit,
+                               const SolveReport& report) {
   const std::uint64_t t = now_us();
   completed_.fetch_add(1, std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(state->mu);
     state->reply.x = std::move(x);
     state->reply.cache_hit = cache_hit;
+    state->reply.report = report;
     state->reply.queue_us = state->t_start_us - state->t_submit_us;
     state->reply.exec_us = t - state->t_start_us;
     latency_.record(t - state->t_submit_us);
@@ -417,17 +435,21 @@ void SolveService::submit_solve_task(std::shared_ptr<JobState> state,
           return;
         }
         Matrix<double> x;
+        SolveReport report;
         std::exception_ptr err;
         try {
-          x = fac->solve(b, sweeps);
+          x = fac->solve(b, &report, sweeps);
         } catch (...) {
           err = std::current_exception();
         }
         release_inflight_slot();
-        if (err)
+        if (err) {
           complete_error(state, err);
-        else
-          complete_ok(state, std::move(x), cache_hit);
+        } else {
+          if (report.fell_back)
+            refine_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+          complete_ok(state, std::move(x), cache_hit, report);
+        }
       },
       {}, {"serve-solve", static_cast<int>(priority), -1});
 }
@@ -453,6 +475,7 @@ void SolveService::fuse_solve_settle(
     const std::vector<Matrix<double>>& bs, const std::vector<std::size_t>& live,
     const FacPtr& fac, bool cache_hit) {
   std::vector<Matrix<double>> xs;
+  SolveReport report;
   std::exception_ptr err;
   if (!live.empty()) {
     try {
@@ -466,7 +489,10 @@ void SolveService::fuse_solve_settle(
         for (int j = 0; j < b.cols(); ++j, ++col)
           for (int i = 0; i < n; ++i) bcat(i, col) = b(i, j);
       }
-      const Matrix<double> xw = fac->solve(bcat, cfg_.solver.refinement_sweeps());
+      const Matrix<double> xw =
+          fac->solve(bcat, &report, cfg_.solver.refinement_sweeps());
+      if (report.fell_back)
+        refine_fallbacks_.fetch_add(1, std::memory_order_relaxed);
       fused_cols_.fetch_add(static_cast<std::uint64_t>(width),
                             std::memory_order_relaxed);
       col = 0;
@@ -490,7 +516,7 @@ void SolveService::fuse_solve_settle(
       if (err)
         complete_error(states[i], err);
       else
-        complete_ok(states[i], std::move(xs[l]), cache_hit);
+        complete_ok(states[i], std::move(xs[l]), cache_hit, report);
       break;
     }
     if (!was_live) complete_cancelled(states[i]);
@@ -554,7 +580,7 @@ void SolveService::dispatch(Job job) {
   // verified on the next pass. (A factorization that completes entirely
   // inside the probe-to-insert window can still slip through and be
   // factored twice — benign: insert dedupes and results are identical.)
-  const std::uint64_t h = cache_.hash_of(*job.a);
+  const std::uint64_t h = cache_.hash_of(*job.a) ^ config_fp_hash_;
   bool count_miss = true;  // later passes re-examine one logical lookup
   std::shared_ptr<Pending> owned;
   for (;;) {
@@ -767,18 +793,22 @@ void SolveService::submit_owner_task(Job job, std::shared_ptr<Pending> p) {
           return;
         }
         Matrix<double> x;
+        SolveReport report;
         std::exception_ptr solve_err;
         try {
           if (job.kind == Job::Kind::Solve)
-            x = fac->solve(job.b, cfg_.solver.refinement_sweeps());
+            x = fac->solve(job.b, &report, cfg_.solver.refinement_sweeps());
         } catch (...) {
           solve_err = std::current_exception();
         }
         release_inflight_slot();
-        if (solve_err)
+        if (solve_err) {
           complete_error(job.state, solve_err);
-        else
-          complete_ok(job.state, std::move(x), false);
+        } else {
+          if (report.fell_back)
+            refine_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+          complete_ok(job.state, std::move(x), false, report);
+        }
       },
       {}, {"serve-factor", static_cast<int>(job.priority), -1});
 }
@@ -807,6 +837,10 @@ ServiceStats SolveService::stats() const {
     s.pending_factorizations = pending_.size();
   }
   s.cache = cache_.stats();
+  s.jobs_f64 = precision_jobs_.f64.load(std::memory_order_relaxed);
+  s.jobs_f32 = precision_jobs_.f32.load(std::memory_order_relaxed);
+  s.jobs_f32_ir = precision_jobs_.f32_ir.load(std::memory_order_relaxed);
+  s.refine_fallbacks = refine_fallbacks_.load(std::memory_order_relaxed);
   s.latency_p50_us = latency_.quantile_us(0.50);
   s.latency_p99_us = latency_.quantile_us(0.99);
   s.latency_max_us = latency_.max_us();

@@ -76,6 +76,9 @@ struct SolveReply {
   bool cache_hit = false;  ///< served from the factorization cache
   std::uint64_t queue_us = 0;  ///< submit -> execution start
   std::uint64_t exec_us = 0;   ///< execution start -> done
+  /// Which precision served the solve and how refinement went (F32_IR);
+  /// batch members fused into one wide solve share one report.
+  SolveReport report;
 };
 
 namespace detail {
@@ -150,6 +153,11 @@ struct ServiceStats {
   std::size_t queue_depth = 0, queue_capacity = 0, inflight = 0,
               pending_factorizations = 0;
   CacheStats cache;
+  /// Jobs submitted per working precision (one service runs one precision;
+  /// the split matters when aggregating across services) and how many
+  /// F32_IR solves had to fall back to an f64 refactorization.
+  std::uint64_t jobs_f64 = 0, jobs_f32 = 0, jobs_f32_ir = 0;
+  std::uint64_t refine_fallbacks = 0;
   std::uint64_t latency_p50_us = 0, latency_p99_us = 0, latency_max_us = 0;
   double latency_mean_us = 0.0;
   std::uint64_t exec_p50_us = 0, exec_p99_us = 0;
@@ -265,7 +273,8 @@ class SolveService {
                          bool cache_hit, Priority priority);
   bool try_begin(const std::shared_ptr<detail::JobState>& state);
   void complete_ok(const std::shared_ptr<detail::JobState>& state,
-                   Matrix<double> x, bool cache_hit);
+                   Matrix<double> x, bool cache_hit,
+                   const SolveReport& report = {});
   void complete_error(const std::shared_ptr<detail::JobState>& state,
                       std::exception_ptr error);
   void complete_cancelled(const std::shared_ptr<detail::JobState>& state);
@@ -274,6 +283,12 @@ class SolveService {
 
   ServiceConfig cfg_;
   std::string config_fp_;
+  /// FNV-1a of config_fp_, folded into every matrix content hash so the
+  /// cache index and the pending-factorization map key by configuration
+  /// (precision included) as well as content — two services sharing bytes
+  /// but not precision can never cross-serve, even on a full hash collision
+  /// (the verified probe also compares config_fp_ exactly).
+  std::uint64_t config_fp_hash_ = 0;
   int workers_ = 1;
   int max_inflight_ = 2;
   std::shared_ptr<rt::Engine> engine_;
@@ -296,6 +311,8 @@ class SolveService {
       cancelled_{0}, rejected_{0};
   std::atomic<std::uint64_t> batches_{0}, batch_members_{0}, fused_cols_{0};
   std::atomic<std::uint64_t> factors_coarse_{0}, factors_inline_{0};
+  PrecisionCounters precision_jobs_;
+  std::atomic<std::uint64_t> refine_fallbacks_{0};
   LatencyHistogram latency_;  // submit -> terminal
   LatencyHistogram exec_;     // execution start -> done
 };

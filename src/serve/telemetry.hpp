@@ -14,7 +14,27 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "core/precision.hpp"
+
 namespace luqr::serve {
+
+/// Per-precision job counters (how many jobs each working precision served),
+/// relaxed like every other counter here.
+struct PrecisionCounters {
+  std::atomic<std::uint64_t> f64{0};
+  std::atomic<std::uint64_t> f32{0};
+  std::atomic<std::uint64_t> f32_ir{0};
+
+  void record(core::Precision p, std::uint64_t n = 1) {
+    switch (p) {
+      case core::Precision::F64: f64.fetch_add(n, std::memory_order_relaxed); break;
+      case core::Precision::F32: f32.fetch_add(n, std::memory_order_relaxed); break;
+      case core::Precision::F32_IR:
+        f32_ir.fetch_add(n, std::memory_order_relaxed);
+        break;
+    }
+  }
+};
 
 /// Power-of-two-bucketed latency recorder (microseconds). record() is
 /// wait-free; quantile() walks the 48 buckets.

@@ -11,6 +11,7 @@
 #include <thread>
 #include <vector>
 
+#include "api/solver.hpp"
 #include "gen/generators.hpp"
 #include "serve/cache.hpp"
 #include "test_helpers.hpp"
@@ -108,6 +109,51 @@ TEST(FactorizationCache, HashCollisionsOnEqualSizeMatricesStayCorrect) {
   EXPECT_DOUBLE_EQ(h2->matrix()(0, 0), a2(0, 0));
   // A colliding-but-absent matrix is a miss, not a wrong hit.
   EXPECT_EQ(cache.find(a3, kFp), nullptr);
+}
+
+TEST(FactorizationCache, SameBytesDifferentPrecisionNeverCrossServe) {
+  // The same input bytes factored at different working precisions are
+  // distinct cache identities. The service separates them through the
+  // config fingerprint (which embeds the precision); even with every key
+  // forced onto one hash bucket, a probe with one precision's fingerprint
+  // must never serve the other's factors.
+  FactorizationCache cache(std::size_t{64} << 20,
+                           [](const Matrix<double>&) -> std::uint64_t {
+                             return 7;
+                           });
+  const auto a = random_matrix(24, 24, 41);
+  const char* fp64 = "tile=8;prec=0;ir=20:0";
+  const char* fp32 = "tile=8;prec=1;ir=20:0";
+  const char* fp_ir = "tile=8;prec=2;ir=20:0";
+
+  const auto f64 = std::make_shared<const core::Factorization>(
+      Solver(SolverConfig().tile_size(8).backend(Backend::Serial)).factor(a));
+  const auto f32 = std::make_shared<const core::Factorization>(
+      Solver(SolverConfig().tile_size(8).backend(Backend::Serial).precision(
+                 core::Precision::F32))
+          .factor(a));
+  const auto fir = std::make_shared<const core::Factorization>(
+      Solver(SolverConfig().tile_size(8).backend(Backend::Serial).precision(
+                 core::Precision::F32_IR))
+          .factor(a));
+
+  cache.insert(a, fp64, f64);
+  cache.insert(a, fp32, f32);
+  cache.insert(a, fp_ir, fir);
+  EXPECT_EQ(cache.stats().entries, 3u);
+
+  const auto h64 = cache.find(a, fp64);
+  const auto h32 = cache.find(a, fp32);
+  const auto hir = cache.find(a, fp_ir);
+  ASSERT_NE(h64, nullptr);
+  ASSERT_NE(h32, nullptr);
+  ASSERT_NE(hir, nullptr);
+  EXPECT_EQ(h64->precision(), core::Precision::F64);
+  EXPECT_EQ(h32->precision(), core::Precision::F32);
+  EXPECT_EQ(hir->precision(), core::Precision::F32_IR);
+  // An unknown precision fingerprint over the same bytes is a miss, never a
+  // nearest-match hit.
+  EXPECT_EQ(cache.find(a, "tile=8;prec=1;ir=5:1e-10"), nullptr);
 }
 
 TEST(FactorizationCache, OversizeEntriesAreNotAdmitted) {

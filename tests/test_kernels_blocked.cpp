@@ -6,6 +6,7 @@
 // alignment.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <limits>
@@ -289,6 +290,92 @@ TEST(TileAlignment, PaddedStridePreservesRoundTrip) {
   const auto tiled = TileMatrix<double>::from_dense(dense, 5);
   const auto back = tiled.to_dense(23, 31);
   expect_near(back, dense, 0.0, "tile round-trip");
+}
+
+// ---------------------------------------------------------------------------
+// TRMM parity fuzz: in-place column form vs a dense materialized op(A)
+// ---------------------------------------------------------------------------
+
+// Materialize op(A) as a dense k x k matrix: zero outside the stored
+// triangle, ones on the diagonal for Diag::Unit. Feeding the result through
+// ref_gemm gives an order-independent reference for both sides.
+template <typename T>
+Matrix<T> dense_triangle(ConstMatrixView<T> a, Uplo uplo, Trans trans,
+                         Diag diag) {
+  const int k = a.rows;
+  Matrix<T> opa(k, k);
+  for (int c = 0; c < k; ++c)
+    for (int r = 0; r < k; ++r) {
+      const int rr = trans == Trans::No ? r : c;
+      const int cc = trans == Trans::No ? c : r;
+      const bool stored = uplo == Uplo::Lower ? rr >= cc : rr <= cc;
+      if (!stored) continue;
+      opa(r, c) = rr == cc && diag == Diag::Unit ? T(1) : a(rr, cc);
+    }
+  return opa;
+}
+
+template <typename T>
+void trmm_fuzz_body(std::uint64_t seed, T tol) {
+  const T scales[] = {T(1), T(-1), T(0.5), T(0)};
+  Rng rng(seed);
+  for (int iter = 0; iter < 160; ++iter) {
+    const int m = 1 + static_cast<int>(rng.uniform() * 40);
+    const int n = 1 + static_cast<int>(rng.uniform() * 40);
+    const Side side = iter % 2 == 0 ? Side::Left : Side::Right;
+    const Uplo uplo = (iter / 2) % 2 == 0 ? Uplo::Lower : Uplo::Upper;
+    const Trans trans = (iter / 4) % 2 == 0 ? Trans::No : Trans::Yes;
+    const Diag diag = (iter / 8) % 2 == 0 ? Diag::NonUnit : Diag::Unit;
+    const T alpha = scales[(iter / 16) % 4];
+    const int k = side == Side::Left ? m : n;
+
+    Matrix<T> a(k, k);
+    Matrix<T> b(m, n);
+    for (int c = 0; c < k; ++c)
+      for (int r = 0; r < k; ++r) a(r, c) = static_cast<T>(rng.gaussian());
+    for (int c = 0; c < n; ++c)
+      for (int r = 0; r < m; ++r) b(r, c) = static_cast<T>(rng.gaussian());
+
+    const Matrix<T> opa = dense_triangle(a.cview(), uplo, trans, diag);
+    Matrix<T> ref(m, n);
+    if (side == Side::Left)
+      ref_gemm(Trans::No, Trans::No, alpha, opa.cview(), b.cview(), T(0),
+               ref.view());
+    else
+      ref_gemm(Trans::No, Trans::No, alpha, b.cview(), opa.cview(), T(0),
+               ref.view());
+
+    trmm(side, uplo, trans, diag, alpha, a.cview(), b.view());
+
+    T worst = T(0);
+    for (int c = 0; c < n; ++c)
+      for (int r = 0; r < m; ++r)
+        worst = std::max(worst, std::abs(b(r, c) - ref(r, c)));
+    EXPECT_LE(worst, tol * static_cast<T>(k + 1))
+        << "iter " << iter << " side=" << (side == Side::Left ? "L" : "R")
+        << " uplo=" << (uplo == Uplo::Lower ? "lo" : "up")
+        << " trans=" << (trans == Trans::No ? "N" : "T")
+        << " diag=" << (diag == Diag::Unit ? "U" : "N") << " m=" << m
+        << " n=" << n;
+  }
+}
+
+TEST(TrmmFuzz, ParityAllVariantsDouble) { trmm_fuzz_body<double>(77001, 1e-13); }
+
+TEST(TrmmFuzz, ParityAllVariantsFloat) {
+  trmm_fuzz_body<float>(77002, 1e-4f);
+}
+
+TEST(TrmmFuzz, RightSideLeavesOtherColumnsExact) {
+  // The Right-side column form updates column j from columns l != j: a
+  // one-column triangle (k = 1) must reduce to a pure scale, bitwise.
+  Matrix<double> a(1, 1);
+  a(0, 0) = 3.0;
+  Matrix<double> b = random_matrix(17, 1, 5);
+  const Matrix<double> orig = b;
+  trmm(Side::Right, Uplo::Upper, Trans::No, Diag::NonUnit, 2.0, a.cview(),
+       b.view());
+  for (int i = 0; i < 17; ++i) EXPECT_EQ(b(i, 0), 2.0 * (3.0 * orig(i, 0)));
 }
 
 }  // namespace

@@ -338,5 +338,99 @@ TEST(SolveServiceStress, MixedClientsMatchReferenceBitwise) {
   EXPECT_EQ(failures.load(), 0);
 }
 
+// ---------------------------------------------------------------------------
+// Mixed precision through the service
+// ---------------------------------------------------------------------------
+
+TEST(SolveService, ReducedPrecisionRepliesCarryReportsAndCounters) {
+  ServiceConfig cfg = base_config();
+  cfg.solver = SolverConfig(base_solver()).precision(core::Precision::F32_IR);
+  const Solver reference(cfg.solver);
+  SolveService svc(cfg);
+
+  const auto a = gen::generate(gen::MatrixKind::Random, 48, 71);
+  const auto b = random_matrix(48, 1, 72);
+  const SolveReply cold = svc.submit_solve(a, b).get();
+  EXPECT_EQ(cold.report.precision, core::Precision::F32_IR);
+  EXPECT_TRUE(cold.report.converged);
+  EXPECT_FALSE(cold.report.fell_back);
+  expect_bitwise(cold.x, reference.solve(a, b).x, "f32_ir cold");
+
+  // Warm hit: same factors, same refinement trajectory, same report.
+  const SolveReply warm = svc.submit_solve(a, b).get();
+  EXPECT_TRUE(warm.cache_hit);
+  expect_bitwise(warm.x, cold.x, "f32_ir warm");
+  EXPECT_EQ(warm.report.refine_iterations, cold.report.refine_iterations);
+
+  // An ill-conditioned job reports its fallback through the service.
+  const auto hard = gen::generate(gen::MatrixKind::Hilb, 64, 73);
+  const SolveReply hr = svc.submit_solve(hard, random_matrix(64, 1, 74)).get();
+  EXPECT_TRUE(hr.report.fell_back);
+
+  const ServiceStats s = svc.stats();
+  EXPECT_EQ(s.jobs_f32_ir, 3u);
+  EXPECT_EQ(s.jobs_f64, 0u);
+  EXPECT_EQ(s.jobs_f32, 0u);
+  EXPECT_GE(s.refine_fallbacks, 1u);
+}
+
+TEST(SolveService, BatchMembersShareOnePrecisionReport) {
+  ServiceConfig cfg = base_config();
+  cfg.solver = SolverConfig(base_solver()).precision(core::Precision::F32);
+  SolveService svc(cfg);
+  const auto a = gen::generate(gen::MatrixKind::Random, 32, 81);
+  std::vector<Matrix<double>> bs = {random_matrix(32, 1, 82),
+                                    random_matrix(32, 2, 83)};
+  auto handles = svc.submit_batch(a, bs, Priority::Normal);
+  for (auto& h : handles) {
+    const SolveReply r = h.get();
+    EXPECT_EQ(r.report.precision, core::Precision::F32);
+  }
+  EXPECT_EQ(svc.stats().jobs_f32, 2u);
+}
+
+TEST(SolveService, ConcurrentReducedPrecisionClientsStayIsolated) {
+  // Two services at different precisions, hammered concurrently over the
+  // SAME matrix bytes: every reply must match its own service's one-shot
+  // reference bitwise. A precision leak between the caches (or a report
+  // data race — this test runs under the CI TSan job) would show up as a
+  // mismatch between f64-accurate and f32-accurate solutions.
+  ServiceConfig cfg64 = base_config();
+  ServiceConfig cfg32 = base_config();
+  cfg32.solver = SolverConfig(base_solver()).precision(core::Precision::F32);
+  const Solver ref64(cfg64.solver);
+  const Solver ref32(cfg32.solver);
+  SolveService svc64(cfg64);
+  SolveService svc32(cfg32);
+
+  const auto a = gen::generate(gen::MatrixKind::Random, 48, 91);
+  std::atomic<int> mismatches{0};
+  auto client = [&](int id) {
+    for (int r = 0; r < 6; ++r) {
+      const auto b = random_matrix(48, 1, 7000 + id * 100 + r);
+      const bool low = (id + r) % 2 == 0;
+      const auto got = (low ? svc32 : svc64).submit_solve(a, b).get();
+      const auto want = (low ? ref32 : ref64).solve(a, b).x;
+      if (got.report.precision !=
+          (low ? core::Precision::F32 : core::Precision::F64)) {
+        mismatches.fetch_add(1);
+        return;
+      }
+      for (int i = 0; i < 48; ++i)
+        if (got.x(i, 0) != want(i, 0)) {
+          mismatches.fetch_add(1);
+          return;
+        }
+    }
+  };
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 4; ++c) clients.emplace_back(client, c);
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(svc64.stats().jobs_f32, 0u);
+  EXPECT_EQ(svc32.stats().jobs_f64, 0u);
+  EXPECT_GT(svc32.stats().jobs_f32, 0u);
+}
+
 }  // namespace
 }  // namespace luqr::serve

@@ -33,6 +33,10 @@
 //                      parallel factorization, plus critical-path length and
 //                      per-lane task counts (from the engine trace)
 //   --refine <n>       iterative-refinement sweeps (default 0)
+//   --precision P      working precision: f64 (default), f32 (single
+//                      precision throughout), or f32_ir (factor in f32,
+//                      refine the solve back to f64 accuracy; falls back to
+//                      an f64 refactorization when refinement stalls)
 //   --out x.mtx        write the solution (default: print summary only)
 //
 // Without b.mtx, a right-hand side with known solution x = ones is
@@ -52,7 +56,7 @@ namespace {
                "       [--nb V] [--grid PxQ] [--variant A1|A2|B1|B2] [--threads N]\n"
                "       [--sched continuation|join] [--no-priorities] [--lookahead N]\n"
                "       [--trace f.json] [--profile] [--audit] [--chaos-seed N]\n"
-               "       [--refine N] [--out x.mtx]\n",
+               "       [--refine N] [--precision f64|f32|f32_ir] [--out x.mtx]\n",
                argv0);
   std::exit(2);
 }
@@ -65,6 +69,7 @@ int main(int argc, char** argv) {
 
   std::string a_path, b_path, out_path, trace_path;
   std::string criterion = "max", variant = "A1", sched_mode = "continuation";
+  std::string precision = "f64";
   double alpha = 100.0, lu_fraction = -1.0;
   int nb = 64, refine = 0, grid_p = 4, grid_q = 4, threads = 0, lookahead = -1;
   bool priorities = true, profile = false, audit = false;
@@ -88,6 +93,8 @@ int main(int argc, char** argv) {
       threads = std::atoi(need_value());
     } else if (arg == "--refine") {
       refine = std::atoi(need_value());
+    } else if (arg == "--precision") {
+      precision = need_value();
     } else if (arg == "--variant") {
       variant = need_value();
     } else if (arg == "--sched") {
@@ -147,6 +154,9 @@ int main(int argc, char** argv) {
     else LUQR_REQUIRE(variant == "A1", "unknown variant: " + variant);
     if (threads > 0) config.backend(Backend::Parallel).threads(threads);
     else config.backend(Backend::Serial);
+    if (precision == "f32") config.precision(core::Precision::F32);
+    else if (precision == "f32_ir") config.precision(core::Precision::F32_IR);
+    else LUQR_REQUIRE(precision == "f64", "unknown precision: " + precision);
 
     rt::SchedulerOptions sched;
     if (sched_mode == "join") sched.mode = rt::SubmitMode::JoinPerStep;
@@ -194,7 +204,8 @@ int main(int argc, char** argv) {
     const core::Factorization fac = solver.factor(a);
     const double t_factor = timer.seconds();
     timer.reset();
-    const Matrix<double> x = fac.solve(b, refine);
+    core::SolveReport report;
+    const Matrix<double> x = fac.solve(b, &report, refine);
     const double t_solve = timer.seconds();
 
     std::printf("luqr_solve: N=%d nb=%d criterion=%s grid=%dx%d variant=%s "
@@ -261,6 +272,13 @@ int main(int argc, char** argv) {
                 fac.stats().qr_steps, 100.0 * fac.stats().lu_fraction());
     std::printf("factor: %.3fs   solve(+%d refinements): %.3fs\n", t_factor,
                 refine, t_solve);
+    if (fac.precision() != core::Precision::F64)
+      std::printf("precision: %s   refine iterations: %d   %s\n",
+                  core::to_string(fac.precision()).c_str(),
+                  report.refine_iterations,
+                  report.fell_back
+                      ? "fell back to f64 refactorization"
+                      : (report.converged ? "converged" : "NOT converged"));
     std::printf("HPL3: %.3e   relative residual: %.3e\n", verify::hpl3(a, x, b),
                 verify::relative_residual(a, x, b));
     if (manufactured) {
