@@ -16,6 +16,7 @@
 #include <cstdio>
 #include <limits>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -59,6 +60,10 @@ class JsonReport {
   JsonReport(std::string bench, int argc, char** argv) : bench_(std::move(bench)) {
     for (int i = 1; i + 1 < argc; ++i)
       if (std::string(argv[i]) == "--json") path_ = argv[i + 1];
+    // Every report records the machine's concurrency so perf numbers from
+    // different runners are comparable at a glance.
+    config("hardware_concurrency",
+           static_cast<long>(std::thread::hardware_concurrency()));
   }
 
   bool enabled() const { return !path_.empty(); }

@@ -1,0 +1,93 @@
+// luqr::batch — the batched small-problem backend.
+//
+// Millions-of-users traffic is mostly small systems (n <= 128), exactly the
+// regime where the tile/task machinery is pure overhead: bench_panel shows
+// blocked == seed at nb=32, and every per-matrix Solver call pays engine
+// setup, criterion plumbing, and workspace framing for microseconds of
+// arithmetic. These entry points amortize all of that per *chunk* of
+// matrices instead of per matrix:
+//
+//   - items are bucketed by order and split into shape-homogeneous chunks
+//     (core::bucket_by_order / plan_chunks);
+//   - each chunk becomes ONE engine task (runtime/chunk) that factors its
+//     matrices serially through the hybrid driver inside a single shared
+//     kern::Workspace frame, pre-grown to the chunk's pack-scratch
+//     high-water — so the packed-GEMM panels of matrix i+1 reuse matrix i's
+//     allocation byte-for-byte (the pack data is per-matrix; the memory and
+//     the growth cost are per-chunk);
+//   - results land in retained per-matrix factorizations (f64 or f32 via
+//     the precision templates), each independently solvable afterwards.
+//
+// Parity guarantee: every outcome is bitwise identical to what a one-shot
+// Solver::factor / Solver::solve with the same config would produce, at
+// every precision. Chunks execute each matrix on the serial driver, and
+// serial == parallel is already a repo-wide bitwise invariant, so batching
+// is purely a scheduling transform.
+//
+// Error isolation: bulk endpoints never throw away a whole batch for one
+// bad member. Each outcome carries its own exception_ptr; a malformed pair
+// fails alone while its neighbors complete. (Singular matrices do not throw
+// anywhere in luqr — the criterion falls back to QR or non-finite values
+// propagate — so a "bad matrix" here means a shape violation or the like.)
+#pragma once
+
+#include <exception>
+#include <memory>
+#include <vector>
+
+#include "api/solver.hpp"
+
+namespace luqr::batch {
+
+using FactorizationPtr = std::shared_ptr<const core::Factorization>;
+
+/// Per-matrix result of factor_many. Exactly one of factorization/error is
+/// set.
+struct FactorOutcome {
+  FactorizationPtr factorization;
+  std::exception_ptr error;
+  bool ok() const { return factorization != nullptr; }
+};
+
+/// Per-matrix result of solve_many / factor_solve_many.
+struct SolveOutcome {
+  Matrix<double> x;         ///< empty (0 x 0) when error is set
+  SolveReport report;
+  std::exception_ptr error;
+  bool ok() const { return error == nullptr; }
+};
+
+/// Per-matrix result of the fused path; the factorization is retained so
+/// callers can serve follow-up right-hand sides without refactoring.
+struct FactorSolveOutcome {
+  FactorizationPtr factorization;
+  Matrix<double> x;
+  SolveReport report;
+  std::exception_ptr error;
+  bool ok() const { return error == nullptr; }
+};
+
+/// Factor many independent square systems with the solver's configuration.
+/// Runs on the solver's shared engine when one is configured, otherwise on
+/// a temporary pool sized by the solver's thread resolution (inline when
+/// that resolves to one worker or the batch is small). Must not be called
+/// from inside a task of the shared engine.
+std::vector<FactorOutcome> factor_many(const Solver& solver,
+                                       const std::vector<Matrix<double>>& as);
+
+/// Solve one right-hand side per retained factorization (entries must be
+/// non-null). Chunked like factor_many; `refinement_sweeps` follows
+/// core::Factorization::solve semantics.
+std::vector<SolveOutcome> solve_many(const Solver& solver,
+                                     const std::vector<FactorizationPtr>& facs,
+                                     const std::vector<Matrix<double>>& bs,
+                                     int refinement_sweeps = 0);
+
+/// Fused factor+solve per pair (a_i, b_i): one chunk pass produces both the
+/// retained factorization and the solution, with the solver's configured
+/// refinement sweeps applied.
+std::vector<FactorSolveOutcome> factor_solve_many(
+    const Solver& solver, const std::vector<Matrix<double>>& as,
+    const std::vector<Matrix<double>>& bs);
+
+}  // namespace luqr::batch

@@ -1,0 +1,56 @@
+// Chunk planning for the batched small-problem backend.
+//
+// The paper's dataflow runtime amortizes scheduling over the tiles of one
+// large matrix; at n <= 128 the tile machinery is pure overhead (bench_panel:
+// blocked == seed at nb=32), so the batched backend amortizes the other way:
+// many independent small matrices ride one engine task. This header holds
+// the pure planning pieces — grouping items into shape buckets and splitting
+// buckets into chunks — so they are unit-testable without an engine, plus
+// the per-chunk workspace estimate the executors use to pre-grow the arena.
+//
+// Shape-homogeneous chunks are the point, not a convenience: every matrix
+// of a chunk runs the same (n, nb) trailing updates, so the packed-GEMM
+// scratch reserved for the first matrix is exactly the scratch every later
+// matrix bump-allocates again. The pack *data* is per-matrix (the numbers
+// differ); the allocation is paid once per chunk.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace luqr::core {
+
+/// One contiguous [begin, end) slice of a planned order; executors run each
+/// chunk as a single engine task.
+struct Chunk {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::size_t size() const { return end - begin; }
+};
+
+/// Split `count` items into chunks of `chunk_size` (the last one ragged).
+/// chunk_size <= 0 asks for the auto policy: enough chunks to hand every
+/// one of `lanes` parallel executors a few (so a shared engine overlaps
+/// them), but never chunks so small the per-task cost comes back — the
+/// regime this backend exists to avoid.
+std::vector<Chunk> plan_chunks(std::size_t count, int chunk_size, int lanes);
+
+/// The auto chunk size plan_chunks(count, 0, lanes) resolves to.
+int auto_chunk_size(std::size_t count, int lanes);
+
+/// Group item indices by matrix order, preserving submission order inside
+/// each bucket (stable): buckets[k] lists the positions i with identical
+/// orders[i], in ascending first-appearance order of the order value.
+/// Executors chunk each bucket independently so chunks stay
+/// shape-homogeneous even for a mixed-size batch.
+std::vector<std::vector<std::size_t>> bucket_by_order(
+    const std::vector<int>& orders);
+
+/// Workspace high-water estimate for factoring one order-n matrix at tile
+/// size nb (pack buffers for the nb-sized trailing products plus the apply/
+/// panel scratch). Chunk executors reserve() this once so the whole chunk
+/// runs allocation-free after the first matrix.
+std::size_t chunk_scratch_bytes_f64(int n, int nb);
+std::size_t chunk_scratch_bytes_f32(int n, int nb);
+
+}  // namespace luqr::core

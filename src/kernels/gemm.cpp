@@ -192,7 +192,28 @@ void gemm(Trans transa, Trans transb, T alpha, ConstMatrixView<T> a,
   }
 }
 
+template <typename T>
+std::size_t gemm_pack_scratch_bytes(int m, int n, int k) {
+  if (m <= 0 || n <= 0 || k <= 0) return 0;
+  constexpr int MR = MicroTile<T>::MR;
+  constexpr int NR = MicroTile<T>::NR;
+  const GemmBlocking& bl = gemm_blocking();
+  // Mirror of gemm_blocked's apack/bpack sizing; each alloc() rounds up to a
+  // cache line independently, so account for both round-ups.
+  const int mc_cap =
+      std::min((m + MR - 1) / MR * MR, (bl.mc + MR - 1) / MR * MR);
+  const int nc_cap =
+      std::min((n + NR - 1) / NR * NR, (bl.nc + NR - 1) / NR * NR);
+  const int kc_cap = std::min(k, bl.kc);
+  const std::size_t a_bytes =
+      static_cast<std::size_t>(mc_cap) * kc_cap * sizeof(T);
+  const std::size_t b_bytes =
+      static_cast<std::size_t>(kc_cap) * nc_cap * sizeof(T);
+  return align_up(a_bytes, kCacheLineBytes) + align_up(b_bytes, kCacheLineBytes);
+}
+
 #define LUQR_INST(T)                                                          \
+  template std::size_t gemm_pack_scratch_bytes<T>(int, int, int);             \
   template void gemm<T>(Trans, Trans, T, ConstMatrixView<T>,                  \
                         ConstMatrixView<T>, T, MatrixView<T>, Workspace*);    \
   template void gemm_blocked<T>(Trans, Trans, T, ConstMatrixView<T>,          \

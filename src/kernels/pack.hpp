@@ -22,6 +22,8 @@
 // arithmetic whether the serial driver or any engine worker runs it.
 #pragma once
 
+#include <cstddef>
+
 #include "kernels/blas.hpp"
 #include "kernels/matrix_view.hpp"
 
@@ -77,6 +79,13 @@ const TrsmBlocking& trsm_blocking();
 /// this keeps Left TRSM exactly a per-column operation at any width, the
 /// invariance the wide-RHS solve path (core/factorization.cpp) relies on.
 bool trsm_wants_blocked(int dim);
+
+/// Workspace bytes one gemm_blocked(m, n, k) call allocates for its packed
+/// A/B panels. The batched backend (core/batch) reserves a chunk's
+/// high-water estimate up front via Workspace::reserve so every matrix in
+/// the chunk reuses the same pack scratch without growing the arena.
+template <typename T>
+std::size_t gemm_pack_scratch_bytes(int m, int n, int k);
 
 /// Pack the [i0, i0+mc) x [p0, p0+kc) block of op(A) into MR-row panels at
 /// dst (size >= round_up(mc, MR) * kc). op(A)(i, l) is a(i, l) or a(l, i).

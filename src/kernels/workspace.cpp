@@ -46,6 +46,25 @@ void* Workspace::raw_alloc(std::size_t bytes) {
   return c.data;
 }
 
+void Workspace::reserve(std::size_t bytes) {
+  if (bytes == 0) return;
+  bytes = align_up(bytes, kCacheLineBytes);
+  // Already satisfiable from the frontier without growing? raw_alloc walks
+  // forward from active_, so any chunk at or past it counts.
+  for (std::size_t i = active_; i < chunks_.size(); ++i)
+    if (chunks_[i].cap - chunks_[i].used >= bytes) return;
+  std::size_t cap = kMinChunkBytes;
+  for (const Chunk& c : chunks_) cap += c.cap;  // keep the geometric growth
+  if (cap < bytes) cap = align_up(bytes, kMinChunkBytes);
+  Chunk c;
+  c.data = static_cast<std::byte*>(
+      ::operator new(cap, std::align_val_t(kCacheLineBytes)));
+  c.cap = cap;
+  c.used = 0;
+  chunks_.push_back(c);
+  bytes_reserved_.fetch_add(cap, std::memory_order_relaxed);
+}
+
 void Workspace::release_(std::size_t chunk, std::size_t used) {
   if (chunks_.empty()) return;
   for (std::size_t i = chunk + 1; i < chunks_.size(); ++i) chunks_[i].used = 0;

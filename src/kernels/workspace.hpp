@@ -66,6 +66,13 @@ class Workspace {
     return static_cast<T*>(raw_alloc(count * sizeof(T)));
   }
 
+  /// Pre-grow the arena so at least `bytes` of contiguous scratch can be
+  /// alloc()ed from the current position without touching the system
+  /// allocator. The batched drivers call this once per chunk with the
+  /// chunk's high-water estimate, so every matrix of the chunk reuses the
+  /// same scratch (the packed-GEMM panels included) allocation-free.
+  void reserve(std::size_t bytes);
+
   /// Total bytes of chunk capacity this arena holds (telemetry; readable
   /// from any thread).
   std::size_t bytes_reserved() const {

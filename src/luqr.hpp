@@ -19,11 +19,18 @@
 // machinery in an asynchronous job service: bounded queue, priorities,
 // factorization cache, batched multi-RHS (see serve/service.hpp).
 //
+// For bulk small-problem traffic (thousands of independent n <= 128
+// systems), luqr::batch::factor_many / solve_many / factor_solve_many chunk
+// the whole batch into a handful of engine tasks with per-chunk amortized
+// scheduling and workspace reuse (see api/batch.hpp); the service exposes
+// the same machinery as SolveService::submit_many.
+//
 // The low-level entry points (core::hybrid_solve, rt::parallel_hybrid_solve,
 // core::Factorization::compute) remain available and delegate to the same
 // machinery.
 #pragma once
 
+#include "api/batch.hpp"
 #include "api/solver.hpp"
 #include "baselines/baselines.hpp"
 #include "common/env.hpp"

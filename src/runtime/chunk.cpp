@@ -1,0 +1,48 @@
+#include "runtime/chunk.hpp"
+
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+
+namespace luqr::rt {
+
+void run_chunks_on(Engine* engine, const std::vector<core::Chunk>& chunks,
+                   const ChunkBody& body, const char* name, int priority) {
+  if (chunks.empty()) return;
+  if (engine == nullptr || engine->num_threads() <= 0 || chunks.size() == 1) {
+    for (const core::Chunk& c : chunks) body(c.begin, c.end);
+    return;
+  }
+
+  // Private latch: complete when every chunk task has run, independent of
+  // whatever else the (possibly shared) engine is executing.
+  struct Latch {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::size_t remaining;
+    std::exception_ptr error;
+  } latch;
+  latch.remaining = chunks.size();
+
+  for (const core::Chunk& c : chunks) {
+    engine->submit(
+        [&latch, &body, c] {
+          std::exception_ptr err;
+          try {
+            body(c.begin, c.end);
+          } catch (...) {
+            err = std::current_exception();
+          }
+          std::lock_guard<std::mutex> lock(latch.mu);
+          if (err && !latch.error) latch.error = err;
+          if (--latch.remaining == 0) latch.cv.notify_all();
+        },
+        {}, TaskAttrs(name, priority));
+  }
+
+  std::unique_lock<std::mutex> lock(latch.mu);
+  latch.cv.wait(lock, [&latch] { return latch.remaining == 0; });
+  if (latch.error) std::rethrow_exception(latch.error);
+}
+
+}  // namespace luqr::rt

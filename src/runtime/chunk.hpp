@@ -1,0 +1,40 @@
+// Chunk-task submission for the batched small-problem backend.
+//
+// A batch of independent small matrices becomes a handful of engine tasks:
+// one task per core::Chunk, no declared dependences (the chunks touch
+// disjoint items), each running the caller's body over its [begin, end)
+// slice. The caller blocks on a private completion latch rather than
+// Engine::wait_all — the engine may be shared with a live serve tier whose
+// tasks we must neither wait for nor steal errors from.
+//
+// Contract: the body owns per-item error capture (the batch outcome structs
+// carry an exception_ptr per matrix) and should not throw; if it does, the
+// first exception is captured, the remaining chunks still drain, and the
+// exception is rethrown to the caller once the batch is quiescent.
+//
+// Like Engine::wait/wait_all, run_chunks_on must not be called from inside
+// a task of the same engine: the calling worker would block on chunks only
+// it could have executed.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "core/batch.hpp"
+#include "runtime/engine.hpp"
+
+namespace luqr::rt {
+
+/// Body invoked once per chunk with its [begin, end) item range.
+using ChunkBody = std::function<void(std::size_t begin, std::size_t end)>;
+
+/// Run `body` over every chunk and block until all complete. With a null
+/// engine, a single chunk, or a single-worker batch the chunks run inline
+/// on the calling thread (no latch, no submission cost). `priority` follows
+/// TaskAttrs semantics (0 = bulk lanes).
+void run_chunks_on(Engine* engine, const std::vector<core::Chunk>& chunks,
+                   const ChunkBody& body, const char* name = "batch-chunk",
+                   int priority = 0);
+
+}  // namespace luqr::rt

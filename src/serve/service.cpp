@@ -4,8 +4,12 @@
 #include <cstdio>
 #include <cstring>
 #include <exception>
+#include <iterator>
+#include <unordered_map>
 #include <utility>
 
+#include "core/batch.hpp"
+#include "kernels/workspace.hpp"
 #include "runtime/engine.hpp"
 
 namespace luqr::serve {
@@ -29,6 +33,10 @@ struct JobState {
 namespace {
 
 using detail::JobState;
+
+// Smallest chunk execute_staged will carve a staged group into (the last
+// chunk is ragged; a group below the floor runs as one chunk).
+constexpr int kMinStagedChunk = 8;
 
 bool is_terminal(JobStatus s) {
   return s == JobStatus::Done || s == JobStatus::Failed ||
@@ -161,6 +169,7 @@ SolveService::SolveService(ServiceConfig config)
   dispatchers_.reserve(static_cast<std::size_t>(n_dispatchers));
   for (int i = 0; i < n_dispatchers; ++i)
     dispatchers_.emplace_back([this] { dispatcher_loop(); });
+  flusher_ = std::thread([this] { flusher_loop(); });
 }
 
 SolveService::~SolveService() {
@@ -171,6 +180,12 @@ SolveService::~SolveService() {
   // condition variables) is destroyed under it.
   queue_.close();
   for (std::thread& t : dispatchers_) t.join();
+  {
+    std::lock_guard<std::mutex> lock(stage_mu_);
+    stage_closed_ = true;
+  }
+  stage_cv_.notify_all();
+  flusher_.join();  // flushes every staged job as chunk tasks first
   drain();
   fine_solver_.reset();
   coarse_solver_.reset();
@@ -268,6 +283,410 @@ std::vector<JobHandle> SolveService::submit_batch(Matrix<double> a,
   for (const auto& s : job.batch_states) handles.push_back(JobHandle(s));
   enqueue(std::move(job));
   return handles;
+}
+
+std::vector<JobHandle> SolveService::submit_many(std::vector<Matrix<double>> as,
+                                                 std::vector<Matrix<double>> bs,
+                                                 Priority priority) {
+  std::vector<std::shared_ptr<const Matrix<double>>> shared;
+  shared.reserve(as.size());
+  for (auto& a : as)
+    shared.push_back(std::make_shared<const Matrix<double>>(std::move(a)));
+  return submit_many(std::move(shared), std::move(bs), priority);
+}
+
+std::vector<JobHandle> SolveService::submit_many(
+    std::vector<std::shared_ptr<const Matrix<double>>> as,
+    std::vector<Matrix<double>> bs, Priority priority) {
+  LUQR_REQUIRE(as.size() == bs.size(),
+               "serve: submit_many needs one rhs per matrix");
+  LUQR_REQUIRE(!as.empty(), "serve: empty submit_many");
+  std::vector<JobHandle> handles;
+  handles.reserve(as.size());
+  const std::size_t flush_count =
+      static_cast<std::size_t>(cfg_.solver.batch().flush_count);
+
+  // Per-member admission accounting (every member, hit or miss, executes
+  // through a chunk task rather than enqueue()).
+  const auto count_member = [this] {
+    submitted_.fetch_add(1, std::memory_order_relaxed);
+    precision_jobs_.record(cfg_.solver.precision(), 1);
+    std::lock_guard<std::mutex> lock(mu_);
+    ++active_;
+  };
+
+  bool staged_any = false;
+  // Members collect locally keyed by the first-seen order of their matrix
+  // pointer, then stage in stable-sorted runs: a chunk task fuses only
+  // members that land in the same chunk, so repeats of one matrix must sit
+  // adjacently, not interleaved the way the client happened to submit them.
+  std::vector<std::pair<std::size_t, Staged>> hits, misses;
+  // Per-call dedup: members sharing one Matrix object hash and cache-probe
+  // once. This is what the shared_ptr form buys — a client's repeated
+  // systems cost one O(n^2) key per distinct matrix, not per member.
+  struct Probe {
+    std::uint64_t hash = 0;
+    FacPtr fac;            // null = miss at skim time
+    std::size_t order = 0;  // first-seen rank, the grouping key
+  };
+  std::unordered_map<const Matrix<double>*, Probe> seen;
+  for (std::size_t i = 0; i < as.size(); ++i) {
+    auto state = std::make_shared<JobState>();
+    state->t_submit_us = now_us();
+    handles.push_back(JobHandle(state));
+
+    // Malformed members fail alone: bulk submission never throws the whole
+    // call away for one bad pair.
+    if (as[i] == nullptr) {
+      count_member();
+      complete_error(state, std::make_exception_ptr(
+                                Error("serve: null system matrix")));
+      continue;
+    }
+    if (as[i]->rows() != as[i]->cols()) {
+      count_member();
+      complete_error(state, std::make_exception_ptr(Error(
+                                "serve: system matrix must be square")));
+      continue;
+    }
+    if (bs[i].rows() != as[i]->rows()) {
+      count_member();
+      complete_error(state, std::make_exception_ptr(
+                                Error("serve: rhs row count mismatch")));
+      continue;
+    }
+
+    std::shared_ptr<const Matrix<double>> a = std::move(as[i]);
+    auto it = seen.find(a.get());
+    if (it == seen.end()) {
+      Probe probe;
+      probe.hash = cache_.hash_of(*a) ^ config_fp_hash_;
+      probe.fac =
+          cache_.find_hashed(*a, config_fp_, probe.hash, /*count_miss=*/true);
+      probe.order = seen.size();
+      it = seen.emplace(a.get(), std::move(probe)).first;
+    }
+
+    if (it->second.fac != nullptr) {
+      batch_hits_skimmed_.fetch_add(1, std::memory_order_relaxed);
+      count_member();
+      Staged staged;
+      staged.a = std::move(a);
+      staged.b = std::move(bs[i]);
+      staged.state = std::move(state);
+      staged.fac = it->second.fac;
+      staged.hash = it->second.hash;
+      staged.priority = priority;
+      hits.emplace_back(it->second.order, std::move(staged));
+      continue;
+    }
+
+    count_member();
+    Staged staged;
+    staged.a = std::move(a);
+    staged.b = std::move(bs[i]);
+    staged.state = std::move(state);
+    staged.hash = it->second.hash;
+    staged.priority = priority;
+    misses.emplace_back(it->second.order, std::move(staged));
+  }
+
+  // Stable sort by first-seen rank: repeats of a matrix become one
+  // contiguous run (in submission order), while distinct matrices keep
+  // their relative order.
+  const auto by_rank = [](const std::pair<std::size_t, Staged>& l,
+                          const std::pair<std::size_t, Staged>& r) {
+    return l.first < r.first;
+  };
+  std::stable_sort(misses.begin(), misses.end(), by_rank);
+  std::stable_sort(hits.begin(), hits.end(), by_rank);
+
+  std::vector<std::shared_ptr<JobState>> rejected;
+  {
+    std::lock_guard<std::mutex> lock(stage_mu_);
+    if (stage_closed_) {  // shutdown raced the submit
+      for (auto& m : misses) rejected.push_back(std::move(m.second.state));
+      for (auto& h : hits) rejected.push_back(std::move(h.second.state));
+    } else {
+      for (auto& m : misses) {
+        const int n = m.second.a->rows();
+        StageBucket& bucket = staging_[n];
+        if (bucket.jobs.empty()) bucket.oldest_us = now_us();
+        bucket.jobs.push_back(std::move(m.second));
+        if (bucket.jobs.size() >= flush_count) {
+          flush_ready_.push_back(std::move(bucket.jobs));
+          staging_.erase(n);
+        }
+        staged_any = true;
+      }
+      if (!hits.empty()) {
+        // Skim: a cache hit needs no factorization, so it never waits in a
+        // size bucket for batch-mates that need one. Hit members ride a
+        // solve-only group flushed immediately.
+        std::vector<Staged> group;
+        group.reserve(hits.size());
+        for (auto& h : hits) group.push_back(std::move(h.second));
+        flush_ready_.push_back(std::move(group));
+        staged_any = true;
+      }
+    }
+  }
+  for (auto& st : rejected) complete_rejected(st);
+  if (staged_any) stage_cv_.notify_all();
+  return handles;
+}
+
+// ---------------------------------------------------------------------------
+// submit_many staging: flusher and chunk execution
+// ---------------------------------------------------------------------------
+
+void SolveService::flusher_loop() {
+  std::unique_lock<std::mutex> lock(stage_mu_);
+  for (;;) {
+    // Count-full groups first: they are already at target fill.
+    if (!flush_ready_.empty()) {
+      std::vector<Staged> group = std::move(flush_ready_.front());
+      flush_ready_.erase(flush_ready_.begin());
+      lock.unlock();
+      execute_staged(std::move(group));
+      lock.lock();
+      continue;
+    }
+    if (stage_closed_) {
+      if (staging_.empty()) break;  // everything flushed; exit
+      auto it = staging_.begin();
+      std::vector<Staged> group = std::move(it->second.jobs);
+      staging_.erase(it);
+      lock.unlock();
+      execute_staged(std::move(group));
+      lock.lock();
+      continue;
+    }
+    if (staging_.empty()) {
+      stage_cv_.wait(lock);
+      continue;
+    }
+    // Deadline policy: a bucket whose oldest member has waited
+    // flush_deadline_us flushes regardless of fill — sparse arrivals get
+    // bounded latency, bursts get full chunks.
+    const std::uint64_t deadline =
+        static_cast<std::uint64_t>(cfg_.solver.batch().flush_deadline_us);
+    const std::uint64_t now = now_us();
+    std::uint64_t next_due = ~std::uint64_t{0};
+    int due_order = -1;
+    for (const auto& entry : staging_) {
+      const std::uint64_t due = entry.second.oldest_us + deadline;
+      if (due <= now) {
+        due_order = entry.first;
+        break;
+      }
+      next_due = std::min(next_due, due);
+    }
+    if (due_order >= 0) {
+      auto it = staging_.find(due_order);
+      std::vector<Staged> group = std::move(it->second.jobs);
+      staging_.erase(it);
+      lock.unlock();
+      execute_staged(std::move(group));
+      lock.lock();
+      continue;
+    }
+    stage_cv_.wait_for(lock, std::chrono::microseconds(next_due - now));
+  }
+}
+
+void SolveService::execute_staged(std::vector<Staged> group) {
+  if (group.empty()) return;
+  // One engine task per chunk. The flusher (a non-worker thread) absorbs
+  // the inflight wait, so client threads never block on admission and the
+  // staging area keeps accumulating while chunks queue up.
+  //
+  // The library's auto chunk policy optimizes engine overlap (~4 chunks
+  // per lane), which shatters a small staged group into single-member
+  // chunks — per-job overhead with extra steps. The service floors the
+  // chunk size instead: overlap comes from concurrent groups in flight,
+  // amortization from fill.
+  int chunk_size = cfg_.solver.batch().chunk_size;
+  if (chunk_size <= 0)
+    chunk_size = std::max(core::auto_chunk_size(group.size(), workers_),
+                          kMinStagedChunk);
+  const std::vector<core::Chunk> chunks =
+      core::plan_chunks(group.size(), chunk_size, workers_);
+  for (const core::Chunk& c : chunks) {
+    std::vector<Staged> chunk(
+        std::make_move_iterator(group.begin() + static_cast<std::ptrdiff_t>(c.begin)),
+        std::make_move_iterator(group.begin() + static_cast<std::ptrdiff_t>(c.end)));
+    acquire_inflight_slot();
+    submit_chunk_task(std::move(chunk));
+  }
+}
+
+void SolveService::submit_chunk_task(std::vector<Staged> chunk) {
+  int prio = 0;
+  for (const Staged& s : chunk)
+    prio = std::max(prio, static_cast<int>(s.priority));
+  const int sweeps = cfg_.solver.refinement_sweeps();
+  engine_->submit(
+      [this, chunk = std::move(chunk), sweeps] {
+        std::vector<std::size_t> live;
+        live.reserve(chunk.size());
+        for (std::size_t i = 0; i < chunk.size(); ++i)
+          if (try_begin(chunk[i].state)) live.push_back(i);
+
+        struct Result {
+          Matrix<double> x;
+          SolveReport report;
+          std::exception_ptr error;
+          bool hit = false;
+        };
+        std::vector<Result> results(live.size());
+        if (!live.empty()) {
+          // One workspace frame for the whole chunk, pre-grown to the
+          // shape's pack-scratch high-water: every matrix after the first
+          // bump-allocates the exact bytes the first one released (the
+          // pack data is per-matrix; the allocation is per-chunk).
+          kern::Workspace& ws = kern::tls_workspace();
+          kern::Workspace::Frame frame(ws);
+          const int n = chunk[live.front()].a->rows();
+          const int nb = cfg_.solver.tile_size();
+          ws.reserve(cfg_.solver.precision() == Precision::F64
+                         ? core::chunk_scratch_bytes_f64(n, nb)
+                         : core::chunk_scratch_bytes_f32(n, nb));
+          // Phase A — resolve one factorization per live member. Skim hits
+          // arrive with theirs. Misses re-probe the cache (an earlier member
+          // of this — or a concurrent — chunk may have inserted an equal
+          // matrix since the submission skim), then factor. A per-chunk
+          // pointer map short-circuits repeated shared_ptr submissions of
+          // the same matrix to one resolution. Staged misses bypass the
+          // pending_ single-flight map — a duplicate factorization against
+          // a racing per-job miss is possible but benign (insert dedupes,
+          // results are bitwise identical either way).
+          std::vector<FacPtr> facs(live.size());
+          std::unordered_map<const Matrix<double>*, FacPtr> local;
+          for (std::size_t k = 0; k < live.size(); ++k) {
+            const Staged& sj = chunk[live[k]];
+            Result& r = results[k];
+            try {
+              FacPtr fac = sj.fac;
+              if (fac != nullptr) {
+                r.hit = true;
+              } else {
+                auto lit = local.find(sj.a.get());
+                if (lit != local.end()) {
+                  fac = lit->second;
+                  r.hit = true;  // resolved by an earlier member this chunk
+                } else {
+                  fac = cache_.find_hashed(*sj.a, config_fp_, sj.hash, false);
+                  r.hit = fac != nullptr;
+                  if (!r.hit) {
+                    fac = std::make_shared<core::Factorization>(
+                        coarse_solver_->factor(*sj.a));
+                    cache_.insert_hashed(*sj.a, config_fp_, sj.hash, fac);
+                    factors_coarse_.fetch_add(1, std::memory_order_relaxed);
+                  }
+                  local.emplace(sj.a.get(), fac);
+                }
+              }
+              facs[k] = std::move(fac);
+            } catch (...) {
+              r.error = std::current_exception();
+            }
+          }
+
+          // Phase B — solve. At F64 with no refinement sweeps, members that
+          // share a factorization fuse into one multi-column solve: column
+          // j of a multi-rhs solve is bitwise identical to the single-rhs
+          // solve of column j (the per-column triangular sweeps are
+          // independent), so fusion is invisible to clients. Refined
+          // precisions iterate on the joint residual — fusing there would
+          // couple members — so they solve one by one.
+          const bool fuse =
+              cfg_.solver.precision() == Precision::F64 && sweeps == 0;
+          std::size_t k = 0;
+          while (k < live.size()) {
+            if (results[k].error != nullptr || facs[k] == nullptr) {
+              ++k;
+              continue;
+            }
+            // Gather the run of subsequent members on the same factorization
+            // (submit_many stages same-pointer members contiguously).
+            std::vector<std::size_t> group{k};
+            std::size_t w = 0;
+            if (fuse) {
+              for (std::size_t j = k + 1; j < live.size(); ++j)
+                if (results[j].error == nullptr && facs[j] == facs[k])
+                  group.push_back(j);
+            }
+            if (group.size() == 1) {
+              Result& r = results[k];
+              try {
+                r.x = facs[k]->solve(chunk[live[k]].b, &r.report, sweeps);
+                if (r.report.fell_back)
+                  refine_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+              } catch (...) {
+                r.error = std::current_exception();
+              }
+              facs[k].reset();
+              ++k;
+              continue;
+            }
+            for (std::size_t g : group) w += chunk[live[g]].b.cols();
+            try {
+              const int n_rows = chunk[live[k]].b.rows();
+              Matrix<double> bcat(n_rows, static_cast<int>(w));
+              int col = 0;
+              for (std::size_t g : group) {
+                const Matrix<double>& b = chunk[live[g]].b;
+                for (int c = 0; c < b.cols(); ++c, ++col)
+                  for (int rr = 0; rr < n_rows; ++rr)
+                    bcat(rr, col) = b(rr, c);
+              }
+              SolveReport rep;
+              Matrix<double> xcat = facs[k]->solve(bcat, &rep, sweeps);
+              fused_cols_.fetch_add(static_cast<std::uint64_t>(w),
+                                    std::memory_order_relaxed);
+              col = 0;
+              for (std::size_t g : group) {
+                Result& r = results[g];
+                const int bc = chunk[live[g]].b.cols();
+                Matrix<double> x(n_rows, bc);
+                for (int c = 0; c < bc; ++c, ++col)
+                  for (int rr = 0; rr < n_rows; ++rr)
+                    x(rr, c) = xcat(rr, col);
+                r.x = std::move(x);
+                r.report = rep;
+              }
+            } catch (...) {
+              for (std::size_t g : group)
+                results[g].error = std::current_exception();
+            }
+            // A group may be gapped (a different-fac member interleaved);
+            // clearing each consumed slot makes the top-of-loop skip
+            // correct without index gymnastics.
+            for (std::size_t g : group) facs[g].reset();
+            ++k;
+          }
+          batched_jobs_.fetch_add(live.size(), std::memory_order_relaxed);
+          batches_executed_.fetch_add(1, std::memory_order_relaxed);
+        }
+        release_inflight_slot();
+        // Settle after the slot is back (the settlement discipline every
+        // execution path follows); per-member isolation — one failed
+        // member's neighbors complete normally.
+        std::size_t k = 0;
+        for (std::size_t i = 0; i < chunk.size(); ++i) {
+          if (k < live.size() && live[k] == i) {
+            Result& r = results[k++];
+            if (r.error)
+              complete_error(chunk[i].state, r.error);
+            else
+              complete_ok(chunk[i].state, std::move(r.x), r.hit, r.report);
+          } else {
+            complete_cancelled(chunk[i].state);
+          }
+        }
+      },
+      {}, {"serve-batch-chunk", prio, -1});
 }
 
 // ---------------------------------------------------------------------------
@@ -827,6 +1246,13 @@ ServiceStats SolveService::stats() const {
   s.batches = batches_.load(std::memory_order_relaxed);
   s.batch_members = batch_members_.load(std::memory_order_relaxed);
   s.fused_rhs_columns = fused_cols_.load(std::memory_order_relaxed);
+  s.batched_jobs = batched_jobs_.load(std::memory_order_relaxed);
+  s.batches_executed = batches_executed_.load(std::memory_order_relaxed);
+  s.batch_hits_skimmed = batch_hits_skimmed_.load(std::memory_order_relaxed);
+  s.batch_fill_mean = s.batches_executed > 0
+                          ? static_cast<double>(s.batched_jobs) /
+                                static_cast<double>(s.batches_executed)
+                          : 0.0;
   s.factors_coarse = factors_coarse_.load(std::memory_order_relaxed);
   s.factors_inline_parallel = factors_inline_.load(std::memory_order_relaxed);
   s.queue_depth = queue_.depth();

@@ -42,6 +42,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -149,6 +150,12 @@ struct ServiceStats {
   std::uint64_t submitted = 0, completed = 0, failed = 0, cancelled = 0,
                 rejected = 0;
   std::uint64_t batches = 0, batch_members = 0, fused_rhs_columns = 0;
+  /// submit_many telemetry: jobs executed through chunked batch tasks,
+  /// chunk tasks executed, cache hits skimmed off at submission (served
+  /// without staging), and the mean jobs per executed chunk — the batch
+  /// fill, the number that says whether staging actually amortizes.
+  std::uint64_t batched_jobs = 0, batches_executed = 0, batch_hits_skimmed = 0;
+  double batch_fill_mean = 0.0;
   std::uint64_t factors_coarse = 0, factors_inline_parallel = 0;
   std::size_t queue_depth = 0, queue_capacity = 0, inflight = 0,
               pending_factorizations = 0;
@@ -192,6 +199,38 @@ class SolveService {
                                       std::vector<Matrix<double>> bs,
                                       Priority priority = Priority::Batch);
 
+  /// Enqueue many independent small systems (a_i x_i = b_i), one handle per
+  /// pair. Cache hits are skimmed off at submission and served through the
+  /// normal per-job path; misses accumulate in a size-bucketed staging area
+  /// and execute as chunked batch tasks — one engine task factors and
+  /// solves a whole shape-homogeneous chunk inside a single workspace
+  /// frame, so queue/engine/workspace cost is paid per chunk, not per job.
+  /// A bucket flushes when it reaches BatchOptions::flush_count jobs or
+  /// when its oldest job has waited flush_deadline_us (bounded latency for
+  /// sparse arrivals; cfg.solver.batch() carries both knobs).
+  ///
+  /// Per-member error isolation: a malformed pair (non-square a, rhs row
+  /// mismatch) fails its own handle only — bulk submission never throws
+  /// away the whole call for one bad member. Results are bitwise identical
+  /// to submit_solve (and to one-shot Solver::solve) for every member.
+  std::vector<JobHandle> submit_many(std::vector<Matrix<double>> as,
+                                     std::vector<Matrix<double>> bs,
+                                     Priority priority = Priority::Batch);
+
+  /// Zero-copy bulk submission: members reference their system matrices by
+  /// shared_ptr, so a client solving many right-hand sides against a pool
+  /// of repeated systems passes the same pointer for each repeat. Repeats
+  /// within one call are deduplicated by pointer — hashed and cache-probed
+  /// once per distinct matrix instead of once per member — and members that
+  /// share a factorization are fused into one multi-column solve inside
+  /// the chunk task (F64 without refinement sweeps; fused columns are
+  /// bitwise identical to per-member solves). This is the structure the
+  /// per-job API cannot express: submit_solve must hash, probe, and
+  /// schedule every repeat from scratch.
+  std::vector<JobHandle> submit_many(
+      std::vector<std::shared_ptr<const Matrix<double>>> as,
+      std::vector<Matrix<double>> bs, Priority priority = Priority::Batch);
+
   /// Block until every accepted job has reached a terminal state.
   void drain();
 
@@ -222,6 +261,25 @@ class SolveService {
     std::shared_ptr<detail::JobState> state;                // Solve/Factor
     std::vector<Matrix<double>> batch_b;                    // Batch
     std::vector<std::shared_ptr<detail::JobState>> batch_states;  // Batch
+  };
+
+  /// One staged submit_many member: accepted and hashed. Cache misses wait
+  /// in their size bucket until the chunk flushes; skimmed cache hits carry
+  /// their factorization (`fac` non-null) and bypass the buckets entirely —
+  /// grouped into immediately-flushed solve chunks with no staging latency.
+  struct Staged {
+    std::shared_ptr<const Matrix<double>> a;
+    Matrix<double> b;
+    std::shared_ptr<detail::JobState> state;
+    std::shared_ptr<const core::Factorization> fac;  ///< set on a skim hit
+    std::uint64_t hash = 0;
+    Priority priority = Priority::Batch;
+  };
+
+  /// Staging bucket: same-order jobs awaiting count or deadline flush.
+  struct StageBucket {
+    std::vector<Staged> jobs;
+    std::uint64_t oldest_us = 0;  ///< staging time of the oldest member
   };
 
   using FacPtr = std::shared_ptr<const core::Factorization>;
@@ -271,6 +329,13 @@ class SolveService {
   void submit_batch_task(std::vector<std::shared_ptr<detail::JobState>> states,
                          std::vector<Matrix<double>> bs, FacPtr fac,
                          bool cache_hit, Priority priority);
+  // submit_many machinery: the flusher thread turns staged buckets into
+  // chunk tasks (on count, deadline, or shutdown); each chunk task factors
+  // and solves its members serially in one workspace frame with per-member
+  // error isolation.
+  void flusher_loop();
+  void execute_staged(std::vector<Staged> group);
+  void submit_chunk_task(std::vector<Staged> chunk);
   bool try_begin(const std::shared_ptr<detail::JobState>& state);
   void complete_ok(const std::shared_ptr<detail::JobState>& state,
                    Matrix<double> x, bool cache_hit,
@@ -307,9 +372,21 @@ class SolveService {
   std::vector<std::thread> dispatchers_;
   std::chrono::steady_clock::time_point start_;
 
+  // submit_many staging area. stage_mu_ orders bucket mutation against the
+  // flusher and shutdown; full buckets move to flush_ready_ so the client
+  // thread never executes chunks (and never blocks on inflight slots).
+  std::mutex stage_mu_;
+  std::condition_variable stage_cv_;
+  std::map<int, StageBucket> staging_;           // keyed by matrix order
+  std::vector<std::vector<Staged>> flush_ready_;  // count-full groups
+  bool stage_closed_ = false;
+  std::thread flusher_;
+
   std::atomic<std::uint64_t> submitted_{0}, completed_{0}, failed_{0},
       cancelled_{0}, rejected_{0};
   std::atomic<std::uint64_t> batches_{0}, batch_members_{0}, fused_cols_{0};
+  std::atomic<std::uint64_t> batched_jobs_{0}, batches_executed_{0},
+      batch_hits_skimmed_{0};
   std::atomic<std::uint64_t> factors_coarse_{0}, factors_inline_{0};
   PrecisionCounters precision_jobs_;
   std::atomic<std::uint64_t> refine_fallbacks_{0};

@@ -15,6 +15,12 @@
 //   --reject          reject-when-full admission instead of blocking
 //   --batch K         fold every K-th request into a K-member fused batch
 //                     (default 0 = no batching)
+//   --many K          fold every K-th request into a K-member submit_many
+//                     call with mixed pool picks (default 0 = off); this
+//                     exercises the size-bucketed staging area
+//   --small-mix       small-problem preset: sizes 16..128, submit_many
+//                     groups of 8, verification on — the batched-staging
+//                     stress shape CI runs under TSan
 //   --verify          check every result bitwise against a one-shot
 //                     luqr::Solver reference (results are collected during
 //                     the run and verified after it, outside the timed
@@ -45,8 +51,8 @@ namespace {
   std::fprintf(stderr,
                "usage: %s [--clients N] [--requests M] [--sizes a,b,c] [--pool K]\n"
                "       [--nb V] [--threads T] [--dispatchers D] [--queue Q]\n"
-               "       [--cache-mb MB] [--reject] [--batch K] [--verify]\n"
-               "       [--stress] [--seed S]\n",
+               "       [--cache-mb MB] [--reject] [--batch K] [--many K]\n"
+               "       [--small-mix] [--verify] [--stress] [--seed S]\n",
                argv0);
   std::exit(2);
 }
@@ -72,9 +78,9 @@ int main(int argc, char** argv) {
   using namespace luqr;
 
   int clients = 8, requests = 25, pool_size = 8, nb = 32, threads = 0;
-  int dispatchers = 1, batch_every = 0;
+  int dispatchers = 1, batch_every = 0, many_every = 0;
   std::size_t queue_capacity = 256, cache_mb = 256;
-  bool reject = false, verify_results = false, stress = false;
+  bool reject = false, verify_results = false, stress = false, small_mix = false;
   std::uint64_t seed = 1;
   std::vector<int> sizes = {32, 48, 64, 96};
 
@@ -95,10 +101,18 @@ int main(int argc, char** argv) {
     else if (arg == "--cache-mb") cache_mb = static_cast<std::size_t>(std::atol(need_value()));
     else if (arg == "--reject") reject = true;
     else if (arg == "--batch") batch_every = std::atoi(need_value());
+    else if (arg == "--many") many_every = std::atoi(need_value());
+    else if (arg == "--small-mix") small_mix = true;
     else if (arg == "--verify") verify_results = true;
     else if (arg == "--stress") stress = true;
     else if (arg == "--seed") seed = static_cast<std::uint64_t>(std::atoll(need_value()));
     else usage(argv[0]);
+  }
+  if (small_mix) {
+    sizes = {16, 32, 48, 64, 96, 128};
+    if (many_every <= 0) many_every = 8;
+    pool_size = std::max(pool_size, 2 * static_cast<int>(sizes.size()));
+    verify_results = true;
   }
   if (stress) {
     clients = std::max(clients, 8);
@@ -155,11 +169,28 @@ int main(int argc, char** argv) {
           try {
             std::vector<serve::JobHandle> handles;
             std::vector<Matrix<double>> bs;
-            if (batch_every > 0 && r % batch_every == 0) {
+            std::vector<int> picks;  // pool index per handle, for verification
+            if (many_every > 0 && r % many_every == 0) {
+              // K independent systems with mixed pool picks in one
+              // submit_many call: lands in the size-bucketed staging area.
+              std::vector<Matrix<double>> as;
+              for (int k = 0; k < many_every; ++k) {
+                const int p = static_cast<int>(rng.uniform() * pool_size) % pool_size;
+                const Matrix<double>& ak = pool[static_cast<std::size_t>(p)];
+                Matrix<double> b(ak.rows(), 1);
+                Rng brng(rhs_seed + static_cast<std::uint64_t>(k) * 131);
+                for (int i = 0; i < ak.rows(); ++i) b(i, 0) = brng.gaussian();
+                picks.push_back(p);
+                as.push_back(ak);
+                bs.push_back(std::move(b));
+              }
+              handles = svc.submit_many(as, bs, prio);
+            } else if (batch_every > 0 && r % batch_every == 0) {
               for (int k = 0; k < batch_every; ++k) {
                 Matrix<double> b(a.rows(), 1);
                 Rng brng(rhs_seed + static_cast<std::uint64_t>(k) * 131);
                 for (int i = 0; i < a.rows(); ++i) b(i, 0) = brng.gaussian();
+                picks.push_back(pick);
                 bs.push_back(std::move(b));
               }
               handles = svc.submit_batch(a, bs, prio);
@@ -168,6 +199,7 @@ int main(int argc, char** argv) {
               Rng brng(rhs_seed);
               for (int j = 0; j < b.cols(); ++j)
                 for (int i = 0; i < a.rows(); ++i) b(i, j) = brng.gaussian();
+              picks.push_back(pick);
               bs.push_back(b);
               handles.push_back(svc.submit_solve(a, std::move(b), prio));
             }
@@ -181,7 +213,7 @@ int main(int argc, char** argv) {
               done.fetch_add(1);
               if (verify_results)
                 outcomes[static_cast<std::size_t>(id)].push_back(
-                    Outcome{pick, std::move(bs[h]), std::move(x)});
+                    Outcome{picks[h], std::move(bs[h]), std::move(x)});
             }
           } catch (const std::exception& e) {
             // get() rethrows the job's original exception of any type.
@@ -251,6 +283,12 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(s.batches),
                   static_cast<unsigned long long>(s.batch_members),
                   static_cast<unsigned long long>(s.fused_rhs_columns));
+      std::printf("staged batching    %llu jobs / %llu chunks (fill mean %.1f), "
+                  "%llu cache hits skimmed\n",
+                  static_cast<unsigned long long>(s.batched_jobs),
+                  static_cast<unsigned long long>(s.batches_executed),
+                  s.batch_fill_mean,
+                  static_cast<unsigned long long>(s.batch_hits_skimmed));
       std::printf("latency (us)       p50=%llu p99=%llu max=%llu mean=%.0f\n",
                   static_cast<unsigned long long>(s.latency_p50_us),
                   static_cast<unsigned long long>(s.latency_p99_us),
