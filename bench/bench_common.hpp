@@ -14,6 +14,8 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <ctime>
 #include <limits>
 #include <string>
 #include <thread>
@@ -23,6 +25,66 @@
 #include "luqr.hpp"
 
 namespace luqr::bench {
+
+/// Short git SHA of the working tree, so BENCH_*.json artifacts can be
+/// matched to the commit they measured. `LUQR_GIT_SHA` overrides (CI sets it
+/// from the checkout ref; detached build dirs may have no .git to ask).
+inline std::string git_sha() {
+  if (const char* env = std::getenv("LUQR_GIT_SHA")) return env;
+  std::string sha;
+#if !defined(_WIN32)
+  if (std::FILE* p = ::popen("git rev-parse --short=12 HEAD 2>/dev/null", "r")) {
+    char buf[64];
+    if (std::fgets(buf, sizeof(buf), p) != nullptr) sha = buf;
+    ::pclose(p);
+  }
+#endif
+  while (!sha.empty() && (sha.back() == '\n' || sha.back() == '\r')) sha.pop_back();
+  return sha.empty() ? "unknown" : sha;
+}
+
+/// Current UTC time as ISO-8601 (e.g. "2026-08-08T12:34:56Z").
+inline std::string iso_timestamp_utc() {
+  const std::time_t now = std::time(nullptr);
+  std::tm tm{};
+#if defined(_WIN32)
+  gmtime_s(&tm, &now);
+#else
+  gmtime_r(&now, &tm);
+#endif
+  char buf[32];
+  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm);
+  return buf;
+}
+
+/// Compiler id + version string baked into the binary.
+inline std::string compiler_id() {
+#if defined(__clang__)
+  return std::string("clang ") + __clang_version__;
+#elif defined(__GNUC__)
+  return std::string("gcc ") + __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
+/// Coarse build-flag fingerprint: assertion mode + optimization level. Perf
+/// rows from a -O0 or assert-enabled build are not comparable to release
+/// numbers, and this makes such artifacts self-identifying.
+inline std::string build_flags() {
+  std::string flags;
+#if defined(NDEBUG)
+  flags += "-DNDEBUG";
+#else
+  flags += "asserts";
+#endif
+#if defined(__OPTIMIZE__)
+  flags += " -O2+";
+#else
+  flags += " -O0";
+#endif
+  return flags;
+}
 
 /// Machine-readable result sink behind `--json <path>`. Rows are collected
 /// unconditionally (it is cheap); write() emits the file only when a path
@@ -61,9 +123,14 @@ class JsonReport {
     for (int i = 1; i + 1 < argc; ++i)
       if (std::string(argv[i]) == "--json") path_ = argv[i + 1];
     // Every report records the machine's concurrency so perf numbers from
-    // different runners are comparable at a glance.
+    // different runners are comparable at a glance, plus provenance (commit,
+    // time, toolchain) so a BENCH_*.json found loose is still attributable.
     config("hardware_concurrency",
            static_cast<long>(std::thread::hardware_concurrency()));
+    config("git_sha", git_sha());
+    config("timestamp", iso_timestamp_utc());
+    config("compiler", compiler_id());
+    config("build_flags", build_flags());
   }
 
   bool enabled() const { return !path_.empty(); }

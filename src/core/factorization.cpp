@@ -1,6 +1,7 @@
 #include "core/factorization.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
 
@@ -610,6 +611,13 @@ Matrix<double> Factorization::solve(const Matrix<double>& b, SolveReport* report
     return scaled_residual(r, xx, b, anorm);
   };
 
+  const auto t_refine0 = std::chrono::steady_clock::now();
+  const auto refine_elapsed_us = [t_refine0] {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - t_refine0)
+            .count());
+  };
   double rho = residual_of(x);
   Matrix<double> best_x = x;
   double best_rho = rho;
@@ -638,6 +646,7 @@ Matrix<double> Factorization::solve(const Matrix<double>& b, SolveReport* report
   rep.refine_iterations = iters;
   rep.converged = best_rho <= tol;
   rep.residual = best_rho;
+  rep.refine_us = refine_elapsed_us();
 
   if (!rep.converged && has_fallback_spec_) {
     // Refinement stalled above the tolerance: refactor in f64 and serve the
@@ -646,6 +655,7 @@ Matrix<double> Factorization::solve(const Matrix<double>& b, SolveReport* report
     rep.fell_back = true;
     rep.residual = residual_of(xf);
     rep.converged = rep.residual <= tol;
+    rep.refine_us = refine_elapsed_us();
     if (report) *report = rep;
     return xf;
   }

@@ -9,6 +9,7 @@
 // reduced precision never silently returns a low-accuracy solution.
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 namespace luqr::core {
@@ -47,6 +48,10 @@ struct SolveReport {
   /// F32_IR: the scaled residual of the returned x. Negative when the solve
   /// did not evaluate a residual (F64/F32 paths).
   double residual = -1.0;
+  /// F32_IR: wall time spent in the refinement loop (residual evaluations
+  /// plus correction solves), including the f64 fallback when taken. 0 for
+  /// F64/F32 solves.
+  std::uint64_t refine_us = 0;
 };
 
 inline std::string to_string(Precision p) {

@@ -4,6 +4,7 @@
 #include "kernels/blas.hpp"
 #include "kernels/microkernel.hpp"
 #include "kernels/pack.hpp"
+#include "obs/kprof.hpp"
 
 namespace luqr::kern {
 
@@ -185,6 +186,8 @@ void gemm(Trans transa, Trans transb, T alpha, ConstMatrixView<T> a,
   note_read(b);
   note_write(c);
   const int k = transa == Trans::No ? a.cols : a.rows;
+  obs::KernelScope prof(obs::KernelClass::Gemm,
+                        obs::gemm_model_flops(c.rows, c.cols, k));
   if (gemm_wants_blocked(c.rows, c.cols, k)) {
     gemm_blocked(transa, transb, alpha, a, b, beta, c, ws);
   } else {

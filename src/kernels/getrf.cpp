@@ -5,6 +5,7 @@
 #include "kernels/access.hpp"
 #include "kernels/lapack.hpp"
 #include "kernels/pack.hpp"
+#include "obs/kprof.hpp"
 
 namespace luqr::kern {
 
@@ -115,6 +116,8 @@ template <typename T>
 int getrf(MatrixView<T> a, std::vector<int>& piv, Workspace* ws) {
   // Audited-task footprint report (no-op without an installed listener).
   note_write(a);
+  obs::KernelScope prof(obs::KernelClass::Getrf,
+                        obs::getrf_model_flops(a.rows, a.cols));
   if (panel_wants_blocked(a.rows, a.cols))
     return getrf_blocked_impl(a, /*lo=*/0, piv, ws);
   return getrf_unblocked_impl(a, /*lo=*/0, piv);
@@ -133,6 +136,8 @@ int getrf_blocked(MatrixView<T> a, std::vector<int>& piv, Workspace* ws) {
 template <typename T>
 int getrf_nopiv(MatrixView<T> a) {
   note_write(a);
+  obs::KernelScope prof(obs::KernelClass::Getrf,
+                        obs::getrf_model_flops(a.rows, a.cols));
   const int k = std::min(a.rows, a.cols);
   int info = 0;
   for (int j = 0; j < k; ++j) {
@@ -149,6 +154,8 @@ template <typename T>
 int getrf_restricted(MatrixView<T> a, int lo, std::vector<int>& piv,
                      Workspace* ws) {
   note_write(a);
+  obs::KernelScope prof(obs::KernelClass::Getrf,
+                        obs::getrf_model_flops(a.rows, a.cols));
   const int m = a.rows;
   LUQR_REQUIRE(lo >= 0 && lo <= m, "getrf_restricted: bad row bound");
   if (panel_wants_blocked(m, a.cols)) return getrf_blocked_impl(a, lo, piv, ws);
@@ -158,6 +165,7 @@ int getrf_restricted(MatrixView<T> a, int lo, std::vector<int>& piv,
 template <typename T>
 void laswp(MatrixView<T> a, const std::vector<int>& piv, bool forward) {
   note_write(a);
+  obs::KernelScope prof(obs::KernelClass::Laswp, 0.0);
   const int k = static_cast<int>(piv.size());
   if (forward) {
     for (int j = 0; j < k; ++j) swap_rows(a, j, piv[static_cast<std::size_t>(j)]);
@@ -171,6 +179,8 @@ void gessm(ConstMatrixView<T> lu, const std::vector<int>& piv, MatrixView<T> a) 
   note_read(lu);
   note_write(a);
   LUQR_REQUIRE(lu.rows == a.rows, "gessm dimension mismatch");
+  obs::KernelScope prof(obs::KernelClass::Gessm,
+                        obs::trsm_model_flops(true, a.rows, a.cols));
   laswp(a, piv, /*forward=*/true);
   trsm(Side::Left, Uplo::Lower, Trans::No, Diag::Unit, T(1), lu, a);
 }

@@ -4,6 +4,7 @@
 
 #include "kernels/access.hpp"
 #include "kernels/lapack.hpp"
+#include "obs/kprof.hpp"
 
 namespace luqr::kern {
 
@@ -19,6 +20,8 @@ int tstrf(MatrixView<T> u, MatrixView<T> a, MatrixView<T> l1, std::vector<int>& 
   note_write(u);
   note_write(a);
   note_write(l1);
+  obs::KernelScope prof(obs::KernelClass::Tstrf,
+                        obs::tstrf_model_flops(u.cols));
   const int nb = u.cols;
   LUQR_REQUIRE(u.rows == nb && a.rows == nb && a.cols == nb, "tstrf shape mismatch");
   LUQR_REQUIRE(l1.rows >= nb && l1.cols >= nb, "tstrf: L1 too small");
@@ -52,6 +55,8 @@ void ssssm(ConstMatrixView<T> l1, ConstMatrixView<T> l2, const std::vector<int>&
   note_read(l2);
   note_write(a1);
   note_write(a2);
+  obs::KernelScope prof(obs::KernelClass::Ssssm,
+                        obs::ssssm_model_flops(a1.cols, l2.cols));
   const int nb = l2.cols, n = a1.cols;
   LUQR_REQUIRE(l2.rows == nb && a1.rows == nb && a2.rows == nb && a2.cols == n,
                "ssssm shape mismatch");

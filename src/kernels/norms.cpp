@@ -4,6 +4,7 @@
 #include "kernels/access.hpp"
 #include "kernels/lapack.hpp"
 #include "kernels/norms.hpp"
+#include "obs/kprof.hpp"
 
 namespace luqr::kern {
 
@@ -13,6 +14,7 @@ T lange(Norm norm, ConstMatrixView<T> a) {
   note_read(a);
   const int m = a.rows, n = a.cols;
   if (m == 0 || n == 0) return T(0);
+  obs::KernelScope prof(obs::KernelClass::Lange, double(m) * n);
   switch (norm) {
     case Norm::One: {
       T best = T(0);

@@ -4,6 +4,7 @@
 #include "kernels/access.hpp"
 #include "kernels/lapack.hpp"
 #include "kernels/pack.hpp"
+#include "obs/kprof.hpp"
 
 namespace luqr::kern {
 
@@ -151,6 +152,8 @@ void geqrt(MatrixView<T> a, MatrixView<T> t, Workspace* wsp) {
   // Audited-task footprint report (no-op without an installed listener).
   note_write(a);
   note_write(t);
+  obs::KernelScope prof(obs::KernelClass::Geqrt,
+                        obs::geqrt_model_flops(a.rows, a.cols));
   if (panel_wants_blocked(a.rows, a.cols)) {
     geqrt_blocked(a, t, wsp);
   } else {
@@ -167,6 +170,8 @@ void unmqr(Trans trans, ConstMatrixView<T> v, ConstMatrixView<T> t,
   const int m = c.rows, n = c.cols, k = v.cols;
   LUQR_REQUIRE(v.rows == m && t.rows >= k && t.cols >= k, "unmqr shape mismatch");
   if (m == 0 || n == 0 || k == 0) return;
+  obs::KernelScope prof(obs::KernelClass::Unmqr,
+                        obs::unmqr_model_flops(m, n, k));
   Workspace& ws = workspace_or_tls(wsp);
   Workspace::Frame frame(ws);
   MatrixView<T> w(ws.alloc<T>(static_cast<std::size_t>(k) * n), k, n, k);

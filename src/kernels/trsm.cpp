@@ -4,6 +4,7 @@
 #include "kernels/access.hpp"
 #include "kernels/blas.hpp"
 #include "kernels/pack.hpp"
+#include "obs/kprof.hpp"
 
 namespace luqr::kern {
 
@@ -220,6 +221,8 @@ void trsm(Side side, Uplo uplo, Trans trans, Diag diag, T alpha,
   const int m = b.rows, n = b.cols;
   LUQR_REQUIRE(side == Side::Left ? a.rows == m : a.rows == n,
                "trsm dimension mismatch");
+  obs::KernelScope prof(obs::KernelClass::Trsm,
+                        obs::trsm_model_flops(side == Side::Left, m, n));
   // Dispatch on the triangle dimension only (see trsm_wants_blocked).
   if (trsm_wants_blocked(a.rows)) {
     trsm_blocked(side, uplo, trans, diag, alpha, a, b, ws);
@@ -237,6 +240,8 @@ void trmm(Side side, Uplo uplo, Trans trans, Diag diag, T alpha,
   const int m = b.rows, n = b.cols;
   LUQR_REQUIRE(side == Side::Left ? a.rows == m : a.rows == n,
                "trmm dimension mismatch");
+  obs::KernelScope prof(obs::KernelClass::Trmm,
+                        obs::trsm_model_flops(side == Side::Left, m, n));
   const bool unit = diag == Diag::Unit;
   if (side == Side::Left) {
     // In-place dot form over the stored triangle, per column of B. The

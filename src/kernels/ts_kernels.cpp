@@ -2,6 +2,7 @@
 
 #include "kernels/access.hpp"
 #include "kernels/lapack.hpp"
+#include "obs/kprof.hpp"
 
 namespace luqr::kern {
 
@@ -11,6 +12,8 @@ void tsqrt(MatrixView<T> r, MatrixView<T> a, MatrixView<T> t, Workspace* wsp) {
   note_write(r);
   note_write(a);
   note_write(t);
+  obs::KernelScope prof(obs::KernelClass::Tsqrt,
+                        obs::tsqrt_model_flops(a.rows, r.cols));
   const int nb = r.cols, m = a.rows;
   LUQR_REQUIRE(r.rows == nb && a.cols == nb, "tsqrt shape mismatch");
   LUQR_REQUIRE(t.rows >= nb && t.cols >= nb, "tsqrt: T too small");
@@ -67,6 +70,8 @@ void tsmqr(Trans trans, ConstMatrixView<T> v, ConstMatrixView<T> t,
   note_read(t);
   note_write(c1);
   note_write(c2);
+  obs::KernelScope prof(obs::KernelClass::Tsmqr,
+                        obs::tsmqr_model_flops(v.rows, c1.cols, v.cols));
   const int nb = v.cols, m = v.rows, n = c1.cols;
   LUQR_REQUIRE(c1.rows == nb && c2.rows == m && c2.cols == n, "tsmqr shape mismatch");
   if (n == 0) return;

@@ -3,6 +3,7 @@
 #include "kernels/access.hpp"
 #include "kernels/lapack.hpp"
 #include "kernels/pack.hpp"
+#include "obs/kprof.hpp"
 
 namespace luqr::kern {
 
@@ -12,6 +13,8 @@ void ttqrt(MatrixView<T> r1, MatrixView<T> r2, MatrixView<T> t, Workspace* wsp) 
   note_write(r1);
   note_write(r2);
   note_write(t);
+  obs::KernelScope prof(obs::KernelClass::Ttqrt,
+                        obs::ttqrt_model_flops(r1.cols));
   const int nb = r1.cols;
   LUQR_REQUIRE(r1.rows == nb && r2.rows == nb && r2.cols == nb, "ttqrt shape mismatch");
   LUQR_REQUIRE(t.rows >= nb && t.cols >= nb, "ttqrt: T too small");
@@ -68,6 +71,8 @@ void ttmqr(Trans trans, ConstMatrixView<T> v, ConstMatrixView<T> t,
   note_read(t);
   note_write(c1);
   note_write(c2);
+  obs::KernelScope prof(obs::KernelClass::Ttmqr,
+                        obs::ttmqr_model_flops(c1.cols, v.cols));
   const int nb = v.cols, n = c1.cols;
   LUQR_REQUIRE(v.rows == nb && c1.rows == nb && c2.rows == nb && c2.cols == n,
                "ttmqr shape mismatch");

@@ -1,0 +1,318 @@
+#include "obs/export.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <map>
+
+namespace luqr {
+namespace obs {
+
+namespace {
+
+std::string escape_label(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    if (c == '\\' || c == '"')
+      out += '\\';
+    else if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out += c;
+  }
+  return out;
+}
+
+std::string label_block(const Labels& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& kv : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += kv.first;
+    out += "=\"";
+    out += escape_label(kv.second);
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+// le= block for histogram buckets: existing labels plus the bucket edge.
+std::string le_block(const Labels& labels, const std::string& edge) {
+  std::string out = "{";
+  for (const auto& kv : labels) {
+    out += kv.first;
+    out += "=\"";
+    out += escape_label(kv.second);
+    out += "\",";
+  }
+  out += "le=\"";
+  out += edge;
+  out += "\"}";
+  return out;
+}
+
+std::string fmt_u64(std::uint64_t v) { return std::to_string(v); }
+
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+// Emit # HELP / # TYPE once per metric family name.
+void family_header(std::string& out, std::map<std::string, bool>& seen,
+                   const std::string& name, const std::string& help,
+                   const char* type) {
+  if (seen[name]) return;
+  seen[name] = true;
+  if (!help.empty()) {
+    out += "# HELP ";
+    out += name;
+    out += ' ';
+    out += help;
+    out += '\n';
+  }
+  out += "# TYPE ";
+  out += name;
+  out += ' ';
+  out += type;
+  out += '\n';
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void json_labels(std::string& out, const Labels& labels) {
+  out += "\"labels\":{";
+  bool first = true;
+  for (const auto& kv : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += json_escape(kv.first);
+    out += "\":\"";
+    out += json_escape(kv.second);
+    out += '"';
+  }
+  out += '}';
+}
+
+bool write_atomic(const std::string& text, const std::string& path) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+    if (!f) return false;
+    f << text;
+    if (!f.good()) return false;
+  }
+  return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+}  // namespace
+
+std::string to_prometheus(const Snapshot& snap) {
+  std::string out;
+  std::map<std::string, bool> seen;
+  for (const auto& c : snap.counters) {
+    family_header(out, seen, c.name, c.help, "counter");
+    out += c.name;
+    out += label_block(c.labels);
+    out += ' ';
+    out += fmt_u64(c.value);
+    out += '\n';
+  }
+  for (const auto& g : snap.gauges) {
+    family_header(out, seen, g.name, g.help, "gauge");
+    out += g.name;
+    out += label_block(g.labels);
+    out += ' ';
+    out += fmt_double(g.value);
+    out += '\n';
+  }
+  for (const auto& h : snap.histograms) {
+    family_header(out, seen, h.name, h.help, "histogram");
+    int last = -1;
+    for (int b = 0; b < kHistogramBuckets; ++b)
+      if (h.data.buckets[size_t(b)] > 0) last = b;
+    std::uint64_t cum = 0;
+    for (int b = 0; b <= last; ++b) {
+      cum += h.data.buckets[size_t(b)];
+      out += h.name;
+      out += "_bucket";
+      out += le_block(h.labels, fmt_u64(HistogramData::bucket_edge(b)));
+      out += ' ';
+      out += fmt_u64(cum);
+      out += '\n';
+    }
+    out += h.name;
+    out += "_bucket";
+    out += le_block(h.labels, "+Inf");
+    out += ' ';
+    out += fmt_u64(h.data.count);
+    out += '\n';
+    out += h.name;
+    out += "_sum";
+    out += label_block(h.labels);
+    out += ' ';
+    out += fmt_u64(h.data.sum);
+    out += '\n';
+    out += h.name;
+    out += "_count";
+    out += label_block(h.labels);
+    out += ' ';
+    out += fmt_u64(h.data.count);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string to_json(const Snapshot& snap) {
+  std::string out = "{\"ts_us\":" + fmt_u64(snap.ts_us);
+  out += ",\"counters\":[";
+  bool first = true;
+  for (const auto& c : snap.counters) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"";
+    out += json_escape(c.name);
+    out += "\",";
+    json_labels(out, c.labels);
+    out += ",\"value\":";
+    out += fmt_u64(c.value);
+    out += '}';
+  }
+  out += "],\"gauges\":[";
+  first = true;
+  for (const auto& g : snap.gauges) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"";
+    out += json_escape(g.name);
+    out += "\",";
+    json_labels(out, g.labels);
+    out += ",\"value\":";
+    out += fmt_double(g.value);
+    out += '}';
+  }
+  out += "],\"histograms\":[";
+  first = true;
+  for (const auto& h : snap.histograms) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"";
+    out += json_escape(h.name);
+    out += "\",";
+    json_labels(out, h.labels);
+    out += ",\"count\":";
+    out += fmt_u64(h.data.count);
+    out += ",\"sum\":";
+    out += fmt_u64(h.data.sum);
+    out += ",\"max\":";
+    out += fmt_u64(h.data.max);
+    out += ",\"mean\":";
+    out += fmt_double(h.data.mean());
+    out += ",\"p50\":";
+    out += fmt_u64(h.data.quantile(0.50));
+    out += ",\"p90\":";
+    out += fmt_u64(h.data.quantile(0.90));
+    out += ",\"p99\":";
+    out += fmt_u64(h.data.quantile(0.99));
+    out += ",\"buckets\":[";
+    int last = -1;
+    for (int b = 0; b < kHistogramBuckets; ++b)
+      if (h.data.buckets[size_t(b)] > 0) last = b;
+    for (int b = 0; b <= last; ++b) {
+      if (b) out += ',';
+      out += '[';
+      out += fmt_u64(HistogramData::bucket_edge(b));
+      out += ',';
+      out += fmt_u64(h.data.buckets[size_t(b)]);
+      out += ']';
+    }
+    out += "]}";
+  }
+  out += "]}";
+  return out;
+}
+
+bool write_prometheus_file(const Snapshot& snap, const std::string& path) {
+  return write_atomic(to_prometheus(snap), path);
+}
+
+bool write_json_file(const Snapshot& snap, const std::string& path) {
+  return write_atomic(to_json(snap), path);
+}
+
+SnapshotWriter::SnapshotWriter(Options opt) : opt_(std::move(opt)) {
+  if (opt_.period_ms < 10) opt_.period_ms = 10;
+  thread_ = std::thread([this] { loop(); });
+}
+
+SnapshotWriter::~SnapshotWriter() { stop(); }
+
+void SnapshotWriter::stop() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  write_once();  // final flush so short runs still leave a snapshot behind
+}
+
+void SnapshotWriter::loop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  while (!stopping_) {
+    cv_.wait_for(lk, std::chrono::milliseconds(opt_.period_ms),
+                 [this] { return stopping_; });
+    if (stopping_) break;
+    lk.unlock();
+    write_once();
+    lk.lock();
+  }
+}
+
+void SnapshotWriter::write_once() {
+  const Snapshot snap = Registry::global().snapshot();
+  bool any = false;
+  if (!opt_.json_path.empty()) any |= write_json_file(snap, opt_.json_path);
+  if (!opt_.prom_path.empty())
+    any |= write_prometheus_file(snap, opt_.prom_path);
+  if (any) written_.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace obs
+}  // namespace luqr

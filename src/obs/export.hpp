@@ -1,0 +1,68 @@
+// Exposition formats for the metrics registry: Prometheus text format and a
+// JSON snapshot, each writable on demand or via a periodic SnapshotWriter.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.hpp"
+
+namespace luqr {
+namespace obs {
+
+// Prometheus text exposition (version 0.0.4): HELP/TYPE headers, counters
+// with a _total-preserving name, histograms as cumulative _bucket{le=...}
+// series plus _sum and _count.
+std::string to_prometheus(const Snapshot& snap);
+
+// JSON snapshot: {"ts_us": ..., "counters": [...], "gauges": [...],
+// "histograms": [{"count","sum","max","mean","p50","p90","p99","buckets"}]}.
+// Bucket arrays are raw (non-cumulative) counts trimmed to the last
+// non-empty bucket; entries are [upper_edge, count] pairs.
+std::string to_json(const Snapshot& snap);
+
+// Atomically replace `path` with the rendered snapshot (write tmp + rename),
+// so concurrent readers (luqr_top) never observe a torn file.  Returns false
+// on I/O failure.
+bool write_prometheus_file(const Snapshot& snap, const std::string& path);
+bool write_json_file(const Snapshot& snap, const std::string& path);
+
+// Background thread that snapshots Registry::global() every `period_ms` and
+// rewrites the configured files.  Empty paths are skipped.  The final
+// snapshot is flushed on stop() so short runs still produce output.
+class SnapshotWriter {
+ public:
+  struct Options {
+    std::string json_path;
+    std::string prom_path;
+    int period_ms = 1000;
+  };
+
+  explicit SnapshotWriter(Options opt);
+  ~SnapshotWriter();
+
+  SnapshotWriter(const SnapshotWriter&) = delete;
+  SnapshotWriter& operator=(const SnapshotWriter&) = delete;
+
+  void stop();
+  std::uint64_t snapshots_written() const {
+    return written_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void loop();
+  void write_once();
+
+  Options opt_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  std::atomic<std::uint64_t> written_{0};
+  std::thread thread_;
+};
+
+}  // namespace obs
+}  // namespace luqr

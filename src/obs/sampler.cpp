@@ -1,0 +1,95 @@
+#include "obs/sampler.hpp"
+
+#include <chrono>
+
+#include "obs/metrics.hpp"
+#include "runtime/engine.hpp"
+
+namespace luqr {
+namespace obs {
+
+EngineSampler::EngineSampler(rt::Engine& engine, Options opt)
+    : engine_(engine), opt_(std::move(opt)) {
+  if (opt_.period_ms < 10) opt_.period_ms = 10;
+  Registry& reg = Registry::global();
+  const Labels labels{{"engine", opt_.label}};
+  workers_ = &reg.gauge("luqr_engine_workers", labels, "Worker pool size");
+  busy_ = &reg.gauge("luqr_engine_busy_workers", labels,
+                     "Workers currently executing a task body");
+  busy_fraction_ = &reg.gauge("luqr_engine_busy_fraction", labels,
+                              "busy_workers / workers");
+  live_tasks_ = &reg.gauge("luqr_engine_live_tasks", labels,
+                           "Graph nodes not yet retired");
+  steals_per_s_ = &reg.gauge("luqr_engine_steals_per_s", labels,
+                             "Work-steal rate over the last sample period");
+  tasks_per_s_ = &reg.gauge("luqr_engine_tasks_per_s", labels,
+                            "Task completion rate over the last period");
+  workspace_bytes_ = &reg.gauge("luqr_engine_workspace_bytes", labels,
+                                "Kernel workspace arena capacity, all workers");
+  ready_lanes_.reserve(rt::kPriorityLanes);
+  for (int p = 0; p < rt::kPriorityLanes; ++p) {
+    Labels lane_labels = labels;
+    lane_labels.emplace_back("lane", std::to_string(p));
+    ready_lanes_.push_back(&reg.gauge("luqr_engine_ready_tasks", lane_labels,
+                                      "Ready-queue depth per priority lane"));
+  }
+  last_steals_ = engine_.steals();
+  last_executed_ = engine_.tasks_executed();
+  thread_ = std::thread([this] { loop(); });
+}
+
+EngineSampler::~EngineSampler() { stop(); }
+
+void EngineSampler::stop() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  // Final sample so post-run snapshots see the engine's terminal state.
+  sample_once(0.0);
+}
+
+void EngineSampler::loop() {
+  auto last = std::chrono::steady_clock::now();
+  std::unique_lock<std::mutex> lk(mu_);
+  while (!stopping_) {
+    cv_.wait_for(lk, std::chrono::milliseconds(opt_.period_ms),
+                 [this] { return stopping_; });
+    if (stopping_) break;
+    lk.unlock();
+    const auto now = std::chrono::steady_clock::now();
+    const double dt =
+        std::chrono::duration<double>(now - last).count();
+    last = now;
+    sample_once(dt);
+    lk.lock();
+  }
+}
+
+void EngineSampler::sample_once(double dt_s) {
+  const int n = engine_.num_threads();
+  const int busy = engine_.busy_workers();
+  workers_->set(n);
+  busy_->set(busy);
+  busy_fraction_->set(n > 0 ? double(busy) / n : 0.0);
+  live_tasks_->set(double(engine_.live_tasks()));
+  workspace_bytes_->set(double(engine_.workspace_bytes()));
+  const std::vector<std::size_t> depths = engine_.ready_depths();
+  for (std::size_t p = 0; p < depths.size() && p < ready_lanes_.size(); ++p)
+    ready_lanes_[p]->set(double(depths[p]));
+  const std::uint64_t steals = engine_.steals();
+  const std::uint64_t executed = engine_.tasks_executed();
+  if (dt_s > 0) {
+    steals_per_s_->set(double(steals - last_steals_) / dt_s);
+    tasks_per_s_->set(double(executed - last_executed_) / dt_s);
+  }
+  last_steals_ = steals;
+  last_executed_ = executed;
+  samples_.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace obs
+}  // namespace luqr

@@ -1,0 +1,83 @@
+// Engine health sampler: a background thread that periodically publishes
+// rt::Engine telemetry as registry gauges, so a live engine is visible
+// mid-run (Prometheus scrape / JSON snapshot / luqr_top) rather than only
+// after quiescence.
+//
+// Gauges (all labelled {engine="<label>"}):
+//   luqr_engine_workers             worker pool size
+//   luqr_engine_busy_workers        workers inside a task body right now
+//   luqr_engine_busy_fraction       busy_workers / workers
+//   luqr_engine_live_tasks          graph nodes not yet retired
+//   luqr_engine_ready_tasks{lane=}  ready-queue depth per priority lane
+//   luqr_engine_steals_per_s        steal rate over the last period
+//   luqr_engine_tasks_per_s         completion rate over the last period
+//   luqr_engine_workspace_bytes     per-worker arena capacity, summed
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace luqr {
+namespace rt {
+class Engine;
+}
+
+namespace obs {
+
+class Gauge;
+
+class EngineSampler {
+ public:
+  struct Options {
+    std::string label = "default";  // {engine="<label>"} on every gauge
+    int period_ms = 100;
+  };
+
+  // Starts sampling immediately. The engine must outlive the sampler (or
+  // stop() must be called before the engine is destroyed).
+  EngineSampler(rt::Engine& engine, Options opt);
+  explicit EngineSampler(rt::Engine& engine)
+      : EngineSampler(engine, Options()) {}
+  ~EngineSampler();
+
+  EngineSampler(const EngineSampler&) = delete;
+  EngineSampler& operator=(const EngineSampler&) = delete;
+
+  void stop();
+  std::uint64_t samples() const {
+    return samples_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void loop();
+  void sample_once(double dt_s);
+
+  rt::Engine& engine_;
+  Options opt_;
+
+  Gauge* workers_;
+  Gauge* busy_;
+  Gauge* busy_fraction_;
+  Gauge* live_tasks_;
+  Gauge* steals_per_s_;
+  Gauge* tasks_per_s_;
+  Gauge* workspace_bytes_;
+  std::vector<Gauge*> ready_lanes_;
+
+  std::uint64_t last_steals_ = 0;
+  std::uint64_t last_executed_ = 0;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  std::atomic<std::uint64_t> samples_{0};
+  std::thread thread_;
+};
+
+}  // namespace obs
+}  // namespace luqr

@@ -3,6 +3,7 @@
 
 #include "common/error.hpp"
 #include "kernels/access.hpp"
+#include "obs/kprof.hpp"
 #include "runtime/audit.hpp"
 #include "runtime/engine.hpp"
 #include "runtime/hb_checker.hpp"
@@ -116,6 +117,7 @@ TaskId Engine::submit(std::function<void()> fn, const std::vector<Dep>& deps,
     task.name = std::move(attrs.name);
     task.priority = std::min(std::max(attrs.priority, 0), kPriorityLanes - 1);
     task.tag = attrs.tag;
+    task.job = attrs.job;
     task.keys.reserve(deps.size());
     ++outstanding_;
 
@@ -349,6 +351,7 @@ void Engine::run_task(Task* task, int self) {
   // Once popped, the task's fn/name/tag are exclusively ours; only
   // `successors` may still be appended to concurrently (under mu_).
   std::function<void()> fn = std::move(task->fn);
+  busy_.fetch_add(1, std::memory_order_relaxed);
   TraceEvent ev;
   if (tracing_) {
     ev.name = task->name;
@@ -356,6 +359,7 @@ void Engine::run_task(Task* task, int self) {
     ev.priority = task->priority;
     ev.depth = task->depth;
     ev.worker = self;
+    ev.job = task->job;
     ev.start_us = now_us();
   }
   if (chaos_) {
@@ -399,8 +403,11 @@ void Engine::run_task(Task* task, int self) {
   }
   if (tracing_) {
     ev.end_us = now_us();
-    workers_[static_cast<std::size_t>(self)]->events.push_back(std::move(ev));
+    Worker& me = *workers_[static_cast<std::size_t>(self)];
+    std::lock_guard<std::mutex> lk(me.events_mu);
+    me.events.push_back(std::move(ev));
   }
+  busy_.fetch_sub(1, std::memory_order_relaxed);
   finish_task(task);
 }
 
@@ -527,19 +534,50 @@ std::size_t Engine::workspace_bytes() const {
 }
 
 std::vector<TraceEvent> Engine::trace() const {
-  // Requires quiescence: worker event buffers are only synchronized through
-  // each task's finish (mu_), so call after wait_all().
+  // Live-safe: each worker's event buffer has its own lock, taken briefly
+  // per worker. A task still running simply hasn't recorded its event yet.
   std::vector<TraceEvent> all;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    for (const auto& w : workers_)
-      all.insert(all.end(), w->events.begin(), w->events.end());
+  for (const auto& w : workers_) {
+    std::lock_guard<std::mutex> lk(w->events_mu);
+    all.insert(all.end(), w->events.begin(), w->events.end());
   }
   std::sort(all.begin(), all.end(),
             [](const TraceEvent& a, const TraceEvent& b) {
               return a.start_us < b.start_us;
             });
   return all;
+}
+
+std::vector<TraceEvent> Engine::consume_trace() {
+  std::vector<TraceEvent> all;
+  for (const auto& w : workers_) {
+    std::lock_guard<std::mutex> lk(w->events_mu);
+    all.insert(all.end(), std::make_move_iterator(w->events.begin()),
+               std::make_move_iterator(w->events.end()));
+    w->events.clear();
+  }
+  std::sort(all.begin(), all.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.start_us < b.start_us;
+            });
+  return all;
+}
+
+std::vector<std::size_t> Engine::ready_depths() const {
+  std::vector<std::size_t> depths(kPriorityLanes, 0);
+  {
+    std::lock_guard<std::mutex> lk(inject_.mu);
+    depths[0] += inject_.ready.size();
+  }
+  for (const auto& w : workers_) {
+    std::lock_guard<std::mutex> lk(w->mu);
+    depths[0] += w->ready.size();
+  }
+  for (int p = 1; p < kPriorityLanes; ++p) {
+    std::lock_guard<std::mutex> lk(high_[p - 1].mu);
+    depths[static_cast<std::size_t>(p)] = high_[p - 1].ready.size();
+  }
+  return depths;
 }
 
 namespace {
@@ -570,10 +608,13 @@ void Engine::write_chrome_trace(const std::string& path) const {
     std::fprintf(f,
                  "{\"name\":\"%s\",\"cat\":\"task\",\"ph\":\"X\",\"ts\":%llu,"
                  "\"dur\":%llu,\"pid\":0,\"tid\":%d,"
-                 "\"args\":{\"tag\":%d,\"priority\":%d,\"depth\":%d}},\n",
+                 "\"args\":{\"tag\":%d,\"priority\":%d,\"depth\":%d,"
+                 "\"job\":%llu,\"class\":\"%s\"}},\n",
                  name.c_str(), static_cast<unsigned long long>(e.start_us),
                  static_cast<unsigned long long>(e.end_us - e.start_us),
-                 e.worker, e.tag, e.priority, e.depth);
+                 e.worker, e.tag, e.priority, e.depth,
+                 static_cast<unsigned long long>(e.job),
+                 obs::task_class_name(e.name.c_str()));
     last_end = std::max(last_end, e.end_us);
   }
   // Scheduler summary: the DAG critical path length and how many tasks each

@@ -55,8 +55,9 @@
 // EngineOptions::chaos_seed randomizes queue draining and injects per-task
 // delays to explore adversarial-but-legal schedules (dependences are always
 // respected, so results must not change — the audit harness asserts it).
-// trace()/write_chrome_trace() require a quiescent engine (call after
-// wait_all()).
+// trace()/write_chrome_trace() are safe on a live engine (per-worker event
+// buffers carry their own locks); consume_trace() drains them incrementally
+// for long-lived shared engines.
 #pragma once
 
 #include <atomic>
@@ -97,29 +98,36 @@ inline constexpr int kPriorityLanes = 8;
 
 /// Optional task attributes: a display name for traces, a scheduling
 /// priority (0 = bulk work, higher runs earlier; clamped to
-/// [0, kPriorityLanes-1]), and a caller-defined tag recorded in the trace
+/// [0, kPriorityLanes-1]), a caller-defined tag recorded in the trace
 /// (the hybrid driver tags every task with its step index k, which is what
-/// the lookahead-depth analysis in bench_scheduler reads back).
+/// the lookahead-depth analysis in bench_scheduler reads back), and a span
+/// id (`job`) that flows into TraceEvent and the Chrome export so engine
+/// tasks can be correlated with the serve-layer job that submitted them
+/// (0 = no span).
 struct TaskAttrs {
   std::string name;
   int priority = 0;
   int tag = -1;
+  std::uint64_t job = 0;
 
   TaskAttrs() = default;
-  TaskAttrs(std::string name_, int priority_ = 0, int tag_ = -1)
-      : name(std::move(name_)), priority(priority_), tag(tag_) {}
+  TaskAttrs(std::string name_, int priority_ = 0, int tag_ = -1,
+            std::uint64_t job_ = 0)
+      : name(std::move(name_)), priority(priority_), tag(tag_), job(job_) {}
   TaskAttrs(const char* name_) : name(name_) {}  // NOLINT: implicit by design
 };
 
 /// One executed task, as recorded when tracing is enabled. Times are
 /// microseconds since engine construction. `depth` is the task's DAG depth
-/// (longest predecessor chain + 1, computed at submit time).
+/// (longest predecessor chain + 1, computed at submit time); `job` is the
+/// span id carried by TaskAttrs (0 = none).
 struct TraceEvent {
   std::string name;
   int tag = -1;
   int priority = 0;
   int depth = 0;
   int worker = 0;
+  std::uint64_t job = 0;
   std::uint64_t start_us = 0;
   std::uint64_t end_us = 0;
 };
@@ -197,6 +205,12 @@ class Engine {
   /// (telemetry: the steady-state scratch footprint; allocated once per
   /// worker, not per task).
   std::size_t workspace_bytes() const;
+  /// Workers currently executing a task body (live gauge; racy by nature).
+  int busy_workers() const { return busy_.load(std::memory_order_relaxed); }
+  /// Ready-but-unstarted tasks per priority lane, sampled live. Index 0 is
+  /// the default lane (worker deques + injection queue); index p >= 1 is the
+  /// shared high-priority lane for priority p.
+  std::vector<std::size_t> ready_depths() const;
 
   /// True when constructed with EngineOptions::audit.
   bool auditing() const { return audit_ != nullptr; }
@@ -212,9 +226,16 @@ class Engine {
   std::vector<AuditViolation> certify_happens_before() const;
 
   /// All recorded trace events, merged across workers and sorted by start
-  /// time. Requires a quiescent engine (call after wait_all()).
+  /// time. Safe on a live engine: each worker's event buffer has its own
+  /// mutex, so this observes every task finished so far mid-run (a task
+  /// still executing appears once it completes).
   std::vector<TraceEvent> trace() const;
-  /// Write the recorded events as Chrome-tracing JSON. Quiescent only.
+  /// Incremental flush: drain and return the events recorded since the last
+  /// consume_trace() call, leaving the per-worker buffers empty. Lets a
+  /// long-lived shared engine stream its trace without unbounded growth.
+  std::vector<TraceEvent> consume_trace();
+  /// Write the recorded events as Chrome-tracing JSON (same liveness
+  /// guarantee as trace()).
   void write_chrome_trace(const std::string& path) const;
 
  private:
@@ -224,6 +245,7 @@ class Engine {
     std::string name;
     int priority = 0;
     int tag = -1;
+    std::uint64_t job = 0;  // span id from TaskAttrs (0 = none)
     int depth = 0;  // 1 + max predecessor depth, fixed at submit
     int unresolved = 0;
     std::vector<TaskId> successors;
@@ -242,8 +264,11 @@ class Engine {
   };
 
   struct Worker {
-    std::mutex mu;
+    mutable std::mutex mu;
     std::deque<Task*> ready;  // owner: push/pop back (LIFO); thief: pop front
+    // Guards `events` so trace() works on a live engine (mutable: sampled
+    // from const telemetry getters).
+    mutable std::mutex events_mu;
     std::vector<TraceEvent> events;
     // Per-worker kernel scratch arena: packed GEMM panels and compact-WY
     // intermediates grow it to the high-water mark once, then every task on
@@ -257,7 +282,7 @@ class Engine {
   };
 
   struct SharedQueue {
-    std::mutex mu;
+    mutable std::mutex mu;
     std::deque<Task*> ready;  // FIFO
   };
 
@@ -294,6 +319,7 @@ class Engine {
   std::atomic<int> high_count_{0};
   std::atomic<long long> ready_count_{0};
   std::atomic<std::uint64_t> steals_{0};
+  std::atomic<int> busy_{0};  // workers currently inside a task body
   bool tracing_ = false;
   bool chaos_ = false;
   std::unique_ptr<AuditState> audit_;  // non-null iff EngineOptions::audit

@@ -2,7 +2,51 @@
 
 #include <cstring>
 
+#include "obs/metrics.hpp"
+
 namespace luqr::serve {
+
+namespace {
+
+// Process-wide registry mirrors of the cache counters. Each cache instance
+// keeps its own authoritative CacheStats (tests run several services side
+// by side and must not see each other's traffic); the registry series
+// aggregate across every cache in the process, which is exactly what a
+// scrape wants. Bytes/entries are additive gauges, so concurrent caches sum.
+struct CacheObs {
+  obs::Counter& hits;
+  obs::Counter& misses;
+  obs::Counter& inserts;
+  obs::Counter& evictions;
+  obs::Counter& oversize;
+  obs::Gauge& bytes;
+  obs::Gauge& entries;
+};
+
+CacheObs& cache_obs() {
+  static CacheObs* o = [] {
+    obs::Registry& reg = obs::Registry::global();
+    return new CacheObs{
+        reg.counter("luqr_cache_hits_total", {},
+                    "Factorization cache hits (verified probes)"),
+        reg.counter("luqr_cache_misses_total", {},
+                    "Factorization cache misses (first probe per lookup)"),
+        reg.counter("luqr_cache_inserts_total", {},
+                    "Factorizations admitted into a cache"),
+        reg.counter("luqr_cache_evictions_total", {},
+                    "LRU evictions across all caches"),
+        reg.counter("luqr_cache_oversize_rejects_total", {},
+                    "Factorizations larger than an entire cache budget"),
+        reg.gauge("luqr_cache_bytes", {},
+                  "Bytes currently cached, summed over all caches"),
+        reg.gauge("luqr_cache_entries", {},
+                  "Entries currently cached, summed over all caches"),
+    };
+  }();
+  return *o;
+}
+
+}  // namespace
 
 bool matrices_equal(const Matrix<double>& a, const Matrix<double>& b) {
   if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
@@ -51,6 +95,13 @@ std::uint64_t FactorizationCache::content_hash(const Matrix<double>& a) {
   return h;
 }
 
+FactorizationCache::~FactorizationCache() {
+  // Give back this cache's contribution to the additive process-wide
+  // gauges; without this, every retired service leaves phantom bytes in
+  // luqr_cache_bytes.
+  clear();
+}
+
 bool FactorizationCache::matches(const Entry& e, std::uint64_t hash,
                                  const Matrix<double>& a,
                                  const std::string& config_fp) {
@@ -72,9 +123,13 @@ std::shared_ptr<const core::Factorization> FactorizationCache::find_hashed(
     if (!matches(*it->second, h, a, config_fp)) continue;  // hash collision
     lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
     ++stats_.hits;
+    cache_obs().hits.add(1);
     return it->second->fac;
   }
-  if (count_miss) ++stats_.misses;
+  if (count_miss) {
+    ++stats_.misses;
+    cache_obs().misses.add(1);
+  }
   return nullptr;
 }
 
@@ -92,6 +147,7 @@ void FactorizationCache::insert_hashed(
   std::lock_guard<std::mutex> lock(mu_);
   if (bytes > budget_) {
     ++stats_.oversize_rejects;
+    cache_obs().oversize.add(1);
     return;
   }
   auto range = index_.equal_range(h);
@@ -107,6 +163,10 @@ void FactorizationCache::insert_hashed(
   index_.emplace(h, lru_.begin());
   stats_.bytes += bytes;
   ++stats_.entries;
+  CacheObs& obs = cache_obs();
+  obs.inserts.add(1);
+  obs.bytes.add(static_cast<double>(bytes));
+  obs.entries.add(1.0);
 }
 
 void FactorizationCache::evict_lru_locked() {
@@ -121,6 +181,10 @@ void FactorizationCache::evict_lru_locked() {
   stats_.bytes -= victim->bytes;
   --stats_.entries;
   ++stats_.evictions;
+  CacheObs& obs = cache_obs();
+  obs.evictions.add(1);
+  obs.bytes.add(-static_cast<double>(victim->bytes));
+  obs.entries.add(-1.0);
   lru_.erase(victim);
 }
 
@@ -133,6 +197,9 @@ CacheStats FactorizationCache::stats() const {
 
 void FactorizationCache::clear() {
   std::lock_guard<std::mutex> lock(mu_);
+  CacheObs& obs = cache_obs();
+  obs.bytes.add(-static_cast<double>(stats_.bytes));
+  obs.entries.add(-static_cast<double>(lru_.size()));
   lru_.clear();
   index_.clear();
   stats_.bytes = 0;

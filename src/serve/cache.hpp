@@ -62,6 +62,7 @@ class FactorizationCache {
 
   explicit FactorizationCache(std::size_t byte_budget, HashFn hash = nullptr)
       : budget_(byte_budget), hash_(hash != nullptr ? hash : &content_hash) {}
+  ~FactorizationCache();
 
   FactorizationCache(const FactorizationCache&) = delete;
   FactorizationCache& operator=(const FactorizationCache&) = delete;

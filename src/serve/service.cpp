@@ -10,6 +10,8 @@
 
 #include "core/batch.hpp"
 #include "kernels/workspace.hpp"
+#include "obs/metrics.hpp"
+#include "obs/sampler.hpp"
 #include "runtime/engine.hpp"
 
 namespace luqr::serve {
@@ -24,6 +26,7 @@ struct JobState {
   JobStatus status = JobStatus::Queued;
   SolveReply reply;
   std::exception_ptr error;
+  std::uint64_t job_id = 0;  ///< span id, assigned at submit; immutable after
   std::uint64_t t_submit_us = 0;
   std::uint64_t t_start_us = 0;
 };
@@ -33,6 +36,18 @@ struct JobState {
 namespace {
 
 using detail::JobState;
+
+// Process-wide job span ids: every submitted job (any service) gets a
+// distinct nonzero id, carried through its engine tasks as TaskAttrs::job
+// so traces and metrics correlate across layers.
+std::atomic<std::uint64_t> g_job_seq{0};
+
+std::shared_ptr<JobState> make_job_state(std::uint64_t t_submit_us) {
+  auto s = std::make_shared<JobState>();
+  s->job_id = g_job_seq.fetch_add(1, std::memory_order_relaxed) + 1;
+  s->t_submit_us = t_submit_us;
+  return s;
+}
 
 // Smallest chunk execute_staged will carve a staged group into (the last
 // chunk is ragged; a group below the floor runs as one chunk).
@@ -164,6 +179,40 @@ SolveService::SolveService(ServiceConfig config)
         SolverConfig(cfg_.solver).backend(Backend::Parallel).engine(engine_));
   }
 
+  // Registry series are process-wide: concurrent services add into the same
+  // counters/histograms (stats() stays per-instance via the atomics below).
+  obs::Registry& reg = obs::Registry::global();
+  obs_.submitted = &reg.counter("luqr_serve_jobs_submitted_total", {},
+                                "Jobs accepted for execution");
+  obs_.completed = &reg.counter("luqr_serve_jobs_completed_total", {},
+                                "Jobs that reached Done");
+  obs_.failed =
+      &reg.counter("luqr_serve_jobs_failed_total", {}, "Jobs that threw");
+  obs_.cancelled = &reg.counter("luqr_serve_jobs_cancelled_total", {},
+                                "Jobs cancelled before execution");
+  obs_.rejected = &reg.counter("luqr_serve_jobs_rejected_total", {},
+                               "Jobs rejected at admission");
+  obs_.latency_us = &reg.histogram("luqr_serve_job_latency_us", {},
+                                   "Job submit -> terminal, microseconds");
+  obs_.exec_us = &reg.histogram("luqr_serve_job_exec_us", {},
+                                "Job execution start -> done, microseconds");
+  obs_.queue_us = &reg.histogram("luqr_serve_job_queue_us", {},
+                                 "Job submit -> execution start, microseconds");
+  obs_.factor_us = &reg.histogram(
+      "luqr_serve_job_factor_us", {},
+      "Factorization wall time paid by completed jobs (0 on cache hits)");
+  obs_.solve_us = &reg.histogram("luqr_serve_job_solve_us", {},
+                                 "Triangular-solve wall time per job");
+  obs_.refine_us = &reg.histogram(
+      "luqr_serve_job_refine_us", {},
+      "F32_IR refinement wall time per job (0 outside F32_IR)");
+  if (cfg_.sampler_period_ms > 0) {
+    obs::EngineSampler::Options sopt;
+    sopt.label = "serve";
+    sopt.period_ms = cfg_.sampler_period_ms;
+    sampler_ = std::make_unique<obs::EngineSampler>(*engine_, sopt);
+  }
+
   start_ = std::chrono::steady_clock::now();
   const int n_dispatchers = std::max(1, cfg_.dispatchers);
   dispatchers_.reserve(static_cast<std::size_t>(n_dispatchers));
@@ -187,6 +236,7 @@ SolveService::~SolveService() {
   stage_cv_.notify_all();
   flusher_.join();  // flushes every staged job as chunk tasks first
   drain();
+  sampler_.reset();  // samples the engine; must stop before it retires
   fine_solver_.reset();
   coarse_solver_.reset();
   engine_.reset();
@@ -218,6 +268,7 @@ JobHandle SolveService::enqueue(Job job) {
           ? job.batch_states
           : std::vector<std::shared_ptr<JobState>>{job.state};
   submitted_.fetch_add(members, std::memory_order_relaxed);
+  obs_.submitted->add(members);
   precision_jobs_.record(cfg_.solver.precision(), members);
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -241,8 +292,7 @@ JobHandle SolveService::submit_solve(Matrix<double> a, Matrix<double> b,
   job.priority = priority;
   job.a = std::make_shared<Matrix<double>>(std::move(a));
   job.b = std::move(b);
-  job.state = std::make_shared<JobState>();
-  job.state->t_submit_us = now_us();
+  job.state = make_job_state(now_us());
   return enqueue(std::move(job));
 }
 
@@ -252,8 +302,7 @@ JobHandle SolveService::submit_factor(Matrix<double> a, Priority priority) {
   job.kind = Job::Kind::Factor;
   job.priority = priority;
   job.a = std::make_shared<Matrix<double>>(std::move(a));
-  job.state = std::make_shared<JobState>();
-  job.state->t_submit_us = now_us();
+  job.state = make_job_state(now_us());
   return enqueue(std::move(job));
 }
 
@@ -271,11 +320,8 @@ std::vector<JobHandle> SolveService::submit_batch(Matrix<double> a,
   job.batch_b = std::move(bs);
   const std::uint64_t t = now_us();
   job.batch_states.reserve(job.batch_b.size());
-  for (std::size_t i = 0; i < job.batch_b.size(); ++i) {
-    auto s = std::make_shared<JobState>();
-    s->t_submit_us = t;
-    job.batch_states.push_back(std::move(s));
-  }
+  for (std::size_t i = 0; i < job.batch_b.size(); ++i)
+    job.batch_states.push_back(make_job_state(t));
   batches_.fetch_add(1, std::memory_order_relaxed);
   batch_members_.fetch_add(job.batch_states.size(), std::memory_order_relaxed);
   std::vector<JobHandle> handles;
@@ -310,6 +356,7 @@ std::vector<JobHandle> SolveService::submit_many(
   // through a chunk task rather than enqueue()).
   const auto count_member = [this] {
     submitted_.fetch_add(1, std::memory_order_relaxed);
+    obs_.submitted->add(1);
     precision_jobs_.record(cfg_.solver.precision(), 1);
     std::lock_guard<std::mutex> lock(mu_);
     ++active_;
@@ -331,8 +378,7 @@ std::vector<JobHandle> SolveService::submit_many(
   };
   std::unordered_map<const Matrix<double>*, Probe> seen;
   for (std::size_t i = 0; i < as.size(); ++i) {
-    auto state = std::make_shared<JobState>();
-    state->t_submit_us = now_us();
+    auto state = make_job_state(now_us());
     handles.push_back(JobHandle(state));
 
     // Malformed members fail alone: bulk submission never throws the whole
@@ -526,6 +572,8 @@ void SolveService::submit_chunk_task(std::vector<Staged> chunk) {
   for (const Staged& s : chunk)
     prio = std::max(prio, static_cast<int>(s.priority));
   const int sweeps = cfg_.solver.refinement_sweeps();
+  const std::uint64_t chunk_job_id =
+      chunk.empty() ? 0 : chunk.front().state->job_id;
   engine_->submit(
       [this, chunk = std::move(chunk), sweeps] {
         std::vector<std::size_t> live;
@@ -538,6 +586,8 @@ void SolveService::submit_chunk_task(std::vector<Staged> chunk) {
           SolveReport report;
           std::exception_ptr error;
           bool hit = false;
+          std::uint64_t factor_us = 0;  // 0 when served by cache or a peer
+          std::uint64_t solve_us = 0;   // fused members share the wide solve
         };
         std::vector<Result> results(live.size());
         if (!live.empty()) {
@@ -579,8 +629,10 @@ void SolveService::submit_chunk_task(std::vector<Staged> chunk) {
                   fac = cache_.find_hashed(*sj.a, config_fp_, sj.hash, false);
                   r.hit = fac != nullptr;
                   if (!r.hit) {
+                    const std::uint64_t t_factor = now_us();
                     fac = std::make_shared<core::Factorization>(
                         coarse_solver_->factor(*sj.a));
+                    r.factor_us = now_us() - t_factor;
                     cache_.insert_hashed(*sj.a, config_fp_, sj.hash, fac);
                     factors_coarse_.fetch_add(1, std::memory_order_relaxed);
                   }
@@ -619,6 +671,7 @@ void SolveService::submit_chunk_task(std::vector<Staged> chunk) {
             }
             if (group.size() == 1) {
               Result& r = results[k];
+              const std::uint64_t t_solve = now_us();
               try {
                 r.x = facs[k]->solve(chunk[live[k]].b, &r.report, sweeps);
                 if (r.report.fell_back)
@@ -626,11 +679,13 @@ void SolveService::submit_chunk_task(std::vector<Staged> chunk) {
               } catch (...) {
                 r.error = std::current_exception();
               }
+              r.solve_us = now_us() - t_solve;
               facs[k].reset();
               ++k;
               continue;
             }
             for (std::size_t g : group) w += chunk[live[g]].b.cols();
+            const std::uint64_t t_solve = now_us();
             try {
               const int n_rows = chunk[live[k]].b.rows();
               Matrix<double> bcat(n_rows, static_cast<int>(w));
@@ -660,6 +715,8 @@ void SolveService::submit_chunk_task(std::vector<Staged> chunk) {
               for (std::size_t g : group)
                 results[g].error = std::current_exception();
             }
+            const std::uint64_t wide_us = now_us() - t_solve;
+            for (std::size_t g : group) results[g].solve_us = wide_us;
             // A group may be gapped (a different-fac member interleaved);
             // clearing each consumed slot makes the top-of-loop skip
             // correct without index gymnastics.
@@ -680,24 +737,26 @@ void SolveService::submit_chunk_task(std::vector<Staged> chunk) {
             if (r.error)
               complete_error(chunk[i].state, r.error);
             else
-              complete_ok(chunk[i].state, std::move(r.x), r.hit, r.report);
+              complete_ok(chunk[i].state, std::move(r.x), r.hit, r.report,
+                          {r.factor_us, r.solve_us});
           } else {
             complete_cancelled(chunk[i].state);
           }
         }
       },
-      {}, {"serve-batch-chunk", prio, -1});
+      {}, {"serve-batch-chunk", prio, -1, chunk_job_id});
 }
 
 // ---------------------------------------------------------------------------
 // State transitions
 // ---------------------------------------------------------------------------
 
-bool SolveService::try_begin(const std::shared_ptr<JobState>& state) {
+bool SolveService::try_begin(const std::shared_ptr<JobState>& state,
+                             std::uint64_t start_us) {
   std::lock_guard<std::mutex> lock(state->mu);
   if (state->status != JobStatus::Queued) return false;  // cancelled
   state->status = JobStatus::Running;
-  state->t_start_us = now_us();
+  state->t_start_us = start_us != 0 ? start_us : now_us();
   return true;
 }
 
@@ -715,18 +774,30 @@ void SolveService::on_terminal() {
 
 void SolveService::complete_ok(const std::shared_ptr<JobState>& state,
                                Matrix<double> x, bool cache_hit,
-                               const SolveReport& report) {
+                               const SolveReport& report,
+                               const Phases& phases) {
   const std::uint64_t t = now_us();
   completed_.fetch_add(1, std::memory_order_relaxed);
+  obs_.completed->add(1);
   {
     std::lock_guard<std::mutex> lock(state->mu);
     state->reply.x = std::move(x);
     state->reply.cache_hit = cache_hit;
     state->reply.report = report;
+    state->reply.job_id = state->job_id;
     state->reply.queue_us = state->t_start_us - state->t_submit_us;
     state->reply.exec_us = t - state->t_start_us;
+    state->reply.factor_us = phases.factor_us;
+    state->reply.solve_us = phases.solve_us;
+    state->reply.refine_us = report.refine_us;
     latency_.record(t - state->t_submit_us);
     exec_.record(state->reply.exec_us);
+    obs_.latency_us->record(t - state->t_submit_us);
+    obs_.exec_us->record(state->reply.exec_us);
+    obs_.queue_us->record(state->reply.queue_us);
+    obs_.factor_us->record(phases.factor_us);
+    obs_.solve_us->record(phases.solve_us);
+    obs_.refine_us->record(report.refine_us);
     state->status = JobStatus::Done;
   }
   on_terminal();
@@ -736,10 +807,13 @@ void SolveService::complete_ok(const std::shared_ptr<JobState>& state,
 void SolveService::complete_error(const std::shared_ptr<JobState>& state,
                                   std::exception_ptr error) {
   failed_.fetch_add(1, std::memory_order_relaxed);
+  obs_.failed->add(1);
   {
     std::lock_guard<std::mutex> lock(state->mu);
     state->error = std::move(error);
-    latency_.record(now_us() - state->t_submit_us);
+    const std::uint64_t lat = now_us() - state->t_submit_us;
+    latency_.record(lat);
+    obs_.latency_us->record(lat);
     state->status = JobStatus::Failed;
   }
   on_terminal();
@@ -748,10 +822,13 @@ void SolveService::complete_error(const std::shared_ptr<JobState>& state,
 
 void SolveService::complete_cancelled(const std::shared_ptr<JobState>& state) {
   cancelled_.fetch_add(1, std::memory_order_relaxed);
+  obs_.cancelled->add(1);
   {
     std::lock_guard<std::mutex> lock(state->mu);
     state->status = JobStatus::Cancelled;  // usually set by cancel() already
-    latency_.record(now_us() - state->t_submit_us);
+    const std::uint64_t lat = now_us() - state->t_submit_us;
+    latency_.record(lat);
+    obs_.latency_us->record(lat);
   }
   on_terminal();
   state->cv.notify_all();
@@ -759,6 +836,7 @@ void SolveService::complete_cancelled(const std::shared_ptr<JobState>& state) {
 
 void SolveService::complete_rejected(const std::shared_ptr<JobState>& state) {
   rejected_.fetch_add(1, std::memory_order_relaxed);
+  obs_.rejected->add(1);
   {
     std::lock_guard<std::mutex> lock(state->mu);
     state->status = JobStatus::Rejected;
@@ -843,12 +921,15 @@ SolveService::FacPtr SolveService::compute_factorization(
 
 void SolveService::submit_solve_task(std::shared_ptr<JobState> state,
                                      Matrix<double> b, FacPtr fac,
-                                     bool cache_hit, Priority priority) {
+                                     bool cache_hit, Priority priority,
+                                     std::uint64_t factor_us,
+                                     std::uint64_t t_begin_us) {
   const int sweeps = cfg_.solver.refinement_sweeps();
+  const std::uint64_t job_id = state->job_id;
   engine_->submit(
       [this, state = std::move(state), b = std::move(b), fac = std::move(fac),
-       cache_hit, sweeps] {
-        if (!try_begin(state)) {
+       cache_hit, sweeps, factor_us, t_begin_us] {
+        if (!try_begin(state, t_begin_us)) {
           release_inflight_slot();
           complete_cancelled(state);
           return;
@@ -856,47 +937,53 @@ void SolveService::submit_solve_task(std::shared_ptr<JobState> state,
         Matrix<double> x;
         SolveReport report;
         std::exception_ptr err;
+        const std::uint64_t t_solve = now_us();
         try {
           x = fac->solve(b, &report, sweeps);
         } catch (...) {
           err = std::current_exception();
         }
+        const std::uint64_t solve_us = now_us() - t_solve;
         release_inflight_slot();
         if (err) {
           complete_error(state, err);
         } else {
           if (report.fell_back)
             refine_fallbacks_.fetch_add(1, std::memory_order_relaxed);
-          complete_ok(state, std::move(x), cache_hit, report);
+          complete_ok(state, std::move(x), cache_hit, report,
+                      {factor_us, solve_us});
         }
       },
-      {}, {"serve-solve", static_cast<int>(priority), -1});
+      {}, {"serve-solve", static_cast<int>(priority), -1, job_id});
 }
 
 void SolveService::submit_batch_task(
     std::vector<std::shared_ptr<JobState>> states,
     std::vector<Matrix<double>> bs, FacPtr fac, bool cache_hit,
-    Priority priority) {
+    Priority priority, std::uint64_t factor_us, std::uint64_t t_begin_us) {
+  const std::uint64_t job_id = states.empty() ? 0 : states.front()->job_id;
   engine_->submit(
       [this, states = std::move(states), bs = std::move(bs),
-       fac = std::move(fac), cache_hit] {
+       fac = std::move(fac), cache_hit, factor_us, t_begin_us] {
         // Fuse every member that is still alive into one wide solve.
         std::vector<std::size_t> live;
         for (std::size_t i = 0; i < states.size(); ++i)
-          if (try_begin(states[i])) live.push_back(i);
-        fuse_solve_settle(states, bs, live, fac, cache_hit);
+          if (try_begin(states[i], t_begin_us)) live.push_back(i);
+        fuse_solve_settle(states, bs, live, fac, cache_hit, factor_us);
       },
-      {}, {"serve-batch", static_cast<int>(priority), -1});
+      {}, {"serve-batch", static_cast<int>(priority), -1, job_id});
 }
 
 void SolveService::fuse_solve_settle(
     const std::vector<std::shared_ptr<JobState>>& states,
     const std::vector<Matrix<double>>& bs, const std::vector<std::size_t>& live,
-    const FacPtr& fac, bool cache_hit) {
+    const FacPtr& fac, bool cache_hit, std::uint64_t factor_us) {
   std::vector<Matrix<double>> xs;
   SolveReport report;
   std::exception_ptr err;
+  std::uint64_t solve_us = 0;
   if (!live.empty()) {
+    const std::uint64_t t_solve = now_us();
     try {
       int width = 0;
       for (std::size_t idx : live) width += bs[idx].cols();
@@ -925,6 +1012,7 @@ void SolveService::fuse_solve_settle(
     } catch (...) {
       err = std::current_exception();
     }
+    solve_us = now_us() - t_solve;
   }
   release_inflight_slot();
   for (std::size_t i = 0; i < states.size(); ++i) {
@@ -935,7 +1023,8 @@ void SolveService::fuse_solve_settle(
       if (err)
         complete_error(states[i], err);
       else
-        complete_ok(states[i], std::move(xs[l]), cache_hit, report);
+        complete_ok(states[i], std::move(xs[l]), cache_hit, report,
+                    {factor_us, solve_us});
       break;
     }
     if (!was_live) complete_cancelled(states[i]);
@@ -1062,15 +1151,20 @@ void SolveService::dispatch(Job job) {
       settle_cancelled_owner(job, owned, /*fine=*/true);
       return;
     }
+    // The job starts executing here, on the dispatcher — its span's exec
+    // phase is backdated to t0 so it contains the factorization.
+    const std::uint64_t t0 = now_us();
     std::exception_ptr error;
     FacPtr fac = compute_factorization(job.a, /*fine=*/true, h, error);
+    const std::uint64_t factor_us = now_us() - t0;
     flush_pending(owned, fac, error);
     if (error) {
       release_inflight_slot();
       fail_job(job, error);
       return;
     }
-    dispatch_with_factorization(std::move(job), std::move(fac), false);
+    dispatch_with_factorization(std::move(job), std::move(fac), false,
+                                factor_us, t0);
     return;
   }
   submit_owner_task(std::move(job), std::move(owned));
@@ -1093,7 +1187,8 @@ void SolveService::attach_to_pending(Pending& p, Job job) {
                 complete_cancelled(s);
             return;
           }
-          submit_batch_task(std::move(states), std::move(bs), fac, false, prio);
+          submit_batch_task(std::move(states), std::move(bs), fac, false, prio,
+                            /*factor_us=*/0);
         });
     return;
   }
@@ -1117,29 +1212,33 @@ void SolveService::attach_to_pending(Pending& p, Job job) {
             complete_cancelled(state);
           return;
         }
-        submit_solve_task(std::move(state), std::move(b), fac, false, prio);
+        submit_solve_task(std::move(state), std::move(b), fac, false, prio,
+                          /*factor_us=*/0);
       });
 }
 
-void SolveService::dispatch_with_factorization(Job job, FacPtr fac, bool hit) {
+void SolveService::dispatch_with_factorization(Job job, FacPtr fac, bool hit,
+                                               std::uint64_t factor_us,
+                                               std::uint64_t t_begin_us) {
   switch (job.kind) {
     case Job::Kind::Factor: {
       // Nothing left to compute: settle on the dispatcher.
-      const bool began = try_begin(job.state);
+      const bool began = try_begin(job.state, t_begin_us);
       release_inflight_slot();
       if (began)
-        complete_ok(job.state, Matrix<double>{}, hit);
+        complete_ok(job.state, Matrix<double>{}, hit, {}, {factor_us, 0});
       else
         complete_cancelled(job.state);
       return;
     }
     case Job::Kind::Solve:
       submit_solve_task(std::move(job.state), std::move(job.b), std::move(fac),
-                        hit, job.priority);
+                        hit, job.priority, factor_us, t_begin_us);
       return;
     case Job::Kind::Batch:
       submit_batch_task(std::move(job.batch_states), std::move(job.batch_b),
-                        std::move(fac), hit, job.priority);
+                        std::move(fac), hit, job.priority, factor_us,
+                        t_begin_us);
       return;
   }
 }
@@ -1160,6 +1259,12 @@ void SolveService::fail_job(const Job& job, std::exception_ptr error) {
 }
 
 void SolveService::submit_owner_task(Job job, std::shared_ptr<Pending> p) {
+  const std::uint64_t job_id = job.kind == Job::Kind::Batch
+                                   ? (job.batch_states.empty()
+                                          ? 0
+                                          : job.batch_states.front()->job_id)
+                                   : job.state->job_id;
+  const int priority = static_cast<int>(job.priority);
   auto shared_job = std::make_shared<Job>(std::move(job));
   engine_->submit(
       [this, shared_job, p] {
@@ -1182,8 +1287,10 @@ void SolveService::submit_owner_task(Job job, std::shared_ptr<Pending> p) {
           return;
         }
 
+        const std::uint64_t t_factor = now_us();
         std::exception_ptr error;
         FacPtr fac = compute_factorization(job.a, /*fine=*/false, p->hash, error);
+        const std::uint64_t factor_us = now_us() - t_factor;
         flush_pending(p, fac, error);
 
         if (error) {
@@ -1208,28 +1315,33 @@ void SolveService::submit_owner_task(Job job, std::shared_ptr<Pending> p) {
                 live.push_back(i);
                 break;
               }
-          fuse_solve_settle(job.batch_states, job.batch_b, live, fac, false);
+          fuse_solve_settle(job.batch_states, job.batch_b, live, fac, false,
+                            factor_us);
           return;
         }
         Matrix<double> x;
         SolveReport report;
         std::exception_ptr solve_err;
+        const std::uint64_t t_solve = now_us();
         try {
           if (job.kind == Job::Kind::Solve)
             x = fac->solve(job.b, &report, cfg_.solver.refinement_sweeps());
         } catch (...) {
           solve_err = std::current_exception();
         }
+        const std::uint64_t solve_us =
+            job.kind == Job::Kind::Solve ? now_us() - t_solve : 0;
         release_inflight_slot();
         if (solve_err) {
           complete_error(job.state, solve_err);
         } else {
           if (report.fell_back)
             refine_fallbacks_.fetch_add(1, std::memory_order_relaxed);
-          complete_ok(job.state, std::move(x), false, report);
+          complete_ok(job.state, std::move(x), false, report,
+                      {factor_us, solve_us});
         }
       },
-      {}, {"serve-factor", static_cast<int>(job.priority), -1});
+      {}, {"serve-factor", priority, -1, job_id});
 }
 
 // ---------------------------------------------------------------------------

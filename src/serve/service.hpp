@@ -59,6 +59,12 @@ namespace luqr::rt {
 class Engine;
 }
 
+namespace luqr::obs {
+class Counter;
+class EngineSampler;
+class Histogram;
+}  // namespace luqr::obs
+
 namespace luqr::serve {
 
 /// Client priority of a job; maps 1:1 onto the engine's scheduling lanes
@@ -75,8 +81,18 @@ enum class JobStatus { Queued, Running, Done, Failed, Cancelled, Rejected };
 struct SolveReply {
   Matrix<double> x;        ///< solution (empty for factor-only jobs)
   bool cache_hit = false;  ///< served from the factorization cache
+  /// Service-unique span id, assigned at submit and carried through every
+  /// engine task this job spawns (visible in TraceEvent::job and the Chrome
+  /// trace args).
+  std::uint64_t job_id = 0;
   std::uint64_t queue_us = 0;  ///< submit -> execution start
   std::uint64_t exec_us = 0;   ///< execution start -> done
+  /// Span phase breakdown. factor_us is 0 for cache hits and for jobs that
+  /// attached to another job's in-flight factorization (the owner paid it);
+  /// batch members fused into one wide solve share the phase times.
+  std::uint64_t factor_us = 0;  ///< factorization wall time this job paid
+  std::uint64_t solve_us = 0;   ///< triangular solve(s) wall time
+  std::uint64_t refine_us = 0;  ///< F32_IR refinement loop (== report.refine_us)
   /// Which precision served the solve and how refinement went (F32_IR);
   /// batch members fused into one wide solve share one report.
   SolveReport report;
@@ -142,6 +158,11 @@ struct ServiceConfig {
   /// a worker, which is the right grain for request-sized systems. 0
   /// disables the fine-grained path. Requires variant A1 and > 1 worker.
   int parallel_factor_tiles = 8;
+
+  /// Period of the obs::EngineSampler that publishes the service engine's
+  /// health gauges (luqr_engine_* with {engine="serve"}) into the global
+  /// metrics registry. 0 disables the sampler thread.
+  int sampler_period_ms = 100;
 };
 
 /// Telemetry snapshot (see SolveService::stats); counters are monotonic
@@ -286,6 +307,13 @@ class SolveService {
   using Waiters = std::vector<std::function<void(
       const std::shared_ptr<const core::Factorization>&, std::exception_ptr)>>;
 
+  /// Phase timings a completing job carries into complete_ok (refine_us
+  /// rides in the SolveReport; queue_us is derived from the job state).
+  struct Phases {
+    std::uint64_t factor_us = 0;
+    std::uint64_t solve_us = 0;
+  };
+
   std::uint64_t now_us() const;
   JobHandle enqueue(Job job);
   void dispatcher_loop();
@@ -313,7 +341,12 @@ class SolveService {
   // paths.
   void settle_cancelled_owner(const Job& job, const std::shared_ptr<Pending>& p,
                               bool fine);
-  void dispatch_with_factorization(Job job, FacPtr fac, bool hit);
+  // factor_us/t_begin_us carry span data for jobs whose factorization ran
+  // on the dispatcher (the fine-grained path): the job's execution start is
+  // backdated to t_begin_us so its exec span contains the factor phase.
+  void dispatch_with_factorization(Job job, FacPtr fac, bool hit,
+                                   std::uint64_t factor_us = 0,
+                                   std::uint64_t t_begin_us = 0);
   void attach_to_pending(Pending& p, Job job);
   void fail_job(const Job& job, std::exception_ptr error);
   void submit_owner_task(Job job, std::shared_ptr<Pending> p);
@@ -322,13 +355,16 @@ class SolveService {
   void fuse_solve_settle(const std::vector<std::shared_ptr<detail::JobState>>& states,
                          const std::vector<Matrix<double>>& bs,
                          const std::vector<std::size_t>& live, const FacPtr& fac,
-                         bool cache_hit);
+                         bool cache_hit, std::uint64_t factor_us);
   void submit_solve_task(std::shared_ptr<detail::JobState> state,
                          Matrix<double> b, FacPtr fac, bool cache_hit,
-                         Priority priority);
+                         Priority priority, std::uint64_t factor_us,
+                         std::uint64_t t_begin_us = 0);
   void submit_batch_task(std::vector<std::shared_ptr<detail::JobState>> states,
                          std::vector<Matrix<double>> bs, FacPtr fac,
-                         bool cache_hit, Priority priority);
+                         bool cache_hit, Priority priority,
+                         std::uint64_t factor_us,
+                         std::uint64_t t_begin_us = 0);
   // submit_many machinery: the flusher thread turns staged buckets into
   // chunk tasks (on count, deadline, or shutdown); each chunk task factors
   // and solves its members serially in one workspace frame with per-member
@@ -336,10 +372,18 @@ class SolveService {
   void flusher_loop();
   void execute_staged(std::vector<Staged> group);
   void submit_chunk_task(std::vector<Staged> chunk);
-  bool try_begin(const std::shared_ptr<detail::JobState>& state);
+  // Queued -> Running arbitration against cancel(). start_us != 0 backdates
+  // the execution start (the fine-grained path begins executing on the
+  // dispatcher, before its solve task runs).
+  bool try_begin(const std::shared_ptr<detail::JobState>& state,
+                 std::uint64_t start_us = 0);
   void complete_ok(const std::shared_ptr<detail::JobState>& state,
-                   Matrix<double> x, bool cache_hit,
-                   const SolveReport& report = {});
+                   Matrix<double> x, bool cache_hit, const SolveReport& report,
+                   const Phases& phases);
+  void complete_ok(const std::shared_ptr<detail::JobState>& state,
+                   Matrix<double> x, bool cache_hit) {
+    complete_ok(state, std::move(x), cache_hit, SolveReport{}, Phases{});
+  }
   void complete_error(const std::shared_ptr<detail::JobState>& state,
                       std::exception_ptr error);
   void complete_cancelled(const std::shared_ptr<detail::JobState>& state);
@@ -392,6 +436,27 @@ class SolveService {
   std::atomic<std::uint64_t> refine_fallbacks_{0};
   LatencyHistogram latency_;  // submit -> terminal
   LatencyHistogram exec_;     // execution start -> done
+
+  /// Registry handles (resolved once at construction; the registry owns the
+  /// metrics and they are process-wide — services aggregate into the same
+  /// series, while the per-instance counters above back stats()).
+  struct ObsHandles {
+    obs::Counter* submitted = nullptr;
+    obs::Counter* completed = nullptr;
+    obs::Counter* failed = nullptr;
+    obs::Counter* cancelled = nullptr;
+    obs::Counter* rejected = nullptr;
+    obs::Histogram* latency_us = nullptr;
+    obs::Histogram* exec_us = nullptr;
+    obs::Histogram* queue_us = nullptr;
+    obs::Histogram* factor_us = nullptr;
+    obs::Histogram* solve_us = nullptr;
+    obs::Histogram* refine_us = nullptr;
+  };
+  ObsHandles obs_;
+  /// Publishes this service's engine gauges ({engine="serve"}) on a
+  /// background thread; stopped before the engine retires.
+  std::unique_ptr<obs::EngineSampler> sampler_;
 };
 
 }  // namespace luqr::serve

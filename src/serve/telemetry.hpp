@@ -4,10 +4,12 @@
 // snapshot may be momentarily inconsistent across counters (standard for
 // service telemetry) but never blocks a client or a worker.
 //
-// LatencyHistogram buckets microsecond latencies by power of two, so p50/p99
-// come out as conservative (upper-bounded) estimates with O(1) record cost
-// and a few hundred bytes of state — the classic HdrHistogram shape, sized
-// for a solver service rather than a profiler.
+// LatencyHistogram is the serve-flavoured face of obs::Histogram (the
+// process-wide metrics primitive this type was generalized into): same
+// power-of-two microsecond buckets, thread-sharded wait-free record path,
+// conservative upper-bounded quantiles. The adapter keeps the serve-layer
+// vocabulary (quantile_us, mean_us) while the storage and math live in one
+// place.
 #pragma once
 
 #include <atomic>
@@ -15,6 +17,7 @@
 #include <cstdint>
 
 #include "core/precision.hpp"
+#include "obs/metrics.hpp"
 
 namespace luqr::serve {
 
@@ -37,70 +40,23 @@ struct PrecisionCounters {
 };
 
 /// Power-of-two-bucketed latency recorder (microseconds). record() is
-/// wait-free; quantile() walks the 48 buckets.
+/// wait-free; quantile_us() walks the 48 buckets. Backed by obs::Histogram.
 class LatencyHistogram {
  public:
-  static constexpr int kBuckets = 48;  // covers up to ~2^48 us (~8.9 years)
+  static constexpr int kBuckets = obs::kHistogramBuckets;
 
-  void record(std::uint64_t us) {
-    buckets_[bucket_of(us)].fetch_add(1, std::memory_order_relaxed);
-    count_.fetch_add(1, std::memory_order_relaxed);
-    sum_us_.fetch_add(us, std::memory_order_relaxed);
-    std::uint64_t cur = max_us_.load(std::memory_order_relaxed);
-    while (us > cur &&
-           !max_us_.compare_exchange_weak(cur, us, std::memory_order_relaxed)) {
-    }
-  }
-
-  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
-
-  double mean_us() const {
-    const std::uint64_t n = count();
-    return n == 0 ? 0.0
-                  : static_cast<double>(sum_us_.load(std::memory_order_relaxed)) /
-                        static_cast<double>(n);
-  }
-
-  std::uint64_t max_us() const { return max_us_.load(std::memory_order_relaxed); }
+  void record(std::uint64_t us) { h_.record(us); }
+  std::uint64_t count() const { return h_.count(); }
+  double mean_us() const { return h_.mean(); }
+  std::uint64_t max_us() const { return h_.max(); }
 
   /// Upper edge of the bucket holding quantile q in [0, 1] — a conservative
   /// estimate within a factor of two of the true quantile (and clamped to
   /// the exact observed maximum).
-  std::uint64_t quantile_us(double q) const {
-    const std::uint64_t total = count();
-    if (total == 0) return 0;
-    if (q < 0.0) q = 0.0;
-    if (q > 1.0) q = 1.0;
-    std::uint64_t target =
-        static_cast<std::uint64_t>(q * static_cast<double>(total));
-    if (target == 0) target = 1;
-    std::uint64_t seen = 0;
-    for (int b = 0; b < kBuckets; ++b) {
-      seen += buckets_[b].load(std::memory_order_relaxed);
-      if (seen >= target) {
-        const std::uint64_t edge =
-            b + 1 >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << (b + 1)) - 1;
-        const std::uint64_t mx = max_us();
-        return mx != 0 && mx < edge ? mx : edge;
-      }
-    }
-    return max_us();
-  }
+  std::uint64_t quantile_us(double q) const { return h_.quantile(q); }
 
  private:
-  static int bucket_of(std::uint64_t us) {
-    int b = 0;
-    while (us > 1 && b < kBuckets - 1) {
-      us >>= 1;
-      ++b;
-    }
-    return b;
-  }
-
-  std::atomic<std::uint64_t> buckets_[kBuckets] = {};
-  std::atomic<std::uint64_t> count_{0};
-  std::atomic<std::uint64_t> sum_us_{0};
-  std::atomic<std::uint64_t> max_us_{0};
+  obs::Histogram h_;
 };
 
 }  // namespace luqr::serve

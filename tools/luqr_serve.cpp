@@ -28,6 +28,10 @@
 //   --stress          acceptance preset: >= 8 clients x >= 25 requests,
 //                     --verify on, nonzero exit on any mismatch/failure
 //   --seed S          matrix/rhs seed base (default 1)
+//   --metrics-json F  write periodic JSON metrics snapshots to F (atomic
+//                     tmp+rename; luqr_top watches this file)
+//   --metrics-prom F  write periodic Prometheus text snapshots to F
+//   --metrics-period MS  snapshot period in ms (default 500)
 //
 // Prints the full service telemetry snapshot at the end (queue depth,
 // cache hit rate, latency percentiles, jobs/s, workspace bytes); exits
@@ -43,6 +47,7 @@
 #include <vector>
 
 #include "luqr.hpp"
+#include "obs/export.hpp"
 #include "serve/service.hpp"
 
 namespace {
@@ -52,7 +57,9 @@ namespace {
                "usage: %s [--clients N] [--requests M] [--sizes a,b,c] [--pool K]\n"
                "       [--nb V] [--threads T] [--dispatchers D] [--queue Q]\n"
                "       [--cache-mb MB] [--reject] [--batch K] [--many K]\n"
-               "       [--small-mix] [--verify] [--stress] [--seed S]\n",
+               "       [--small-mix] [--verify] [--stress] [--seed S]\n"
+               "       [--metrics-json F] [--metrics-prom F] "
+               "[--metrics-period MS]\n",
                argv0);
   std::exit(2);
 }
@@ -83,6 +90,8 @@ int main(int argc, char** argv) {
   bool reject = false, verify_results = false, stress = false, small_mix = false;
   std::uint64_t seed = 1;
   std::vector<int> sizes = {32, 48, 64, 96};
+  std::string metrics_json, metrics_prom;
+  int metrics_period_ms = 500;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -106,6 +115,9 @@ int main(int argc, char** argv) {
     else if (arg == "--verify") verify_results = true;
     else if (arg == "--stress") stress = true;
     else if (arg == "--seed") seed = static_cast<std::uint64_t>(std::atoll(need_value()));
+    else if (arg == "--metrics-json") metrics_json = need_value();
+    else if (arg == "--metrics-prom") metrics_prom = need_value();
+    else if (arg == "--metrics-period") metrics_period_ms = std::atoi(need_value());
     else usage(argv[0]);
   }
   if (small_mix) {
@@ -155,6 +167,19 @@ int main(int argc, char** argv) {
       Matrix<double> b, x;
     };
     std::vector<std::vector<Outcome>> outcomes(static_cast<std::size_t>(clients));
+
+    // Live exporters: snapshot the global registry (kernel profiler, engine
+    // sampler gauges, serve counters/histograms) on a period while the run
+    // is hot; stop() flushes a final post-drain snapshot.
+    std::unique_ptr<obs::SnapshotWriter> metrics_writer;
+    if (!metrics_json.empty() || !metrics_prom.empty()) {
+      obs::SnapshotWriter::Options wopt;
+      wopt.json_path = metrics_json;
+      wopt.prom_path = metrics_prom;
+      wopt.period_ms = metrics_period_ms;
+      metrics_writer = std::make_unique<obs::SnapshotWriter>(wopt);
+    }
+
     Timer wall;
     {
       serve::SolveService svc(cfg);
@@ -312,6 +337,15 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "stress: fewer than 200 verified jobs completed\n");
         return 1;
       }
+    }
+    if (metrics_writer) {
+      metrics_writer->stop();  // flushes a final post-drain snapshot
+      std::printf("metrics            %llu snapshots -> %s%s%s\n",
+                  static_cast<unsigned long long>(
+                      metrics_writer->snapshots_written()),
+                  metrics_json.c_str(),
+                  (!metrics_json.empty() && !metrics_prom.empty()) ? ", " : "",
+                  metrics_prom.c_str());
     }
     return 0;
   } catch (const Error& e) {

@@ -28,10 +28,11 @@
 //   --chaos-seed N     adversarial schedule exploration: seed N randomizes
 //                      queue draining order and injects per-task delays
 //                      (results stay bitwise identical; pairs with --audit)
-//   --profile          print a per-kernel-class time breakdown (panel+
-//                      decision / trsm / gemm / qr-factor / qr-apply) of the
-//                      parallel factorization, plus critical-path length and
-//                      per-lane task counts (from the engine trace)
+//   --profile          print a per-kernel-class breakdown (gemm / trsm /
+//                      getrf / geqrt / ...) of this run from the always-on
+//                      kernel profiler: calls, wall time, share and model
+//                      GFLOP/s per class, serial or parallel; with --threads
+//                      also critical-path length and per-lane task counts
 //   --refine <n>       iterative-refinement sweeps (default 0)
 //   --precision P      working precision: f64 (default), f32 (single
 //                      precision throughout), or f32_ir (factor in f32,
@@ -47,6 +48,7 @@
 
 #include "io/matrix_market.hpp"
 #include "luqr.hpp"
+#include "obs/kprof.hpp"
 
 namespace {
 
@@ -179,13 +181,12 @@ int main(int argc, char** argv) {
       sched.chaos_seed = chaos_seed;
     }
     rt::SchedulerStats sched_stats;
-    if (profile) {
-      LUQR_REQUIRE(threads > 0,
-                   "--profile requires the parallel backend (--threads)");
-      sched.trace = true;  // the breakdown is computed from the task trace
-    }
+    if (profile)
+      LUQR_REQUIRE(obs::kernel_profiler_enabled(),
+                   "--profile reads the kernel profiler, which LUQR_KPROF=0 "
+                   "disabled in this environment");
     config.scheduler(sched);
-    if (profile || threads > 0) config.scheduler_stats(&sched_stats);
+    if (threads > 0) config.scheduler_stats(&sched_stats);
 
     CriterionSpec spec = CriterionSpec::parse(criterion, alpha);
     if (lu_fraction >= 0.0) {
@@ -199,6 +200,10 @@ int main(int argc, char** argv) {
     }
     config.criterion(spec);
     const Solver solver(config);
+
+    // Profiler baseline: the registry counters are process-monotonic, so
+    // this run's contribution is the snapshot diff around factor+solve.
+    const obs::KernelProfile prof_before = obs::kernel_profile();
 
     Timer timer;
     const core::Factorization fac = solver.factor(a);
@@ -225,48 +230,47 @@ int main(int argc, char** argv) {
     if (chaos_seed != 0)
       std::printf("chaos schedule: seed %llu\n", chaos_seed);
     if (profile) {
-      // Per-kernel-class breakdown of the factorization's task trace: where
-      // the workers' busy time went, so critical-path wins show up from the
-      // CLI without opening the Chrome trace.
-      struct KernelClass { const char* name; double secs; std::uint64_t tasks; };
-      KernelClass classes[] = {{"panel+decision", 0.0, 0}, {"trsm", 0.0, 0},
-                               {"gemm", 0.0, 0},           {"qr-factor", 0.0, 0},
-                               {"qr-apply", 0.0, 0},       {"other", 0.0, 0}};
-      auto class_of = [](const std::string& name) -> int {
-        if (name == "panel") return 0;
-        if (name == "swptrsm" || name == "trsm") return 1;
-        if (name == "gemm") return 2;
-        if (name == "restore" || name == "geqrt" || name == "tsqrt" ||
-            name == "ttqrt")
-          return 3;
-        if (name == "unmqr" || name == "tsmqr" || name == "ttmqr") return 4;
-        return 5;
-      };
+      // Per-kernel-class breakdown straight from the always-on profiler
+      // (obs::KernelScope around every kernel dispatch): exact call counts,
+      // wall time and model flops for this factor+solve — no trace
+      // reconstruction, and it works for the serial backend too.
+      const obs::KernelProfile prof_after = obs::kernel_profile();
       double busy = 0.0;
-      for (const auto& e : sched_stats.trace) {
-        const double secs = static_cast<double>(e.end_us - e.start_us) * 1e-6;
-        KernelClass& c = classes[class_of(e.name)];
-        c.secs += secs;
-        ++c.tasks;
-        busy += secs;
+      std::uint64_t calls_total = 0;
+      for (int c = 0; c < obs::kKernelClassCount; ++c) {
+        busy += static_cast<double>(prof_after[static_cast<std::size_t>(c)].time_us -
+                                    prof_before[static_cast<std::size_t>(c)].time_us) *
+                1e-6;
+        calls_total += prof_after[static_cast<std::size_t>(c)].calls -
+                       prof_before[static_cast<std::size_t>(c)].calls;
       }
-      std::printf("\nprofile (worker-busy %.3fs across %llu tasks):\n", busy,
-                  static_cast<unsigned long long>(sched_stats.tasks_executed));
-      std::printf("  %-16s %8s %10s %7s\n", "class", "tasks", "time(s)", "share");
-      for (const auto& c : classes) {
-        if (c.tasks == 0) continue;
-        std::printf("  %-16s %8llu %10.4f %6.1f%%\n", c.name,
-                    static_cast<unsigned long long>(c.tasks), c.secs,
-                    busy > 0 ? 100.0 * c.secs / busy : 0.0);
+      std::printf("\nprofile (kernel time %.3fs across %llu kernel calls):\n",
+                  busy, static_cast<unsigned long long>(calls_total));
+      std::printf("  %-10s %10s %10s %7s %9s\n", "class", "calls", "time(s)",
+                  "share", "gflop/s");
+      for (int c = 0; c < obs::kKernelClassCount; ++c) {
+        const auto& b0 = prof_before[static_cast<std::size_t>(c)];
+        const auto& b1 = prof_after[static_cast<std::size_t>(c)];
+        const std::uint64_t calls = b1.calls - b0.calls;
+        if (calls == 0) continue;
+        const double secs = static_cast<double>(b1.time_us - b0.time_us) * 1e-6;
+        const double flops = static_cast<double>(b1.flops - b0.flops);
+        std::printf("  %-10s %10llu %10.4f %6.1f%% %9.2f\n",
+                    obs::kernel_class_label(static_cast<obs::KernelClass>(c)),
+                    static_cast<unsigned long long>(calls), secs,
+                    busy > 0 ? 100.0 * secs / busy : 0.0,
+                    secs > 0 ? flops * 1e-9 / secs : 0.0);
       }
-      std::printf("  critical path: %llu tasks   lookahead: %d\n",
-                  static_cast<unsigned long long>(sched_stats.critical_path),
-                  sched.lookahead);
-      std::printf("  lane tasks:");
-      for (std::size_t l = 0; l < sched_stats.lane_tasks.size(); ++l)
-        std::printf(" L%zu=%llu", l,
-                    static_cast<unsigned long long>(sched_stats.lane_tasks[l]));
-      std::printf("\n");
+      if (threads > 0) {
+        std::printf("  critical path: %llu tasks   lookahead: %d\n",
+                    static_cast<unsigned long long>(sched_stats.critical_path),
+                    sched.lookahead);
+        std::printf("  lane tasks:");
+        for (std::size_t l = 0; l < sched_stats.lane_tasks.size(); ++l)
+          std::printf(" L%zu=%llu", l,
+                      static_cast<unsigned long long>(sched_stats.lane_tasks[l]));
+        std::printf("\n");
+      }
     }
     std::printf("steps: %d LU + %d QR (%.1f%% LU)\n", fac.stats().lu_steps,
                 fac.stats().qr_steps, 100.0 * fac.stats().lu_fraction());
