@@ -1,0 +1,129 @@
+#include "fault/fault.hpp"
+
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "obs/metrics.hpp"
+
+namespace luqr::fault {
+
+namespace detail {
+std::atomic<FaultPlan*> g_plan{nullptr};
+}
+
+namespace {
+
+std::uint64_t fnv1a(const char* s) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (; *s != '\0'; ++s) {
+    h ^= static_cast<unsigned char>(*s);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Uniform double in [0, 1) from the top 53 bits.
+double unit_double(std::uint64_t r) {
+  return static_cast<double>(r >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+struct FaultPlan::Site {
+  SiteSpec spec;
+  std::uint64_t name_hash = 0;
+  std::atomic<std::uint64_t> seen{0};
+  std::atomic<std::uint64_t> fired{0};
+  /// Per-site fire counter in the global registry (labels pin the site), so
+  /// every injected fault shows up in the Prometheus/JSON exports next to
+  /// the serve-layer resilience counters it provoked.
+  obs::Counter* fires_total = nullptr;
+};
+
+FaultPlan::FaultPlan(std::uint64_t seed) : seed_(seed) {}
+
+FaultPlan::~FaultPlan() = default;
+
+FaultPlan& FaultPlan::arm(SiteSpec spec) {
+  LUQR_REQUIRE(detail::g_plan.load(std::memory_order_acquire) != this,
+               "fault: arm sites before installing the plan");
+  auto s = std::make_unique<Site>();
+  s->name_hash = fnv1a(spec.name.c_str());
+  s->fires_total = &obs::Registry::global().counter(
+      "luqr_fault_fires_total", {{"site", spec.name}},
+      "Injected faults fired, by site");
+  s->spec = std::move(spec);
+  sites_.push_back(std::move(s));
+  return *this;
+}
+
+FaultPlan::Site* FaultPlan::find(const char* name) const {
+  for (const auto& s : sites_)
+    if (std::strcmp(s->spec.name.c_str(), name) == 0) return s.get();
+  return nullptr;
+}
+
+bool FaultPlan::should_fire(const char* name) {
+  Site* s = find(name);
+  if (s == nullptr) return false;
+  const std::uint64_t idx = s->seen.fetch_add(1, std::memory_order_relaxed);
+  if (idx < s->spec.skip) return false;
+  if (s->spec.probability < 1.0) {
+    const std::uint64_t r = splitmix64(seed_ ^ s->name_hash ^ idx);
+    if (unit_double(r) >= s->spec.probability) return false;
+  }
+  // Exact fire budget: claim a slot below max_fires or decline.
+  std::uint64_t f = s->fired.load(std::memory_order_relaxed);
+  do {
+    if (f >= s->spec.max_fires) return false;
+  } while (!s->fired.compare_exchange_weak(f, f + 1, std::memory_order_relaxed));
+  s->fires_total->add(1);
+  return true;
+}
+
+std::uint64_t FaultPlan::delay_us(const char* name) const {
+  const Site* s = find(name);
+  return s != nullptr ? s->spec.delay_us : 0;
+}
+
+std::uint64_t FaultPlan::occurrences(const char* name) const {
+  const Site* s = find(name);
+  return s != nullptr ? s->seen.load(std::memory_order_relaxed) : 0;
+}
+
+std::uint64_t FaultPlan::fires(const char* name) const {
+  const Site* s = find(name);
+  return s != nullptr ? s->fired.load(std::memory_order_relaxed) : 0;
+}
+
+std::uint64_t FaultPlan::total_fires() const {
+  std::uint64_t total = 0;
+  for (const auto& s : sites_) total += s->fired.load(std::memory_order_relaxed);
+  return total;
+}
+
+void install(FaultPlan* p) {
+  detail::g_plan.store(p, std::memory_order_release);
+}
+
+void maybe_throw(const char* name) {
+  if (should_fire(name))
+    throw InjectedFault(std::string("fault: injected failure at ") + name);
+}
+
+void maybe_delay(const char* name) {
+  FaultPlan* p = plan();
+  if (p == nullptr || !p->should_fire(name)) return;
+  const std::uint64_t us = p->delay_us(name);
+  if (us > 0) std::this_thread::sleep_for(std::chrono::microseconds(us));
+}
+
+}  // namespace luqr::fault

@@ -1,0 +1,157 @@
+// luqr::fault — deterministic, seed-driven fault injection.
+//
+// A FaultPlan arms named injection sites (probability, fire budget, skip
+// window, and a per-site delay parameter) and is installed process-wide.
+// Code at an injection site asks `fault::should_fire(site::kX)` — with no
+// plan installed that is a single relaxed atomic load and a null test, so
+// instrumented hot paths (workspace allocation, kernel dispatch, the engine
+// task runner) pay nothing in production.
+//
+// Determinism: whether occurrence #i of a site fires is a pure function of
+// (plan seed, site name, i). Each occurrence draws its index from a per-site
+// atomic counter, so under a fixed thread interleaving the full fire pattern
+// is reproducible from the seed, and the *number* of fires per site is
+// reproducible regardless of interleaving (the decision depends only on the
+// index, not on which thread drew it).
+//
+// Installation contract (same as kern::install_access_listener): install
+// before the instrumented work starts, uninstall after it has quiesced. The
+// plan is not reference-counted; the installer owns its lifetime.
+//
+//   fault::FaultPlan plan(seed);
+//   plan.arm({fault::site::kServeTask, /*probability=*/0.05});
+//   plan.arm({fault::site::kTaskStall, 0.01, /*max_fires=*/4, 0,
+//             /*delay_us=*/5000});
+//   {
+//     fault::ScopedPlan guard(plan);
+//     ... run the workload ...
+//   }
+//   plan.fires(fault::site::kServeTask);  // how many actually fired
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace luqr::fault {
+
+/// Canonical site names. A site only fires where the code consults it; the
+/// list documents every instrumented seam in one place.
+namespace site {
+/// kern::Workspace chunk growth throws std::bad_alloc.
+inline constexpr const char* kWorkspaceAlloc = "workspace.alloc";
+/// TileMatrix storage allocation throws std::bad_alloc.
+inline constexpr const char* kTileAlloc = "tile.alloc";
+/// kern::getrf dispatch reports a singular panel (info = 1) without
+/// touching its input — upstream sees a genuine zero-pivot panel and takes
+/// the QR fallback (or fails) exactly as it would for real singularity.
+inline constexpr const char* kGetrfSingular = "kernel.getrf.singular";
+/// kern::gemm dispatch poisons c(0,0) with a quiet NaN after the product.
+inline constexpr const char* kGemmNan = "kernel.gemm.nan";
+/// rt::Engine sleeps delay_us before running a task body (small jitter).
+inline constexpr const char* kTaskDelay = "engine.task.delay";
+/// rt::Engine sleeps delay_us before running a task body (long stall; pair
+/// with a serve watchdog wall to exercise Degraded detection).
+inline constexpr const char* kTaskStall = "engine.task.stall";
+/// serve execution tasks throw InjectedFault (transient; retried).
+inline constexpr const char* kServeTask = "serve.task.throw";
+/// serve dispatcher abandons a dequeued job without executing or settling
+/// it (the watchdog must recover it; only honored for jobs with a hard
+/// wall, so an unguarded job can never hang forever).
+inline constexpr const char* kServeDrop = "serve.job.drop";
+/// serve dispatcher sleeps delay_us before dispatching a job.
+inline constexpr const char* kServeDelay = "serve.job.delay";
+}  // namespace site
+
+/// Thrown by maybe_throw sites. Distinct from luqr::Error so failure
+/// handlers can classify it as transient (retriable) rather than a
+/// deterministic failure like singularity or validation.
+class InjectedFault : public Error {
+ public:
+  using Error::Error;
+};
+
+/// One armed site.
+struct SiteSpec {
+  std::string name;                    ///< a site:: constant (or test-local)
+  double probability = 1.0;            ///< per-occurrence chance, [0, 1]
+  std::uint64_t max_fires = ~std::uint64_t{0};  ///< total fire budget
+  std::uint64_t skip = 0;              ///< never fire on the first N occurrences
+  std::uint64_t delay_us = 0;          ///< sleep length for delay-class sites
+};
+
+class FaultPlan {
+ public:
+  explicit FaultPlan(std::uint64_t seed = 0);
+  ~FaultPlan();
+
+  FaultPlan(const FaultPlan&) = delete;
+  FaultPlan& operator=(const FaultPlan&) = delete;
+
+  /// Arm a site. Must happen before the plan is installed (the site table
+  /// is immutable while hot paths read it).
+  FaultPlan& arm(SiteSpec spec);
+
+  /// Decide whether this occurrence of `name` fires. Thread-safe; an
+  /// unarmed site never fires.
+  bool should_fire(const char* name);
+
+  std::uint64_t delay_us(const char* name) const;
+  std::uint64_t occurrences(const char* name) const;
+  std::uint64_t fires(const char* name) const;
+  std::uint64_t total_fires() const;
+  std::uint64_t seed() const { return seed_; }
+
+ private:
+  struct Site;
+  Site* find(const char* name) const;
+
+  std::uint64_t seed_;
+  std::vector<std::unique_ptr<Site>> sites_;
+};
+
+namespace detail {
+extern std::atomic<FaultPlan*> g_plan;
+}
+
+/// The installed plan, or nullptr. One relaxed-ish load: the whole cost of
+/// an injection site in production.
+inline FaultPlan* plan() {
+  return detail::g_plan.load(std::memory_order_acquire);
+}
+
+/// Install `p` process-wide (nullptr uninstalls). The caller must ensure
+/// instrumented code is quiescent around install/uninstall.
+void install(FaultPlan* p);
+
+/// RAII install/uninstall around a test or harness region.
+class ScopedPlan {
+ public:
+  explicit ScopedPlan(FaultPlan& p) { install(&p); }
+  ~ScopedPlan() { install(nullptr); }
+  ScopedPlan(const ScopedPlan&) = delete;
+  ScopedPlan& operator=(const ScopedPlan&) = delete;
+};
+
+inline bool should_fire(const char* name) {
+  FaultPlan* p = plan();
+  return p != nullptr && p->should_fire(name);
+}
+
+/// Allocation-path sites: throw std::bad_alloc when the site fires.
+inline void maybe_alloc_fail(const char* name) {
+  if (should_fire(name)) throw std::bad_alloc();
+}
+
+/// Throw-class sites: throw InjectedFault when the site fires.
+void maybe_throw(const char* name);
+
+/// Delay-class sites: sleep the site's delay_us when the site fires.
+void maybe_delay(const char* name);
+
+}  // namespace luqr::fault

@@ -1,5 +1,7 @@
 #include <algorithm>
+#include <limits>
 
+#include "fault/fault.hpp"
 #include "kernels/access.hpp"
 #include "kernels/blas.hpp"
 #include "kernels/microkernel.hpp"
@@ -193,6 +195,10 @@ void gemm(Trans transa, Trans transb, T alpha, ConstMatrixView<T> a,
   } else {
     gemm_unblocked(transa, transb, alpha, a, b, beta, c);
   }
+  // Fault site: poison one output element with a quiet NaN — downstream
+  // layers must detect the non-finite result, never cache it, and recover.
+  if (fault::should_fire(fault::site::kGemmNan) && c.rows > 0 && c.cols > 0)
+    c(0, 0) = std::numeric_limits<T>::quiet_NaN();
 }
 
 template <typename T>

@@ -2,6 +2,7 @@
 #include <cmath>
 #include <utility>
 
+#include "fault/fault.hpp"
 #include "kernels/access.hpp"
 #include "kernels/lapack.hpp"
 #include "kernels/pack.hpp"
@@ -116,6 +117,14 @@ template <typename T>
 int getrf(MatrixView<T> a, std::vector<int>& piv, Workspace* ws) {
   // Audited-task footprint report (no-op without an installed listener).
   note_write(a);
+  // Fault site: report a singular panel without factoring — the caller
+  // (factor_panel backs tiles up first) sees a genuine zero-pivot result
+  // and takes its normal singularity path (QR fallback).
+  if (fault::should_fire(fault::site::kGetrfSingular)) {
+    piv.resize(static_cast<std::size_t>(std::min(a.rows, a.cols)));
+    for (std::size_t j = 0; j < piv.size(); ++j) piv[j] = static_cast<int>(j);
+    return 1;
+  }
   obs::KernelScope prof(obs::KernelClass::Getrf,
                         obs::getrf_model_flops(a.rows, a.cols));
   if (panel_wants_blocked(a.rows, a.cols))

@@ -1,5 +1,7 @@
 #include "kernels/workspace.hpp"
 
+#include "fault/fault.hpp"
+
 namespace luqr::kern {
 
 namespace {
@@ -32,6 +34,7 @@ void* Workspace::raw_alloc(std::size_t bytes) {
     ++active_;
   }
   // Grow: new chunk at the tail, geometric in the arena's total size.
+  fault::maybe_alloc_fail(fault::site::kWorkspaceAlloc);
   std::size_t cap = kMinChunkBytes;
   for (const Chunk& c : chunks_) cap += c.cap;  // ~doubling overall
   if (cap < bytes) cap = align_up(bytes, kMinChunkBytes);
@@ -53,6 +56,7 @@ void Workspace::reserve(std::size_t bytes) {
   // forward from active_, so any chunk at or past it counts.
   for (std::size_t i = active_; i < chunks_.size(); ++i)
     if (chunks_[i].cap - chunks_[i].used >= bytes) return;
+  fault::maybe_alloc_fail(fault::site::kWorkspaceAlloc);
   std::size_t cap = kMinChunkBytes;
   for (const Chunk& c : chunks_) cap += c.cap;  // keep the geometric growth
   if (cap < bytes) cap = align_up(bytes, kMinChunkBytes);

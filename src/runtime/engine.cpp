@@ -2,6 +2,7 @@
 #include <cstdio>
 
 #include "common/error.hpp"
+#include "fault/fault.hpp"
 #include "kernels/access.hpp"
 #include "obs/kprof.hpp"
 #include "runtime/audit.hpp"
@@ -387,6 +388,13 @@ void Engine::run_task(Task* task, int self) {
                                             &task->declared, &audit_->log);
     prev_listener = kern::install_access_listener(auditor.get());
     audit_->audited.fetch_add(1, std::memory_order_relaxed);
+  }
+  // Fault sites: jitter (delay) or park (stall) this task before its body
+  // runs. Pure sleeps — the task still executes and completes, so the DAG
+  // stays sound; a paired serve watchdog wall is what detects the stall.
+  if (fault::plan() != nullptr) {
+    fault::maybe_delay(fault::site::kTaskDelay);
+    fault::maybe_delay(fault::site::kTaskStall);
   }
   const TaskId prev_task = t_current_task;
   t_current_task = task->id;

@@ -188,6 +188,36 @@ void FactorizationCache::evict_lru_locked() {
   lru_.erase(victim);
 }
 
+bool FactorizationCache::erase(const Matrix<double>& a,
+                               const std::string& config_fp) {
+  return erase_hashed(a, config_fp, hash_(a));
+}
+
+bool FactorizationCache::erase_hashed(const Matrix<double>& a,
+                                      const std::string& config_fp,
+                                      std::uint64_t h) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto range = index_.equal_range(h);
+  for (auto it = range.first; it != range.second; ++it) {
+    if (!matches(*it->second, h, a, config_fp)) continue;
+    auto victim = it->second;
+    index_.erase(it);
+    stats_.bytes -= victim->bytes;
+    --stats_.entries;
+    CacheObs& obs = cache_obs();
+    obs.bytes.add(-static_cast<double>(victim->bytes));
+    obs.entries.add(-1.0);
+    lru_.erase(victim);
+    return true;
+  }
+  return false;
+}
+
+void FactorizationCache::evict_to(std::size_t target_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  while (stats_.bytes > target_bytes && !lru_.empty()) evict_lru_locked();
+}
+
 CacheStats FactorizationCache::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   CacheStats s = stats_;

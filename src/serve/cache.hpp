@@ -101,6 +101,24 @@ class FactorizationCache {
                      std::uint64_t h,
                      std::shared_ptr<const core::Factorization> fac);
 
+  /// Drop the entry for `a` (exact-match verified). Used by the service's
+  /// poisoned-result containment: a factorization that produced a
+  /// non-finite solution must never serve another hit. Returns true when an
+  /// entry was removed.
+  bool erase(const Matrix<double>& a, const std::string& config_fp);
+
+  /// erase() with the key precomputed — required by callers (the service)
+  /// that insert under a derived key (content hash XOR config fingerprint)
+  /// rather than the plain content hash; erase() would recompute the plain
+  /// hash and miss those entries.
+  bool erase_hashed(const Matrix<double>& a, const std::string& config_fp,
+                    std::uint64_t h);
+
+  /// Evict LRU entries until at most `target_bytes` remain resident. The
+  /// service's memory-pressure response (entries handed out stay valid —
+  /// shared_ptr — so in-flight solves are unaffected).
+  void evict_to(std::size_t target_bytes);
+
   CacheStats stats() const;
   void clear();
 

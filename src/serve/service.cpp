@@ -1,14 +1,18 @@
 #include "serve/service.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <exception>
 #include <iterator>
+#include <new>
 #include <unordered_map>
 #include <utility>
 
 #include "core/batch.hpp"
+#include "fault/fault.hpp"
+#include "kernels/norms.hpp"
 #include "kernels/workspace.hpp"
 #include "obs/metrics.hpp"
 #include "obs/sampler.hpp"
@@ -29,6 +33,17 @@ struct JobState {
   std::uint64_t job_id = 0;  ///< span id, assigned at submit; immutable after
   std::uint64_t t_submit_us = 0;
   std::uint64_t t_start_us = 0;
+  /// Deadline / hard wall on the service clock (absolute; 0 = none). Both
+  /// are set before the job is published and immutable after.
+  std::uint64_t deadline_us = 0;
+  std::uint64_t hard_wall_us = 0;
+  /// Retry budget (under mu): attempts consumed vs the per-job limit.
+  int attempts = 0;
+  int max_retries = 0;
+  /// Exactly-once settlement: the first complete_* call wins; late settlers
+  /// (a watchdog force-fail racing the task's own completion, or vice
+  /// versa) observe the flag and back off without touching counters.
+  bool settled = false;
 };
 
 }  // namespace detail
@@ -55,7 +70,31 @@ constexpr int kMinStagedChunk = 8;
 
 bool is_terminal(JobStatus s) {
   return s == JobStatus::Done || s == JobStatus::Failed ||
-         s == JobStatus::Cancelled || s == JobStatus::Rejected;
+         s == JobStatus::Cancelled || s == JobStatus::Rejected ||
+         s == JobStatus::Shed;
+}
+
+// The Frobenius norm is the one lange() mode whose single accumulator
+// propagates both NaN and Inf (One/Inf/Max lose NaN through std::max), so
+// one O(n^2) pass answers "is every element finite".
+bool finite_matrix(const Matrix<double>& m) {
+  if (m.rows() == 0 || m.cols() == 0) return true;
+  return std::isfinite(kern::lange(kern::Norm::Fro, m.view()));
+}
+
+// Pure transient/deterministic split (no counters): injected faults and
+// allocation pressure are worth retrying; everything else (singularity,
+// validation, logic errors) would fail identically again.
+bool transient_exception(const std::exception_ptr& err) {
+  try {
+    std::rethrow_exception(err);
+  } catch (const fault::InjectedFault&) {
+    return true;
+  } catch (const std::bad_alloc&) {
+    return true;
+  } catch (...) {
+    return false;
+  }
 }
 
 // Every knob that shapes a factorization (and its replayed solves), flat
@@ -110,6 +149,18 @@ void JobHandle::wait() const {
   state_->cv.wait(lock, [this] { return is_terminal(state_->status); });
 }
 
+bool JobHandle::wait_for(std::uint64_t timeout_us) const {
+  return wait_until(std::chrono::steady_clock::now() +
+                    std::chrono::microseconds(timeout_us));
+}
+
+bool JobHandle::wait_until(std::chrono::steady_clock::time_point deadline) const {
+  LUQR_REQUIRE(state_ != nullptr, "empty JobHandle");
+  std::unique_lock<std::mutex> lock(state_->mu);
+  return state_->cv.wait_until(lock, deadline,
+                               [this] { return is_terminal(state_->status); });
+}
+
 SolveReply JobHandle::get() {
   LUQR_REQUIRE(state_ != nullptr, "empty JobHandle");
   std::unique_lock<std::mutex> lock(state_->mu);
@@ -120,6 +171,8 @@ SolveReply JobHandle::get() {
     case JobStatus::Cancelled: throw Error("serve: job was cancelled");
     case JobStatus::Rejected:
       throw Error("serve: job rejected (queue full or service shutting down)");
+    case JobStatus::Shed:
+      throw Error("serve: job shed (deadline exceeded or service degraded)");
     default: throw Error("serve: job in non-terminal state");  // unreachable
   }
 }
@@ -162,8 +215,11 @@ SolveService::SolveService(ServiceConfig config)
     const unsigned hw = std::thread::hardware_concurrency();
     workers_ = hw > 0 ? static_cast<int>(hw) : 1;
   }
-  engine_ = std::make_shared<rt::Engine>(workers_);
+  rt::EngineOptions eopt;
+  eopt.chaos_seed = cfg_.chaos_seed;
+  engine_ = std::make_shared<rt::Engine>(workers_, eopt);
   max_inflight_ = cfg_.max_inflight > 0 ? cfg_.max_inflight : 2 * workers_;
+  inflight_limit_ = max_inflight_;
   config_fp_ = fingerprint(cfg_.solver);
   config_fp_hash_ = fingerprint_hash(config_fp_);
 
@@ -192,6 +248,25 @@ SolveService::SolveService(ServiceConfig config)
                                 "Jobs cancelled before execution");
   obs_.rejected = &reg.counter("luqr_serve_jobs_rejected_total", {},
                                "Jobs rejected at admission");
+  obs_.shed = &reg.counter("luqr_serve_shed_total", {},
+                           "Jobs shed by SLO control (deadline expired while "
+                           "queued, or Batch admission while Degraded)");
+  obs_.retries = &reg.counter("luqr_serve_retries_total", {},
+                              "Transient-failure retries re-enqueued with "
+                              "backoff");
+  obs_.faults_injected =
+      &reg.counter("luqr_serve_faults_injected_total", {},
+                   "Injected faults observed by the serve retry machinery");
+  obs_.watchdog_trips =
+      &reg.counter("luqr_serve_watchdog_trips_total", {},
+                   "Jobs force-failed for exceeding their hard wall");
+  obs_.memory_pressure =
+      &reg.counter("luqr_serve_memory_pressure_total", {},
+                   "Allocation-pressure events (cache evicted, inflight "
+                   "limit halved)");
+  obs_.health = &reg.gauge("luqr_serve_health", {},
+                           "Service health: 0 healthy, 1 degraded, 2 draining");
+  obs_.health->set(0.0);
   obs_.latency_us = &reg.histogram("luqr_serve_job_latency_us", {},
                                    "Job submit -> terminal, microseconds");
   obs_.exec_us = &reg.histogram("luqr_serve_job_exec_us", {},
@@ -219,6 +294,7 @@ SolveService::SolveService(ServiceConfig config)
   for (int i = 0; i < n_dispatchers; ++i)
     dispatchers_.emplace_back([this] { dispatcher_loop(); });
   flusher_ = std::thread([this] { flusher_loop(); });
+  if (watchdog_enabled()) watchdog_ = std::thread([this] { watchdog_loop(); });
 }
 
 SolveService::~SolveService() {
@@ -227,6 +303,7 @@ SolveService::~SolveService() {
   // joins the workers). The solvers hold engine references too, so they go
   // first — the pool must be fully joined before any other member (mutexes,
   // condition variables) is destroyed under it.
+  set_health(Health::Draining);
   queue_.close();
   for (std::thread& t : dispatchers_) t.join();
   {
@@ -236,6 +313,18 @@ SolveService::~SolveService() {
   stage_cv_.notify_all();
   flusher_.join();  // flushes every staged job as chunk tasks first
   drain();
+  // The watchdog outlives drain() on purpose: jobs parked in its backoff
+  // queue are still active, and only the watchdog can settle them (the
+  // closed queue rejects their re-enqueue, so they fail with their stored
+  // error, active_ reaches zero, and drain returns).
+  if (watchdog_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(watchdog_mu_);
+      watchdog_stop_ = true;
+    }
+    watchdog_cv_.notify_all();
+    watchdog_.join();
+  }
   sampler_.reset();  // samples the engine; must stop before it retires
   fine_solver_.reset();
   coarse_solver_.reset();
@@ -274,6 +363,13 @@ JobHandle SolveService::enqueue(Job job) {
     std::lock_guard<std::mutex> lock(mu_);
     active_ += members;
   }
+  // Degraded admission control: Batch work is the first thing to go — the
+  // service keeps its remaining capacity for Interactive/Normal traffic
+  // until a quiet recovery window restores health.
+  if (job.priority == Priority::Batch && health() == Health::Degraded) {
+    for (const auto& s : states) complete_shed(s);
+    return JobHandle(states.front());
+  }
   const int lane = static_cast<int>(job.priority);
   const bool accepted = cfg_.reject_when_full
                             ? queue_.try_push(std::move(job), lane)
@@ -283,27 +379,79 @@ JobHandle SolveService::enqueue(Job job) {
   return JobHandle(states.front());
 }
 
+std::shared_ptr<JobState> SolveService::new_job_state(const SubmitOptions& opt,
+                                                      bool retryable) {
+  auto s = make_job_state(now_us());
+  s->max_retries =
+      retryable ? (opt.max_retries >= 0 ? opt.max_retries : cfg_.max_retries)
+                : 0;
+  if (opt.deadline_us != 0) s->deadline_us = s->t_submit_us + opt.deadline_us;
+  if (watchdog_enabled()) {
+    // Hard wall: the point past which the watchdog declares the job lost and
+    // force-fails it. A multiple of the client's deadline when one exists,
+    // the configured absolute wall otherwise, unbounded when neither is set.
+    const std::uint64_t mult =
+        static_cast<std::uint64_t>(std::max(1, cfg_.watchdog_wall_multiple));
+    if (s->deadline_us != 0)
+      s->hard_wall_us = s->t_submit_us + opt.deadline_us * mult;
+    else if (cfg_.hard_wall_us != 0)
+      s->hard_wall_us = s->t_submit_us + cfg_.hard_wall_us;
+  }
+  register_job(s);
+  return s;
+}
+
+void SolveService::register_job(const std::shared_ptr<JobState>& state) {
+  if (!watchdog_enabled() || state->hard_wall_us == 0) return;
+  std::lock_guard<std::mutex> lock(jobs_mu_);
+  live_jobs_.push_back(state);
+}
+
+void SolveService::screen_input(const Matrix<double>& m) const {
+  if (!cfg_.screen_inputs || finite_matrix(m)) return;
+  throw Error(
+      "serve: input contains non-finite values (NaN or Inf); set "
+      "ServiceConfig::screen_inputs=false to disable input screening");
+}
+
 JobHandle SolveService::submit_solve(Matrix<double> a, Matrix<double> b,
-                                     Priority priority) {
+                                     const SubmitOptions& opt) {
   LUQR_REQUIRE(a.rows() == a.cols(), "serve: system matrix must be square");
   LUQR_REQUIRE(b.rows() == a.rows(), "serve: rhs row count mismatch");
+  screen_input(a);
+  screen_input(b);
   Job job;
   job.kind = Job::Kind::Solve;
-  job.priority = priority;
+  job.priority = opt.priority;
   job.a = std::make_shared<Matrix<double>>(std::move(a));
   job.b = std::move(b);
-  job.state = make_job_state(now_us());
+  job.state = new_job_state(opt, /*retryable=*/true);
+  return enqueue(std::move(job));
+}
+
+JobHandle SolveService::submit_solve(Matrix<double> a, Matrix<double> b,
+                                     Priority priority) {
+  SubmitOptions opt;
+  opt.priority = priority;
+  return submit_solve(std::move(a), std::move(b), opt);
+}
+
+JobHandle SolveService::submit_factor(Matrix<double> a,
+                                      const SubmitOptions& opt) {
+  LUQR_REQUIRE(a.rows() == a.cols(), "serve: system matrix must be square");
+  screen_input(a);
+  Job job;
+  job.kind = Job::Kind::Factor;
+  job.priority = opt.priority;
+  job.a = std::make_shared<Matrix<double>>(std::move(a));
+  job.state = new_job_state(opt, /*retryable=*/true);
   return enqueue(std::move(job));
 }
 
 JobHandle SolveService::submit_factor(Matrix<double> a, Priority priority) {
-  LUQR_REQUIRE(a.rows() == a.cols(), "serve: system matrix must be square");
-  Job job;
-  job.kind = Job::Kind::Factor;
-  job.priority = priority;
-  job.a = std::make_shared<Matrix<double>>(std::move(a));
-  job.state = make_job_state(now_us());
-  return enqueue(std::move(job));
+  SubmitOptions opt;
+  opt.priority = priority;
+  return submit_factor(std::move(a), opt);
 }
 
 std::vector<JobHandle> SolveService::submit_batch(Matrix<double> a,
@@ -313,15 +461,18 @@ std::vector<JobHandle> SolveService::submit_batch(Matrix<double> a,
   LUQR_REQUIRE(!bs.empty(), "serve: empty batch");
   for (const auto& b : bs)
     LUQR_REQUIRE(b.rows() == a.rows(), "serve: rhs row count mismatch");
+  screen_input(a);
+  for (const auto& b : bs) screen_input(b);
   Job job;
   job.kind = Job::Kind::Batch;
   job.priority = priority;
   job.a = std::make_shared<Matrix<double>>(std::move(a));
   job.batch_b = std::move(bs);
-  const std::uint64_t t = now_us();
+  SubmitOptions member_opt;
+  member_opt.priority = priority;
   job.batch_states.reserve(job.batch_b.size());
   for (std::size_t i = 0; i < job.batch_b.size(); ++i)
-    job.batch_states.push_back(make_job_state(t));
+    job.batch_states.push_back(new_job_state(member_opt, /*retryable=*/false));
   batches_.fetch_add(1, std::memory_order_relaxed);
   batch_members_.fetch_add(job.batch_states.size(), std::memory_order_relaxed);
   std::vector<JobHandle> handles;
@@ -377,8 +528,10 @@ std::vector<JobHandle> SolveService::submit_many(
     std::size_t order = 0;  // first-seen rank, the grouping key
   };
   std::unordered_map<const Matrix<double>*, Probe> seen;
+  SubmitOptions member_opt;
+  member_opt.priority = priority;
   for (std::size_t i = 0; i < as.size(); ++i) {
-    auto state = make_job_state(now_us());
+    auto state = new_job_state(member_opt, /*retryable=*/false);
     handles.push_back(JobHandle(state));
 
     // Malformed members fail alone: bulk submission never throws the whole
@@ -399,6 +552,17 @@ std::vector<JobHandle> SolveService::submit_many(
       count_member();
       complete_error(state, std::make_exception_ptr(
                                 Error("serve: rhs row count mismatch")));
+      continue;
+    }
+    if (cfg_.screen_inputs &&
+        (!finite_matrix(*as[i]) || !finite_matrix(bs[i]))) {
+      count_member();
+      complete_error(
+          state,
+          std::make_exception_ptr(Error(
+              "serve: input contains non-finite values (NaN or Inf); set "
+              "ServiceConfig::screen_inputs=false to disable input "
+              "screening")));
       continue;
     }
 
@@ -599,9 +763,16 @@ void SolveService::submit_chunk_task(std::vector<Staged> chunk) {
           kern::Workspace::Frame frame(ws);
           const int n = chunk[live.front()].a->rows();
           const int nb = cfg_.solver.tile_size();
-          ws.reserve(cfg_.solver.precision() == Precision::F64
-                         ? core::chunk_scratch_bytes_f64(n, nb)
-                         : core::chunk_scratch_bytes_f32(n, nb));
+          try {
+            ws.reserve(cfg_.solver.precision() == Precision::F64
+                           ? core::chunk_scratch_bytes_f64(n, nb)
+                           : core::chunk_scratch_bytes_f32(n, nb));
+          } catch (const std::bad_alloc&) {
+            // The reservation is only a pre-grow optimization; under
+            // allocation pressure (or an injected alloc fault) fall through
+            // — per-member allocations below retry, and failures isolate to
+            // their member instead of escaping into the engine.
+          }
           // Phase A — resolve one factorization per live member. Skim hits
           // arrive with theirs. Misses re-probe the cache (an earlier member
           // of this — or a concurrent — chunk may have inserted an equal
@@ -734,13 +905,18 @@ void SolveService::submit_chunk_task(std::vector<Staged> chunk) {
         for (std::size_t i = 0; i < chunk.size(); ++i) {
           if (k < live.size() && live[k] == i) {
             Result& r = results[k++];
-            if (r.error)
+            if (r.error) {
+              // No retry for staged members (budget 0), but the failure
+              // class still drives the degradation machinery (allocation
+              // pressure sheds cache + inflight).
+              classify_transient(r.error);
               complete_error(chunk[i].state, r.error);
-            else
+            } else {
               complete_ok(chunk[i].state, std::move(r.x), r.hit, r.report,
                           {r.factor_us, r.solve_us});
+            }
           } else {
-            complete_cancelled(chunk[i].state);
+            settle_skipped(chunk[i].state);
           }
         }
       },
@@ -755,8 +931,12 @@ bool SolveService::try_begin(const std::shared_ptr<JobState>& state,
                              std::uint64_t start_us) {
   std::lock_guard<std::mutex> lock(state->mu);
   if (state->status != JobStatus::Queued) return false;  // cancelled
+  const std::uint64_t t = start_us != 0 ? start_us : now_us();
+  // SLO veto: a job whose deadline passed while it waited must not start —
+  // the status stays Queued and settle_skipped routes it to Shed.
+  if (state->deadline_us != 0 && t > state->deadline_us) return false;
   state->status = JobStatus::Running;
-  state->t_start_us = start_us != 0 ? start_us : now_us();
+  state->t_start_us = t;
   return true;
 }
 
@@ -768,19 +948,23 @@ void SolveService::on_terminal() {
   drain_cv_.notify_all();
 }
 
-// Counters and histograms update *before* the state turns terminal, and
-// active_ drops before the waiter wakes: a client returning from get() (or
-// drain()) sees final telemetry.
+// Counters and histograms update *before* the state turns terminal (inside
+// the same critical section), and active_ drops before the waiter wakes: a
+// client returning from get() (or drain()) sees final telemetry. Every
+// complete_* checks the settled flag first — the force-settling watchdog
+// and the job's own completion race, and exactly one of them accounts.
 
 void SolveService::complete_ok(const std::shared_ptr<JobState>& state,
                                Matrix<double> x, bool cache_hit,
                                const SolveReport& report,
                                const Phases& phases) {
   const std::uint64_t t = now_us();
-  completed_.fetch_add(1, std::memory_order_relaxed);
-  obs_.completed->add(1);
   {
     std::lock_guard<std::mutex> lock(state->mu);
+    if (state->settled) return;
+    state->settled = true;
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    obs_.completed->add(1);
     state->reply.x = std::move(x);
     state->reply.cache_hit = cache_hit;
     state->reply.report = report;
@@ -806,25 +990,37 @@ void SolveService::complete_ok(const std::shared_ptr<JobState>& state,
 
 void SolveService::complete_error(const std::shared_ptr<JobState>& state,
                                   std::exception_ptr error) {
-  failed_.fetch_add(1, std::memory_order_relaxed);
-  obs_.failed->add(1);
   {
     std::lock_guard<std::mutex> lock(state->mu);
-    state->error = std::move(error);
+    if (state->settled) return;
+    state->settled = true;
     const std::uint64_t lat = now_us() - state->t_submit_us;
     latency_.record(lat);
     obs_.latency_us->record(lat);
-    state->status = JobStatus::Failed;
+    if (state->status == JobStatus::Cancelled) {
+      // cancel() already won the client-visible state (e.g. a watchdog
+      // force-fail of a job cancelled while queued): account it as
+      // cancelled, not failed.
+      cancelled_.fetch_add(1, std::memory_order_relaxed);
+      obs_.cancelled->add(1);
+    } else {
+      failed_.fetch_add(1, std::memory_order_relaxed);
+      obs_.failed->add(1);
+      state->error = std::move(error);
+      state->status = JobStatus::Failed;
+    }
   }
   on_terminal();
   state->cv.notify_all();
 }
 
 void SolveService::complete_cancelled(const std::shared_ptr<JobState>& state) {
-  cancelled_.fetch_add(1, std::memory_order_relaxed);
-  obs_.cancelled->add(1);
   {
     std::lock_guard<std::mutex> lock(state->mu);
+    if (state->settled) return;
+    state->settled = true;
+    cancelled_.fetch_add(1, std::memory_order_relaxed);
+    obs_.cancelled->add(1);
     state->status = JobStatus::Cancelled;  // usually set by cancel() already
     const std::uint64_t lat = now_us() - state->t_submit_us;
     latency_.record(lat);
@@ -834,11 +1030,48 @@ void SolveService::complete_cancelled(const std::shared_ptr<JobState>& state) {
   state->cv.notify_all();
 }
 
-void SolveService::complete_rejected(const std::shared_ptr<JobState>& state) {
-  rejected_.fetch_add(1, std::memory_order_relaxed);
-  obs_.rejected->add(1);
+void SolveService::complete_shed(const std::shared_ptr<JobState>& state) {
   {
     std::lock_guard<std::mutex> lock(state->mu);
+    if (state->settled) return;
+    state->settled = true;
+    const std::uint64_t lat = now_us() - state->t_submit_us;
+    latency_.record(lat);
+    obs_.latency_us->record(lat);
+    if (state->status == JobStatus::Cancelled) {
+      cancelled_.fetch_add(1, std::memory_order_relaxed);
+      obs_.cancelled->add(1);
+    } else {
+      shed_.fetch_add(1, std::memory_order_relaxed);
+      obs_.shed->add(1);
+      state->status = JobStatus::Shed;
+    }
+  }
+  on_terminal();
+  state->cv.notify_all();
+}
+
+void SolveService::settle_skipped(const std::shared_ptr<JobState>& state) {
+  // try_begin refused this job. Either cancel() flipped it to Cancelled, or
+  // the deadline veto left it Queued — which is the shed path.
+  bool expired;
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    expired = state->status == JobStatus::Queued;
+  }
+  if (expired)
+    complete_shed(state);
+  else
+    complete_cancelled(state);
+}
+
+void SolveService::complete_rejected(const std::shared_ptr<JobState>& state) {
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    if (state->settled) return;
+    state->settled = true;
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    obs_.rejected->add(1);
     state->status = JobStatus::Rejected;
   }
   on_terminal();
@@ -851,7 +1084,9 @@ void SolveService::complete_rejected(const std::shared_ptr<JobState>& state) {
 
 void SolveService::acquire_inflight_slot() {
   std::unique_lock<std::mutex> lock(mu_);
-  inflight_cv_.wait(lock, [this] { return inflight_ < max_inflight_; });
+  // The live limit, not the configured one: memory pressure shrinks it and
+  // quiet watchdog scans grow it back.
+  inflight_cv_.wait(lock, [this] { return inflight_ < inflight_limit_; });
   ++inflight_;
 }
 
@@ -903,6 +1138,10 @@ SolveService::FacPtr SolveService::compute_factorization(
     std::exception_ptr& error) {
   FacPtr fac;
   try {
+    // Fault site: a transient serve-layer failure during factorization.
+    // Inside the try on purpose — the service's own catch absorbs it, so an
+    // injected throw can never poison the shared engine.
+    fault::maybe_throw(fault::site::kServeTask);
     Solver& solver = fine ? *fine_solver_ : *coarse_solver_;
     fac = std::make_shared<core::Factorization>(solver.factor(*a));
     cache_.insert_hashed(*a, config_fp_, h, fac);
@@ -928,10 +1167,10 @@ void SolveService::submit_solve_task(std::shared_ptr<JobState> state,
   const std::uint64_t job_id = state->job_id;
   engine_->submit(
       [this, state = std::move(state), b = std::move(b), fac = std::move(fac),
-       cache_hit, sweeps, factor_us, t_begin_us] {
+       cache_hit, priority, sweeps, factor_us, t_begin_us]() mutable {
         if (!try_begin(state, t_begin_us)) {
           release_inflight_slot();
-          complete_cancelled(state);
+          settle_skipped(state);
           return;
         }
         Matrix<double> x;
@@ -939,20 +1178,47 @@ void SolveService::submit_solve_task(std::shared_ptr<JobState> state,
         std::exception_ptr err;
         const std::uint64_t t_solve = now_us();
         try {
+          // Fault site: transient serve-layer failure during the solve; the
+          // catch below keeps it out of the engine (and feeds the retry
+          // machinery).
+          fault::maybe_throw(fault::site::kServeTask);
           x = fac->solve(b, &report, sweeps);
         } catch (...) {
           err = std::current_exception();
         }
         const std::uint64_t solve_us = now_us() - t_solve;
+        const bool transient = err != nullptr && classify_transient(err);
+        // Poisoned-result containment: a non-finite solution (injected NaN,
+        // or a factorization corrupted under pressure) must never let its
+        // factorization serve another cache hit. Evict, then retry from
+        // scratch; a legitimately non-finite result (singular system)
+        // returns as-is once the budget is spent — identical to the legacy
+        // behavior.
+        const bool poisoned =
+            err == nullptr && cfg_.screen_outputs && !finite_matrix(x);
+        if (poisoned)
+          cache_.erase_hashed(fac->matrix(), config_fp_,
+                              cache_.hash_of(fac->matrix()) ^ config_fp_hash_);
         release_inflight_slot();
-        if (err) {
-          complete_error(state, err);
-        } else {
-          if (report.fell_back)
-            refine_fallbacks_.fetch_add(1, std::memory_order_relaxed);
-          complete_ok(state, std::move(x), cache_hit, report,
-                      {factor_us, solve_us});
+        if (err != nullptr || poisoned) {
+          if (err == nullptr || transient) {
+            Job retry;
+            retry.kind = Job::Kind::Solve;
+            retry.priority = priority;
+            retry.a = std::make_shared<Matrix<double>>(fac->matrix());
+            retry.b = std::move(b);
+            retry.state = state;
+            if (maybe_retry(std::move(retry), err)) return;
+          }
+          if (err != nullptr) {
+            complete_error(state, err);
+            return;
+          }
         }
+        if (report.fell_back)
+          refine_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+        complete_ok(state, std::move(x), cache_hit, report,
+                    {factor_us, solve_us});
       },
       {}, {"serve-solve", static_cast<int>(priority), -1, job_id});
 }
@@ -1027,7 +1293,7 @@ void SolveService::fuse_solve_settle(
                     {factor_us, solve_us});
       break;
     }
-    if (!was_live) complete_cancelled(states[i]);
+    if (!was_live) settle_skipped(states[i]);
   }
 }
 
@@ -1068,10 +1334,35 @@ void SolveService::settle_cancelled_owner(const Job& job,
   settle_job_cancelled(job);
 }
 
+bool SolveService::job_guarded(const Job& job) const {
+  if (!watchdog_enabled()) return false;
+  if (job.kind != Job::Kind::Batch) return job.state->hard_wall_us != 0;
+  for (const auto& s : job.batch_states)
+    if (s->hard_wall_us == 0) return false;
+  return !job.batch_states.empty();
+}
+
 void SolveService::dispatch(Job job) {
   // Jobs cancelled while queued are settled here, before admission.
   if (job_fully_cancelled(job)) {
     settle_job_cancelled(job);
+    return;
+  }
+
+  if (fault::plan() != nullptr) {
+    fault::maybe_delay(fault::site::kServeDelay);
+    // Honor an injected drop only when the watchdog guards every member
+    // (hard wall set): the job vanishes here — before any slot is held —
+    // and the hard-wall scan recovers it, so clients never hang.
+    if (job_guarded(job) && fault::should_fire(fault::site::kServeDrop)) return;
+  }
+
+  // Dequeue-time SLO shedding: a single job whose deadline passed while it
+  // queued is dropped before it consumes an inflight slot or any engine
+  // time (batch members are vetoed per-member at try_begin instead).
+  if (job.kind != Job::Kind::Batch && job.state->deadline_us != 0 &&
+      now_us() > job.state->deadline_us) {
+    complete_shed(job.state);
     return;
   }
 
@@ -1159,7 +1450,17 @@ void SolveService::dispatch(Job job) {
     const std::uint64_t factor_us = now_us() - t0;
     flush_pending(owned, fac, error);
     if (error) {
+      const bool transient = classify_transient(error);
       release_inflight_slot();
+      if (transient && job.kind != Job::Kind::Batch) {
+        Job retry;
+        retry.kind = job.kind;
+        retry.priority = job.priority;
+        retry.a = job.a;
+        retry.b = std::move(job.b);
+        retry.state = job.state;
+        if (maybe_retry(std::move(retry), error)) return;
+      }
       fail_job(job, error);
       return;
     }
@@ -1184,7 +1485,7 @@ void SolveService::attach_to_pending(Pending& p, Job job) {
               if (try_begin(s))
                 complete_error(s, err);
               else
-                complete_cancelled(s);
+                settle_skipped(s);
             return;
           }
           submit_batch_task(std::move(states), std::move(bs), fac, false, prio,
@@ -1192,15 +1493,28 @@ void SolveService::attach_to_pending(Pending& p, Job job) {
         });
     return;
   }
+  // The waiter keeps the job's matrix: when the owner's factorization dies
+  // of a transient fault, each waiter re-enqueues independently (one of the
+  // retries becomes the next owner; the rest attach again).
   p.waiters.push_back(
       [this, kind = job.kind, state = std::move(job.state), b = std::move(job.b),
-       prio = job.priority](const FacPtr& fac, std::exception_ptr err) mutable {
+       a = job.a, prio = job.priority](const FacPtr& fac,
+                                       std::exception_ptr err) mutable {
         if (err) {
           release_inflight_slot();
+          if (transient_exception(err)) {
+            Job retry;
+            retry.kind = kind;
+            retry.priority = prio;
+            retry.a = std::move(a);
+            retry.b = std::move(b);
+            retry.state = state;
+            if (maybe_retry(std::move(retry), err)) return;
+          }
           if (try_begin(state))
             complete_error(state, err);
           else
-            complete_cancelled(state);
+            settle_skipped(state);
           return;
         }
         if (kind == Job::Kind::Factor) {
@@ -1209,7 +1523,7 @@ void SolveService::attach_to_pending(Pending& p, Job job) {
           if (began)
             complete_ok(state, Matrix<double>{}, false);
           else
-            complete_cancelled(state);
+            settle_skipped(state);
           return;
         }
         submit_solve_task(std::move(state), std::move(b), fac, false, prio,
@@ -1228,7 +1542,7 @@ void SolveService::dispatch_with_factorization(Job job, FacPtr fac, bool hit,
       if (began)
         complete_ok(job.state, Matrix<double>{}, hit, {}, {factor_us, 0});
       else
-        complete_cancelled(job.state);
+        settle_skipped(job.state);
       return;
     }
     case Job::Kind::Solve:
@@ -1249,13 +1563,13 @@ void SolveService::fail_job(const Job& job, std::exception_ptr error) {
       if (try_begin(s))
         complete_error(s, error);
       else
-        complete_cancelled(s);
+        settle_skipped(s);
     return;
   }
   if (try_begin(job.state))
     complete_error(job.state, error);
   else
-    complete_cancelled(job.state);
+    settle_skipped(job.state);
 }
 
 void SolveService::submit_owner_task(Job job, std::shared_ptr<Pending> p) {
@@ -1294,14 +1608,24 @@ void SolveService::submit_owner_task(Job job, std::shared_ptr<Pending> p) {
         flush_pending(p, fac, error);
 
         if (error) {
+          const bool transient = classify_transient(error);
           release_inflight_slot();
+          if (transient && job.kind != Job::Kind::Batch) {
+            Job retry;
+            retry.kind = job.kind;
+            retry.priority = job.priority;
+            retry.a = job.a;
+            retry.b = std::move(job.b);
+            retry.state = job.state;
+            if (maybe_retry(std::move(retry), error)) return;
+          }
           for (const auto& s : began) complete_error(s, error);
-          // Batch members whose cancel() won the race before try_begin.
+          // Batch members whose cancel() (or deadline) won before try_begin.
           if (job.kind == Job::Kind::Batch) {
             for (const auto& s : job.batch_states) {
               bool skipped = true;
               for (const auto& g : began) skipped = skipped && g != s;
-              if (skipped) complete_cancelled(s);
+              if (skipped) settle_skipped(s);
             }
           }
           return;
@@ -1331,17 +1655,234 @@ void SolveService::submit_owner_task(Job job, std::shared_ptr<Pending> p) {
         }
         const std::uint64_t solve_us =
             job.kind == Job::Kind::Solve ? now_us() - t_solve : 0;
+        const bool transient =
+            solve_err != nullptr && classify_transient(solve_err);
+        const bool poisoned = solve_err == nullptr &&
+                              job.kind == Job::Kind::Solve &&
+                              cfg_.screen_outputs && !finite_matrix(x);
+        if (poisoned)
+          cache_.erase_hashed(fac->matrix(), config_fp_,
+                              cache_.hash_of(fac->matrix()) ^ config_fp_hash_);
         release_inflight_slot();
-        if (solve_err) {
-          complete_error(job.state, solve_err);
-        } else {
-          if (report.fell_back)
-            refine_fallbacks_.fetch_add(1, std::memory_order_relaxed);
-          complete_ok(job.state, std::move(x), false, report,
-                      {factor_us, solve_us});
+        if (solve_err != nullptr || poisoned) {
+          if (solve_err == nullptr || transient) {
+            Job retry;
+            retry.kind = Job::Kind::Solve;
+            retry.priority = job.priority;
+            retry.a = job.a;
+            retry.b = std::move(job.b);
+            retry.state = job.state;
+            if (maybe_retry(std::move(retry), solve_err)) return;
+          }
+          if (solve_err != nullptr) {
+            complete_error(job.state, solve_err);
+            return;
+          }
         }
+        if (report.fell_back)
+          refine_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+        complete_ok(job.state, std::move(x), false, report,
+                    {factor_us, solve_us});
       },
       {}, {"serve-factor", priority, -1, job_id});
+}
+
+// ---------------------------------------------------------------------------
+// Resilience: retries, watchdog, health
+// ---------------------------------------------------------------------------
+
+Health SolveService::health() const {
+  return static_cast<Health>(health_.load(std::memory_order_relaxed));
+}
+
+void SolveService::set_health(Health h) {
+  health_.store(static_cast<int>(h), std::memory_order_relaxed);
+  obs_.health->set(static_cast<double>(static_cast<int>(h)));
+}
+
+void SolveService::set_degraded() {
+  // Only Healthy degrades; Draining (shutdown) is never overwritten.
+  int expected = static_cast<int>(Health::Healthy);
+  if (health_.compare_exchange_strong(expected,
+                                      static_cast<int>(Health::Degraded),
+                                      std::memory_order_relaxed))
+    obs_.health->set(static_cast<double>(static_cast<int>(Health::Degraded)));
+  trouble_.store(true, std::memory_order_relaxed);
+}
+
+bool SolveService::classify_transient(const std::exception_ptr& err) {
+  try {
+    std::rethrow_exception(err);
+  } catch (const fault::InjectedFault&) {
+    faults_injected_.fetch_add(1, std::memory_order_relaxed);
+    obs_.faults_injected->add(1);
+    return true;
+  } catch (const std::bad_alloc&) {
+    on_memory_pressure();
+    return true;
+  } catch (...) {
+    return false;
+  }
+}
+
+void SolveService::on_memory_pressure() {
+  memory_pressure_.fetch_add(1, std::memory_order_relaxed);
+  obs_.memory_pressure->add(1);
+  // Graceful degradation instead of cascading failure: give back half the
+  // cache (entries in use stay alive via shared_ptr) and halve concurrent
+  // admissions so each inflight job sees more headroom. Quiet watchdog
+  // scans restore the limit one slot at a time.
+  cache_.evict_to(cache_.stats().bytes / 2);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    inflight_limit_ = std::max(1, inflight_limit_ / 2);
+  }
+  inflight_cv_.notify_all();
+  set_degraded();
+}
+
+bool SolveService::maybe_retry(Job job, std::exception_ptr err) {
+  if (!watchdog_enabled()) return false;  // nobody to run the backoff queue
+  if (job.kind == Job::Kind::Batch) return false;
+  if (err == nullptr)
+    err = std::make_exception_ptr(
+        Error("serve: non-finite solution (retries exhausted)"));
+  const std::shared_ptr<JobState>& state = job.state;
+  std::uint64_t due;
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    if (state->settled) return false;
+    if (state->status == JobStatus::Cancelled) return false;
+    if (state->attempts >= state->max_retries) return false;
+    const std::uint64_t now = now_us();
+    if (state->deadline_us != 0 && now >= state->deadline_us) return false;
+    ++state->attempts;
+    // Back to Queued: the retry re-enters the normal dispatch pipeline, so
+    // cancel(), deadlines, and the watchdog all keep working on it.
+    state->status = JobStatus::Queued;
+    due = now + (cfg_.retry_backoff_us
+                 << (static_cast<unsigned>(state->attempts) - 1));
+  }
+  retries_.fetch_add(1, std::memory_order_relaxed);
+  obs_.retries->add(1);
+  bool parked = false;
+  {
+    std::lock_guard<std::mutex> lock(watchdog_mu_);
+    if (!watchdog_stop_) {
+      retry_queue_.push_back(RetryItem{due, std::move(job), std::move(err)});
+      parked = true;
+    }
+  }
+  if (parked) {
+    watchdog_cv_.notify_all();
+    return true;
+  }
+  // The watchdog already stopped (destructor tail): no backoff is possible,
+  // and the caller settles with the original error.
+  return false;
+}
+
+void SolveService::requeue_retry(RetryItem item) {
+  if (job_fully_cancelled(item.job)) {
+    settle_job_cancelled(item.job);
+    return;
+  }
+  // Keep what settlement needs before the push consumes the job.
+  std::shared_ptr<JobState> state = item.job.state;
+  const int lane = static_cast<int>(item.job.priority);
+  if (queue_.try_push(std::move(item.job), lane)) return;
+  // Queue closed (shutdown) or full under overload: the retry loses its
+  // attempt and the job settles with the failure that triggered it.
+  complete_error(state, std::move(item.error));
+}
+
+void SolveService::scan_hard_walls(std::uint64_t now) {
+  std::vector<std::shared_ptr<JobState>> expired;
+  {
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    auto it = live_jobs_.begin();
+    while (it != live_jobs_.end()) {
+      std::shared_ptr<JobState> s = it->lock();
+      if (s == nullptr) {
+        it = live_jobs_.erase(it);  // every handle dropped; job long settled
+        continue;
+      }
+      bool done;
+      {
+        std::lock_guard<std::mutex> sl(s->mu);
+        done = s->settled;
+        if (!done && now > s->hard_wall_us) expired.push_back(s);
+      }
+      if (done)
+        it = live_jobs_.erase(it);
+      else
+        ++it;
+    }
+  }
+  for (const auto& s : expired) {
+    watchdog_trips_.fetch_add(1, std::memory_order_relaxed);
+    obs_.watchdog_trips->add(1);
+    set_degraded();
+    // Force-settle: whatever happened to this job (dropped, stalled, lost),
+    // its client must not hang. If the real completion races in first, the
+    // settled flag makes this a no-op; if it arrives later, likewise.
+    complete_error(s, std::make_exception_ptr(Error(
+                          "serve: watchdog hard wall exceeded; job "
+                          "force-failed (service degraded)")));
+  }
+}
+
+void SolveService::watchdog_loop() {
+  const auto period = std::chrono::milliseconds(
+      std::max(1, cfg_.watchdog_period_ms));
+  int quiet_scans = 0;
+  std::unique_lock<std::mutex> lock(watchdog_mu_);
+  for (;;) {
+    if (!watchdog_stop_) watchdog_cv_.wait_for(lock, period);
+    const bool stopping = watchdog_stop_;
+    // Move due retries out (all of them when stopping: the closed queue
+    // rejects them and requeue_retry settles each with its stored error).
+    const std::uint64_t now = now_us();
+    std::vector<RetryItem> due;
+    auto it = retry_queue_.begin();
+    while (it != retry_queue_.end()) {
+      if (stopping || it->due_us <= now) {
+        due.push_back(std::move(*it));
+        it = retry_queue_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    lock.unlock();
+    for (auto& r : due) requeue_retry(std::move(r));
+    if (stopping) return;
+
+    scan_hard_walls(now);
+
+    // Health recovery: a full quiet window (no trips, no pressure) since
+    // the last trouble promotes Degraded back to Healthy; every quiet scan
+    // also restores one admission slot clawed back under pressure.
+    if (trouble_.exchange(false, std::memory_order_relaxed)) {
+      quiet_scans = 0;
+    } else {
+      ++quiet_scans;
+      {
+        std::lock_guard<std::mutex> ml(mu_);
+        if (inflight_limit_ < max_inflight_) {
+          ++inflight_limit_;
+          inflight_cv_.notify_all();
+        }
+      }
+      if (quiet_scans >= std::max(1, cfg_.degraded_recovery_periods)) {
+        int expected = static_cast<int>(Health::Degraded);
+        if (health_.compare_exchange_strong(expected,
+                                            static_cast<int>(Health::Healthy),
+                                            std::memory_order_relaxed))
+          obs_.health->set(0.0);
+      }
+    }
+    lock.lock();
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -1355,6 +1896,12 @@ ServiceStats SolveService::stats() const {
   s.failed = failed_.load(std::memory_order_relaxed);
   s.cancelled = cancelled_.load(std::memory_order_relaxed);
   s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.shed = shed_.load(std::memory_order_relaxed);
+  s.retries = retries_.load(std::memory_order_relaxed);
+  s.watchdog_trips = watchdog_trips_.load(std::memory_order_relaxed);
+  s.memory_pressure = memory_pressure_.load(std::memory_order_relaxed);
+  s.faults_injected = faults_injected_.load(std::memory_order_relaxed);
+  s.health = health();
   s.batches = batches_.load(std::memory_order_relaxed);
   s.batch_members = batch_members_.load(std::memory_order_relaxed);
   s.fused_rhs_columns = fused_cols_.load(std::memory_order_relaxed);
@@ -1372,6 +1919,7 @@ ServiceStats SolveService::stats() const {
   {
     std::lock_guard<std::mutex> lock(mu_);
     s.inflight = static_cast<std::size_t>(inflight_);
+    s.inflight_limit = inflight_limit_;
     s.pending_factorizations = pending_.size();
   }
   s.cache = cache_.stats();

@@ -62,6 +62,7 @@ class Engine;
 namespace luqr::obs {
 class Counter;
 class EngineSampler;
+class Gauge;
 class Histogram;
 }  // namespace luqr::obs
 
@@ -74,8 +75,30 @@ enum class Priority { Batch = 0, Normal = 1, Interactive = 2 };
 /// Lifecycle of a job. Queued -> Running -> Done/Failed is the normal path;
 /// Cancelled only happens before execution begins; Rejected happens under
 /// the reject-when-full admission policy, or for a submit that races
-/// service shutdown (the queue closed before it was accepted).
-enum class JobStatus { Queued, Running, Done, Failed, Cancelled, Rejected };
+/// service shutdown (the queue closed before it was accepted). Shed is the
+/// SLO path: the service determined the job could not meet its deadline
+/// (expired while queued, or Batch admission during Degraded health) and
+/// dropped it without running it.
+enum class JobStatus { Queued, Running, Done, Failed, Cancelled, Rejected, Shed };
+
+/// Service health, exported as the luqr_serve_health gauge and consulted by
+/// admission control. Healthy serves everything; Degraded (watchdog trips
+/// or memory pressure) sheds Batch work at admission until a quiet recovery
+/// window elapses; Draining means the destructor is retiring the service.
+enum class Health { Healthy = 0, Degraded = 1, Draining = 2 };
+
+/// Per-job submission options (deadline-aware overloads of submit_*).
+struct SubmitOptions {
+  Priority priority = Priority::Normal;
+  /// Soft SLO deadline, relative to submission. A job that has not *started*
+  /// executing when it expires is shed (JobStatus::Shed) instead of running
+  /// uselessly late — checked at dequeue and again at execution start. 0
+  /// disables the deadline.
+  std::uint64_t deadline_us = 0;
+  /// Retry budget for transient failures (injected faults, allocation
+  /// pressure); -1 inherits ServiceConfig::max_retries.
+  int max_retries = -1;
+};
 
 /// What a completed job hands back.
 struct SolveReply {
@@ -111,6 +134,12 @@ class JobHandle {
   bool valid() const { return state_ != nullptr; }
   JobStatus status() const;
   void wait() const;
+
+  /// Bounded waits: block until the job is terminal or the timeout/deadline
+  /// passes. Return true when the job reached a terminal state, false on
+  /// timeout (the job keeps running; the handle stays usable).
+  bool wait_for(std::uint64_t timeout_us) const;
+  bool wait_until(std::chrono::steady_clock::time_point deadline) const;
 
   /// Block until terminal, then return the reply (moves the solution out).
   /// Failed rethrows the job's exception; Cancelled/Rejected throw Error.
@@ -163,6 +192,42 @@ struct ServiceConfig {
   /// health gauges (luqr_engine_* with {engine="serve"}) into the global
   /// metrics registry. 0 disables the sampler thread.
   int sampler_period_ms = 100;
+
+  /// Reject non-finite inputs (NaN/Inf anywhere in A or b) at submission
+  /// with a clear Error instead of letting them poison a factorization that
+  /// could then be cached and served to other clients. One O(n^2) Frobenius
+  /// pass per submitted matrix.
+  bool screen_inputs = true;
+  /// Screen single-solve results: a non-finite solution evicts its
+  /// factorization from the cache (it must never serve another hit) and the
+  /// solve retries from scratch; with the retry budget exhausted the result
+  /// is returned as-is (a legitimately singular system can produce Inf).
+  bool screen_outputs = true;
+
+  /// Default retry budget for transient failures (injected faults,
+  /// allocation pressure); deterministic failures (singular systems, shape
+  /// errors) never retry. Retries re-enqueue with exponential backoff:
+  /// retry_backoff_us, 2x, 4x, ... Per-job override: SubmitOptions.
+  int max_retries = 2;
+  std::uint64_t retry_backoff_us = 500;
+
+  /// Watchdog scan period. The watchdog runs deferred retries, detects jobs
+  /// exceeding their hard wall (watchdog_wall_multiple x deadline, or
+  /// hard_wall_us for deadline-less jobs), force-fails them so clients never
+  /// hang, marks the service Degraded on trips, and recovers health after
+  /// degraded_recovery_periods quiet scans. 0 disables the watchdog AND
+  /// retry-with-backoff (there is no thread to run either).
+  int watchdog_period_ms = 5;
+  int watchdog_wall_multiple = 8;
+  /// Hard wall for jobs without a deadline, relative to submission; 0 =
+  /// unbounded (such jobs are never watchdog-failed).
+  std::uint64_t hard_wall_us = 0;
+  int degraded_recovery_periods = 50;
+
+  /// Nonzero: adversarial schedule exploration on the service engine
+  /// (EngineOptions::chaos_seed) — race tests shake cancel/retry/shed
+  /// interleavings with it. Results are unchanged by construction.
+  std::uint64_t chaos_seed = 0;
 };
 
 /// Telemetry snapshot (see SolveService::stats); counters are monotonic
@@ -170,6 +235,15 @@ struct ServiceConfig {
 struct ServiceStats {
   std::uint64_t submitted = 0, completed = 0, failed = 0, cancelled = 0,
                 rejected = 0;
+  /// Resilience counters: SLO sheds, transient-failure retries, watchdog
+  /// hard-wall trips, memory-pressure degradations, injected faults
+  /// observed by the retry machinery.
+  std::uint64_t shed = 0, retries = 0, watchdog_trips = 0,
+                memory_pressure = 0, faults_injected = 0;
+  Health health = Health::Healthy;
+  /// Live inflight admission limit (shrinks under memory pressure, recovers
+  /// one slot per quiet watchdog scan, capped at the configured maximum).
+  int inflight_limit = 0;
   std::uint64_t batches = 0, batch_members = 0, fused_rhs_columns = 0;
   /// submit_many telemetry: jobs executed through chunked batch tasks,
   /// chunk tasks executed, cache hits skimmed off at submission (served
@@ -205,13 +279,16 @@ class SolveService {
   SolveService& operator=(const SolveService&) = delete;
 
   /// Enqueue "solve A x = b" (b may have several columns). Throws Error on
-  /// shape mismatch; returns a handle that may report Rejected under the
-  /// reject-when-full policy.
+  /// shape mismatch or (with screen_inputs) non-finite input; returns a
+  /// handle that may report Rejected under the reject-when-full policy or
+  /// Shed when a deadline/SLO decision dropped it.
   JobHandle submit_solve(Matrix<double> a, Matrix<double> b,
-                         Priority priority = Priority::Normal);
+                         const SubmitOptions& opt = {});
+  JobHandle submit_solve(Matrix<double> a, Matrix<double> b, Priority priority);
 
   /// Enqueue "factor A and warm the cache" (the reply's x is empty).
-  JobHandle submit_factor(Matrix<double> a, Priority priority = Priority::Normal);
+  JobHandle submit_factor(Matrix<double> a, const SubmitOptions& opt = {});
+  JobHandle submit_factor(Matrix<double> a, Priority priority);
 
   /// Enqueue many independent solves against one matrix as a single fused
   /// job: one factorization (or cache hit) and one wide multi-RHS solve
@@ -254,6 +331,9 @@ class SolveService {
 
   /// Block until every accepted job has reached a terminal state.
   void drain();
+
+  /// Current health (atomic snapshot; also exported as luqr_serve_health).
+  Health health() const;
 
   ServiceStats stats() const;
   rt::Engine& engine();
@@ -314,10 +394,44 @@ class SolveService {
     std::uint64_t solve_us = 0;
   };
 
+  /// A retry waiting out its backoff in the watchdog's queue. Carries the
+  /// failure that triggered it so a retry that cannot be re-enqueued
+  /// (service shutting down) still settles its job with a real error.
+  struct RetryItem {
+    std::uint64_t due_us = 0;
+    Job job;
+    std::exception_ptr error;
+  };
+
   std::uint64_t now_us() const;
   JobHandle enqueue(Job job);
   void dispatcher_loop();
   void dispatch(Job job);
+  bool watchdog_enabled() const { return cfg_.watchdog_period_ms > 0; }
+  // Build a job state carrying the deadline / hard-wall / retry budget and
+  // register it with the watchdog when it has a wall to enforce.
+  std::shared_ptr<detail::JobState> new_job_state(const SubmitOptions& opt,
+                                                  bool retryable);
+  void register_job(const std::shared_ptr<detail::JobState>& state);
+  // Throws Error when screening is on and m carries a NaN/Inf.
+  void screen_input(const Matrix<double>& m) const;
+  // Every member has a hard wall (the watchdog will recover it if it is
+  // lost) — the precondition for honoring an injected job drop.
+  bool job_guarded(const Job& job) const;
+  // Transient-failure classification, with side effects: injected faults
+  // count toward faults_injected, allocation pressure triggers the
+  // memory-pressure response. Deterministic errors return false.
+  bool classify_transient(const std::exception_ptr& err);
+  // Consume one unit of the job's retry budget and park it in the watchdog's
+  // backoff queue. False when the job cannot retry (no budget, cancelled,
+  // expired, batch kind, or no watchdog to run it) — caller settles instead.
+  bool maybe_retry(Job job, std::exception_ptr err);
+  void requeue_retry(RetryItem item);
+  void watchdog_loop();
+  void scan_hard_walls(std::uint64_t now);
+  void on_memory_pressure();
+  void set_health(Health h);
+  void set_degraded();
   void acquire_inflight_slot();
   void release_inflight_slot();
   // Matrices at least parallel_factor_tiles tiles tall factor fine-grained
@@ -388,6 +502,10 @@ class SolveService {
                       std::exception_ptr error);
   void complete_cancelled(const std::shared_ptr<detail::JobState>& state);
   void complete_rejected(const std::shared_ptr<detail::JobState>& state);
+  void complete_shed(const std::shared_ptr<detail::JobState>& state);
+  // Settle a job try_begin refused: Cancelled when cancel() won, Shed when
+  // the deadline vetoed execution (status still Queued).
+  void settle_skipped(const std::shared_ptr<detail::JobState>& state);
   void on_terminal();
 
   ServiceConfig cfg_;
@@ -406,12 +524,32 @@ class SolveService {
   FactorizationCache cache_;
   JobQueue<Job> queue_;
 
-  mutable std::mutex mu_;  // pending_, inflight_, active_
+  mutable std::mutex mu_;  // pending_, inflight_, inflight_limit_, active_
   std::condition_variable inflight_cv_;
   std::condition_variable drain_cv_;
   std::unordered_multimap<std::uint64_t, std::shared_ptr<Pending>> pending_;
   int inflight_ = 0;
+  /// Live admission limit: starts at max_inflight_, halves (floor 1) under
+  /// memory pressure, recovers one slot per quiet watchdog scan.
+  int inflight_limit_ = 2;
   std::uint64_t active_ = 0;  // accepted jobs not yet terminal
+
+  /// Watchdog machinery. watchdog_mu_ guards the stop flag and the backoff
+  /// retry queue; jobs_mu_ guards the walled-job registry the hard-wall scan
+  /// walks (registration must not contend with retry traffic). The watchdog
+  /// stops *after* drain() in the destructor: pending retries either
+  /// re-enqueue or settle with their stored error, so drain terminates.
+  std::mutex watchdog_mu_;
+  std::condition_variable watchdog_cv_;
+  std::vector<RetryItem> retry_queue_;
+  bool watchdog_stop_ = false;
+  std::thread watchdog_;
+  std::mutex jobs_mu_;
+  std::vector<std::weak_ptr<detail::JobState>> live_jobs_;
+  std::atomic<int> health_{0};
+  /// Trouble flag for health recovery: set by watchdog trips and memory
+  /// pressure, cleared (and checked) once per watchdog scan.
+  std::atomic<bool> trouble_{false};
 
   std::vector<std::thread> dispatchers_;
   std::chrono::steady_clock::time_point start_;
@@ -428,6 +566,8 @@ class SolveService {
 
   std::atomic<std::uint64_t> submitted_{0}, completed_{0}, failed_{0},
       cancelled_{0}, rejected_{0};
+  std::atomic<std::uint64_t> shed_{0}, retries_{0}, watchdog_trips_{0},
+      memory_pressure_{0}, faults_injected_{0};
   std::atomic<std::uint64_t> batches_{0}, batch_members_{0}, fused_cols_{0};
   std::atomic<std::uint64_t> batched_jobs_{0}, batches_executed_{0},
       batch_hits_skimmed_{0};
@@ -446,6 +586,12 @@ class SolveService {
     obs::Counter* failed = nullptr;
     obs::Counter* cancelled = nullptr;
     obs::Counter* rejected = nullptr;
+    obs::Counter* shed = nullptr;
+    obs::Counter* retries = nullptr;
+    obs::Counter* faults_injected = nullptr;
+    obs::Counter* watchdog_trips = nullptr;
+    obs::Counter* memory_pressure = nullptr;
+    obs::Gauge* health = nullptr;
     obs::Histogram* latency_us = nullptr;
     obs::Histogram* exec_us = nullptr;
     obs::Histogram* queue_us = nullptr;

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/aligned.hpp"
+#include "fault/fault.hpp"
 #include "kernels/access.hpp"
 #include "kernels/dense.hpp"
 #include "kernels/matrix_view.hpp"
@@ -32,7 +33,7 @@ class TileMatrix {
   TileMatrix() = default;
   TileMatrix(int mt, int nt, int nb)
       : mt_(mt), nt_(nt), nb_(nb), tile_stride_(padded_tile_stride(nb)),
-        data_(static_cast<std::size_t>(mt) * nt * padded_tile_stride(nb), T(0)) {
+        data_(checked_elems(mt, nt, nb), T(0)) {
     LUQR_REQUIRE(mt >= 0 && nt >= 0 && nb > 0, "bad tile grid shape");
   }
 
@@ -98,6 +99,14 @@ class TileMatrix {
   static std::size_t padded_tile_stride(int nb) {
     constexpr std::size_t elems_per_line = kCacheLineBytes / sizeof(T);
     return align_up(static_cast<std::size_t>(nb) * nb, elems_per_line);
+  }
+
+  /// Storage element count, gated by the tile-allocation fault site (the
+  /// injected std::bad_alloc leaves the object unconstructed, exactly like
+  /// a real allocation failure in the vector below).
+  static std::size_t checked_elems(int mt, int nt, int nb) {
+    fault::maybe_alloc_fail(fault::site::kTileAlloc);
+    return static_cast<std::size_t>(mt) * nt * padded_tile_stride(nb);
   }
 
   /// Bytes one tile's elements span (the audit footprint of a tile view).

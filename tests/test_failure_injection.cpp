@@ -14,6 +14,7 @@
 #include "kernels/norms.hpp"
 #include "runtime/engine.hpp"
 #include "runtime/parallel_hybrid.hpp"
+#include "serve/service.hpp"
 #include "test_helpers.hpp"
 #include "verify/verify.hpp"
 
@@ -159,6 +160,66 @@ TEST(FailureInjection, HugeAlphaAndZeroAlphaAreTotalOrders) {
   const auto r1 = core::hybrid_solve(a, b, huge, 16, {});
   const auto r2 = core::hybrid_solve(a, b, tiny, 16, {});
   EXPECT_GE(r1.stats.lu_fraction(), r2.stats.lu_fraction());
+}
+
+namespace {
+serve::ServiceConfig small_service_config() {
+  serve::ServiceConfig cfg;
+  cfg.solver =
+      SolverConfig().criterion(CriterionSpec::max(100.0)).tile_size(8).grid(2, 2);
+  cfg.threads = 2;
+  return cfg;
+}
+}  // namespace
+
+TEST(FailureInjection, ServeScreensNonFiniteInputsAtSubmission) {
+  // Input screening is the serve tier's contract: garbage is rejected at
+  // the door with an actionable message, not discovered as a mysterious
+  // NaN solution after burning a factorization.
+  serve::SolveService svc(small_service_config());
+  auto a = gen::generate(gen::MatrixKind::Random, 24, 21);
+  const auto b = random_matrix(24, 1, 22);
+
+  auto nan_a = a;
+  nan_a(3, 5) = std::numeric_limits<double>::quiet_NaN();
+  try {
+    svc.submit_solve(nan_a, b, serve::SubmitOptions{});
+    FAIL() << "NaN input accepted";
+  } catch (const Error& e) {
+    // Pin the message: it must name the problem and the opt-out knob.
+    EXPECT_NE(std::string(e.what()).find("non-finite"), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("screen_inputs"), std::string::npos)
+        << e.what();
+  }
+
+  auto inf_b = b;
+  inf_b(0, 0) = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(svc.submit_solve(a, inf_b, serve::SubmitOptions{}), Error);
+  EXPECT_THROW(svc.submit_factor(nan_a, serve::SubmitOptions{}), Error);
+
+  // A clean system on the same service still works.
+  const auto reply = svc.submit_solve(a, b, serve::SubmitOptions{}).get();
+  EXPECT_EQ(reply.x.rows(), 24);
+}
+
+TEST(FailureInjection, ServeScreeningOptOut) {
+  // screen_inputs=false restores the library semantics: poisoned inputs
+  // are accepted and the job reaches a terminal state (non-finite solution
+  // or a reported failure), never a hang or crash.
+  auto cfg = small_service_config();
+  cfg.screen_inputs = false;
+  cfg.max_retries = 0;
+  serve::SolveService svc(cfg);
+  auto a = gen::generate(gen::MatrixKind::Random, 24, 23);
+  a(7, 9) = std::numeric_limits<double>::quiet_NaN();
+  const auto b = random_matrix(24, 1, 24);
+  serve::JobHandle h;
+  ASSERT_NO_THROW(h = svc.submit_solve(a, b, serve::SubmitOptions{}));
+  h.wait();
+  EXPECT_TRUE(h.status() == serve::JobStatus::Done ||
+              h.status() == serve::JobStatus::Failed)
+      << static_cast<int>(h.status());
 }
 
 TEST(FailureInjection, RefinementOnSingularSystemStaysFinite) {

@@ -33,19 +33,40 @@
 //   --metrics-prom F  write periodic Prometheus text snapshots to F
 //   --metrics-period MS  snapshot period in ms (default 500)
 //
+// Resilience harnesses (self-contained modes; other load flags ignored):
+//   --fault-sweep     run a seeded chaos sweep: every fault site family
+//                     armed (alloc failures, NaN/singular kernel faults,
+//                     task delays/stalls, serve throws/drops/delays), a
+//                     mixed workload with deadlines + cancellations per
+//                     seed, then assert the accounting balance
+//                     (submitted == completed+failed+cancelled+rejected+
+//                     shed) and that a fresh solve on the SAME service is
+//                     bitwise-identical to a one-shot Solver after the
+//                     plan is uninstalled (no residual poisoning)
+//   --sweep-seeds N   seeds per sweep (default 16)
+//   --fault-seed S    first sweep seed (default 1)
+//   --slo-demo        overload demo: flood of tight-deadline Batch jobs +
+//                     closed-loop trickle of loose-deadline Interactive
+//                     jobs; assert Interactive p99 stays under its
+//                     deadline while Batch sheds absorb the overload
+//
 // Prints the full service telemetry snapshot at the end (queue depth,
 // cache hit rate, latency percentiles, jobs/s, workspace bytes); exits
 // nonzero if any job failed, any verification mismatched, or (stress mode)
 // the run shape fell short of the acceptance floor.
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "luqr.hpp"
 #include "obs/export.hpp"
 #include "serve/service.hpp"
@@ -59,7 +80,9 @@ namespace {
                "       [--cache-mb MB] [--reject] [--batch K] [--many K]\n"
                "       [--small-mix] [--verify] [--stress] [--seed S]\n"
                "       [--metrics-json F] [--metrics-prom F] "
-               "[--metrics-period MS]\n",
+               "[--metrics-period MS]\n"
+               "       [--fault-sweep] [--sweep-seeds N] [--fault-seed S] "
+               "[--slo-demo]\n",
                argv0);
   std::exit(2);
 }
@@ -79,6 +102,302 @@ std::vector<int> parse_sizes(const std::string& csv) {
   return out;
 }
 
+bool bitwise_equal(const luqr::Matrix<double>& a, const luqr::Matrix<double>& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  for (int j = 0; j < a.cols(); ++j)
+    for (int i = 0; i < a.rows(); ++i)
+      if (a(i, j) != b(i, j)) return false;
+  return true;
+}
+
+// Seeded chaos sweep: every instrumented fault family armed at once against
+// a mixed workload. The point is not that any particular fault fires but
+// that whatever does fire, the service neither crashes, hangs, loses a job
+// from its books, nor keeps a poisoned factorization around afterwards.
+int run_fault_sweep(std::uint64_t first_seed, int nseeds, int nb) {
+  using namespace luqr;
+  serve::ServiceConfig cfg;
+  cfg.solver =
+      SolverConfig().criterion(CriterionSpec::max(100.0)).tile_size(nb).grid(2, 2);
+  cfg.threads = 2;
+  cfg.dispatchers = 2;
+  cfg.queue_capacity = 128;
+  cfg.cache_bytes = 32u << 20;
+  cfg.max_retries = 2;
+  cfg.retry_backoff_us = 200;
+  cfg.watchdog_period_ms = 2;
+  cfg.watchdog_wall_multiple = 4;
+  // Every job gets a hard wall, so dropped jobs are always guarded: the
+  // watchdog force-fails them instead of letting a client hang.
+  cfg.hard_wall_us = 400000;
+  const Solver reference(cfg.solver);
+
+  const int sizes[4] = {24, 32, 48, 64};
+  constexpr int kClients = 3, kRequests = 14, kPool = 6;
+  int bad_seeds = 0;
+
+  for (int s = 0; s < nseeds; ++s) {
+    const std::uint64_t seed = first_seed + static_cast<std::uint64_t>(s);
+    fault::FaultPlan plan(seed);
+    plan.arm({fault::site::kWorkspaceAlloc, 0.02});
+    plan.arm({fault::site::kTileAlloc, 0.02});
+    plan.arm({fault::site::kGemmNan, 0.01, 3});
+    plan.arm({fault::site::kGetrfSingular, 0.01, 2});
+    plan.arm({fault::site::kTaskDelay, 0.05, ~std::uint64_t{0}, 0, 200});
+    plan.arm({fault::site::kTaskStall, 0.01, 4, 0, 5000});
+    plan.arm({fault::site::kServeTask, 0.05});
+    plan.arm({fault::site::kServeDrop, 0.02, 4});
+    plan.arm({fault::site::kServeDelay, 0.05, ~std::uint64_t{0}, 0, 200});
+
+    std::vector<Matrix<double>> pool;
+    for (int i = 0; i < kPool; ++i)
+      pool.push_back(gen::generate(gen::MatrixKind::Random, sizes[i % 4],
+                                   seed * 100 + static_cast<std::uint64_t>(i)));
+
+    serve::SolveService svc(cfg);
+    std::mutex hmu;
+    std::vector<serve::JobHandle> handles;
+    {
+      fault::ScopedPlan guard(plan);
+      auto client = [&](int id) {
+        Rng rng(seed * 7919 + static_cast<std::uint64_t>(id));
+        for (int r = 0; r < kRequests; ++r) {
+          std::vector<serve::JobHandle> mine;
+          try {
+            if (r % 5 == 4) {
+              // A submit_many group: staging buckets + chunk tasks under
+              // fault fire (members are non-retryable; they must still
+              // settle one way or the other).
+              std::vector<Matrix<double>> as, bs;
+              for (int k = 0; k < 4; ++k) {
+                const Matrix<double>& a = pool[static_cast<std::size_t>(
+                    static_cast<int>(rng.uniform() * kPool) % kPool)];
+                Matrix<double> b(a.rows(), 1);
+                for (int i = 0; i < a.rows(); ++i) b(i, 0) = rng.gaussian();
+                as.push_back(a);
+                bs.push_back(std::move(b));
+              }
+              mine = svc.submit_many(as, bs, serve::Priority::Batch);
+            } else {
+              const Matrix<double>& a = pool[static_cast<std::size_t>(
+                  (id * kRequests + r) % kPool)];
+              Matrix<double> b(a.rows(), 1 + r % 2);
+              for (int j = 0; j < b.cols(); ++j)
+                for (int i = 0; i < a.rows(); ++i) b(i, j) = rng.gaussian();
+              serve::SubmitOptions opt;
+              opt.priority = static_cast<serve::Priority>(r % 3);
+              if (r % 7 == 3) opt.deadline_us = 1;  // born expired: must shed
+              else if (r % 7 == 5) opt.deadline_us = 100000;
+              mine.push_back(svc.submit_solve(a, std::move(b), opt));
+            }
+            if (r % 6 == 2 && !mine.empty()) mine.front().cancel();
+            for (auto& h : mine) h.wait_for(50000);  // bounded; drain settles
+          } catch (const std::exception& e) {
+            std::fprintf(stderr, "sweep seed %llu client %d: submit: %s\n",
+                         static_cast<unsigned long long>(seed), id, e.what());
+          }
+          std::lock_guard<std::mutex> lock(hmu);
+          for (auto& h : mine) handles.push_back(std::move(h));
+        }
+      };
+      std::vector<std::thread> ts;
+      for (int c = 0; c < kClients; ++c) ts.emplace_back(client, c);
+      for (auto& t : ts) t.join();
+      svc.drain();
+    }  // plan uninstalled; service still alive
+
+    bool ok = true;
+    for (const auto& h : handles) {
+      const serve::JobStatus st = h.status();
+      if (st == serve::JobStatus::Queued || st == serve::JobStatus::Running) {
+        std::fprintf(stderr, "seed %llu: non-terminal job after drain\n",
+                     static_cast<unsigned long long>(seed));
+        ok = false;
+      }
+    }
+    const serve::ServiceStats st = svc.stats();
+    const std::uint64_t settled =
+        st.completed + st.failed + st.cancelled + st.rejected + st.shed;
+    if (st.submitted != settled) {
+      std::fprintf(stderr,
+                   "seed %llu: accounting IMBALANCE submitted=%llu settled=%llu "
+                   "(done=%llu fail=%llu cancel=%llu reject=%llu shed=%llu)\n",
+                   static_cast<unsigned long long>(seed),
+                   static_cast<unsigned long long>(st.submitted),
+                   static_cast<unsigned long long>(settled),
+                   static_cast<unsigned long long>(st.completed),
+                   static_cast<unsigned long long>(st.failed),
+                   static_cast<unsigned long long>(st.cancelled),
+                   static_cast<unsigned long long>(st.rejected),
+                   static_cast<unsigned long long>(st.shed));
+      ok = false;
+    }
+
+    // Post-sweep correctness on the SAME service: a fresh system must come
+    // back bitwise-identical to the one-shot reference — no poisoned cache
+    // entry, stuck degraded admission, or leaked fault state.
+    try {
+      Matrix<double> a =
+          gen::generate(gen::MatrixKind::Random, 48, seed * 1000 + 999);
+      Matrix<double> b(48, 2);
+      Rng brng(seed * 1000 + 998);
+      for (int j = 0; j < 2; ++j)
+        for (int i = 0; i < 48; ++i) b(i, j) = brng.gaussian();
+      Matrix<double> got = svc.submit_solve(a, b, serve::SubmitOptions{}).get().x;
+      if (!bitwise_equal(got, reference.solve(a, b).x)) {
+        std::fprintf(stderr, "seed %llu: post-sweep solve NOT bitwise-equal\n",
+                     static_cast<unsigned long long>(seed));
+        ok = false;
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "seed %llu: post-sweep solve failed: %s\n",
+                   static_cast<unsigned long long>(seed), e.what());
+      ok = false;
+    }
+
+    std::printf("seed %-4llu %s  fires=%llu (alloc=%llu nan=%llu sing=%llu "
+                "throw=%llu drop=%llu)  done=%llu fail=%llu cancel=%llu "
+                "shed=%llu retries=%llu trips=%llu pressure=%llu health=%d\n",
+                static_cast<unsigned long long>(seed), ok ? "ok  " : "FAIL",
+                static_cast<unsigned long long>(plan.total_fires()),
+                static_cast<unsigned long long>(
+                    plan.fires(fault::site::kWorkspaceAlloc) +
+                    plan.fires(fault::site::kTileAlloc)),
+                static_cast<unsigned long long>(plan.fires(fault::site::kGemmNan)),
+                static_cast<unsigned long long>(
+                    plan.fires(fault::site::kGetrfSingular)),
+                static_cast<unsigned long long>(plan.fires(fault::site::kServeTask)),
+                static_cast<unsigned long long>(plan.fires(fault::site::kServeDrop)),
+                static_cast<unsigned long long>(st.completed),
+                static_cast<unsigned long long>(st.failed),
+                static_cast<unsigned long long>(st.cancelled),
+                static_cast<unsigned long long>(st.shed),
+                static_cast<unsigned long long>(st.retries),
+                static_cast<unsigned long long>(st.watchdog_trips),
+                static_cast<unsigned long long>(st.memory_pressure),
+                static_cast<int>(st.health));
+    if (!ok) ++bad_seeds;
+  }
+  std::printf("fault-sweep: %d/%d seeds clean\n", nseeds - bad_seeds, nseeds);
+  return bad_seeds == 0 ? 0 : 1;
+}
+
+// Overload demo: Batch flood with deadlines it cannot possibly meet plus a
+// closed-loop Interactive trickle with a loose deadline. Healthy behavior is
+// load shedding doing its job: Batch sheds absorb the overload while the
+// Interactive p99 stays inside its SLO.
+int run_slo_demo(int nb, const std::string& prom_path) {
+  using namespace luqr;
+  serve::ServiceConfig cfg;
+  cfg.solver =
+      SolverConfig().criterion(CriterionSpec::max(100.0)).tile_size(nb).grid(2, 2);
+  cfg.threads = 2;
+  cfg.dispatchers = 2;
+  cfg.queue_capacity = 512;
+  cfg.max_inflight = 2;  // scarce admission: the overload has to queue
+  const std::uint64_t kBatchDeadlineUs = 5000;
+  const std::uint64_t kInterDeadlineUs = 1000000;
+  constexpr int kBatchJobs = 150, kInterJobs = 40;
+
+  std::unique_ptr<obs::SnapshotWriter> writer;
+  if (!prom_path.empty()) {
+    obs::SnapshotWriter::Options wopt;
+    wopt.prom_path = prom_path;
+    wopt.period_ms = 200;
+    writer = std::make_unique<obs::SnapshotWriter>(wopt);
+  }
+
+  std::vector<std::uint64_t> inter_lat_us;
+  std::uint64_t sheds = 0;
+  int inter_failed = 0;
+  {
+    serve::SolveService svc(cfg);
+
+    std::thread flood([&] {
+      // Distinct matrices (the cache cannot absorb the flood for free),
+      // generated BEFORE submission so the burst hits the queue at once —
+      // queue wait, not generation, is what blows the tight deadline.
+      Rng rng(7);
+      std::vector<Matrix<double>> as, bs;
+      for (int i = 0; i < kBatchJobs; ++i) {
+        as.push_back(gen::generate(gen::MatrixKind::Random, 96,
+                                   1000 + static_cast<std::uint64_t>(i)));
+        Matrix<double> b(96, 1);
+        for (int r = 0; r < 96; ++r) b(r, 0) = rng.gaussian();
+        bs.push_back(std::move(b));
+      }
+      for (int i = 0; i < kBatchJobs; ++i) {
+        serve::SubmitOptions opt;
+        opt.priority = serve::Priority::Batch;
+        opt.deadline_us = kBatchDeadlineUs;
+        svc.submit_solve(std::move(as[static_cast<std::size_t>(i)]),
+                         std::move(bs[static_cast<std::size_t>(i)]), opt);
+      }
+    });
+
+    std::thread trickle([&] {
+      // Closed loop: one request at a time, latency measured submit->done.
+      const Matrix<double> a = gen::generate(gen::MatrixKind::Random, 32, 42);
+      Rng rng(8);
+      for (int i = 0; i < kInterJobs; ++i) {
+        Matrix<double> b(32, 1);
+        for (int r = 0; r < 32; ++r) b(r, 0) = rng.gaussian();
+        serve::SubmitOptions opt;
+        opt.priority = serve::Priority::Interactive;
+        opt.deadline_us = kInterDeadlineUs;
+        const auto t0 = std::chrono::steady_clock::now();
+        serve::JobHandle h = svc.submit_solve(a, std::move(b), opt);
+        h.wait();
+        const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+        inter_lat_us.push_back(static_cast<std::uint64_t>(us));
+        if (h.status() != serve::JobStatus::Done) ++inter_failed;
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    });
+
+    flood.join();
+    trickle.join();
+    svc.drain();
+    sheds = svc.stats().shed;
+  }
+  if (writer) writer->stop();
+
+  std::sort(inter_lat_us.begin(), inter_lat_us.end());
+  const std::uint64_t p99 =
+      inter_lat_us[inter_lat_us.size() * 99 / 100 >= inter_lat_us.size()
+                       ? inter_lat_us.size() - 1
+                       : inter_lat_us.size() * 99 / 100];
+  const std::uint64_t p50 = inter_lat_us[inter_lat_us.size() / 2];
+  std::printf("slo-demo: batch=%d (deadline %llums) interactive=%d "
+              "(deadline %llums)\n",
+              kBatchJobs, static_cast<unsigned long long>(kBatchDeadlineUs / 1000),
+              kInterJobs, static_cast<unsigned long long>(kInterDeadlineUs / 1000));
+  std::printf("interactive latency  p50=%lluus p99=%lluus (SLO %lluus)\n",
+              static_cast<unsigned long long>(p50),
+              static_cast<unsigned long long>(p99),
+              static_cast<unsigned long long>(kInterDeadlineUs));
+  std::printf("batch sheds          %llu\n",
+              static_cast<unsigned long long>(sheds));
+
+  bool ok = true;
+  if (inter_failed != 0) {
+    std::fprintf(stderr, "slo-demo: %d interactive jobs not Done\n", inter_failed);
+    ok = false;
+  }
+  if (p99 >= kInterDeadlineUs) {
+    std::fprintf(stderr, "slo-demo: interactive p99 %lluus breaches SLO\n",
+                 static_cast<unsigned long long>(p99));
+    ok = false;
+  }
+  if (sheds == 0) {
+    std::fprintf(stderr, "slo-demo: no sheds — overload was not shed\n");
+    ok = false;
+  }
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -88,6 +407,9 @@ int main(int argc, char** argv) {
   int dispatchers = 1, batch_every = 0, many_every = 0;
   std::size_t queue_capacity = 256, cache_mb = 256;
   bool reject = false, verify_results = false, stress = false, small_mix = false;
+  bool fault_sweep = false, slo_demo = false;
+  int sweep_seeds = 16;
+  std::uint64_t fault_seed = 1;
   std::uint64_t seed = 1;
   std::vector<int> sizes = {32, 48, 64, 96};
   std::string metrics_json, metrics_prom;
@@ -118,7 +440,21 @@ int main(int argc, char** argv) {
     else if (arg == "--metrics-json") metrics_json = need_value();
     else if (arg == "--metrics-prom") metrics_prom = need_value();
     else if (arg == "--metrics-period") metrics_period_ms = std::atoi(need_value());
+    else if (arg == "--fault-sweep") fault_sweep = true;
+    else if (arg == "--sweep-seeds") sweep_seeds = std::atoi(need_value());
+    else if (arg == "--fault-seed") fault_seed = static_cast<std::uint64_t>(std::atoll(need_value()));
+    else if (arg == "--slo-demo") slo_demo = true;
     else usage(argv[0]);
+  }
+  if (fault_sweep || slo_demo) {
+    if (sweep_seeds < 1) usage(argv[0]);
+    try {
+      return fault_sweep ? run_fault_sweep(fault_seed, sweep_seeds, 16)
+                         : run_slo_demo(16, metrics_prom);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
   }
   if (small_mix) {
     sizes = {16, 32, 48, 64, 96, 128};

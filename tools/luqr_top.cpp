@@ -397,6 +397,29 @@ void render(const Frame& f, const Frame* prev, const std::string& path) {
     }
   }
 
+  // -- resilience ---------------------------------------------------------
+  if (f.counters.count("luqr_serve_shed_total") != 0 ||
+      f.gauges.count("luqr_serve_health") != 0) {
+    const double health = f.gauge("luqr_serve_health");
+    const char* health_name = health >= 2.0   ? "DRAINING"
+                              : health >= 1.0 ? "DEGRADED"
+                                              : "healthy";
+    std::printf("\nresilience\n");
+    std::printf("  health=%s  shed=%s retries=%s watchdog_trips=%s "
+                "faults_injected=%s memory_pressure=%s",
+                health_name,
+                fmt_count(f.counter("luqr_serve_shed_total")).c_str(),
+                fmt_count(f.counter("luqr_serve_retries_total")).c_str(),
+                fmt_count(f.counter("luqr_serve_watchdog_trips_total")).c_str(),
+                fmt_count(f.counter("luqr_serve_faults_injected_total")).c_str(),
+                fmt_count(f.counter("luqr_serve_memory_pressure_total")).c_str());
+    if (dt > 0)
+      std::printf("   (%.1f sheds/s, %.1f retries/s)",
+                  rate("luqr_serve_shed_total"),
+                  rate("luqr_serve_retries_total"));
+    std::printf("\n");
+  }
+
   // -- cache --------------------------------------------------------------
   if (f.counters.count("luqr_cache_hits_total") != 0 ||
       f.counters.count("luqr_cache_misses_total") != 0) {
